@@ -1,0 +1,87 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_fig*.py`` file regenerates one figure of the paper's
+evaluation (Section VII) as pytest-benchmark cases: the benchmark name
+encodes the series (algorithm) and x-value (m, |Q| or M), so
+
+    pytest benchmarks/ --benchmark-only --benchmark-group-by=param:m
+
+prints the same series the figure plots.  Data sizes follow the "fast"
+experiment scale so the whole harness completes in minutes; run the
+``repro.experiments`` CLI at ``--scale full`` for paper-sized numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.booldata import BooleanTable
+from repro.core import VisibilityProblem
+from repro.data import generate_cars, real_workload_surrogate, synthetic_workload
+from repro.experiments.fixtures import wide_instance
+
+SEED = 42
+
+
+@pytest.fixture(scope="session")
+def cars():
+    return generate_cars(1_000, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def new_car(cars) -> int:
+    """One representative to-be-advertised car: the first with a typical
+    feature count (around the inventory median of ~15)."""
+    for row in cars.table:
+        if 14 <= row.bit_count() <= 16:
+            return row
+    return cars.table[0]
+
+
+@pytest.fixture(scope="session")
+def real_log(cars) -> BooleanTable:
+    return real_workload_surrogate(cars.schema, 185, seed=SEED + 1)
+
+
+@pytest.fixture(scope="session")
+def synth_log(cars) -> BooleanTable:
+    return synthetic_workload(cars.schema, 400, seed=SEED + 2)
+
+
+@pytest.fixture(scope="session")
+def synth_logs_by_size(cars) -> dict[int, BooleanTable]:
+    return {
+        size: synthetic_workload(cars.schema, size, seed=SEED + size)
+        for size in (100, 200, 400)
+    }
+
+
+@pytest.fixture(scope="session")
+def wide_instances() -> dict[int, tuple[BooleanTable, int]]:
+    return {width: wide_instance(width, 200, SEED) for width in (16, 24, 32)}
+
+
+@pytest.fixture(scope="session")
+def projected_view(synth_log, new_car):
+    """The view the MFI solver actually mines: queries contained in the
+    new tuple, projected onto its attributes.  Mining the raw width-32
+    complement at a low threshold is exponentially harder and is not a
+    code path the solver takes."""
+    from repro.common.bits import bit_indices
+    from repro.mining import TransactionDatabase
+
+    attributes = bit_indices(new_car)
+    positions = {attribute: j for j, attribute in enumerate(attributes)}
+    rows = []
+    for query in synth_log:
+        if query & new_car != query:
+            continue
+        mask = 0
+        for attribute in bit_indices(query):
+            mask |= 1 << positions[attribute]
+        rows.append(mask)
+    return TransactionDatabase(len(attributes), rows).complement()
+
+
+def problem_for(log: BooleanTable, car: int, budget: int) -> VisibilityProblem:
+    return VisibilityProblem(log, car, budget)

@@ -1,0 +1,88 @@
+"""Ablation benchmarks beyond the paper's figures.
+
+Design choices DESIGN.md calls out, each measured in isolation:
+
+* threshold policy for MaxFreqItemSets (greedy seed vs halving ladder
+  vs fixed fractions);
+* maximal-itemset engine (deterministic DFS vs the paper's two-phase
+  walk vs the bottom-up walk of Gunopulos et al.);
+* ILP backend (our simplex + branch-and-bound vs HiGHS);
+* ILP y-variable relaxation (continuous vs the paper-literal integral y).
+"""
+
+import pytest
+
+from repro.core import IlpSolver, MaxFreqItemsetsSolver
+
+from conftest import problem_for
+
+BUDGET = 5
+
+
+@pytest.mark.parametrize(
+    "policy,kwargs",
+    [
+        ("greedy-seed", {"greedy_seed": True}),
+        ("ladder", {"greedy_seed": False}),
+        ("fixed-1pct", {"threshold": 0.01}),
+        ("fixed-10pct", {"threshold": 0.10}),
+    ],
+)
+def test_ablation_threshold_policy(benchmark, policy, kwargs, synth_log, new_car):
+    problem = problem_for(synth_log, new_car, BUDGET)
+
+    def solve():
+        return MaxFreqItemsetsSolver(**kwargs).solve(problem)
+
+    solution = benchmark.pedantic(solve, rounds=2, iterations=1)
+    benchmark.extra_info["satisfied"] = solution.satisfied
+    benchmark.extra_info["ablation"] = "threshold_policy"
+
+
+@pytest.mark.parametrize("miner", ["dfs", "walk", "bottomup"])
+def test_ablation_miner(benchmark, miner, synth_log, new_car):
+    problem = problem_for(synth_log, new_car, BUDGET)
+
+    def solve():
+        return MaxFreqItemsetsSolver(
+            miner=miner, seed=0, walk_iterations=400
+        ).solve(problem)
+
+    solution = benchmark.pedantic(solve, rounds=2, iterations=1)
+    benchmark.extra_info["satisfied"] = solution.satisfied
+    benchmark.extra_info["ablation"] = "miner"
+
+
+@pytest.mark.parametrize("backend", ["native", "scipy"])
+def test_ablation_ilp_backend(benchmark, backend, synth_logs_by_size, new_car):
+    pytest.importorskip("scipy")
+    problem = problem_for(synth_logs_by_size[200], new_car, BUDGET)
+
+    def solve():
+        return IlpSolver(backend=backend).solve(problem)
+
+    solution = benchmark.pedantic(solve, rounds=2, iterations=1)
+    benchmark.extra_info["satisfied"] = solution.satisfied
+    benchmark.extra_info["ablation"] = "ilp_backend"
+
+
+@pytest.mark.parametrize("integral_y", [False, True])
+def test_ablation_ilp_y_relaxation(benchmark, integral_y, synth_logs_by_size, new_car):
+    problem = problem_for(synth_logs_by_size[100], new_car, BUDGET)
+
+    def solve():
+        return IlpSolver(backend="native", integral_y=integral_y).solve(problem)
+
+    solution = benchmark.pedantic(solve, rounds=2, iterations=1)
+    benchmark.extra_info["satisfied"] = solution.satisfied
+    benchmark.extra_info["ablation"] = "ilp_y_relaxation"
+
+
+def test_ablation_policies_agree_on_objective(synth_log, new_car):
+    """Exact policies agree; fixed thresholds may only fall short."""
+    problem = problem_for(synth_log, new_car, BUDGET)
+    optimum = MaxFreqItemsetsSolver().solve(problem).satisfied
+    assert MaxFreqItemsetsSolver(greedy_seed=False).solve(problem).satisfied == optimum
+    for fraction in (0.01, 0.10):
+        fixed = MaxFreqItemsetsSolver(threshold=fraction).solve(problem).satisfied
+        assert fixed <= optimum

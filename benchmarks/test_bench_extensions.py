@@ -1,0 +1,43 @@
+"""Benchmarks for the extension subsystems (not paper figures).
+
+Weighted deduplication, the marketplace simulator's replay throughput,
+and the closed-itemset miner — performance baselines for the extension
+layer documented in DESIGN.md section 3b.
+"""
+
+import pytest
+
+from repro.core import MaxFreqItemsetsSolver, VisibilityProblem
+from repro.core.weighted import deduplicated_problem, solve_weighted_itemsets
+from repro.mining import TransactionDatabase
+from repro.mining.closed import mine_closed_dfs
+from repro.simulate import Marketplace
+
+
+def test_weighted_dedup_solve(benchmark, synth_log, new_car):
+    problem = VisibilityProblem(synth_log, new_car, 5)
+    weighted = deduplicated_problem(problem)
+
+    result = benchmark.pedantic(
+        lambda: solve_weighted_itemsets(weighted), rounds=3, iterations=1
+    )
+    plain = MaxFreqItemsetsSolver().solve(problem)
+    assert result.satisfied_weight == plain.satisfied
+    benchmark.extra_info["distinct_queries"] = len(weighted.log)
+
+
+def test_marketplace_replay(benchmark, cars, synth_log):
+    market = Marketplace(cars.schema)
+    for row in list(cars.table)[:200]:
+        market.post_ad(row)
+
+    impressions = benchmark(lambda: market.run_workload(synth_log))
+    benchmark.extra_info["total_impressions"] = sum(impressions.values())
+
+
+def test_closed_mining_on_projected_view(benchmark, projected_view):
+    threshold = max(1, projected_view.num_transactions // 3)
+    result = benchmark.pedantic(
+        lambda: mine_closed_dfs(projected_view, threshold), rounds=2, iterations=1
+    )
+    benchmark.extra_info["closed_itemsets"] = len(result)

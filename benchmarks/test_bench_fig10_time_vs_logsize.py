@@ -1,0 +1,55 @@
+"""Fig 10: execution time vs query-log size, m = 5.
+
+Paper shape: ILP does not scale (no measurements past 1000 queries —
+here the native ILP is benchmarked only on the two smaller logs);
+ConsumeQueries is consistently the slowest greedy because it re-scans
+the whole workload every iteration.
+"""
+
+import pytest
+
+from repro.core import make_solver
+
+from conftest import problem_for
+
+BUDGET = 5
+ILP_MAX_LOG = 200
+
+
+@pytest.mark.parametrize("size", [100, 200, 400])
+@pytest.mark.parametrize(
+    "algorithm", ["MaxFreqItemSets", "ConsumeAttr", "ConsumeAttrCumul", "ConsumeQueries"]
+)
+def test_fig10_scaling(benchmark, algorithm, size, synth_logs_by_size, new_car):
+    problem = problem_for(synth_logs_by_size[size], new_car, BUDGET)
+
+    def solve():
+        return make_solver(algorithm).solve(problem)
+
+    solution = benchmark.pedantic(solve, rounds=3, iterations=1)
+    benchmark.extra_info["satisfied"] = solution.satisfied
+    benchmark.extra_info["figure"] = "fig10"
+
+
+@pytest.mark.parametrize("size", [100, 200])
+def test_fig10_ilp_small_logs_only(benchmark, size, synth_logs_by_size, new_car):
+    """The ILP series stops early, mirroring the paper's missing points."""
+    problem = problem_for(synth_logs_by_size[size], new_car, BUDGET)
+
+    def solve():
+        return make_solver("ILP", backend="native").solve(problem)
+
+    solution = benchmark.pedantic(solve, rounds=2, iterations=1)
+    benchmark.extra_info["satisfied"] = solution.satisfied
+    benchmark.extra_info["figure"] = "fig10"
+
+
+def test_fig10_consume_queries_slowest_greedy(synth_logs_by_size, new_car):
+    """Shape assertion: per-iteration full workload passes make
+    ConsumeQueries slower than ConsumeAttr on the largest log."""
+    from repro.common.timing import time_call
+
+    problem = problem_for(synth_logs_by_size[400], new_car, BUDGET)
+    _, attr_time = time_call(make_solver("ConsumeAttr").solve, problem)
+    _, queries_time = time_call(make_solver("ConsumeQueries").solve, problem)
+    assert queries_time > attr_time

@@ -1,0 +1,37 @@
+"""Fig 11: the two optimal algorithms vs total attribute count M.
+
+Synthetic 200-query log, m = 5.  Paper shape: MaxFreqItemSets wins on
+narrow schemas (<= 32 attributes), ILP gains ground as the schema widens
+(short, wide logs are the ILP-friendly regime).
+"""
+
+import pytest
+
+from repro.core import IlpSolver, MaxFreqItemsetsSolver, VisibilityProblem
+
+BUDGET = 5
+
+
+@pytest.mark.parametrize("width", [16, 24, 32])
+@pytest.mark.parametrize("algorithm", ["ILP", "MaxFreqItemSets"])
+def test_fig11_attribute_scaling(benchmark, algorithm, width, wide_instances):
+    log, new_tuple = wide_instances[width]
+    problem = VisibilityProblem(log, new_tuple, BUDGET)
+
+    def solve():
+        if algorithm == "ILP":
+            return IlpSolver(backend="native").solve(problem)
+        return MaxFreqItemsetsSolver().solve(problem)
+
+    solution = benchmark.pedantic(solve, rounds=2, iterations=1)
+    benchmark.extra_info["satisfied"] = solution.satisfied
+    benchmark.extra_info["figure"] = "fig11"
+
+
+def test_fig11_optimal_algorithms_agree(wide_instances):
+    """Both optimal algorithms must return the same objective at every M."""
+    for width, (log, new_tuple) in wide_instances.items():
+        problem = VisibilityProblem(log, new_tuple, BUDGET)
+        ilp = IlpSolver(backend="native").solve(problem)
+        mfi = MaxFreqItemsetsSolver().solve(problem)
+        assert ilp.satisfied == mfi.satisfied, width

@@ -1,0 +1,46 @@
+"""Fig 7: satisfied queries vs m on the real workload.
+
+Quality is attached as ``extra_info['satisfied']`` on each benchmark
+case; the shape assertions encode the figure's findings: the greedies
+never beat the optimal, ConsumeAttr/-Cumul are near-optimal, and m=3
+satisfies nothing (every real query has more than 3 attributes).
+"""
+
+import pytest
+
+from repro.core import make_solver
+
+from conftest import problem_for
+
+SERIES = ["MaxFreqItemSets", "ConsumeAttr", "ConsumeAttrCumul", "ConsumeQueries"]
+BUDGETS = [3, 4, 5, 6, 7]
+
+
+@pytest.mark.parametrize("m", BUDGETS)
+@pytest.mark.parametrize("algorithm", SERIES)
+def test_fig7_quality(benchmark, algorithm, m, real_log, new_car):
+    problem = problem_for(real_log, new_car, m)
+
+    def solve():
+        return make_solver(algorithm).solve(problem)
+
+    solution = benchmark.pedantic(solve, rounds=2, iterations=1)
+    benchmark.extra_info["satisfied"] = solution.satisfied
+    benchmark.extra_info["figure"] = "fig7"
+
+    optimum = make_solver("MaxFreqItemSets").solve(problem).satisfied
+    assert solution.satisfied <= optimum
+    if m == 3:
+        assert solution.satisfied == 0  # paper: all real queries have > 3 attrs
+
+
+def test_fig7_greedy_near_optimality(real_log, new_car):
+    """Aggregate check: ConsumeAttr reaches most of the optimal quality
+    over the m sweep, ConsumeQueries is the weakest greedy overall."""
+    totals = {name: 0 for name in SERIES}
+    for m in BUDGETS:
+        problem = problem_for(real_log, new_car, m)
+        for name in SERIES:
+            totals[name] += make_solver(name).solve(problem).satisfied
+    assert totals["ConsumeAttr"] >= 0.5 * totals["MaxFreqItemSets"]
+    assert totals["ConsumeQueries"] <= totals["MaxFreqItemSets"]

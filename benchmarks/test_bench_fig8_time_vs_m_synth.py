@@ -1,0 +1,27 @@
+"""Fig 8: execution time vs m on the synthetic workload (no ILP).
+
+The paper omits ILP here because it is very slow past 1000 queries; the
+series are MaxFreqItemSets and the three greedies.
+"""
+
+import pytest
+
+from repro.core import make_solver
+
+from conftest import problem_for
+
+ALGORITHMS = ["MaxFreqItemSets", "ConsumeAttr", "ConsumeAttrCumul", "ConsumeQueries"]
+BUDGETS = [1, 3, 5, 7]
+
+
+@pytest.mark.parametrize("m", BUDGETS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig8_synthetic_workload(benchmark, algorithm, m, synth_log, new_car):
+    problem = problem_for(synth_log, new_car, m)
+
+    def solve():
+        return make_solver(algorithm).solve(problem)
+
+    solution = benchmark.pedantic(solve, rounds=3, iterations=1)
+    benchmark.extra_info["satisfied"] = solution.satisfied
+    benchmark.extra_info["figure"] = "fig8"

@@ -1,0 +1,45 @@
+"""Fig 9: satisfied queries vs m on the synthetic workload."""
+
+import pytest
+
+from repro.core import make_solver
+
+from conftest import problem_for
+
+SERIES = ["MaxFreqItemSets", "ConsumeAttr", "ConsumeAttrCumul", "ConsumeQueries"]
+BUDGETS = [1, 3, 5, 7]
+
+
+@pytest.mark.parametrize("m", BUDGETS)
+@pytest.mark.parametrize("algorithm", SERIES)
+def test_fig9_quality(benchmark, algorithm, m, synth_log, new_car):
+    problem = problem_for(synth_log, new_car, m)
+
+    def solve():
+        return make_solver(algorithm).solve(problem)
+
+    solution = benchmark.pedantic(solve, rounds=2, iterations=1)
+    benchmark.extra_info["satisfied"] = solution.satisfied
+    benchmark.extra_info["figure"] = "fig9"
+
+    optimum = make_solver("MaxFreqItemSets").solve(problem).satisfied
+    assert solution.satisfied <= optimum
+
+
+def test_fig9_quality_grows_with_budget(synth_log, new_car):
+    """Shape: optimal satisfied-query counts are non-decreasing in m."""
+    values = [
+        make_solver("MaxFreqItemSets").solve(problem_for(synth_log, new_car, m)).satisfied
+        for m in BUDGETS
+    ]
+    assert values == sorted(values)
+
+
+def test_fig9_greedies_near_optimal_on_synthetic(synth_log, new_car):
+    """Paper: ConsumeAttr and ConsumeAttrCumul produce near-optimal results."""
+    optimal = greedy = 0
+    for m in BUDGETS:
+        problem = problem_for(synth_log, new_car, m)
+        optimal += make_solver("MaxFreqItemSets").solve(problem).satisfied
+        greedy += make_solver("ConsumeAttr").solve(problem).satisfied
+    assert greedy >= 0.7 * optimal

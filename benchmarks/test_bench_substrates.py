@@ -1,0 +1,85 @@
+"""Microbenchmarks of the substrates the figures are built from.
+
+Not figures of the paper — these isolate the primitive costs (support
+counting, maximal mining, simplex pivots, retrieval) so regressions in a
+substrate are visible before they blur a figure.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.lp.simplex import SimplexSolver
+from repro.mining import TransactionDatabase, mine_maximal_dfs
+from repro.mining.randomwalk import TwoPhaseRandomWalkMiner
+from repro.retrieval import BooleanRetrievalEngine
+
+
+@pytest.fixture(scope="module")
+def transactions(synth_log):
+    return TransactionDatabase.from_boolean_table(synth_log)
+
+
+def test_support_counting(benchmark, transactions):
+    itemsets = [random.Random(0).getrandbits(32) for _ in range(200)]
+
+    def count_all():
+        return [transactions.support(itemset) for itemset in itemsets]
+
+    benchmark(count_all)
+
+
+def test_complemented_support_counting(benchmark, transactions):
+    view = transactions.complement()
+    itemsets = [random.Random(1).getrandbits(32) for _ in range(200)]
+
+    def count_all():
+        return [view.support(itemset) for itemset in itemsets]
+
+    benchmark(count_all)
+
+
+def test_maximal_dfs_mining(benchmark, projected_view):
+    threshold = max(1, projected_view.num_transactions // 4)
+    result = benchmark.pedantic(
+        lambda: mine_maximal_dfs(projected_view, threshold), rounds=3, iterations=1
+    )
+    benchmark.extra_info["mfis"] = len(result)
+
+
+def test_two_phase_walk_single_iteration(benchmark, projected_view):
+    threshold = max(1, projected_view.num_transactions // 4)
+
+    def walk_once():
+        miner = TwoPhaseRandomWalkMiner(threshold, seed=0, max_iterations=1)
+        return miner.mine(projected_view)
+
+    benchmark(walk_once)
+
+
+def test_simplex_medium_lp(benchmark):
+    rng = np.random.default_rng(5)
+    n, m = 40, 60
+    c = rng.normal(size=n)
+    a_ub = rng.normal(size=(m, n))
+    b_ub = np.abs(rng.normal(size=m)) + 1.0
+
+    def solve():
+        return SimplexSolver().solve(
+            c, a_ub, b_ub, np.zeros((0, n)), np.zeros(0),
+            np.zeros(n), np.ones(n),
+        )
+
+    solution = benchmark(solve)
+    benchmark.extra_info["iterations"] = solution.iterations
+
+
+def test_conjunctive_retrieval(benchmark, cars, synth_log):
+    engine = BooleanRetrievalEngine(cars.table)
+
+    def run_log():
+        return sum(engine.conjunctive_count(query) for query in synth_log)
+
+    total = benchmark(run_log)
+    benchmark.extra_info["total_matches"] = total

@@ -1,0 +1,45 @@
+"""Text variant: picking the keywords of a classified apartment ad.
+
+The paper's motivating scenario for text data: a classified ad can only
+highlight a few keywords — which ones make it visible to the most
+keyword searches?  Keywords are Boolean attributes (Section II.B), and
+at text-vocabulary scale the greedy algorithms are the feasible ones
+(Section V); on this small demo we can also afford the exact solver and
+measure the greedy gap.
+
+Run:  python examples/apartment_ad_keywords.py
+"""
+
+from repro import MaxFreqItemsetsSolver
+from repro.data import generate_ads_corpus
+from repro.variants import select_ad_keywords
+
+AD_TEXT = """
+Spacious sunny two bedroom apartment for rent near the train station in
+downtown. Renovated kitchen with dishwasher, hardwood floors, balcony,
+garage parking, laundry in building. Cats allowed, utilities included.
+"""
+
+
+def main() -> None:
+    corpus, query_log = generate_ads_corpus(documents=300, queries=250, seed=31)
+    print(
+        f"competition: {len(corpus)} existing ads, "
+        f"workload: {len(query_log)} keyword searches"
+    )
+    print(f"ad text: {' '.join(AD_TEXT.split())!r}\n")
+
+    for budget in (3, 5, 8):
+        greedy = select_ad_keywords(AD_TEXT, query_log, budget, corpus=corpus)
+        exact = select_ad_keywords(
+            AD_TEXT, query_log, budget, solver=MaxFreqItemsetsSolver(), corpus=corpus
+        )
+        print(f"budget = {budget} keywords")
+        print(f"  greedy ({greedy.algorithm}): {greedy.keywords}")
+        print(f"    -> visible to {greedy.satisfied_queries} searches")
+        print(f"  exact  ({exact.algorithm}): {exact.keywords}")
+        print(f"    -> visible to {exact.satisfied_queries} searches\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — "Standing Out in a Crowd: Selecting Attributes for Maximum
+Visibility" (Miah, Das, Hristidis, Mannila; ICDE 2008), reproduced as a
+production-quality Python library.
+
+Quickstart::
+
+    from repro import Schema, BooleanTable, VisibilityProblem, make_solver
+
+    schema = Schema(["ac", "four_door", "turbo", "power_doors"])
+    log = BooleanTable.from_name_rows(schema, [["ac"], ["ac", "four_door"]])
+    tuple_mask = schema.mask_of(["ac", "four_door", "power_doors"])
+    problem = VisibilityProblem(log, tuple_mask, budget=2)
+    solution = make_solver("MaxFreqItemSets").solve(problem)
+    print(solution.kept_attributes, solution.satisfied)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.booldata import BooleanTable, Schema
+from repro.core import (
+    GREEDY_ALGORITHMS,
+    OPTIMAL_ALGORITHMS,
+    BruteForceSolver,
+    ConsumeAttrCumulSolver,
+    ConsumeAttrSolver,
+    ConsumeQueriesSolver,
+    CoverageGreedySolver,
+    IlpSolver,
+    MaximalItemsetIndex,
+    MaxFreqItemsetsSolver,
+    Solution,
+    Solver,
+    VisibilityProblem,
+    available_algorithms,
+    explain,
+    make_solver,
+)
+from repro.variants import (
+    solve_categorical,
+    solve_cbd,
+    solve_numeric,
+    solve_per_attribute,
+    solve_topk,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Schema",
+    "BooleanTable",
+    "VisibilityProblem",
+    "Solution",
+    "Solver",
+    "BruteForceSolver",
+    "IlpSolver",
+    "MaxFreqItemsetsSolver",
+    "MaximalItemsetIndex",
+    "ConsumeAttrSolver",
+    "ConsumeAttrCumulSolver",
+    "ConsumeQueriesSolver",
+    "CoverageGreedySolver",
+    "make_solver",
+    "available_algorithms",
+    "explain",
+    "OPTIMAL_ALGORITHMS",
+    "GREEDY_ALGORITHMS",
+    "solve_cbd",
+    "solve_per_attribute",
+    "solve_topk",
+    "solve_categorical",
+    "solve_numeric",
+]

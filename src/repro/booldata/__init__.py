@@ -1,0 +1,44 @@
+"""Boolean data model: schemas, tuples-as-bitsets, tables, query logs.
+
+This is the substrate every problem variant ultimately reduces to.  A
+:class:`Schema` names the ``M`` Boolean attributes; a tuple or a query is
+an ``int`` bitmask over that schema; a :class:`BooleanTable` is an
+ordered collection of masks sharing a schema and serves both as the
+product database ``D`` and as the query log ``Q`` of the paper.
+"""
+
+from repro.booldata.io import (
+    load_table_csv,
+    load_table_json,
+    save_table_csv,
+    save_table_json,
+)
+from repro.booldata.ops import (
+    complement_table,
+    compress_tuple,
+    dominates,
+    satisfies,
+    satisfied_count,
+    satisfied_queries,
+)
+from repro.booldata.schema import Schema
+from repro.booldata.skyline import dominators_of, skyline, skyline_indices
+from repro.booldata.table import BooleanTable
+
+__all__ = [
+    "Schema",
+    "BooleanTable",
+    "dominates",
+    "satisfies",
+    "satisfied_count",
+    "satisfied_queries",
+    "compress_tuple",
+    "complement_table",
+    "skyline",
+    "skyline_indices",
+    "dominators_of",
+    "load_table_csv",
+    "save_table_csv",
+    "load_table_json",
+    "save_table_json",
+]

@@ -1,0 +1,83 @@
+"""Loading and saving Boolean tables.
+
+Practical adapters so the library works on a user's own catalog exports
+without hand-building bitmasks:
+
+* **CSV** — header row of attribute names, then 0/1 rows (the shape of
+  the paper's Fig 1 tables);
+* **JSON** — ``{"attributes": [...], "rows": [["ac", "turbo"], ...]}``,
+  rows as attribute-name lists (the shape of a query log export).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.booldata.schema import Schema
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+
+__all__ = [
+    "load_table_csv",
+    "save_table_csv",
+    "load_table_json",
+    "save_table_json",
+]
+
+
+def load_table_csv(path: str | Path) -> BooleanTable:
+    """Read a 0/1 table with a header of attribute names."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValidationError(f"{path} is empty") from None
+        schema = Schema([name.strip() for name in header])
+        rows = []
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != schema.width:
+                raise ValidationError(
+                    f"{path}:{line_number}: expected {schema.width} cells, got {len(row)}"
+                )
+            try:
+                bits = [int(cell) for cell in row]
+            except ValueError:
+                raise ValidationError(
+                    f"{path}:{line_number}: non-integer cell in {row!r}"
+                ) from None
+            rows.append(schema.mask_from_bits(bits))
+    return BooleanTable(schema, rows)
+
+
+def save_table_csv(table: BooleanTable, path: str | Path) -> None:
+    """Write a table as a 0/1 CSV with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.names)
+        for row in table:
+            writer.writerow(table.schema.bits_from_mask(row))
+
+
+def load_table_json(path: str | Path) -> BooleanTable:
+    """Read ``{"attributes": [...], "rows": [[name, ...], ...]}``."""
+    path = Path(path)
+    with path.open() as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "attributes" not in payload or "rows" not in payload:
+        raise ValidationError(f"{path}: expected keys 'attributes' and 'rows'")
+    schema = Schema(payload["attributes"])
+    return BooleanTable.from_name_rows(schema, payload["rows"])
+
+
+def save_table_json(table: BooleanTable, path: str | Path) -> None:
+    """Write a table as attribute-name rows."""
+    payload = {
+        "attributes": list(table.schema.names),
+        "rows": [table.schema.names_of(row) for row in table],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))

@@ -1,0 +1,87 @@
+"""Tuple/query operations from Section II of the paper.
+
+* **Domination** — ``t2`` dominates ``t1`` iff every attribute set in
+  ``t1`` is also set in ``t2``.
+* **Satisfaction** — a conjunctive Boolean query ``q`` retrieves tuple
+  ``t`` iff ``t`` dominates ``q`` (a query is a "special type of tuple").
+* **Compression** — ``t'`` is a compression of ``t`` to ``m`` attributes
+  iff ``t' ⊆ t`` and ``|t'| = m``.
+* **Complementation** — flipping every bit of every row, the reduction
+  that turns "query is subset of tuple" into itemset *support*.
+"""
+
+from __future__ import annotations
+
+from repro.booldata.table import BooleanTable
+from repro.common.bits import bit_count, is_subset, mask_complement
+from repro.common.errors import ValidationError
+
+__all__ = [
+    "dominates",
+    "satisfies",
+    "satisfied_queries",
+    "satisfied_count",
+    "dominated_count",
+    "compress_tuple",
+    "is_compression",
+    "complement_table",
+]
+
+
+def dominates(big: int, small: int) -> bool:
+    """True iff tuple ``big`` dominates tuple ``small`` (small ⊆ big)."""
+    return is_subset(small, big)
+
+
+def satisfies(query: int, tup: int) -> bool:
+    """True iff conjunctive query ``query`` retrieves tuple ``tup``."""
+    return is_subset(query, tup)
+
+
+def satisfied_queries(log: BooleanTable, tup: int) -> list[int]:
+    """Indices of the log queries that retrieve ``tup``."""
+    log.schema.validate_mask(tup)
+    return [index for index, query in enumerate(log) if is_subset(query, tup)]
+
+
+def satisfied_count(log: BooleanTable, tup: int) -> int:
+    """Number of log queries that retrieve ``tup``.
+
+    This is the objective function of SOC-CB-QL.
+    """
+    log.schema.validate_mask(tup)
+    return sum(1 for query in log if query & tup == query)
+
+
+def dominated_count(database: BooleanTable, tup: int) -> int:
+    """Number of database tuples dominated by ``tup`` (SOC-CB-D objective)."""
+    return satisfied_count(database, tup)
+
+
+def compress_tuple(tup: int, keep: int) -> int:
+    """Compress ``tup`` by keeping exactly the attributes in ``keep``.
+
+    ``keep`` must be a subset of ``tup`` — the seller can only advertise
+    attributes the product actually has.
+    """
+    if not is_subset(keep, tup):
+        raise ValidationError(
+            f"keep-mask {bin(keep)} selects attributes absent from tuple {bin(tup)}"
+        )
+    return keep
+
+
+def is_compression(original: int, compressed: int, m: int) -> bool:
+    """True iff ``compressed`` keeps at most ``m`` attributes of ``original``."""
+    return is_subset(compressed, original) and bit_count(compressed) <= m
+
+
+def complement_table(table: BooleanTable) -> BooleanTable:
+    """Complement every row within the table's schema (``~Q`` of the paper).
+
+    Note: the solvers never materialise this dense table — support in
+    ``~Q`` is counted directly as ``#{q : q & I == 0}`` — but the explicit
+    construction is kept for tests and for the reference miners.
+    """
+    width = table.schema.width
+    return BooleanTable(table.schema, (mask_complement(row, width) for row in table))

@@ -1,0 +1,118 @@
+"""Attribute schemas.
+
+A :class:`Schema` fixes the universe of Boolean attributes: their count
+``M``, their names, and the mapping between names and bit positions.
+Tuples and queries over the schema are plain ``int`` bitmasks; the schema
+provides the conversions to and from human-readable attribute sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.common.bits import bit_indices, from_indices, full_mask
+from repro.common.errors import ValidationError
+
+__all__ = ["Schema"]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Immutable ordered set of named Boolean attributes.
+
+    >>> schema = Schema(["ac", "four_door", "turbo"])
+    >>> schema.width
+    3
+    >>> schema.mask_of(["ac", "turbo"])
+    5
+    >>> schema.names_of(5)
+    ['ac', 'turbo']
+    """
+
+    names: tuple[str, ...]
+    _index: dict[str, int] = field(init=False, repr=False, compare=False)
+
+    def __init__(self, names: Sequence[str]) -> None:
+        names_tuple = tuple(names)
+        if not names_tuple:
+            raise ValidationError("schema needs at least one attribute")
+        index = {}
+        for position, name in enumerate(names_tuple):
+            if not isinstance(name, str) or not name:
+                raise ValidationError(f"attribute name must be a non-empty string, got {name!r}")
+            if name in index:
+                raise ValidationError(f"duplicate attribute name {name!r}")
+            index[name] = position
+        object.__setattr__(self, "names", names_tuple)
+        object.__setattr__(self, "_index", index)
+
+    @classmethod
+    def anonymous(cls, width: int, prefix: str = "a") -> "Schema":
+        """Schema with attributes ``a0 .. a{width-1}``."""
+        return cls([f"{prefix}{i}" for i in range(width)])
+
+    @property
+    def width(self) -> int:
+        """Number of attributes ``M``."""
+        return len(self.names)
+
+    @property
+    def full(self) -> int:
+        """Mask with every attribute set."""
+        return full_mask(self.width)
+
+    def index_of(self, name: str) -> int:
+        """Bit position of attribute ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ValidationError(f"unknown attribute {name!r}") from None
+
+    def mask_of(self, names: Iterable[str]) -> int:
+        """Bitmask for a set of attribute names."""
+        return from_indices(self.index_of(name) for name in names)
+
+    def names_of(self, mask: int) -> list[str]:
+        """Attribute names present in ``mask``, in schema order."""
+        self.validate_mask(mask)
+        return [self.names[i] for i in bit_indices(mask)]
+
+    def validate_mask(self, mask: int) -> int:
+        """Check that ``mask`` only uses bits of this schema; return it."""
+        if not isinstance(mask, int):
+            raise ValidationError(f"mask must be an int bitmask, got {type(mask).__name__}")
+        if mask < 0 or mask & ~self.full:
+            raise ValidationError(
+                f"mask {bin(mask)} out of range for schema of width {self.width}"
+            )
+        return mask
+
+    def mask_from_bits(self, bits: Sequence[int]) -> int:
+        """Bitmask from a 0/1 vector in schema order (paper's bit-vector).
+
+        >>> Schema.anonymous(3).mask_from_bits([1, 0, 1])
+        5
+        """
+        if len(bits) != self.width:
+            raise ValidationError(
+                f"bit-vector has length {len(bits)}, schema width is {self.width}"
+            )
+        mask = 0
+        for position, bit in enumerate(bits):
+            if bit not in (0, 1, False, True):
+                raise ValidationError(f"bit-vector entries must be 0/1, got {bit!r}")
+            if bit:
+                mask |= 1 << position
+        return mask
+
+    def bits_from_mask(self, mask: int) -> list[int]:
+        """0/1 vector in schema order for ``mask``."""
+        self.validate_mask(mask)
+        return [(mask >> i) & 1 for i in range(self.width)]
+
+    def restrict(self, names: Sequence[str]) -> tuple["Schema", dict[int, int]]:
+        """Sub-schema over ``names`` plus an old-bit -> new-bit mapping."""
+        sub = Schema(names)
+        mapping = {self.index_of(name): sub.index_of(name) for name in names}
+        return sub, mapping

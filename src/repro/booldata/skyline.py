@@ -1,0 +1,65 @@
+"""Domination skylines over Boolean tables.
+
+The paper's related work (DADA, "dominating your neighborhood")
+analyzes product *dominance*; the primitive both build on is the
+skyline: the tuples not strictly dominated by any other tuple.  Over
+Boolean feature vectors ``t2`` dominates ``t1`` when ``t1 ⊆ t2``, so
+the skyline is the set of subset-maximal rows — the products whose
+feature sets nobody else strictly covers.
+
+Useful here to size up the competition before inserting a new product:
+a new tuple only ever needs to be compared against the skyline.
+"""
+
+from __future__ import annotations
+
+from repro.booldata.table import BooleanTable
+from repro.common.bits import is_subset
+
+__all__ = ["skyline", "skyline_indices", "dominators_of"]
+
+
+def skyline_indices(table: BooleanTable) -> list[int]:
+    """Indices of the subset-maximal rows (first occurrence per mask).
+
+    Duplicates: only the first copy of each distinct maximal mask is
+    reported (a duplicate does not *strictly* dominate its twin, but the
+    skyline is a set of products, not of masks).
+    """
+    rows = table.rows
+    by_size = sorted(
+        range(len(rows)), key=lambda index: (-rows[index].bit_count(), index)
+    )
+    chosen_masks: list[int] = []
+    chosen: list[int] = []
+    seen: set[int] = set()
+    for index in by_size:
+        mask = rows[index]
+        if mask in seen:
+            continue
+        if any(is_subset(mask, other) for other in chosen_masks):
+            continue
+        seen.add(mask)
+        chosen_masks.append(mask)
+        chosen.append(index)
+    chosen.sort()
+    return chosen
+
+
+def skyline(table: BooleanTable) -> BooleanTable:
+    """The skyline rows as a new table (original row order)."""
+    return BooleanTable(table.schema, [table[i] for i in skyline_indices(table)])
+
+
+def dominators_of(table: BooleanTable, tuple_mask: int) -> list[int]:
+    """Indices of rows strictly dominating ``tuple_mask``.
+
+    An empty result means the new product is itself on (or above) the
+    market's skyline.
+    """
+    table.schema.validate_mask(tuple_mask)
+    return [
+        index
+        for index, row in enumerate(table)
+        if row != tuple_mask and is_subset(tuple_mask, row)
+    ]

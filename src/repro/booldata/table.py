@@ -1,0 +1,132 @@
+"""Boolean tables: the database ``D`` and the query log ``Q``.
+
+A :class:`BooleanTable` is an ordered, indexable collection of bitmasks
+over a shared :class:`~repro.booldata.schema.Schema`.  It is used for
+both roles in the paper: rows of the product database and queries of the
+log are structurally identical (the paper itself notes that a query "may
+be viewed as a special type of tuple").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.booldata.schema import Schema
+from repro.common.bits import bit_count
+from repro.common.errors import ValidationError
+
+__all__ = ["BooleanTable"]
+
+
+class BooleanTable:
+    """Ordered collection of bitmask rows over one schema.
+
+    >>> schema = Schema.anonymous(3)
+    >>> table = BooleanTable(schema, [0b101, 0b011])
+    >>> len(table)
+    2
+    >>> table[0]
+    5
+    """
+
+    __slots__ = ("schema", "_rows")
+
+    def __init__(self, schema: Schema, rows: Iterable[int] = ()) -> None:
+        self.schema = schema
+        self._rows: list[int] = [schema.validate_mask(row) for row in rows]
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_bit_rows(cls, schema: Schema, bit_rows: Iterable[Sequence[int]]) -> "BooleanTable":
+        """Build from 0/1 row vectors in schema order (the paper's tables)."""
+        return cls(schema, (schema.mask_from_bits(bits) for bits in bit_rows))
+
+    @classmethod
+    def from_name_rows(cls, schema: Schema, name_rows: Iterable[Iterable[str]]) -> "BooleanTable":
+        """Build from rows given as attribute-name sets."""
+        return cls(schema, (schema.mask_of(names) for names in name_rows))
+
+    def append(self, row: int) -> None:
+        self._rows.append(self.schema.validate_mask(row))
+
+    def extend(self, rows: Iterable[int]) -> None:
+        for row in rows:
+            self.append(row)
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> int:
+        return self._rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BooleanTable):
+            return NotImplemented
+        return self.schema == other.schema and self._rows == other._rows
+
+    def __repr__(self) -> str:
+        return f"BooleanTable(width={self.schema.width}, rows={len(self._rows)})"
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def rows(self) -> list[int]:
+        """The row masks (a copy; the table itself stays encapsulated)."""
+        return list(self._rows)
+
+    def attribute_frequencies(self) -> list[int]:
+        """Per-attribute occurrence counts across rows.
+
+        This is exactly the statistic the ``ConsumeAttr`` greedy ranks by.
+        """
+        counts = [0] * self.schema.width
+        for row in self._rows:
+            remaining = row
+            while remaining:
+                low = remaining & -remaining
+                counts[low.bit_length() - 1] += 1
+                remaining ^= low
+        return counts
+
+    def density(self) -> float:
+        """Fraction of 1s in the bit matrix (0 for an empty table)."""
+        if not self._rows:
+            return 0.0
+        ones = sum(bit_count(row) for row in self._rows)
+        return ones / (len(self._rows) * self.schema.width)
+
+    def row_sizes(self) -> list[int]:
+        """Number of set attributes of each row."""
+        return [bit_count(row) for row in self._rows]
+
+    # -- transforms ----------------------------------------------------------
+
+    def filtered(self, predicate) -> "BooleanTable":
+        """New table with the rows for which ``predicate(mask)`` holds."""
+        return BooleanTable(self.schema, (row for row in self._rows if predicate(row)))
+
+    def projected(self, names: Sequence[str]) -> "BooleanTable":
+        """Project rows onto a sub-schema of named attributes."""
+        sub_schema, mapping = self.schema.restrict(names)
+        projected_rows = []
+        for row in self._rows:
+            new_row = 0
+            for old_bit, new_bit in mapping.items():
+                if row >> old_bit & 1:
+                    new_row |= 1 << new_bit
+            projected_rows.append(new_row)
+        return BooleanTable(sub_schema, projected_rows)
+
+    def sample(self, count: int, rng) -> "BooleanTable":
+        """Random sample of ``count`` distinct rows (seeded by caller)."""
+        if count > len(self._rows):
+            raise ValidationError(
+                f"cannot sample {count} rows from a table of {len(self._rows)}"
+            )
+        return BooleanTable(self.schema, rng.sample(self._rows, count))

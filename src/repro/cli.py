@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro``.
+
+Solve attribute-selection instances from CSV/JSON files without writing
+code::
+
+    python -m repro algorithms
+    python -m repro solve --log queries.csv --tuple ac,four_door,power_doors \
+        --budget 3 --algorithm MaxFreqItemSets --explain
+    python -m repro solve --log queries.json --tuple-row 0 --database cars.csv \
+        --budget 5
+
+``--log`` accepts a ``.csv`` (0/1 matrix with header) or ``.json``
+(attribute-name rows) file; the new tuple is either a comma-separated
+attribute-name list (``--tuple``) or a row index of ``--database``
+(``--tuple-row``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.booldata import BooleanTable, load_table_csv, load_table_json
+from repro.common.errors import ReproError
+from repro.core import available_algorithms, make_solver
+from repro.core.problem import VisibilityProblem
+from repro.core.report import explain
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_table(path: str) -> BooleanTable:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        return load_table_csv(path)
+    if suffix == ".json":
+        return load_table_json(path)
+    raise ReproError(f"unsupported table format {suffix!r} (use .csv or .json)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Selecting attributes for maximum visibility (ICDE 2008).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("algorithms", help="list available algorithms")
+
+    profile = commands.add_parser("profile", help="profile a query log")
+    profile.add_argument("--log", required=True, help="query log (.csv or .json)")
+    profile.add_argument(
+        "--pairs", type=int, default=5, help="co-occurring pairs to show (default 5)"
+    )
+
+    solve = commands.add_parser("solve", help="solve one SOC-CB-QL instance")
+    solve.add_argument("--log", required=True, help="query log (.csv or .json)")
+    solve.add_argument(
+        "--tuple",
+        dest="tuple_names",
+        help="comma-separated attribute names of the new tuple",
+    )
+    solve.add_argument(
+        "--tuple-row",
+        dest="tuple_row",
+        type=int,
+        help="use this row of --database (or of --log) as the new tuple",
+    )
+    solve.add_argument(
+        "--database",
+        help="product database (.csv/.json); enables --tuple-row and SOC-CB-D",
+    )
+    solve.add_argument("--budget", "-m", type=int, required=True, help="attributes to retain")
+    solve.add_argument(
+        "--algorithm",
+        default="MaxFreqItemSets",
+        help="algorithm name (see `algorithms`); default MaxFreqItemSets",
+    )
+    solve.add_argument(
+        "--against-database",
+        action="store_true",
+        help="SOC-CB-D: maximize dominated database rows instead of log queries",
+    )
+    solve.add_argument("--explain", action="store_true", help="print a full report")
+    solve.add_argument(
+        "--certify",
+        action="store_true",
+        help="bound the optimality gap via the LP relaxation (one simplex solve)",
+    )
+    return parser
+
+
+def _resolve_tuple(args, log: BooleanTable, database: BooleanTable | None) -> int:
+    if (args.tuple_names is None) == (args.tuple_row is None):
+        raise ReproError("provide exactly one of --tuple or --tuple-row")
+    if args.tuple_names is not None:
+        names = [name.strip() for name in args.tuple_names.split(",") if name.strip()]
+        return log.schema.mask_of(names)
+    source = database if database is not None else log
+    if not 0 <= args.tuple_row < len(source):
+        raise ReproError(
+            f"--tuple-row {args.tuple_row} out of range for {len(source)} rows"
+        )
+    return source[args.tuple_row]
+
+
+def _run_solve(args) -> int:
+    log = _load_table(args.log)
+    database = _load_table(args.database) if args.database else None
+    if database is not None and database.schema != log.schema:
+        raise ReproError("--database and --log use different schemas")
+    new_tuple = _resolve_tuple(args, log, database)
+
+    target = log
+    if args.against_database:
+        if database is None:
+            raise ReproError("--against-database requires --database")
+        target = database
+    problem = VisibilityProblem(target, new_tuple, args.budget)
+    solver = make_solver(args.algorithm)
+    solution = solver.solve(problem)
+
+    if args.explain:
+        print(explain(solution).to_text())
+    else:
+        kind = "exact" if solution.optimal else "heuristic"
+        objective = "rows dominated" if args.against_database else "queries satisfied"
+        print(f"{solution.algorithm} ({kind})")
+        print(f"keep: {', '.join(solution.kept_attributes) or '(nothing)'}")
+        print(f"{objective}: {solution.satisfied} of {len(target)}")
+    if args.certify:
+        from repro.core.bounds import certify
+
+        print(f"certificate: {certify(problem, solution)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "algorithms":
+            for name in available_algorithms():
+                solver = make_solver(name)
+                kind = "exact  " if solver.optimal else "greedy "
+                print(f"{kind} {name}")
+            return 0
+        if args.command == "profile":
+            from repro.data.stats import profile_workload
+
+            print(profile_workload(_load_table(args.log), top_pairs=args.pairs).to_text())
+            return 0
+        return _run_solve(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Shared low-level utilities used by every subsystem.
+
+The modules here deliberately have no dependencies on the rest of the
+package so that every substrate (Boolean data model, LP solver, itemset
+miner, ...) can build on them without import cycles.
+"""
+
+from repro.common.bits import (
+    bit_count,
+    bit_indices,
+    first_bit,
+    from_indices,
+    full_mask,
+    is_subset,
+    iter_submasks,
+    mask_complement,
+    random_mask,
+)
+from repro.common.combinatorics import binomial, combinations_of_mask
+from repro.common.errors import (
+    InfeasibleProblemError,
+    ReproError,
+    SolverBudgetExceededError,
+    ValidationError,
+)
+from repro.common.estimates import good_turing_unseen_estimate
+from repro.common.rng import ensure_rng
+from repro.common.tables import format_table
+from repro.common.timing import Stopwatch, time_call
+
+__all__ = [
+    "bit_count",
+    "bit_indices",
+    "first_bit",
+    "from_indices",
+    "full_mask",
+    "is_subset",
+    "iter_submasks",
+    "mask_complement",
+    "random_mask",
+    "binomial",
+    "combinations_of_mask",
+    "ReproError",
+    "ValidationError",
+    "InfeasibleProblemError",
+    "SolverBudgetExceededError",
+    "good_turing_unseen_estimate",
+    "ensure_rng",
+    "format_table",
+    "Stopwatch",
+    "time_call",
+]

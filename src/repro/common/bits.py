@@ -1,0 +1,133 @@
+"""Bitmask helpers.
+
+Throughout the library, a set of attributes over a schema of ``width``
+attributes is represented as a Python ``int`` used as a bitset: bit ``i``
+is set iff attribute ``i`` is present.  Python ints are arbitrary
+precision, so the same representation covers the 6-attribute running
+example of the paper and text corpora with thousands of keywords.
+
+The key identities the algorithms rely on:
+
+* ``q`` is a subset of ``t``        <=>  ``q & t == q``
+* complement of ``s``               ==   ``s ^ full_mask(width)``
+* support of itemset ``I`` in the complemented query log
+  ``#{q : ~q >= I}``                ==   ``#{q : q & I == 0}``
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "full_mask",
+    "is_subset",
+    "bit_count",
+    "bit_indices",
+    "first_bit",
+    "from_indices",
+    "mask_complement",
+    "iter_submasks",
+    "random_mask",
+]
+
+
+def full_mask(width: int) -> int:
+    """Return the mask with the ``width`` lowest bits set.
+
+    >>> full_mask(4)
+    15
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def is_subset(sub: int, sup: int) -> bool:
+    """Return True iff every bit of ``sub`` is set in ``sup``.
+
+    >>> is_subset(0b0101, 0b1101)
+    True
+    >>> is_subset(0b0011, 0b0101)
+    False
+    """
+    return sub & sup == sub
+
+
+def bit_count(mask: int) -> int:
+    """Return the number of set bits (the size of the attribute set)."""
+    return mask.bit_count()
+
+
+def bit_indices(mask: int) -> list[int]:
+    """Return the sorted list of set-bit positions.
+
+    >>> bit_indices(0b1010)
+    [1, 3]
+    """
+    indices = []
+    index = 0
+    while mask:
+        if mask & 1:
+            indices.append(index)
+        mask >>= 1
+        index += 1
+    return indices
+
+
+def first_bit(mask: int) -> int:
+    """Return the position of the lowest set bit.
+
+    >>> first_bit(0b1010)
+    1
+    """
+    if mask == 0:
+        raise ValueError("mask has no set bits")
+    return (mask & -mask).bit_length() - 1
+
+
+def from_indices(indices: Iterable[int]) -> int:
+    """Build a mask from attribute indices.
+
+    >>> from_indices([0, 2])
+    5
+    """
+    mask = 0
+    for index in indices:
+        if index < 0:
+            raise ValueError(f"attribute index must be non-negative, got {index}")
+        mask |= 1 << index
+    return mask
+
+
+def mask_complement(mask: int, width: int) -> int:
+    """Complement ``mask`` within a schema of ``width`` attributes.
+
+    >>> bin(mask_complement(0b0101, 4))
+    '0b1010'
+    """
+    full = full_mask(width)
+    if mask & ~full:
+        raise ValueError(f"mask {bin(mask)} has bits outside width {width}")
+    return mask ^ full
+
+
+def iter_submasks(mask: int) -> Iterator[int]:
+    """Yield every submask of ``mask`` including ``0`` and ``mask`` itself.
+
+    Uses the classic ``(sub - 1) & mask`` enumeration, which visits the
+    ``2**popcount(mask)`` submasks in decreasing numeric order.
+    """
+    sub = mask
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & mask
+
+
+def random_mask(width: int, size: int, rng: random.Random) -> int:
+    """Return a uniformly random mask with exactly ``size`` bits set."""
+    if not 0 <= size <= width:
+        raise ValueError(f"size {size} out of range for width {width}")
+    return from_indices(rng.sample(range(width), size))

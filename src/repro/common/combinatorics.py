@@ -1,0 +1,39 @@
+"""Small combinatorial helpers over bitmasks."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+from itertools import combinations
+
+from repro.common.bits import bit_indices, from_indices
+
+__all__ = ["binomial", "combinations_of_mask", "count_combinations_of_mask"]
+
+
+def binomial(n: int, k: int) -> int:
+    """Binomial coefficient C(n, k); 0 when k is out of range.
+
+    >>> binomial(6, 2)
+    15
+    >>> binomial(3, 5)
+    0
+    """
+    if k < 0 or k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def combinations_of_mask(mask: int, size: int) -> Iterator[int]:
+    """Yield every submask of ``mask`` with exactly ``size`` bits.
+
+    >>> sorted(combinations_of_mask(0b111, 2))
+    [3, 5, 6]
+    """
+    for chosen in combinations(bit_indices(mask), size):
+        yield from_indices(chosen)
+
+
+def count_combinations_of_mask(mask: int, size: int) -> int:
+    """Number of submasks of ``mask`` with exactly ``size`` bits."""
+    return binomial(mask.bit_count(), size)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the library.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch everything library-specific
+with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "InfeasibleProblemError",
+    "SolverBudgetExceededError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input (schema, tuple, query log, parameter) is malformed."""
+
+
+class InfeasibleProblemError(ReproError):
+    """An optimization problem has no feasible solution."""
+
+
+class SolverBudgetExceededError(ReproError):
+    """A solver exhausted its iteration / node / time budget.
+
+    Raised instead of silently returning a possibly sub-optimal answer, so
+    that the exactness contract of the optimal algorithms is never broken
+    behind the caller's back.
+    """
+
+    def __init__(self, message: str, best_known: object = None) -> None:
+        super().__init__(message)
+        #: best incumbent found before the budget ran out (may be ``None``)
+        self.best_known = best_known

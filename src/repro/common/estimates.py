@@ -1,0 +1,38 @@
+"""Statistical estimates used by the random-walk miner.
+
+The paper stops its two-phase random walk once "each discovered maximal
+frequent itemset has been discovered at least twice", motivated by the
+Good-Turing estimate of the unseen mass [Good, Biometrika 1953]: the
+probability that the next draw is a *new* object is approximately
+``n1 / N`` where ``n1`` is the number of objects seen exactly once and
+``N`` the number of draws so far.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+__all__ = ["good_turing_unseen_estimate", "singleton_count"]
+
+
+def singleton_count(discovery_counts: Iterable[int]) -> int:
+    """Number of objects observed exactly once."""
+    return sum(1 for count in discovery_counts if count == 1)
+
+
+def good_turing_unseen_estimate(observations: Iterable[object]) -> float:
+    """Good-Turing estimate of the probability the next draw is unseen.
+
+    ``observations`` is the full sequence of draws (with repetitions).
+    Returns ``n1 / N``, and ``1.0`` for an empty sequence (everything is
+    unseen before the first draw).
+
+    >>> good_turing_unseen_estimate(["a", "a", "b", "c"])
+    0.5
+    """
+    counts = Counter(observations)
+    total = sum(counts.values())
+    if total == 0:
+        return 1.0
+    return singleton_count(counts.values()) / total

@@ -1,0 +1,35 @@
+"""Seeding helpers.
+
+Every randomized component of the library takes either an integer seed or
+an already-constructed :class:`random.Random`; :func:`ensure_rng`
+normalizes both to a ``Random`` instance.  Passing ``None`` yields a
+fresh, OS-seeded generator (useful interactively, avoided in tests).
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["ensure_rng", "spawn_rng"]
+
+
+def ensure_rng(seed: int | random.Random | None) -> random.Random:
+    """Return a ``random.Random`` for ``seed``.
+
+    * ``Random`` instance  -> returned unchanged (shared state).
+    * ``int``              -> new generator seeded with it.
+    * ``None``             -> new OS-seeded generator.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def spawn_rng(rng: random.Random, stream: int) -> random.Random:
+    """Derive an independent child generator from ``rng``.
+
+    Used when one seeded experiment needs several decoupled random
+    streams (e.g. dataset vs. workload) so that changing how many numbers
+    one stream consumes does not perturb the other.
+    """
+    return random.Random((rng.getrandbits(64) << 16) ^ stream)

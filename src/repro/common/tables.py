@@ -1,0 +1,73 @@
+"""Plain-text table formatting for experiment output.
+
+The experiment harness prints the same rows/series the paper's figures
+plot; this module renders them as aligned monospace tables so the output
+is directly comparable to the figures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    >>> print(format_table(["m", "time"], [[1, 0.5], [2, 1.25]]))
+    m  time
+    -  ----
+    1  0.5
+    2  1.25
+    """
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+    widths = [
+        max(len(header), *(len(row[col]) for row in rendered)) if rendered else len(header)
+        for col, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)).rstrip(),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+) -> str:
+    """Render one x-column plus one column per named series.
+
+    This mirrors a line plot: ``series`` maps a legend label to the y
+    values for each x.  Missing points may be ``None`` (rendered ``-``),
+    matching the paper's figures where ILP measurements are absent for
+    large query logs.
+    """
+    headers = [x_name, *series.keys()]
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row: list[object] = [x_value]
+        for values in series.values():
+            value = values[index] if index < len(values) else None
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,56 @@
+"""The paper's core algorithms for SOC-CB-QL.
+
+Exact: :class:`BruteForceSolver`, :class:`IlpSolver`,
+:class:`MaxFreqItemsetsSolver` (with :class:`MaximalItemsetIndex`
+preprocessing).  Greedy: :class:`ConsumeAttrSolver`,
+:class:`ConsumeAttrCumulSolver`, :class:`ConsumeQueriesSolver`, plus the
+:class:`CoverageGreedySolver` extension.
+"""
+
+from repro.core.base import Solver
+from repro.core.bounds import GapCertificate, certify, lp_upper_bound
+from repro.core.brute_force import BruteForceSolver
+from repro.core.greedy import (
+    ConsumeAttrCumulSolver,
+    ConsumeAttrSolver,
+    ConsumeQueriesSolver,
+    CoverageGreedySolver,
+)
+from repro.core.ilp import IlpSolver, build_soc_model
+from repro.core.itemsets import MaximalItemsetIndex, MaxFreqItemsetsSolver
+from repro.core.local_search import LocalSearchSolver
+from repro.core.problem import Solution, VisibilityProblem
+from repro.core.report import SolutionReport, explain
+from repro.core.registry import (
+    GREEDY_ALGORITHMS,
+    OPTIMAL_ALGORITHMS,
+    SOLVERS,
+    available_algorithms,
+    make_solver,
+)
+
+__all__ = [
+    "VisibilityProblem",
+    "Solution",
+    "Solver",
+    "BruteForceSolver",
+    "IlpSolver",
+    "build_soc_model",
+    "MaxFreqItemsetsSolver",
+    "MaximalItemsetIndex",
+    "ConsumeAttrSolver",
+    "ConsumeAttrCumulSolver",
+    "ConsumeQueriesSolver",
+    "CoverageGreedySolver",
+    "LocalSearchSolver",
+    "SOLVERS",
+    "OPTIMAL_ALGORITHMS",
+    "GREEDY_ALGORITHMS",
+    "make_solver",
+    "available_algorithms",
+    "explain",
+    "SolutionReport",
+    "certify",
+    "lp_upper_bound",
+    "GapCertificate",
+]

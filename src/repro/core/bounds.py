@@ -1,0 +1,101 @@
+"""Optimality certificates without exact solves.
+
+The LP relaxation of the paper's ILP is a cheap *upper bound* on the
+optimum: any heuristic answer can be certified as "within x% of
+optimal" by one simplex solve instead of a full branch-and-bound.  On
+large logs this is how a seller can trust ConsumeAttr's pick without
+paying for exactness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.bits import bit_count
+from repro.common.errors import ValidationError
+from repro.core.ilp import build_soc_model
+from repro.core.problem import Solution, VisibilityProblem
+from repro.lp.simplex import SimplexSolver
+from repro.lp.solution import SolveStatus
+
+__all__ = ["GapCertificate", "lp_upper_bound", "certify"]
+
+
+@dataclass(frozen=True)
+class GapCertificate:
+    """Proof that a value is within ``gap`` of the (unknown) optimum."""
+
+    value: int
+    upper_bound: float
+
+    @property
+    def ratio(self) -> float:
+        """value / upper_bound — a guaranteed approximation factor."""
+        if self.upper_bound <= 0:
+            return 1.0
+        return min(1.0, self.value / self.upper_bound)
+
+    @property
+    def gap(self) -> float:
+        """Largest possible shortfall from the optimum (query count)."""
+        return max(0.0, math.floor(self.upper_bound + 1e-9) - self.value)
+
+    @property
+    def is_provably_optimal(self) -> bool:
+        """True when the integral value meets the rounded-down LP bound."""
+        return self.value >= math.floor(self.upper_bound + 1e-9)
+
+    def __str__(self) -> str:
+        if self.is_provably_optimal:
+            return f"{self.value} satisfied (provably optimal)"
+        return (
+            f"{self.value} satisfied — at least {self.ratio:.0%} of the optimum "
+            f"(LP bound {self.upper_bound:.2f})"
+        )
+
+
+def lp_upper_bound(problem: VisibilityProblem) -> float:
+    """LP-relaxation upper bound on the SOC-CB-QL optimum.
+
+    Relaxes the retain decisions to ``x_j in [0, 1]`` and solves with
+    the native simplex.  Always at least the true optimum; the trivial
+    bound ``min(|satisfiable|, ...)`` is applied on top.
+    """
+    satisfiable = len(problem.satisfiable_queries)
+    if problem.budget == 0:
+        # only all-empty queries can match an empty compression
+        return float(sum(1 for query in problem.log if query == 0))
+    if satisfiable == 0:
+        return 0.0
+    model, _ = build_soc_model(problem)
+    compiled = model.compile()
+    relaxed = SimplexSolver().solve(
+        compiled.c,
+        compiled.a_ub,
+        compiled.b_ub,
+        compiled.a_eq,
+        compiled.b_eq,
+        compiled.low,
+        compiled.high,
+    )
+    if relaxed.status is not SolveStatus.OPTIMAL:
+        raise ValidationError(f"LP relaxation ended with status {relaxed.status}")
+    return min(float(satisfiable), compiled.model_objective(relaxed.objective))
+
+
+def certify(problem: VisibilityProblem, candidate: "Solution | int") -> GapCertificate:
+    """Certify a candidate solution (a :class:`Solution` or a keep-mask).
+
+    The certificate's ``ratio`` is a *guaranteed* approximation factor:
+    the true optimum lies in ``[value, upper_bound]``.
+    """
+    if isinstance(candidate, Solution):
+        keep_mask = candidate.keep_mask
+        value = candidate.satisfied
+    else:
+        keep_mask = candidate
+        value = problem.evaluate(keep_mask)
+    if bit_count(keep_mask) > problem.budget:
+        raise ValidationError("candidate exceeds the budget")
+    return GapCertificate(value, lp_upper_bound(problem))

@@ -1,0 +1,65 @@
+"""BruteForce-SOC-CB-QL (Section IV.A).
+
+Enumerate every ``m``-subset of the new tuple's attributes and keep the
+one satisfying the most queries.  Exponential, but exact — the oracle
+the whole test suite measures every other algorithm against.
+
+One pruning step beyond the paper's sketch: attributes that appear in no
+satisfiable query can be excluded from enumeration (they never change
+the objective), which shrinks ``C(|t|, m)`` to
+``C(|relevant|, min(m, |relevant|))`` without affecting optimality.
+The returned mask is padded back up to ``m`` attributes.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import bit_count
+from repro.common.combinatorics import binomial, combinations_of_mask
+from repro.common.errors import SolverBudgetExceededError
+from repro.core.base import Solver
+from repro.core.problem import Solution, VisibilityProblem
+
+__all__ = ["BruteForceSolver"]
+
+
+class BruteForceSolver(Solver):
+    """Exact solver by exhaustive subset enumeration."""
+
+    name = "BruteForce"
+    optimal = True
+
+    def __init__(self, prune_irrelevant: bool = True, max_subsets: int = 50_000_000) -> None:
+        self.prune_irrelevant = prune_irrelevant
+        self.max_subsets = max_subsets
+
+    def _solve(self, problem: VisibilityProblem) -> Solution:
+        queries = problem.satisfiable_queries
+        if self.prune_irrelevant:
+            pool = problem.relevant_attributes
+        else:
+            pool = problem.new_tuple
+        size = min(problem.budget, bit_count(pool))
+        subsets = binomial(bit_count(pool), size)
+        if subsets > self.max_subsets:
+            raise SolverBudgetExceededError(
+                f"brute force would enumerate {subsets} subsets "
+                f"(limit {self.max_subsets})"
+            )
+
+        best_mask = 0
+        best_satisfied = -1
+        enumerated = 0
+        for candidate in combinations_of_mask(pool, size):
+            enumerated += 1
+            satisfied = 0
+            for query in queries:
+                if query & candidate == query:
+                    satisfied += 1
+            if satisfied > best_satisfied:
+                best_satisfied = satisfied
+                best_mask = candidate
+        return self.make_solution(
+            problem,
+            best_mask,
+            stats={"subsets_enumerated": enumerated, "pruned_pool_size": bit_count(pool)},
+        )

@@ -1,0 +1,194 @@
+"""Greedy heuristics for SOC-CB-QL (Section IV.D).
+
+Three suboptimal but fast algorithms from the paper, plus one natural
+baseline the paper does not include:
+
+* :class:`ConsumeAttrSolver` — rank attributes by individual frequency
+  in the query log; keep the top ``m``.
+* :class:`ConsumeAttrCumulSolver` — cumulative version: start with the
+  most frequent attribute, then repeatedly add the attribute that
+  co-occurs most frequently with *all* already-selected attributes.
+  The paper leaves ties and all-zero co-occurrence unspecified; we break
+  ties (and the all-zero case) by individual frequency, documented here
+  and exercised in tests.
+* :class:`ConsumeQueriesSolver` — consume whole queries: repeatedly pick
+  the query introducing the fewest new attributes and take its
+  attributes, until ``m`` are selected.  Each iteration scans the whole
+  workload (the cost the paper calls out in Fig 10).  Unspecified
+  corners, resolved here: unsatisfiable queries (demanding attributes
+  the product lacks) are never picked, queries whose new attributes
+  overflow the remaining budget are skipped, and leftover budget is
+  filled with arbitrary tuple attributes.
+* :class:`CoverageGreedySolver` — *extension, not in the paper*: the
+  classic max-coverage greedy; each step keeps the attribute that
+  completes the most additional queries.  Used in ablation benchmarks
+  as a quality reference for the paper's greedies.
+
+All solvers restrict attention to attributes of the new tuple — the
+compressed tuple may only retain attributes the product has.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.common.bits import bit_count, bit_indices
+from repro.core.base import Solver
+from repro.core.problem import Solution, VisibilityProblem
+
+__all__ = [
+    "ConsumeAttrSolver",
+    "ConsumeAttrCumulSolver",
+    "ConsumeQueriesSolver",
+    "CoverageGreedySolver",
+]
+
+
+def _attribute_frequencies(queries: list[int], pool: int) -> Counter[int]:
+    """Occurrence counts of pool attributes across the queries."""
+    counts: Counter[int] = Counter()
+    for query in queries:
+        remaining = query & pool
+        while remaining:
+            low = remaining & -remaining
+            counts[low.bit_length() - 1] += 1
+            remaining ^= low
+    return counts
+
+
+class ConsumeAttrSolver(Solver):
+    """Keep the ``m`` individually most frequent attributes."""
+
+    name = "ConsumeAttr"
+    optimal = False
+
+    def _solve(self, problem: VisibilityProblem) -> Solution:
+        queries = problem.satisfiable_queries
+        counts = _attribute_frequencies(queries, problem.new_tuple)
+        ranked = sorted(
+            bit_indices(problem.new_tuple),
+            key=lambda attribute: (-counts.get(attribute, 0), attribute),
+        )
+        keep_mask = 0
+        for attribute in ranked[: problem.budget]:
+            keep_mask |= 1 << attribute
+        return self.make_solution(
+            problem, keep_mask, stats={"frequencies": dict(counts)}
+        )
+
+
+class ConsumeAttrCumulSolver(Solver):
+    """Cumulative co-occurrence greedy.
+
+    Step 1 picks the most frequent attribute; step ``k`` picks the
+    attribute maximizing the number of queries containing it *and* every
+    previously selected attribute, breaking ties (including the all-zero
+    case, common once the selected set outgrows typical query sizes) by
+    individual frequency.
+    """
+
+    name = "ConsumeAttrCumul"
+    optimal = False
+
+    def _solve(self, problem: VisibilityProblem) -> Solution:
+        queries = problem.satisfiable_queries
+        counts = _attribute_frequencies(queries, problem.new_tuple)
+        candidates = set(bit_indices(problem.new_tuple))
+        keep_mask = 0
+        for _ in range(problem.budget):
+            best_attribute = None
+            best_key: tuple[int, int, int] | None = None
+            for attribute in candidates:
+                bit = 1 << attribute
+                together = keep_mask | bit
+                cooccurrence = sum(
+                    1 for query in queries if query & together == together
+                )
+                key = (cooccurrence, counts.get(attribute, 0), -attribute)
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_attribute = attribute
+            if best_attribute is None:
+                break
+            keep_mask |= 1 << best_attribute
+            candidates.discard(best_attribute)
+        return self.make_solution(problem, keep_mask)
+
+
+class ConsumeQueriesSolver(Solver):
+    """Consume whole queries, cheapest (fewest new attributes) first.
+
+    Deliberately re-scans the whole workload at each iteration, as the
+    paper describes — this is why Fig 10 shows it consistently slower
+    than the other greedies.
+    """
+
+    name = "ConsumeQueries"
+    optimal = False
+
+    def _solve(self, problem: VisibilityProblem) -> Solution:
+        new_tuple = problem.new_tuple
+        keep_mask = 0
+        budget_left = problem.budget
+        consumed = 0
+        while budget_left > 0:
+            best_query = None
+            best_new = None
+            # Full pass over the whole workload each iteration, exactly as
+            # the paper describes ("we make a pass on the whole workload at
+            # each iteration") — this is what makes it the slowest greedy.
+            for query in problem.log:
+                if query & new_tuple != query:
+                    continue  # demands attributes the product lacks
+                new_attributes = bit_count(query & ~keep_mask)
+                if new_attributes == 0 or new_attributes > budget_left:
+                    continue  # already covered, or does not fit the budget
+                if best_new is None or new_attributes < best_new:
+                    best_new = new_attributes
+                    best_query = query
+            if best_query is None:
+                break  # no remaining query fits the budget
+            keep_mask |= best_query
+            budget_left = problem.budget - bit_count(keep_mask)
+            consumed += 1
+        return self.make_solution(
+            problem, keep_mask, stats={"queries_consumed": consumed}
+        )
+
+
+class CoverageGreedySolver(Solver):
+    """Extension: classic greedy max-coverage on completed queries.
+
+    Each step keeps the attribute whose addition *completes* the most
+    queries (all their attributes selected); ties broken by how many
+    still-incomplete queries the attribute appears in, then by index.
+    """
+
+    name = "CoverageGreedy"
+    optimal = False
+
+    def _solve(self, problem: VisibilityProblem) -> Solution:
+        queries = list(problem.satisfiable_queries)
+        keep_mask = 0
+        for _ in range(problem.budget):
+            best_attribute = None
+            best_key: tuple[int, int, int] | None = None
+            for attribute in bit_indices(problem.new_tuple & ~keep_mask):
+                bit = 1 << attribute
+                extended = keep_mask | bit
+                completed = 0
+                touched = 0
+                for query in queries:
+                    if query & extended == query:
+                        completed += 1
+                    elif query & bit:
+                        touched += 1
+                key = (completed, touched, -attribute)
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_attribute = attribute
+            if best_attribute is None:
+                break
+            keep_mask |= 1 << best_attribute
+            queries = [q for q in queries if q & keep_mask != q]
+        return self.make_solution(problem, keep_mask)

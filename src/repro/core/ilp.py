@@ -1,0 +1,130 @@
+"""ILP-SOC-CB-QL (Section IV.B).
+
+The integer *linear* program of the paper::
+
+    maximize    sum_i y_i
+    subject to  sum_j x_j <= m
+                y_i <= x_j          for each j, i with a_j in q_i
+                x_j in {0, 1}       if a_j(t) = 1, else x_j = 0
+                y_i in [0, 1]
+
+``x_j`` decides whether attribute ``j`` is retained; ``y_i`` can reach 1
+only when every attribute of query ``i`` is retained.  The ``y``
+variables need not be declared integral: with the budget on ``x`` and a
+maximization objective, each ``y_i`` rises to ``min_j x_j`` which is 0
+or 1 once the ``x`` are integral — declaring them continuous keeps the
+branch-and-bound tree over the ``x`` only (an optimisation ``lp_solve``
+users apply by hand; a constructor flag restores the paper's literal
+all-integer formulation).
+
+Two backends: our native simplex + branch-and-bound
+(:class:`~repro.lp.branch_and_bound.BranchAndBoundSolver`), and scipy's
+HiGHS (the "off-the-shelf solver" role ``lp_solve`` played in the
+paper).
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import bit_indices
+from repro.common.errors import SolverBudgetExceededError, ValidationError
+from repro.core.base import Solver
+from repro.core.problem import Solution, VisibilityProblem
+from repro.lp.branch_and_bound import BranchAndBoundSolver
+from repro.lp.model import LinearExpr, Model
+from repro.lp.solution import SolveStatus
+
+__all__ = ["IlpSolver", "build_soc_model"]
+
+
+def build_soc_model(
+    problem: VisibilityProblem,
+    integral_y: bool = False,
+    restrict_to_satisfiable: bool = True,
+) -> tuple[Model, list]:
+    """Build the paper's ILP for a SOC-CB-QL instance.
+
+    Returns ``(model, x_vars)`` where ``x_vars[j]`` is the retain
+    decision for schema attribute ``j`` (``None`` for attributes the new
+    tuple lacks — the paper's ``x_j = 0`` case is applied by simply not
+    creating the variable).
+    """
+    queries = (
+        problem.satisfiable_queries if restrict_to_satisfiable else list(problem.log)
+    )
+    model = Model("soc-cb-ql")
+    x_vars: list = [None] * problem.width
+    for attribute in bit_indices(problem.new_tuple):
+        x_vars[attribute] = model.add_binary(f"x{attribute}")
+
+    y_vars = []
+    for index, query in enumerate(queries):
+        if integral_y:
+            y = model.add_binary(f"y{index}")
+        else:
+            y = model.add_var(f"y{index}", low=0.0, high=1.0)
+        y_vars.append(y)
+        for attribute in bit_indices(query):
+            x = x_vars[attribute]
+            if x is None:
+                # Unsatisfiable query kept in the model (paper-literal
+                # mode): pin its y to 0.
+                model.add_constraint(y <= 0.0)
+                break
+            model.add_constraint(y <= x)
+
+    retained = LinearExpr.sum(x for x in x_vars if x is not None)
+    model.add_constraint(retained <= problem.budget, name="budget")
+    model.maximize(LinearExpr.sum(y_vars) if y_vars else LinearExpr())
+    return model, x_vars
+
+
+class IlpSolver(Solver):
+    """Exact solver via the integer linear program."""
+
+    name = "ILP"
+    optimal = True
+
+    def __init__(
+        self,
+        backend: str = "native",
+        integral_y: bool = False,
+        max_nodes: int = 200_000,
+    ) -> None:
+        if backend not in ("native", "scipy"):
+            raise ValidationError(f"unknown ILP backend {backend!r}")
+        self.backend = backend
+        self.integral_y = integral_y
+        self.max_nodes = max_nodes
+
+    def _solve(self, problem: VisibilityProblem) -> Solution:
+        model, x_vars = build_soc_model(problem, integral_y=self.integral_y)
+        if self.backend == "scipy":
+            from repro.lp.scipy_backend import ScipyMilpSolver
+
+            result = ScipyMilpSolver().solve_model(model)
+        else:
+            result = BranchAndBoundSolver(max_nodes=self.max_nodes).solve_model(model)
+
+        if result.status is SolveStatus.BUDGET_EXCEEDED:
+            raise SolverBudgetExceededError(
+                f"ILP branch-and-bound exceeded {self.max_nodes} nodes",
+                best_known=result.objective,
+            )
+        if not result.is_optimal:
+            raise ValidationError(f"unexpected ILP status {result.status}")
+
+        keep_mask = 0
+        for attribute, x in enumerate(x_vars):
+            if x is not None and result.x[x.index] > 0.5:
+                keep_mask |= 1 << attribute
+        return self.make_solution(
+            problem,
+            keep_mask,
+            stats={
+                "backend": self.backend,
+                "nodes_explored": result.nodes_explored,
+                "lp_iterations": result.lp_iterations,
+                "variables": len(model.variables),
+                "constraints": len(model.constraints),
+            },
+        )

@@ -1,0 +1,96 @@
+"""Local search heuristic (extension).
+
+A swap-based hill climber between the greedy and exact regimes:
+
+1. start from the ConsumeAttr selection (or a random restart);
+2. repeatedly apply the best improving *1-swap* — drop one kept
+   attribute, add one unkept tuple attribute — until no swap improves;
+3. repeat from random restarts and keep the best local optimum.
+
+Pure heuristic with no approximation guarantee, but on the evaluation
+workloads it closes most of the greedy-to-optimal gap at a cost far
+below the exact algorithms (see the ablation benchmark).  Deterministic
+under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.bits import bit_indices
+from repro.common.rng import ensure_rng
+from repro.core.base import Solver
+from repro.core.greedy import ConsumeAttrSolver
+from repro.core.problem import Solution, VisibilityProblem
+
+__all__ = ["LocalSearchSolver"]
+
+
+class LocalSearchSolver(Solver):
+    """1-swap hill climbing with random restarts."""
+
+    name = "LocalSearch"
+    optimal = False
+
+    def __init__(
+        self,
+        restarts: int = 3,
+        seed: int | random.Random | None = 0,
+        max_rounds: int = 200,
+    ) -> None:
+        if restarts < 0:
+            raise ValueError("restarts must be non-negative")
+        self.restarts = restarts
+        self.seed = seed
+        self.max_rounds = max_rounds
+
+    def _solve(self, problem: VisibilityProblem) -> Solution:
+        rng = ensure_rng(self.seed)
+        queries = problem.satisfiable_queries
+
+        def objective(mask: int) -> int:
+            return sum(1 for query in queries if query & mask == query)
+
+        def climb(mask: int) -> tuple[int, int, int]:
+            """Hill-climb from ``mask``; returns (mask, value, rounds)."""
+            value = objective(mask)
+            rounds = 0
+            improved = True
+            while improved and rounds < self.max_rounds:
+                improved = False
+                rounds += 1
+                kept = bit_indices(mask)
+                unkept = bit_indices(problem.new_tuple & ~mask)
+                best_swap = None
+                best_value = value
+                for drop in kept:
+                    without = mask ^ (1 << drop)
+                    for add in unkept:
+                        candidate = without | (1 << add)
+                        candidate_value = objective(candidate)
+                        if candidate_value > best_value:
+                            best_value = candidate_value
+                            best_swap = candidate
+                if best_swap is not None:
+                    mask, value = best_swap, best_value
+                    improved = True
+            return mask, value, rounds
+
+        size = min(problem.budget, problem.tuple_size)
+        attributes = bit_indices(problem.new_tuple)
+
+        start = ConsumeAttrSolver().solve(problem).keep_mask
+        best_mask, best_value, total_rounds = climb(start)
+        for _ in range(self.restarts):
+            restart = 0
+            for attribute in rng.sample(attributes, size):
+                restart |= 1 << attribute
+            mask, value, rounds = climb(restart)
+            total_rounds += rounds
+            if value > best_value:
+                best_mask, best_value = mask, value
+        return self.make_solution(
+            problem,
+            best_mask,
+            stats={"restarts": self.restarts, "climb_rounds": total_rounds},
+        )

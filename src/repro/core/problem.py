@@ -1,0 +1,167 @@
+"""Problem and solution types for SOC-CB-QL.
+
+PROBLEM SOC-CB-QL (paper, Section II.A): given a query log ``Q`` with
+conjunctive Boolean retrieval semantics, a new tuple ``t`` and an
+integer ``m``, compute a compressed tuple ``t'`` retaining ``m``
+attributes of ``t`` such that the number of queries retrieving ``t'``
+is maximized.
+
+The same types serve SOC-CB-D — "any algorithm that solves SOC-CB-QL
+can also be used to solve SOC-CB-D, by replacing the query log with the
+database as input" — via :meth:`VisibilityProblem.from_database`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.booldata.ops import satisfied_count
+from repro.booldata.table import BooleanTable
+from repro.common.bits import bit_count, bit_indices, is_subset
+from repro.common.errors import ValidationError
+
+__all__ = ["VisibilityProblem", "Solution"]
+
+
+@dataclass(frozen=True)
+class VisibilityProblem:
+    """One SOC-CB-QL instance: ``(Q, t, m)``.
+
+    ``log`` is the query log (or, for SOC-CB-D, the competing-product
+    database), ``new_tuple`` the full attribute mask of the product to be
+    inserted, and ``budget`` the number of attributes ``m`` to retain.
+    """
+
+    log: BooleanTable
+    new_tuple: int
+    budget: int
+
+    def __post_init__(self) -> None:
+        self.log.schema.validate_mask(self.new_tuple)
+        if self.budget < 0:
+            raise ValidationError(f"budget m must be non-negative, got {self.budget}")
+
+    @classmethod
+    def from_database(
+        cls, database: BooleanTable, new_tuple: int, budget: int
+    ) -> "VisibilityProblem":
+        """SOC-CB-D: maximize the number of dominated database tuples."""
+        return cls(database, new_tuple, budget)
+
+    # -- derived views -----------------------------------------------------------
+
+    @property
+    def schema(self):
+        return self.log.schema
+
+    @property
+    def width(self) -> int:
+        """Total number of attributes ``M``."""
+        return self.log.schema.width
+
+    @property
+    def tuple_size(self) -> int:
+        """Number of attributes the new tuple actually has."""
+        return bit_count(self.new_tuple)
+
+    @cached_property
+    def satisfiable_queries(self) -> list[int]:
+        """Masks of log queries that the *uncompressed* tuple satisfies.
+
+        A query demanding an attribute the product lacks can never be
+        satisfied by any compression, so every algorithm may restrict
+        its attention to this sub-log.
+        """
+        return [query for query in self.log if is_subset(query, self.new_tuple)]
+
+    @cached_property
+    def relevant_attributes(self) -> int:
+        """Attributes of ``t`` that appear in some satisfiable query.
+
+        Retaining an attribute outside this mask can never help the
+        objective (though it may be needed to pad ``t'`` up to ``m``).
+        """
+        mask = 0
+        for query in self.satisfiable_queries:
+            mask |= query
+        return mask & self.new_tuple
+
+    def evaluate(self, keep_mask: int) -> int:
+        """Objective value of a candidate compression (validated)."""
+        self.log.schema.validate_mask(keep_mask)
+        if not is_subset(keep_mask, self.new_tuple):
+            raise ValidationError(
+                "candidate retains attributes the new tuple does not have"
+            )
+        if bit_count(keep_mask) > self.budget:
+            raise ValidationError(
+                f"candidate retains {bit_count(keep_mask)} attributes, budget is {self.budget}"
+            )
+        return satisfied_count(self.log, keep_mask)
+
+    def pad_to_budget(self, keep_mask: int) -> int:
+        """Extend ``keep_mask`` with arbitrary tuple attributes up to ``m``.
+
+        Retaining extra attributes can never reduce conjunctive
+        visibility, so solvers use this to return exactly ``min(m, |t|)``
+        attributes even when fewer suffice for the optimum.
+        """
+        missing = min(self.budget, self.tuple_size) - bit_count(keep_mask)
+        if missing <= 0:
+            return keep_mask
+        for attribute in bit_indices(self.new_tuple & ~keep_mask):
+            if missing == 0:
+                break
+            keep_mask |= 1 << attribute
+            missing -= 1
+        return keep_mask
+
+
+@dataclass(frozen=True)
+class Solution:
+    """Result of one solver run."""
+
+    problem: VisibilityProblem
+    keep_mask: int
+    satisfied: int
+    algorithm: str
+    optimal: bool
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not is_subset(self.keep_mask, self.problem.new_tuple):
+            raise ValidationError("solution keeps attributes the tuple lacks")
+        if bit_count(self.keep_mask) > self.problem.budget:
+            raise ValidationError("solution exceeds the attribute budget")
+
+    @property
+    def kept_attributes(self) -> list[str]:
+        """Names of the retained attributes, in schema order."""
+        return self.problem.schema.names_of(self.keep_mask)
+
+    @property
+    def per_attribute_ratio(self) -> float:
+        """Satisfied queries per retained attribute (per-attribute variant)."""
+        kept = bit_count(self.keep_mask)
+        return self.satisfied / kept if kept else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (for logs, APIs, archived runs)."""
+        return {
+            "algorithm": self.algorithm,
+            "optimal": self.optimal,
+            "kept_attributes": self.kept_attributes,
+            "satisfied": self.satisfied,
+            "budget": self.problem.budget,
+            "log_size": len(self.problem.log),
+            "stats": {key: value for key, value in self.stats.items()
+                      if isinstance(value, (int, float, str, bool))},
+        }
+
+    def __str__(self) -> str:
+        kind = "optimal" if self.optimal else "heuristic"
+        return (
+            f"{self.algorithm} ({kind}): keep {self.kept_attributes} "
+            f"-> {self.satisfied} queries satisfied"
+        )

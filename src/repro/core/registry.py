@@ -1,0 +1,64 @@
+"""Algorithm registry.
+
+Maps the paper's algorithm names to solver factories so experiments,
+benchmarks and the CLI can request solvers by name (``"ILP"``,
+``"MaxFreqItemSets"``, ``"ConsumeAttr"``, ...).  Factories accept
+keyword overrides, e.g. ``make_solver("ILP", backend="scipy")``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.common.errors import ValidationError
+from repro.core.base import Solver
+from repro.core.brute_force import BruteForceSolver
+from repro.core.greedy import (
+    ConsumeAttrCumulSolver,
+    ConsumeAttrSolver,
+    ConsumeQueriesSolver,
+    CoverageGreedySolver,
+)
+from repro.core.ilp import IlpSolver
+from repro.core.itemsets import MaxFreqItemsetsSolver
+from repro.core.local_search import LocalSearchSolver
+
+__all__ = [
+    "SOLVERS",
+    "OPTIMAL_ALGORITHMS",
+    "GREEDY_ALGORITHMS",
+    "make_solver",
+    "available_algorithms",
+]
+
+SOLVERS: dict[str, Callable[..., Solver]] = {
+    "BruteForce": BruteForceSolver,
+    "ILP": IlpSolver,
+    "MaxFreqItemSets": MaxFreqItemsetsSolver,
+    "ConsumeAttr": ConsumeAttrSolver,
+    "ConsumeAttrCumul": ConsumeAttrCumulSolver,
+    "ConsumeQueries": ConsumeQueriesSolver,
+    "CoverageGreedy": CoverageGreedySolver,
+    "LocalSearch": LocalSearchSolver,
+}
+
+#: the paper's two practical optimal algorithms
+OPTIMAL_ALGORITHMS: tuple[str, ...] = ("ILP", "MaxFreqItemSets")
+#: the paper's three greedy algorithms
+GREEDY_ALGORITHMS: tuple[str, ...] = ("ConsumeAttr", "ConsumeAttrCumul", "ConsumeQueries")
+
+
+def available_algorithms() -> list[str]:
+    """Registered algorithm names, registry order."""
+    return list(SOLVERS)
+
+
+def make_solver(name: str, **overrides) -> Solver:
+    """Instantiate a registered solver by name."""
+    try:
+        factory = SOLVERS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+        ) from None
+    return factory(**overrides)

@@ -1,0 +1,105 @@
+"""Human-readable explanations of solver output.
+
+A seller who is told "advertise AC, Four Door, Power Doors" will ask
+*why*; this module answers with the satisfied queries, the marginal
+value of each retained attribute, and the near-miss queries one extra
+attribute would have captured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bits import bit_count, bit_indices
+from repro.common.tables import format_table
+from repro.core.problem import Solution
+
+__all__ = ["AttributeContribution", "SolutionReport", "explain"]
+
+
+@dataclass(frozen=True)
+class AttributeContribution:
+    """How one retained attribute earns its slot."""
+
+    name: str
+    #: queries lost if this attribute alone were dropped
+    marginal_queries: int
+    #: satisfiable log queries mentioning the attribute
+    query_mentions: int
+
+
+@dataclass(frozen=True)
+class SolutionReport:
+    """Structured explanation of one solution."""
+
+    solution: Solution
+    satisfied_query_names: list[list[str]]
+    contributions: list[AttributeContribution]
+    #: queries missed by exactly one attribute, with the missing names
+    near_misses: list[tuple[list[str], list[str]]]
+
+    def to_text(self) -> str:
+        solution = self.solution
+        problem = solution.problem
+        lines = [
+            f"algorithm: {solution.algorithm} "
+            f"({'exact' if solution.optimal else 'heuristic'})",
+            f"advertise: {', '.join(solution.kept_attributes) or '(nothing)'}",
+            f"visibility: {solution.satisfied} of {len(problem.log)} queries",
+            "",
+            "retained attributes:",
+            format_table(
+                ["attribute", "queries lost if dropped", "mentioned in"],
+                [
+                    [c.name, c.marginal_queries, c.query_mentions]
+                    for c in self.contributions
+                ],
+            ),
+        ]
+        if self.near_misses:
+            lines.append("")
+            lines.append("near misses (one attribute short):")
+            for query_names, missing in self.near_misses:
+                lines.append(
+                    f"  {{{', '.join(query_names)}}} — missing {', '.join(missing)}"
+                )
+        return "\n".join(lines)
+
+
+def explain(solution: Solution, max_near_misses: int = 10) -> SolutionReport:
+    """Build a :class:`SolutionReport` for a solution."""
+    problem = solution.problem
+    schema = problem.schema
+    keep = solution.keep_mask
+
+    satisfied_query_names = [
+        schema.names_of(query)
+        for query in problem.log
+        if query & keep == query
+    ]
+
+    contributions = []
+    for attribute in bit_indices(keep):
+        bit = 1 << attribute
+        without = keep ^ bit
+        lost = sum(
+            1
+            for query in problem.log
+            if query & keep == query and query & without != query
+        )
+        mentions = sum(
+            1 for query in problem.satisfiable_queries if query & bit
+        )
+        contributions.append(
+            AttributeContribution(schema.names[attribute], lost, mentions)
+        )
+    contributions.sort(key=lambda c: (-c.marginal_queries, -c.query_mentions, c.name))
+
+    near_misses = []
+    for query in problem.satisfiable_queries:
+        missing = query & ~keep
+        if bit_count(missing) == 1 and len(near_misses) < max_near_misses:
+            near_misses.append(
+                (schema.names_of(query), schema.names_of(missing))
+            )
+    return SolutionReport(solution, satisfied_query_names, contributions, near_misses)

@@ -1,0 +1,228 @@
+"""Weighted SOC-CB-QL: query logs with multiplicities.
+
+A production query log repeats heavily, so the natural exact
+optimization is to deduplicate it into (query, weight) pairs and
+maximize the total *weight* of satisfied queries.  This module provides
+
+* :func:`deduplicated_problem` — collapse a plain
+  :class:`~repro.core.problem.VisibilityProblem` into a weighted one
+  (the two are equivalent: weighted objective == plain objective on the
+  expanded log — property-tested);
+* :class:`WeightedVisibilityProblem` — first-class weighted instances
+  (weights need not come from deduplication; they can encode query
+  importance, e.g. revenue per buyer segment);
+* weighted exact solvers (brute force; maximal-itemset mining via the
+  weighted transaction substrate) and the weighted ConsumeAttr greedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.booldata.table import BooleanTable
+from repro.common.bits import bit_count, bit_indices, mask_complement
+from repro.common.combinatorics import binomial, combinations_of_mask
+from repro.common.errors import SolverBudgetExceededError, ValidationError
+from repro.core.itemsets import _best_level_itemset  # shared level extraction
+from repro.core.problem import VisibilityProblem
+from repro.mining.maximal import mine_maximal_dfs
+from repro.mining.weighted import WeightedTransactionDatabase, deduplicate_rows
+
+__all__ = [
+    "WeightedVisibilityProblem",
+    "WeightedSolution",
+    "deduplicated_problem",
+    "solve_weighted_brute_force",
+    "solve_weighted_itemsets",
+    "solve_weighted_consume_attr",
+]
+
+
+@dataclass(frozen=True)
+class WeightedVisibilityProblem:
+    """``(queries, weights, t, m)`` with positive integer weights."""
+
+    log: BooleanTable
+    weights: tuple[int, ...]
+    new_tuple: int
+    budget: int
+
+    def __post_init__(self) -> None:
+        self.log.schema.validate_mask(self.new_tuple)
+        if self.budget < 0:
+            raise ValidationError("budget must be non-negative")
+        if len(self.weights) != len(self.log):
+            raise ValidationError(
+                f"{len(self.weights)} weights for {len(self.log)} queries"
+            )
+        if any(not isinstance(w, int) or w <= 0 for w in self.weights):
+            raise ValidationError("weights must be positive integers")
+
+    @property
+    def width(self) -> int:
+        return self.log.schema.width
+
+    @property
+    def tuple_size(self) -> int:
+        return bit_count(self.new_tuple)
+
+    @property
+    def total_weight(self) -> int:
+        return sum(self.weights)
+
+    def evaluate(self, keep_mask: int) -> int:
+        """Total weight of queries satisfied by ``keep_mask``."""
+        self.log.schema.validate_mask(keep_mask)
+        if keep_mask & ~self.new_tuple:
+            raise ValidationError("candidate keeps attributes the tuple lacks")
+        if bit_count(keep_mask) > self.budget:
+            raise ValidationError("candidate exceeds the budget")
+        return sum(
+            weight
+            for query, weight in zip(self.log, self.weights)
+            if query & keep_mask == query
+        )
+
+    def expand(self) -> VisibilityProblem:
+        """Equivalent plain problem with each query repeated weight times."""
+        rows = [
+            query
+            for query, weight in zip(self.log, self.weights)
+            for _ in range(weight)
+        ]
+        return VisibilityProblem(
+            BooleanTable(self.log.schema, rows), self.new_tuple, self.budget
+        )
+
+
+@dataclass(frozen=True)
+class WeightedSolution:
+    """Result of a weighted solve."""
+
+    keep_mask: int
+    satisfied_weight: int
+    algorithm: str
+    optimal: bool
+
+    def kept_attributes(self, problem: WeightedVisibilityProblem) -> list[str]:
+        return problem.log.schema.names_of(self.keep_mask)
+
+
+def deduplicated_problem(problem: VisibilityProblem) -> WeightedVisibilityProblem:
+    """Collapse duplicate queries of a plain problem into weights."""
+    rows, weights = deduplicate_rows(problem.log)
+    return WeightedVisibilityProblem(
+        BooleanTable(problem.schema, rows),
+        tuple(weights),
+        problem.new_tuple,
+        problem.budget,
+    )
+
+
+def _satisfiable(problem: WeightedVisibilityProblem) -> list[tuple[int, int]]:
+    return [
+        (query, weight)
+        for query, weight in zip(problem.log, problem.weights)
+        if query & problem.new_tuple == query
+    ]
+
+
+def _pad(problem: WeightedVisibilityProblem, keep_mask: int) -> int:
+    missing = min(problem.budget, problem.tuple_size) - bit_count(keep_mask)
+    for attribute in bit_indices(problem.new_tuple & ~keep_mask):
+        if missing <= 0:
+            break
+        keep_mask |= 1 << attribute
+        missing -= 1
+    return keep_mask
+
+
+def solve_weighted_brute_force(
+    problem: WeightedVisibilityProblem, max_subsets: int = 20_000_000
+) -> WeightedSolution:
+    """Exact weighted solve by enumeration (the weighted oracle)."""
+    size = min(problem.budget, problem.tuple_size)
+    if binomial(problem.tuple_size, size) > max_subsets:
+        raise SolverBudgetExceededError("weighted brute force too large")
+    queries = _satisfiable(problem)
+    best_mask, best_weight = 0, -1
+    for candidate in combinations_of_mask(problem.new_tuple, size):
+        weight = sum(w for query, w in queries if query & candidate == query)
+        if weight > best_weight:
+            best_mask, best_weight = candidate, weight
+    return WeightedSolution(best_mask, max(best_weight, 0), "WeightedBruteForce", True)
+
+
+def solve_weighted_consume_attr(problem: WeightedVisibilityProblem) -> WeightedSolution:
+    """Weighted ConsumeAttr: rank attributes by total query weight."""
+    frequencies = [0] * problem.width
+    for query, weight in _satisfiable(problem):
+        for attribute in bit_indices(query):
+            frequencies[attribute] += weight
+    ranked = sorted(
+        bit_indices(problem.new_tuple),
+        key=lambda attribute: (-frequencies[attribute], attribute),
+    )
+    keep_mask = 0
+    for attribute in ranked[: problem.budget]:
+        keep_mask |= 1 << attribute
+    keep_mask = _pad(problem, keep_mask)
+    return WeightedSolution(
+        keep_mask, problem.evaluate(keep_mask), "WeightedConsumeAttr", False
+    )
+
+
+def solve_weighted_itemsets(problem: WeightedVisibilityProblem) -> WeightedSolution:
+    """Exact weighted MaxFreqItemSets.
+
+    Identical structure to the unweighted solver: project onto the
+    tuple's attributes, mine maximal *weighted*-frequent itemsets of the
+    complement at a threshold seeded by the weighted greedy bound, and
+    extract the best level-(width - m) itemset.  The miner is reused
+    verbatim — the weighted substrate satisfies the same protocol.
+    """
+    if problem.budget >= problem.tuple_size:
+        keep = problem.new_tuple
+        return WeightedSolution(keep, problem.evaluate(keep), "WeightedMaxFreqItemSets", True)
+    if problem.budget == 0:
+        return WeightedSolution(0, problem.evaluate(0), "WeightedMaxFreqItemSets", True)
+
+    attributes = bit_indices(problem.new_tuple)
+    positions = {attribute: j for j, attribute in enumerate(attributes)}
+    projected, weights = [], []
+    for query, weight in _satisfiable(problem):
+        mask = 0
+        for attribute in bit_indices(query):
+            mask |= 1 << positions[attribute]
+        projected.append(mask)
+        weights.append(weight)
+    if not projected:
+        keep = _pad(problem, 0)
+        return WeightedSolution(keep, 0, "WeightedMaxFreqItemSets", True)
+
+    width = len(attributes)
+    complemented = WeightedTransactionDatabase(width, projected, weights).complement()
+    level = width - problem.budget
+
+    greedy_bound = solve_weighted_consume_attr(problem).satisfied_weight
+    threshold = max(1, greedy_bound)
+    pick = None
+    while True:
+        maximal = mine_maximal_dfs(complemented, threshold)
+        pick = _best_level_itemset(complemented, maximal, 0, level, 5_000_000)
+        if pick is not None or threshold == 1:
+            break
+        threshold = max(1, threshold // 2)
+
+    if pick is None or pick.support == 0:
+        keep = _pad(problem, 0)
+        return WeightedSolution(keep, problem.evaluate(keep), "WeightedMaxFreqItemSets", True)
+
+    keep_projected = mask_complement(pick.itemset, width)
+    keep_mask = 0
+    for position in bit_indices(keep_projected):
+        keep_mask |= 1 << attributes[position]
+    keep_mask = _pad(problem, keep_mask)
+    return WeightedSolution(
+        keep_mask, problem.evaluate(keep_mask), "WeightedMaxFreqItemSets", True
+    )

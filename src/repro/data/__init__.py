@@ -1,0 +1,45 @@
+"""Datasets and workload generators.
+
+The paper evaluates on a proprietary crawl of autos.yahoo.com (15,211
+Dallas-area cars, 32 Boolean attributes), a real 185-query workload
+collected at UT Arlington, and synthetic workloads.  This package
+generates seeded synthetic equivalents with the same shape (see
+DESIGN.md for the substitution argument), plus the categorical, numeric
+and text data the other problem variants need.
+"""
+
+from repro.data.drift import drifting_workload, interest_profile
+from repro.data.cars import (
+    CAR_ATTRIBUTES,
+    CAR_CLASSES,
+    CarsDataset,
+    generate_cars,
+)
+from repro.data.categorical import CategoricalDataset, generate_categorical
+from repro.data.numeric import NumericDataset, generate_numeric
+from repro.data.stats import WorkloadProfile, profile_workload
+from repro.data.text_corpus import generate_ads_corpus
+from repro.data.workload import (
+    PAPER_SIZE_DISTRIBUTION,
+    real_workload_surrogate,
+    synthetic_workload,
+)
+
+__all__ = [
+    "CAR_ATTRIBUTES",
+    "CAR_CLASSES",
+    "CarsDataset",
+    "generate_cars",
+    "PAPER_SIZE_DISTRIBUTION",
+    "synthetic_workload",
+    "real_workload_surrogate",
+    "CategoricalDataset",
+    "generate_categorical",
+    "NumericDataset",
+    "generate_numeric",
+    "generate_ads_corpus",
+    "WorkloadProfile",
+    "profile_workload",
+    "drifting_workload",
+    "interest_profile",
+]

@@ -1,0 +1,202 @@
+"""Synthetic used-cars dataset.
+
+Substitutes the paper's proprietary autos.yahoo.com crawl: 15,211 cars
+for sale with 32 Boolean feature attributes (AC, Power Locks, ...).  The
+generator is seeded and class-correlated — a sports car is likely to
+have a spoiler and a turbo, a luxury sedan leather seats and a sunroof —
+so the attribute-frequency skew and co-occurrence structure that drive
+the paper's algorithms (and its anecdote that "sporty features are
+selected for sports cars") are present.
+
+Each car also carries a class label and a price, used by the SOC-Topk
+and numeric variants.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.booldata.schema import Schema
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+from repro.common.rng import ensure_rng, spawn_rng
+
+__all__ = ["CAR_ATTRIBUTES", "CAR_CLASSES", "CarsDataset", "generate_cars"]
+
+#: The 32 Boolean feature attributes (paper: "32 Boolean attributes,
+#: such as AC, Power Locks, etc").
+CAR_ATTRIBUTES: tuple[str, ...] = (
+    "ac",
+    "power_locks",
+    "power_windows",
+    "power_seats",
+    "power_steering",
+    "power_brakes",
+    "abs",
+    "cruise_control",
+    "tilt_wheel",
+    "am_fm_radio",
+    "cd_player",
+    "cassette",
+    "premium_sound",
+    "leather_seats",
+    "sunroof",
+    "moonroof",
+    "alloy_wheels",
+    "fog_lights",
+    "spoiler",
+    "turbo",
+    "four_door",
+    "two_door",
+    "automatic_transmission",
+    "manual_transmission",
+    "four_wheel_drive",
+    "rear_defroster",
+    "keyless_entry",
+    "alarm_system",
+    "airbag_driver",
+    "airbag_passenger",
+    "tow_package",
+    "roof_rack",
+)
+
+#: Feature-probability profiles per car class.  ``base`` applies to
+#: attributes not explicitly overridden.
+CAR_CLASSES: dict[str, dict[str, float]] = {
+    "economy": {
+        "base": 0.25,
+        "ac": 0.75, "am_fm_radio": 0.9, "power_steering": 0.8, "power_brakes": 0.7,
+        "four_door": 0.6, "two_door": 0.35, "automatic_transmission": 0.6,
+        "manual_transmission": 0.4, "leather_seats": 0.03, "turbo": 0.02,
+        "spoiler": 0.05, "premium_sound": 0.05, "tow_package": 0.02, "sunroof": 0.05,
+        "moonroof": 0.03, "four_wheel_drive": 0.03, "power_seats": 0.05,
+    },
+    "sedan": {
+        "base": 0.45,
+        "ac": 0.95, "power_locks": 0.85, "power_windows": 0.85, "power_brakes": 0.9,
+        "power_steering": 0.95, "four_door": 0.97, "two_door": 0.02,
+        "automatic_transmission": 0.9, "manual_transmission": 0.1,
+        "airbag_driver": 0.9, "airbag_passenger": 0.8, "rear_defroster": 0.85,
+        "cruise_control": 0.8, "abs": 0.75, "turbo": 0.03, "spoiler": 0.04,
+        "tow_package": 0.03, "roof_rack": 0.05, "four_wheel_drive": 0.04,
+    },
+    "sports": {
+        "base": 0.4,
+        "ac": 0.9, "two_door": 0.95, "four_door": 0.03, "spoiler": 0.8,
+        "turbo": 0.6, "alloy_wheels": 0.9, "fog_lights": 0.7, "premium_sound": 0.6,
+        "leather_seats": 0.55, "manual_transmission": 0.65,
+        "automatic_transmission": 0.35, "cruise_control": 0.5, "abs": 0.8,
+        "sunroof": 0.4, "tow_package": 0.01, "roof_rack": 0.01,
+        "four_wheel_drive": 0.05, "cd_player": 0.8,
+    },
+    "luxury": {
+        "base": 0.7,
+        "ac": 0.99, "leather_seats": 0.95, "power_seats": 0.9, "premium_sound": 0.85,
+        "sunroof": 0.6, "moonroof": 0.45, "keyless_entry": 0.85, "alarm_system": 0.8,
+        "alloy_wheels": 0.85, "cruise_control": 0.95, "abs": 0.95,
+        "automatic_transmission": 0.97, "manual_transmission": 0.03,
+        "four_door": 0.9, "two_door": 0.08, "turbo": 0.15, "spoiler": 0.08,
+        "tow_package": 0.05, "roof_rack": 0.08, "cassette": 0.3,
+    },
+    "suv": {
+        "base": 0.5,
+        "four_wheel_drive": 0.85, "tow_package": 0.6, "roof_rack": 0.7,
+        "four_door": 0.9, "two_door": 0.08, "automatic_transmission": 0.85,
+        "ac": 0.92, "power_locks": 0.8, "power_windows": 0.8, "abs": 0.8,
+        "cruise_control": 0.75, "fog_lights": 0.5, "alloy_wheels": 0.6,
+        "turbo": 0.05, "spoiler": 0.03, "leather_seats": 0.35, "sunroof": 0.25,
+    },
+    "truck": {
+        "base": 0.3,
+        "tow_package": 0.8, "four_wheel_drive": 0.6, "two_door": 0.55,
+        "four_door": 0.4, "manual_transmission": 0.35, "automatic_transmission": 0.65,
+        "ac": 0.85, "power_steering": 0.9, "power_brakes": 0.85, "am_fm_radio": 0.85,
+        "cassette": 0.3, "leather_seats": 0.08, "sunroof": 0.03, "moonroof": 0.02,
+        "spoiler": 0.02, "turbo": 0.08, "premium_sound": 0.12, "alloy_wheels": 0.3,
+    },
+}
+
+#: Class mix of the generated inventory.
+_CLASS_WEIGHTS: dict[str, float] = {
+    "economy": 0.22, "sedan": 0.34, "sports": 0.12,
+    "luxury": 0.10, "suv": 0.14, "truck": 0.08,
+}
+
+#: Price ranges (USD) per class, used for the numeric / top-k variants.
+_PRICE_RANGES: dict[str, tuple[int, int]] = {
+    "economy": (1_500, 9_000),
+    "sedan": (4_000, 22_000),
+    "sports": (8_000, 45_000),
+    "luxury": (15_000, 80_000),
+    "suv": (6_000, 35_000),
+    "truck": (4_000, 30_000),
+}
+
+
+@dataclass
+class CarsDataset:
+    """Generated inventory: Boolean table plus per-car metadata."""
+
+    schema: Schema
+    table: BooleanTable
+    classes: list[str]
+    prices: list[int]
+
+    def __post_init__(self) -> None:
+        if not (len(self.table) == len(self.classes) == len(self.prices)):
+            raise ValidationError("table, classes and prices must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def random_car_indices(self, count: int, seed: int | None = 0) -> list[int]:
+        """Indices of ``count`` random cars (the paper's "100 randomly
+        selected to-be-advertised cars")."""
+        rng = ensure_rng(seed)
+        return rng.sample(range(len(self.table)), count)
+
+
+def generate_cars(
+    count: int = 15_211,
+    seed: int | None = 42,
+    class_weights: dict[str, float] | None = None,
+) -> CarsDataset:
+    """Generate the used-cars inventory.
+
+    Defaults mirror the paper's dataset shape: 15,211 rows over the 32
+    attributes of :data:`CAR_ATTRIBUTES`.
+    """
+    if count < 1:
+        raise ValidationError(f"count must be positive, got {count}")
+    weights = class_weights or _CLASS_WEIGHTS
+    unknown = set(weights) - set(CAR_CLASSES)
+    if unknown:
+        raise ValidationError(f"unknown car classes: {sorted(unknown)}")
+
+    rng = ensure_rng(seed)
+    class_rng = spawn_rng(rng, 1)
+    feature_rng = spawn_rng(rng, 2)
+    price_rng = spawn_rng(rng, 3)
+
+    schema = Schema(CAR_ATTRIBUTES)
+    class_names = list(weights)
+    class_probs = [weights[name] for name in class_names]
+
+    rows: list[int] = []
+    classes: list[str] = []
+    prices: list[int] = []
+    for _ in range(count):
+        car_class = class_rng.choices(class_names, weights=class_probs)[0]
+        profile = CAR_CLASSES[car_class]
+        base = profile["base"]
+        mask = 0
+        for position, attribute in enumerate(CAR_ATTRIBUTES):
+            if feature_rng.random() < profile.get(attribute, base):
+                mask |= 1 << position
+        low, high = _PRICE_RANGES[car_class]
+        rows.append(mask)
+        classes.append(car_class)
+        prices.append(price_rng.randrange(low, high + 1, 50))
+
+    return CarsDataset(schema, BooleanTable(schema, rows), classes, prices)

@@ -1,0 +1,127 @@
+"""Categorical datasets for the categorical problem variant.
+
+A categorical database assigns each attribute one value from a finite
+domain (Make = Honda, Color = red, ...).  Queries are conjunctions of
+``attribute = value`` conditions.  The variant reduces to the Boolean
+problem (see :mod:`repro.variants.categorical`); this module provides
+the data model and a seeded generator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.common.rng import ensure_rng, spawn_rng
+
+__all__ = ["CategoricalSchema", "CategoricalDataset", "generate_categorical"]
+
+
+@dataclass(frozen=True)
+class CategoricalSchema:
+    """Attribute names and their value domains."""
+
+    domains: dict[str, tuple[str, ...]]
+
+    def __post_init__(self) -> None:
+        if not self.domains:
+            raise ValidationError("categorical schema needs at least one attribute")
+        for attribute, domain in self.domains.items():
+            if not domain:
+                raise ValidationError(f"attribute {attribute!r} has an empty domain")
+            if len(set(domain)) != len(domain):
+                raise ValidationError(f"attribute {attribute!r} has duplicate values")
+
+    @property
+    def attributes(self) -> list[str]:
+        return list(self.domains)
+
+    def validate_tuple(self, values: dict[str, str]) -> None:
+        for attribute, value in values.items():
+            domain = self.domains.get(attribute)
+            if domain is None:
+                raise ValidationError(f"unknown attribute {attribute!r}")
+            if value not in domain:
+                raise ValidationError(
+                    f"value {value!r} not in domain of {attribute!r}"
+                )
+
+    def validate_query(self, conditions: dict[str, str]) -> None:
+        if not conditions:
+            raise ValidationError("categorical query needs at least one condition")
+        self.validate_tuple(conditions)
+
+
+@dataclass
+class CategoricalDataset:
+    """Rows are full assignments; queries are partial assignments."""
+
+    schema: CategoricalSchema
+    rows: list[dict[str, str]]
+    query_log: list[dict[str, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if set(row) != set(self.schema.domains):
+                raise ValidationError("every row must assign every attribute")
+            self.schema.validate_tuple(row)
+        for query in self.query_log:
+            self.schema.validate_query(query)
+
+
+#: Domains of the demo used-car categorical schema.
+_CAR_DOMAINS: dict[str, tuple[str, ...]] = {
+    "make": ("honda", "toyota", "ford", "chevy", "bmw", "nissan"),
+    "body": ("sedan", "coupe", "suv", "truck", "hatchback"),
+    "color": ("black", "white", "silver", "red", "blue"),
+    "fuel": ("gas", "diesel", "hybrid"),
+    "transmission": ("automatic", "manual"),
+    "drivetrain": ("fwd", "rwd", "awd"),
+    "condition": ("new", "like_new", "good", "fair"),
+    "seller": ("dealer", "private"),
+}
+
+
+def generate_categorical(
+    rows: int = 500,
+    queries: int = 200,
+    seed: int | random.Random | None = 11,
+    domains: dict[str, tuple[str, ...]] | None = None,
+    query_conditions: tuple[int, int] = (1, 3),
+) -> CategoricalDataset:
+    """Seeded categorical database plus a query log.
+
+    Query values are drawn from the same skewed per-attribute value
+    distribution as the rows, so a realistic fraction of queries
+    actually matches data.
+    """
+    schema = CategoricalSchema(domains or dict(_CAR_DOMAINS))
+    rng = ensure_rng(seed)
+    row_rng = spawn_rng(rng, 1)
+    query_rng = spawn_rng(rng, 2)
+
+    # Skewed value popularity per attribute: first domain values dominate.
+    value_weights = {
+        attribute: [1.0 / (rank + 1) for rank in range(len(domain))]
+        for attribute, domain in schema.domains.items()
+    }
+
+    def draw_value(attribute: str, rng_: random.Random) -> str:
+        domain = schema.domains[attribute]
+        return rng_.choices(domain, weights=value_weights[attribute])[0]
+
+    data_rows = [
+        {attribute: draw_value(attribute, row_rng) for attribute in schema.domains}
+        for _ in range(rows)
+    ]
+
+    low, high = query_conditions
+    if not 1 <= low <= high <= len(schema.domains):
+        raise ValidationError(f"bad query_conditions range {query_conditions}")
+    log = []
+    for _ in range(queries):
+        count = query_rng.randint(low, high)
+        chosen = query_rng.sample(schema.attributes, count)
+        log.append({attribute: draw_value(attribute, query_rng) for attribute in chosen})
+    return CategoricalDataset(schema, data_rows, log)

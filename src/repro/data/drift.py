@@ -1,0 +1,72 @@
+"""Drifting workload generation.
+
+Buyer interest shifts over a season; the drift example and the
+visibility-monitor tests need traffic whose attribute popularity
+*interpolates* between two profiles over time.  :func:`drifting_workload`
+produces a query stream whose early queries follow the ``start``
+attribute weights and whose late queries follow ``end``, blending
+linearly in between.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.booldata.schema import Schema
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+from repro.common.rng import ensure_rng
+from repro.data.workload import PAPER_SIZE_DISTRIBUTION, synthetic_workload
+
+__all__ = ["drifting_workload", "interest_profile"]
+
+
+def interest_profile(schema: Schema, popular: Sequence[str], boost: float = 8.0,
+                     base: float = 0.2) -> list[float]:
+    """Attribute weights concentrating interest on ``popular`` names."""
+    if boost <= base:
+        raise ValidationError("boost must exceed the base weight")
+    weights = [base] * schema.width
+    for name in popular:
+        weights[schema.index_of(name)] = boost
+    return weights
+
+
+def drifting_workload(
+    schema: Schema,
+    size: int,
+    start_weights: Sequence[float],
+    end_weights: Sequence[float],
+    seed: int | random.Random | None = 0,
+    size_distribution: dict[int, float] | None = None,
+) -> BooleanTable:
+    """Query stream drifting from ``start_weights`` to ``end_weights``.
+
+    Query ``i`` of ``size`` draws its attributes with weights
+    ``(1 - f) * start + f * end`` where ``f = i / (size - 1)``; the
+    returned table is therefore *time-ordered* and meant to be consumed
+    as a stream (e.g. by a VisibilityMonitor) or split chronologically.
+    """
+    if size < 0:
+        raise ValidationError("size must be non-negative")
+    if len(start_weights) != schema.width or len(end_weights) != schema.width:
+        raise ValidationError("weight vectors must match the schema width")
+    rng = ensure_rng(seed)
+    distribution = size_distribution or PAPER_SIZE_DISTRIBUTION
+    rows = []
+    for position in range(size):
+        fraction = position / (size - 1) if size > 1 else 0.0
+        blended = [
+            (1.0 - fraction) * start + fraction * end
+            for start, end in zip(start_weights, end_weights)
+        ]
+        query_table = synthetic_workload(
+            schema,
+            1,
+            seed=rng.getrandbits(48),
+            size_distribution=distribution,
+            attribute_weights=blended,
+        )
+        rows.append(query_table[0])
+    return BooleanTable(schema, rows)

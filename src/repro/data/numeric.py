@@ -1,0 +1,128 @@
+"""Numeric datasets and range-query logs for the numeric variant.
+
+Section V reduces numeric data to the Boolean problem: each range
+condition of a query either contains the new tuple's value for that
+attribute or it does not, so a query becomes a Boolean row.  This module
+provides the numeric data model (tuples with numeric attribute values,
+queries with per-attribute ranges) and a seeded generator shaped like a
+digital-camera catalog (price / weight / resolution / zoom...).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.common.rng import ensure_rng, spawn_rng
+
+__all__ = ["Range", "NumericDataset", "generate_numeric"]
+
+
+@dataclass(frozen=True)
+class Range:
+    """Closed interval ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValidationError(f"empty range [{self.low}, {self.high}]")
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+@dataclass
+class NumericDataset:
+    """Numeric rows plus a range-query log.
+
+    ``rows`` assign every attribute a number; each query constrains a
+    subset of attributes with :class:`Range` conditions.
+    """
+
+    attributes: list[str]
+    rows: list[dict[str, float]]
+    query_log: list[dict[str, Range]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        attribute_set = set(self.attributes)
+        if len(attribute_set) != len(self.attributes):
+            raise ValidationError("duplicate numeric attribute names")
+        for row in self.rows:
+            if set(row) != attribute_set:
+                raise ValidationError("every row must assign every attribute")
+        for query in self.query_log:
+            if not query:
+                raise ValidationError("range query needs at least one condition")
+            unknown = set(query) - attribute_set
+            if unknown:
+                raise ValidationError(f"query uses unknown attributes {sorted(unknown)}")
+
+    def matching_rows(self, query: dict[str, Range]) -> list[int]:
+        """Indices of rows satisfying every range condition."""
+        return [
+            index
+            for index, row in enumerate(self.rows)
+            if all(rng.contains(row[attribute]) for attribute, rng in query.items())
+        ]
+
+
+#: (low, high, step) generation profile of the demo camera catalog.
+_CAMERA_PROFILE: dict[str, tuple[float, float, float]] = {
+    "price": (80, 2500, 10),
+    "weight_g": (100, 1500, 10),
+    "megapixels": (6, 60, 1),
+    "optical_zoom": (1, 30, 1),
+    "screen_inches": (2.0, 4.0, 0.1),
+    "battery_shots": (150, 1200, 25),
+}
+
+
+def generate_numeric(
+    rows: int = 400,
+    queries: int = 150,
+    seed: int | random.Random | None = 23,
+    profile: dict[str, tuple[float, float, float]] | None = None,
+    query_conditions: tuple[int, int] = (1, 3),
+) -> NumericDataset:
+    """Seeded numeric catalog plus a range-query workload.
+
+    Query ranges are anchored on plausible values (drawn like row
+    values) and widened by a random factor, mimicking how shoppers
+    bracket a target price or weight.
+    """
+    spec = profile or dict(_CAMERA_PROFILE)
+    attributes = list(spec)
+    rng = ensure_rng(seed)
+    row_rng = spawn_rng(rng, 1)
+    query_rng = spawn_rng(rng, 2)
+
+    def draw_value(attribute: str, rng_: random.Random) -> float:
+        low, high, step = spec[attribute]
+        steps = int((high - low) / step)
+        return round(low + rng_.randint(0, steps) * step, 6)
+
+    data_rows = [
+        {attribute: draw_value(attribute, row_rng) for attribute in attributes}
+        for _ in range(rows)
+    ]
+
+    low_count, high_count = query_conditions
+    if not 1 <= low_count <= high_count <= len(attributes):
+        raise ValidationError(f"bad query_conditions range {query_conditions}")
+    log: list[dict[str, Range]] = []
+    for _ in range(queries):
+        count = query_rng.randint(low_count, high_count)
+        chosen = query_rng.sample(attributes, count)
+        conditions = {}
+        for attribute in chosen:
+            anchor = draw_value(attribute, query_rng)
+            low, high, _ = spec[attribute]
+            span = (high - low) * query_rng.uniform(0.05, 0.4)
+            conditions[attribute] = Range(
+                max(low, anchor - span), min(high, anchor + span)
+            )
+        log.append(conditions)
+    return NumericDataset(attributes, data_rows, log)

@@ -1,0 +1,139 @@
+"""Workload profiling.
+
+Before choosing attributes it pays to understand the log: which
+attributes buyers actually ask for, how long queries are, how much the
+log repeats, and which attribute pairs travel together (the signal
+``ConsumeAttrCumul`` exploits).  :func:`profile_workload` computes all
+of it in one pass-ish and renders a report.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.booldata.table import BooleanTable
+from repro.common.bits import bit_indices
+from repro.common.errors import ValidationError
+from repro.common.tables import format_table
+
+__all__ = ["WorkloadProfile", "profile_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Summary statistics of one query log."""
+
+    query_count: int
+    distinct_queries: int
+    size_histogram: dict[int, int]
+    attribute_frequencies: list[int]
+    top_pairs: list[tuple[int, int, int]]  # (attr_a, attr_b, co-count)
+    attribute_entropy_bits: float
+    schema_names: tuple[str, ...]
+
+    @property
+    def duplication_ratio(self) -> float:
+        """queries / distinct queries (1.0 = no repetition)."""
+        if self.distinct_queries == 0:
+            return 1.0
+        return self.query_count / self.distinct_queries
+
+    @property
+    def mean_query_size(self) -> float:
+        total = sum(size * count for size, count in self.size_histogram.items())
+        return total / self.query_count if self.query_count else 0.0
+
+    def top_attributes(self, count: int = 10) -> list[tuple[str, int]]:
+        ranked = sorted(
+            enumerate(self.attribute_frequencies),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return [
+            (self.schema_names[attribute], frequency)
+            for attribute, frequency in ranked[:count]
+            if frequency > 0
+        ]
+
+    def to_text(self) -> str:
+        lines = [
+            f"queries: {self.query_count} ({self.distinct_queries} distinct, "
+            f"{self.duplication_ratio:.2f}x duplication)",
+            f"mean query size: {self.mean_query_size:.2f} attributes",
+            f"attribute entropy: {self.attribute_entropy_bits:.2f} bits",
+            "",
+            "query sizes:",
+            format_table(
+                ["size", "count"],
+                [[size, count] for size, count in sorted(self.size_histogram.items())],
+            ),
+            "",
+            "top attributes:",
+            format_table(["attribute", "mentions"], list(self.top_attributes())),
+        ]
+        if self.top_pairs:
+            lines.append("")
+            lines.append("top co-occurring pairs:")
+            lines.append(
+                format_table(
+                    ["pair", "co-mentions"],
+                    [
+                        [
+                            f"{self.schema_names[a]} + {self.schema_names[b]}",
+                            count,
+                        ]
+                        for a, b, count in self.top_pairs
+                    ],
+                )
+            )
+        return "\n".join(lines)
+
+
+def profile_workload(log: BooleanTable, top_pairs: int = 5) -> WorkloadProfile:
+    """Profile a query log.
+
+    ``attribute_entropy_bits`` is the Shannon entropy of the
+    attribute-mention distribution — near ``log2(width)`` means uniform
+    buyer interest (hard to generalize from; see the marketplace
+    simulation tests), low values mean concentrated interest.
+    """
+    if top_pairs < 0:
+        raise ValidationError("top_pairs must be non-negative")
+    width = log.schema.width
+    size_histogram: Counter[int] = Counter()
+    frequencies = [0] * width
+    pair_counts: Counter[tuple[int, int]] = Counter()
+    seen: set[int] = set()
+    for query in log:
+        seen.add(query)
+        attributes = bit_indices(query)
+        size_histogram[len(attributes)] += 1
+        for position, attribute in enumerate(attributes):
+            frequencies[attribute] += 1
+            for other in attributes[position + 1 :]:
+                pair_counts[(attribute, other)] += 1
+
+    total_mentions = sum(frequencies)
+    entropy = 0.0
+    if total_mentions:
+        for frequency in frequencies:
+            if frequency:
+                share = frequency / total_mentions
+                entropy -= share * math.log2(share)
+
+    best_pairs = [
+        (a, b, count)
+        for (a, b), count in sorted(
+            pair_counts.items(), key=lambda item: (-item[1], item[0])
+        )[:top_pairs]
+    ]
+    return WorkloadProfile(
+        query_count=len(log),
+        distinct_queries=len(seen),
+        size_histogram=dict(size_histogram),
+        attribute_frequencies=frequencies,
+        top_pairs=best_pairs,
+        attribute_entropy_bits=entropy,
+        schema_names=log.schema.names,
+    )

@@ -1,0 +1,49 @@
+"""Experiment harness reproducing the paper's evaluation (Section VII).
+
+One runner per figure (Fig 6-11) plus ablations beyond the paper.  Each
+runner returns an :class:`~repro.experiments.results.ExperimentResult`
+whose text rendering prints the same x-axis and series the figure plots.
+
+Run from the command line::
+
+    python -m repro.experiments all --scale fast
+    python -m repro.experiments fig10
+"""
+
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runners import (
+    EXPERIMENTS,
+    run_ablation_generalization,
+    run_ablation_greedy_quality,
+    run_ablation_ilp_backends,
+    run_ablation_miners,
+    run_ablation_threshold,
+    run_ablation_tuple_size,
+    run_experiment,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+)
+from repro.experiments.scale import ExperimentScale
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentScale",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_ablation_threshold",
+    "run_ablation_miners",
+    "run_ablation_ilp_backends",
+    "run_ablation_greedy_quality",
+    "run_ablation_generalization",
+    "run_ablation_tuple_size",
+]

@@ -1,0 +1,80 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Examples::
+
+    python -m repro.experiments all --scale fast
+    python -m repro.experiments fig6 fig7 --scale standard
+    python -m repro.experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.runners import EXPERIMENTS, run_experiment
+from repro.experiments.scale import ExperimentScale
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the evaluation figures of 'Standing Out in a Crowd' (ICDE 2008).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment names (fig6..fig11, ablation_*) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="standard",
+        choices=["fast", "standard", "full"],
+        help="sizing preset (default: standard; 'full' matches the paper exactly)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write all results to this JSON file",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, runner in EXPERIMENTS.items():
+            doc = (runner.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:24s} {doc}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"available: {list(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    scale = ExperimentScale.by_name(args.scale)
+    results = []
+    for name in names:
+        started = time.perf_counter()
+        result = run_experiment(name, scale)
+        elapsed = time.perf_counter() - started
+        results.append(result)
+        print(result.to_text())
+        print(f"(ran in {elapsed:.1f}s)")
+        print()
+    if args.json:
+        from repro.experiments.record import save_results
+
+        save_results(results, args.json)
+        print(f"results written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

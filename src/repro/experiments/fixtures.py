@@ -1,0 +1,63 @@
+"""Cached dataset/workload construction for the experiment runners."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.booldata.schema import Schema
+from repro.booldata.table import BooleanTable
+from repro.common.rng import ensure_rng
+from repro.data.cars import CarsDataset, generate_cars
+from repro.data.workload import real_workload_surrogate, synthetic_workload
+from repro.experiments.scale import ExperimentScale
+
+__all__ = [
+    "cars_dataset",
+    "real_log",
+    "synthetic_log",
+    "wide_instance",
+    "sample_new_cars",
+]
+
+
+@lru_cache(maxsize=4)
+def cars_dataset(count: int, seed: int) -> CarsDataset:
+    return generate_cars(count, seed=seed)
+
+
+@lru_cache(maxsize=8)
+def real_log(scale_seed: int, queries: int, cars: int) -> BooleanTable:
+    dataset = cars_dataset(cars, scale_seed)
+    return real_workload_surrogate(dataset.schema, queries, seed=scale_seed + 1)
+
+
+@lru_cache(maxsize=16)
+def synthetic_log(scale_seed: int, queries: int, cars: int) -> BooleanTable:
+    dataset = cars_dataset(cars, scale_seed)
+    return synthetic_workload(dataset.schema, queries, seed=scale_seed + 2)
+
+
+def sample_new_cars(scale: ExperimentScale, count: int | None = None) -> list[int]:
+    """Masks of the to-be-advertised cars every point averages over."""
+    dataset = cars_dataset(scale.cars, scale.seed)
+    indices = dataset.random_car_indices(count or scale.cars_per_point, seed=scale.seed)
+    return [dataset.table[index] for index in indices]
+
+
+@lru_cache(maxsize=32)
+def wide_instance(width: int, queries: int, seed: int) -> tuple[BooleanTable, int]:
+    """Fig 11 instance: anonymous schema of ``width`` attributes.
+
+    Returns ``(log, new_tuple)``; the new tuple carries about half of
+    the attributes, matching the cars table's ~0.47 density.
+    """
+    schema = Schema.anonymous(width)
+    log = synthetic_workload(schema, queries, seed=seed + width)
+    rng = ensure_rng(seed + 7 * width)
+    tuple_mask = 0
+    for position in range(width):
+        if rng.random() < 0.5:
+            tuple_mask |= 1 << position
+    if tuple_mask == 0:
+        tuple_mask = 1
+    return log, tuple_mask

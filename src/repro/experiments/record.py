@@ -1,0 +1,63 @@
+"""Persisting experiment results.
+
+``ExperimentResult`` objects serialize to a stable JSON shape so runs
+can be archived, diffed across machines, and re-rendered without
+re-running (EXPERIMENTS.md is regenerated from these files).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.common.errors import ValidationError
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["result_to_dict", "result_from_dict", "save_results", "load_results"]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": result.name,
+        "title": result.title,
+        "x_name": result.x_name,
+        "x_values": list(result.x_values),
+        "series": {label: list(values) for label, values in result.series.items()},
+        "notes": list(result.notes),
+    }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported result format version {version!r} (expected {_FORMAT_VERSION})"
+        )
+    missing = {"name", "title", "x_name", "x_values", "series"} - set(payload)
+    if missing:
+        raise ValidationError(f"result payload missing keys {sorted(missing)}")
+    return ExperimentResult(
+        name=payload["name"],
+        title=payload["title"],
+        x_name=payload["x_name"],
+        x_values=list(payload["x_values"]),
+        series={label: list(values) for label, values in payload["series"].items()},
+        notes=list(payload.get("notes", [])),
+    )
+
+
+def save_results(results: list[ExperimentResult], path: str | Path) -> None:
+    """Write results as one JSON document."""
+    payload = {"results": [result_to_dict(result) for result in results]}
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_results(path: str | Path) -> list[ExperimentResult]:
+    """Read results written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "results" not in payload:
+        raise ValidationError(f"{path}: expected a top-level 'results' list")
+    return [result_from_dict(entry) for entry in payload["results"]]

@@ -1,0 +1,59 @@
+"""Markdown rendering of archived experiment results.
+
+Turns the JSON written by ``python -m repro.experiments ... --json``
+into the measured-results sections of an EXPERIMENTS-style document, so
+the record can be regenerated on any machine::
+
+    python -m repro.experiments all --scale standard --json run.json
+    python - <<'PY'
+    from repro.experiments.record import load_results
+    from repro.experiments.report_md import results_to_markdown
+    print(results_to_markdown(load_results("run.json")))
+    PY
+"""
+
+from __future__ import annotations
+
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["result_to_markdown", "results_to_markdown"]
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def result_to_markdown(result: ExperimentResult, heading_level: int = 2) -> str:
+    """One experiment as a markdown section with a pipe table."""
+    heading = "#" * max(1, heading_level)
+    lines = [f"{heading} {result.name} — {result.title}", ""]
+    headers = [result.x_name, *result.series.keys()]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "---|" * len(headers))
+    for index, x_value in enumerate(result.x_values):
+        row = [_cell(x_value)]
+        for values in result.series.values():
+            row.append(_cell(values[index] if index < len(values) else None))
+        lines.append("| " + " | ".join(row) + " |")
+    if result.notes:
+        lines.append("")
+        for note in result.notes:
+            lines.append(f"*{note}*")
+    return "\n".join(lines)
+
+
+def results_to_markdown(results: list[ExperimentResult], title: str = "Measured results") -> str:
+    """A full document: one section per result."""
+    sections = [f"# {title}", ""]
+    for result in results:
+        sections.append(result_to_markdown(result))
+        sections.append("")
+    return "\n".join(sections).rstrip() + "\n"

@@ -1,0 +1,39 @@
+"""Result container for experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.tables import format_series
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """One figure's worth of series, renderable as an aligned table.
+
+    ``series`` maps a legend label to the y values (``None`` marks a
+    point the runner skipped, e.g. ILP beyond its feasible log size —
+    mirroring the missing ILP measurements in the paper's Fig 10).
+    """
+
+    name: str
+    title: str
+    x_name: str
+    x_values: list
+    series: dict[str, list]
+    notes: list[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        lines = [f"== {self.name}: {self.title} =="]
+        lines.append(format_series(self.x_name, self.x_values, self.series))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def series_of(self, label: str) -> list:
+        return self.series[label]
+
+    def __str__(self) -> str:
+        return self.to_text()

@@ -1,0 +1,496 @@
+"""Experiment runners, one per paper figure plus ablations.
+
+Every runner mirrors one figure of Section VII: same x-axis, same
+series, same workload shapes (scaled by :class:`ExperimentScale`).
+Times are wall-clock seconds per solve, averaged over the sampled
+to-be-advertised cars; qualities are averaged satisfied-query counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.common.timing import time_call
+from repro.core.base import Solver
+from repro.core.greedy import (
+    ConsumeAttrCumulSolver,
+    ConsumeAttrSolver,
+    ConsumeQueriesSolver,
+    CoverageGreedySolver,
+)
+from repro.core.ilp import IlpSolver
+from repro.core.itemsets import MaxFreqItemsetsSolver
+from repro.core.local_search import LocalSearchSolver
+from repro.core.problem import VisibilityProblem
+from repro.experiments import fixtures
+from repro.experiments.results import ExperimentResult
+from repro.experiments.scale import ExperimentScale
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_ablation_threshold",
+    "run_ablation_miners",
+    "run_ablation_ilp_backends",
+    "run_ablation_greedy_quality",
+    "run_ablation_generalization",
+]
+
+SolverFactory = Callable[[], Solver]
+
+_GREEDY_FACTORIES: dict[str, SolverFactory] = {
+    "ConsumeAttr": ConsumeAttrSolver,
+    "ConsumeAttrCumul": ConsumeAttrCumulSolver,
+    "ConsumeQueries": ConsumeQueriesSolver,
+}
+
+
+def _average_time(factory: SolverFactory, problems: Sequence[VisibilityProblem]) -> float:
+    total = 0.0
+    for problem in problems:
+        _, elapsed = time_call(factory().solve, problem)
+        total += elapsed
+    return total / len(problems)
+
+
+def _average_quality(factory: SolverFactory, problems: Sequence[VisibilityProblem]) -> float:
+    total = 0
+    for problem in problems:
+        total += factory().solve(problem).satisfied
+    return total / len(problems)
+
+
+def _problems_for(log, cars: Sequence[int], budget: int) -> list[VisibilityProblem]:
+    return [VisibilityProblem(log, car, budget) for car in cars]
+
+
+# -- Figures 6/7: real workload ---------------------------------------------------
+
+
+def run_fig6(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Fig 6: execution time vs m, real workload, all five algorithms."""
+    scale = scale or ExperimentScale.standard()
+    log = fixtures.real_log(scale.seed, scale.real_queries, scale.cars)
+    cars = fixtures.sample_new_cars(scale)
+    factories: dict[str, SolverFactory] = {
+        "ILP": lambda: IlpSolver(backend="native"),
+        "MaxFreqItemSets": MaxFreqItemsetsSolver,
+        **_GREEDY_FACTORIES,
+    }
+    series: dict[str, list] = {name: [] for name in factories}
+    for budget in scale.budgets:
+        problems = _problems_for(log, cars, budget)
+        for name, factory in factories.items():
+            series[name].append(_average_time(factory, problems))
+    return ExperimentResult(
+        name="fig6",
+        title=f"execution time (s) vs m, real workload ({len(log)} queries)",
+        x_name="m",
+        x_values=list(scale.budgets),
+        series=series,
+        notes=[f"averaged over {len(cars)} random cars, scale={scale.name}"],
+    )
+
+
+def run_fig7(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Fig 7: satisfied queries vs m, real workload, optimal + greedies."""
+    scale = scale or ExperimentScale.standard()
+    log = fixtures.real_log(scale.seed, scale.real_queries, scale.cars)
+    cars = fixtures.sample_new_cars(scale)
+    factories: dict[str, SolverFactory] = {
+        "Optimal": MaxFreqItemsetsSolver,
+        **_GREEDY_FACTORIES,
+    }
+    series: dict[str, list] = {name: [] for name in factories}
+    for budget in scale.budgets:
+        problems = _problems_for(log, cars, budget)
+        for name, factory in factories.items():
+            series[name].append(_average_quality(factory, problems))
+    return ExperimentResult(
+        name="fig7",
+        title=f"satisfied queries vs m, real workload ({len(log)} queries)",
+        x_name="m",
+        x_values=list(scale.budgets),
+        series=series,
+        notes=[
+            f"averaged over {len(cars)} random cars, scale={scale.name}",
+            "the real workload has no query with <= 3 attributes, so m=3 satisfies 0",
+        ],
+    )
+
+
+# -- Figures 8/9: synthetic workload -----------------------------------------------
+
+
+def run_fig8(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Fig 8: execution time vs m, synthetic workload (no ILP, per paper)."""
+    scale = scale or ExperimentScale.standard()
+    log = fixtures.synthetic_log(scale.seed, scale.synthetic_queries, scale.cars)
+    cars = fixtures.sample_new_cars(scale)
+    factories: dict[str, SolverFactory] = {
+        "MaxFreqItemSets": MaxFreqItemsetsSolver,
+        **_GREEDY_FACTORIES,
+    }
+    series: dict[str, list] = {name: [] for name in factories}
+    for budget in scale.budgets:
+        problems = _problems_for(log, cars, budget)
+        for name, factory in factories.items():
+            series[name].append(_average_time(factory, problems))
+    return ExperimentResult(
+        name="fig8",
+        title=f"execution time (s) vs m, synthetic workload ({len(log)} queries)",
+        x_name="m",
+        x_values=list(scale.budgets),
+        series=series,
+        notes=[
+            f"averaged over {len(cars)} random cars, scale={scale.name}",
+            "ILP omitted: very slow beyond 1000 queries (paper does the same)",
+        ],
+    )
+
+
+def run_fig9(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Fig 9: satisfied queries vs m, synthetic workload."""
+    scale = scale or ExperimentScale.standard()
+    log = fixtures.synthetic_log(scale.seed, scale.synthetic_queries, scale.cars)
+    cars = fixtures.sample_new_cars(scale)
+    factories: dict[str, SolverFactory] = {
+        "Optimal": MaxFreqItemsetsSolver,
+        **_GREEDY_FACTORIES,
+    }
+    series: dict[str, list] = {name: [] for name in factories}
+    for budget in scale.budgets:
+        problems = _problems_for(log, cars, budget)
+        for name, factory in factories.items():
+            series[name].append(_average_quality(factory, problems))
+    return ExperimentResult(
+        name="fig9",
+        title=f"satisfied queries vs m, synthetic workload ({len(log)} queries)",
+        x_name="m",
+        x_values=list(scale.budgets),
+        series=series,
+        notes=[f"averaged over {len(cars)} random cars, scale={scale.name}"],
+    )
+
+
+# -- Figure 10: scaling with query-log size ------------------------------------------
+
+
+def run_fig10(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Fig 10: execution time vs query-log size, m=5.
+
+    The ILP series carries ``None`` beyond ``scale.ilp_max_log`` — the
+    paper likewise has no ILP measurements past 1000 queries.
+    """
+    scale = scale or ExperimentScale.standard()
+    cars = fixtures.sample_new_cars(scale)
+    budget = 5
+    factories: dict[str, SolverFactory] = {
+        "ILP": lambda: IlpSolver(backend="native"),
+        "MaxFreqItemSets": MaxFreqItemsetsSolver,
+        **_GREEDY_FACTORIES,
+    }
+    series: dict[str, list] = {name: [] for name in factories}
+    for size in scale.log_sizes:
+        log = fixtures.synthetic_log(scale.seed, size, scale.cars)
+        problems = _problems_for(log, cars, budget)
+        for name, factory in factories.items():
+            if name == "ILP" and size > scale.ilp_max_log:
+                series[name].append(None)
+                continue
+            series[name].append(_average_time(factory, problems))
+    return ExperimentResult(
+        name="fig10",
+        title="execution time (s) vs query-log size, synthetic workload, m=5",
+        x_name="queries",
+        x_values=list(scale.log_sizes),
+        series=series,
+        notes=[
+            f"averaged over {len(cars)} random cars, scale={scale.name}",
+            f"ILP not attempted beyond {scale.ilp_max_log} queries (paper: 'very "
+            "slow for more than 1000 queries')",
+        ],
+    )
+
+
+# -- Figure 11: scaling with attribute count -----------------------------------------
+
+
+def run_fig11(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Fig 11: the two optimal algorithms vs total attribute count M.
+
+    Synthetic 200-query log, m=5.  The paper observes ILP overtaking
+    MaxFreqItemSets beyond ~32 attributes (short, wide logs).
+    """
+    scale = scale or ExperimentScale.standard()
+    budget = 5
+    queries = min(200, scale.synthetic_queries)
+    factories: dict[str, SolverFactory] = {
+        "ILP": lambda: IlpSolver(backend="native"),
+        "MaxFreqItemSets": MaxFreqItemsetsSolver,
+    }
+    series: dict[str, list] = {name: [] for name in factories}
+    for width in scale.attribute_counts:
+        log, tuple_mask = fixtures.wide_instance(width, queries, scale.seed)
+        problems = [VisibilityProblem(log, tuple_mask, budget)] * max(
+            1, scale.cars_per_point // 2
+        )
+        for name, factory in factories.items():
+            series[name].append(_average_time(factory, problems))
+    return ExperimentResult(
+        name="fig11",
+        title=f"execution time (s) vs M, synthetic workload ({queries} queries), m=5",
+        x_name="M",
+        x_values=list(scale.attribute_counts),
+        series=series,
+        notes=[f"scale={scale.name}"],
+    )
+
+
+# -- Ablations beyond the paper -------------------------------------------------------
+
+
+def run_ablation_threshold(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Threshold policies for MaxFreqItemSets: ladder vs greedy seed vs fixed."""
+    scale = scale or ExperimentScale.standard()
+    log = fixtures.synthetic_log(scale.seed, scale.synthetic_queries, scale.cars)
+    cars = fixtures.sample_new_cars(scale)
+    budget = 5
+    policies: dict[str, SolverFactory] = {
+        "adaptive+greedy-seed": lambda: MaxFreqItemsetsSolver(greedy_seed=True),
+        "adaptive-ladder": lambda: MaxFreqItemsetsSolver(greedy_seed=False),
+        "fixed-1%": lambda: MaxFreqItemsetsSolver(threshold=0.01),
+        "fixed-10%": lambda: MaxFreqItemsetsSolver(threshold=0.10),
+    }
+    problems = _problems_for(log, cars, budget)
+    series = {
+        "time_s": [_average_time(factory, problems) for factory in policies.values()],
+        "satisfied": [
+            _average_quality(factory, problems) for factory in policies.values()
+        ],
+    }
+    return ExperimentResult(
+        name="ablation_threshold",
+        title="MaxFreqItemSets threshold policies (synthetic workload, m=5)",
+        x_name="policy",
+        x_values=list(policies),
+        series=series,
+        notes=["fixed thresholds may return empty (quality < optimal): heuristic mode"],
+    )
+
+
+def run_ablation_miners(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Maximal-itemset engines: DFS vs the paper's walks."""
+    scale = scale or ExperimentScale.standard()
+    log = fixtures.synthetic_log(scale.seed, scale.synthetic_queries, scale.cars)
+    cars = fixtures.sample_new_cars(scale)
+    budget = 5
+    miners: dict[str, SolverFactory] = {
+        "dfs": lambda: MaxFreqItemsetsSolver(miner="dfs"),
+        "two-phase-walk": lambda: MaxFreqItemsetsSolver(
+            miner="walk", seed=scale.seed, walk_iterations=400
+        ),
+        "bottom-up-walk": lambda: MaxFreqItemsetsSolver(
+            miner="bottomup", seed=scale.seed, walk_iterations=400
+        ),
+    }
+    problems = _problems_for(log, cars, budget)
+    series = {
+        "time_s": [_average_time(factory, problems) for factory in miners.values()],
+        "satisfied": [
+            _average_quality(factory, problems) for factory in miners.values()
+        ],
+    }
+    return ExperimentResult(
+        name="ablation_miners",
+        title="maximal-itemset engines inside MaxFreqItemSets (m=5)",
+        x_name="engine",
+        x_values=list(miners),
+        series=series,
+        notes=["walks are exact w.h.p.; the paper's two-phase walk beats bottom-up on dense ~Q"],
+    )
+
+
+def run_ablation_ilp_backends(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Native simplex+B&B vs scipy HiGHS across log sizes."""
+    scale = scale or ExperimentScale.standard()
+    cars = fixtures.sample_new_cars(scale)
+    budget = 5
+    backends: dict[str, SolverFactory] = {
+        "native": lambda: IlpSolver(backend="native"),
+        "scipy-highs": lambda: IlpSolver(backend="scipy"),
+    }
+    series: dict[str, list] = {name: [] for name in backends}
+    sizes = [size for size in scale.log_sizes if size <= scale.ilp_max_log]
+    for size in sizes:
+        log = fixtures.synthetic_log(scale.seed, size, scale.cars)
+        problems = _problems_for(log, cars, budget)
+        for name, factory in backends.items():
+            series[name].append(_average_time(factory, problems))
+    return ExperimentResult(
+        name="ablation_ilp_backends",
+        title="ILP backends: native simplex+B&B vs HiGHS, m=5",
+        x_name="queries",
+        x_values=sizes,
+        series=series,
+        notes=["both exact; HiGHS plays the role lp_solve played in the paper"],
+    )
+
+
+def run_ablation_greedy_quality(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Paper greedies vs the CoverageGreedy extension vs optimal."""
+    scale = scale or ExperimentScale.standard()
+    log = fixtures.synthetic_log(scale.seed, scale.synthetic_queries, scale.cars)
+    cars = fixtures.sample_new_cars(scale)
+    factories: dict[str, SolverFactory] = {
+        "Optimal": MaxFreqItemsetsSolver,
+        **_GREEDY_FACTORIES,
+        "CoverageGreedy": CoverageGreedySolver,
+        "LocalSearch": lambda: LocalSearchSolver(seed=scale.seed),
+    }
+    series: dict[str, list] = {name: [] for name in factories}
+    for budget in scale.budgets:
+        problems = _problems_for(log, cars, budget)
+        for name, factory in factories.items():
+            series[name].append(_average_quality(factory, problems))
+    return ExperimentResult(
+        name="ablation_greedy_quality",
+        title="heuristic quality incl. extensions, synthetic workload",
+        x_name="m",
+        x_values=list(scale.budgets),
+        series=series,
+        notes=[
+            "CoverageGreedy and LocalSearch are not in the paper; included as "
+            "quality references"
+        ],
+    )
+
+
+def run_ablation_tuple_size(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Solver cost vs tuple richness |t| (ours, beyond the paper).
+
+    The projected MFI lattice has 2^|t| nodes, so feature-rich products
+    are the hard case for MaxFreqItemSets while the ILP grows only
+    linearly in |t|-driven model size.
+    """
+    import random as _random
+
+    from repro.booldata.table import BooleanTable
+
+    scale = scale or ExperimentScale.standard()
+    dataset = fixtures.cars_dataset(scale.cars, scale.seed)
+    log = fixtures.synthetic_log(scale.seed, min(500, scale.synthetic_queries), scale.cars)
+    rng = _random.Random(scale.seed + 9)
+    budget = 5
+    sizes = [8, 12, 16, 20]
+    factories: dict[str, SolverFactory] = {
+        "MaxFreqItemSets": MaxFreqItemsetsSolver,
+        "ILP": lambda: IlpSolver(backend="native"),
+        "ConsumeAttr": ConsumeAttrSolver,
+    }
+    series: dict[str, list] = {name: [] for name in factories}
+    for size in sizes:
+        tuples = []
+        for _ in range(max(1, scale.cars_per_point // 2)):
+            mask = 0
+            for attribute in rng.sample(range(dataset.schema.width), size):
+                mask |= 1 << attribute
+            tuples.append(mask)
+        problems = [VisibilityProblem(log, mask, budget) for mask in tuples]
+        for name, factory in factories.items():
+            series[name].append(_average_time(factory, problems))
+    return ExperimentResult(
+        name="ablation_tuple_size",
+        title="execution time (s) vs tuple size |t|, m=5",
+        x_name="|t|",
+        x_values=sizes,
+        series=series,
+        notes=[f"synthetic log of {len(log)} queries, scale={scale.name}"],
+    )
+
+
+def run_ablation_generalization(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Train/test generalization of each strategy (marketplace simulation).
+
+    Splits a zipf-skewed workload in half, optimizes on the first half,
+    and reports held-out visibility — the premise of the whole paper,
+    measured.
+    """
+    from repro.data.workload import synthetic_workload
+    from repro.simulate.evaluation import (
+        evaluate_strategies,
+        random_selection,
+        solver_strategy,
+    )
+    from repro.simulate import split_log
+
+    scale = scale or ExperimentScale.standard()
+    dataset = fixtures.cars_dataset(scale.cars, scale.seed)
+    traffic = synthetic_workload(
+        dataset.schema, scale.synthetic_queries, seed=scale.seed + 3, popularity="zipf"
+    )
+    train, test = split_log(traffic, 0.5, seed=scale.seed + 4)
+    cars = fixtures.sample_new_cars(scale)
+    report = evaluate_strategies(
+        {
+            "Optimal": solver_strategy(MaxFreqItemsetsSolver()),
+            "ConsumeAttr": solver_strategy(ConsumeAttrSolver()),
+            "CoverageGreedy": solver_strategy(CoverageGreedySolver()),
+            "Random": random_selection(seed=scale.seed + 5),
+        },
+        train,
+        test,
+        cars,
+        budget=5,
+    )
+    return ExperimentResult(
+        name="ablation_generalization",
+        title="held-out visibility after optimizing on half the workload (m=5)",
+        x_name="strategy",
+        x_values=[outcome.name for outcome in report.outcomes],
+        series={
+            "train_avg": [outcome.train_visibility for outcome in report.outcomes],
+            "test_avg": [outcome.test_visibility for outcome in report.outcomes],
+            "test/train": [
+                round(outcome.generalization_ratio, 3) for outcome in report.outcomes
+            ],
+        },
+        notes=[
+            f"zipf workload split {len(train)}/{len(test)}, {len(cars)} sellers, "
+            f"scale={scale.name}",
+            "uniform workloads do NOT generalize (see tests/integration/test_simulation.py)",
+        ],
+    )
+
+
+EXPERIMENTS: dict[str, Callable[[ExperimentScale | None], ExperimentResult]] = {
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "ablation_threshold": run_ablation_threshold,
+    "ablation_miners": run_ablation_miners,
+    "ablation_ilp_backends": run_ablation_ilp_backends,
+    "ablation_greedy_quality": run_ablation_greedy_quality,
+    "ablation_generalization": run_ablation_generalization,
+    "ablation_tuple_size": run_ablation_tuple_size,
+}
+
+
+def run_experiment(name: str, scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Run one registered experiment by name."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {list(EXPERIMENTS)}"
+        ) from None
+    return runner(scale)

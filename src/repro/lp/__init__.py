@@ -1,0 +1,30 @@
+"""Linear and integer-linear programming substrate.
+
+The paper solves ``ILP-SOC-CB-QL`` with the off-the-shelf ``lp_solve``
+library; this package is our from-scratch replacement:
+
+* :mod:`repro.lp.model` — a small modeling layer (variables, linear
+  constraints, maximize/minimize objective) that compiles to matrix form;
+* :mod:`repro.lp.simplex` — a dense two-phase primal simplex LP solver;
+* :mod:`repro.lp.branch_and_bound` — a best-bound branch-and-bound MILP
+  solver on top of the simplex;
+* :mod:`repro.lp.scipy_backend` — an optional HiGHS-backed solver (via
+  scipy) used to cross-check the native implementation.
+"""
+
+from repro.lp.branch_and_bound import BranchAndBoundSolver
+from repro.lp.model import Constraint, LinearExpr, Model, Sense, Variable
+from repro.lp.simplex import SimplexSolver
+from repro.lp.solution import MilpSolution, SolveStatus
+
+__all__ = [
+    "Model",
+    "Variable",
+    "LinearExpr",
+    "Constraint",
+    "Sense",
+    "SimplexSolver",
+    "BranchAndBoundSolver",
+    "MilpSolution",
+    "SolveStatus",
+]

@@ -1,0 +1,180 @@
+"""Branch-and-bound MILP solver on top of the native simplex.
+
+Best-bound search over LP relaxations:
+
+* each node carries per-variable lower/upper bound overrides (no
+  constraint copies);
+* the node with the most promising LP bound is expanded first;
+* branching selects the integer variable whose relaxation value is
+  closest to 0.5 (most fractional);
+* a rounding heuristic at the root seeds the incumbent so that pruning
+  starts immediately.
+
+The solver mirrors what ``lp_solve`` (used by the paper) does internally,
+at pure-Python scale.  Budgets (node count) are enforced and reported via
+:class:`~repro.lp.solution.SolveStatus.BUDGET_EXCEEDED` rather than by
+silently returning a sub-optimal answer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+
+import numpy as np
+
+from repro.lp.model import CompiledProblem, Model
+from repro.lp.simplex import SimplexSolver
+from repro.lp.solution import MilpSolution, SolveStatus
+
+__all__ = ["BranchAndBoundSolver"]
+
+_INT_TOL = 1e-6
+
+
+class BranchAndBoundSolver:
+    """Exact MILP solver: simplex relaxations + best-bound branch & bound."""
+
+    def __init__(
+        self,
+        lp_solver: SimplexSolver | None = None,
+        max_nodes: int = 20_000,
+        absolute_gap: float = 1e-6,
+    ) -> None:
+        self.lp_solver = lp_solver or SimplexSolver()
+        self.max_nodes = max_nodes
+        self.absolute_gap = absolute_gap
+
+    # -- public API ------------------------------------------------------------
+
+    def solve_model(self, model: Model) -> MilpSolution:
+        """Solve a :class:`~repro.lp.model.Model` and report in its orientation."""
+        return self.solve(model.compile())
+
+    def solve(self, problem: CompiledProblem) -> MilpSolution:
+        integer_mask = problem.integer
+        incumbent_x: np.ndarray | None = None
+        incumbent_value = math.inf  # minimization orientation
+        nodes_explored = 0
+        lp_iterations = 0
+
+        counter = itertools.count()  # heap tie-breaker
+        root = (problem.low.copy(), problem.high.copy())
+        root_lp = self._solve_relaxation(problem, *root)
+        lp_iterations += root_lp.iterations
+        if root_lp.status is SolveStatus.INFEASIBLE:
+            return MilpSolution(SolveStatus.INFEASIBLE, nodes_explored=1)
+        if root_lp.status is SolveStatus.UNBOUNDED:
+            return MilpSolution(SolveStatus.UNBOUNDED, nodes_explored=1)
+        if root_lp.status is SolveStatus.BUDGET_EXCEEDED:
+            return MilpSolution(SolveStatus.BUDGET_EXCEEDED, nodes_explored=1)
+
+        rounded = self._rounding_heuristic(problem, root_lp.x)
+        if rounded is not None:
+            incumbent_x = rounded
+            incumbent_value = float(problem.c @ rounded)
+
+        heap: list[tuple[float, int, tuple[np.ndarray, np.ndarray]]] = []
+        heapq.heappush(heap, (root_lp.objective, next(counter), root))
+
+        while heap:
+            bound, _, (low, high) = heapq.heappop(heap)
+            if bound >= incumbent_value - self.absolute_gap:
+                continue  # cannot beat the incumbent
+            if nodes_explored >= self.max_nodes:
+                status = (
+                    SolveStatus.BUDGET_EXCEEDED
+                    if incumbent_x is None or heap or bound < incumbent_value - self.absolute_gap
+                    else SolveStatus.OPTIMAL
+                )
+                return self._result(problem, status, incumbent_x, incumbent_value,
+                                    nodes_explored, lp_iterations)
+
+            relaxation = self._solve_relaxation(problem, low, high)
+            nodes_explored += 1
+            lp_iterations += relaxation.iterations
+            if relaxation.status is SolveStatus.BUDGET_EXCEEDED:
+                return self._result(problem, SolveStatus.BUDGET_EXCEEDED, incumbent_x,
+                                    incumbent_value, nodes_explored, lp_iterations)
+            if not relaxation.is_optimal:
+                continue  # infeasible branch
+            if relaxation.objective >= incumbent_value - self.absolute_gap:
+                continue
+
+            branch_var = self._most_fractional(relaxation.x, integer_mask)
+            if branch_var is None:
+                # Integral solution: new incumbent.
+                incumbent_value = relaxation.objective
+                incumbent_x = relaxation.x.copy()
+                continue
+
+            value = relaxation.x[branch_var]
+            down_high = high.copy()
+            down_high[branch_var] = math.floor(value + _INT_TOL)
+            up_low = low.copy()
+            up_low[branch_var] = math.ceil(value - _INT_TOL)
+            if low[branch_var] <= down_high[branch_var]:
+                heapq.heappush(heap, (relaxation.objective, next(counter), (low, down_high)))
+            if up_low[branch_var] <= high[branch_var]:
+                heapq.heappush(heap, (relaxation.objective, next(counter), (up_low, high)))
+
+        if incumbent_x is None:
+            return MilpSolution(SolveStatus.INFEASIBLE, nodes_explored=nodes_explored,
+                                lp_iterations=lp_iterations)
+        return self._result(problem, SolveStatus.OPTIMAL, incumbent_x, incumbent_value,
+                            nodes_explored, lp_iterations)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _solve_relaxation(self, problem: CompiledProblem, low: np.ndarray, high: np.ndarray):
+        return self.lp_solver.solve(
+            problem.c, problem.a_ub, problem.b_ub, problem.a_eq, problem.b_eq, low, high
+        )
+
+    @staticmethod
+    def _most_fractional(x: np.ndarray, integer_mask: np.ndarray) -> int | None:
+        """Index of the integer variable farthest from integrality."""
+        best_index = None
+        best_distance = _INT_TOL
+        for index in np.flatnonzero(integer_mask):
+            fraction = x[index] - math.floor(x[index])
+            distance = min(fraction, 1.0 - fraction)
+            if distance > best_distance:
+                best_distance = distance
+                best_index = int(index)
+        return best_index
+
+    def _rounding_heuristic(
+        self, problem: CompiledProblem, relaxed_x: np.ndarray
+    ) -> np.ndarray | None:
+        """Round the relaxation and keep it only if feasible."""
+        x = relaxed_x.copy()
+        ints = np.flatnonzero(problem.integer)
+        x[ints] = np.round(x[ints])
+        x = np.clip(x, problem.low, problem.high)
+        tol = 1e-6
+        if problem.a_ub.size and np.any(problem.a_ub @ x > problem.b_ub + tol):
+            return None
+        if problem.a_eq.size and np.any(np.abs(problem.a_eq @ x - problem.b_eq) > tol):
+            return None
+        return x
+
+    @staticmethod
+    def _result(
+        problem: CompiledProblem,
+        status: SolveStatus,
+        x: np.ndarray | None,
+        minimized: float,
+        nodes: int,
+        lp_iterations: int,
+    ) -> MilpSolution:
+        if x is None:
+            return MilpSolution(status, nodes_explored=nodes, lp_iterations=lp_iterations)
+        return MilpSolution(
+            status,
+            objective=problem.model_objective(minimized),
+            x=x,
+            nodes_explored=nodes,
+            lp_iterations=lp_iterations,
+        )

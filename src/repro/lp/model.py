@@ -1,0 +1,328 @@
+"""Modeling layer for linear and integer-linear programs.
+
+A deliberately small, PuLP-flavoured API::
+
+    model = Model("soc")
+    x = [model.add_var(f"x{i}", integer=True, low=0, high=1) for i in range(4)]
+    model.add_constraint(LinearExpr.sum(x) <= 2)
+    model.maximize(x[0] + x[1] + 3 * x[3])
+
+Models compile to a matrix-form :class:`CompiledProblem` consumed by the
+native simplex/branch-and-bound solvers and by the scipy backend.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+__all__ = ["Sense", "Variable", "LinearExpr", "Constraint", "Model", "CompiledProblem"]
+
+_INFINITY = float("inf")
+
+
+class Sense(enum.Enum):
+    """Constraint comparison sense."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable; hashable so it can key coefficient dicts."""
+
+    name: str
+    index: int
+    low: float
+    high: float
+    integer: bool
+
+    def __add__(self, other):
+        return LinearExpr.from_variable(self) + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return LinearExpr.from_variable(self) - other
+
+    def __rsub__(self, other):
+        return (-1 * self) + other
+
+    def __mul__(self, scalar):
+        return LinearExpr.from_variable(self) * scalar
+
+    __rmul__ = __mul__
+
+    def __le__(self, other):
+        return LinearExpr.from_variable(self) <= other
+
+    def __ge__(self, other):
+        return LinearExpr.from_variable(self) >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, Variable):
+            return self is other or (self.name, self.index) == (other.name, other.index)
+        return LinearExpr.from_variable(self) == other
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.index))
+
+
+class LinearExpr:
+    """Immutable linear expression: coefficient map plus a constant."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: dict[Variable, float] | None = None, constant: float = 0.0) -> None:
+        self.coeffs: dict[Variable, float] = dict(coeffs or {})
+        self.constant = float(constant)
+
+    @classmethod
+    def from_variable(cls, var: Variable) -> "LinearExpr":
+        return cls({var: 1.0})
+
+    @classmethod
+    def sum(cls, terms: Iterable["Variable | LinearExpr | float"]) -> "LinearExpr":
+        """Sum an iterable of variables/expressions/constants."""
+        total = cls()
+        for term in terms:
+            total = total + term
+        return total
+
+    @staticmethod
+    def _as_expr(value) -> "LinearExpr":
+        if isinstance(value, LinearExpr):
+            return value
+        if isinstance(value, Variable):
+            return LinearExpr.from_variable(value)
+        if isinstance(value, (int, float)):
+            return LinearExpr(constant=float(value))
+        raise ValidationError(f"cannot use {value!r} in a linear expression")
+
+    def __add__(self, other) -> "LinearExpr":
+        other_expr = self._as_expr(other)
+        coeffs = dict(self.coeffs)
+        for var, coeff in other_expr.coeffs.items():
+            coeffs[var] = coeffs.get(var, 0.0) + coeff
+        return LinearExpr(coeffs, self.constant + other_expr.constant)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinearExpr":
+        return self + (self._as_expr(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinearExpr":
+        return self._as_expr(other) - self
+
+    def __mul__(self, scalar) -> "LinearExpr":
+        if not isinstance(scalar, (int, float)):
+            raise ValidationError("linear expressions only support scalar multiplication")
+        return LinearExpr(
+            {var: coeff * scalar for var, coeff in self.coeffs.items()},
+            self.constant * scalar,
+        )
+
+    __rmul__ = __mul__
+
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - other, Sense.LE)
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - other, Sense.GE)
+
+    def __eq__(self, other) -> "Constraint":  # type: ignore[override]
+        return Constraint(self - other, Sense.EQ)
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("LinearExpr is not hashable")
+
+    def value(self, assignment: dict[Variable, float]) -> float:
+        """Evaluate under a variable assignment."""
+        return self.constant + sum(
+            coeff * assignment[var] for var, coeff in self.coeffs.items()
+        )
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{coeff:g}*{var.name}" for var, coeff in self.coeffs.items())
+        return f"LinearExpr({terms or '0'} + {self.constant:g})"
+
+
+@dataclass
+class Constraint:
+    """Normalized constraint: ``expr <sense> 0``."""
+
+    expr: LinearExpr
+    sense: Sense
+    name: str = ""
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side once the constant is moved over."""
+        return -self.expr.constant
+
+    def satisfied_by(self, assignment: dict[Variable, float], tol: float = 1e-7) -> bool:
+        lhs = self.expr.value(assignment) + self.rhs  # == coeff part
+        if self.sense is Sense.LE:
+            return lhs <= self.rhs + tol
+        if self.sense is Sense.GE:
+            return lhs >= self.rhs - tol
+        return abs(lhs - self.rhs) <= tol
+
+
+@dataclass
+class CompiledProblem:
+    """Matrix form: minimize ``c @ x`` over inequality/equality rows and bounds.
+
+    All senses are normalized: inequality rows are ``A_ub @ x <= b_ub``.
+    ``objective_sign`` is -1 when the original model maximized, so callers
+    can report the objective in the model's own orientation.
+    """
+
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    low: np.ndarray
+    high: np.ndarray
+    integer: np.ndarray
+    names: list[str]
+    objective_sign: float
+    objective_constant: float
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.c)
+
+    def model_objective(self, minimized_value: float) -> float:
+        """Convert the internal minimized objective back to the model's."""
+        return self.objective_sign * minimized_value + self.objective_constant
+
+
+class Model:
+    """A mutable LP/MILP model."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        self._objective: LinearExpr | None = None
+        self._maximize = False
+
+    def add_var(
+        self,
+        name: str | None = None,
+        low: float = 0.0,
+        high: float = _INFINITY,
+        integer: bool = False,
+    ) -> Variable:
+        """Create and register a new decision variable."""
+        if low > high:
+            raise ValidationError(f"variable {name!r}: low {low} exceeds high {high}")
+        index = len(self.variables)
+        var = Variable(name or f"v{index}", index, float(low), float(high), integer)
+        self.variables.append(var)
+        return var
+
+    def add_binary(self, name: str | None = None) -> Variable:
+        """Convenience: a 0/1 integer variable."""
+        return self.add_var(name, low=0.0, high=1.0, integer=True)
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if not isinstance(constraint, Constraint):
+            raise ValidationError(
+                "add_constraint expects a Constraint (build one with <=, >= or ==)"
+            )
+        if name:
+            constraint.name = name
+        self._check_owned(constraint.expr)
+        self.constraints.append(constraint)
+        return constraint
+
+    def maximize(self, objective: "LinearExpr | Variable") -> None:
+        self._objective = LinearExpr._as_expr(objective)
+        self._check_owned(self._objective)
+        self._maximize = True
+
+    def minimize(self, objective: "LinearExpr | Variable") -> None:
+        self._objective = LinearExpr._as_expr(objective)
+        self._check_owned(self._objective)
+        self._maximize = False
+
+    def _check_owned(self, expr: LinearExpr) -> None:
+        for var in expr.coeffs:
+            if var.index >= len(self.variables) or self.variables[var.index] is not var:
+                raise ValidationError(f"variable {var.name!r} does not belong to this model")
+
+    @property
+    def is_maximization(self) -> bool:
+        return self._maximize
+
+    @property
+    def objective(self) -> LinearExpr:
+        if self._objective is None:
+            raise ValidationError("model has no objective; call maximize() or minimize()")
+        return self._objective
+
+    def compile(self) -> CompiledProblem:
+        """Lower the model to matrix form for the solvers."""
+        objective = self.objective
+        num_vars = len(self.variables)
+        sign = -1.0 if self._maximize else 1.0
+
+        c = np.zeros(num_vars)
+        for var, coeff in objective.coeffs.items():
+            c[var.index] = sign * coeff
+
+        ub_rows: list[np.ndarray] = []
+        ub_rhs: list[float] = []
+        eq_rows: list[np.ndarray] = []
+        eq_rhs: list[float] = []
+        for constraint in self.constraints:
+            row = np.zeros(num_vars)
+            for var, coeff in constraint.expr.coeffs.items():
+                row[var.index] = coeff
+            rhs = constraint.rhs
+            if constraint.sense is Sense.LE:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+            elif constraint.sense is Sense.GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+
+        def _stack(rows: list[np.ndarray], rhs: list[float]) -> tuple[np.ndarray, np.ndarray]:
+            if rows:
+                return np.vstack(rows), np.array(rhs, dtype=float)
+            return np.zeros((0, num_vars)), np.zeros(0)
+
+        a_ub, b_ub = _stack(ub_rows, ub_rhs)
+        a_eq, b_eq = _stack(eq_rows, eq_rhs)
+        return CompiledProblem(
+            c=c,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=a_eq,
+            b_eq=b_eq,
+            low=np.array([var.low for var in self.variables]),
+            high=np.array([var.high for var in self.variables]),
+            integer=np.array([var.integer for var in self.variables], dtype=bool),
+            names=[var.name for var in self.variables],
+            objective_sign=sign,
+            objective_constant=objective.constant,
+        )
+
+    def assignment_from_vector(self, x: Sequence[float]) -> dict[Variable, float]:
+        """Map a solver's solution vector back to model variables."""
+        if len(x) != len(self.variables):
+            raise ValidationError("solution vector length does not match variable count")
+        return {var: float(x[var.index]) for var in self.variables}

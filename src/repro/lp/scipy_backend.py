@@ -1,0 +1,106 @@
+"""Optional HiGHS-backed LP/MILP solver via scipy.
+
+The native solvers in :mod:`repro.lp.simplex` and
+:mod:`repro.lp.branch_and_bound` are the substrate this reproduction
+builds from scratch; this module wraps ``scipy.optimize`` (HiGHS) behind
+the same interfaces so tests can cross-check the native implementation
+and benchmarks can contrast a production-grade solver, mirroring the
+paper's use of the off-the-shelf ``lp_solve``.
+
+scipy is an optional dependency: importing this module without scipy
+raises a clear error only when a solve is attempted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.lp.model import CompiledProblem, Model
+from repro.lp.solution import LpSolution, MilpSolution, SolveStatus
+
+__all__ = ["ScipyMilpSolver", "scipy_available", "solve_lp_with_scipy"]
+
+
+def scipy_available() -> bool:
+    """True when scipy.optimize can be imported."""
+    try:
+        import scipy.optimize  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _require_scipy():
+    try:
+        import scipy.optimize as opt
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise ReproError(
+            "scipy is required for the HiGHS backend; install repro[dev]"
+        ) from exc
+    return opt
+
+
+def solve_lp_with_scipy(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    low: np.ndarray,
+    high: np.ndarray,
+) -> LpSolution:
+    """LP relaxation via HiGHS; same signature/orientation as the simplex."""
+    opt = _require_scipy()
+    result = opt.linprog(
+        c,
+        A_ub=a_ub if a_ub.size else None,
+        b_ub=b_ub if b_ub.size else None,
+        A_eq=a_eq if a_eq.size else None,
+        b_eq=b_eq if b_eq.size else None,
+        bounds=list(zip(low, high)),
+        method="highs",
+    )
+    if result.status == 2:
+        return LpSolution(SolveStatus.INFEASIBLE)
+    if result.status == 3:
+        return LpSolution(SolveStatus.UNBOUNDED)
+    if not result.success:
+        return LpSolution(SolveStatus.BUDGET_EXCEEDED)
+    return LpSolution(SolveStatus.OPTIMAL, float(result.fun), np.asarray(result.x))
+
+
+class ScipyMilpSolver:
+    """MILP solver backed by ``scipy.optimize.milp`` (HiGHS B&B)."""
+
+    def solve_model(self, model: Model) -> MilpSolution:
+        return self.solve(model.compile())
+
+    def solve(self, problem: CompiledProblem) -> MilpSolution:
+        opt = _require_scipy()
+        constraints = []
+        if problem.a_ub.size:
+            constraints.append(
+                opt.LinearConstraint(problem.a_ub, -np.inf, problem.b_ub)
+            )
+        if problem.a_eq.size:
+            constraints.append(
+                opt.LinearConstraint(problem.a_eq, problem.b_eq, problem.b_eq)
+            )
+        result = opt.milp(
+            c=problem.c,
+            constraints=constraints,
+            integrality=problem.integer.astype(int),
+            bounds=opt.Bounds(problem.low, problem.high),
+        )
+        if result.status == 2:
+            return MilpSolution(SolveStatus.INFEASIBLE)
+        if result.status == 3:
+            return MilpSolution(SolveStatus.UNBOUNDED)
+        if not result.success:
+            return MilpSolution(SolveStatus.BUDGET_EXCEEDED)
+        return MilpSolution(
+            SolveStatus.OPTIMAL,
+            objective=problem.model_objective(float(result.fun)),
+            x=np.asarray(result.x),
+        )

@@ -1,0 +1,256 @@
+"""Dense two-phase primal simplex.
+
+Solves::
+
+    minimize    c @ x
+    subject to  a_ub @ x <= b_ub
+                a_eq @ x == b_eq
+                low <= x <= high
+
+by shifting variables to ``y = x - low >= 0``, folding finite upper
+bounds into extra inequality rows, adding slack variables, and running
+the classic two-phase tableau simplex with Dantzig pricing plus a
+Bland's-rule fallback to guarantee termination in the presence of
+degeneracy.
+
+This is a teaching-grade but complete solver: it handles infeasible and
+unbounded problems, redundant equality rows, and degenerate pivots.  It
+targets the moderate problem sizes of the paper's ILP experiments
+(hundreds of variables / a few thousand rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.lp.solution import LpSolution, SolveStatus
+
+__all__ = ["SimplexSolver"]
+
+_STALL_LIMIT = 64  # degenerate pivots before switching to Bland's rule
+
+
+class SimplexSolver:
+    """Two-phase primal simplex over dense numpy tableaus."""
+
+    def __init__(self, tolerance: float = 1e-9, max_iterations: int = 50_000) -> None:
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+
+    # -- public API ----------------------------------------------------------
+
+    def solve(
+        self,
+        c: np.ndarray,
+        a_ub: np.ndarray,
+        b_ub: np.ndarray,
+        a_eq: np.ndarray,
+        b_eq: np.ndarray,
+        low: np.ndarray,
+        high: np.ndarray,
+    ) -> LpSolution:
+        """Solve the LP; the returned objective is in minimization form."""
+        c = np.asarray(c, dtype=float)
+        low = np.asarray(low, dtype=float)
+        high = np.asarray(high, dtype=float)
+        n = len(c)
+        if np.any(~np.isfinite(low)):
+            raise ValidationError("simplex solver requires finite lower bounds")
+        if np.any(low > high + self.tolerance):
+            return LpSolution(SolveStatus.INFEASIBLE)
+        if n == 0:
+            # Degenerate model with no variables: feasible iff every
+            # constant constraint already holds.
+            b_ub_arr = np.asarray(b_ub, dtype=float)
+            b_eq_arr = np.asarray(b_eq, dtype=float)
+            feasible = np.all(b_ub_arr >= -self.tolerance) and np.all(
+                np.abs(b_eq_arr) <= self.tolerance
+            )
+            if not feasible:
+                return LpSolution(SolveStatus.INFEASIBLE)
+            return LpSolution(SolveStatus.OPTIMAL, 0.0, np.zeros(0))
+
+        # Shift to y = x - low >= 0.
+        shift_constant = float(c @ low)
+        rows_ub = [np.asarray(a_ub, dtype=float).reshape(-1, n)]
+        rhs_ub = [np.asarray(b_ub, dtype=float) - rows_ub[0] @ low]
+
+        finite_high = np.isfinite(high)
+        if np.any(finite_high):
+            bound_rows = np.eye(n)[finite_high]
+            rows_ub.append(bound_rows)
+            rhs_ub.append(high[finite_high] - low[finite_high])
+        a_ub_all = np.vstack(rows_ub)
+        b_ub_all = np.concatenate(rhs_ub)
+
+        a_eq = np.asarray(a_eq, dtype=float).reshape(-1, n)
+        b_eq_all = np.asarray(b_eq, dtype=float) - a_eq @ low
+
+        solution = self._solve_shifted(c, a_ub_all, b_ub_all, a_eq, b_eq_all)
+        if solution.is_optimal:
+            solution.x = solution.x + low
+            solution.objective += shift_constant
+        return solution
+
+    # -- core ------------------------------------------------------------------
+
+    def _solve_shifted(
+        self,
+        c: np.ndarray,
+        a_ub: np.ndarray,
+        b_ub: np.ndarray,
+        a_eq: np.ndarray,
+        b_eq: np.ndarray,
+    ) -> LpSolution:
+        """Solve min c@y, a_ub@y <= b_ub, a_eq@y == b_eq, y >= 0."""
+        n = len(c)
+        num_ub = a_ub.shape[0]
+        num_eq = a_eq.shape[0]
+        m = num_ub + num_eq
+
+        # Build [A | slacks] with slack +1 per ub row; normalize rhs >= 0.
+        body = np.zeros((m, n + num_ub))
+        rhs = np.zeros(m)
+        body[:num_ub, :n] = a_ub
+        body[:num_ub, n : n + num_ub] = np.eye(num_ub)
+        rhs[:num_ub] = b_ub
+        if num_eq:
+            body[num_ub:, :n] = a_eq
+            rhs[num_ub:] = b_eq
+        negative = rhs < 0
+        body[negative] *= -1.0
+        rhs[negative] = -rhs[negative]
+
+        # Rows whose slack survived with +1 get the slack as initial basis;
+        # the rest (equalities and negated ub rows) get artificials.
+        needs_artificial = np.ones(m, dtype=bool)
+        basis = np.full(m, -1, dtype=int)
+        for row in range(num_ub):
+            if not negative[row]:
+                needs_artificial[row] = False
+                basis[row] = n + row
+        artificial_rows = np.flatnonzero(needs_artificial)
+        num_art = len(artificial_rows)
+        total = n + num_ub + num_art
+        tableau = np.zeros((m, total + 1))
+        tableau[:, : n + num_ub] = body
+        tableau[:, -1] = rhs
+        for art_index, row in enumerate(artificial_rows):
+            column = n + num_ub + art_index
+            tableau[row, column] = 1.0
+            basis[row] = column
+
+        iterations = 0
+
+        # Phase 1: minimize the sum of artificials.
+        if num_art:
+            cost1 = np.zeros(total)
+            cost1[n + num_ub :] = 1.0
+            status, extra = self._optimize(tableau, basis, cost1, total)
+            iterations += extra
+            if status is not SolveStatus.OPTIMAL:
+                return LpSolution(status, iterations=iterations)
+            phase1_value = float(cost1[basis] @ tableau[:, -1])
+            if phase1_value > 1e-7:
+                return LpSolution(SolveStatus.INFEASIBLE, iterations=iterations)
+            tableau, basis, m = self._purge_artificials(tableau, basis, n + num_ub)
+            total = n + num_ub
+
+        # Phase 2: minimize the real objective.
+        cost2 = np.zeros(total)
+        cost2[:n] = c
+        status, extra = self._optimize(tableau, basis, cost2, total)
+        iterations += extra
+        if status is not SolveStatus.OPTIMAL:
+            return LpSolution(status, iterations=iterations)
+
+        x = np.zeros(total)
+        x[basis] = tableau[:, -1]
+        objective = float(cost2 @ x)
+        return LpSolution(SolveStatus.OPTIMAL, objective, x[:n], iterations)
+
+    def _optimize(
+        self,
+        tableau: np.ndarray,
+        basis: np.ndarray,
+        cost: np.ndarray,
+        num_columns: int,
+    ) -> tuple[SolveStatus, int]:
+        """Run simplex pivots in place until optimal/unbounded/budget."""
+        tol = self.tolerance
+        iterations = 0
+        stalled = 0
+        use_bland = False
+        while iterations < self.max_iterations:
+            # Reduced costs: z_j - c_j = c_B @ column_j - c_j.
+            reduced = cost[basis] @ tableau[:, :num_columns] - cost[:num_columns]
+            if use_bland:
+                candidates = np.flatnonzero(reduced > tol)
+                if candidates.size == 0:
+                    return SolveStatus.OPTIMAL, iterations
+                entering = int(candidates[0])
+            else:
+                entering = int(np.argmax(reduced))
+                if reduced[entering] <= tol:
+                    return SolveStatus.OPTIMAL, iterations
+
+            column = tableau[:, entering]
+            positive = column > tol
+            if not np.any(positive):
+                return SolveStatus.UNBOUNDED, iterations
+            ratios = np.full(len(column), np.inf)
+            ratios[positive] = tableau[positive, -1] / column[positive]
+            min_ratio = ratios.min()
+            if use_bland:
+                # Tie-break by smallest basis variable index (Bland).
+                tied = np.flatnonzero(ratios <= min_ratio + tol)
+                leaving = int(min(tied, key=lambda row: basis[row]))
+            else:
+                leaving = int(np.argmin(ratios))
+
+            if min_ratio <= tol:
+                stalled += 1
+                if stalled >= _STALL_LIMIT:
+                    use_bland = True
+            else:
+                stalled = 0
+
+            self._pivot(tableau, leaving, entering)
+            basis[leaving] = entering
+            iterations += 1
+        return SolveStatus.BUDGET_EXCEEDED, iterations
+
+    @staticmethod
+    def _pivot(tableau: np.ndarray, row: int, column: int) -> None:
+        tableau[row] /= tableau[row, column]
+        factors = tableau[:, column].copy()
+        factors[row] = 0.0
+        tableau -= np.outer(factors, tableau[row])
+        # Re-assert exact unit column to limit numerical drift.
+        tableau[:, column] = 0.0
+        tableau[row, column] = 1.0
+
+    def _purge_artificials(
+        self,
+        tableau: np.ndarray,
+        basis: np.ndarray,
+        real_columns: int,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Pivot artificials out of the basis (or drop redundant rows)."""
+        tol = self.tolerance
+        keep_rows = np.ones(tableau.shape[0], dtype=bool)
+        for row in range(tableau.shape[0]):
+            if basis[row] < real_columns:
+                continue
+            pivot_candidates = np.flatnonzero(np.abs(tableau[row, :real_columns]) > tol)
+            if pivot_candidates.size:
+                column = int(pivot_candidates[0])
+                self._pivot(tableau, row, column)
+                basis[row] = column
+            else:
+                keep_rows[row] = False  # redundant constraint
+        tableau = tableau[keep_rows]
+        basis = basis[keep_rows]
+        tableau = np.hstack([tableau[:, :real_columns], tableau[:, -1:]])
+        return tableau, basis, tableau.shape[0]

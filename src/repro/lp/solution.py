@@ -1,0 +1,46 @@
+"""Solver result types shared by the native and scipy backends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SolveStatus", "LpSolution", "MilpSolution"]
+
+
+class SolveStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    BUDGET_EXCEEDED = "budget_exceeded"
+
+
+@dataclass
+class LpSolution:
+    """Result of one LP solve (objective in *minimization* orientation)."""
+
+    status: SolveStatus
+    objective: float = float("nan")
+    x: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    iterations: int = 0
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+
+@dataclass
+class MilpSolution:
+    """Result of a MILP solve (objective in the *model's* orientation)."""
+
+    status: SolveStatus
+    objective: float = float("nan")
+    x: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    nodes_explored: int = 0
+    lp_iterations: int = 0
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL

@@ -1,0 +1,56 @@
+"""Frequent itemset mining substrate.
+
+The paper's scalable exact algorithm adapts *maximal frequent itemset*
+mining to the complemented query log.  This package provides everything
+that adaptation needs, built from scratch:
+
+* :mod:`repro.mining.transactions` — transaction databases with vertical
+  bitmap indexes and a lazy complemented view (``~Q`` is never
+  materialised);
+* :mod:`repro.mining.apriori` — the classic level-wise miner;
+* :mod:`repro.mining.eclat` — depth-first tidset-intersection miner;
+* :mod:`repro.mining.fptree` — FP-growth with a full FP-tree;
+* :mod:`repro.mining.maximal` — exhaustive reference and GenMax-style
+  depth-first maximal miners (with MAFIA-style lookahead pruning);
+* :mod:`repro.mining.randomwalk` — the bottom-up random walk of
+  Gunopulos et al. and the paper's two-phase (down/up) random walk with
+  the Good-Turing stopping rule.
+"""
+
+from repro.mining.apriori import apriori
+from repro.mining.closed import closure_of, is_closed, mine_closed_dfs
+from repro.mining.eclat import eclat
+from repro.mining.fptree import fp_growth
+from repro.mining.maximal import (
+    filter_maximal,
+    is_maximal_frequent,
+    mine_maximal_dfs,
+    mine_maximal_reference,
+)
+from repro.mining.randomwalk import (
+    BottomUpRandomWalkMiner,
+    TwoPhaseRandomWalkMiner,
+    WalkStatistics,
+)
+from repro.mining.transactions import ComplementedTransactions, TransactionDatabase
+from repro.mining.weighted import WeightedTransactionDatabase, deduplicate_rows
+
+__all__ = [
+    "closure_of",
+    "is_closed",
+    "mine_closed_dfs",
+    "WeightedTransactionDatabase",
+    "deduplicate_rows",
+    "TransactionDatabase",
+    "ComplementedTransactions",
+    "apriori",
+    "eclat",
+    "fp_growth",
+    "mine_maximal_reference",
+    "mine_maximal_dfs",
+    "filter_maximal",
+    "is_maximal_frequent",
+    "TwoPhaseRandomWalkMiner",
+    "BottomUpRandomWalkMiner",
+    "WalkStatistics",
+]

@@ -1,0 +1,56 @@
+"""Eclat: depth-first frequent itemset mining over tidset intersections.
+
+Each search node carries the tidset (transaction-id bitmask) of its
+itemset; extending the itemset by one item intersects tidsets, so
+support never requires a database pass.  Items are explored in order of
+increasing support, the classic heuristic that keeps the search tree
+narrow near the root.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SolverBudgetExceededError
+
+__all__ = ["eclat"]
+
+
+def eclat(database, threshold: int, max_itemsets: int = 5_000_000) -> dict[int, int]:
+    """Return ``{itemset_mask: support}`` of all frequent itemsets.
+
+    ``database`` is any SupportCounter exposing ``tidset(item)``;
+    ``threshold`` is an absolute support count (>= 1).
+    """
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1, got {threshold}")
+
+    frequent_items = []
+    for item in range(database.width):
+        tids = database.tidset(item)
+        support = tids.bit_count()
+        if support >= threshold:
+            frequent_items.append((support, item, tids))
+    frequent_items.sort()  # ascending support
+
+    result: dict[int, int] = {}
+
+    def expand(prefix_mask: int, prefix_tids: int, candidates: list[tuple[int, int]]) -> None:
+        """``candidates`` are (item, tidset-within-prefix) pairs, support-ordered."""
+        for index, (item, tids) in enumerate(candidates):
+            mask = prefix_mask | (1 << item)
+            support = tids.bit_count()
+            result[mask] = support
+            if len(result) > max_itemsets:
+                raise SolverBudgetExceededError(
+                    f"eclat produced more than {max_itemsets} frequent itemsets"
+                )
+            narrowed = []
+            for other_item, other_tids in candidates[index + 1 :]:
+                joint = tids & other_tids
+                if joint.bit_count() >= threshold:
+                    narrowed.append((other_item, joint))
+            if narrowed:
+                expand(mask, tids, narrowed)
+
+    roots = [(item, tids) for _, item, tids in frequent_items]
+    expand(0, 0, roots)
+    return result

@@ -1,0 +1,111 @@
+"""Association rules over frequent itemsets.
+
+The classic companion to frequent-itemset mining [Agrawal & Srikant]:
+a rule ``X -> Y`` (X, Y disjoint itemsets) with
+
+* support    = freq(X ∪ Y) / N
+* confidence = freq(X ∪ Y) / freq(X)
+* lift       = confidence / (freq(Y) / N)
+
+Not needed by the paper's optimization, but directly useful to *explain
+its inputs*: rules mined from the query log reveal which attribute
+demands travel together ("buyers asking for leather also ask for
+sunroof 72% of the time"), the structure ConsumeAttrCumul exploits and
+sellers reason about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.booldata.schema import Schema
+from repro.common.bits import bit_indices
+from repro.common.errors import ValidationError
+from repro.mining.apriori import apriori
+
+__all__ = ["AssociationRule", "mine_rules", "describe_rules"]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """One rule ``antecedent -> consequent`` with its statistics."""
+
+    antecedent: int
+    consequent: int
+    support: float
+    confidence: float
+    lift: float
+
+    def named(self, schema: Schema) -> str:
+        left = ", ".join(schema.names_of(self.antecedent))
+        right = ", ".join(schema.names_of(self.consequent))
+        return (
+            f"{{{left}}} -> {{{right}}}  "
+            f"(support {self.support:.2f}, confidence {self.confidence:.2f}, "
+            f"lift {self.lift:.2f})"
+        )
+
+
+def mine_rules(
+    database,
+    min_support: float = 0.05,
+    min_confidence: float = 0.5,
+    max_rules: int = 10_000,
+) -> list[AssociationRule]:
+    """Mine rules from any SupportCounter.
+
+    ``min_support`` is a fraction of the transaction count; rules are
+    returned sorted by descending lift, then confidence.  Only rules
+    with single-itemset consequents of any size are generated from each
+    frequent itemset by enumerating antecedent subsets (the standard
+    construction).
+    """
+    if not 0 < min_support <= 1:
+        raise ValidationError("min_support must be in (0, 1]")
+    if not 0 < min_confidence <= 1:
+        raise ValidationError("min_confidence must be in (0, 1]")
+    total = database.num_transactions
+    if total == 0:
+        return []
+    threshold = max(1, int(min_support * total))
+    frequent = apriori(database, threshold)
+
+    rules: list[AssociationRule] = []
+    for itemset, itemset_support in frequent.items():
+        items = bit_indices(itemset)
+        if len(items) < 2:
+            continue
+        # every non-empty proper subset as antecedent
+        for pattern in range(1, (1 << len(items)) - 1):
+            antecedent = 0
+            for position, item in enumerate(items):
+                if pattern >> position & 1:
+                    antecedent |= 1 << item
+            consequent = itemset ^ antecedent
+            antecedent_support = frequent[antecedent]
+            confidence = itemset_support / antecedent_support
+            if confidence < min_confidence:
+                continue
+            consequent_support = frequent[consequent]
+            lift = confidence / (consequent_support / total)
+            rules.append(
+                AssociationRule(
+                    antecedent,
+                    consequent,
+                    itemset_support / total,
+                    confidence,
+                    lift,
+                )
+            )
+            if len(rules) > max_rules:
+                raise ValidationError(
+                    f"more than {max_rules} rules; raise the thresholds"
+                )
+    rules.sort(key=lambda rule: (-rule.lift, -rule.confidence, rule.antecedent))
+    return rules
+
+
+def describe_rules(rules: list[AssociationRule], schema: Schema, limit: int = 10) -> str:
+    """Human-readable top rules."""
+    lines = [rule.named(schema) for rule in rules[:limit]]
+    return "\n".join(lines) if lines else "(no rules at these thresholds)"

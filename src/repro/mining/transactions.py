@@ -1,0 +1,169 @@
+"""Transaction databases with vertical bitmap indexes.
+
+A transaction is a bitmask of items (attributes).  Support counting is
+the hot loop of every miner, so alongside the horizontal row list we
+maintain a *vertical* index: for each item, a bitmask over transaction
+ids (a "tidset", packed into one Python int).  The support of an itemset
+is then the popcount of the intersection of its items' tidsets.
+
+The complemented database ``~Q`` of the paper is exposed as the lazy
+:class:`ComplementedTransactions` view: its tidset for item ``i`` is the
+complement of the original tidset, so the dense table never has to be
+materialised.  Both classes satisfy the informal ``SupportCounter``
+protocol used by the miners: ``width``, ``num_transactions``,
+``support(itemset)``, ``tidset(item)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.booldata.table import BooleanTable
+from repro.common.bits import bit_indices, full_mask, mask_complement
+from repro.common.errors import ValidationError
+
+__all__ = ["TransactionDatabase", "ComplementedTransactions"]
+
+
+class TransactionDatabase:
+    """Horizontal rows + vertical tidset index over ``width`` items."""
+
+    __slots__ = ("width", "_rows", "_tidsets", "_all_tids")
+
+    def __init__(self, width: int, rows: Iterable[int] = ()) -> None:
+        if width <= 0:
+            raise ValidationError(f"width must be positive, got {width}")
+        self.width = width
+        self._rows: list[int] = []
+        self._tidsets: list[int] = [0] * width
+        self._all_tids = 0
+        full = full_mask(width)
+        for row in rows:
+            if not isinstance(row, int) or row < 0 or row & ~full:
+                raise ValidationError(f"row {row!r} out of range for width {width}")
+            self._append_indexed(row)
+
+    def _append_indexed(self, row: int) -> None:
+        tid_bit = 1 << len(self._rows)
+        self._rows.append(row)
+        self._all_tids |= tid_bit
+        remaining = row
+        while remaining:
+            low = remaining & -remaining
+            self._tidsets[low.bit_length() - 1] |= tid_bit
+            remaining ^= low
+
+    @classmethod
+    def from_boolean_table(cls, table: BooleanTable) -> "TransactionDatabase":
+        return cls(table.schema.width, table)
+
+    # -- SupportCounter protocol ------------------------------------------------
+
+    @property
+    def num_transactions(self) -> int:
+        return len(self._rows)
+
+    def tidset(self, item: int) -> int:
+        """Bitmask over transaction ids containing ``item``."""
+        return self._tidsets[item]
+
+    def support(self, itemset: int) -> int:
+        """Number of transactions that are supersets of ``itemset``."""
+        return self.covering_tids(itemset).bit_count()
+
+    def covering_tids(self, itemset: int) -> int:
+        """Tidset of transactions supporting ``itemset``."""
+        tids = self._all_tids
+        remaining = itemset
+        while remaining and tids:
+            low = remaining & -remaining
+            tids &= self._tidsets[low.bit_length() - 1]
+            remaining ^= low
+        return tids
+
+    # -- container ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> int:
+        return self._rows[index]
+
+    def __repr__(self) -> str:
+        return f"TransactionDatabase(width={self.width}, rows={len(self._rows)})"
+
+    # -- derived views ---------------------------------------------------------------
+
+    def complement(self) -> "ComplementedTransactions":
+        """Lazy complemented view (the paper's ``~Q``)."""
+        return ComplementedTransactions(self)
+
+    def item_supports(self) -> list[int]:
+        """Support of each singleton item."""
+        return [tids.bit_count() for tids in self._tidsets]
+
+
+class ComplementedTransactions:
+    """Complement view of a :class:`TransactionDatabase`.
+
+    A transaction of this view contains item ``i`` iff the underlying
+    transaction does *not*.  Support of itemset ``I`` here equals
+    ``#{row : row & I == 0}`` in the base database — computed from the
+    complemented tidsets without building dense rows.
+    """
+
+    __slots__ = ("base", "_all_tids")
+
+    def __init__(self, base: TransactionDatabase) -> None:
+        self.base = base
+        self._all_tids = full_mask(base.num_transactions)
+
+    @property
+    def width(self) -> int:
+        return self.base.width
+
+    @property
+    def num_transactions(self) -> int:
+        return self.base.num_transactions
+
+    def tidset(self, item: int) -> int:
+        return self.base.tidset(item) ^ self._all_tids
+
+    def support(self, itemset: int) -> int:
+        return self.covering_tids(itemset).bit_count()
+
+    def covering_tids(self, itemset: int) -> int:
+        tids = self._all_tids
+        remaining = itemset
+        while remaining and tids:
+            low = remaining & -remaining
+            tids &= self.tidset(low.bit_length() - 1)
+            remaining ^= low
+        return tids
+
+    def __len__(self) -> int:
+        return self.base.num_transactions
+
+    def __iter__(self) -> Iterator[int]:
+        """Materialise complemented rows one at a time (tests / reference)."""
+        width = self.base.width
+        for row in self.base:
+            yield mask_complement(row, width)
+
+    def materialize(self) -> TransactionDatabase:
+        """Explicit complemented database (reference implementations only)."""
+        return TransactionDatabase(self.base.width, iter(self))
+
+    def item_supports(self) -> list[int]:
+        return [self.tidset(item).bit_count() for item in range(self.base.width)]
+
+    def __repr__(self) -> str:
+        return f"ComplementedTransactions({self.base!r})"
+
+
+def itemset_items(itemset: int) -> list[int]:
+    """Items of an itemset mask (convenience re-export for miners)."""
+    return bit_indices(itemset)

@@ -1,0 +1,172 @@
+"""Weighted transaction databases.
+
+Real query logs repeat: thousands of buyers issue the same "AC and
+automatic" query.  Deduplicating the log into (query, multiplicity)
+pairs and counting *weighted* support keeps every algorithm exact while
+shrinking the data the miners touch.
+
+A :class:`WeightedTransactionDatabase` satisfies the same informal
+SupportCounter protocol as :class:`~repro.mining.transactions.
+TransactionDatabase` — ``support`` returns the total weight of
+supporting transactions and ``num_transactions`` the total weight — so
+the maximal-itemset miners work on it unchanged (weights must be
+positive integers for the threshold semantics to stay exact).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.booldata.table import BooleanTable
+from repro.common.bits import full_mask, mask_complement
+from repro.common.errors import ValidationError
+
+__all__ = ["WeightedTransactionDatabase", "deduplicate_rows"]
+
+
+def deduplicate_rows(rows: Iterable[int]) -> tuple[list[int], list[int]]:
+    """Collapse repeated rows into ``(unique_rows, multiplicities)``.
+
+    Order follows first appearance, so results are deterministic.
+    """
+    counts: Counter[int] = Counter()
+    order: list[int] = []
+    for row in rows:
+        if row not in counts:
+            order.append(row)
+        counts[row] += 1
+    return order, [counts[row] for row in order]
+
+
+class WeightedTransactionDatabase:
+    """Vertical-bitmap transactions with positive integer weights."""
+
+    __slots__ = ("width", "_rows", "_weights", "_tidsets", "_all_tids", "_total_weight")
+
+    def __init__(self, width: int, rows: Sequence[int], weights: Sequence[int]) -> None:
+        if width <= 0:
+            raise ValidationError(f"width must be positive, got {width}")
+        if len(rows) != len(weights):
+            raise ValidationError(
+                f"{len(rows)} rows but {len(weights)} weights"
+            )
+        full = full_mask(width)
+        self.width = width
+        self._rows: list[int] = []
+        self._weights: list[int] = []
+        self._tidsets: list[int] = [0] * width
+        self._all_tids = 0
+        self._total_weight = 0
+        for row, weight in zip(rows, weights):
+            if not isinstance(row, int) or row < 0 or row & ~full:
+                raise ValidationError(f"row {row!r} out of range for width {width}")
+            if not isinstance(weight, int) or weight <= 0:
+                raise ValidationError(
+                    f"weights must be positive integers, got {weight!r}"
+                )
+            tid_bit = 1 << len(self._rows)
+            self._rows.append(row)
+            self._weights.append(weight)
+            self._all_tids |= tid_bit
+            self._total_weight += weight
+            remaining = row
+            while remaining:
+                low = remaining & -remaining
+                self._tidsets[low.bit_length() - 1] |= tid_bit
+                remaining ^= low
+
+    @classmethod
+    def from_boolean_table(cls, table: BooleanTable) -> "WeightedTransactionDatabase":
+        """Deduplicate a table into a weighted database."""
+        rows, weights = deduplicate_rows(table)
+        return cls(table.schema.width, rows, weights)
+
+    # -- SupportCounter protocol (weighted) -----------------------------------
+
+    @property
+    def num_transactions(self) -> int:
+        """Total weight — the role row count plays in the unweighted case."""
+        return self._total_weight
+
+    @property
+    def distinct_rows(self) -> int:
+        return len(self._rows)
+
+    def tidset(self, item: int) -> int:
+        return self._tidsets[item]
+
+    def weight_of_tids(self, tids: int) -> int:
+        total = 0
+        remaining = tids
+        while remaining:
+            low = remaining & -remaining
+            total += self._weights[low.bit_length() - 1]
+            remaining ^= low
+        return total
+
+    def covering_tids(self, itemset: int) -> int:
+        tids = self._all_tids
+        remaining = itemset
+        while remaining and tids:
+            low = remaining & -remaining
+            tids &= self._tidsets[low.bit_length() - 1]
+            remaining ^= low
+        return tids
+
+    def support(self, itemset: int) -> int:
+        """Total weight of transactions that are supersets of ``itemset``."""
+        return self.weight_of_tids(self.covering_tids(itemset))
+
+    # -- complement view --------------------------------------------------------
+
+    def complement(self) -> "WeightedComplementedTransactions":
+        return WeightedComplementedTransactions(self)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedTransactionDatabase(width={self.width}, "
+            f"distinct={len(self._rows)}, total_weight={self._total_weight})"
+        )
+
+
+class WeightedComplementedTransactions:
+    """Weighted analogue of the lazy complemented view."""
+
+    __slots__ = ("base", "_all_tids")
+
+    def __init__(self, base: WeightedTransactionDatabase) -> None:
+        self.base = base
+        self._all_tids = full_mask(len(base))
+
+    @property
+    def width(self) -> int:
+        return self.base.width
+
+    @property
+    def num_transactions(self) -> int:
+        return self.base.num_transactions
+
+    def tidset(self, item: int) -> int:
+        return self.base.tidset(item) ^ self._all_tids
+
+    def covering_tids(self, itemset: int) -> int:
+        tids = self._all_tids
+        remaining = itemset
+        while remaining and tids:
+            low = remaining & -remaining
+            tids &= self.tidset(low.bit_length() - 1)
+            remaining ^= low
+        return tids
+
+    def support(self, itemset: int) -> int:
+        """Total weight of base rows *disjoint* from ``itemset``."""
+        return self.base.weight_of_tids(self.covering_tids(itemset))
+
+    def __iter__(self):
+        width = self.base.width
+        for row in self.base._rows:
+            yield mask_complement(row, width)

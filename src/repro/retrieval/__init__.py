@@ -1,0 +1,35 @@
+"""Search/retrieval engines over product databases.
+
+Provides the retrieval semantics the paper's problem variants assume:
+
+* :mod:`repro.retrieval.engine` — conjunctive and disjunctive Boolean
+  retrieval over a :class:`~repro.booldata.table.BooleanTable`, backed by
+  an inverted (vertical bitmap) index;
+* :mod:`repro.retrieval.scoring` — global scoring functions (functions
+  of the tuple only, the class for which the paper's exact reductions
+  apply): attribute count and extrinsic numeric scores;
+* :mod:`repro.retrieval.topk` — top-k retrieval and the "would a new
+  tuple enter the top-k for this query?" predicate;
+* :mod:`repro.retrieval.text` — bag-of-words documents, keyword queries
+  and BM25 ranking for the text variant.
+"""
+
+from repro.retrieval.engine import BooleanRetrievalEngine
+from repro.retrieval.scoring import (
+    AttributeCountScore,
+    ExtrinsicScore,
+    GlobalScore,
+)
+from repro.retrieval.text import Bm25Scorer, TextDatabase, tokenize
+from repro.retrieval.topk import TopKEngine
+
+__all__ = [
+    "BooleanRetrievalEngine",
+    "GlobalScore",
+    "AttributeCountScore",
+    "ExtrinsicScore",
+    "TopKEngine",
+    "TextDatabase",
+    "Bm25Scorer",
+    "tokenize",
+]

@@ -1,0 +1,72 @@
+"""Boolean retrieval over a product database.
+
+The front-end semantics of Section II: a conjunctive query retrieves the
+tuples that dominate it; a disjunctive query retrieves the tuples that
+share at least one attribute with it.  Retrieval is answered from an
+inverted index (one transaction-id bitmask per attribute), reusing the
+vertical-index machinery of the mining substrate.
+"""
+
+from __future__ import annotations
+
+from repro.booldata.table import BooleanTable
+from repro.common.bits import bit_indices
+from repro.mining.transactions import TransactionDatabase
+
+__all__ = ["BooleanRetrievalEngine"]
+
+
+class BooleanRetrievalEngine:
+    """Index a :class:`BooleanTable` once; answer queries in sub-linear time."""
+
+    def __init__(self, database: BooleanTable) -> None:
+        self.database = database
+        self._index = TransactionDatabase.from_boolean_table(database)
+
+    def __len__(self) -> int:
+        return len(self.database)
+
+    # -- conjunctive ------------------------------------------------------------
+
+    def conjunctive_match_tids(self, query: int) -> int:
+        """Bitmask over row ids matching ``query`` conjunctively."""
+        self.database.schema.validate_mask(query)
+        return self._index.covering_tids(query)
+
+    def conjunctive_search(self, query: int) -> list[int]:
+        """Row indices of ``R(q)`` under conjunctive Boolean retrieval."""
+        return bit_indices(self.conjunctive_match_tids(query))
+
+    def conjunctive_count(self, query: int) -> int:
+        """``|R(q)|`` without materialising the result list."""
+        return self.conjunctive_match_tids(query).bit_count()
+
+    # -- disjunctive ------------------------------------------------------------
+
+    def disjunctive_match_tids(self, query: int) -> int:
+        """Row ids of tuples sharing at least one attribute with ``query``."""
+        self.database.schema.validate_mask(query)
+        tids = 0
+        remaining = query
+        while remaining:
+            low = remaining & -remaining
+            tids |= self._index.tidset(low.bit_length() - 1)
+            remaining ^= low
+        return tids
+
+    def disjunctive_search(self, query: int) -> list[int]:
+        return bit_indices(self.disjunctive_match_tids(query))
+
+    def disjunctive_count(self, query: int) -> int:
+        return self.disjunctive_match_tids(query).bit_count()
+
+    # -- log-level helpers --------------------------------------------------------
+
+    def visibility_of(self, tuple_mask: int, log: BooleanTable) -> int:
+        """How many log queries retrieve ``tuple_mask`` conjunctively.
+
+        Note the asymmetry with :meth:`conjunctive_count`: here the tuple
+        is fixed and the queries vary — the SOC objective.
+        """
+        self.database.schema.validate_mask(tuple_mask)
+        return sum(1 for query in log if query & tuple_mask == query)

@@ -1,0 +1,86 @@
+"""Global scoring functions for top-k retrieval.
+
+Section V of the paper restricts exact SOC-Topk reductions to *global*
+scoring functions — ``score(t)`` depends on the tuple alone, not on the
+query.  The two examples given there are implemented here:
+
+* :class:`AttributeCountScore` — "order by decreasing number of
+  available features": score is the tuple's popcount;
+* :class:`ExtrinsicScore` — "order by a numeric attribute such as
+  Price": each database row carries an extrinsic value, and the new
+  tuple brings its own (compression does not change it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+
+__all__ = ["GlobalScore", "AttributeCountScore", "ExtrinsicScore"]
+
+
+class GlobalScore:
+    """Interface: score database rows and candidate compressed tuples."""
+
+    #: higher_is_better: ranking order of the engine
+    higher_is_better: bool = True
+
+    def score_row(self, row_index: int, row_mask: int) -> float:
+        """Score of an existing database tuple."""
+        raise NotImplementedError
+
+    def score_candidate(self, tuple_mask: int) -> float:
+        """Score of a (possibly compressed) new tuple."""
+        raise NotImplementedError
+
+
+class AttributeCountScore(GlobalScore):
+    """Score = number of attributes present (popcount)."""
+
+    def score_row(self, row_index: int, row_mask: int) -> float:
+        return float(row_mask.bit_count())
+
+    def score_candidate(self, tuple_mask: int) -> float:
+        return float(tuple_mask.bit_count())
+
+
+class ExtrinsicScore(GlobalScore):
+    """Score read off a per-row numeric column (e.g. Price).
+
+    ``row_values[i]`` scores database row ``i``; ``candidate_value``
+    scores the new tuple regardless of which attributes are retained —
+    compressing the *advertised* attribute set does not change the car's
+    price.
+    """
+
+    def __init__(
+        self,
+        row_values: Sequence[float],
+        candidate_value: float,
+        higher_is_better: bool = True,
+    ) -> None:
+        self.row_values = list(row_values)
+        self.candidate_value = float(candidate_value)
+        self.higher_is_better = higher_is_better
+
+    @classmethod
+    def for_database(
+        cls,
+        database: BooleanTable,
+        row_values: Sequence[float],
+        candidate_value: float,
+        higher_is_better: bool = True,
+    ) -> "ExtrinsicScore":
+        if len(row_values) != len(database):
+            raise ValidationError(
+                f"{len(row_values)} values for a database of {len(database)} rows"
+            )
+        return cls(row_values, candidate_value, higher_is_better)
+
+    def score_row(self, row_index: int, row_mask: int) -> float:
+        return float(self.row_values[row_index])
+
+    def score_candidate(self, tuple_mask: int) -> float:
+        return self.candidate_value

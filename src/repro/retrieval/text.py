@@ -1,0 +1,132 @@
+"""Text databases: bags of words, keyword queries, BM25 ranking.
+
+Section II.B maps text data onto the Boolean problem: every distinct
+keyword is a Boolean attribute, a document is the set of its words, and
+a keyword query retrieves documents containing all keywords.  The
+classic BM25 scoring function [Robertson & Walker, SIGIR 1994] the paper
+references is implemented for the top-k text variant.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.booldata.schema import Schema
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+
+__all__ = ["tokenize", "TextDatabase", "Bm25Scorer"]
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case alphanumeric tokens, in document order.
+
+    >>> tokenize("Sunny 2-bedroom apt, near TRAIN station!")
+    ['sunny', '2', 'bedroom', 'apt', 'near', 'train', 'station']
+    """
+    return _TOKEN_PATTERN.findall(text.lower())
+
+
+class TextDatabase:
+    """A corpus of bag-of-words documents with a shared vocabulary."""
+
+    def __init__(self, documents: Sequence[str]) -> None:
+        self.raw_documents = list(documents)
+        self.bags: list[Counter[str]] = [Counter(tokenize(doc)) for doc in documents]
+        vocabulary = sorted({word for bag in self.bags for word in bag})
+        if not vocabulary:
+            raise ValidationError("corpus has no tokens")
+        self.vocabulary = vocabulary
+        self._word_index = {word: i for i, word in enumerate(vocabulary)}
+        #: documents containing each word (document frequency)
+        self.document_frequency: Counter[str] = Counter()
+        for bag in self.bags:
+            for word in bag:
+                self.document_frequency[word] += 1
+
+    def __len__(self) -> int:
+        return len(self.bags)
+
+    @property
+    def average_length(self) -> float:
+        if not self.bags:
+            return 0.0
+        return sum(sum(bag.values()) for bag in self.bags) / len(self.bags)
+
+    def word_mask(self, words: Iterable[str]) -> int:
+        """Bitmask over the vocabulary for a set of words.
+
+        Unknown words raise — a query word outside the corpus vocabulary
+        can never be satisfied, so passing one is almost always a bug.
+        """
+        mask = 0
+        for word in words:
+            try:
+                mask |= 1 << self._word_index[word]
+            except KeyError:
+                raise ValidationError(f"word {word!r} not in corpus vocabulary") from None
+        return mask
+
+    def to_boolean(self) -> tuple[Schema, BooleanTable]:
+        """Boolean view: one attribute per vocabulary word (Section II.B)."""
+        schema = Schema(self.vocabulary)
+        rows = (self.word_mask(bag.keys()) for bag in self.bags)
+        return schema, BooleanTable(schema, rows)
+
+    def query_log_to_boolean(self, queries: Sequence[Sequence[str]]) -> BooleanTable:
+        """Convert keyword queries to rows over the corpus vocabulary.
+
+        Queries containing out-of-vocabulary words are kept but can never
+        be satisfied; their in-vocabulary words still matter for the
+        greedy frequency statistics, so only the unknown words (which no
+        document selection could ever cover) are dropped.
+        """
+        schema = Schema(self.vocabulary)
+        rows = []
+        for query in queries:
+            known = [word for word in query if word in self._word_index]
+            rows.append(self.word_mask(known))
+        return BooleanTable(schema, rows)
+
+
+class Bm25Scorer:
+    """Okapi BM25 over a :class:`TextDatabase`."""
+
+    def __init__(self, corpus: TextDatabase, k1: float = 1.2, b: float = 0.75) -> None:
+        self.corpus = corpus
+        self.k1 = k1
+        self.b = b
+        self._avg_len = corpus.average_length or 1.0
+
+    def idf(self, word: str) -> float:
+        """Robertson-Sparck Jones idf with the standard +0.5 smoothing."""
+        n = len(self.corpus)
+        df = self.corpus.document_frequency.get(word, 0)
+        return math.log((n - df + 0.5) / (df + 0.5) + 1.0)
+
+    def score(self, query_words: Sequence[str], doc_index: int) -> float:
+        bag = self.corpus.bags[doc_index]
+        doc_len = sum(bag.values())
+        score = 0.0
+        for word in query_words:
+            tf = bag.get(word, 0)
+            if tf == 0:
+                continue
+            idf = self.idf(word)
+            denominator = tf + self.k1 * (1 - self.b + self.b * doc_len / self._avg_len)
+            score += idf * tf * (self.k1 + 1) / denominator
+        return score
+
+    def top_k(self, query_words: Sequence[str], k: int) -> list[tuple[int, float]]:
+        """Best ``k`` documents for the query, highest score first."""
+        scored = [
+            (self.score(query_words, index), -index)
+            for index in range(len(self.corpus))
+        ]
+        scored.sort(reverse=True)
+        return [(-neg_index, score) for score, neg_index in scored[:k] if score > 0]

@@ -1,0 +1,99 @@
+"""Top-k retrieval and the new-tuple admission predicate.
+
+``R(q)`` under top-k semantics is the set of the ``k`` best-scoring
+tuples among those matching ``q`` conjunctively.  For SOC-Topk we need
+one derived predicate: *would a new tuple (with a known score) enter the
+top-k for query q?* — true iff fewer than ``k`` existing matches beat
+it.  Ties are resolved in favour of the new tuple by default (the
+``optimistic`` policy), matching the convention that a freshly inserted
+ad appears above equally-scored older ads; the ``pessimistic`` policy is
+available for sensitivity checks.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+from repro.retrieval.engine import BooleanRetrievalEngine
+from repro.retrieval.scoring import GlobalScore
+
+__all__ = ["TopKEngine"]
+
+
+class TopKEngine:
+    """Top-k conjunctive retrieval with a global scoring function."""
+
+    def __init__(self, database: BooleanTable, scoring: GlobalScore, k: int) -> None:
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        self.database = database
+        self.scoring = scoring
+        self.k = k
+        self.engine = BooleanRetrievalEngine(database)
+        self._row_scores = [
+            scoring.score_row(index, row) for index, row in enumerate(database)
+        ]
+
+    def top_k(self, query: int) -> list[tuple[int, float]]:
+        """``[(row_index, score)]`` of the k best matches, best first."""
+        matches = self.engine.conjunctive_search(query)
+        sign = 1.0 if self.scoring.higher_is_better else -1.0
+        best = heapq.nlargest(
+            self.k,
+            ((sign * self._row_scores[index], -index) for index in matches),
+        )
+        return [(int(-neg_index), sign * signed) for signed, neg_index in best]
+
+    def beating_count(self, query: int, candidate_score: float) -> int:
+        """Existing matches of ``query`` scoring strictly better than the candidate."""
+        sign = 1.0 if self.scoring.higher_is_better else -1.0
+        target = sign * candidate_score
+        return sum(
+            1
+            for index in self.engine.conjunctive_search(query)
+            if sign * self._row_scores[index] > target
+        )
+
+    def admits_score(self, query: int, score: float, tie_policy: str = "optimistic") -> bool:
+        """Would a new tuple with ``score`` rank in the top-k for ``query``?
+
+        Checks only the ranking condition; the caller is responsible for
+        the conjunctive-match condition.
+        """
+        sign = 1.0 if self.scoring.higher_is_better else -1.0
+        target = sign * score
+        if tie_policy == "optimistic":
+            return self.beating_count(query, score) < self.k
+        if tie_policy == "pessimistic":
+            not_worse = sum(
+                1
+                for index in self.engine.conjunctive_search(query)
+                if sign * self._row_scores[index] >= target
+            )
+            return not_worse < self.k
+        raise ValidationError(f"unknown tie policy {tie_policy!r}")
+
+    def would_retrieve(
+        self,
+        query: int,
+        candidate_mask: int,
+        tie_policy: str = "optimistic",
+    ) -> bool:
+        """Would the compressed tuple appear in ``R(q)`` if inserted?
+
+        Requires the candidate to match ``q`` conjunctively, then checks
+        the rank its global score would earn among existing matches.
+        """
+        if query & candidate_mask != query:
+            return False
+        score = self.scoring.score_candidate(candidate_mask)
+        return self.admits_score(query, score, tie_policy)
+
+    def visibility_of(self, candidate_mask: int, log: BooleanTable,
+                      tie_policy: str = "optimistic") -> int:
+        """Number of log queries whose top-k would include the candidate."""
+        return sum(
+            1 for query in log if self.would_retrieve(query, candidate_mask, tie_policy)
+        )

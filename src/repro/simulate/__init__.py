@@ -1,0 +1,31 @@
+"""Marketplace simulation.
+
+The paper's premise is that maximizing visibility against a *past*
+query log maximizes exposure to *future* buyers.  This package closes
+that loop: a :class:`~repro.simulate.marketplace.Marketplace` hosts
+posted ads and replays buyer queries against them, and
+:mod:`repro.simulate.evaluation` runs train/test splits measuring how
+each attribute-selection strategy generalizes.
+"""
+
+from repro.simulate.evaluation import (
+    GeneralizationReport,
+    StrategyOutcome,
+    evaluate_strategies,
+    random_selection,
+    split_log,
+)
+from repro.simulate.marketplace import Marketplace, PostedAd
+from repro.simulate.monitor import MonitorStatus, VisibilityMonitor
+
+__all__ = [
+    "VisibilityMonitor",
+    "MonitorStatus",
+    "Marketplace",
+    "PostedAd",
+    "split_log",
+    "random_selection",
+    "evaluate_strategies",
+    "StrategyOutcome",
+    "GeneralizationReport",
+]

@@ -1,0 +1,166 @@
+"""Train/test evaluation of attribute-selection strategies.
+
+Splits a query log chronologically or randomly into a *training* log
+(what the seller can see) and a *held-out* log (future buyers), runs
+each strategy on the training log, and measures realized visibility on
+both.  This answers the question the paper's evaluation leaves implicit:
+does optimizing against yesterday's log pay off tomorrow?
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.booldata.ops import satisfied_count
+from repro.booldata.table import BooleanTable
+from repro.common.bits import bit_count, bit_indices, from_indices
+from repro.common.errors import ValidationError
+from repro.common.rng import ensure_rng
+from repro.common.tables import format_table
+from repro.core.base import Solver
+from repro.core.problem import VisibilityProblem
+
+__all__ = [
+    "split_log",
+    "random_selection",
+    "StrategyOutcome",
+    "GeneralizationReport",
+    "evaluate_strategies",
+]
+
+#: a strategy maps a training problem to a keep-mask
+Strategy = Callable[[VisibilityProblem], int]
+
+
+def split_log(
+    log: BooleanTable,
+    train_fraction: float = 0.5,
+    seed: int | random.Random | None = 0,
+    shuffle: bool = True,
+) -> tuple[BooleanTable, BooleanTable]:
+    """Split a log into (train, test).
+
+    ``shuffle=False`` keeps log order — a chronological split, the
+    realistic setting when the log is time-ordered.
+    """
+    if not 0 < train_fraction < 1:
+        raise ValidationError("train_fraction must be in (0, 1)")
+    rows = log.rows
+    if shuffle:
+        ensure_rng(seed).shuffle(rows)
+    cut = max(1, min(len(rows) - 1, round(len(rows) * train_fraction)))
+    if len(rows) < 2:
+        raise ValidationError("need at least 2 queries to split")
+    return (
+        BooleanTable(log.schema, rows[:cut]),
+        BooleanTable(log.schema, rows[cut:]),
+    )
+
+
+def random_selection(seed: int | random.Random | None = 0) -> Strategy:
+    """Baseline strategy: keep ``m`` uniformly random tuple attributes."""
+    rng = ensure_rng(seed)
+
+    def pick(problem: VisibilityProblem) -> int:
+        attributes = bit_indices(problem.new_tuple)
+        size = min(problem.budget, len(attributes))
+        return from_indices(rng.sample(attributes, size))
+
+    return pick
+
+
+def solver_strategy(solver: Solver) -> Strategy:
+    """Adapt any :class:`Solver` into a strategy."""
+
+    def pick(problem: VisibilityProblem) -> int:
+        return solver.solve(problem).keep_mask
+
+    return pick
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """Average visibility of one strategy on train and held-out logs."""
+
+    name: str
+    train_visibility: float
+    test_visibility: float
+
+    @property
+    def generalization_ratio(self) -> float:
+        """test / train (1.0 = perfect transfer; 0/0 counts as 0)."""
+        if self.train_visibility == 0:
+            return 0.0
+        return self.test_visibility / self.train_visibility
+
+
+@dataclass(frozen=True)
+class GeneralizationReport:
+    """All strategies on one train/test split."""
+
+    outcomes: list[StrategyOutcome]
+    train_queries: int
+    test_queries: int
+    budget: int
+
+    def outcome_of(self, name: str) -> StrategyOutcome:
+        for outcome in self.outcomes:
+            if outcome.name == name:
+                return outcome
+        raise ValidationError(f"no outcome named {name!r}")
+
+    def to_text(self) -> str:
+        header = (
+            f"train {self.train_queries} queries / test {self.test_queries} "
+            f"queries, m={self.budget}"
+        )
+        table = format_table(
+            ["strategy", "train avg", "test avg", "test/train"],
+            [
+                [o.name, o.train_visibility, o.test_visibility,
+                 round(o.generalization_ratio, 3)]
+                for o in self.outcomes
+            ],
+        )
+        return f"{header}\n{table}"
+
+
+def evaluate_strategies(
+    strategies: dict[str, Strategy],
+    train_log: BooleanTable,
+    test_log: BooleanTable,
+    new_tuples: Sequence[int],
+    budget: int,
+) -> GeneralizationReport:
+    """Run each strategy on the training log; score on both logs.
+
+    Every strategy sees only ``train_log``; ``test_log`` scores are the
+    held-out ground truth.  Averages are over ``new_tuples``.
+    """
+    if train_log.schema != test_log.schema:
+        raise ValidationError("train and test logs use different schemas")
+    if not new_tuples:
+        raise ValidationError("need at least one new tuple")
+    outcomes = []
+    for name, strategy in strategies.items():
+        train_total = 0
+        test_total = 0
+        for new_tuple in new_tuples:
+            problem = VisibilityProblem(train_log, new_tuple, budget)
+            keep = strategy(problem)
+            if keep & ~new_tuple or bit_count(keep) > budget:
+                raise ValidationError(
+                    f"strategy {name!r} returned an invalid keep-mask"
+                )
+            train_total += satisfied_count(train_log, keep)
+            test_total += satisfied_count(test_log, keep)
+        outcomes.append(
+            StrategyOutcome(
+                name,
+                train_total / len(new_tuples),
+                test_total / len(new_tuples),
+            )
+        )
+    return GeneralizationReport(outcomes, len(train_log), len(test_log), budget)

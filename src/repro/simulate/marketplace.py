@@ -1,0 +1,96 @@
+"""A minimal marketplace: posted ads + replayed buyer queries.
+
+Ads are compressed tuples over a shared schema; buyers issue conjunctive
+queries; an *impression* is one query retrieving one ad.  Optional
+top-k mode caps how many ads one query surfaces (newest-first among the
+matches with the highest global score), modelling a results page.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.booldata.schema import Schema
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+from repro.retrieval.scoring import GlobalScore
+
+__all__ = ["PostedAd", "Marketplace"]
+
+
+@dataclass(frozen=True)
+class PostedAd:
+    """One live ad: the advertised attribute mask plus its identity."""
+
+    ad_id: int
+    mask: int
+    label: str = ""
+
+
+@dataclass
+class Marketplace:
+    """Hosts ads over one schema and replays query traffic against them."""
+
+    schema: Schema
+    page_size: int | None = None  # None = Boolean retrieval, no cap
+    scoring: GlobalScore | None = None
+    _ads: list[PostedAd] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.page_size is not None and self.page_size < 1:
+            raise ValidationError("page_size must be >= 1 when set")
+        if self.page_size is not None and self.scoring is None:
+            raise ValidationError("top-k mode needs a scoring function")
+
+    # -- posting ------------------------------------------------------------
+
+    def post_ad(self, mask: int, label: str = "") -> int:
+        """Post an ad; returns its id."""
+        self.schema.validate_mask(mask)
+        ad = PostedAd(len(self._ads), mask, label)
+        self._ads.append(ad)
+        return ad.ad_id
+
+    @property
+    def ads(self) -> list[PostedAd]:
+        return list(self._ads)
+
+    def __len__(self) -> int:
+        return len(self._ads)
+
+    # -- traffic -------------------------------------------------------------
+
+    def run_query(self, query: int) -> list[int]:
+        """Ids of the ads this query surfaces.
+
+        Boolean mode returns every conjunctive match; top-k mode keeps
+        the ``page_size`` best by global score, newest ad winning ties
+        (fresh listings float up, as on real sites).
+        """
+        self.schema.validate_mask(query)
+        matches = [ad for ad in self._ads if query & ad.mask == query]
+        if self.page_size is None:
+            return [ad.ad_id for ad in matches]
+        ranked = sorted(
+            matches,
+            key=lambda ad: (self.scoring.score_candidate(ad.mask), ad.ad_id),
+            reverse=True,
+        )
+        return [ad.ad_id for ad in ranked[: self.page_size]]
+
+    def run_workload(self, log: BooleanTable) -> Counter[int]:
+        """Impressions per ad over a whole query log."""
+        if log.schema != self.schema:
+            raise ValidationError("workload schema differs from marketplace schema")
+        impressions: Counter[int] = Counter()
+        for query in log:
+            for ad_id in self.run_query(query):
+                impressions[ad_id] += 1
+        return impressions
+
+    def impressions_of(self, ad_id: int, log: BooleanTable) -> int:
+        """Impressions a single ad earns over a log."""
+        if not 0 <= ad_id < len(self._ads):
+            raise ValidationError(f"unknown ad id {ad_id}")
+        return self.run_workload(log)[ad_id]

@@ -1,0 +1,130 @@
+"""Visibility monitoring over streaming query traffic.
+
+Buyer interest drifts: the attribute selection that was optimal against
+last month's log decays.  :class:`VisibilityMonitor` watches a sliding
+window of incoming queries, tracks how many the currently advertised
+attributes satisfy, periodically re-estimates what the *best* selection
+over the window would achieve, and recommends re-optimization once the
+realized share drops below a tolerance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+from repro.core.base import Solver
+from repro.core.greedy import ConsumeAttrSolver
+from repro.core.problem import VisibilityProblem
+
+__all__ = ["MonitorStatus", "VisibilityMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorStatus:
+    """Snapshot of the monitor's view of the world."""
+
+    window_queries: int
+    realized: int          # window queries the current ad satisfies
+    achievable: int        # window queries the best re-optimized ad would satisfy
+    should_reoptimize: bool
+
+    @property
+    def realized_share(self) -> float:
+        if self.achievable == 0:
+            return 1.0
+        return self.realized / self.achievable
+
+
+class VisibilityMonitor:
+    """Tracks one ad's visibility against a sliding query window.
+
+    ``tolerance`` is the minimum acceptable ``realized / achievable``
+    share; ``estimator`` computes the achievable bound (the fast
+    ConsumeAttr greedy by default — a lower bound on the true optimum,
+    so recommendations err on the quiet side; plug in an exact solver
+    for aggressive re-optimization).
+    """
+
+    def __init__(
+        self,
+        new_tuple: int,
+        keep_mask: int,
+        budget: int,
+        schema,
+        window_size: int = 200,
+        tolerance: float = 0.8,
+        estimator: Solver | None = None,
+    ) -> None:
+        schema.validate_mask(new_tuple)
+        schema.validate_mask(keep_mask)
+        if keep_mask & ~new_tuple:
+            raise ValidationError("advertised attributes must belong to the tuple")
+        if window_size < 1:
+            raise ValidationError("window_size must be >= 1")
+        if not 0 < tolerance <= 1:
+            raise ValidationError("tolerance must be in (0, 1]")
+        if keep_mask.bit_count() > budget:
+            raise ValidationError("advertised mask exceeds the budget")
+        self.schema = schema
+        self.new_tuple = new_tuple
+        self.keep_mask = keep_mask
+        self.budget = budget
+        self.tolerance = tolerance
+        self.estimator = estimator or ConsumeAttrSolver()
+        self._window: deque[int] = deque(maxlen=window_size)
+        self._realized = 0
+
+    # -- stream ingestion ------------------------------------------------------
+
+    def observe(self, query: int) -> bool:
+        """Ingest one query; returns whether the current ad satisfied it."""
+        self.schema.validate_mask(query)
+        if len(self._window) == self._window.maxlen:
+            evicted = self._window[0]
+            if evicted & self.keep_mask == evicted:
+                self._realized -= 1
+        self._window.append(query)
+        hit = query & self.keep_mask == query
+        if hit:
+            self._realized += 1
+        return hit
+
+    def observe_many(self, queries) -> int:
+        """Ingest a batch; returns the number of hits."""
+        return sum(1 for query in queries if self.observe(query))
+
+    # -- assessment ---------------------------------------------------------------
+
+    @property
+    def window(self) -> BooleanTable:
+        return BooleanTable(self.schema, list(self._window))
+
+    def status(self) -> MonitorStatus:
+        """Current realized-vs-achievable assessment."""
+        window = self.window
+        if not len(window):
+            return MonitorStatus(0, 0, 0, False)
+        problem = VisibilityProblem(window, self.new_tuple, self.budget)
+        achievable = self.estimator.solve(problem).satisfied
+        should = self._realized < self.tolerance * achievable
+        return MonitorStatus(len(window), self._realized, achievable, should)
+
+    def reoptimize(self, solver: Solver) -> int:
+        """Re-select attributes against the current window; returns the mask.
+
+        Resets the realized counter to the new selection's performance
+        over the retained window.
+        """
+        window = self.window
+        if not len(window):
+            return self.keep_mask
+        problem = VisibilityProblem(window, self.new_tuple, self.budget)
+        solution = solver.solve(problem)
+        self.keep_mask = solution.keep_mask
+        self._realized = sum(
+            1 for query in self._window if query & self.keep_mask == query
+        )
+        return self.keep_mask

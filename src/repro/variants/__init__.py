@@ -1,0 +1,56 @@
+"""Problem variants beyond SOC-CB-QL (Sections II.B and V).
+
+Each module reduces one variant to the Boolean query-log problem (or
+adapts the greedy algorithms where no exact reduction exists):
+
+* :mod:`repro.variants.cbd` — SOC-CB-D: dominate database tuples;
+* :mod:`repro.variants.per_attribute` — maximize satisfied queries per
+  retained attribute;
+* :mod:`repro.variants.topk` — SOC-Topk with global scoring functions;
+* :mod:`repro.variants.categorical` — categorical attributes;
+* :mod:`repro.variants.numeric` — numeric attributes with range queries;
+* :mod:`repro.variants.text` — text documents with keyword queries.
+"""
+
+from repro.variants.batch import InventoryReport, optimize_inventory
+from repro.variants.categorical import (
+    reduce_categorical_to_boolean,
+    solve_categorical,
+)
+from repro.variants.cbd import database_visibility_problem, solve_cbd
+from repro.variants.costed import (
+    CostedVisibilityProblem,
+    solve_costed_density_greedy,
+    solve_costed_ilp,
+)
+from repro.variants.disjunctive import (
+    disjunctive_satisfied_count,
+    solve_disjunctive_greedy,
+    solve_disjunctive_ilp,
+)
+from repro.variants.numeric import reduce_numeric_to_boolean, solve_numeric
+from repro.variants.per_attribute import solve_per_attribute
+from repro.variants.text import select_ad_keywords
+from repro.variants.topk import TopkVisibilityProblem, reduce_topk_to_cbql, solve_topk
+
+__all__ = [
+    "solve_cbd",
+    "database_visibility_problem",
+    "solve_per_attribute",
+    "TopkVisibilityProblem",
+    "reduce_topk_to_cbql",
+    "solve_topk",
+    "reduce_categorical_to_boolean",
+    "solve_categorical",
+    "reduce_numeric_to_boolean",
+    "solve_numeric",
+    "select_ad_keywords",
+    "disjunctive_satisfied_count",
+    "solve_disjunctive_greedy",
+    "solve_disjunctive_ilp",
+    "CostedVisibilityProblem",
+    "solve_costed_ilp",
+    "solve_costed_density_greedy",
+    "optimize_inventory",
+    "InventoryReport",
+]

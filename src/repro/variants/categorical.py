@@ -1,0 +1,98 @@
+"""Categorical variant: attributes with multi-valued domains.
+
+"The case of categorical data is a straightforward generalization of
+Boolean data" (Section V).  The reduction implemented here: retaining a
+categorical attribute retains *its value in the new tuple*, so a query
+condition ``attribute = value`` is satisfiable only when the new tuple
+holds that exact value, and then it behaves like a Boolean demand on the
+attribute.  Each categorical attribute therefore maps to one Boolean
+attribute; conditions mismatching the new tuple's values make their
+queries permanently unsatisfiable (kept in the reduced log as queries
+demanding a reserved always-absent marker so log statistics stay
+comparable — or dropped when ``drop_unsatisfiable=True``).
+"""
+
+from __future__ import annotations
+
+from repro.booldata.schema import Schema
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+from repro.core.base import Solver
+from repro.core.problem import VisibilityProblem
+from repro.data.categorical import CategoricalSchema
+
+__all__ = ["reduce_categorical_to_boolean", "solve_categorical", "CategoricalSolution"]
+
+_IMPOSSIBLE = "__impossible__"
+
+
+def reduce_categorical_to_boolean(
+    schema: CategoricalSchema,
+    query_log: list[dict[str, str]],
+    new_tuple: dict[str, str],
+    drop_unsatisfiable: bool = True,
+) -> tuple[VisibilityProblem | None, Schema]:
+    """Build the Boolean core of a categorical instance (minus the budget).
+
+    Returns ``(problem_with_budget_0, boolean_schema)``; the caller
+    re-instantiates with its budget.  The new tuple maps to the all-ones
+    mask over its own attributes.
+    """
+    if set(new_tuple) != set(schema.domains):
+        raise ValidationError("new tuple must assign every categorical attribute")
+    schema.validate_tuple(new_tuple)
+    for query in query_log:
+        schema.validate_query(query)
+
+    attributes = schema.attributes
+    names = attributes + ([] if drop_unsatisfiable else [_IMPOSSIBLE])
+    boolean_schema = Schema(names)
+
+    rows = []
+    for query in query_log:
+        mismatched = any(new_tuple[attribute] != value for attribute, value in query.items())
+        if mismatched:
+            if drop_unsatisfiable:
+                continue
+            rows.append(boolean_schema.mask_of([_IMPOSSIBLE]))
+            continue
+        rows.append(boolean_schema.mask_of(query.keys()))
+    log = BooleanTable(boolean_schema, rows)
+    tuple_mask = boolean_schema.mask_of(attributes)
+    return VisibilityProblem(log, tuple_mask, 0), boolean_schema
+
+
+class CategoricalSolution:
+    """Kept categorical attributes with their values."""
+
+    def __init__(self, kept: dict[str, str], satisfied: int, algorithm: str) -> None:
+        self.kept = kept
+        self.satisfied = satisfied
+        self.algorithm = algorithm
+
+    def __repr__(self) -> str:
+        return (
+            f"CategoricalSolution(kept={self.kept}, satisfied={self.satisfied}, "
+            f"algorithm={self.algorithm!r})"
+        )
+
+
+def solve_categorical(
+    solver: Solver,
+    schema: CategoricalSchema,
+    query_log: list[dict[str, str]],
+    new_tuple: dict[str, str],
+    budget: int,
+) -> CategoricalSolution:
+    """Pick the ``budget`` best categorical attributes to advertise."""
+    base_problem, boolean_schema = reduce_categorical_to_boolean(
+        schema, query_log, new_tuple
+    )
+    problem = VisibilityProblem(base_problem.log, base_problem.new_tuple, budget)
+    solution = solver.solve(problem)
+    kept = {
+        name: new_tuple[name]
+        for name in boolean_schema.names_of(solution.keep_mask)
+        if name != _IMPOSSIBLE
+    }
+    return CategoricalSolution(kept, solution.satisfied, solution.algorithm)

@@ -1,0 +1,35 @@
+"""SOC-CB-D: stand out against the *database* instead of the query log.
+
+Given the database ``D``, a new tuple ``t`` and budget ``m``, retain
+``m`` attributes so that the compressed tuple dominates as many
+competing tuples as possible.  Per Section V, "SOC-CB-D can be solved
+using any algorithm for SOC-CB-QL by replacing the query log with the
+database" — a database row is dominated by ``t'`` exactly when, viewed
+as a conjunctive query, it retrieves ``t'``.
+"""
+
+from __future__ import annotations
+
+from repro.booldata.table import BooleanTable
+from repro.core.base import Solver
+from repro.core.problem import Solution, VisibilityProblem
+
+__all__ = ["database_visibility_problem", "solve_cbd"]
+
+
+def database_visibility_problem(
+    database: BooleanTable, new_tuple: int, budget: int
+) -> VisibilityProblem:
+    """Build the SOC-CB-QL instance whose solution solves SOC-CB-D."""
+    return VisibilityProblem.from_database(database, new_tuple, budget)
+
+
+def solve_cbd(
+    solver: Solver, database: BooleanTable, new_tuple: int, budget: int
+) -> Solution:
+    """Solve SOC-CB-D with any SOC-CB-QL solver.
+
+    The returned solution's ``satisfied`` field counts *dominated
+    database tuples*.
+    """
+    return solver.solve(database_visibility_problem(database, new_tuple, budget))

@@ -1,0 +1,125 @@
+"""Disjunctive Boolean retrieval variant (extension).
+
+Section II.B mentions that "the retrieval semantics could be disjunctive
+Boolean" but the paper never develops that variant; this module does.
+Under disjunctive semantics a query retrieves the compressed tuple when
+they share *at least one* attribute, so the problem becomes the classic
+**maximum coverage** problem: pick ``m`` attributes of ``t`` covering
+the most queries.  Still NP-hard, but with a different structure:
+
+* the greedy algorithm now carries the provable ``1 - 1/e``
+  approximation guarantee (it is exactly greedy max-coverage);
+* the exact ILP uses ``y_i <= sum_{a_j in q_i} x_j`` instead of one
+  constraint per (query, attribute) pair.
+"""
+
+from __future__ import annotations
+
+from repro.booldata.table import BooleanTable
+from repro.common.bits import bit_count, bit_indices
+from repro.common.combinatorics import binomial, combinations_of_mask
+from repro.common.errors import SolverBudgetExceededError, ValidationError
+from repro.core.problem import VisibilityProblem
+from repro.lp.branch_and_bound import BranchAndBoundSolver
+from repro.lp.model import LinearExpr, Model
+from repro.lp.solution import SolveStatus
+
+__all__ = [
+    "disjunctive_satisfied_count",
+    "solve_disjunctive_greedy",
+    "solve_disjunctive_ilp",
+    "solve_disjunctive_brute_force",
+]
+
+
+def disjunctive_satisfied_count(log: BooleanTable, keep_mask: int) -> int:
+    """Number of queries sharing at least one attribute with ``keep_mask``."""
+    log.schema.validate_mask(keep_mask)
+    return sum(1 for query in log if query & keep_mask)
+
+
+def _validated(problem: VisibilityProblem) -> int:
+    """Effective budget: capped at the tuple size."""
+    return min(problem.budget, bit_count(problem.new_tuple))
+
+
+def solve_disjunctive_greedy(problem: VisibilityProblem) -> tuple[int, int]:
+    """Greedy max-coverage: returns ``(keep_mask, covered_queries)``.
+
+    Carries the standard ``1 - 1/e`` guarantee of greedy coverage.
+    """
+    remaining = [query for query in problem.log if query & problem.new_tuple]
+    keep_mask = 0
+    for _ in range(_validated(problem)):
+        best_attribute = None
+        best_covered = 0
+        for attribute in bit_indices(problem.new_tuple & ~keep_mask):
+            bit = 1 << attribute
+            covered = sum(1 for query in remaining if query & bit)
+            if covered > best_covered:
+                best_covered = covered
+                best_attribute = attribute
+        if best_attribute is None:
+            break  # nothing left to cover; stop early
+        keep_mask |= 1 << best_attribute
+        remaining = [query for query in remaining if not query & keep_mask]
+    return keep_mask, disjunctive_satisfied_count(problem.log, keep_mask)
+
+
+def solve_disjunctive_ilp(
+    problem: VisibilityProblem, backend: str = "native"
+) -> tuple[int, int]:
+    """Exact disjunctive solve via ILP: ``y_i <= sum_{a_j in q_i} x_j``."""
+    model = Model("soc-disjunctive")
+    x_vars: list = [None] * problem.width
+    for attribute in bit_indices(problem.new_tuple):
+        x_vars[attribute] = model.add_binary(f"x{attribute}")
+
+    y_vars = []
+    for index, query in enumerate(problem.log):
+        covering = [x_vars[a] for a in bit_indices(query) if x_vars[a] is not None]
+        y = model.add_var(f"y{index}", low=0.0, high=1.0)
+        y_vars.append(y)
+        if covering:
+            model.add_constraint(y <= LinearExpr.sum(covering))
+        else:
+            model.add_constraint(y <= 0.0)
+    model.add_constraint(
+        LinearExpr.sum(x for x in x_vars if x is not None) <= problem.budget,
+        name="budget",
+    )
+    model.maximize(LinearExpr.sum(y_vars) if y_vars else LinearExpr())
+
+    if backend == "scipy":
+        from repro.lp.scipy_backend import ScipyMilpSolver
+
+        result = ScipyMilpSolver().solve_model(model)
+    elif backend == "native":
+        result = BranchAndBoundSolver().solve_model(model)
+    else:
+        raise ValidationError(f"unknown ILP backend {backend!r}")
+    if result.status is SolveStatus.BUDGET_EXCEEDED:
+        raise SolverBudgetExceededError("disjunctive ILP ran out of nodes")
+    if not result.is_optimal:
+        raise ValidationError(f"unexpected ILP status {result.status}")
+
+    keep_mask = 0
+    for attribute, x in enumerate(x_vars):
+        if x is not None and result.x[x.index] > 0.5:
+            keep_mask |= 1 << attribute
+    return keep_mask, disjunctive_satisfied_count(problem.log, keep_mask)
+
+
+def solve_disjunctive_brute_force(
+    problem: VisibilityProblem, max_subsets: int = 5_000_000
+) -> tuple[int, int]:
+    """Exact disjunctive solve by enumeration (test oracle)."""
+    size = _validated(problem)
+    if binomial(bit_count(problem.new_tuple), size) > max_subsets:
+        raise SolverBudgetExceededError("disjunctive brute force too large")
+    best_mask, best_covered = 0, -1
+    for candidate in combinations_of_mask(problem.new_tuple, size):
+        covered = disjunctive_satisfied_count(problem.log, candidate)
+        if covered > best_covered:
+            best_mask, best_covered = candidate, covered
+    return best_mask, max(best_covered, 0)

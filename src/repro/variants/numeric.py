@@ -1,0 +1,100 @@
+"""Numeric variant: range queries over numeric attributes.
+
+Section V's reduction, implemented literally: "for each numeric
+attribute a_i in Q, replace it by a Boolean attribute b_i as follows: if
+the i-th range condition of query q contains the i-th value of tuple t,
+then assign 1 to b_i for query q, else assign 0".  The subtlety the
+paper resolves with "the tuple t can be converted to a Boolean tuple
+consisting of all 1's": a condition whose range *misses* the tuple's
+value must make the whole query unsatisfiable, not silently vanish —
+so such queries are encoded to demand a reserved always-absent marker
+attribute (equivalently, they could be dropped; we keep the marker form
+so the reduced log has the same number of rows as the numeric log).
+"""
+
+from __future__ import annotations
+
+from repro.booldata.schema import Schema
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+from repro.core.base import Solver
+from repro.core.problem import VisibilityProblem
+from repro.data.numeric import NumericDataset, Range
+
+__all__ = ["reduce_numeric_to_boolean", "solve_numeric", "NumericSolution"]
+
+_IMPOSSIBLE = "__out_of_range__"
+
+
+def reduce_numeric_to_boolean(
+    attributes: list[str],
+    query_log: list[dict[str, Range]],
+    new_tuple: dict[str, float],
+) -> tuple[BooleanTable, int, Schema]:
+    """Reduce a numeric instance to ``(boolean_log, tuple_mask, schema)``.
+
+    The Boolean tuple is all-ones over the numeric attributes (plus a
+    zero marker bit); query rows set ``b_i`` for each range condition
+    containing the tuple's value, and the marker bit when any condition
+    misses.
+    """
+    if set(new_tuple) != set(attributes):
+        raise ValidationError("new tuple must assign every numeric attribute")
+    boolean_schema = Schema(list(attributes) + [_IMPOSSIBLE])
+    rows = []
+    for query in query_log:
+        unknown = set(query) - set(attributes)
+        if unknown:
+            raise ValidationError(f"query uses unknown attributes {sorted(unknown)}")
+        mask = 0
+        impossible = False
+        for attribute, condition in query.items():
+            if condition.contains(new_tuple[attribute]):
+                mask |= 1 << boolean_schema.index_of(attribute)
+            else:
+                impossible = True
+        if impossible:
+            mask |= 1 << boolean_schema.index_of(_IMPOSSIBLE)
+        rows.append(mask)
+    log = BooleanTable(boolean_schema, rows)
+    tuple_mask = boolean_schema.mask_of(attributes)  # all 1's, marker absent
+    return log, tuple_mask, boolean_schema
+
+
+class NumericSolution:
+    """Kept numeric attributes with their advertised values."""
+
+    def __init__(self, kept: dict[str, float], satisfied: int, algorithm: str) -> None:
+        self.kept = kept
+        self.satisfied = satisfied
+        self.algorithm = algorithm
+
+    def __repr__(self) -> str:
+        return (
+            f"NumericSolution(kept={self.kept}, satisfied={self.satisfied}, "
+            f"algorithm={self.algorithm!r})"
+        )
+
+
+def solve_numeric(
+    solver: Solver,
+    dataset: NumericDataset,
+    new_tuple: dict[str, float],
+    budget: int,
+) -> NumericSolution:
+    """Pick the ``budget`` best numeric attributes to advertise.
+
+    A query is satisfied when every one of its range conditions is on a
+    retained attribute and contains the new tuple's value.
+    """
+    log, tuple_mask, boolean_schema = reduce_numeric_to_boolean(
+        dataset.attributes, dataset.query_log, new_tuple
+    )
+    problem = VisibilityProblem(log, tuple_mask, budget)
+    solution = solver.solve(problem)
+    kept = {
+        name: new_tuple[name]
+        for name in boolean_schema.names_of(solution.keep_mask)
+        if name != _IMPOSSIBLE
+    }
+    return NumericSolution(kept, solution.satisfied, solution.algorithm)

@@ -1,0 +1,98 @@
+"""Per-attribute variant: maximize satisfied queries per retained attribute.
+
+Section II.B: when the number of retained attributes measures the cost
+of advertising the product, maximize ``satisfied(t') / |t'|``.  Section
+V solves it by "trying out values of m between 1 and M and making M
+calls to any of the algorithms" — here between 1 and ``|t|``, since
+budgets beyond the tuple size change nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.booldata.table import BooleanTable
+from repro.common.bits import bit_count
+from repro.core.base import Solver
+from repro.core.problem import Solution, VisibilityProblem
+
+__all__ = ["PerAttributeResult", "solve_per_attribute"]
+
+
+@dataclass(frozen=True)
+class PerAttributeResult:
+    """Best ratio solution plus the full sweep for inspection."""
+
+    best: Solution
+    ratio: float
+    sweep: dict[int, Solution]  # budget -> solution at that budget
+
+
+def solve_per_attribute(
+    solver: Solver, log: BooleanTable, new_tuple: int
+) -> PerAttributeResult:
+    """Sweep budgets 1..|t| and keep the best satisfied/|t'| ratio.
+
+    Ties are broken toward fewer attributes (cheaper ads).  The
+    compressed tuple is *not* padded: padding raises |t'| without
+    raising the numerator, which would corrupt the objective, so each
+    sweep entry is re-wrapped unpadded before computing its ratio.
+    """
+    tuple_size = bit_count(new_tuple)
+    if tuple_size == 0:
+        problem = VisibilityProblem(log, new_tuple, 0)
+        empty = solver.solve(problem)
+        return PerAttributeResult(empty, 0.0, {0: empty})
+
+    sweep: dict[int, Solution] = {}
+    best: Solution | None = None
+    best_ratio = -1.0
+    for budget in range(1, tuple_size + 1):
+        problem = VisibilityProblem(log, new_tuple, budget)
+        solution = solver.solve(problem)
+        trimmed = _strip_padding(solution)
+        sweep[budget] = trimmed
+        ratio = trimmed.per_attribute_ratio
+        kept = bit_count(trimmed.keep_mask)
+        if ratio > best_ratio or (
+            best is not None
+            and ratio == best_ratio
+            and kept < bit_count(best.keep_mask)
+        ):
+            best = trimmed
+            best_ratio = ratio
+    assert best is not None
+    return PerAttributeResult(best, best_ratio, sweep)
+
+
+def _strip_padding(solution: Solution) -> Solution:
+    """Drop retained attributes that satisfy no additional query.
+
+    Greedily removes attributes whose removal keeps ``satisfied``
+    unchanged — exact for the ratio objective given the fixed attribute
+    set, because conjunctive satisfaction is monotone in the kept set.
+    """
+    problem = solution.problem
+    keep = solution.keep_mask
+    satisfied = solution.satisfied
+    changed = True
+    while changed:
+        changed = False
+        probe = keep
+        while probe:
+            low = probe & -probe
+            probe ^= low
+            candidate = keep ^ low
+            if problem.evaluate(candidate) == satisfied:
+                keep = candidate
+                changed = True
+    if keep == solution.keep_mask:
+        return solution
+    return Solution(
+        problem=problem,
+        keep_mask=keep,
+        satisfied=satisfied,
+        algorithm=solution.algorithm,
+        optimal=solution.optimal,
+        stats={**solution.stats, "padding_stripped": True},
+    )

@@ -1,0 +1,159 @@
+"""Text variant: choosing the keywords of a classified ad.
+
+Section II.B/V: view each distinct keyword as a Boolean attribute; the
+ad's candidate word set is the tuple, keyword queries are conjunctive
+Boolean queries.  Because the vocabulary (the Boolean width) is
+enormous, "the greedy approaches are the only ones feasible in this
+scenario" — the default here is :class:`ConsumeAttrSolver`, but any
+solver can be injected for small vocabularies (tests exercise exact
+solvers on tiny corpora).
+
+The pipeline prunes the schema to the words that could possibly matter
+(words of the ad plus words of the query log), keeping the reduced
+Boolean problem small regardless of corpus size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.booldata.schema import Schema
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+from repro.core.base import Solver
+from repro.core.greedy import ConsumeAttrSolver
+from repro.core.problem import VisibilityProblem
+from repro.retrieval.text import Bm25Scorer, TextDatabase, tokenize
+
+__all__ = ["select_ad_keywords", "select_ad_keywords_topk", "KeywordSelection"]
+
+
+class KeywordSelection:
+    """Chosen ad keywords plus diagnostics."""
+
+    def __init__(
+        self,
+        keywords: list[str],
+        satisfied_queries: int,
+        algorithm: str,
+        vocabulary_size: int,
+    ) -> None:
+        self.keywords = keywords
+        self.satisfied_queries = satisfied_queries
+        self.algorithm = algorithm
+        self.vocabulary_size = vocabulary_size
+
+    def __repr__(self) -> str:
+        return (
+            f"KeywordSelection(keywords={self.keywords}, "
+            f"satisfied_queries={self.satisfied_queries}, "
+            f"algorithm={self.algorithm!r})"
+        )
+
+
+def select_ad_keywords(
+    ad_text: str,
+    query_log: Sequence[Sequence[str]],
+    budget: int,
+    solver: Solver | None = None,
+    corpus: TextDatabase | None = None,
+) -> KeywordSelection:
+    """Choose the ``budget`` ad keywords maximizing satisfied searches.
+
+    ``ad_text`` is the full ad; its distinct tokens are the candidate
+    keyword set.  ``query_log`` is a list of keyword queries (word
+    lists).  ``corpus`` is unused by the conjunctive objective but
+    accepted so callers holding a :class:`TextDatabase` can pass it for
+    vocabulary statistics in the result.
+    """
+    ad_words = sorted(set(tokenize(ad_text)))
+    if not ad_words:
+        raise ValidationError("ad text has no tokens")
+    log_words = {word for query in query_log for word in query}
+    vocabulary = sorted(set(ad_words) | log_words)
+    schema = Schema(vocabulary)
+
+    tuple_mask = schema.mask_of(ad_words)
+    rows = [schema.mask_of(set(query)) for query in query_log]
+    log = BooleanTable(schema, rows)
+
+    chosen_solver = solver or ConsumeAttrSolver()
+    problem = VisibilityProblem(log, tuple_mask, budget)
+    solution = chosen_solver.solve(problem)
+    total_vocabulary = len(corpus.vocabulary) if corpus is not None else len(vocabulary)
+    return KeywordSelection(
+        keywords=schema.names_of(solution.keep_mask),
+        satisfied_queries=solution.satisfied,
+        algorithm=solution.algorithm,
+        vocabulary_size=total_vocabulary,
+    )
+
+
+def _topk_visibility(
+    corpus: TextDatabase,
+    ad_words: list[str],
+    query_log: Sequence[Sequence[str]],
+    k: int,
+) -> int:
+    """Queries whose BM25 top-k includes an ad containing ``ad_words``.
+
+    The compressed ad is appended to the corpus (so idf and average
+    length shift exactly as a real insertion would) and each query is
+    re-ranked.
+    """
+    if not ad_words:
+        return 0
+    extended = TextDatabase(corpus.raw_documents + [" ".join(ad_words)])
+    scorer = Bm25Scorer(extended)
+    ad_index = len(extended) - 1
+    visible = 0
+    for query in query_log:
+        top = scorer.top_k(list(query), k)
+        if any(index == ad_index for index, _ in top):
+            visible += 1
+    return visible
+
+
+def select_ad_keywords_topk(
+    ad_text: str,
+    query_log: Sequence[Sequence[str]],
+    budget: int,
+    corpus: TextDatabase,
+    k: int = 10,
+) -> KeywordSelection:
+    """Choose ad keywords under BM25 top-k retrieval (Section V, text).
+
+    Unlike the conjunctive variant, the scoring function here is
+    query-dependent (BM25), so no exact reduction applies — per the
+    paper, greedy selection is the feasible approach: forward-select the
+    keyword whose addition maximizes the number of queries ranking the
+    compressed ad within the top ``k`` of the corpus.
+    """
+    if budget < 0:
+        raise ValidationError("budget must be non-negative")
+    candidates = sorted(set(tokenize(ad_text)))
+    if not candidates:
+        raise ValidationError("ad text has no tokens")
+
+    chosen: list[str] = []
+    best_visibility = 0
+    for _ in range(min(budget, len(candidates))):
+        best_word = None
+        for word in candidates:
+            if word in chosen:
+                continue
+            visibility = _topk_visibility(corpus, chosen + [word], query_log, k)
+            if best_word is None or visibility > best_visibility:
+                if visibility >= best_visibility:
+                    best_visibility = visibility
+                    best_word = word
+        if best_word is None:
+            break
+        chosen.append(best_word)
+    chosen.sort()
+    return KeywordSelection(
+        keywords=chosen,
+        satisfied_queries=_topk_visibility(corpus, chosen, query_log, k),
+        algorithm="GreedyBm25TopK",
+        vocabulary_size=len(corpus.vocabulary),
+    )

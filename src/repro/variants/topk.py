@@ -1,0 +1,136 @@
+"""SOC-Topk: visibility under top-k retrieval semantics.
+
+A query retrieves the new tuple only if (a) the compressed tuple matches
+it conjunctively *and* (b) the tuple's score ranks within the top ``k``
+among existing matches.  Solving needs both the query log and the
+database (Section II.B).
+
+For **global scoring functions** — ``score(t)`` independent of the query
+— the paper notes exact reductions exist (Section V).  We implement the
+sharpest one: with a global score the candidate's score is a *constant*
+(attribute-count scoring makes it exactly ``m`` after padding; extrinsic
+scores like Price do not depend on retained attributes at all), so
+condition (b) is decidable per query *before* choosing attributes.
+Dropping the queries whose top-k the new tuple can never enter — and
+keeping the rest — leaves a plain SOC-CB-QL instance over the surviving
+queries, solvable by any Section IV algorithm.
+
+For non-global scoring no reduction exists (the problem becomes a
+non-linear integer program); the greedy adapter re-evaluates admission
+per query and works with any scoring function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.booldata.table import BooleanTable
+from repro.common.bits import bit_count, bit_indices
+from repro.common.errors import ValidationError
+from repro.core.base import Solver
+from repro.core.problem import Solution, VisibilityProblem
+from repro.retrieval.scoring import AttributeCountScore, GlobalScore
+from repro.retrieval.topk import TopKEngine
+
+__all__ = ["TopkVisibilityProblem", "reduce_topk_to_cbql", "solve_topk", "greedy_topk"]
+
+
+@dataclass(frozen=True)
+class TopkVisibilityProblem:
+    """One SOC-Topk instance."""
+
+    database: BooleanTable
+    log: BooleanTable
+    new_tuple: int
+    budget: int
+    scoring: GlobalScore
+    k: int
+    tie_policy: str = "optimistic"
+
+    def __post_init__(self) -> None:
+        if self.database.schema != self.log.schema:
+            raise ValidationError("database and query log use different schemas")
+        self.database.schema.validate_mask(self.new_tuple)
+        if self.budget < 0:
+            raise ValidationError("budget must be non-negative")
+        if self.k < 1:
+            raise ValidationError("k must be >= 1")
+
+    def engine(self) -> TopKEngine:
+        return TopKEngine(self.database, self.scoring, self.k)
+
+    def visibility(self, keep_mask: int) -> int:
+        """Queries whose top-k includes the compressed tuple."""
+        return self.engine().visibility_of(keep_mask, self.log, self.tie_policy)
+
+
+def _candidate_score(problem: TopkVisibilityProblem) -> float:
+    """Score of the compressed tuple under a global scoring function.
+
+    For attribute-count scoring the compressed tuple will carry exactly
+    ``min(m, |t|)`` attributes (solvers pad up to the budget — padding is
+    free and maximizes the count score).  Other global scores must be
+    retained-set independent; we verify that by probing two compressions.
+    """
+    if type(problem.scoring) is AttributeCountScore:  # exact type: subclasses
+        # may override score_candidate, so they take the probe path below
+        return float(min(problem.budget, bit_count(problem.new_tuple)))
+    empty_score = problem.scoring.score_candidate(0)
+    full_score = problem.scoring.score_candidate(problem.new_tuple)
+    if empty_score != full_score:
+        raise ValidationError(
+            "exact SOC-Topk reduction needs a retained-set-independent score; "
+            "use greedy_topk for general scoring functions"
+        )
+    return full_score
+
+
+def reduce_topk_to_cbql(problem: TopkVisibilityProblem) -> VisibilityProblem:
+    """Reduce a global-scoring SOC-Topk instance to SOC-CB-QL.
+
+    Keeps exactly the queries for which the compressed tuple, *if it
+    matched*, would rank in the top-k; on those, top-k visibility and
+    conjunctive visibility coincide.
+    """
+    engine = problem.engine()
+    score = _candidate_score(problem)
+    surviving = [
+        query
+        for query in problem.log
+        if engine.admits_score(query, score, problem.tie_policy)
+    ]
+    reduced_log = BooleanTable(problem.log.schema, surviving)
+    return VisibilityProblem(reduced_log, problem.new_tuple, problem.budget)
+
+
+def solve_topk(solver: Solver, problem: TopkVisibilityProblem) -> Solution:
+    """Exact SOC-Topk for global scoring via the CB-QL reduction."""
+    reduced = reduce_topk_to_cbql(problem)
+    return solver.solve(reduced)
+
+
+def greedy_topk(problem: TopkVisibilityProblem) -> tuple[int, int]:
+    """Greedy SOC-Topk for arbitrary scoring (Section V's fallback).
+
+    ConsumeAttr-style: attributes ranked by frequency among queries the
+    *full* tuple would be visible for, then re-scored.  Returns
+    ``(keep_mask, visibility)``.
+    """
+    engine = problem.engine()
+    visible_queries = [
+        query
+        for query in problem.log
+        if engine.would_retrieve(query, problem.new_tuple, problem.tie_policy)
+    ]
+    frequencies = [0] * problem.database.schema.width
+    for query in visible_queries:
+        for attribute in bit_indices(query & problem.new_tuple):
+            frequencies[attribute] += 1
+    ranked = sorted(
+        bit_indices(problem.new_tuple),
+        key=lambda attribute: (-frequencies[attribute], attribute),
+    )
+    keep_mask = 0
+    for attribute in ranked[: problem.budget]:
+        keep_mask |= 1 << attribute
+    return keep_mask, problem.visibility(keep_mask)

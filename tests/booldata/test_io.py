@@ -1,0 +1,125 @@
+"""Tests for CSV/JSON table loading and saving."""
+
+import pytest
+
+from repro.booldata import (
+    BooleanTable,
+    Schema,
+    load_table_csv,
+    load_table_json,
+    save_table_csv,
+    save_table_json,
+)
+from repro.common.errors import ValidationError
+
+
+@pytest.fixture
+def table(paper_log) -> BooleanTable:
+    return paper_log
+
+
+class TestCsv:
+    def test_round_trip(self, table, tmp_path):
+        path = tmp_path / "log.csv"
+        save_table_csv(table, path)
+        loaded = load_table_csv(path)
+        assert loaded == table
+
+    def test_header_becomes_schema(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,0\n0,1\n")
+        loaded = load_table_csv(path)
+        assert loaded.schema.names == ("a", "b")
+        assert list(loaded) == [0b01, 0b10]
+
+    def test_header_whitespace_stripped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a , b\n1,1\n")
+        assert load_table_csv(path).schema.names == ("a", "b")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValidationError):
+            load_table_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(ValidationError, match=":2"):
+            load_table_csv(path)
+
+    def test_non_integer_cell_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\nyes,no\n")
+        with pytest.raises(ValidationError):
+            load_table_csv(path)
+
+    def test_non_binary_cell_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n2,0\n")
+        with pytest.raises(ValidationError):
+            load_table_csv(path)
+
+
+class TestJson:
+    def test_round_trip(self, table, tmp_path):
+        path = tmp_path / "log.json"
+        save_table_json(table, path)
+        assert load_table_json(path) == table
+
+    def test_shape(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text('{"attributes": ["x", "y"], "rows": [["y"], []]}')
+        loaded = load_table_json(path)
+        assert list(loaded) == [0b10, 0]
+
+    def test_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"rows": []}')
+        with pytest.raises(ValidationError):
+            load_table_json(path)
+
+    def test_unknown_attribute_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"attributes": ["x"], "rows": [["z"]]}')
+        with pytest.raises(ValidationError):
+            load_table_json(path)
+
+
+class TestCrossFormat:
+    def test_csv_and_json_agree(self, table, tmp_path):
+        csv_path = tmp_path / "t.csv"
+        json_path = tmp_path / "t.json"
+        save_table_csv(table, csv_path)
+        save_table_json(table, json_path)
+        assert load_table_csv(csv_path) == load_table_json(json_path)
+
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booldata import BooleanTable, Schema
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 255), max_size=15))
+def test_csv_round_trip_property(rows):
+    table = BooleanTable(Schema.anonymous(8), rows)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t.csv"
+        save_table_csv(table, path)
+        assert load_table_csv(path) == table
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 255), max_size=15))
+def test_json_round_trip_property(rows):
+    table = BooleanTable(Schema.anonymous(8), rows)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t.json"
+        save_table_json(table, path)
+        assert load_table_json(path) == table

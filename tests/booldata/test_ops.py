@@ -1,0 +1,104 @@
+"""Tests for domination, satisfaction, compression and complementation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.booldata import (
+    BooleanTable,
+    Schema,
+    complement_table,
+    compress_tuple,
+    dominates,
+    satisfied_count,
+    satisfied_queries,
+    satisfies,
+)
+from repro.booldata.ops import dominated_count, is_compression
+from repro.common.errors import ValidationError
+
+
+class TestDomination:
+    def test_paper_definition(self):
+        # t2 dominates t1 iff t2 has a 1 wherever t1 does
+        assert dominates(0b1110, 0b0110)
+        assert not dominates(0b0110, 0b1110)
+
+    def test_reflexive(self):
+        assert dominates(0b101, 0b101)
+
+    def test_query_as_special_tuple(self):
+        # paper: "if we view q as a special type of tuple, then t dominates q"
+        query, tup = 0b0011, 0b0111
+        assert satisfies(query, tup) == dominates(tup, query)
+
+
+class TestSatisfaction:
+    def test_paper_example_1(self, paper_log, paper_tuple, paper_schema):
+        # t' = {AC, Four Door, Power Doors} satisfies q1, q2, q3
+        compressed = paper_schema.mask_of(["ac", "four_door", "power_doors"])
+        assert satisfied_queries(paper_log, compressed) == [0, 1, 2]
+        assert satisfied_count(paper_log, compressed) == 3
+
+    def test_empty_query_always_satisfied(self):
+        schema = Schema.anonymous(3)
+        log = BooleanTable(schema, [0])
+        assert satisfied_count(log, 0) == 1
+
+    def test_monotone_in_tuple(self):
+        schema = Schema.anonymous(5)
+        log = BooleanTable(schema, [0b00011, 0b00100, 0b11000])
+        smaller = satisfied_count(log, 0b00011)
+        bigger = satisfied_count(log, 0b00111)
+        assert bigger >= smaller
+
+    @given(st.lists(st.integers(0, 63), max_size=25), st.integers(0, 63))
+    def test_count_matches_filter(self, queries, tup):
+        log = BooleanTable(Schema.anonymous(6), queries)
+        assert satisfied_count(log, tup) == len(satisfied_queries(log, tup))
+
+
+class TestDominatedCount:
+    def test_paper_cbd_example(self, paper_database, paper_schema):
+        # t' = {AC, Four Door, Power Doors, Power Brakes} dominates t1, t4, t5, t6
+        compressed = paper_schema.mask_of(
+            ["ac", "four_door", "power_doors", "power_brakes"]
+        )
+        assert dominated_count(paper_database, compressed) == 4
+
+
+class TestCompression:
+    def test_keep_subset(self):
+        assert compress_tuple(0b1110, 0b0110) == 0b0110
+
+    def test_keep_non_subset_rejected(self):
+        with pytest.raises(ValidationError):
+            compress_tuple(0b1110, 0b0001)
+
+    def test_is_compression(self):
+        assert is_compression(0b1110, 0b0110, 2)
+        assert not is_compression(0b1110, 0b0110, 1)  # too many kept
+        assert not is_compression(0b1110, 0b0001, 3)  # not a subset
+
+
+class TestComplementTable:
+    def test_involution(self):
+        schema = Schema.anonymous(4)
+        table = BooleanTable(schema, [0b0101, 0b1111, 0])
+        assert complement_table(complement_table(table)) == table
+
+    def test_density_flips(self):
+        schema = Schema.anonymous(4)
+        table = BooleanTable(schema, [0b0001, 0b0011])
+        assert complement_table(table).density() == pytest.approx(1 - table.density())
+
+    def test_support_duality(self):
+        """freq of I in ~Q == number of queries disjoint from I (the key
+        identity behind MaxFreqItemSets-SOC-CB-QL)."""
+        schema = Schema.anonymous(5)
+        log = BooleanTable(schema, [0b00011, 0b00110, 0b10000])
+        complemented = complement_table(log)
+        itemset = 0b01000
+        explicit = sum(1 for row in complemented if row & itemset == itemset)
+        disjoint = sum(1 for query in log if query & itemset == 0)
+        assert explicit == disjoint == 3

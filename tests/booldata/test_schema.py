@@ -1,0 +1,103 @@
+"""Tests for attribute schemas."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.booldata import Schema
+from repro.common.errors import ValidationError
+
+
+class TestConstruction:
+    def test_names_preserved_in_order(self):
+        schema = Schema(["b", "a", "c"])
+        assert schema.names == ("b", "a", "c")
+        assert schema.width == 3
+
+    def test_anonymous(self):
+        schema = Schema.anonymous(4)
+        assert schema.names == ("a0", "a1", "a2", "a3")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Schema([])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValidationError):
+            Schema(["x", "x"])
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValidationError):
+            Schema(["ok", 3])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Schema([""])
+
+
+class TestMaskConversions:
+    def test_mask_of_names(self):
+        schema = Schema(["ac", "four_door", "turbo"])
+        assert schema.mask_of(["ac", "turbo"]) == 0b101
+
+    def test_names_of_mask_in_schema_order(self):
+        schema = Schema(["ac", "four_door", "turbo"])
+        assert schema.names_of(0b110) == ["four_door", "turbo"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Schema(["a"]).mask_of(["b"])
+
+    def test_bit_vector_round_trip(self):
+        schema = Schema.anonymous(5)
+        bits = [1, 0, 1, 1, 0]
+        mask = schema.mask_from_bits(bits)
+        assert schema.bits_from_mask(mask) == bits
+
+    def test_bit_vector_wrong_length(self):
+        with pytest.raises(ValidationError):
+            Schema.anonymous(3).mask_from_bits([1, 0])
+
+    def test_bit_vector_bad_entry(self):
+        with pytest.raises(ValidationError):
+            Schema.anonymous(2).mask_from_bits([1, 2])
+
+    @given(st.integers(1, 20), st.data())
+    def test_mask_name_round_trip_property(self, width, data):
+        schema = Schema.anonymous(width)
+        mask = data.draw(st.integers(0, schema.full))
+        assert schema.mask_of(schema.names_of(mask)) == mask
+
+
+class TestValidateMask:
+    def test_in_range_ok(self):
+        schema = Schema.anonymous(3)
+        assert schema.validate_mask(0b111) == 0b111
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            Schema.anonymous(3).validate_mask(0b1000)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            Schema.anonymous(3).validate_mask(-1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(ValidationError):
+            Schema.anonymous(3).validate_mask("0b101")
+
+
+class TestRestrict:
+    def test_sub_schema_and_mapping(self):
+        schema = Schema(["a", "b", "c", "d"])
+        sub, mapping = schema.restrict(["d", "b"])
+        assert sub.names == ("d", "b")
+        assert mapping == {3: 0, 1: 1}
+
+
+class TestEquality:
+    def test_equal_schemas(self):
+        assert Schema(["x", "y"]) == Schema(["x", "y"])
+
+    def test_different_order_not_equal(self):
+        assert Schema(["x", "y"]) != Schema(["y", "x"])

@@ -1,0 +1,75 @@
+"""Tests for the domination skyline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booldata import BooleanTable, Schema
+from repro.booldata.skyline import dominators_of, skyline, skyline_indices
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.anonymous(4)
+
+
+class TestSkyline:
+    def test_dominated_rows_removed(self, schema):
+        table = BooleanTable(schema, [0b0001, 0b0011, 0b0111])
+        assert skyline_indices(table) == [2]
+
+    def test_incomparable_rows_kept(self, schema):
+        table = BooleanTable(schema, [0b0011, 0b1100])
+        assert skyline_indices(table) == [0, 1]
+
+    def test_duplicates_reported_once(self, schema):
+        table = BooleanTable(schema, [0b0011, 0b0011, 0b0001])
+        assert skyline_indices(table) == [0]
+
+    def test_empty_table(self, schema):
+        assert skyline_indices(BooleanTable(schema)) == []
+
+    def test_skyline_table_preserves_order(self, schema):
+        table = BooleanTable(schema, [0b1100, 0b0001, 0b0011])
+        result = skyline(table)
+        assert list(result) == [0b1100, 0b0011]
+
+    def test_paper_database_skyline(self, paper_database):
+        indices = skyline_indices(paper_database)
+        # t3 = [1,0,0,1,1,1] and t4 = [1,1,0,1,0,1] are maximal;
+        # t2 = [0,1,1,0,0,0] and t7 = [0,0,1,1,0,0] are incomparable too
+        assert 2 in indices and 3 in indices
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 255), max_size=20))
+    def test_skyline_properties(self, rows):
+        table = BooleanTable(Schema.anonymous(8), rows)
+        chosen = skyline_indices(table)
+        masks = [table[i] for i in chosen]
+        # no chosen row strictly dominated by any table row
+        for mask in masks:
+            assert not any(
+                other != mask and mask & other == mask for other in rows
+            )
+        # every table row is dominated by (or equal to) some skyline row
+        for row in rows:
+            assert any(row & mask == row for mask in masks)
+        # antichain: no two chosen rows comparable
+        for a in masks:
+            for b in masks:
+                if a != b:
+                    assert not (a & b == a)
+
+
+class TestDominators:
+    def test_strict_domination_only(self, schema):
+        table = BooleanTable(schema, [0b0011, 0b0111, 0b0001])
+        assert dominators_of(table, 0b0011) == [1]
+
+    def test_on_the_skyline_means_none(self, schema):
+        table = BooleanTable(schema, [0b0011, 0b1100])
+        assert dominators_of(table, 0b1111) == []
+
+    def test_new_product_positioning(self, paper_database, paper_tuple):
+        """The paper's new car is not dominated by any existing car."""
+        assert dominators_of(paper_database, paper_tuple) == []

@@ -1,0 +1,105 @@
+"""Tests for BooleanTable."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import ValidationError
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.anonymous(4)
+
+
+class TestConstruction:
+    def test_from_masks(self, schema):
+        table = BooleanTable(schema, [0b0101, 0b0011])
+        assert len(table) == 2
+        assert table[0] == 0b0101
+
+    def test_from_bit_rows(self, schema):
+        table = BooleanTable.from_bit_rows(schema, [[1, 0, 1, 0]])
+        assert table[0] == 0b0101
+
+    def test_from_name_rows(self, schema):
+        table = BooleanTable.from_name_rows(schema, [["a0", "a2"]])
+        assert table[0] == 0b0101
+
+    def test_out_of_range_row_rejected(self, schema):
+        with pytest.raises(ValidationError):
+            BooleanTable(schema, [0b10000])
+
+    def test_append_and_extend(self, schema):
+        table = BooleanTable(schema)
+        table.append(0b1)
+        table.extend([0b10, 0b11])
+        assert list(table) == [0b1, 0b10, 0b11]
+
+
+class TestStatistics:
+    def test_attribute_frequencies(self, schema):
+        table = BooleanTable(schema, [0b0011, 0b0001, 0b1000])
+        assert table.attribute_frequencies() == [2, 1, 0, 1]
+
+    def test_attribute_frequencies_empty(self, schema):
+        assert BooleanTable(schema).attribute_frequencies() == [0, 0, 0, 0]
+
+    def test_density(self, schema):
+        table = BooleanTable(schema, [0b1111, 0b0000])
+        assert table.density() == 0.5
+
+    def test_density_empty(self, schema):
+        assert BooleanTable(schema).density() == 0.0
+
+    def test_row_sizes(self, schema):
+        table = BooleanTable(schema, [0b0111, 0b0001])
+        assert table.row_sizes() == [3, 1]
+
+    @given(st.lists(st.integers(0, 15), max_size=30))
+    def test_frequencies_sum_to_total_ones(self, rows):
+        table = BooleanTable(Schema.anonymous(4), rows)
+        assert sum(table.attribute_frequencies()) == sum(r.bit_count() for r in rows)
+
+
+class TestTransforms:
+    def test_filtered(self, schema):
+        table = BooleanTable(schema, [0b0001, 0b0011, 0b0111])
+        small = table.filtered(lambda row: row.bit_count() <= 2)
+        assert list(small) == [0b0001, 0b0011]
+
+    def test_projected(self):
+        schema = Schema(["a", "b", "c"])
+        table = BooleanTable.from_name_rows(schema, [["a", "c"], ["b"]])
+        projected = table.projected(["c", "a"])
+        assert projected.schema.names == ("c", "a")
+        assert projected.schema.names_of(projected[0]) == ["c", "a"]
+        assert projected[1] == 0
+
+    def test_sample(self, schema):
+        table = BooleanTable(schema, list(range(10)))
+        sample = table.sample(4, random.Random(0))
+        assert len(sample) == 4
+        assert all(row in list(table) for row in sample)
+
+    def test_sample_too_many_rejected(self, schema):
+        with pytest.raises(ValidationError):
+            BooleanTable(schema, [1]).sample(2, random.Random(0))
+
+
+class TestEqualityAndRepr:
+    def test_equality(self, schema):
+        assert BooleanTable(schema, [1, 2]) == BooleanTable(schema, [1, 2])
+        assert BooleanTable(schema, [1]) != BooleanTable(schema, [2])
+
+    def test_rows_returns_copy(self, schema):
+        table = BooleanTable(schema, [1])
+        rows = table.rows
+        rows.append(2)
+        assert len(table) == 1
+
+    def test_repr_mentions_shape(self, schema):
+        assert "rows=2" in repr(BooleanTable(schema, [1, 2]))

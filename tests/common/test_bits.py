@@ -1,0 +1,124 @@
+"""Unit and property tests for the bitmask helpers."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import bits
+
+
+class TestFullMask:
+    def test_zero_width(self):
+        assert bits.full_mask(0) == 0
+
+    def test_small_widths(self):
+        assert bits.full_mask(1) == 1
+        assert bits.full_mask(4) == 0b1111
+
+    def test_large_width_uses_arbitrary_precision(self):
+        assert bits.full_mask(200).bit_count() == 200
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            bits.full_mask(-1)
+
+
+class TestIsSubset:
+    def test_empty_is_subset_of_everything(self):
+        assert bits.is_subset(0, 0)
+        assert bits.is_subset(0, 0b101)
+
+    def test_proper_subset(self):
+        assert bits.is_subset(0b001, 0b011)
+        assert not bits.is_subset(0b100, 0b011)
+
+    def test_equal_sets(self):
+        assert bits.is_subset(0b1010, 0b1010)
+
+    @given(st.integers(0, 2**20), st.integers(0, 2**20))
+    def test_matches_set_semantics(self, a, b):
+        as_sets = set(bits.bit_indices(a)) <= set(bits.bit_indices(b))
+        assert bits.is_subset(a, b) == as_sets
+
+
+class TestBitIndicesAndFromIndices:
+    def test_empty(self):
+        assert bits.bit_indices(0) == []
+        assert bits.from_indices([]) == 0
+
+    def test_round_trip_examples(self):
+        assert bits.bit_indices(0b1010) == [1, 3]
+        assert bits.from_indices([1, 3]) == 0b1010
+
+    def test_from_indices_duplicates_collapse(self):
+        assert bits.from_indices([2, 2, 2]) == 0b100
+
+    def test_from_indices_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.from_indices([-1])
+
+    @given(st.sets(st.integers(0, 60)))
+    def test_round_trip_property(self, indices):
+        assert set(bits.bit_indices(bits.from_indices(indices))) == indices
+
+
+class TestFirstBit:
+    def test_lowest_bit(self):
+        assert bits.first_bit(0b1000) == 3
+        assert bits.first_bit(0b1010) == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            bits.first_bit(0)
+
+
+class TestMaskComplement:
+    def test_simple(self):
+        assert bits.mask_complement(0b0101, 4) == 0b1010
+
+    def test_involution(self):
+        mask = 0b01101
+        assert bits.mask_complement(bits.mask_complement(mask, 5), 5) == mask
+
+    def test_out_of_width_rejected(self):
+        with pytest.raises(ValueError):
+            bits.mask_complement(0b100, 2)
+
+    @given(st.integers(1, 60), st.data())
+    def test_partitions_the_universe(self, width, data):
+        mask = data.draw(st.integers(0, bits.full_mask(width)))
+        complement = bits.mask_complement(mask, width)
+        assert mask & complement == 0
+        assert mask | complement == bits.full_mask(width)
+
+
+class TestIterSubmasks:
+    def test_counts_powerset(self):
+        submasks = list(bits.iter_submasks(0b1011))
+        assert len(submasks) == 8
+        assert len(set(submasks)) == 8
+
+    def test_all_are_submasks(self):
+        for sub in bits.iter_submasks(0b1101):
+            assert bits.is_subset(sub, 0b1101)
+
+    def test_zero_mask(self):
+        assert list(bits.iter_submasks(0)) == [0]
+
+
+class TestRandomMask:
+    def test_exact_size(self):
+        rng = random.Random(0)
+        for size in range(0, 11):
+            assert bits.random_mask(10, size, rng).bit_count() == size
+
+    def test_within_width(self):
+        rng = random.Random(1)
+        mask = bits.random_mask(8, 4, rng)
+        assert mask & ~bits.full_mask(8) == 0
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            bits.random_mask(4, 5, random.Random(0))

@@ -1,0 +1,47 @@
+"""Tests for binomial/combination helpers over bitmasks."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bits import is_subset
+from repro.common.combinatorics import (
+    binomial,
+    combinations_of_mask,
+    count_combinations_of_mask,
+)
+
+
+class TestBinomial:
+    def test_known_values(self):
+        assert binomial(6, 2) == 15
+        assert binomial(5, 0) == 1
+        assert binomial(5, 5) == 1
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(3, 5) == 0
+        assert binomial(3, -1) == 0
+
+
+class TestCombinationsOfMask:
+    def test_example(self):
+        assert sorted(combinations_of_mask(0b111, 2)) == [0b011, 0b101, 0b110]
+
+    def test_size_zero_yields_empty_mask(self):
+        assert list(combinations_of_mask(0b1010, 0)) == [0]
+
+    def test_oversized_yields_nothing(self):
+        assert list(combinations_of_mask(0b11, 3)) == []
+
+    def test_respects_sparse_masks(self):
+        # mask with non-contiguous bits
+        combos = sorted(combinations_of_mask(0b10100010, 2))
+        assert combos == [0b00100010, 0b10000010, 0b10100000]
+
+    @given(st.integers(0, 2**12 - 1), st.integers(0, 12))
+    def test_count_and_membership(self, mask, size):
+        combos = list(combinations_of_mask(mask, size))
+        assert len(combos) == count_combinations_of_mask(mask, size)
+        assert len(set(combos)) == len(combos)
+        for combo in combos:
+            assert combo.bit_count() == size
+            assert is_subset(combo, mask)

@@ -1,0 +1,37 @@
+"""Tests for the Good-Turing estimate used by the random-walk stopper."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.estimates import good_turing_unseen_estimate, singleton_count
+
+
+class TestSingletonCount:
+    def test_counts_only_ones(self):
+        assert singleton_count([1, 2, 1, 3, 1]) == 3
+
+    def test_empty(self):
+        assert singleton_count([]) == 0
+
+
+class TestGoodTuring:
+    def test_empty_sequence_means_everything_unseen(self):
+        assert good_turing_unseen_estimate([]) == 1.0
+
+    def test_docstring_example(self):
+        assert good_turing_unseen_estimate(["a", "a", "b", "c"]) == 0.5
+
+    def test_all_repeated_means_zero_unseen_mass(self):
+        assert good_turing_unseen_estimate(["x", "x", "y", "y"]) == 0.0
+
+    def test_all_distinct_means_full_unseen_mass(self):
+        assert good_turing_unseen_estimate(["a", "b", "c"]) == 1.0
+
+    @given(st.lists(st.integers(0, 5), max_size=50))
+    def test_bounded_between_zero_and_one(self, draws):
+        estimate = good_turing_unseen_estimate(draws)
+        assert 0.0 <= estimate <= 1.0
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=50))
+    def test_doubling_the_sequence_kills_singletons(self, draws):
+        assert good_turing_unseen_estimate(draws + draws) == 0.0

@@ -1,0 +1,112 @@
+"""Tests for seeding, timing and table-formatting utilities."""
+
+import random
+import time
+
+import pytest
+
+from repro.common.errors import (
+    InfeasibleProblemError,
+    ReproError,
+    SolverBudgetExceededError,
+    ValidationError,
+)
+from repro.common.rng import ensure_rng, spawn_rng
+from repro.common.tables import format_series, format_table
+from repro.common.timing import Stopwatch, time_call
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+    def test_passthrough_of_random_instance(self):
+        rng = random.Random(1)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+
+class TestSpawnRng:
+    def test_streams_differ(self):
+        parent = random.Random(5)
+        child_a = spawn_rng(parent, 1)
+        child_b = spawn_rng(parent, 2)
+        assert child_a.random() != child_b.random()
+
+    def test_deterministic_given_parent_state(self):
+        values = []
+        for _ in range(2):
+            parent = random.Random(5)
+            values.append(spawn_rng(parent, 1).random())
+        assert values[0] == values[1]
+
+
+class TestStopwatch:
+    def test_lap_accumulates(self):
+        watch = Stopwatch()
+        with watch.lap("work"):
+            time.sleep(0.01)
+        with watch.lap("work"):
+            pass
+        assert watch.laps["work"] >= 0.01
+        assert watch.total == sum(watch.laps.values())
+
+    def test_multiple_lap_names(self):
+        watch = Stopwatch()
+        with watch.lap("a"):
+            pass
+        with watch.lap("b"):
+            pass
+        assert set(watch.laps) == {"a", "b"}
+
+
+class TestTimeCall:
+    def test_returns_result_and_elapsed(self):
+        result, elapsed = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert elapsed >= 0.0
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["m", "time"], [[1, 0.5], [20, 1.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("m")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_rendering(self):
+        text = format_table(["x"], [[0.000001], [123456789.0], [0.0]])
+        assert "1.000e-06" in text
+        assert "1.235e+08" in text
+        # exact zero renders compactly
+        assert "\n0" in text
+
+
+class TestFormatSeries:
+    def test_none_renders_as_dash(self):
+        text = format_series("q", [100, 200], {"ILP": [0.5, None]})
+        assert "-" in text.splitlines()[-1]
+
+    def test_all_series_present(self):
+        text = format_series("m", [1], {"A": [1], "B": [2]})
+        assert "A" in text and "B" in text
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (ValidationError, InfeasibleProblemError, SolverBudgetExceededError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_budget_error_carries_incumbent(self):
+        error = SolverBudgetExceededError("out of nodes", best_known=41)
+        assert error.best_known == 41

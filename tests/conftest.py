@@ -1,0 +1,79 @@
+"""Shared fixtures: the paper's running example and instance factories."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.core import VisibilityProblem
+
+
+@pytest.fixture
+def paper_schema() -> Schema:
+    """The six attributes of the paper's Fig 1 example."""
+    return Schema(
+        ["ac", "four_door", "turbo", "power_doors", "auto_trans", "power_brakes"]
+    )
+
+
+@pytest.fixture
+def paper_log(paper_schema: Schema) -> BooleanTable:
+    """The query log Q of Fig 1."""
+    return BooleanTable.from_bit_rows(
+        paper_schema,
+        [
+            [1, 1, 0, 0, 0, 0],
+            [1, 0, 0, 1, 0, 0],
+            [0, 1, 0, 1, 0, 0],
+            [0, 0, 0, 1, 0, 1],
+            [0, 0, 1, 0, 1, 0],
+        ],
+    )
+
+
+@pytest.fixture
+def paper_database(paper_schema: Schema) -> BooleanTable:
+    """The database D of Fig 1 (used by the SOC-CB-D example)."""
+    return BooleanTable.from_bit_rows(
+        paper_schema,
+        [
+            [0, 1, 0, 1, 0, 0],
+            [0, 1, 1, 0, 0, 0],
+            [1, 0, 0, 1, 1, 1],
+            [1, 1, 0, 1, 0, 1],
+            [1, 1, 0, 0, 0, 0],
+            [0, 1, 0, 1, 0, 0],
+            [0, 0, 1, 1, 0, 0],
+        ],
+    )
+
+
+@pytest.fixture
+def paper_tuple(paper_schema: Schema) -> int:
+    """The new car t of Fig 1."""
+    return paper_schema.mask_from_bits([1, 1, 0, 1, 1, 1])
+
+
+@pytest.fixture
+def paper_problem(paper_log: BooleanTable, paper_tuple: int) -> VisibilityProblem:
+    """The m=3 instance of the paper's Example 1."""
+    return VisibilityProblem(paper_log, paper_tuple, 3)
+
+
+def random_instance(
+    rng: random.Random,
+    max_width: int = 9,
+    max_queries: int = 20,
+) -> VisibilityProblem:
+    """A small random SOC-CB-QL instance (used by agreement tests)."""
+    width = rng.randint(2, max_width)
+    schema = Schema.anonymous(width)
+    queries = [
+        rng.getrandbits(width) or 1 for _ in range(rng.randint(0, max_queries))
+    ]
+    log = BooleanTable(schema, queries)
+    new_tuple = rng.getrandbits(width)
+    budget = rng.randint(0, width)
+    return VisibilityProblem(log, new_tuple, budget)

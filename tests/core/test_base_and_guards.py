@@ -1,0 +1,113 @@
+"""Tests for Solver base behavior and solver budget guards."""
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import SolverBudgetExceededError
+from repro.core import (
+    ConsumeAttrSolver,
+    MaxFreqItemsetsSolver,
+    Solver,
+    VisibilityProblem,
+)
+
+
+class _RecordingSolver(Solver):
+    """Counts how often the non-trivial path runs."""
+
+    name = "Recording"
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def _solve(self, problem):
+        self.calls += 1
+        return self.make_solution(problem, 0)
+
+
+class TestTrivialCaseRouting:
+    @pytest.fixture
+    def schema(self):
+        return Schema.anonymous(4)
+
+    def test_budget_covers_tuple_short_circuits(self, schema):
+        solver = _RecordingSolver()
+        log = BooleanTable(schema, [0b0001])
+        solution = solver.solve(VisibilityProblem(log, 0b0011, 2))
+        assert solver.calls == 0
+        assert solution.keep_mask == 0b0011
+        assert solution.stats["trivial_case"] == "budget>=|t|"
+
+    def test_zero_budget_short_circuits(self, schema):
+        solver = _RecordingSolver()
+        log = BooleanTable(schema, [0b0001])
+        solution = solver.solve(VisibilityProblem(log, 0b0111, 0))
+        assert solver.calls == 0
+        assert solution.keep_mask == 0
+
+    def test_empty_log_short_circuits(self, schema):
+        solver = _RecordingSolver()
+        solution = solver.solve(VisibilityProblem(BooleanTable(schema), 0b0111, 2))
+        assert solver.calls == 0
+        assert solution.keep_mask.bit_count() == 2
+
+    def test_trivial_solutions_marked_optimal(self, schema):
+        solver = _RecordingSolver()
+        log = BooleanTable(schema, [0b0001])
+        assert solver.solve(VisibilityProblem(log, 0b0011, 3)).optimal
+
+    def test_non_trivial_path_runs(self, schema):
+        solver = _RecordingSolver()
+        log = BooleanTable(schema, [0b0001])
+        solver.solve(VisibilityProblem(log, 0b0111, 1))
+        assert solver.calls == 1
+
+    def test_repr(self):
+        assert "Recording" in repr(_RecordingSolver())
+
+
+class TestItemsetsSolverGuards:
+    def test_level_extraction_budget_guard(self):
+        """A pathological instance whose level enumeration would explode
+        must raise instead of silently truncating."""
+        schema = Schema.anonymous(24)
+        # one giant satisfiable query -> one MFI near the top; tiny
+        # max_candidates forces the guard
+        log = BooleanTable(schema, [0b1] * 3 + [(1 << 24) - 1])
+        problem = VisibilityProblem(log, schema.full, 12)
+        solver = MaxFreqItemsetsSolver(max_candidates=3)
+        with pytest.raises(SolverBudgetExceededError):
+            solver.solve(problem)
+
+    def test_unprojected_empty_effective_log(self):
+        schema = Schema.anonymous(4)
+        log = BooleanTable(schema, [0b1000])  # demands an attribute t lacks
+        problem = VisibilityProblem(log, 0b0111, 2)
+        solver = MaxFreqItemsetsSolver(restrict_to_satisfiable=False)
+        solution = solver.solve(problem)
+        assert solution.satisfied == 0
+
+    def test_projected_empty_effective_log(self):
+        schema = Schema.anonymous(4)
+        log = BooleanTable(schema, [0b1000])
+        problem = VisibilityProblem(log, 0b0111, 2)
+        solution = MaxFreqItemsetsSolver().solve(problem)
+        assert solution.satisfied == 0
+        assert solution.stats.get("empty_effective_log")
+
+
+class TestSolutionSerialization:
+    def test_to_dict_round_trip_fields(self, paper_problem):
+        solution = ConsumeAttrSolver().solve(paper_problem)
+        payload = solution.to_dict()
+        assert payload["algorithm"] == "ConsumeAttr"
+        assert payload["satisfied"] == solution.satisfied
+        assert payload["kept_attributes"] == solution.kept_attributes
+        assert payload["budget"] == paper_problem.budget
+        assert payload["optimal"] is False
+
+    def test_to_dict_json_safe(self, paper_problem):
+        import json
+
+        solution = ConsumeAttrSolver().solve(paper_problem)
+        json.dumps(solution.to_dict())  # must not raise

@@ -1,0 +1,103 @@
+"""Tests for LP-relaxation optimality certificates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import ValidationError
+from repro.core import BruteForceSolver, ConsumeAttrSolver, VisibilityProblem
+from repro.core.bounds import GapCertificate, certify, lp_upper_bound
+
+
+class TestUpperBound:
+    def test_paper_example(self, paper_problem):
+        bound = lp_upper_bound(paper_problem)
+        assert bound >= 3.0  # the true optimum
+        assert bound <= 4.0  # only 4 satisfiable queries exist
+
+    def test_budget_zero(self, paper_log, paper_tuple):
+        problem = VisibilityProblem(paper_log, paper_tuple, 0)
+        assert lp_upper_bound(problem) == 0.0
+
+    def test_budget_zero_counts_empty_queries(self, paper_schema, paper_tuple):
+        log = BooleanTable(paper_schema, [0, 0, 0b1])
+        problem = VisibilityProblem(log, paper_tuple, 0)
+        assert lp_upper_bound(problem) == 2.0
+
+    def test_nothing_satisfiable(self, paper_schema):
+        log = BooleanTable(paper_schema, [paper_schema.mask_of(["turbo"])])
+        problem = VisibilityProblem(log, paper_schema.mask_of(["ac"]), 1)
+        assert lp_upper_bound(problem) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_bound_dominates_true_optimum(self, data):
+        width = data.draw(st.integers(2, 6))
+        schema = Schema.anonymous(width)
+        queries = [
+            data.draw(st.integers(1, (1 << width) - 1))
+            for _ in range(data.draw(st.integers(0, 12)))
+        ]
+        log = BooleanTable(schema, queries)
+        new_tuple = data.draw(st.integers(0, (1 << width) - 1))
+        budget = data.draw(st.integers(0, width))
+        problem = VisibilityProblem(log, new_tuple, budget)
+        optimum = BruteForceSolver().solve(problem).satisfied
+        assert lp_upper_bound(problem) >= optimum - 1e-7
+
+
+class TestCertify:
+    def test_certifies_solution_object(self, paper_problem):
+        solution = ConsumeAttrSolver().solve(paper_problem)
+        certificate = certify(paper_problem, solution)
+        assert certificate.value == solution.satisfied
+        assert certificate.upper_bound >= certificate.value
+
+    def test_certifies_raw_mask(self, paper_problem, paper_schema):
+        keep = paper_schema.mask_of(["ac", "four_door", "power_doors"])
+        certificate = certify(paper_problem, keep)
+        assert certificate.value == 3
+
+    def test_ratio_bounded(self, paper_problem):
+        solution = ConsumeAttrSolver().solve(paper_problem)
+        certificate = certify(paper_problem, solution)
+        assert 0.0 <= certificate.ratio <= 1.0
+
+    def test_provably_optimal_detection(self, paper_problem):
+        optimal = BruteForceSolver().solve(paper_problem)
+        certificate = certify(paper_problem, optimal)
+        # the LP bound here is fractional but floors to the optimum
+        if certificate.is_provably_optimal:
+            assert certificate.gap == 0
+        assert "satisfied" in str(certificate)
+
+    def test_over_budget_mask_rejected(self, paper_problem, paper_schema):
+        over = paper_schema.mask_of(
+            ["ac", "four_door", "power_doors", "power_brakes"]
+        )
+        with pytest.raises(ValidationError):
+            certify(paper_problem, over)
+
+    def test_zero_bound_ratio(self):
+        assert GapCertificate(0, 0.0).ratio == 1.0
+        assert GapCertificate(0, 0.0).is_provably_optimal
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_greedy_certificates_are_sound(self, data):
+        """value <= optimum <= upper_bound on random instances."""
+        width = data.draw(st.integers(2, 6))
+        schema = Schema.anonymous(width)
+        queries = [
+            data.draw(st.integers(1, (1 << width) - 1))
+            for _ in range(data.draw(st.integers(1, 10)))
+        ]
+        log = BooleanTable(schema, queries)
+        new_tuple = data.draw(st.integers(0, (1 << width) - 1))
+        budget = data.draw(st.integers(1, width))
+        problem = VisibilityProblem(log, new_tuple, budget)
+        greedy = ConsumeAttrSolver().solve(problem)
+        certificate = certify(problem, greedy)
+        optimum = BruteForceSolver().solve(problem).satisfied
+        assert certificate.value <= optimum <= certificate.upper_bound + 1e-7

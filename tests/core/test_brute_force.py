@@ -1,0 +1,44 @@
+"""Tests specific to the brute-force solver."""
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import SolverBudgetExceededError
+from repro.core import BruteForceSolver, VisibilityProblem
+
+
+class TestPruning:
+    def test_pruning_does_not_change_answer(self, paper_problem):
+        pruned = BruteForceSolver(prune_irrelevant=True).solve(paper_problem)
+        unpruned = BruteForceSolver(prune_irrelevant=False).solve(paper_problem)
+        assert pruned.satisfied == unpruned.satisfied == 3
+
+    def test_pruned_pool_smaller(self, paper_problem):
+        pruned = BruteForceSolver(prune_irrelevant=True).solve(paper_problem)
+        # t has 5 attributes but only 4 are relevant (auto_trans only
+        # appears in the unsatisfiable turbo query)
+        assert pruned.stats["pruned_pool_size"] == 4
+
+    def test_result_padded_to_budget(self, paper_log, paper_tuple):
+        # budget 4 > relevant pool needs only 3 for the optimum
+        problem = VisibilityProblem(paper_log, paper_tuple, 4)
+        solution = BruteForceSolver().solve(problem)
+        assert solution.keep_mask.bit_count() == 4
+
+
+class TestBudgetGuard:
+    def test_subset_explosion_guarded(self):
+        schema = Schema.anonymous(40)
+        log = BooleanTable(schema, [1])
+        problem = VisibilityProblem(log, schema.full, 20)
+        with pytest.raises(SolverBudgetExceededError):
+            BruteForceSolver(prune_irrelevant=False, max_subsets=1000).solve(problem)
+
+    def test_enumeration_count_reported(self, paper_problem):
+        solution = BruteForceSolver().solve(paper_problem)
+        assert solution.stats["subsets_enumerated"] == 4  # C(4,3)
+
+
+class TestOptimalFlag:
+    def test_marked_optimal(self, paper_problem):
+        assert BruteForceSolver().solve(paper_problem).optimal

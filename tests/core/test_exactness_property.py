@@ -1,0 +1,95 @@
+"""The exactness contract, enforced with hypothesis.
+
+Every exact algorithm (BruteForce, ILP on both backends, MaxFreqItemSets
+with every miner) must return the same objective on every instance, and
+every greedy must stay at or below it.  This is the single most
+important invariant in the library.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booldata import BooleanTable, Schema
+from repro.core import (
+    BruteForceSolver,
+    IlpSolver,
+    MaxFreqItemsetsSolver,
+    VisibilityProblem,
+    make_solver,
+)
+from repro.core.registry import GREEDY_ALGORITHMS
+
+
+@st.composite
+def soc_instance(draw):
+    width = draw(st.integers(2, 7))
+    num_queries = draw(st.integers(0, 15))
+    queries = [
+        draw(st.integers(1, (1 << width) - 1)) for _ in range(num_queries)
+    ]
+    log = BooleanTable(Schema.anonymous(width), queries)
+    new_tuple = draw(st.integers(0, (1 << width) - 1))
+    budget = draw(st.integers(0, width))
+    return VisibilityProblem(log, new_tuple, budget)
+
+
+@settings(max_examples=50, deadline=None)
+@given(soc_instance())
+def test_exact_algorithms_agree(problem):
+    optimum = BruteForceSolver().solve(problem).satisfied
+    assert IlpSolver(backend="native").solve(problem).satisfied == optimum
+    assert MaxFreqItemsetsSolver().solve(problem).satisfied == optimum
+    assert MaxFreqItemsetsSolver(greedy_seed=False).solve(problem).satisfied == optimum
+    assert (
+        MaxFreqItemsetsSolver(restrict_to_satisfiable=False).solve(problem).satisfied
+        == optimum
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(soc_instance())
+def test_ilp_scipy_backend_agrees(problem):
+    pytest.importorskip("scipy")
+    optimum = BruteForceSolver().solve(problem).satisfied
+    assert IlpSolver(backend="scipy").solve(problem).satisfied == optimum
+
+
+@settings(max_examples=25, deadline=None)
+@given(soc_instance())
+def test_walk_miners_agree(problem):
+    optimum = BruteForceSolver().solve(problem).satisfied
+    for miner in ("walk", "bottomup"):
+        solver = MaxFreqItemsetsSolver(
+            miner=miner, seed=1234, walk_iterations=3000, walk_min_iterations=80
+        )
+        assert solver.solve(problem).satisfied == optimum
+
+
+@settings(max_examples=50, deadline=None)
+@given(soc_instance())
+def test_greedies_bounded_by_optimum(problem):
+    optimum = BruteForceSolver().solve(problem).satisfied
+    for name in (*GREEDY_ALGORITHMS, "CoverageGreedy"):
+        solution = make_solver(name).solve(problem)
+        assert 0 <= solution.satisfied <= optimum
+
+
+@settings(max_examples=50, deadline=None)
+@given(soc_instance())
+def test_reported_objective_matches_mask(problem):
+    """satisfied must equal an independent recount for every algorithm."""
+    from repro.booldata.ops import satisfied_count
+
+    for name in ("BruteForce", "MaxFreqItemSets", "ConsumeAttr", "ConsumeQueries"):
+        solution = make_solver(name).solve(problem)
+        assert solution.satisfied == satisfied_count(problem.log, solution.keep_mask)
+
+
+@settings(max_examples=40, deadline=None)
+@given(soc_instance(), st.integers(0, 7))
+def test_objective_monotone_in_budget(problem, extra):
+    """A larger budget can never reduce the optimal visibility."""
+    bigger = VisibilityProblem(problem.log, problem.new_tuple, problem.budget + extra)
+    solver = MaxFreqItemsetsSolver()
+    assert solver.solve(bigger).satisfied >= solver.solve(problem).satisfied

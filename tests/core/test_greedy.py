@@ -1,0 +1,163 @@
+"""Tests for the greedy heuristics."""
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.core import (
+    BruteForceSolver,
+    ConsumeAttrCumulSolver,
+    ConsumeAttrSolver,
+    ConsumeQueriesSolver,
+    CoverageGreedySolver,
+    VisibilityProblem,
+)
+
+GREEDIES = [
+    ConsumeAttrSolver,
+    ConsumeAttrCumulSolver,
+    ConsumeQueriesSolver,
+    CoverageGreedySolver,
+]
+
+
+class TestConsumeAttr:
+    def test_picks_most_frequent_attributes(self):
+        schema = Schema.anonymous(4)
+        log = BooleanTable(schema, [0b0001, 0b0001, 0b0011, 0b0100])
+        problem = VisibilityProblem(log, 0b1111, 2)
+        solution = ConsumeAttrSolver().solve(problem)
+        # a0 appears 3 times, a1 once, a2 once -> a0 plus tie-break lowest
+        assert solution.keep_mask & 0b0001
+
+    def test_counts_only_satisfiable_queries(self, paper_schema):
+        # turbo query is unsatisfiable; auto_trans should not be picked
+        log = BooleanTable(
+            paper_schema,
+            [paper_schema.mask_of(["turbo", "auto_trans"])] * 5
+            + [paper_schema.mask_of(["ac"])],
+        )
+        tuple_mask = paper_schema.mask_of(["ac", "auto_trans", "four_door"])
+        problem = VisibilityProblem(log, tuple_mask, 1)
+        solution = ConsumeAttrSolver().solve(problem)
+        assert solution.kept_attributes == ["ac"]
+        assert solution.satisfied == 1
+
+    def test_frequencies_in_stats(self, paper_problem):
+        solution = ConsumeAttrSolver().solve(paper_problem)
+        assert isinstance(solution.stats["frequencies"], dict)
+
+
+class TestConsumeAttrCumul:
+    def test_first_pick_is_most_frequent(self):
+        schema = Schema.anonymous(3)
+        log = BooleanTable(schema, [0b001, 0b001, 0b010])
+        problem = VisibilityProblem(log, 0b111, 1)
+        solution = ConsumeAttrCumulSolver().solve(problem)
+        assert solution.keep_mask == 0b001
+
+    def test_second_pick_follows_cooccurrence(self):
+        schema = Schema.anonymous(3)
+        # a0 frequent; a2 co-occurs with a0, a1 never does but is frequent alone
+        log = BooleanTable(schema, [0b101, 0b101, 0b001, 0b010, 0b010])
+        problem = VisibilityProblem(log, 0b111, 2)
+        solution = ConsumeAttrCumulSolver().solve(problem)
+        assert solution.keep_mask == 0b101  # a0 then a2, not a1
+
+    def test_zero_cooccurrence_falls_back_to_frequency(self):
+        schema = Schema.anonymous(4)
+        # a0 most frequent; nothing co-occurs with a0; a3 next most frequent
+        log = BooleanTable(schema, [0b0001, 0b0001, 0b1000, 0b1000, 0b0010])
+        problem = VisibilityProblem(log, 0b1111, 2)
+        solution = ConsumeAttrCumulSolver().solve(problem)
+        assert solution.keep_mask == 0b1001
+
+
+class TestConsumeQueries:
+    def test_consumes_cheapest_query_first(self):
+        schema = Schema.anonymous(5)
+        log = BooleanTable(schema, [0b00111, 0b00001, 0b11000])
+        problem = VisibilityProblem(log, 0b11111, 3)
+        solution = ConsumeQueriesSolver().solve(problem)
+        # picks {a0} first (1 attr), then {a3,a4} (2 new) -> satisfies 2
+        assert solution.satisfied == 2
+        assert solution.stats["queries_consumed"] == 2
+
+    def test_skips_queries_that_overflow_budget(self):
+        schema = Schema.anonymous(5)
+        log = BooleanTable(schema, [0b01111, 0b10000])
+        problem = VisibilityProblem(log, 0b11111, 2)
+        solution = ConsumeQueriesSolver().solve(problem)
+        # 4-attribute query cannot fit budget 2; 1-attribute one can
+        assert solution.satisfied == 1
+
+    def test_never_picks_unsatisfiable_query(self, paper_schema):
+        log = BooleanTable(paper_schema, [paper_schema.mask_of(["turbo"])])
+        tuple_mask = paper_schema.mask_of(["ac"])
+        problem = VisibilityProblem(log, tuple_mask, 1)
+        solution = ConsumeQueriesSolver().solve(problem)
+        assert solution.satisfied == 0
+        assert solution.keep_mask == tuple_mask  # padded
+
+    def test_known_weakness_rare_small_queries(self):
+        """The failure mode the paper reports in Fig 7: the smallest query
+        may contain unpopular attributes, wasting the budget."""
+        schema = Schema.anonymous(6)
+        log = BooleanTable(
+            schema,
+            [0b100000]  # rare 1-attribute query, consumed first
+            + [0b000011] * 10,  # popular pair
+        )
+        problem = VisibilityProblem(log, 0b111111, 2)
+        greedy = ConsumeQueriesSolver().solve(problem)
+        optimal = BruteForceSolver().solve(problem)
+        assert greedy.satisfied == 1
+        assert optimal.satisfied == 10
+
+
+class TestCoverageGreedy:
+    def test_completes_most_queries_per_step(self):
+        schema = Schema.anonymous(4)
+        log = BooleanTable(schema, [0b0001] * 3 + [0b0110] * 2)
+        problem = VisibilityProblem(log, 0b1111, 1)
+        solution = CoverageGreedySolver().solve(problem)
+        assert solution.keep_mask == 0b0001
+        assert solution.satisfied == 3
+
+    def test_beats_consume_queries_on_rare_pair_trap(self):
+        """A rare pair consumed first wastes ConsumeQueries' budget; the
+        coverage greedy's touched-count tie-break steers to the popular
+        pair instead."""
+        schema = Schema.anonymous(6)
+        log = BooleanTable(schema, [0b110000] + [0b000011] * 10)
+        problem = VisibilityProblem(log, 0b111111, 2)
+        assert CoverageGreedySolver().solve(problem).satisfied == 10
+        assert ConsumeQueriesSolver().solve(problem).satisfied == 1
+
+
+@pytest.mark.parametrize("factory", GREEDIES)
+class TestGreedyInvariants:
+    def test_never_beats_optimal(self, factory):
+        import random
+
+        from tests.conftest import random_instance
+
+        rng = random.Random(5)
+        brute = BruteForceSolver()
+        for _ in range(20):
+            problem = random_instance(rng)
+            assert factory().solve(problem).satisfied <= brute.solve(problem).satisfied
+
+    def test_budget_and_subset_invariants(self, factory):
+        import random
+
+        from tests.conftest import random_instance
+
+        rng = random.Random(6)
+        for _ in range(20):
+            problem = random_instance(rng)
+            solution = factory().solve(problem)
+            assert solution.keep_mask.bit_count() <= problem.budget
+            assert solution.keep_mask & ~problem.new_tuple == 0
+
+    def test_marked_heuristic(self, factory, paper_problem):
+        assert not factory().solve(paper_problem).optimal

@@ -1,0 +1,81 @@
+"""Tests specific to the ILP solver and the paper's formulation."""
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.bits import bit_indices
+from repro.common.errors import SolverBudgetExceededError, ValidationError
+from repro.core import BruteForceSolver, IlpSolver, VisibilityProblem
+from repro.core.ilp import build_soc_model
+from repro.lp.branch_and_bound import BranchAndBoundSolver
+
+
+class TestModelConstruction:
+    def test_x_variables_only_for_tuple_attributes(self, paper_problem):
+        model, x_vars = build_soc_model(paper_problem)
+        present = [i for i, x in enumerate(x_vars) if x is not None]
+        assert present == bit_indices(paper_problem.new_tuple)
+
+    def test_budget_constraint_present(self, paper_problem):
+        model, _ = build_soc_model(paper_problem)
+        names = [c.name for c in model.constraints]
+        assert "budget" in names
+
+    def test_restricted_model_has_y_per_satisfiable_query(self, paper_problem):
+        model, x_vars = build_soc_model(paper_problem, restrict_to_satisfiable=True)
+        x_count = sum(1 for x in x_vars if x is not None)
+        y_count = len(model.variables) - x_count
+        assert y_count == len(paper_problem.satisfiable_queries)
+
+    def test_paper_literal_model_pins_unsatisfiable_queries(self, paper_problem):
+        model, x_vars = build_soc_model(paper_problem, restrict_to_satisfiable=False)
+        x_count = sum(1 for x in x_vars if x is not None)
+        y_count = len(model.variables) - x_count
+        assert y_count == len(paper_problem.log)
+        # still optimal
+        result = BranchAndBoundSolver().solve_model(model)
+        assert result.objective == pytest.approx(3.0)
+
+    def test_continuous_y_reaches_integral_optimum(self, paper_problem):
+        """The LP-relaxed y trick: optimum equals the all-integer one."""
+        relaxed_model, _ = build_soc_model(paper_problem, integral_y=False)
+        integral_model, _ = build_soc_model(paper_problem, integral_y=True)
+        relaxed = BranchAndBoundSolver().solve_model(relaxed_model)
+        integral = BranchAndBoundSolver().solve_model(integral_model)
+        assert relaxed.objective == pytest.approx(integral.objective)
+
+
+class TestBackends:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            IlpSolver(backend="gurobi")
+
+    @pytest.mark.parametrize("backend", ["native", "scipy"])
+    def test_backends_agree_with_brute_force(self, backend, paper_problem):
+        if backend == "scipy":
+            pytest.importorskip("scipy")
+        solution = IlpSolver(backend=backend).solve(paper_problem)
+        assert solution.satisfied == BruteForceSolver().solve(paper_problem).satisfied
+
+    def test_stats_reported(self, paper_problem):
+        solution = IlpSolver(backend="native").solve(paper_problem)
+        assert solution.stats["backend"] == "native"
+        assert solution.stats["variables"] > 0
+        assert solution.stats["constraints"] > 0
+
+    def test_node_budget_surfaces(self):
+        schema = Schema.anonymous(12)
+        import random
+
+        rng = random.Random(0)
+        log = BooleanTable(schema, [rng.getrandbits(12) or 1 for _ in range(40)])
+        problem = VisibilityProblem(log, schema.full, 6)
+        with pytest.raises(SolverBudgetExceededError):
+            IlpSolver(backend="native", max_nodes=0).solve(problem)
+
+
+class TestIntegralYMode:
+    def test_integral_y_same_answer(self, paper_problem):
+        default = IlpSolver().solve(paper_problem)
+        literal = IlpSolver(integral_y=True).solve(paper_problem)
+        assert default.satisfied == literal.satisfied == 3

@@ -1,0 +1,145 @@
+"""Tests specific to the MaxFreqItemSets solver and its preprocessing index."""
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import ValidationError
+from repro.core import (
+    BruteForceSolver,
+    MaximalItemsetIndex,
+    MaxFreqItemsetsSolver,
+    VisibilityProblem,
+)
+
+
+class TestConfiguration:
+    def test_unknown_miner_rejected(self):
+        with pytest.raises(ValidationError):
+            MaxFreqItemsetsSolver(miner="quantum")
+
+    def test_unknown_threshold_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            MaxFreqItemsetsSolver(threshold="magic")
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValidationError):
+            MaxFreqItemsetsSolver(threshold=1.5)
+
+    def test_bad_absolute_rejected(self):
+        with pytest.raises(ValidationError):
+            MaxFreqItemsetsSolver(threshold=0)
+
+    def test_adaptive_is_marked_optimal(self):
+        assert MaxFreqItemsetsSolver().optimal
+        assert not MaxFreqItemsetsSolver(threshold=0.1).optimal
+
+
+class TestThresholdPolicies:
+    def test_adaptive_finds_optimum(self, paper_problem):
+        solution = MaxFreqItemsetsSolver().solve(paper_problem)
+        assert solution.satisfied == 3
+
+    def test_adaptive_without_greedy_seed_finds_optimum(self, paper_problem):
+        solution = MaxFreqItemsetsSolver(greedy_seed=False).solve(paper_problem)
+        assert solution.satisfied == 3
+        assert "greedy_seed_bound" not in solution.stats
+
+    def test_greedy_seed_recorded(self, paper_problem):
+        solution = MaxFreqItemsetsSolver(greedy_seed=True).solve(paper_problem)
+        assert solution.stats["greedy_seed_bound"] >= 1
+
+    def test_fixed_threshold_achievable(self, paper_problem):
+        # optimum satisfies 3 of 5 queries = 60% -> threshold 40% reachable
+        solution = MaxFreqItemsetsSolver(threshold=0.4).solve(paper_problem)
+        assert solution.satisfied == 3
+
+    def test_fixed_threshold_too_high_returns_empty(self, paper_schema):
+        # no compression reaches 90% of this log
+        log = BooleanTable(
+            paper_schema,
+            [paper_schema.mask_of(["ac"]), paper_schema.mask_of(["turbo"])] * 3,
+        )
+        tuple_mask = paper_schema.mask_of(["ac", "turbo", "four_door"])
+        problem = VisibilityProblem(log, tuple_mask, 1)
+        solution = MaxFreqItemsetsSolver(threshold=0.9).solve(problem)
+        assert solution.stats.get("returned_empty")
+        assert solution.keep_mask.bit_count() == 1  # still padded to budget
+
+    def test_absolute_threshold(self, paper_problem):
+        solution = MaxFreqItemsetsSolver(threshold=2).solve(paper_problem)
+        assert solution.satisfied == 3
+
+
+class TestMiners:
+    @pytest.mark.parametrize("miner", ["dfs", "reference", "walk", "bottomup"])
+    def test_all_miners_find_paper_optimum(self, miner, paper_problem):
+        solver = MaxFreqItemsetsSolver(
+            miner=miner, seed=0, walk_iterations=2000, walk_min_iterations=50
+        )
+        assert solver.solve(paper_problem).satisfied == 3
+
+
+class TestProjectedVsUnprojected:
+    def test_paths_agree(self, paper_problem):
+        projected = MaxFreqItemsetsSolver(restrict_to_satisfiable=True)
+        unprojected = MaxFreqItemsetsSolver(restrict_to_satisfiable=False)
+        assert (
+            projected.solve(paper_problem).satisfied
+            == unprojected.solve(paper_problem).satisfied
+        )
+
+    def test_projected_stats(self, paper_problem):
+        solution = MaxFreqItemsetsSolver().solve(paper_problem)
+        assert solution.stats["projected_width"] == paper_problem.tuple_size
+
+
+class TestPreprocessingIndex:
+    def test_index_reuse_matches_direct_solve(self, paper_log, paper_schema):
+        index = MaximalItemsetIndex(paper_log)
+        indexed_solver = MaxFreqItemsetsSolver(index=index)
+        direct_solver = MaxFreqItemsetsSolver()
+        for bits in ([1, 1, 0, 1, 1, 1], [1, 0, 0, 1, 0, 1], [0, 1, 1, 1, 0, 0]):
+            tuple_mask = paper_schema.mask_from_bits(bits)
+            for budget in (1, 2, 3):
+                problem = VisibilityProblem(paper_log, tuple_mask, budget)
+                indexed = indexed_solver.solve(problem)
+                direct = direct_solver.solve(problem)
+                assert indexed.satisfied == direct.satisfied, (bits, budget)
+
+    def test_index_caches_thresholds(self, paper_log):
+        index = MaximalItemsetIndex(paper_log)
+        first = index.maximal_itemsets(2)
+        second = index.maximal_itemsets(2)
+        assert first is second
+
+    def test_precompute_warms_cache(self, paper_log):
+        index = MaximalItemsetIndex(paper_log)
+        index.precompute([1, 2])
+        assert set(index._cache) == {1, 2}
+
+    def test_wrong_log_rejected(self, paper_log, paper_schema, paper_tuple):
+        index = MaximalItemsetIndex(paper_log)
+        other_log = BooleanTable(paper_schema, list(paper_log))
+        solver = MaxFreqItemsetsSolver(index=index)
+        with pytest.raises(ValidationError):
+            solver.solve(VisibilityProblem(other_log, paper_tuple, 2))
+
+    def test_index_solution_flags_usage(self, paper_log, paper_tuple):
+        index = MaximalItemsetIndex(paper_log)
+        solver = MaxFreqItemsetsSolver(index=index)
+        solution = solver.solve(VisibilityProblem(paper_log, paper_tuple, 3))
+        assert solution.stats["used_index"]
+
+
+class TestAgainstBruteForce:
+    def test_matches_brute_force_on_small_random_instances(self):
+        import random
+
+        from tests.conftest import random_instance
+
+        rng = random.Random(99)
+        brute = BruteForceSolver()
+        solver = MaxFreqItemsetsSolver()
+        for _ in range(25):
+            problem = random_instance(rng)
+            assert solver.solve(problem).satisfied == brute.solve(problem).satisfied

@@ -1,0 +1,95 @@
+"""Tests for the local-search heuristic solver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booldata import BooleanTable, Schema
+from repro.core import (
+    BruteForceSolver,
+    ConsumeAttrSolver,
+    LocalSearchSolver,
+    VisibilityProblem,
+    make_solver,
+)
+
+
+class TestBasics:
+    def test_registered(self):
+        solver = make_solver("LocalSearch", restarts=1)
+        assert solver.restarts == 1
+
+    def test_paper_example(self, paper_problem):
+        solution = LocalSearchSolver(seed=0).solve(paper_problem)
+        assert solution.satisfied == 3  # reaches the optimum here
+
+    def test_deterministic_under_seed(self, paper_problem):
+        a = LocalSearchSolver(seed=5).solve(paper_problem)
+        b = LocalSearchSolver(seed=5).solve(paper_problem)
+        assert a.keep_mask == b.keep_mask
+
+    def test_marked_heuristic(self, paper_problem):
+        assert not LocalSearchSolver().solve(paper_problem).optimal
+
+    def test_stats_reported(self, paper_problem):
+        solution = LocalSearchSolver(restarts=2).solve(paper_problem)
+        assert solution.stats["restarts"] == 2
+        assert solution.stats["climb_rounds"] >= 1
+
+    def test_negative_restarts_rejected(self):
+        with pytest.raises(ValueError):
+            LocalSearchSolver(restarts=-1)
+
+
+class TestQuality:
+    def test_at_least_as_good_as_its_starting_point(self):
+        """Hill climbing can only improve on the ConsumeAttr start."""
+        rng = random.Random(8)
+        for _ in range(15):
+            width = rng.randint(3, 8)
+            schema = Schema.anonymous(width)
+            log = BooleanTable(
+                schema, [rng.getrandbits(width) or 1 for _ in range(rng.randint(1, 18))]
+            )
+            problem = VisibilityProblem(log, rng.getrandbits(width), rng.randint(0, width))
+            greedy = ConsumeAttrSolver().solve(problem).satisfied
+            local = LocalSearchSolver(seed=1).solve(problem).satisfied
+            assert local >= greedy
+
+    def test_escapes_consume_attr_trap_via_restarts(self):
+        """The classic frequency trap: a0-a2 are the most frequent
+        attributes but appear only in 3-attribute queries, useless at
+        m=2, while the pair {a3, a4} completes 3 queries.  ConsumeAttr
+        scores 0; 1-swap climbing alone cannot escape the plateau
+        (every single swap still scores 0), so the random restarts are
+        what recover the optimum."""
+        schema = Schema.anonymous(5)
+        log = BooleanTable(schema, [0b00111] * 4 + [0b11000] * 3)
+        problem = VisibilityProblem(log, 0b11111, 2)
+        greedy = ConsumeAttrSolver().solve(problem)
+        assert greedy.satisfied == 0
+        local = LocalSearchSolver(seed=0, restarts=8).solve(problem)
+        assert local.satisfied == 3
+        assert local.satisfied == BruteForceSolver().solve(problem).satisfied
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_bounded_by_optimum_property(data):
+    width = data.draw(st.integers(2, 7))
+    schema = Schema.anonymous(width)
+    queries = [
+        data.draw(st.integers(1, (1 << width) - 1))
+        for _ in range(data.draw(st.integers(0, 14)))
+    ]
+    log = BooleanTable(schema, queries)
+    new_tuple = data.draw(st.integers(0, (1 << width) - 1))
+    budget = data.draw(st.integers(0, width))
+    problem = VisibilityProblem(log, new_tuple, budget)
+    local = LocalSearchSolver(seed=3).solve(problem)
+    optimum = BruteForceSolver().solve(problem).satisfied
+    assert local.satisfied <= optimum
+    assert local.keep_mask & ~new_tuple == 0
+    assert local.keep_mask.bit_count() <= budget

@@ -1,0 +1,105 @@
+"""Tests for VisibilityProblem and Solution."""
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import ValidationError
+from repro.core import Solution, VisibilityProblem
+
+
+class TestProblemValidation:
+    def test_negative_budget_rejected(self, paper_log, paper_tuple):
+        with pytest.raises(ValidationError):
+            VisibilityProblem(paper_log, paper_tuple, -1)
+
+    def test_tuple_out_of_schema_rejected(self, paper_log):
+        with pytest.raises(ValidationError):
+            VisibilityProblem(paper_log, 1 << 10, 2)
+
+    def test_width_and_tuple_size(self, paper_problem):
+        assert paper_problem.width == 6
+        assert paper_problem.tuple_size == 5
+
+
+class TestDerivedViews:
+    def test_satisfiable_queries(self, paper_problem, paper_schema):
+        # q5 = {Turbo, Auto Trans} demands turbo, which t lacks
+        satisfiable = paper_problem.satisfiable_queries
+        assert len(satisfiable) == 4
+        turbo = paper_schema.mask_of(["turbo"])
+        assert all(query & turbo == 0 for query in satisfiable)
+
+    def test_relevant_attributes_subset_of_tuple(self, paper_problem):
+        relevant = paper_problem.relevant_attributes
+        assert relevant & ~paper_problem.new_tuple == 0
+
+    def test_relevant_attributes_content(self, paper_problem, paper_schema):
+        # auto_trans appears only in the unsatisfiable q5 -> irrelevant
+        assert paper_schema.names_of(paper_problem.relevant_attributes) == [
+            "ac", "four_door", "power_doors", "power_brakes",
+        ]
+
+
+class TestEvaluate:
+    def test_paper_optimum(self, paper_problem, paper_schema):
+        keep = paper_schema.mask_of(["ac", "four_door", "power_doors"])
+        assert paper_problem.evaluate(keep) == 3
+
+    def test_rejects_attributes_outside_tuple(self, paper_problem, paper_schema):
+        with pytest.raises(ValidationError):
+            paper_problem.evaluate(paper_schema.mask_of(["turbo"]))
+
+    def test_rejects_over_budget(self, paper_problem, paper_schema):
+        keep = paper_schema.mask_of(["ac", "four_door", "power_doors", "power_brakes"])
+        with pytest.raises(ValidationError):
+            paper_problem.evaluate(keep)
+
+    def test_empty_keep_counts_empty_queries(self, paper_schema):
+        log = BooleanTable(paper_schema, [0, 0b1])
+        problem = VisibilityProblem(log, 0b1, 0)
+        assert problem.evaluate(0) == 1
+
+
+class TestPadToBudget:
+    def test_pads_up_to_budget(self, paper_problem):
+        padded = paper_problem.pad_to_budget(0)
+        assert padded.bit_count() == 3
+        assert padded & ~paper_problem.new_tuple == 0
+
+    def test_no_change_when_full(self, paper_problem, paper_schema):
+        keep = paper_schema.mask_of(["ac", "four_door", "power_doors"])
+        assert paper_problem.pad_to_budget(keep) == keep
+
+    def test_budget_beyond_tuple_size_caps_at_tuple(self, paper_log, paper_tuple):
+        problem = VisibilityProblem(paper_log, paper_tuple, 100)
+        assert problem.pad_to_budget(0) == paper_tuple
+
+
+class TestFromDatabase:
+    def test_cbd_constructor(self, paper_database, paper_tuple):
+        problem = VisibilityProblem.from_database(paper_database, paper_tuple, 4)
+        assert problem.log is paper_database
+
+
+class TestSolution:
+    def test_validation(self, paper_problem, paper_schema):
+        with pytest.raises(ValidationError):
+            Solution(paper_problem, paper_schema.mask_of(["turbo"]), 0, "x", False)
+        over = paper_schema.mask_of(["ac", "four_door", "power_doors", "power_brakes"])
+        with pytest.raises(ValidationError):
+            Solution(paper_problem, over, 0, "x", False)
+
+    def test_kept_attributes_and_ratio(self, paper_problem, paper_schema):
+        keep = paper_schema.mask_of(["ac", "four_door", "power_doors"])
+        solution = Solution(paper_problem, keep, 3, "test", True)
+        assert solution.kept_attributes == ["ac", "four_door", "power_doors"]
+        assert solution.per_attribute_ratio == 1.0
+
+    def test_ratio_with_empty_keep(self, paper_problem):
+        solution = Solution(paper_problem, 0, 0, "test", True)
+        assert solution.per_attribute_ratio == 0.0
+
+    def test_str_mentions_algorithm(self, paper_problem):
+        solution = Solution(paper_problem, 0, 0, "MyAlg", False)
+        assert "MyAlg" in str(solution)
+        assert "heuristic" in str(solution)

@@ -1,0 +1,56 @@
+"""Tests for the algorithm registry."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core import (
+    GREEDY_ALGORITHMS,
+    OPTIMAL_ALGORITHMS,
+    SOLVERS,
+    Solver,
+    available_algorithms,
+    make_solver,
+)
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        for name in (
+            "BruteForce",
+            "ILP",
+            "MaxFreqItemSets",
+            "ConsumeAttr",
+            "ConsumeAttrCumul",
+            "ConsumeQueries",
+        ):
+            assert name in SOLVERS
+
+    def test_available_matches_solvers(self):
+        assert available_algorithms() == list(SOLVERS)
+
+    def test_make_solver_returns_solver(self):
+        for name in available_algorithms():
+            assert isinstance(make_solver(name), Solver)
+
+    def test_solver_names_match_registry_keys(self):
+        for name in available_algorithms():
+            assert make_solver(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            make_solver("Oracle")
+
+    def test_overrides_forwarded(self):
+        solver = make_solver("ILP", backend="scipy")
+        assert solver.backend == "scipy"
+
+    def test_groupings_are_registered_subsets(self):
+        assert set(OPTIMAL_ALGORITHMS) <= set(SOLVERS)
+        assert set(GREEDY_ALGORITHMS) <= set(SOLVERS)
+        assert not set(OPTIMAL_ALGORITHMS) & set(GREEDY_ALGORITHMS)
+
+    def test_optimal_flags_consistent(self):
+        for name in OPTIMAL_ALGORITHMS:
+            assert make_solver(name).optimal
+        for name in GREEDY_ALGORITHMS:
+            assert not make_solver(name).optimal

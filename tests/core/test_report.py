@@ -1,0 +1,57 @@
+"""Tests for the solution explanation module."""
+
+import pytest
+
+from repro.core import BruteForceSolver, VisibilityProblem
+from repro.core.report import explain
+
+
+@pytest.fixture
+def solution(paper_problem):
+    return BruteForceSolver().solve(paper_problem)
+
+
+class TestExplain:
+    def test_satisfied_queries_listed(self, solution):
+        report = explain(solution)
+        assert len(report.satisfied_query_names) == solution.satisfied
+        assert ["ac", "four_door"] in report.satisfied_query_names
+
+    def test_contributions_cover_kept_attributes(self, solution):
+        report = explain(solution)
+        assert {c.name for c in report.contributions} == set(solution.kept_attributes)
+
+    def test_marginal_values(self, solution):
+        report = explain(solution)
+        by_name = {c.name: c for c in report.contributions}
+        # dropping power_doors loses q2, q3 (both need it); dropping ac
+        # loses q1, q2; dropping four_door loses q1, q3
+        assert by_name["power_doors"].marginal_queries == 2
+        assert by_name["ac"].marginal_queries == 2
+        assert by_name["four_door"].marginal_queries == 2
+
+    def test_near_misses(self, paper_log, paper_tuple):
+        # keep only {ac, four_door}: q2 and q3 are each one attribute short
+        problem = VisibilityProblem(paper_log, paper_tuple, 2)
+        solution = BruteForceSolver().solve(problem)
+        report = explain(solution)
+        for _, missing in report.near_misses:
+            assert len(missing) == 1
+
+    def test_near_miss_cap(self, paper_log, paper_tuple):
+        problem = VisibilityProblem(paper_log, paper_tuple, 2)
+        solution = BruteForceSolver().solve(problem)
+        report = explain(solution, max_near_misses=1)
+        assert len(report.near_misses) <= 1
+
+    def test_text_rendering(self, solution):
+        text = explain(solution).to_text()
+        assert "advertise: ac, four_door, power_doors" in text
+        assert "visibility: 3 of 5 queries" in text
+        assert "exact" in text
+
+    def test_empty_solution_renders(self, paper_log, paper_tuple):
+        problem = VisibilityProblem(paper_log, paper_tuple, 0)
+        solution = BruteForceSolver().solve(problem)
+        text = explain(solution).to_text()
+        assert "(nothing)" in text

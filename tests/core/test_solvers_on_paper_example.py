@@ -1,0 +1,69 @@
+"""Every algorithm reproduces Example 1 of the paper exactly."""
+
+import pytest
+
+from repro.core import SOLVERS, VisibilityProblem, make_solver
+
+
+@pytest.mark.parametrize("name", list(SOLVERS))
+class TestExampleOne:
+    def test_m3_optimum_is_three_queries(self, name, paper_problem):
+        """'we can satisfy a maximum of three queries (q1, q2 and q3)'"""
+        solution = make_solver(name).solve(paper_problem)
+        assert solution.satisfied == 3
+
+    def test_m3_attributes_are_the_papers(self, name, paper_problem):
+        """'if we retain the attributes AC, Four Door and Power Doors'"""
+        solution = make_solver(name).solve(paper_problem)
+        assert solution.kept_attributes == ["ac", "four_door", "power_doors"]
+
+    def test_budget_respected(self, name, paper_problem):
+        solution = make_solver(name).solve(paper_problem)
+        assert solution.keep_mask.bit_count() <= paper_problem.budget
+
+    def test_keeps_only_tuple_attributes(self, name, paper_problem):
+        solution = make_solver(name).solve(paper_problem)
+        assert solution.keep_mask & ~paper_problem.new_tuple == 0
+
+
+@pytest.mark.parametrize("name", list(SOLVERS))
+class TestTrivialRegimes:
+    def test_budget_zero(self, name, paper_log, paper_tuple):
+        problem = VisibilityProblem(paper_log, paper_tuple, 0)
+        solution = make_solver(name).solve(problem)
+        assert solution.keep_mask == 0
+        assert solution.satisfied == 0  # no empty query in the log
+
+    def test_budget_at_least_tuple_size_keeps_everything(
+        self, name, paper_log, paper_tuple
+    ):
+        problem = VisibilityProblem(paper_log, paper_tuple, 6)
+        solution = make_solver(name).solve(problem)
+        assert solution.keep_mask == paper_tuple
+        assert solution.satisfied == 4  # every query except the turbo one
+
+    def test_empty_log(self, name, paper_schema, paper_tuple):
+        from repro.booldata import BooleanTable
+
+        problem = VisibilityProblem(BooleanTable(paper_schema), paper_tuple, 2)
+        solution = make_solver(name).solve(problem)
+        assert solution.satisfied == 0
+        assert solution.keep_mask.bit_count() == 2
+
+    def test_empty_tuple(self, name, paper_log):
+        problem = VisibilityProblem(paper_log, 0, 3)
+        solution = make_solver(name).solve(problem)
+        assert solution.keep_mask == 0
+        assert solution.satisfied == 0
+
+
+@pytest.mark.parametrize("name", list(SOLVERS))
+def test_paper_cbd_example(name, paper_database, paper_schema, paper_tuple):
+    """Section II.B: with m=4 against the database, t' = {AC, Four Door,
+    Power Doors, Power Brakes} dominates four tuples (t1, t4, t5, t6)."""
+    problem = VisibilityProblem.from_database(paper_database, paper_tuple, 4)
+    solution = make_solver(name).solve(problem)
+    assert solution.satisfied == 4
+    assert solution.kept_attributes == [
+        "ac", "four_door", "power_doors", "power_brakes",
+    ]

@@ -1,0 +1,220 @@
+"""Tests for weighted query logs (deduplication + multiplicities)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import ValidationError
+from repro.core import BruteForceSolver, VisibilityProblem
+from repro.core.weighted import (
+    WeightedVisibilityProblem,
+    deduplicated_problem,
+    solve_weighted_brute_force,
+    solve_weighted_consume_attr,
+    solve_weighted_itemsets,
+)
+from repro.mining.weighted import WeightedTransactionDatabase, deduplicate_rows
+
+
+class TestDeduplicateRows:
+    def test_counts_and_order(self):
+        rows, weights = deduplicate_rows([3, 1, 3, 3, 1, 7])
+        assert rows == [3, 1, 7]
+        assert weights == [3, 2, 1]
+
+    def test_empty(self):
+        assert deduplicate_rows([]) == ([], [])
+
+
+class TestWeightedTransactions:
+    def test_support_is_weight_sum(self):
+        db = WeightedTransactionDatabase(3, [0b011, 0b001], [5, 2])
+        assert db.support(0b001) == 7
+        assert db.support(0b010) == 5
+        assert db.support(0b100) == 0
+        assert db.num_transactions == 7
+
+    def test_matches_expanded_database(self):
+        from repro.mining import TransactionDatabase
+
+        rng = random.Random(0)
+        rows = [rng.getrandbits(4) for _ in range(8)]
+        weights = [rng.randint(1, 4) for _ in range(8)]
+        weighted = WeightedTransactionDatabase(4, rows, weights)
+        expanded = TransactionDatabase(
+            4, [row for row, w in zip(rows, weights) for _ in range(w)]
+        )
+        for itemset in range(16):
+            assert weighted.support(itemset) == expanded.support(itemset)
+            assert weighted.complement().support(itemset) == expanded.complement().support(itemset)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            WeightedTransactionDatabase(2, [1], [0])  # zero weight
+        with pytest.raises(ValidationError):
+            WeightedTransactionDatabase(2, [1], [1, 2])  # length mismatch
+        with pytest.raises(ValidationError):
+            WeightedTransactionDatabase(2, [4], [1])  # out of range
+
+    def test_weighted_mining_matches_expanded(self):
+        from repro.mining import TransactionDatabase, mine_maximal_dfs
+
+        rng = random.Random(1)
+        rows = [rng.getrandbits(5) or 1 for _ in range(6)]
+        weights = [rng.randint(1, 3) for _ in range(6)]
+        weighted = WeightedTransactionDatabase(5, rows, weights)
+        expanded = TransactionDatabase(
+            5, [row for row, w in zip(rows, weights) for _ in range(w)]
+        )
+        for threshold in (1, 2, 4):
+            assert mine_maximal_dfs(weighted, threshold) == mine_maximal_dfs(
+                expanded, threshold
+            )
+
+
+class TestWeightedProblem:
+    def test_validation(self, paper_log, paper_tuple):
+        with pytest.raises(ValidationError):
+            WeightedVisibilityProblem(paper_log, (1,) * 4, paper_tuple, 2)  # wrong len
+        with pytest.raises(ValidationError):
+            WeightedVisibilityProblem(paper_log, (1, 1, 1, 1, 0), paper_tuple, 2)
+
+    def test_evaluate_sums_weights(self, paper_log, paper_schema, paper_tuple):
+        problem = WeightedVisibilityProblem(
+            paper_log, (10, 1, 1, 1, 1), paper_tuple, 3
+        )
+        keep = paper_schema.mask_of(["ac", "four_door", "power_doors"])
+        assert problem.evaluate(keep) == 12  # q1 (10) + q2 + q3
+
+    def test_weights_change_the_optimum(self, paper_log, paper_schema, paper_tuple):
+        """Weighting q4 heavily pulls power_brakes into the solution."""
+        plain = solve_weighted_brute_force(
+            WeightedVisibilityProblem(paper_log, (1,) * 5, paper_tuple, 2)
+        )
+        skewed = solve_weighted_brute_force(
+            WeightedVisibilityProblem(paper_log, (1, 1, 1, 50, 1), paper_tuple, 2)
+        )
+        brakes = paper_schema.mask_of(["power_brakes"])
+        assert skewed.keep_mask & brakes
+        assert skewed.satisfied_weight >= 50
+
+    def test_expand_equivalence(self, paper_log, paper_tuple):
+        weighted = WeightedVisibilityProblem(paper_log, (2, 1, 3, 1, 1), paper_tuple, 3)
+        expanded = weighted.expand()
+        best_weighted = solve_weighted_brute_force(weighted)
+        best_plain = BruteForceSolver().solve(expanded)
+        assert best_weighted.satisfied_weight == best_plain.satisfied
+
+    def test_deduplicated_problem(self, paper_schema):
+        rows = [0b000011, 0b000011, 0b000100]
+        log = BooleanTable(paper_schema, rows)
+        problem = VisibilityProblem(log, paper_schema.full, 2)
+        weighted = deduplicated_problem(problem)
+        assert len(weighted.log) == 2
+        assert weighted.weights == (2, 1)
+        assert weighted.total_weight == 3
+
+
+class TestWeightedSolvers:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_weighted_itemsets_matches_brute_force(self, data):
+        width = data.draw(st.integers(2, 6))
+        schema = Schema.anonymous(width)
+        count = data.draw(st.integers(1, 10))
+        rows = [data.draw(st.integers(1, (1 << width) - 1)) for _ in range(count)]
+        weights = tuple(data.draw(st.integers(1, 5)) for _ in range(count))
+        log = BooleanTable(schema, rows)
+        new_tuple = data.draw(st.integers(0, (1 << width) - 1))
+        budget = data.draw(st.integers(0, width))
+        problem = WeightedVisibilityProblem(log, weights, new_tuple, budget)
+        exact = solve_weighted_brute_force(problem)
+        itemsets = solve_weighted_itemsets(problem)
+        assert itemsets.satisfied_weight == exact.satisfied_weight
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_weighted_equals_expanded(self, data):
+        width = data.draw(st.integers(2, 5))
+        schema = Schema.anonymous(width)
+        count = data.draw(st.integers(1, 8))
+        rows = [data.draw(st.integers(1, (1 << width) - 1)) for _ in range(count)]
+        weights = tuple(data.draw(st.integers(1, 4)) for _ in range(count))
+        log = BooleanTable(schema, rows)
+        new_tuple = data.draw(st.integers(0, (1 << width) - 1))
+        budget = data.draw(st.integers(0, width))
+        problem = WeightedVisibilityProblem(log, weights, new_tuple, budget)
+        weighted_opt = solve_weighted_brute_force(problem).satisfied_weight
+        plain_opt = BruteForceSolver().solve(problem.expand()).satisfied
+        assert weighted_opt == plain_opt
+
+    def test_greedy_bounded_by_optimum(self, paper_log, paper_tuple):
+        problem = WeightedVisibilityProblem(paper_log, (3, 1, 4, 1, 5), paper_tuple, 3)
+        greedy = solve_weighted_consume_attr(problem)
+        exact = solve_weighted_brute_force(problem)
+        assert greedy.satisfied_weight <= exact.satisfied_weight
+        assert greedy.keep_mask & ~paper_tuple == 0
+
+    def test_dedup_preserves_optimum_on_redundant_logs(self):
+        rng = random.Random(3)
+        schema = Schema.anonymous(6)
+        base_queries = [rng.getrandbits(6) or 1 for _ in range(4)]
+        rows = [rng.choice(base_queries) for _ in range(40)]  # heavy repetition
+        log = BooleanTable(schema, rows)
+        problem = VisibilityProblem(log, schema.full, 3)
+        plain = BruteForceSolver().solve(problem)
+        weighted = solve_weighted_itemsets(deduplicated_problem(problem))
+        assert weighted.satisfied_weight == plain.satisfied
+
+    def test_trivial_budgets(self, paper_log, paper_tuple):
+        full = WeightedVisibilityProblem(paper_log, (1,) * 5, paper_tuple, 6)
+        assert solve_weighted_itemsets(full).keep_mask == paper_tuple
+        zero = WeightedVisibilityProblem(paper_log, (1,) * 5, paper_tuple, 0)
+        assert solve_weighted_itemsets(zero).keep_mask == 0
+
+
+class TestWeightedGreedyEquivalence:
+    def test_weighted_consume_attr_equals_expanded_plain_greedy(self):
+        """Weighted frequencies equal expanded-log frequencies, and the
+        tie-breaks are identical, so the two greedies must pick the same
+        attributes."""
+        import random as _random
+
+        from repro.core import ConsumeAttrSolver
+
+        rng = _random.Random(12)
+        for _ in range(20):
+            width = rng.randint(2, 6)
+            schema = Schema.anonymous(width)
+            count = rng.randint(1, 8)
+            rows = [rng.getrandbits(width) or 1 for _ in range(count)]
+            weights = tuple(rng.randint(1, 4) for _ in range(count))
+            log = BooleanTable(schema, rows)
+            new_tuple = rng.getrandbits(width)
+            budget = rng.randint(0, width)
+            weighted = WeightedVisibilityProblem(log, weights, new_tuple, budget)
+            weighted_pick = solve_weighted_consume_attr(weighted)
+            plain_pick = ConsumeAttrSolver().solve(weighted.expand())
+            assert weighted_pick.keep_mask == plain_pick.keep_mask
+            assert weighted_pick.satisfied_weight == plain_pick.satisfied
+
+
+class TestWeightedLadderFallback:
+    def test_zero_greedy_bound_still_finds_optimum(self):
+        """The weighted frequency trap: the weighted greedy scores 0, so
+        the threshold seeds at 1 and the miner must still recover the
+        true optimum."""
+        schema = Schema.anonymous(5)
+        log = BooleanTable(schema, [0b00111, 0b11000])
+        weights = (4, 3)
+        problem = WeightedVisibilityProblem(log, weights, 0b11111, 2)
+        from repro.core.weighted import solve_weighted_consume_attr
+
+        greedy = solve_weighted_consume_attr(problem)
+        result = solve_weighted_itemsets(problem)
+        exact = solve_weighted_brute_force(problem)
+        assert result.satisfied_weight == exact.satisfied_weight == 3
+        assert greedy.satisfied_weight <= result.satisfied_weight

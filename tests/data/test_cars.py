@@ -1,0 +1,92 @@
+"""Tests for the synthetic used-cars dataset."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.data import CAR_ATTRIBUTES, CAR_CLASSES, generate_cars
+
+
+class TestShape:
+    def test_default_shape_matches_paper(self):
+        cars = generate_cars(count=500, seed=0)
+        assert cars.schema.width == 32
+        assert len(cars.table) == 500
+        assert len(cars.classes) == 500
+        assert len(cars.prices) == 500
+
+    def test_attribute_names(self):
+        assert len(CAR_ATTRIBUTES) == 32
+        assert len(set(CAR_ATTRIBUTES)) == 32
+        assert "ac" in CAR_ATTRIBUTES
+
+    def test_class_profiles_reference_real_attributes(self):
+        for profile in CAR_CLASSES.values():
+            for key in profile:
+                assert key == "base" or key in CAR_ATTRIBUTES
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_cars(200, seed=7)
+        b = generate_cars(200, seed=7)
+        assert list(a.table) == list(b.table)
+        assert a.classes == b.classes
+        assert a.prices == b.prices
+
+    def test_different_seed_different_data(self):
+        a = generate_cars(200, seed=7)
+        b = generate_cars(200, seed=8)
+        assert list(a.table) != list(b.table)
+
+
+class TestRealism:
+    def test_class_correlation_shows_in_features(self):
+        cars = generate_cars(3000, seed=1)
+        index = {name: i for i, name in enumerate(CAR_ATTRIBUTES)}
+
+        def rate(car_class, attribute):
+            rows = [
+                row
+                for row, cls in zip(cars.table, cars.classes)
+                if cls == car_class
+            ]
+            return sum(1 for row in rows if row >> index[attribute] & 1) / len(rows)
+
+        assert rate("sports", "spoiler") > rate("sedan", "spoiler")
+        assert rate("suv", "four_wheel_drive") > rate("sedan", "four_wheel_drive")
+        assert rate("luxury", "leather_seats") > rate("economy", "leather_seats")
+
+    def test_density_moderate(self):
+        cars = generate_cars(2000, seed=2)
+        assert 0.3 < cars.table.density() < 0.6
+
+    def test_prices_respect_class_ranges(self):
+        cars = generate_cars(1000, seed=3)
+        for price, car_class in zip(cars.prices, cars.classes):
+            assert price > 0
+        luxury = [p for p, c in zip(cars.prices, cars.classes) if c == "luxury"]
+        economy = [p for p, c in zip(cars.prices, cars.classes) if c == "economy"]
+        assert sum(luxury) / len(luxury) > sum(economy) / len(economy)
+
+
+class TestApi:
+    def test_random_car_indices(self):
+        cars = generate_cars(100, seed=4)
+        indices = cars.random_car_indices(10, seed=0)
+        assert len(indices) == len(set(indices)) == 10
+        assert all(0 <= i < 100 for i in indices)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_cars(0)
+
+    def test_unknown_class_weights_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_cars(10, class_weights={"spaceship": 1.0})
+
+    def test_mismatched_metadata_rejected(self):
+        cars = generate_cars(10, seed=0)
+        from repro.data.cars import CarsDataset
+
+        with pytest.raises(ValidationError):
+            CarsDataset(cars.schema, cars.table, cars.classes[:-1], cars.prices)

@@ -1,0 +1,101 @@
+"""Tests for the drifting workload generator."""
+
+import pytest
+
+from repro.booldata import Schema
+from repro.common.errors import ValidationError
+from repro.data.drift import drifting_workload, interest_profile
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.anonymous(12)
+
+
+class TestInterestProfile:
+    def test_boosts_named_attributes(self):
+        schema = Schema(["a", "b", "c"])
+        weights = interest_profile(schema, ["b"], boost=5.0, base=0.5)
+        assert weights == [0.5, 5.0, 0.5]
+
+    def test_boost_must_exceed_base(self):
+        schema = Schema(["a"])
+        with pytest.raises(ValidationError):
+            interest_profile(schema, ["a"], boost=0.1, base=0.2)
+
+
+class TestDriftingWorkload:
+    def test_size_and_schema(self, schema):
+        start = [1.0] * 12
+        end = [1.0] * 12
+        log = drifting_workload(schema, 30, start, end, seed=0)
+        assert len(log) == 30
+        assert log.schema is schema
+
+    def test_deterministic(self, schema):
+        start = interest_profile(schema, ["a0"], boost=6.0)
+        end = interest_profile(schema, ["a11"], boost=6.0)
+        a = drifting_workload(schema, 25, start, end, seed=3)
+        b = drifting_workload(schema, 25, start, end, seed=3)
+        assert list(a) == list(b)
+
+    def test_interest_actually_drifts(self, schema):
+        """Early traffic mentions the start attribute far more than the
+        end attribute, and vice versa for late traffic."""
+        start = interest_profile(schema, ["a0"], boost=30.0, base=0.1)
+        end = interest_profile(schema, ["a11"], boost=30.0, base=0.1)
+        log = drifting_workload(schema, 300, start, end, seed=1)
+        early = log.rows[:100]
+        late = log.rows[-100:]
+
+        def mentions(rows, attribute):
+            return sum(1 for row in rows if row >> attribute & 1)
+
+        assert mentions(early, 0) > mentions(early, 11)
+        assert mentions(late, 11) > mentions(late, 0)
+
+    def test_weight_length_validated(self, schema):
+        with pytest.raises(ValidationError):
+            drifting_workload(schema, 5, [1.0], [1.0] * 12)
+
+    def test_negative_size_rejected(self, schema):
+        with pytest.raises(ValidationError):
+            drifting_workload(schema, -1, [1.0] * 12, [1.0] * 12)
+
+    def test_single_query(self, schema):
+        log = drifting_workload(schema, 1, [1.0] * 12, [1.0] * 12, seed=0)
+        assert len(log) == 1
+
+    def test_zero_queries(self, schema):
+        assert len(drifting_workload(schema, 0, [1.0] * 12, [1.0] * 12)) == 0
+
+    def test_monitor_integration(self, schema):
+        """End to end: a monitor watching drifting traffic eventually
+        recommends re-optimization."""
+        from repro.core import MaxFreqItemsetsSolver, VisibilityProblem
+        from repro.simulate import VisibilityMonitor
+
+        start = interest_profile(schema, ["a0", "a1"], boost=20.0, base=0.05)
+        end = interest_profile(schema, ["a10", "a11"], boost=20.0, base=0.05)
+        traffic = drifting_workload(schema, 240, start, end, seed=5)
+        early = traffic.rows[:60]
+        new_tuple = schema.full
+        problem = VisibilityProblem(
+            drifting_workload(schema, 60, start, start, seed=6), new_tuple, 3
+        )
+        initial = MaxFreqItemsetsSolver().solve(problem)
+        monitor = VisibilityMonitor(
+            new_tuple=new_tuple,
+            keep_mask=initial.keep_mask,
+            budget=3,
+            schema=schema,
+            window_size=60,
+            tolerance=0.6,
+        )
+        flagged = False
+        for query in traffic:
+            monitor.observe(query)
+            if monitor.status().should_reoptimize:
+                flagged = True
+                break
+        assert flagged

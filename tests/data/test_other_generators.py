@@ -1,0 +1,131 @@
+"""Tests for the categorical / numeric / text-corpus generators."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.data import (
+    generate_ads_corpus,
+    generate_categorical,
+    generate_numeric,
+)
+from repro.data.categorical import CategoricalDataset, CategoricalSchema
+from repro.data.numeric import NumericDataset, Range
+
+
+class TestCategoricalSchema:
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            CategoricalSchema({})
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValidationError):
+            CategoricalSchema({"color": ()})
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValidationError):
+            CategoricalSchema({"color": ("red", "red")})
+
+    def test_validate_tuple(self):
+        schema = CategoricalSchema({"color": ("red", "blue")})
+        schema.validate_tuple({"color": "red"})
+        with pytest.raises(ValidationError):
+            schema.validate_tuple({"color": "green"})
+        with pytest.raises(ValidationError):
+            schema.validate_tuple({"size": "xl"})
+
+    def test_validate_query_requires_conditions(self):
+        schema = CategoricalSchema({"color": ("red",)})
+        with pytest.raises(ValidationError):
+            schema.validate_query({})
+
+
+class TestGenerateCategorical:
+    def test_shape_and_validity(self):
+        dataset = generate_categorical(rows=50, queries=30, seed=0)
+        assert len(dataset.rows) == 50
+        assert len(dataset.query_log) == 30
+        for row in dataset.rows:
+            assert set(row) == set(dataset.schema.domains)
+
+    def test_deterministic(self):
+        assert generate_categorical(20, 10, seed=1).rows == generate_categorical(20, 10, seed=1).rows
+
+    def test_partial_row_rejected_by_model(self):
+        schema = CategoricalSchema({"a": ("x",), "b": ("y",)})
+        with pytest.raises(ValidationError):
+            CategoricalDataset(schema, [{"a": "x"}])
+
+    def test_query_condition_range_validated(self):
+        with pytest.raises(ValidationError):
+            generate_categorical(10, 10, query_conditions=(0, 2))
+
+
+class TestRange:
+    def test_contains(self):
+        assert Range(1, 3).contains(2)
+        assert Range(1, 3).contains(1)
+        assert not Range(1, 3).contains(3.5)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValidationError):
+            Range(3, 1)
+
+
+class TestGenerateNumeric:
+    def test_shape(self):
+        dataset = generate_numeric(rows=40, queries=25, seed=0)
+        assert len(dataset.rows) == 40
+        assert len(dataset.query_log) == 25
+        for row in dataset.rows:
+            assert set(row) == set(dataset.attributes)
+
+    def test_matching_rows_semantics(self):
+        dataset = NumericDataset(
+            ["price"],
+            [{"price": 100.0}, {"price": 300.0}],
+            [{"price": Range(50, 150)}],
+        )
+        assert dataset.matching_rows(dataset.query_log[0]) == [0]
+
+    def test_values_respect_profile(self):
+        dataset = generate_numeric(rows=100, seed=1)
+        from repro.data.numeric import _CAMERA_PROFILE
+
+        for row in dataset.rows:
+            for attribute, value in row.items():
+                low, high, _ = _CAMERA_PROFILE[attribute]
+                assert low <= value <= high
+
+    def test_unknown_query_attribute_rejected(self):
+        with pytest.raises(ValidationError):
+            NumericDataset(["a"], [{"a": 1.0}], [{"b": Range(0, 1)}])
+
+    def test_some_queries_match_data(self):
+        dataset = generate_numeric(rows=200, queries=50, seed=2)
+        matching = sum(1 for q in dataset.query_log if dataset.matching_rows(q))
+        assert matching > 10  # workload is not vacuous
+
+
+class TestAdsCorpus:
+    def test_shape(self):
+        corpus, log = generate_ads_corpus(documents=50, queries=40, seed=0)
+        assert len(corpus) == 50
+        assert len(log) == 40
+
+    def test_queries_use_corpus_vocabulary_mostly(self):
+        corpus, log = generate_ads_corpus(documents=200, queries=100, seed=1)
+        vocabulary = set(corpus.vocabulary)
+        in_vocab = sum(1 for q in log for w in q if w in vocabulary)
+        total = sum(len(q) for q in log)
+        assert in_vocab / total > 0.9
+
+    def test_deterministic(self):
+        a_corpus, a_log = generate_ads_corpus(30, 20, seed=2)
+        b_corpus, b_log = generate_ads_corpus(30, 20, seed=2)
+        assert a_corpus.raw_documents == b_corpus.raw_documents
+        assert a_log == b_log
+
+    def test_every_ad_mentions_apartment_and_rent(self):
+        corpus, _ = generate_ads_corpus(20, 5, seed=3)
+        for bag in corpus.bags:
+            assert "apartment" in bag and "rent" in bag

@@ -1,0 +1,103 @@
+"""Tests for workload profiling."""
+
+import math
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import ValidationError
+from repro.data.stats import profile_workload
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(["a", "b", "c", "d"])
+
+
+class TestCounts:
+    def test_basic_profile(self, schema):
+        log = BooleanTable(schema, [0b0011, 0b0011, 0b0100])
+        profile = profile_workload(log)
+        assert profile.query_count == 3
+        assert profile.distinct_queries == 2
+        assert profile.duplication_ratio == pytest.approx(1.5)
+        assert profile.size_histogram == {2: 2, 1: 1}
+        assert profile.attribute_frequencies == [2, 2, 1, 0]
+
+    def test_mean_query_size(self, schema):
+        log = BooleanTable(schema, [0b0001, 0b0111])
+        assert profile_workload(log).mean_query_size == pytest.approx(2.0)
+
+    def test_empty_log(self, schema):
+        profile = profile_workload(BooleanTable(schema))
+        assert profile.query_count == 0
+        assert profile.duplication_ratio == 1.0
+        assert profile.mean_query_size == 0.0
+        assert profile.attribute_entropy_bits == 0.0
+
+    def test_paper_example_profile(self, paper_log):
+        profile = profile_workload(paper_log)
+        assert profile.query_count == 5
+        assert profile.distinct_queries == 5
+        # power_doors is the most mentioned attribute (3 queries)
+        assert profile.top_attributes(1) == [("power_doors", 3)]
+
+
+class TestPairs:
+    def test_top_pairs(self, schema):
+        log = BooleanTable(schema, [0b0011, 0b0011, 0b0110])
+        profile = profile_workload(log, top_pairs=2)
+        assert profile.top_pairs[0] == (0, 1, 2)  # a+b together twice
+
+    def test_pair_limit(self, schema):
+        log = BooleanTable(schema, [0b1111])
+        profile = profile_workload(log, top_pairs=3)
+        assert len(profile.top_pairs) == 3
+
+    def test_negative_limit_rejected(self, schema):
+        with pytest.raises(ValidationError):
+            profile_workload(BooleanTable(schema), top_pairs=-1)
+
+
+class TestEntropy:
+    def test_single_attribute_entropy_zero(self, schema):
+        log = BooleanTable(schema, [0b0001] * 5)
+        assert profile_workload(log).attribute_entropy_bits == 0.0
+
+    def test_uniform_mentions_max_entropy(self, schema):
+        log = BooleanTable(schema, [0b0001, 0b0010, 0b0100, 0b1000])
+        assert profile_workload(log).attribute_entropy_bits == pytest.approx(
+            math.log2(4)
+        )
+
+    def test_skew_lowers_entropy(self, schema):
+        uniform = BooleanTable(schema, [0b0001, 0b0010, 0b0100, 0b1000])
+        skewed = BooleanTable(schema, [0b0001] * 7 + [0b0010])
+        assert (
+            profile_workload(skewed).attribute_entropy_bits
+            < profile_workload(uniform).attribute_entropy_bits
+        )
+
+    def test_zipf_workload_less_entropic_than_uniform(self):
+        from repro.data import synthetic_workload
+
+        schema = Schema.anonymous(32)
+        uniform = synthetic_workload(schema, 800, seed=1, popularity="uniform")
+        zipf = synthetic_workload(schema, 800, seed=1, popularity="zipf")
+        assert (
+            profile_workload(zipf).attribute_entropy_bits
+            < profile_workload(uniform).attribute_entropy_bits
+        )
+
+
+class TestRendering:
+    def test_text_report(self, paper_log):
+        text = profile_workload(paper_log).to_text()
+        assert "queries: 5" in text
+        assert "top attributes:" in text
+        assert "power_doors" in text
+
+    def test_report_without_pairs(self, schema):
+        log = BooleanTable(schema, [0b0001])
+        text = profile_workload(log, top_pairs=0).to_text()
+        assert "co-occurring" not in text

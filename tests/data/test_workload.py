@@ -1,0 +1,92 @@
+"""Tests for query-log generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.booldata import Schema
+from repro.common.errors import ValidationError
+from repro.data import PAPER_SIZE_DISTRIBUTION, real_workload_surrogate, synthetic_workload
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.anonymous(32)
+
+
+class TestSyntheticWorkload:
+    def test_size(self, schema):
+        assert len(synthetic_workload(schema, 250, seed=0)) == 250
+
+    def test_query_sizes_within_paper_mix(self, schema):
+        log = synthetic_workload(schema, 500, seed=1)
+        assert set(log.row_sizes()) <= set(PAPER_SIZE_DISTRIBUTION)
+
+    def test_size_distribution_roughly_matches(self, schema):
+        log = synthetic_workload(schema, 5000, seed=2)
+        counts = Counter(log.row_sizes())
+        for size, probability in PAPER_SIZE_DISTRIBUTION.items():
+            assert counts[size] / 5000 == pytest.approx(probability, abs=0.03)
+
+    def test_deterministic(self, schema):
+        assert list(synthetic_workload(schema, 100, seed=3)) == list(
+            synthetic_workload(schema, 100, seed=3)
+        )
+
+    def test_zipf_popularity_skews_attributes(self, schema):
+        log = synthetic_workload(schema, 3000, seed=4, popularity="zipf")
+        frequencies = sorted(log.attribute_frequencies(), reverse=True)
+        # top attribute should dominate the median one
+        assert frequencies[0] > 4 * max(1, frequencies[16])
+
+    def test_explicit_attribute_weights(self, schema):
+        weights = [0.0] * 32
+        weights[3] = weights[5] = 1.0
+        log = synthetic_workload(
+            schema, 200, seed=5,
+            size_distribution={1: 0.5, 2: 0.5},
+            attribute_weights=weights,
+        )
+        used = 0
+        for row in log:
+            used |= row
+        assert used & ~((1 << 3) | (1 << 5)) == 0
+
+    def test_custom_distribution_validation(self, schema):
+        with pytest.raises(ValidationError):
+            synthetic_workload(schema, 10, size_distribution={1: 0.5})  # sums to 0.5
+        with pytest.raises(ValidationError):
+            synthetic_workload(schema, 10, size_distribution={0: 1.0})
+        with pytest.raises(ValidationError):
+            synthetic_workload(schema, 10, size_distribution={40: 1.0})
+
+    def test_negative_size_rejected(self, schema):
+        with pytest.raises(ValidationError):
+            synthetic_workload(schema, -1)
+
+    def test_unknown_popularity_rejected(self, schema):
+        with pytest.raises(ValidationError):
+            synthetic_workload(schema, 10, popularity="pareto")
+
+    def test_weights_length_validated(self, schema):
+        with pytest.raises(ValidationError):
+            synthetic_workload(schema, 10, attribute_weights=[1.0])
+
+    def test_zero_queries(self, schema):
+        assert len(synthetic_workload(schema, 0)) == 0
+
+
+class TestRealWorkloadSurrogate:
+    def test_default_size_is_185(self, schema):
+        assert len(real_workload_surrogate(schema)) == 185
+
+    def test_all_queries_have_more_than_three_attributes(self, schema):
+        """Anchors the paper's observation that m=3 satisfies no query."""
+        log = real_workload_surrogate(schema, seed=9)
+        assert all(size > 3 for size in log.row_sizes())
+        assert max(log.row_sizes()) <= 6
+
+    def test_deterministic(self, schema):
+        assert list(real_workload_surrogate(schema, seed=1)) == list(
+            real_workload_surrogate(schema, seed=1)
+        )

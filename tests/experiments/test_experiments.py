@@ -1,0 +1,149 @@
+"""Tests for the experiment harness (scale presets, results, runners)."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    ExperimentScale,
+    run_experiment,
+)
+
+
+class TestScale:
+    def test_presets_by_name(self):
+        for name in ("fast", "standard", "full"):
+            assert ExperimentScale.by_name(name).name == name
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentScale.by_name("huge")
+
+    def test_full_matches_paper_sizes(self):
+        full = ExperimentScale.full()
+        assert full.cars == 15_211
+        assert full.cars_per_point == 100
+        assert full.real_queries == 185
+        assert full.synthetic_queries == 2_000
+        assert full.ilp_max_log == 1_000
+        assert 32 in full.attribute_counts
+
+    def test_fast_is_smaller(self):
+        fast, full = ExperimentScale.fast(), ExperimentScale.full()
+        assert fast.cars < full.cars
+        assert fast.cars_per_point < full.cars_per_point
+
+
+class TestResult:
+    def test_text_rendering(self):
+        result = ExperimentResult(
+            name="figX",
+            title="demo",
+            x_name="m",
+            x_values=[1, 2],
+            series={"A": [0.5, None]},
+            notes=["hello"],
+        )
+        text = result.to_text()
+        assert "figX" in text
+        assert "note: hello" in text
+        assert "-" in text  # the None point
+
+    def test_series_of(self):
+        result = ExperimentResult("f", "t", "x", [1], {"A": [2]})
+        assert result.series_of("A") == [2]
+
+
+@pytest.fixture(scope="module")
+def tiny_scale() -> ExperimentScale:
+    """Sub-second scale for harness tests."""
+    return ExperimentScale(
+        name="tiny",
+        cars=200,
+        cars_per_point=1,
+        real_queries=40,
+        synthetic_queries=60,
+        log_sizes=(30, 60),
+        attribute_counts=(8, 12),
+        ilp_max_log=30,
+        budgets=(2, 4),
+        seed=1,
+    )
+
+
+class TestRunners:
+    def test_registry_contains_all_figures(self):
+        for name in ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11"):
+            assert name in EXPERIMENTS
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99")
+
+    @pytest.mark.parametrize("name", list(EXPERIMENTS))
+    def test_every_runner_produces_complete_series(self, name, tiny_scale):
+        result = run_experiment(name, tiny_scale)
+        assert isinstance(result, ExperimentResult)
+        assert result.x_values
+        for label, values in result.series.items():
+            assert len(values) == len(result.x_values), label
+
+    def test_fig6_has_all_five_algorithms(self, tiny_scale):
+        result = run_experiment("fig6", tiny_scale)
+        assert set(result.series) == {
+            "ILP", "MaxFreqItemSets", "ConsumeAttr", "ConsumeAttrCumul", "ConsumeQueries",
+        }
+
+    def test_fig7_optimal_dominates_greedies(self, tiny_scale):
+        result = run_experiment("fig7", tiny_scale)
+        for label in ("ConsumeAttr", "ConsumeAttrCumul", "ConsumeQueries"):
+            for greedy, optimal in zip(result.series[label], result.series["Optimal"]):
+                assert greedy <= optimal + 1e-9
+
+    def test_fig9_quality_monotone_in_budget(self, tiny_scale):
+        result = run_experiment("fig9", tiny_scale)
+        optimal = result.series["Optimal"]
+        assert optimal == sorted(optimal)
+
+    def test_fig10_ilp_missing_beyond_cap(self, tiny_scale):
+        result = run_experiment("fig10", tiny_scale)
+        assert result.series["ILP"][0] is not None
+        assert result.series["ILP"][-1] is None  # 60 > ilp_max_log=30
+
+    def test_fig11_covers_attribute_counts(self, tiny_scale):
+        result = run_experiment("fig11", tiny_scale)
+        assert result.x_values == [8, 12]
+        assert all(value > 0 for value in result.series["MaxFreqItemSets"])
+
+    def test_ablation_threshold_policies_all_reported(self, tiny_scale):
+        result = run_experiment("ablation_threshold", tiny_scale)
+        assert "adaptive-ladder" in result.x_values
+        assert len(result.series["time_s"]) == len(result.x_values)
+
+    def test_ablation_greedy_includes_extension(self, tiny_scale):
+        result = run_experiment("ablation_greedy_quality", tiny_scale)
+        assert "CoverageGreedy" in result.series
+
+
+class TestCli:
+    def test_list_option(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig99"]) == 2
+
+    def test_runs_named_experiment(self, capsys, monkeypatch, tiny_scale):
+        from repro.experiments import __main__ as cli
+
+        monkeypatch.setattr(
+            cli.ExperimentScale, "by_name", classmethod(lambda cls, name: tiny_scale)
+        )
+        assert cli.main(["fig11", "--scale", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out

@@ -1,0 +1,56 @@
+"""Tests for experiment fixtures (cached datasets, wide instances)."""
+
+import pytest
+
+from repro.experiments import ExperimentScale, fixtures
+
+
+class TestCaching:
+    def test_cars_dataset_cached(self):
+        first = fixtures.cars_dataset(300, 42)
+        second = fixtures.cars_dataset(300, 42)
+        assert first is second  # lru-cached, not regenerated
+
+    def test_logs_deterministic(self):
+        a = fixtures.real_log(42, 50, 300)
+        b = fixtures.real_log(42, 50, 300)
+        assert list(a) == list(b)
+
+    def test_synthetic_log_size(self):
+        log = fixtures.synthetic_log(42, 77, 300)
+        assert len(log) == 77
+
+
+class TestSampleNewCars:
+    def test_count_follows_scale(self):
+        scale = ExperimentScale.fast()
+        cars = fixtures.sample_new_cars(scale)
+        assert len(cars) == scale.cars_per_point
+
+    def test_override_count(self):
+        scale = ExperimentScale.fast()
+        assert len(fixtures.sample_new_cars(scale, count=7)) == 7
+
+    def test_deterministic(self):
+        scale = ExperimentScale.fast()
+        assert fixtures.sample_new_cars(scale) == fixtures.sample_new_cars(scale)
+
+
+class TestWideInstance:
+    def test_shape(self):
+        log, new_tuple = fixtures.wide_instance(20, 60, 1)
+        assert log.schema.width == 20
+        assert len(log) == 60
+        assert 0 < new_tuple < (1 << 20)
+
+    def test_tuple_density_near_half(self):
+        log, new_tuple = fixtures.wide_instance(64, 10, 2)
+        assert 16 <= new_tuple.bit_count() <= 48
+
+    def test_deterministic_per_width(self):
+        assert fixtures.wide_instance(24, 50, 3) is fixtures.wide_instance(24, 50, 3)
+
+    def test_widths_differ(self):
+        log_a, _ = fixtures.wide_instance(16, 50, 4)
+        log_b, _ = fixtures.wide_instance(32, 50, 4)
+        assert log_a.schema.width != log_b.schema.width

@@ -1,0 +1,90 @@
+"""Tests for experiment result serialization."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.experiments import ExperimentResult
+from repro.experiments.record import (
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+
+
+@pytest.fixture
+def result() -> ExperimentResult:
+    return ExperimentResult(
+        name="fig10",
+        title="time vs size",
+        x_name="queries",
+        x_values=[100, 200],
+        series={"ILP": [0.5, None], "MFI": [0.1, 0.2]},
+        notes=["a note"],
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, result):
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.name == result.name
+        assert restored.x_values == result.x_values
+        assert restored.series == result.series
+        assert restored.notes == result.notes
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = tmp_path / "results.json"
+        save_results([result, result], path)
+        loaded = load_results(path)
+        assert len(loaded) == 2
+        assert loaded[0].series["ILP"] == [0.5, None]
+
+    def test_none_survives_json(self, result, tmp_path):
+        path = tmp_path / "results.json"
+        save_results([result], path)
+        raw = json.loads(path.read_text())
+        assert raw["results"][0]["series"]["ILP"][1] is None
+
+    def test_text_rendering_after_reload(self, result, tmp_path):
+        path = tmp_path / "results.json"
+        save_results([result], path)
+        assert "fig10" in load_results(path)[0].to_text()
+
+
+class TestValidation:
+    def test_version_checked(self, result):
+        payload = result_to_dict(result)
+        payload["format_version"] = 99
+        with pytest.raises(ValidationError):
+            result_from_dict(payload)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ValidationError):
+            result_from_dict({"format_version": 1, "name": "x"})
+
+    def test_bad_top_level_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValidationError):
+            load_results(path)
+
+
+class TestCliJsonFlag:
+    def test_json_output_written(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import __main__ as cli
+        from repro.experiments.scale import ExperimentScale
+
+        tiny = ExperimentScale(
+            name="tiny", cars=100, cars_per_point=1, real_queries=20,
+            synthetic_queries=30, log_sizes=(20,), attribute_counts=(8,),
+            ilp_max_log=20, budgets=(2,), seed=1,
+        )
+        monkeypatch.setattr(
+            cli.ExperimentScale, "by_name", classmethod(lambda cls, name: tiny)
+        )
+        out_path = tmp_path / "out.json"
+        assert cli.main(["fig7", "--json", str(out_path)]) == 0
+        loaded = load_results(out_path)
+        assert loaded[0].name == "fig7"

@@ -1,0 +1,54 @@
+"""Tests for markdown rendering of archived results."""
+
+import pytest
+
+from repro.experiments import ExperimentResult
+from repro.experiments.report_md import result_to_markdown, results_to_markdown
+
+
+@pytest.fixture
+def result() -> ExperimentResult:
+    return ExperimentResult(
+        name="fig10",
+        title="time vs size",
+        x_name="queries",
+        x_values=[100, 200],
+        series={"ILP": [0.5, None], "MFI": [0.123456, 2_000_000.0]},
+        notes=["ILP not attempted past 100"],
+    )
+
+
+class TestSection:
+    def test_heading_and_table(self, result):
+        text = result_to_markdown(result)
+        assert text.startswith("## fig10 — time vs size")
+        assert "| queries | ILP | MFI |" in text
+        assert "| 100 | 0.5 | 0.1235 |" in text
+
+    def test_none_rendered_as_dash(self, result):
+        assert "| 200 | - |" in result_to_markdown(result)
+
+    def test_scientific_notation_for_extremes(self, result):
+        assert "2.00e+06" in result_to_markdown(result)
+
+    def test_notes_italicised(self, result):
+        assert "*ILP not attempted past 100*" in result_to_markdown(result)
+
+    def test_heading_level(self, result):
+        assert result_to_markdown(result, heading_level=3).startswith("###")
+
+
+class TestDocument:
+    def test_document_structure(self, result):
+        text = results_to_markdown([result, result], title="Run 1")
+        assert text.startswith("# Run 1")
+        assert text.count("## fig10") == 2
+        assert text.endswith("\n")
+
+    def test_round_trip_from_json(self, result, tmp_path):
+        from repro.experiments.record import load_results, save_results
+
+        path = tmp_path / "run.json"
+        save_results([result], path)
+        text = results_to_markdown(load_results(path))
+        assert "fig10" in text and "| 100 |" in text

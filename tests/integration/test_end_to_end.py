@@ -1,0 +1,125 @@
+"""Integration tests: full pipelines across subsystem boundaries."""
+
+import pytest
+
+from repro import (
+    BooleanTable,
+    IlpSolver,
+    MaximalItemsetIndex,
+    MaxFreqItemsetsSolver,
+    Schema,
+    VisibilityProblem,
+    make_solver,
+)
+from repro.core import BruteForceSolver
+from repro.data import generate_cars, real_workload_surrogate, synthetic_workload
+from repro.retrieval import AttributeCountScore, BooleanRetrievalEngine
+from repro.variants import TopkVisibilityProblem, solve_per_attribute, solve_topk
+
+
+@pytest.fixture(scope="module")
+def cars():
+    return generate_cars(600, seed=10)
+
+
+@pytest.fixture(scope="module")
+def real_log(cars):
+    return real_workload_surrogate(cars.schema, 90, seed=11)
+
+
+@pytest.fixture(scope="module")
+def synth_log(cars):
+    return synthetic_workload(cars.schema, 150, seed=12)
+
+
+class TestRealisticPipeline:
+    def test_exact_algorithms_agree_on_cars_data(self, cars, synth_log):
+        for index in (0, 5, 17):
+            car = cars.table[index]
+            for budget in (3, 5):
+                problem = VisibilityProblem(synth_log, car, budget)
+                mfi = MaxFreqItemsetsSolver().solve(problem)
+                ilp = IlpSolver(backend="native").solve(problem)
+                assert mfi.satisfied == ilp.satisfied, (index, budget)
+
+    def test_real_workload_m3_is_zero(self, cars, real_log):
+        """The paper's anchor: every real query has > 3 attributes."""
+        for index in (1, 2, 3):
+            problem = VisibilityProblem(real_log, cars.table[index], 3)
+            assert MaxFreqItemsetsSolver().solve(problem).satisfied == 0
+
+    def test_greedy_quality_gap_reasonable(self, cars, synth_log):
+        """ConsumeAttr is near-optimal on average (Fig 7/9)."""
+        total_optimal = 0
+        total_greedy = 0
+        for index in range(8):
+            problem = VisibilityProblem(synth_log, cars.table[index], 5)
+            total_optimal += MaxFreqItemsetsSolver().solve(problem).satisfied
+            total_greedy += make_solver("ConsumeAttr").solve(problem).satisfied
+        assert total_greedy <= total_optimal
+        assert total_greedy >= 0.6 * total_optimal
+
+    def test_inserting_compressed_tuple_achieves_visibility(self, cars, synth_log):
+        """Close the loop: insert t' into the database and check that the
+        engine retrieves it for exactly the satisfied queries."""
+        car = cars.table[17]
+        problem = VisibilityProblem(synth_log, car, 5)
+        solution = MaxFreqItemsetsSolver().solve(problem)
+
+        extended = BooleanTable(cars.schema, list(cars.table) + [solution.keep_mask])
+        engine = BooleanRetrievalEngine(extended)
+        new_row_index = len(extended) - 1
+        retrieving = sum(
+            1
+            for query in synth_log
+            if new_row_index in engine.conjunctive_search(query)
+        )
+        assert retrieving == solution.satisfied
+
+
+class TestPreprocessingWorkflow:
+    def test_index_amortizes_across_tuples(self, synth_log, cars):
+        index = MaximalItemsetIndex(synth_log)
+        solver = MaxFreqItemsetsSolver(index=index, threshold=3)
+        direct = MaxFreqItemsetsSolver(threshold=3)
+        for car_index in (2, 4, 8):
+            problem = VisibilityProblem(synth_log, cars.table[car_index], 4)
+            assert (
+                solver.solve(problem).satisfied == direct.solve(problem).satisfied
+            )
+        assert index._cache  # something was actually cached
+
+
+class TestVariantsPipeline:
+    def test_per_attribute_on_cars(self, cars, synth_log):
+        result = solve_per_attribute(BruteForceSolver(), synth_log, cars.table[3])
+        assert result.ratio >= 0
+
+    def test_topk_pipeline(self, cars, synth_log):
+        problem = TopkVisibilityProblem(
+            database=cars.table,
+            log=synth_log,
+            new_tuple=cars.table[9],
+            budget=5,
+            scoring=AttributeCountScore(),
+            k=25,
+        )
+        solution = solve_topk(MaxFreqItemsetsSolver(), problem)
+        assert solution.satisfied == problem.visibility(solution.keep_mask)
+
+
+class TestClaimedComplexity:
+    def test_clique_reduction_instance(self):
+        """The NP-hardness reduction of Theorem 1, run forwards: a clique
+        of size r exists iff some m=r compression satisfies r(r-1)/2 edge
+        queries.  Verify on a graph with a planted 4-clique."""
+        width = 7
+        schema = Schema.anonymous(width)
+        clique = [0, 2, 4, 5]
+        edges = [(a, b) for i, a in enumerate(clique) for b in clique[i + 1:]]
+        edges += [(1, 3), (3, 6), (1, 6)]  # a triangle elsewhere
+        log = BooleanTable(schema, [(1 << a) | (1 << b) for a, b in edges])
+        problem = VisibilityProblem(log, schema.full, 4)
+        solution = BruteForceSolver().solve(problem)
+        assert solution.satisfied == 6  # C(4,2): the planted clique
+        assert solution.keep_mask == sum(1 << v for v in clique)

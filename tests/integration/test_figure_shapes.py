@@ -1,0 +1,124 @@
+"""Shape assertions for every figure of the paper's evaluation.
+
+These run the experiment harness at a tiny scale and assert the
+*qualitative* claims of Section VII — who wins, what is missing, what
+orders how — so a regression that flips a conclusion fails CI even
+though absolute times move with hardware.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentScale, run_experiment
+
+
+@pytest.fixture(scope="module")
+def scale() -> ExperimentScale:
+    return ExperimentScale(
+        name="shape-test",
+        cars=300,
+        cars_per_point=2,
+        real_queries=60,
+        synthetic_queries=120,
+        log_sizes=(40, 120),
+        attribute_counts=(10, 16),
+        ilp_max_log=40,
+        budgets=(2, 4, 6),
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def fig6(scale):
+    return run_experiment("fig6", scale)
+
+
+@pytest.fixture(scope="module")
+def fig7(scale):
+    return run_experiment("fig7", scale)
+
+
+@pytest.fixture(scope="module")
+def fig9(scale):
+    return run_experiment("fig9", scale)
+
+
+@pytest.fixture(scope="module")
+def fig10(scale):
+    return run_experiment("fig10", scale)
+
+
+class TestFig6Shape:
+    def test_greedies_orders_of_magnitude_faster_than_optimal(self, fig6):
+        for index in range(len(fig6.x_values)):
+            slowest_greedy = max(
+                fig6.series[name][index]
+                for name in ("ConsumeAttr", "ConsumeAttrCumul", "ConsumeQueries")
+            )
+            fastest_optimal = min(
+                fig6.series["ILP"][index], fig6.series["MaxFreqItemSets"][index]
+            )
+            assert slowest_greedy < fastest_optimal
+
+    def test_all_series_positive(self, fig6):
+        for values in fig6.series.values():
+            assert all(value > 0 for value in values)
+
+
+class TestFig7Shape:
+    def test_optimal_dominates_everywhere(self, fig7):
+        for name in ("ConsumeAttr", "ConsumeAttrCumul", "ConsumeQueries"):
+            for greedy, optimal in zip(fig7.series[name], fig7.series["Optimal"]):
+                assert greedy <= optimal + 1e-9
+
+    def test_small_budgets_satisfy_nothing_on_real_workload(self, fig7):
+        """All real queries have > 3 attributes (paper's anchor)."""
+        for x, optimal in zip(fig7.x_values, fig7.series["Optimal"]):
+            if x <= 3:
+                assert optimal == 0
+
+    def test_quality_monotone_in_budget(self, fig7):
+        optimal = fig7.series["Optimal"]
+        assert optimal == sorted(optimal)
+
+
+class TestFig9Shape:
+    def test_greedies_capture_most_of_the_optimum(self, fig9):
+        """At this tiny scale the greedy gap is noisy; the standard-scale
+        run recorded in EXPERIMENTS.md shows ConsumeAttr at 87-97% of
+        optimal.  Here we pin a conservative floor and the strictness of
+        the gap."""
+        total_optimal = sum(fig9.series["Optimal"])
+        for name in ("ConsumeAttr", "ConsumeAttrCumul", "ConsumeQueries"):
+            total_greedy = sum(fig9.series[name])
+            assert 0.4 * total_optimal <= total_greedy < total_optimal
+
+    def test_quality_monotone_in_budget(self, fig9):
+        assert fig9.series["Optimal"] == sorted(fig9.series["Optimal"])
+
+
+class TestFig10Shape:
+    def test_ilp_series_truncated(self, fig10):
+        """The paper's missing ILP points: present early, absent late."""
+        ilp = fig10.series["ILP"]
+        assert ilp[0] is not None
+        assert ilp[-1] is None
+
+    def test_other_series_complete(self, fig10):
+        for name, values in fig10.series.items():
+            if name != "ILP":
+                assert all(value is not None for value in values)
+
+
+class TestFig11Shape:
+    def test_both_optimal_algorithms_measured_everywhere(self, scale):
+        result = run_experiment("fig11", scale)
+        assert all(value > 0 for value in result.series["ILP"])
+        assert all(value > 0 for value in result.series["MaxFreqItemSets"])
+
+    def test_itemsets_wins_on_narrow_schemas(self, scale):
+        """The narrow end of the Fig 11 crossover: at small M with a
+        long-enough log, MaxFreqItemSets beats ILP (the wide end needs
+        larger M than a tiny-scale run affords; the standard-scale
+        crossover is recorded in EXPERIMENTS.md)."""
+        result = run_experiment("fig11", scale)
+        assert result.series["MaxFreqItemSets"][0] < result.series["ILP"][0]

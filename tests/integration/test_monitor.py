@@ -1,0 +1,141 @@
+"""Tests for the streaming visibility monitor."""
+
+import pytest
+
+from repro.booldata import Schema
+from repro.common.errors import ValidationError
+from repro.core import MaxFreqItemsetsSolver
+from repro.simulate.monitor import VisibilityMonitor
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.anonymous(6)
+
+
+def make_monitor(schema, **overrides):
+    defaults = dict(
+        new_tuple=0b011111,
+        keep_mask=0b000011,
+        budget=2,
+        schema=schema,
+        window_size=10,
+        tolerance=0.8,
+    )
+    defaults.update(overrides)
+    return VisibilityMonitor(**defaults)
+
+
+class TestValidation:
+    def test_mask_outside_tuple_rejected(self, schema):
+        with pytest.raises(ValidationError):
+            make_monitor(schema, keep_mask=0b100000)
+
+    def test_mask_over_budget_rejected(self, schema):
+        with pytest.raises(ValidationError):
+            make_monitor(schema, keep_mask=0b000111, budget=2)
+
+    def test_bad_window_rejected(self, schema):
+        with pytest.raises(ValidationError):
+            make_monitor(schema, window_size=0)
+
+    def test_bad_tolerance_rejected(self, schema):
+        with pytest.raises(ValidationError):
+            make_monitor(schema, tolerance=0.0)
+
+
+class TestObservation:
+    def test_hit_and_miss_counting(self, schema):
+        monitor = make_monitor(schema)
+        assert monitor.observe(0b000001) is True
+        assert monitor.observe(0b000100) is False
+        status = monitor.status()
+        assert status.window_queries == 2
+        assert status.realized == 1
+
+    def test_window_eviction_updates_realized(self, schema):
+        monitor = make_monitor(schema, window_size=2)
+        monitor.observe(0b000001)  # hit
+        monitor.observe(0b000100)  # miss
+        monitor.observe(0b000100)  # miss; evicts the hit
+        status = monitor.status()
+        assert status.window_queries == 2
+        assert status.realized == 0
+
+    def test_observe_many(self, schema):
+        monitor = make_monitor(schema)
+        hits = monitor.observe_many([0b000001, 0b000010, 0b010000])
+        assert hits == 2
+
+    def test_empty_status(self, schema):
+        status = make_monitor(schema).status()
+        assert status.window_queries == 0
+        assert not status.should_reoptimize
+        assert status.realized_share == 1.0
+
+
+class TestDriftDetection:
+    def test_no_alarm_while_selection_fits_traffic(self, schema):
+        monitor = make_monitor(schema)
+        monitor.observe_many([0b000001, 0b000010, 0b000011] * 3)
+        status = monitor.status()
+        assert status.realized == status.achievable
+        assert not status.should_reoptimize
+
+    def test_alarm_after_interest_drift(self, schema):
+        """Traffic drifts from attributes {0,1} to {2,3}: the stale ad
+        stops matching while a re-optimized ad would match everything."""
+        monitor = make_monitor(schema, window_size=6)
+        monitor.observe_many([0b000011] * 6)       # old interest
+        monitor.observe_many([0b001100] * 6)        # drift fills the window
+        status = monitor.status()
+        assert status.realized == 0
+        assert status.achievable == 6
+        assert status.should_reoptimize
+
+    def test_reoptimize_recovers_visibility(self, schema):
+        monitor = make_monitor(schema, window_size=6)
+        monitor.observe_many([0b001100] * 6)
+        assert monitor.status().should_reoptimize
+        new_mask = monitor.reoptimize(MaxFreqItemsetsSolver())
+        assert new_mask == 0b001100
+        after = monitor.status()
+        assert after.realized == 6
+        assert not after.should_reoptimize
+
+    def test_reoptimize_on_empty_window_is_noop(self, schema):
+        monitor = make_monitor(schema)
+        assert monitor.reoptimize(MaxFreqItemsetsSolver()) == monitor.keep_mask
+
+    def test_realized_share(self, schema):
+        monitor = make_monitor(schema, window_size=4, tolerance=0.9)
+        monitor.observe_many([0b000011, 0b000011, 0b001100, 0b001100])
+        status = monitor.status()
+        assert status.realized_share == pytest.approx(
+            status.realized / status.achievable
+        )
+
+
+class TestCustomEstimator:
+    def test_exact_estimator_raises_the_bar(self, schema):
+        """With an exact achievable estimator the monitor flags cases the
+        greedy estimator would tolerate."""
+        from repro.booldata import BooleanTable
+        from repro.core import BruteForceSolver, ConsumeAttrSolver
+
+        # traffic where greedy underestimates the achievable optimum
+        traffic = [0b00111] * 4 + [0b11000] * 3
+        greedy_monitor = make_monitor(
+            schema, new_tuple=0b11111, keep_mask=0b00011, budget=2,
+            window_size=7, tolerance=0.9, estimator=ConsumeAttrSolver(),
+        )
+        exact_monitor = make_monitor(
+            schema, new_tuple=0b11111, keep_mask=0b00011, budget=2,
+            window_size=7, tolerance=0.9, estimator=BruteForceSolver(),
+        )
+        greedy_monitor.observe_many(traffic)
+        exact_monitor.observe_many(traffic)
+        greedy_status = greedy_monitor.status()
+        exact_status = exact_monitor.status()
+        assert exact_status.achievable >= greedy_status.achievable
+        assert exact_status.should_reoptimize  # realized 0 vs achievable 3

@@ -1,0 +1,81 @@
+"""Public-surface integrity: exports exist, README quickstart runs."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.common",
+    "repro.booldata",
+    "repro.retrieval",
+    "repro.lp",
+    "repro.mining",
+    "repro.data",
+    "repro.core",
+    "repro.variants",
+    "repro.simulate",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    """Every name in __all__ must be importable from the package."""
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__") and package.__all__
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_has_docstring(package_name):
+    package = importlib.import_module(package_name)
+    assert package.__doc__ and len(package.__doc__.strip()) > 20
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_readme_quickstart_verbatim():
+    """The README's quickstart block must keep working exactly as shown."""
+    from repro import BooleanTable, Schema, VisibilityProblem, make_solver
+
+    schema = Schema(
+        ["ac", "four_door", "turbo", "power_doors", "auto_trans", "power_brakes"]
+    )
+    query_log = BooleanTable.from_bit_rows(schema, [
+        [1, 1, 0, 0, 0, 0],
+        [1, 0, 0, 1, 0, 0],
+        [0, 1, 0, 1, 0, 0],
+        [0, 0, 0, 1, 0, 1],
+        [0, 0, 1, 0, 1, 0],
+    ])
+    new_car = schema.mask_from_bits([1, 1, 0, 1, 1, 1])
+
+    problem = VisibilityProblem(query_log, new_car, budget=3)
+    solution = make_solver("MaxFreqItemSets").solve(problem)
+    assert solution.kept_attributes == ["ac", "four_door", "power_doors"]
+    assert solution.satisfied == 3
+
+
+def test_readme_mentions_every_example_script():
+    from pathlib import Path
+
+    readme = Path(__file__).resolve().parents[2] / "README.md"
+    text = readme.read_text()
+    examples_dir = Path(__file__).resolve().parents[2] / "examples"
+    for script in sorted(examples_dir.glob("*.py")):
+        assert script.name in text, f"README does not mention {script.name}"
+
+
+def test_design_md_lists_every_subpackage():
+    from pathlib import Path
+
+    design = (Path(__file__).resolve().parents[2] / "DESIGN.md").read_text()
+    for package_name in PACKAGES[1:]:
+        short = package_name.split(".")[1]
+        assert short in design, f"DESIGN.md does not mention {short}"

@@ -1,0 +1,203 @@
+"""Tests for the marketplace simulation and generalization evaluation."""
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import ValidationError
+from repro.core import MaxFreqItemsetsSolver, make_solver
+from repro.data import generate_cars, synthetic_workload
+from repro.retrieval import AttributeCountScore
+from repro.simulate import (
+    Marketplace,
+    evaluate_strategies,
+    random_selection,
+    split_log,
+)
+from repro.simulate.evaluation import solver_strategy
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.anonymous(6)
+
+
+class TestMarketplace:
+    def test_post_and_query(self, schema):
+        market = Marketplace(schema)
+        first = market.post_ad(0b000111, "small")
+        second = market.post_ad(0b111000, "big")
+        assert market.run_query(0b000011) == [first]
+        assert market.run_query(0b100000) == [second]
+        assert market.run_query(0) == [first, second]
+
+    def test_workload_impressions(self, schema):
+        market = Marketplace(schema)
+        ad = market.post_ad(0b000111)
+        log = BooleanTable(schema, [0b000001, 0b000010, 0b100000])
+        impressions = market.run_workload(log)
+        assert impressions[ad] == 2
+
+    def test_topk_mode_caps_results(self, schema):
+        market = Marketplace(schema, page_size=1, scoring=AttributeCountScore())
+        small = market.post_ad(0b000001)
+        big = market.post_ad(0b000111)
+        assert market.run_query(0b000001) == [big]  # higher score wins
+
+    def test_topk_ties_favor_newest(self, schema):
+        market = Marketplace(schema, page_size=1, scoring=AttributeCountScore())
+        older = market.post_ad(0b000011)
+        newer = market.post_ad(0b000101)
+        assert market.run_query(0b000001) == [newer]
+
+    def test_topk_mode_validation(self, schema):
+        with pytest.raises(ValidationError):
+            Marketplace(schema, page_size=0, scoring=AttributeCountScore())
+        with pytest.raises(ValidationError):
+            Marketplace(schema, page_size=3)
+
+    def test_schema_mismatch_rejected(self, schema):
+        market = Marketplace(schema)
+        other = BooleanTable(Schema.anonymous(3), [1])
+        with pytest.raises(ValidationError):
+            market.run_workload(other)
+
+    def test_unknown_ad_id(self, schema):
+        market = Marketplace(schema)
+        log = BooleanTable(schema, [1])
+        with pytest.raises(ValidationError):
+            market.impressions_of(0, log)
+
+    def test_impressions_match_satisfied_count(self, schema):
+        """The simulation agrees with the analytic objective."""
+        from repro.booldata.ops import satisfied_count
+
+        market = Marketplace(schema)
+        mask = 0b001011
+        ad = market.post_ad(mask)
+        log = BooleanTable(schema, [0b000001, 0b001000, 0b110000, 0b001011])
+        assert market.impressions_of(ad, log) == satisfied_count(log, mask)
+
+
+class TestSplitLog:
+    def test_sizes(self, schema):
+        log = BooleanTable(schema, list(range(1, 11)))
+        train, test = split_log(log, 0.7, seed=0)
+        assert len(train) == 7
+        assert len(test) == 3
+
+    def test_partition(self, schema):
+        log = BooleanTable(schema, list(range(1, 11)))
+        train, test = split_log(log, 0.5, seed=1)
+        assert sorted(list(train) + list(test)) == list(range(1, 11))
+
+    def test_chronological_split(self, schema):
+        log = BooleanTable(schema, [1, 2, 3, 4])
+        train, test = split_log(log, 0.5, shuffle=False)
+        assert list(train) == [1, 2]
+        assert list(test) == [3, 4]
+
+    def test_bad_fraction_rejected(self, schema):
+        log = BooleanTable(schema, [1, 2])
+        with pytest.raises(ValidationError):
+            split_log(log, 1.0)
+
+    def test_too_small_log_rejected(self, schema):
+        with pytest.raises(ValidationError):
+            split_log(BooleanTable(schema, [1]), 0.5)
+
+
+class TestEvaluateStrategies:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        cars = generate_cars(400, seed=21)
+        # zipf skew: real buyer populations concentrate on popular
+        # attributes, which is what makes train-log optimization
+        # transfer to future queries (see the overfitting test below)
+        log = synthetic_workload(cars.schema, 600, seed=22, popularity="zipf")
+        train, test = split_log(log, 0.5, seed=23)
+        tuples = [cars.table[i] for i in cars.random_car_indices(4, seed=24)]
+        return train, test, tuples
+
+    def test_report_shape(self, setup):
+        train, test, tuples = setup
+        report = evaluate_strategies(
+            {
+                "optimal": solver_strategy(MaxFreqItemsetsSolver()),
+                "random": random_selection(seed=0),
+            },
+            train, test, tuples, budget=5,
+        )
+        assert {o.name for o in report.outcomes} == {"optimal", "random"}
+        assert report.train_queries == len(train)
+        assert "strategy" in report.to_text()
+
+    def test_optimal_dominates_on_train(self, setup):
+        train, test, tuples = setup
+        report = evaluate_strategies(
+            {
+                "optimal": solver_strategy(MaxFreqItemsetsSolver()),
+                "greedy": solver_strategy(make_solver("ConsumeAttr")),
+                "random": random_selection(seed=0),
+            },
+            train, test, tuples, budget=5,
+        )
+        optimal = report.outcome_of("optimal")
+        assert optimal.train_visibility >= report.outcome_of("greedy").train_visibility
+        assert optimal.train_visibility >= report.outcome_of("random").train_visibility
+
+    def test_optimizing_on_train_pays_off_on_test(self, setup):
+        """The paper's premise: log-optimized selection beats random on
+        unseen future queries drawn from the same buyer population."""
+        train, test, tuples = setup
+        report = evaluate_strategies(
+            {
+                "optimal": solver_strategy(MaxFreqItemsetsSolver()),
+                "random": random_selection(seed=0),
+            },
+            train, test, tuples, budget=5,
+        )
+        assert (
+            report.outcome_of("optimal").test_visibility
+            > report.outcome_of("random").test_visibility
+        )
+
+    def test_uniform_workload_overfits(self):
+        """Negative control: with *uniform* attribute popularity the
+        training log carries no transferable structure, so the
+        train-optimal selection loses more of its value on held-out
+        queries than it does under zipf skew."""
+        cars = generate_cars(400, seed=21)
+        tuples = [cars.table[i] for i in cars.random_car_indices(4, seed=24)]
+        ratios = {}
+        for popularity in ("uniform", "zipf"):
+            log = synthetic_workload(
+                cars.schema, 600, seed=22, popularity=popularity
+            )
+            train, test = split_log(log, 0.5, seed=23)
+            report = evaluate_strategies(
+                {"optimal": solver_strategy(MaxFreqItemsetsSolver())},
+                train, test, tuples, budget=5,
+            )
+            ratios[popularity] = report.outcome_of("optimal").generalization_ratio
+        assert ratios["zipf"] > ratios["uniform"]
+
+    def test_invalid_strategy_detected(self, setup):
+        train, test, tuples = setup
+        with pytest.raises(ValidationError):
+            evaluate_strategies(
+                {"cheater": lambda problem: problem.schema.full},
+                train, test, tuples, budget=2,
+            )
+
+    def test_missing_outcome_lookup(self, setup):
+        train, test, tuples = setup
+        report = evaluate_strategies(
+            {"random": random_selection(0)}, train, test, tuples, budget=3
+        )
+        with pytest.raises(ValidationError):
+            report.outcome_of("optimal")
+
+    def test_empty_tuples_rejected(self, setup):
+        train, test, _ = setup
+        with pytest.raises(ValidationError):
+            evaluate_strategies({"r": random_selection(0)}, train, test, [], 3)

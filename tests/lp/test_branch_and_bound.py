@@ -1,0 +1,126 @@
+"""Tests for the native branch-and-bound MILP solver."""
+
+import numpy as np
+import pytest
+
+from repro.lp import BranchAndBoundSolver, LinearExpr, Model
+from repro.lp.solution import SolveStatus
+
+
+def knapsack_model(values, weights, capacity):
+    model = Model("knapsack")
+    xs = [model.add_binary(f"x{i}") for i in range(len(values))]
+    model.add_constraint(
+        LinearExpr.sum(w * x for w, x in zip(weights, xs)) <= capacity
+    )
+    model.maximize(LinearExpr.sum(v * x for v, x in zip(values, xs)))
+    return model, xs
+
+
+class TestKnapsack:
+    def test_small_knapsack(self):
+        model, xs = knapsack_model([4, 2, 10, 1, 2], [12, 1, 4, 1, 2], 15)
+        result = BranchAndBoundSolver().solve_model(model)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(15.0)
+
+    def test_solution_is_integral(self):
+        model, xs = knapsack_model([3, 5, 7], [2, 3, 4], 5)
+        result = BranchAndBoundSolver().solve_model(model)
+        for x in xs:
+            assert result.x[x.index] == pytest.approx(round(result.x[x.index]))
+
+    def test_zero_capacity(self):
+        model, _ = knapsack_model([3, 5], [2, 3], 0)
+        result = BranchAndBoundSolver().solve_model(model)
+        assert result.objective == pytest.approx(0.0)
+
+
+class TestMixedInteger:
+    def test_continuous_variables_stay_fractional(self):
+        model = Model()
+        x = model.add_binary("x")
+        y = model.add_var("y", low=0, high=10)
+        model.add_constraint(2 * x + y <= 3.5)
+        model.maximize(x + y)
+        result = BranchAndBoundSolver().solve_model(model)
+        # x=1, y=1.5 beats x=0, y=3.5? 1+1.5=2.5 < 3.5 -> optimum x=0, y=3.5
+        assert result.objective == pytest.approx(3.5)
+
+    def test_general_integer_variable(self):
+        model = Model()
+        n = model.add_var("n", low=0, high=10, integer=True)
+        model.add_constraint(3 * n <= 14)
+        model.maximize(n)
+        result = BranchAndBoundSolver().solve_model(model)
+        assert result.objective == pytest.approx(4.0)
+
+
+class TestStatuses:
+    def test_infeasible(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.add_constraint(x >= 2)
+        model.maximize(x)
+        result = BranchAndBoundSolver().solve_model(model)
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_minimization_orientation(self):
+        model = Model()
+        x = model.add_var("x", low=0, high=5, integer=True)
+        model.add_constraint(x >= 1.2)
+        model.minimize(x)
+        result = BranchAndBoundSolver().solve_model(model)
+        assert result.objective == pytest.approx(2.0)
+
+    def test_node_budget_reported(self):
+        # A tight node budget must surface as BUDGET_EXCEEDED, not silence.
+        rng = np.random.default_rng(3)
+        values = rng.integers(1, 50, size=14).tolist()
+        weights = rng.integers(1, 50, size=14).tolist()
+        model, _ = knapsack_model(values, weights, int(sum(weights) * 0.37))
+        result = BranchAndBoundSolver(max_nodes=1).solve_model(model)
+        assert result.status in (SolveStatus.OPTIMAL, SolveStatus.BUDGET_EXCEEDED)
+
+
+class TestAgainstScipyMilp:
+    def test_random_knapsacks_match_highs(self):
+        pytest.importorskip("scipy")
+        from repro.lp.scipy_backend import ScipyMilpSolver
+
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            n = int(rng.integers(2, 9))
+            values = rng.integers(1, 20, size=n).tolist()
+            weights = rng.integers(1, 20, size=n).tolist()
+            capacity = int(rng.integers(1, max(2, sum(weights))))
+            model, _ = knapsack_model(values, weights, capacity)
+            ours = BranchAndBoundSolver().solve_model(model)
+            reference = ScipyMilpSolver().solve_model(model)
+            assert ours.status == reference.status == SolveStatus.OPTIMAL
+            assert ours.objective == pytest.approx(reference.objective)
+
+    def test_random_assignment_milps_match_highs(self):
+        pytest.importorskip("scipy")
+        from repro.lp.scipy_backend import ScipyMilpSolver
+
+        rng = np.random.default_rng(21)
+        for _ in range(10):
+            size = 3
+            cost = rng.integers(1, 10, size=(size, size))
+            model = Model("assignment")
+            cells = [[model.add_binary(f"x{i}{j}") for j in range(size)] for i in range(size)]
+            for i in range(size):
+                model.add_constraint(LinearExpr.sum(cells[i]) == 1)
+            for j in range(size):
+                model.add_constraint(LinearExpr.sum(row[j] for row in cells) == 1)
+            model.minimize(
+                LinearExpr.sum(
+                    int(cost[i][j]) * cells[i][j]
+                    for i in range(size)
+                    for j in range(size)
+                )
+            )
+            ours = BranchAndBoundSolver().solve_model(model)
+            reference = ScipyMilpSolver().solve_model(model)
+            assert ours.objective == pytest.approx(reference.objective)

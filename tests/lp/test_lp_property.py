@@ -1,0 +1,94 @@
+"""Hypothesis property tests: native LP/MILP solvers vs HiGHS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp import BranchAndBoundSolver, LinearExpr, Model
+from repro.lp.simplex import SimplexSolver
+from repro.lp.solution import SolveStatus
+
+pytest.importorskip("scipy")
+
+from repro.lp.scipy_backend import ScipyMilpSolver, solve_lp_with_scipy  # noqa: E402
+
+
+@st.composite
+def bounded_lp(draw):
+    """Random LP over the unit box with integer-ish data (stable numerics)."""
+    n = draw(st.integers(1, 5))
+    m = draw(st.integers(0, 5))
+    c = [draw(st.integers(-5, 5)) for _ in range(n)]
+    a_ub = [[draw(st.integers(-4, 4)) for _ in range(n)] for _ in range(m)]
+    b_ub = [draw(st.integers(-2, 8)) for _ in range(m)]
+    return (
+        np.array(c, dtype=float),
+        np.array(a_ub, dtype=float).reshape(m, n),
+        np.array(b_ub, dtype=float),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(bounded_lp())
+def test_simplex_matches_highs_on_unit_box(problem):
+    c, a_ub, b_ub = problem
+    n = len(c)
+    low, high = np.zeros(n), np.ones(n)
+    args = (c, a_ub, b_ub, np.zeros((0, n)), np.zeros(0), low, high)
+    ours = SimplexSolver().solve(*args)
+    reference = solve_lp_with_scipy(*args)
+    assert ours.status == reference.status
+    if ours.status is SolveStatus.OPTIMAL:
+        assert ours.objective == pytest.approx(reference.objective, abs=1e-6)
+        # our solution must itself be feasible
+        assert np.all(a_ub @ ours.x <= b_ub + 1e-7)
+        assert np.all(ours.x >= -1e-9) and np.all(ours.x <= 1 + 1e-9)
+
+
+@st.composite
+def binary_program(draw):
+    """Random small 0/1 program: maximize c.x subject to <= rows."""
+    n = draw(st.integers(1, 6))
+    m = draw(st.integers(1, 4))
+    c = [draw(st.integers(0, 9)) for _ in range(n)]
+    rows = [[draw(st.integers(0, 4)) for _ in range(n)] for _ in range(m)]
+    rhs = [draw(st.integers(0, 10)) for _ in range(m)]
+    return c, rows, rhs
+
+
+@settings(max_examples=40, deadline=None)
+@given(binary_program())
+def test_branch_and_bound_matches_highs_on_binary_programs(program):
+    c, rows, rhs = program
+    model = Model()
+    xs = [model.add_binary(f"x{i}") for i in range(len(c))]
+    for row, bound in zip(rows, rhs):
+        model.add_constraint(
+            LinearExpr.sum(coeff * x for coeff, x in zip(row, xs)) <= bound
+        )
+    model.maximize(LinearExpr.sum(coeff * x for coeff, x in zip(c, xs)))
+    ours = BranchAndBoundSolver().solve_model(model)
+    reference = ScipyMilpSolver().solve_model(model)
+    assert ours.status == reference.status == SolveStatus.OPTIMAL
+    assert ours.objective == pytest.approx(reference.objective)
+
+
+@settings(max_examples=30, deadline=None)
+@given(binary_program())
+def test_branch_and_bound_solution_is_feasible_and_integral(program):
+    c, rows, rhs = program
+    model = Model()
+    xs = [model.add_binary(f"x{i}") for i in range(len(c))]
+    for row, bound in zip(rows, rhs):
+        model.add_constraint(
+            LinearExpr.sum(coeff * x for coeff, x in zip(row, xs)) <= bound
+        )
+    model.maximize(LinearExpr.sum(coeff * x for coeff, x in zip(c, xs)))
+    result = BranchAndBoundSolver().solve_model(model)
+    x = result.x
+    assert np.allclose(x, np.round(x), atol=1e-6)
+    for row, bound in zip(rows, rhs):
+        assert np.dot(row, x) <= bound + 1e-6
+    # reported objective matches the reported solution vector
+    assert result.objective == pytest.approx(float(np.dot(c, np.round(x))))

@@ -1,0 +1,153 @@
+"""Tests for the LP/MILP modeling layer."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.lp import Constraint, LinearExpr, Model, Sense
+
+
+class TestExpressions:
+    def test_variable_arithmetic(self):
+        model = Model()
+        x = model.add_var("x")
+        y = model.add_var("y")
+        expr = 2 * x + y - 3
+        assert expr.coeffs[x] == 2
+        assert expr.coeffs[y] == 1
+        assert expr.constant == -3
+
+    def test_sum(self):
+        model = Model()
+        xs = [model.add_var(f"x{i}") for i in range(3)]
+        expr = LinearExpr.sum(xs)
+        assert all(expr.coeffs[x] == 1 for x in xs)
+
+    def test_subtraction_cancels(self):
+        model = Model()
+        x = model.add_var("x")
+        expr = (x + x) - 2 * x
+        assert expr.coeffs[x] == 0
+
+    def test_value_evaluation(self):
+        model = Model()
+        x = model.add_var("x")
+        expr = 3 * x + 1
+        assert expr.value({x: 2.0}) == 7.0
+
+    def test_non_scalar_multiplication_rejected(self):
+        model = Model()
+        x = model.add_var("x")
+        with pytest.raises(ValidationError):
+            x * x  # noqa: B018 - the point is the exception
+
+    def test_rsub(self):
+        model = Model()
+        x = model.add_var("x")
+        expr = 5 - x
+        assert expr.constant == 5
+        assert expr.coeffs[x] == -1
+
+
+class TestConstraints:
+    def test_le_builds_constraint(self):
+        model = Model()
+        x = model.add_var("x")
+        constraint = x <= 3
+        assert isinstance(constraint, Constraint)
+        assert constraint.sense is Sense.LE
+        assert constraint.rhs == 3
+
+    def test_ge_and_eq(self):
+        model = Model()
+        x = model.add_var("x")
+        assert (x >= 1).sense is Sense.GE
+        assert (LinearExpr.from_variable(x) == 2).sense is Sense.EQ
+
+    def test_satisfied_by(self):
+        model = Model()
+        x = model.add_var("x")
+        assert (x <= 3).satisfied_by({x: 2.0})
+        assert not (x <= 3).satisfied_by({x: 4.0})
+        assert (x >= 1).satisfied_by({x: 1.0})
+
+
+class TestModel:
+    def test_bad_bounds_rejected(self):
+        model = Model()
+        with pytest.raises(ValidationError):
+            model.add_var("x", low=2, high=1)
+
+    def test_foreign_variable_rejected(self):
+        model_a, model_b = Model(), Model()
+        x = model_a.add_var("x")
+        with pytest.raises(ValidationError):
+            model_b.add_constraint(x <= 1)
+
+    def test_objective_required_for_compile(self):
+        model = Model()
+        model.add_var("x")
+        with pytest.raises(ValidationError):
+            model.compile()
+
+    def test_add_constraint_requires_constraint(self):
+        model = Model()
+        x = model.add_var("x")
+        with pytest.raises(ValidationError):
+            model.add_constraint(x + 1)  # an expression, not a constraint
+
+
+class TestCompile:
+    def test_maximize_negates_costs(self):
+        model = Model()
+        x = model.add_var("x")
+        model.maximize(2 * x)
+        compiled = model.compile()
+        assert compiled.c[x.index] == -2
+        assert compiled.objective_sign == -1
+        assert compiled.model_objective(-4.0) == 4.0
+
+    def test_ge_rows_are_negated_into_ub(self):
+        model = Model()
+        x = model.add_var("x")
+        model.add_constraint(x >= 2)
+        model.minimize(x)
+        compiled = model.compile()
+        assert compiled.a_ub[0, 0] == -1
+        assert compiled.b_ub[0] == -2
+
+    def test_eq_rows_kept_separate(self):
+        model = Model()
+        x = model.add_var("x")
+        y = model.add_var("y")
+        model.add_constraint(x + y == 5)
+        model.minimize(x)
+        compiled = model.compile()
+        assert compiled.a_eq.shape == (1, 2)
+        assert compiled.b_eq[0] == 5
+
+    def test_binary_flags(self):
+        model = Model()
+        b = model.add_binary("b")
+        c = model.add_var("c")
+        model.minimize(b + c)
+        compiled = model.compile()
+        assert compiled.integer[b.index]
+        assert not compiled.integer[c.index]
+        assert compiled.high[b.index] == 1.0
+
+    def test_objective_constant_carried(self):
+        model = Model()
+        x = model.add_var("x")
+        model.minimize(x + 10)
+        compiled = model.compile()
+        assert compiled.model_objective(1.0) == 11.0
+
+    def test_assignment_from_vector(self):
+        model = Model()
+        x = model.add_var("x")
+        y = model.add_var("y")
+        model.minimize(x + y)
+        assignment = model.assignment_from_vector(np.array([1.0, 2.0]))
+        assert assignment[x] == 1.0
+        assert assignment[y] == 2.0

@@ -1,0 +1,97 @@
+"""Hypothesis property tests for the LP modeling layer.
+
+The compiled matrix form and the symbolic constraint objects must agree
+on feasibility for any assignment, and solver answers must satisfy the
+symbolic constraints they were built from.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp import BranchAndBoundSolver, LinearExpr, Model
+from repro.lp.solution import SolveStatus
+
+
+@st.composite
+def random_model(draw):
+    """A small bounded model with random <=/>=/== constraints."""
+    model = Model()
+    n = draw(st.integers(1, 4))
+    xs = [
+        model.add_var(f"x{i}", low=0, high=draw(st.integers(1, 5)),
+                      integer=draw(st.booleans()))
+        for i in range(n)
+    ]
+    for _ in range(draw(st.integers(0, 4))):
+        coeffs = [draw(st.integers(-3, 3)) for _ in range(n)]
+        expr = LinearExpr.sum(c * x for c, x in zip(coeffs, xs))
+        rhs = draw(st.integers(-5, 15))
+        kind = draw(st.sampled_from(["le", "ge"]))
+        model.add_constraint(expr <= rhs if kind == "le" else expr >= rhs)
+    objective = LinearExpr.sum(
+        draw(st.integers(-4, 4)) * x for x in xs
+    )
+    if draw(st.booleans()):
+        model.maximize(objective)
+    else:
+        model.minimize(objective)
+    return model, xs
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_model())
+def test_compiled_matrices_agree_with_symbolic_constraints(model_and_vars):
+    model, xs = model_and_vars
+    compiled = model.compile()
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        x = np.array([rng.uniform(var.low, var.high) for var in xs])
+        assignment = model.assignment_from_vector(x)
+        symbolic_ok = all(c.satisfied_by(assignment) for c in model.constraints)
+        matrix_ok = True
+        if compiled.a_ub.size:
+            matrix_ok &= bool(np.all(compiled.a_ub @ x <= compiled.b_ub + 1e-7))
+        if compiled.a_eq.size:
+            matrix_ok &= bool(
+                np.all(np.abs(compiled.a_eq @ x - compiled.b_eq) <= 1e-7)
+            )
+        assert symbolic_ok == matrix_ok
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_model())
+def test_solver_answers_satisfy_the_symbolic_model(model_and_vars):
+    model, xs = model_and_vars
+    result = BranchAndBoundSolver().solve_model(model)
+    if result.status is not SolveStatus.OPTIMAL:
+        assert result.status in (SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED)
+        return
+    assignment = model.assignment_from_vector(result.x)
+    for constraint in model.constraints:
+        assert constraint.satisfied_by(assignment, tol=1e-6)
+    # bounds and integrality
+    for var in xs:
+        value = assignment[var]
+        assert var.low - 1e-6 <= value <= var.high + 1e-6
+        if var.integer:
+            assert value == pytest.approx(round(value), abs=1e-6)
+    # reported objective equals the expression's value
+    assert result.objective == pytest.approx(
+        model.objective.value(assignment), abs=1e-6
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_model())
+def test_native_matches_scipy_on_random_models(model_and_vars):
+    pytest.importorskip("scipy")
+    from repro.lp.scipy_backend import ScipyMilpSolver
+
+    model, _ = model_and_vars
+    ours = BranchAndBoundSolver().solve_model(model)
+    reference = ScipyMilpSolver().solve_model(model)
+    assert ours.status == reference.status
+    if ours.status is SolveStatus.OPTIMAL:
+        assert ours.objective == pytest.approx(reference.objective, abs=1e-6)

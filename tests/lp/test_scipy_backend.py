@@ -1,0 +1,74 @@
+"""Tests for the optional HiGHS backend wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.lp import LinearExpr, Model
+from repro.lp.solution import SolveStatus
+
+pytest.importorskip("scipy")
+
+from repro.lp.scipy_backend import (  # noqa: E402
+    ScipyMilpSolver,
+    scipy_available,
+    solve_lp_with_scipy,
+)
+
+
+class TestAvailability:
+    def test_scipy_available_true_here(self):
+        assert scipy_available()
+
+
+class TestLpWrapper:
+    def test_simple_lp(self):
+        solution = solve_lp_with_scipy(
+            np.array([-1.0, -2.0]),
+            np.array([[1.0, 1.0]]),
+            np.array([4.0]),
+            np.zeros((0, 2)),
+            np.zeros(0),
+            np.zeros(2),
+            np.array([np.inf, np.inf]),
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-8.0)
+
+    def test_infeasible_lp(self):
+        solution = solve_lp_with_scipy(
+            np.array([1.0]),
+            np.array([[1.0]]),
+            np.array([-1.0]),
+            np.zeros((0, 1)),
+            np.zeros(0),
+            np.zeros(1),
+            np.array([np.inf]),
+        )
+        assert solution.status is SolveStatus.INFEASIBLE
+
+
+class TestMilpWrapper:
+    def test_milp_with_equalities(self):
+        model = Model()
+        x = model.add_var("x", 0, 10, integer=True)
+        y = model.add_var("y", 0, 10, integer=True)
+        model.add_constraint(x + y == 7)
+        model.maximize(2 * x + y)
+        result = ScipyMilpSolver().solve_model(model)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(14.0)  # x=7, y=0
+
+    def test_milp_infeasible(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.add_constraint(x >= 2)
+        model.minimize(x)
+        result = ScipyMilpSolver().solve_model(model)
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_objective_orientation_matches_model(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.maximize(5 * x)
+        result = ScipyMilpSolver().solve_model(model)
+        assert result.objective == pytest.approx(5.0)

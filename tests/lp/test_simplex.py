@@ -1,0 +1,132 @@
+"""Tests for the two-phase primal simplex."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.lp.simplex import SimplexSolver
+from repro.lp.solution import SolveStatus
+
+
+def solve(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, low=None, high=None):
+    c = np.asarray(c, dtype=float)
+    n = len(c)
+    return SimplexSolver().solve(
+        c,
+        np.asarray(a_ub, dtype=float) if a_ub is not None else np.zeros((0, n)),
+        np.asarray(b_ub, dtype=float) if b_ub is not None else np.zeros(0),
+        np.asarray(a_eq, dtype=float) if a_eq is not None else np.zeros((0, n)),
+        np.asarray(b_eq, dtype=float) if b_eq is not None else np.zeros(0),
+        np.asarray(low, dtype=float) if low is not None else np.zeros(n),
+        np.asarray(high, dtype=float) if high is not None else np.full(n, np.inf),
+    )
+
+
+class TestBasicLPs:
+    def test_textbook_maximization(self):
+        # min -x - 2y s.t. x + y <= 4, x <= 3  -> optimum -8 at (0, 4)
+        solution = solve([-1, -2], [[1, 1], [1, 0]], [4, 3])
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-8.0)
+        assert solution.x == pytest.approx([0.0, 4.0])
+
+    def test_equality_constraint(self):
+        # min 3a + b s.t. a + b == 7, 0 <= a,b <= 10 -> 7 at (0, 7)
+        solution = solve([3, 1], a_eq=[[1, 1]], b_eq=[7], high=[10, 10])
+        assert solution.objective == pytest.approx(7.0)
+        assert solution.x == pytest.approx([0.0, 7.0])
+
+    def test_upper_bounds_respected(self):
+        solution = solve([-1], high=[2.5])
+        assert solution.objective == pytest.approx(-2.5)
+
+    def test_nonzero_lower_bounds(self):
+        # min x + y with x >= 1.5, y >= 2 -> 3.5
+        solution = solve([1, 1], low=[1.5, 2.0])
+        assert solution.objective == pytest.approx(3.5)
+        assert solution.x == pytest.approx([1.5, 2.0])
+
+    def test_degenerate_constraints(self):
+        # redundant equalities should not break phase 1
+        solution = solve(
+            [1, 1],
+            a_eq=[[1, 1], [2, 2]],
+            b_eq=[4, 8],
+            high=[10, 10],
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(4.0)
+
+
+class TestStatuses:
+    def test_infeasible_inequalities(self):
+        # x <= -1 with x >= 0
+        solution = solve([1], [[1]], [-1])
+        assert solution.status is SolveStatus.INFEASIBLE
+
+    def test_infeasible_bounds(self):
+        solution = solve([1], low=[3], high=[2])
+        assert solution.status is SolveStatus.INFEASIBLE
+
+    def test_infeasible_equalities(self):
+        solution = solve([1, 1], a_eq=[[1, 0], [1, 0]], b_eq=[1, 2])
+        assert solution.status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        solution = solve([-1])  # min -x, x >= 0, no upper bound
+        assert solution.status is SolveStatus.UNBOUNDED
+
+    def test_infinite_lower_bound_rejected(self):
+        with pytest.raises(ValidationError):
+            solve([1], low=[-np.inf])
+
+
+class TestAgainstScipy:
+    """Cross-check random LPs against HiGHS."""
+
+    def test_random_bounded_lps(self):
+        pytest.importorskip("scipy")
+        from repro.lp.scipy_backend import solve_lp_with_scipy
+
+        rng = np.random.default_rng(4)
+        for _ in range(40):
+            n = rng.integers(1, 6)
+            m = rng.integers(0, 6)
+            c = rng.normal(size=n)
+            a_ub = rng.normal(size=(m, n))
+            # keep feasible: rhs at least A @ 0 = 0 shifted up
+            b_ub = np.abs(rng.normal(size=m)) + 0.5
+            low = np.zeros(n)
+            high = np.full(n, float(rng.uniform(0.5, 5.0)))
+            ours = SimplexSolver().solve(
+                c, a_ub, b_ub, np.zeros((0, n)), np.zeros(0), low, high
+            )
+            reference = solve_lp_with_scipy(
+                c, a_ub, b_ub, np.zeros((0, n)), np.zeros(0), low, high
+            )
+            assert ours.status == reference.status
+            if ours.status is SolveStatus.OPTIMAL:
+                assert ours.objective == pytest.approx(reference.objective, abs=1e-6)
+
+    def test_random_equality_lps(self):
+        pytest.importorskip("scipy")
+        from repro.lp.scipy_backend import solve_lp_with_scipy
+
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            n = int(rng.integers(2, 6))
+            c = rng.normal(size=n)
+            # one equality through a random feasible interior point
+            point = rng.uniform(0.2, 0.8, size=n)
+            a_eq = rng.normal(size=(1, n))
+            b_eq = a_eq @ point
+            low = np.zeros(n)
+            high = np.ones(n)
+            ours = SimplexSolver().solve(
+                c, np.zeros((0, n)), np.zeros(0), a_eq, b_eq, low, high
+            )
+            reference = solve_lp_with_scipy(
+                c, np.zeros((0, n)), np.zeros(0), a_eq, b_eq, low, high
+            )
+            assert ours.status == reference.status == SolveStatus.OPTIMAL
+            assert ours.objective == pytest.approx(reference.objective, abs=1e-6)

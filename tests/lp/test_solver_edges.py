@@ -1,0 +1,140 @@
+"""Edge-case and failure-injection tests for the LP stack."""
+
+import numpy as np
+import pytest
+
+from repro.lp import BranchAndBoundSolver, LinearExpr, Model
+from repro.lp.simplex import SimplexSolver
+from repro.lp.solution import SolveStatus
+
+
+def _empty(n):
+    return np.zeros((0, n)), np.zeros(0)
+
+
+class TestSimplexBudget:
+    def test_iteration_budget_surfaces(self):
+        """A tiny iteration budget must yield BUDGET_EXCEEDED, not wrong answers."""
+        rng = np.random.default_rng(0)
+        n, m = 12, 18
+        c = rng.normal(size=n)
+        a_ub = rng.normal(size=(m, n))
+        b_ub = np.abs(rng.normal(size=m)) + 1
+        a_eq, b_eq = _empty(n)
+        solver = SimplexSolver(max_iterations=1)
+        solution = solver.solve(c, a_ub, b_ub, a_eq, b_eq, np.zeros(n), np.ones(n))
+        assert solution.status in (SolveStatus.BUDGET_EXCEEDED, SolveStatus.OPTIMAL)
+
+    def test_zero_variable_feasible(self):
+        solver = SimplexSolver()
+        solution = solver.solve(
+            np.zeros(0), np.zeros((0, 0)), np.zeros(0),
+            np.zeros((0, 0)), np.zeros(0), np.zeros(0), np.zeros(0),
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == 0.0
+
+    def test_zero_variable_infeasible_constant_row(self):
+        solver = SimplexSolver()
+        solution = solver.solve(
+            np.zeros(0), np.zeros((1, 0)), np.array([-1.0]),
+            np.zeros((0, 0)), np.zeros(0), np.zeros(0), np.zeros(0),
+        )
+        assert solution.status is SolveStatus.INFEASIBLE
+
+
+class TestDegeneracyAndRedundancy:
+    def test_many_redundant_equalities(self):
+        # the same equality repeated: phase 1 must drop redundant rows
+        n = 3
+        a_eq = np.tile(np.array([[1.0, 1.0, 1.0]]), (4, 1))
+        b_eq = np.full(4, 2.0)
+        solution = SimplexSolver().solve(
+            np.array([1.0, 2.0, 3.0]),
+            *_empty(n), a_eq, b_eq,
+            np.zeros(n), np.full(n, 10.0),
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(2.0)  # all mass on x0
+
+    def test_highly_degenerate_lp_terminates(self):
+        """Many ties in the ratio test: the Bland fallback must terminate."""
+        n = 6
+        a_ub = np.vstack([np.eye(n), np.ones((1, n))])
+        b_ub = np.concatenate([np.zeros(n), [0.0]])  # everything pinned at 0
+        solution = SimplexSolver().solve(
+            -np.ones(n), a_ub, b_ub, *_empty(n), np.zeros(n), np.ones(n)
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(0.0)
+
+    def test_fixed_variables(self):
+        # low == high pins the variable
+        solution = SimplexSolver().solve(
+            np.array([1.0, 1.0]), *_empty(2), *_empty(2),
+            np.array([2.0, 0.0]), np.array([2.0, 5.0]),
+        )
+        assert solution.x[0] == pytest.approx(2.0)
+
+
+class TestBranchAndBoundEdges:
+    def test_unbounded_root_reported(self):
+        model = Model()
+        x = model.add_var("x")  # no upper bound
+        model.maximize(x)
+        result = BranchAndBoundSolver().solve_model(model)
+        assert result.status is SolveStatus.UNBOUNDED
+
+    def test_all_continuous_model_solves_in_one_node(self):
+        model = Model()
+        x = model.add_var("x", 0, 4)
+        y = model.add_var("y", 0, 4)
+        model.add_constraint(x + y <= 5)
+        model.maximize(x + 2 * y)
+        result = BranchAndBoundSolver().solve_model(model)
+        assert result.objective == pytest.approx(9.0)  # y=4, x=1
+        assert result.nodes_explored <= 2
+
+    def test_equality_bound_interaction(self):
+        model = Model()
+        x = model.add_var("x", 0, 3, integer=True)
+        y = model.add_var("y", 0, 3, integer=True)
+        model.add_constraint(2 * x + 2 * y == 5)  # impossible for integers... as LP feasible
+        model.maximize(x + y)
+        result = BranchAndBoundSolver().solve_model(model)
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_objective_constant_carried_through(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.maximize(3 * x + 7)
+        result = BranchAndBoundSolver().solve_model(model)
+        assert result.objective == pytest.approx(10.0)
+
+    def test_incumbent_reported_with_node_budget(self):
+        rng = np.random.default_rng(7)
+        model = Model()
+        xs = [model.add_binary(f"x{i}") for i in range(16)]
+        weights = rng.integers(1, 30, size=16)
+        values = rng.integers(1, 30, size=16)
+        model.add_constraint(
+            LinearExpr.sum(int(w) * x for w, x in zip(weights, xs))
+            <= int(weights.sum() // 3)
+        )
+        model.maximize(LinearExpr.sum(int(v) * x for v, x in zip(values, xs)))
+        result = BranchAndBoundSolver(max_nodes=3).solve_model(model)
+        if result.status is SolveStatus.BUDGET_EXCEEDED:
+            # the rounding-heuristic incumbent must still be feasible
+            assert result.x.size > 0 or np.isnan(result.objective)
+        else:
+            assert result.status is SolveStatus.OPTIMAL
+
+
+class TestMakeSolutionPadding:
+    def test_unpadded_solution_allowed(self, paper_problem):
+        from repro.core import ConsumeAttrSolver
+
+        solver = ConsumeAttrSolver()
+        solution = solver.make_solution(paper_problem, 0, pad=False)
+        assert solution.keep_mask == 0
+        assert solution.satisfied == 0

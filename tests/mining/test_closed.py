@@ -1,0 +1,134 @@
+"""Tests for closed frequent itemset mining."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SolverBudgetExceededError
+from repro.mining import TransactionDatabase, mine_maximal_dfs
+from repro.mining.closed import (
+    closure_of,
+    is_closed,
+    mine_closed_dfs,
+    mine_closed_reference,
+)
+
+
+@pytest.fixture
+def basket() -> TransactionDatabase:
+    return TransactionDatabase(
+        4,
+        [0b0011, 0b0011, 0b0111, 0b1000, 0b1011],
+    )
+
+
+class TestClosure:
+    def test_closure_adds_co_occurring_items(self, basket):
+        # every transaction containing item 1 also contains item 0
+        assert closure_of(basket, 0b010) == 0b011
+
+    def test_closed_set_is_its_own_closure(self, basket):
+        assert closure_of(basket, 0b0011) == 0b0011
+
+    def test_empty_support_closure_is_universe(self, basket):
+        assert closure_of(basket, 0b1100) == 0b1111
+
+    def test_closure_idempotent(self, basket):
+        for itemset in range(16):
+            once = closure_of(basket, itemset)
+            assert closure_of(basket, once) == once
+
+    def test_closure_is_superset(self, basket):
+        for itemset in range(16):
+            assert closure_of(basket, itemset) & itemset == itemset
+
+
+class TestIsClosed:
+    def test_infrequent_is_not_closed(self, basket):
+        assert not is_closed(basket, 0b0111, 3)
+
+    def test_non_closed_detected(self, basket):
+        assert not is_closed(basket, 0b010, 1)  # closure adds item 0
+
+    def test_closed_detected(self, basket):
+        assert is_closed(basket, 0b0011, 2)
+
+
+class TestMiners:
+    def test_reference_example(self, basket):
+        closed = mine_closed_reference(basket, 2)
+        # {0,1} supported by rows 0,1,2,4; {0,1,3} only by row 4 (1 < 2)
+        assert closed[0b0011] == 4
+        assert 0b1000 in closed  # item 3 alone: support 2
+        for itemset in closed:
+            assert is_closed(basket, itemset, 2)
+
+    def test_dfs_matches_reference(self, basket):
+        for threshold in (1, 2, 3):
+            assert mine_closed_dfs(basket, threshold) == mine_closed_reference(
+                basket, threshold
+            )
+
+    def test_closed_superset_of_maximal(self, basket):
+        """Every maximal frequent itemset is closed."""
+        maximal = mine_maximal_dfs(basket, 2)
+        closed = mine_closed_dfs(basket, 2)
+        for itemset, support in maximal.items():
+            assert closed.get(itemset) == support
+
+    def test_empty_itemset_closed_when_no_universal_item(self):
+        db = TransactionDatabase(2, [0b01, 0b10])
+        closed = mine_closed_dfs(db, 1)
+        assert closed[0] == 2
+
+    def test_empty_itemset_not_closed_with_universal_item(self):
+        db = TransactionDatabase(2, [0b01, 0b11])
+        closed = mine_closed_dfs(db, 1)
+        assert 0 not in closed
+
+    def test_include_empty_flag(self):
+        db = TransactionDatabase(2, [0b01, 0b10])
+        assert 0 not in mine_closed_dfs(db, 1, include_empty=False)
+
+    def test_threshold_validation(self, basket):
+        with pytest.raises(ValueError):
+            mine_closed_dfs(basket, 0)
+
+    def test_node_budget(self):
+        import random
+
+        rng = random.Random(0)
+        db = TransactionDatabase(12, [rng.getrandbits(12) for _ in range(40)])
+        with pytest.raises(SolverBudgetExceededError):
+            mine_closed_dfs(db, 1, max_nodes=2)
+
+    def test_above_row_count_empty(self, basket):
+        assert mine_closed_dfs(basket, 99) == {}
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 127), max_size=18), st.integers(1, 6))
+def test_dfs_matches_reference_property(rows, threshold):
+    db = TransactionDatabase(7, rows)
+    if db.num_transactions < threshold:
+        assert mine_closed_dfs(db, threshold) == {}
+        return
+    assert mine_closed_dfs(db, threshold) == mine_closed_reference(db, threshold)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(1, 63), min_size=1, max_size=12), st.integers(1, 4))
+def test_closed_count_between_maximal_and_frequent(rows, threshold):
+    from repro.mining.apriori import frequent_itemsets_brute_force
+
+    db = TransactionDatabase(6, rows)
+    if db.num_transactions < threshold:
+        return
+    frequent = frequent_itemsets_brute_force(db, threshold)
+    closed = mine_closed_dfs(db, threshold, include_empty=False)
+    maximal = {m for m in mine_maximal_dfs(db, threshold) if m != 0}
+    assert maximal <= set(closed)
+    assert set(closed) <= set(frequent) | {0}
+    # support of every frequent itemset is recoverable from its closure
+    for itemset, support in frequent.items():
+        assert closed.get(closure_of(db, itemset)) == support

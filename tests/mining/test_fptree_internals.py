@@ -1,0 +1,79 @@
+"""White-box tests of FP-tree structure and conditional-tree pruning."""
+
+import pytest
+
+from repro.mining import TransactionDatabase, fp_growth
+from repro.mining.fptree import FPTree
+
+
+class TestFpTreeStructure:
+    def test_shared_prefix_compresses(self):
+        tree = FPTree()
+        tree.insert([0, 1, 2])
+        tree.insert([0, 1, 3])
+        root_children = tree.root.children
+        assert list(root_children) == [0]
+        node0 = root_children[0]
+        assert node0.count == 2
+        assert list(node0.children) == [1]
+
+    def test_header_links_chain_same_item(self):
+        tree = FPTree()
+        tree.insert([0, 2])
+        tree.insert([1, 2])
+        chain = list(tree.node_chain(2))
+        assert len(chain) == 2
+        assert all(node.item == 2 for node in chain)
+
+    def test_item_counts_accumulate(self):
+        tree = FPTree()
+        tree.insert([0], count=3)
+        tree.insert([0, 1], count=2)
+        assert tree.item_counts[0] == 5
+        assert tree.item_counts[1] == 2
+
+    def test_prefix_path(self):
+        tree = FPTree()
+        tree.insert([0, 1, 2])
+        leaf = tree.root.children[0].children[1].children[2]
+        assert tree.prefix_path(leaf) == [0, 1]
+
+    def test_single_path_detection(self):
+        tree = FPTree()
+        tree.insert([0, 1, 2], count=2)
+        chain = tree.is_single_path()
+        assert chain == [(0, 2), (1, 2), (2, 2)]
+
+    def test_branching_is_not_single_path(self):
+        tree = FPTree()
+        tree.insert([0, 1])
+        tree.insert([0, 2])
+        assert tree.is_single_path() is None
+
+
+class TestFpGrowthPaths:
+    def test_single_path_combinations(self):
+        """A corpus collapsing to one chain exercises the single-path fast
+        path: all 2^k - 1 combinations with chain-min counts."""
+        db = TransactionDatabase(3, [0b111, 0b111, 0b011, 0b001])
+        result = fp_growth(db, 2)
+        assert result[0b001] == 4
+        assert result[0b011] == 3
+        assert result[0b111] == 2
+
+    def test_conditional_tree_pruning(self):
+        """Items frequent globally but not in a conditional base must be
+        pruned inside the conditional tree."""
+        db = TransactionDatabase(
+            4,
+            [0b0011, 0b0011, 0b0101, 0b0101, 0b1001, 0b1001, 0b0110],
+        )
+        result = fp_growth(db, 2)
+        from repro.mining.apriori import frequent_itemsets_brute_force
+
+        assert result == frequent_itemsets_brute_force(db, 2)
+
+    def test_rows_with_no_frequent_items_skipped(self):
+        db = TransactionDatabase(3, [0b100, 0b010, 0b001, 0b001])
+        result = fp_growth(db, 2)
+        assert result == {0b001: 2}

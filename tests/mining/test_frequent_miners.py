@@ -1,0 +1,110 @@
+"""Tests for the three all-frequent-itemset miners (Apriori, Eclat, FP-growth)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SolverBudgetExceededError
+from repro.mining import TransactionDatabase, apriori, eclat, fp_growth
+from repro.mining.apriori import frequent_itemsets_brute_force
+
+
+@pytest.fixture
+def market_basket() -> TransactionDatabase:
+    """The classic didactic market-basket example."""
+    # items: 0=bread, 1=milk, 2=beer, 3=diapers
+    return TransactionDatabase(
+        4,
+        [
+            0b0011,  # bread, milk
+            0b1101,  # bread, beer, diapers
+            0b1110,  # milk, beer, diapers
+            0b1111,  # everything
+            0b1011,  # bread, milk, diapers
+        ],
+    )
+
+
+MINERS = [apriori, eclat, fp_growth]
+
+
+@pytest.mark.parametrize("miner", MINERS)
+class TestMinersAgree:
+    def test_market_basket(self, miner, market_basket):
+        expected = frequent_itemsets_brute_force(market_basket, 3)
+        assert miner(market_basket, 3) == expected
+
+    def test_threshold_one_returns_all_occurring(self, miner, market_basket):
+        result = miner(market_basket, 1)
+        assert result == frequent_itemsets_brute_force(market_basket, 1)
+
+    def test_threshold_above_rows_empty(self, miner, market_basket):
+        assert miner(market_basket, 6) == {}
+
+    def test_empty_database(self, miner):
+        db = TransactionDatabase(3, [])
+        assert miner(db, 1) == {}
+
+    def test_threshold_below_one_rejected(self, miner, market_basket):
+        with pytest.raises(ValueError):
+            miner(market_basket, 0)
+
+    def test_supports_are_exact(self, miner, market_basket):
+        result = miner(market_basket, 2)
+        for itemset, support in result.items():
+            assert support == market_basket.support(itemset)
+
+    def test_downward_closure(self, miner, market_basket):
+        """Every subset of a frequent itemset is frequent (Apriori property)."""
+        result = miner(market_basket, 2)
+        for itemset in result:
+            sub = itemset & (itemset - 1)  # drop lowest bit
+            if sub:
+                assert sub in result
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 63), max_size=20),
+    st.integers(1, 8),
+)
+def test_all_miners_match_brute_force(rows, threshold):
+    db = TransactionDatabase(6, rows)
+    expected = frequent_itemsets_brute_force(db, threshold)
+    assert apriori(db, threshold) == expected
+    assert eclat(db, threshold) == expected
+    assert fp_growth(db, threshold) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 63), max_size=15), st.integers(1, 5))
+def test_miners_on_dense_complement(rows, threshold):
+    """The complemented view is the dense case the paper worries about."""
+    db = TransactionDatabase(6, rows).complement()
+    expected = frequent_itemsets_brute_force(db, threshold)
+    assert apriori(db, threshold) == expected
+    assert eclat(db, threshold) == expected
+    assert fp_growth(db, threshold) == expected
+
+
+class TestBudgets:
+    def test_apriori_candidate_explosion_guard(self):
+        # all-ones rows make every itemset frequent: 2^width - 1 itemsets
+        db = TransactionDatabase(18, [(1 << 18) - 1] * 3)
+        with pytest.raises(SolverBudgetExceededError):
+            apriori(db, 1, max_candidates=1_000)
+
+    def test_apriori_max_level_stops_early(self):
+        db = TransactionDatabase(6, [(1 << 6) - 1] * 3)
+        result = apriori(db, 1, max_level=2)
+        assert max(mask.bit_count() for mask in result) == 2
+
+    def test_eclat_budget_guard(self):
+        db = TransactionDatabase(16, [(1 << 16) - 1] * 2)
+        with pytest.raises(SolverBudgetExceededError):
+            eclat(db, 1, max_itemsets=500)
+
+    def test_fp_growth_budget_guard(self):
+        db = TransactionDatabase(16, [(1 << 16) - 1] * 2)
+        with pytest.raises(SolverBudgetExceededError):
+            fp_growth(db, 1, max_itemsets=500)

@@ -1,0 +1,117 @@
+"""Tests for maximal frequent itemset mining."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SolverBudgetExceededError
+from repro.mining import (
+    TransactionDatabase,
+    filter_maximal,
+    is_maximal_frequent,
+    mine_maximal_dfs,
+    mine_maximal_reference,
+)
+
+
+class TestFilterMaximal:
+    def test_removes_strict_subsets(self):
+        itemsets = {0b001: 5, 0b011: 3, 0b111: 2, 0b100: 4}
+        maximal = filter_maximal(itemsets)
+        assert set(maximal) == {0b111}
+
+    def test_incomparable_sets_kept(self):
+        itemsets = {0b011: 3, 0b101: 2}
+        assert set(filter_maximal(itemsets)) == {0b011, 0b101}
+
+    def test_preserves_supports(self):
+        itemsets = {0b01: 7, 0b11: 4}
+        assert filter_maximal(itemsets)[0b11] == 4
+
+    def test_empty(self):
+        assert filter_maximal({}) == {}
+
+
+class TestIsMaximalFrequent:
+    def test_infrequent_is_not_maximal(self):
+        db = TransactionDatabase(3, [0b001])
+        assert not is_maximal_frequent(db, 0b010, 1)
+
+    def test_extendable_is_not_maximal(self):
+        db = TransactionDatabase(3, [0b011, 0b011])
+        assert not is_maximal_frequent(db, 0b001, 2)  # can add item 1
+
+    def test_true_maximal(self):
+        db = TransactionDatabase(3, [0b011, 0b011, 0b100])
+        assert is_maximal_frequent(db, 0b011, 2)
+
+
+class TestDfsMiner:
+    def test_simple_example(self):
+        db = TransactionDatabase(
+            4, [0b0111, 0b0111, 0b1100, 0b1100, 0b0001]
+        )
+        result = mine_maximal_dfs(db, 2)
+        assert result == {0b0111: 2, 0b1100: 2}
+
+    def test_no_frequent_items_yields_empty_itemset(self):
+        db = TransactionDatabase(3, [0b001])
+        assert mine_maximal_dfs(db, 2) == {}  # fewer rows than threshold? no: 1 row < 2
+        db2 = TransactionDatabase(3, [0b001, 0b010])
+        # no single item reaches support 2, but the empty itemset does
+        assert mine_maximal_dfs(db2, 2) == {0: 2}
+
+    def test_all_identical_rows(self):
+        db = TransactionDatabase(4, [0b1010] * 5)
+        assert mine_maximal_dfs(db, 3) == {0b1010: 5}
+
+    def test_every_mfi_is_maximal(self):
+        db = TransactionDatabase(5, [0b10101, 0b01110, 0b11100, 0b00111, 0b10101])
+        for itemset in mine_maximal_dfs(db, 2):
+            assert is_maximal_frequent(db, itemset, 2)
+
+    def test_node_budget_guard(self):
+        import random
+
+        rng = random.Random(0)
+        db = TransactionDatabase(16, [rng.getrandbits(16) for _ in range(60)])
+        with pytest.raises(SolverBudgetExceededError):
+            mine_maximal_dfs(db, 1, max_nodes=3)
+
+    def test_threshold_validation(self):
+        db = TransactionDatabase(2, [1])
+        with pytest.raises(ValueError):
+            mine_maximal_dfs(db, 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 255), max_size=25), st.integers(1, 8))
+def test_dfs_matches_reference(rows, threshold):
+    db = TransactionDatabase(8, rows)
+    if db.num_transactions < threshold:
+        assert mine_maximal_dfs(db, threshold) == {}
+        return
+    assert mine_maximal_dfs(db, threshold) == mine_maximal_reference(db, threshold)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=15), st.integers(1, 5))
+def test_dfs_matches_reference_on_dense_complement(rows, threshold):
+    db = TransactionDatabase(6, rows).complement()
+    if db.num_transactions < threshold:
+        return
+    assert mine_maximal_dfs(db, threshold) == mine_maximal_reference(db, threshold)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=2, max_size=25), st.integers(1, 6))
+def test_every_frequent_itemset_is_under_some_mfi(rows, threshold):
+    """Completeness: the MFI antichain covers the whole frequent border."""
+    from repro.mining.apriori import frequent_itemsets_brute_force
+
+    db = TransactionDatabase(8, rows)
+    if db.num_transactions < threshold:
+        return
+    mfis = mine_maximal_dfs(db, threshold)
+    for frequent in frequent_itemsets_brute_force(db, threshold):
+        assert any(frequent & mfi == frequent for mfi in mfis)

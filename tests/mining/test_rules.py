@@ -1,0 +1,104 @@
+"""Tests for association-rule mining."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booldata import Schema
+from repro.common.errors import ValidationError
+from repro.mining import TransactionDatabase
+from repro.mining.rules import AssociationRule, describe_rules, mine_rules
+
+
+@pytest.fixture
+def basket() -> TransactionDatabase:
+    # item 0 and item 1 almost always together; item 2 independent-ish
+    return TransactionDatabase(
+        3,
+        [0b011, 0b011, 0b011, 0b111, 0b100, 0b101, 0b010],
+    )
+
+
+class TestMineRules:
+    def test_strong_pair_found(self, basket):
+        rules = mine_rules(basket, min_support=0.2, min_confidence=0.7)
+        pairs = {(rule.antecedent, rule.consequent) for rule in rules}
+        assert (0b001, 0b010) in pairs or (0b010, 0b001) in pairs
+
+    def test_statistics_are_correct(self, basket):
+        rules = mine_rules(basket, min_support=0.1, min_confidence=0.1)
+        for rule in rules:
+            union = rule.antecedent | rule.consequent
+            n = basket.num_transactions
+            assert rule.support == pytest.approx(basket.support(union) / n)
+            assert rule.confidence == pytest.approx(
+                basket.support(union) / basket.support(rule.antecedent)
+            )
+            assert rule.lift == pytest.approx(
+                rule.confidence / (basket.support(rule.consequent) / n)
+            )
+
+    def test_antecedent_consequent_disjoint(self, basket):
+        for rule in mine_rules(basket, 0.1, 0.1):
+            assert rule.antecedent & rule.consequent == 0
+            assert rule.antecedent and rule.consequent
+
+    def test_confidence_threshold_respected(self, basket):
+        for rule in mine_rules(basket, 0.1, min_confidence=0.9):
+            assert rule.confidence >= 0.9
+
+    def test_sorted_by_lift(self, basket):
+        rules = mine_rules(basket, 0.1, 0.1)
+        lifts = [rule.lift for rule in rules]
+        assert lifts == sorted(lifts, reverse=True)
+
+    def test_empty_database(self):
+        assert mine_rules(TransactionDatabase(2, []), 0.5, 0.5) == []
+
+    def test_threshold_validation(self, basket):
+        with pytest.raises(ValidationError):
+            mine_rules(basket, min_support=0.0)
+        with pytest.raises(ValidationError):
+            mine_rules(basket, min_support=0.5, min_confidence=1.5)
+
+    def test_rule_cap(self, basket):
+        with pytest.raises(ValidationError):
+            mine_rules(basket, 0.01, 0.01, max_rules=1)
+
+
+class TestDescribe:
+    def test_named_rendering(self, basket):
+        schema = Schema(["leather", "sunroof", "turbo"])
+        rules = mine_rules(basket, 0.2, 0.7)
+        text = describe_rules(rules, schema, limit=3)
+        assert "->" in text
+        assert "confidence" in text
+
+    def test_empty_rendering(self):
+        schema = Schema(["a"])
+        assert "no rules" in describe_rules([], schema)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(1, 31), min_size=1, max_size=20))
+def test_rule_statistics_property(rows):
+    """support <= confidence; lift positive; all stats well-formed."""
+    db = TransactionDatabase(5, rows)
+    for rule in mine_rules(db, min_support=0.2, min_confidence=0.3, max_rules=5000):
+        assert 0 < rule.support <= 1
+        assert rule.support <= rule.confidence <= 1
+        assert rule.lift > 0
+
+
+def test_query_log_rules_reflect_workload_structure():
+    """Rules mined from a zipf query log surface real co-demands."""
+    from repro.data import generate_cars, synthetic_workload
+    from repro.mining import TransactionDatabase as TD
+
+    cars = generate_cars(200, seed=9)
+    log = synthetic_workload(cars.schema, 600, seed=10, popularity="zipf")
+    db = TD.from_boolean_table(log)
+    rules = mine_rules(db, min_support=0.01, min_confidence=0.2, max_rules=10_000)
+    # zipf workloads concentrate on few attributes -> co-demand rules exist
+    assert rules
+    assert all(rule.lift > 0 for rule in rules)

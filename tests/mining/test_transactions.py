@@ -1,0 +1,94 @@
+"""Tests for transaction databases and the complemented view."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import ValidationError
+from repro.mining import ComplementedTransactions, TransactionDatabase
+
+
+class TestConstruction:
+    def test_from_rows(self):
+        db = TransactionDatabase(3, [0b101, 0b011])
+        assert db.num_transactions == 2
+        assert list(db) == [0b101, 0b011]
+
+    def test_from_boolean_table(self):
+        schema = Schema.anonymous(3)
+        table = BooleanTable(schema, [0b110])
+        db = TransactionDatabase.from_boolean_table(table)
+        assert db.width == 3
+        assert db[0] == 0b110
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValidationError):
+            TransactionDatabase(0)
+
+    def test_out_of_range_row_rejected(self):
+        with pytest.raises(ValidationError):
+            TransactionDatabase(2, [0b100])
+
+
+class TestSupport:
+    def test_tidsets(self):
+        db = TransactionDatabase(3, [0b001, 0b011, 0b100])
+        assert db.tidset(0) == 0b011  # rows 0 and 1 contain item 0
+        assert db.tidset(1) == 0b010
+        assert db.tidset(2) == 0b100
+
+    def test_support_of_empty_itemset_is_row_count(self):
+        db = TransactionDatabase(3, [0b001, 0b010])
+        assert db.support(0) == 2
+
+    def test_support_counts_supersets(self):
+        db = TransactionDatabase(3, [0b011, 0b111, 0b001])
+        assert db.support(0b001) == 3
+        assert db.support(0b011) == 2
+        assert db.support(0b100) == 1
+
+    def test_item_supports(self):
+        db = TransactionDatabase(2, [0b01, 0b01, 0b10])
+        assert db.item_supports() == [2, 1]
+
+    @given(st.lists(st.integers(0, 31), max_size=20), st.integers(0, 31))
+    def test_support_matches_naive_count(self, rows, itemset):
+        db = TransactionDatabase(5, rows)
+        naive = sum(1 for row in rows if row & itemset == itemset)
+        assert db.support(itemset) == naive
+
+
+class TestComplementedView:
+    def test_iteration_yields_complements(self):
+        db = TransactionDatabase(3, [0b001, 0b110])
+        assert list(db.complement()) == [0b110, 0b001]
+
+    def test_materialize_equals_view(self):
+        db = TransactionDatabase(4, [0b0101, 0b0011])
+        view = db.complement()
+        explicit = view.materialize()
+        for itemset in range(16):
+            assert view.support(itemset) == explicit.support(itemset)
+
+    def test_support_is_disjoint_count(self):
+        """The central identity: support in ~Q == queries disjoint from I."""
+        rows = [0b00011, 0b00110, 0b10000]
+        db = TransactionDatabase(5, rows)
+        view = db.complement()
+        for itemset in range(32):
+            disjoint = sum(1 for row in rows if row & itemset == 0)
+            assert view.support(itemset) == disjoint
+
+    def test_tidset_complementation(self):
+        db = TransactionDatabase(2, [0b01, 0b10, 0b11])
+        view = db.complement()
+        assert view.tidset(0) == 0b010  # only row 1 lacks item 0
+        assert view.tidset(1) == 0b001
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=15))
+    def test_double_complement_is_identity(self, rows):
+        db = TransactionDatabase(4, rows)
+        double = ComplementedTransactions(db.complement().materialize())
+        for itemset in range(16):
+            assert double.support(itemset) == db.support(itemset)

@@ -1,0 +1,74 @@
+"""Tests for the Boolean retrieval engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import ValidationError
+from repro.retrieval import BooleanRetrievalEngine
+
+
+@pytest.fixture
+def engine(paper_database) -> BooleanRetrievalEngine:
+    return BooleanRetrievalEngine(paper_database)
+
+
+class TestConjunctive:
+    def test_paper_queries(self, engine, paper_schema):
+        # q3 = {Four Door, Power Doors} retrieves t1, t4, t6 (indices 0, 3, 5)
+        q3 = paper_schema.mask_of(["four_door", "power_doors"])
+        assert engine.conjunctive_search(q3) == [0, 3, 5]
+
+    def test_empty_query_retrieves_everything(self, engine):
+        assert engine.conjunctive_count(0) == len(engine)
+
+    def test_unsatisfiable_query(self, engine, paper_schema):
+        query = paper_schema.mask_of(["turbo", "auto_trans"])
+        assert engine.conjunctive_search(query) == []
+
+    def test_count_matches_search(self, engine, paper_schema):
+        for names in (["ac"], ["ac", "four_door"], ["power_brakes"]):
+            query = paper_schema.mask_of(names)
+            assert engine.conjunctive_count(query) == len(engine.conjunctive_search(query))
+
+    def test_out_of_schema_query_rejected(self, engine):
+        with pytest.raises(ValidationError):
+            engine.conjunctive_search(1 << 10)
+
+    @given(st.lists(st.integers(0, 255), max_size=20), st.integers(0, 255))
+    def test_matches_naive_scan(self, rows, query):
+        table = BooleanTable(Schema.anonymous(8), rows)
+        engine = BooleanRetrievalEngine(table)
+        naive = [i for i, row in enumerate(rows) if query & row == query]
+        assert engine.conjunctive_search(query) == naive
+
+
+class TestDisjunctive:
+    def test_basic(self, engine, paper_schema):
+        query = paper_schema.mask_of(["turbo"])
+        assert engine.disjunctive_search(query) == [1, 6]
+
+    def test_union_semantics(self, engine, paper_schema):
+        q = paper_schema.mask_of(["turbo", "auto_trans"])
+        expected = sorted(
+            set(engine.disjunctive_search(paper_schema.mask_of(["turbo"])))
+            | set(engine.disjunctive_search(paper_schema.mask_of(["auto_trans"])))
+        )
+        assert engine.disjunctive_search(q) == expected
+
+    def test_empty_query_retrieves_nothing(self, engine):
+        assert engine.disjunctive_count(0) == 0
+
+    @given(st.lists(st.integers(0, 255), max_size=20), st.integers(0, 255))
+    def test_matches_naive_scan(self, rows, query):
+        table = BooleanTable(Schema.anonymous(8), rows)
+        engine = BooleanRetrievalEngine(table)
+        naive = [i for i, row in enumerate(rows) if query & row]
+        assert engine.disjunctive_search(query) == naive
+
+
+class TestVisibility:
+    def test_visibility_of_tuple(self, engine, paper_log, paper_schema):
+        compressed = paper_schema.mask_of(["ac", "four_door", "power_doors"])
+        assert engine.visibility_of(compressed, paper_log) == 3

@@ -1,0 +1,45 @@
+"""Standalone tests for the global scoring functions."""
+
+import pytest
+
+from repro.retrieval import AttributeCountScore, ExtrinsicScore, GlobalScore
+
+
+class TestGlobalScoreInterface:
+    def test_base_methods_abstract(self):
+        score = GlobalScore()
+        with pytest.raises(NotImplementedError):
+            score.score_row(0, 0b1)
+        with pytest.raises(NotImplementedError):
+            score.score_candidate(0b1)
+
+    def test_default_orientation(self):
+        assert GlobalScore.higher_is_better is True
+
+
+class TestAttributeCountScore:
+    def test_row_and_candidate_agree(self):
+        score = AttributeCountScore()
+        assert score.score_row(0, 0b1011) == 3.0
+        assert score.score_candidate(0b1011) == 3.0
+
+    def test_empty_mask(self):
+        assert AttributeCountScore().score_candidate(0) == 0.0
+
+    def test_monotone_in_attributes(self):
+        score = AttributeCountScore()
+        assert score.score_candidate(0b111) > score.score_candidate(0b011)
+
+
+class TestExtrinsicScore:
+    def test_row_index_lookup(self):
+        score = ExtrinsicScore([10.0, 25.0, 5.0], candidate_value=12.0)
+        assert score.score_row(1, 0b111111) == 25.0  # mask ignored
+
+    def test_candidate_ignores_mask(self):
+        score = ExtrinsicScore([1.0], candidate_value=9.0)
+        assert score.score_candidate(0) == score.score_candidate(0b1111) == 9.0
+
+    def test_lower_is_better_flag(self):
+        score = ExtrinsicScore([1.0], 2.0, higher_is_better=False)
+        assert score.higher_is_better is False

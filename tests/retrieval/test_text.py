@@ -1,0 +1,105 @@
+"""Tests for the text database and BM25 scorer."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.retrieval import Bm25Scorer, TextDatabase, tokenize
+
+
+class TestTokenize:
+    def test_lowercase_and_punctuation(self):
+        assert tokenize("Sunny 2-bedroom apt!") == ["sunny", "2", "bedroom", "apt"]
+
+    def test_empty(self):
+        assert tokenize("...") == []
+
+
+@pytest.fixture
+def corpus() -> TextDatabase:
+    return TextDatabase(
+        [
+            "sunny apartment near train station",
+            "quiet apartment with parking",
+            "sunny house with garden and parking parking",
+        ]
+    )
+
+
+class TestTextDatabase:
+    def test_vocabulary_sorted_unique(self, corpus):
+        assert corpus.vocabulary == sorted(set(corpus.vocabulary))
+        assert "apartment" in corpus.vocabulary
+
+    def test_document_frequency(self, corpus):
+        assert corpus.document_frequency["apartment"] == 2
+        assert corpus.document_frequency["parking"] == 2  # per-document, not per-occurrence
+
+    def test_average_length_counts_tokens(self, corpus):
+        lengths = [5, 4, 7]
+        assert corpus.average_length == pytest.approx(sum(lengths) / 3)
+
+    def test_word_mask_round_trip(self, corpus):
+        schema, table = corpus.to_boolean()
+        mask = corpus.word_mask(["sunny", "parking"])
+        assert set(schema.names_of(mask)) == {"sunny", "parking"}
+
+    def test_word_mask_unknown_word_rejected(self, corpus):
+        with pytest.raises(ValidationError):
+            corpus.word_mask(["castle"])
+
+    def test_to_boolean_rows_match_bags(self, corpus):
+        schema, table = corpus.to_boolean()
+        assert set(schema.names_of(table[0])) == {
+            "sunny", "apartment", "near", "train", "station",
+        }
+
+    def test_query_log_drops_unknown_words_only(self, corpus):
+        log = corpus.query_log_to_boolean([["sunny", "castle"], ["parking"]])
+        schema, _ = corpus.to_boolean()
+        assert schema.names_of(log[0]) == ["sunny"]
+        assert schema.names_of(log[1]) == ["parking"]
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValidationError):
+            TextDatabase(["..."])
+
+
+class TestBm25:
+    def test_idf_decreases_with_document_frequency(self, corpus):
+        scorer = Bm25Scorer(corpus)
+        assert scorer.idf("train") > scorer.idf("apartment")
+
+    def test_score_zero_without_matches(self, corpus):
+        scorer = Bm25Scorer(corpus)
+        assert scorer.score(["garden"], 0) == 0.0
+
+    def test_matching_document_scores_positive(self, corpus):
+        scorer = Bm25Scorer(corpus)
+        assert scorer.score(["sunny"], 0) > 0.0
+
+    def test_term_frequency_saturation(self, corpus):
+        """Doc 2 has 'parking' twice, doc 1 once: higher but not double."""
+        scorer = Bm25Scorer(corpus)
+        once = scorer.score(["parking"], 1)
+        twice = scorer.score(["parking"], 2)
+        assert twice > once
+        assert twice < 2 * once * 1.5  # saturation bound (loose)
+
+    def test_top_k_ordering(self, corpus):
+        scorer = Bm25Scorer(corpus)
+        top = scorer.top_k(["sunny", "apartment"], k=3)
+        assert top[0][0] == 0  # doc 0 matches both words
+        assert len(top) == 3
+
+    def test_top_k_excludes_zero_scores(self, corpus):
+        scorer = Bm25Scorer(corpus)
+        top = scorer.top_k(["garden"], k=3)
+        assert [index for index, _ in top] == [2]
+
+    def test_idf_formula(self, corpus):
+        scorer = Bm25Scorer(corpus)
+        n, df = 3, 2
+        expected = math.log((n - df + 0.5) / (df + 0.5) + 1.0)
+        assert scorer.idf("apartment") == pytest.approx(expected)

@@ -1,0 +1,122 @@
+"""Tests for top-k retrieval and the admission predicate."""
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import ValidationError
+from repro.retrieval import AttributeCountScore, ExtrinsicScore, TopKEngine
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.anonymous(4)
+
+
+@pytest.fixture
+def database(schema) -> BooleanTable:
+    return BooleanTable(
+        schema,
+        [
+            0b0001,  # row 0: 1 attribute
+            0b0011,  # row 1: 2 attributes
+            0b0111,  # row 2: 3 attributes
+            0b1111,  # row 3: 4 attributes
+            0b0101,  # row 4: 2 attributes
+        ],
+    )
+
+
+class TestTopK:
+    def test_orders_by_score_descending(self, database):
+        engine = TopKEngine(database, AttributeCountScore(), k=2)
+        top = engine.top_k(0b0001)  # matches rows 0,1,2,3,4... those containing item0
+        assert [index for index, _ in top] == [3, 2]
+
+    def test_ties_broken_by_row_order(self, database):
+        engine = TopKEngine(database, AttributeCountScore(), k=3)
+        top = engine.top_k(0b0001)
+        # rows 1 and 4 tie at score 2; lower index first
+        assert [index for index, _ in top] == [3, 2, 1]
+
+    def test_k_larger_than_matches(self, database):
+        engine = TopKEngine(database, AttributeCountScore(), k=10)
+        assert len(engine.top_k(0b1000)) == 1  # only row 3 has item 3
+
+    def test_k_validation(self, database):
+        with pytest.raises(ValidationError):
+            TopKEngine(database, AttributeCountScore(), k=0)
+
+    def test_lower_is_better_scoring(self, database):
+        prices = [100.0, 50.0, 200.0, 10.0, 75.0]
+        scoring = ExtrinsicScore(prices, candidate_value=60.0, higher_is_better=False)
+        engine = TopKEngine(database, scoring, k=2)
+        top = engine.top_k(0b0001)
+        assert [index for index, _ in top] == [3, 1]  # cheapest first
+
+
+class TestAdmission:
+    def test_beating_count(self, database):
+        engine = TopKEngine(database, AttributeCountScore(), k=2)
+        assert engine.beating_count(0b0001, 2.0) == 2  # rows 3 (4) and 2 (3)
+
+    def test_would_retrieve_requires_match(self, database):
+        engine = TopKEngine(database, AttributeCountScore(), k=5)
+        assert not engine.would_retrieve(0b1000, 0b0111)
+
+    def test_optimistic_vs_pessimistic_ties(self, database):
+        engine = TopKEngine(database, AttributeCountScore(), k=3)
+        # candidate with 2 attributes matching query {0}: scores better
+        # than row 0; ties with rows 1 and 4; beaten by rows 2 and 3.
+        candidate = 0b0011
+        assert engine.would_retrieve(0b0001, candidate, "optimistic")
+        assert not engine.would_retrieve(0b0001, candidate, "pessimistic")
+
+    def test_unknown_tie_policy_rejected(self, database):
+        engine = TopKEngine(database, AttributeCountScore(), k=1)
+        with pytest.raises(ValidationError):
+            engine.would_retrieve(0b0001, 0b0001, "fifo")
+
+    def test_visibility_of(self, database, schema):
+        engine = TopKEngine(database, AttributeCountScore(), k=1)
+        log = BooleanTable(schema, [0b0001, 0b1000, 0b0100])
+        # full tuple scores 4, ties with row 3 -> optimistic admits
+        assert engine.visibility_of(0b1111, log) == 3
+
+
+class TestExtrinsicScore:
+    def test_candidate_value_independent_of_mask(self):
+        scoring = ExtrinsicScore([1.0], candidate_value=5.0)
+        assert scoring.score_candidate(0) == scoring.score_candidate(0b111) == 5.0
+
+    def test_for_database_length_check(self, database):
+        with pytest.raises(ValidationError):
+            ExtrinsicScore.for_database(database, [1.0, 2.0], 3.0)
+
+    def test_score_row_reads_column(self):
+        scoring = ExtrinsicScore([10.0, 20.0], candidate_value=0.0)
+        assert scoring.score_row(1, 0b1) == 20.0
+
+
+class TestTopKOracleProperty:
+    def test_matches_naive_oracle(self):
+        """top_k == sort-all-matches-by-(score desc, index asc)[:k]."""
+        import random
+
+        from repro.booldata import BooleanTable, Schema
+
+        rng = random.Random(17)
+        for _ in range(25):
+            width = rng.randint(2, 6)
+            schema = Schema.anonymous(width)
+            rows = [rng.getrandbits(width) for _ in range(rng.randint(1, 15))]
+            table = BooleanTable(schema, rows)
+            k = rng.randint(1, 6)
+            engine = TopKEngine(table, AttributeCountScore(), k)
+            query = rng.getrandbits(width)
+            matches = [
+                (index, float(row.bit_count()))
+                for index, row in enumerate(rows)
+                if query & row == query
+            ]
+            matches.sort(key=lambda pair: (-pair[1], pair[0]))
+            assert engine.top_k(query) == matches[:k]

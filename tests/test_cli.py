@@ -1,0 +1,187 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.booldata import save_table_csv, save_table_json
+from repro.cli import main
+
+
+@pytest.fixture
+def log_csv(paper_log, tmp_path):
+    path = tmp_path / "log.csv"
+    save_table_csv(paper_log, path)
+    return str(path)
+
+
+@pytest.fixture
+def log_json(paper_log, tmp_path):
+    path = tmp_path / "log.json"
+    save_table_json(paper_log, path)
+    return str(path)
+
+
+@pytest.fixture
+def database_csv(paper_database, tmp_path):
+    path = tmp_path / "db.csv"
+    save_table_csv(paper_database, path)
+    return str(path)
+
+
+class TestAlgorithmsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "MaxFreqItemSets" in out
+        assert "exact" in out and "greedy" in out
+
+
+class TestSolveCommand:
+    def test_solve_with_named_tuple(self, capsys, log_csv):
+        code = main([
+            "solve", "--log", log_csv,
+            "--tuple", "ac,four_door,power_doors,auto_trans,power_brakes",
+            "--budget", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "queries satisfied: 3 of 5" in out
+        assert "ac, four_door, power_doors" in out
+
+    def test_solve_json_log(self, capsys, log_json):
+        code = main([
+            "solve", "--log", log_json,
+            "--tuple", "ac,four_door,power_doors,auto_trans,power_brakes",
+            "--budget", "3", "--algorithm", "ConsumeAttr",
+        ])
+        assert code == 0
+        assert "heuristic" in capsys.readouterr().out
+
+    def test_solve_with_tuple_row_from_database(self, capsys, log_csv, database_csv):
+        code = main([
+            "solve", "--log", log_csv, "--database", database_csv,
+            "--tuple-row", "3", "--budget", "2",
+        ])
+        assert code == 0
+
+    def test_against_database(self, capsys, log_csv, database_csv):
+        code = main([
+            "solve", "--log", log_csv, "--database", database_csv,
+            "--tuple", "ac,four_door,power_doors,auto_trans,power_brakes",
+            "--budget", "4", "--against-database",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rows dominated: 4 of 7" in out
+
+    def test_explain_flag(self, capsys, log_csv):
+        code = main([
+            "solve", "--log", log_csv,
+            "--tuple", "ac,four_door,power_doors",
+            "--budget", "3", "--explain",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "retained attributes:" in out
+
+
+class TestErrorHandling:
+    def test_both_tuple_sources_rejected(self, capsys, log_csv):
+        code = main([
+            "solve", "--log", log_csv, "--tuple", "ac", "--tuple-row", "0",
+            "--budget", "1",
+        ])
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_neither_tuple_source_rejected(self, capsys, log_csv):
+        assert main(["solve", "--log", log_csv, "--budget", "1"]) == 2
+
+    def test_tuple_row_out_of_range(self, capsys, log_csv):
+        code = main([
+            "solve", "--log", log_csv, "--tuple-row", "99", "--budget", "1",
+        ])
+        assert code == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_unsupported_format(self, capsys, tmp_path):
+        path = tmp_path / "log.xlsx"
+        path.write_text("nope")
+        code = main(["solve", "--log", str(path), "--tuple", "a", "--budget", "1"])
+        assert code == 2
+
+    def test_against_database_requires_database(self, capsys, log_csv):
+        code = main([
+            "solve", "--log", log_csv, "--tuple", "ac", "--budget", "1",
+            "--against-database",
+        ])
+        assert code == 2
+
+    def test_schema_mismatch_detected(self, capsys, log_csv, tmp_path):
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps({"attributes": ["x"], "rows": [["x"]]}))
+        code = main([
+            "solve", "--log", log_csv, "--database", str(other),
+            "--tuple-row", "0", "--budget", "1",
+        ])
+        assert code == 2
+
+    def test_unknown_algorithm(self, capsys, log_csv):
+        code = main([
+            "solve", "--log", log_csv, "--tuple", "ac", "--budget", "1",
+            "--algorithm", "Oracle",
+        ])
+        assert code == 2
+
+
+class TestProfileCommand:
+    def test_profiles_csv_log(self, capsys, log_csv):
+        assert main(["profile", "--log", log_csv]) == 0
+        out = capsys.readouterr().out
+        assert "queries: 5" in out
+        assert "power_doors" in out
+
+    def test_pairs_flag(self, capsys, log_csv):
+        assert main(["profile", "--log", log_csv, "--pairs", "0"]) == 0
+        assert "co-occurring" not in capsys.readouterr().out
+
+    def test_bad_format(self, capsys, tmp_path):
+        path = tmp_path / "log.parquet"
+        path.write_text("x")
+        assert main(["profile", "--log", str(path)]) == 2
+
+
+class TestCertifyFlag:
+    def test_certificate_printed_for_greedy(self, capsys, log_csv):
+        code = main([
+            "solve", "--log", log_csv,
+            "--tuple", "ac,four_door,power_doors,auto_trans,power_brakes",
+            "--budget", "3", "--algorithm", "ConsumeAttr", "--certify",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "certificate:" in out
+
+    def test_optimal_certified_as_optimal(self, capsys, log_csv):
+        code = main([
+            "solve", "--log", log_csv,
+            "--tuple", "ac,four_door,power_doors,auto_trans,power_brakes",
+            "--budget", "3", "--certify",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "provably optimal" in out or "of the optimum" in out
+
+
+class TestAlternativeAlgorithms:
+    def test_local_search_via_cli(self, capsys, log_csv):
+        code = main([
+            "solve", "--log", log_csv,
+            "--tuple", "ac,four_door,power_doors,auto_trans,power_brakes",
+            "--budget", "3", "--algorithm", "LocalSearch",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LocalSearch" in out
+        assert "queries satisfied: 3 of 5" in out

@@ -1,0 +1,45 @@
+"""Execute the doctest examples embedded in module docstrings.
+
+The usage examples in docstrings are part of the documentation
+deliverable; running them keeps them truthful.
+"""
+
+import doctest
+
+import pytest
+
+import repro.booldata.schema
+import repro.booldata.table
+import repro.common.bits
+import repro.common.combinatorics
+import repro.common.estimates
+import repro.common.tables
+import repro.common.timing
+import repro.retrieval.text
+
+MODULES = [
+    repro.common.bits,
+    repro.common.combinatorics,
+    repro.common.estimates,
+    repro.common.tables,
+    repro.common.timing,
+    repro.booldata.schema,
+    repro.booldata.table,
+    repro.retrieval.text,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_doctests_actually_exist():
+    """Guard against the suite silently testing nothing."""
+    total = sum(
+        len(doctest.DocTestFinder().find(module)) and
+        sum(len(t.examples) for t in doctest.DocTestFinder().find(module))
+        for module in MODULES
+    )
+    assert total >= 10

@@ -1,0 +1,90 @@
+"""Tests for batch inventory optimization."""
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import ValidationError
+from repro.core import BruteForceSolver, ConsumeAttrSolver
+from repro.data import generate_cars, synthetic_workload
+from repro.variants.batch import InventoryReport, optimize_inventory
+
+
+@pytest.fixture(scope="module")
+def inventory():
+    cars = generate_cars(300, seed=44)
+    log = synthetic_workload(cars.schema, 250, seed=45)
+    tuples = [cars.table[i] for i in cars.random_car_indices(8, seed=46)]
+    return log, tuples
+
+
+class TestOptimizeInventory:
+    def test_one_solution_per_listing(self, inventory):
+        log, tuples = inventory
+        report = optimize_inventory(log, tuples, budget=4)
+        assert len(report.solutions) == len(tuples)
+
+    def test_indexed_path_matches_direct_exact_solve(self, inventory):
+        """Sharing the preprocessing index must not change any optimum."""
+        log, tuples = inventory
+        shared = optimize_inventory(log, tuples, budget=4, share_index=True)
+        direct = optimize_inventory(log, tuples, budget=4, share_index=False)
+        for indexed, exact in zip(shared.solutions, direct.solutions):
+            assert indexed.satisfied == exact.satisfied
+
+    def test_custom_solver(self, inventory):
+        log, tuples = inventory
+        report = optimize_inventory(log, tuples, budget=4, solver=ConsumeAttrSolver())
+        exact = optimize_inventory(log, tuples, budget=4)
+        assert report.total_visibility <= exact.total_visibility
+
+    def test_empty_inventory_rejected(self, inventory):
+        log, _ = inventory
+        with pytest.raises(ValidationError):
+            optimize_inventory(log, [], 3)
+
+    def test_negative_budget_rejected(self, inventory):
+        log, tuples = inventory
+        with pytest.raises(ValidationError):
+            optimize_inventory(log, tuples, -1)
+
+    def test_small_instance_against_brute_force(self):
+        schema = Schema.anonymous(5)
+        log = BooleanTable(schema, [0b00011, 0b00110, 0b11000, 0b00011])
+        tuples = [0b00111, 0b11110, 0b00001]
+        report = optimize_inventory(log, tuples, budget=2)
+        brute = BruteForceSolver()
+        for new_tuple, solution in zip(tuples, report.solutions):
+            from repro.core import VisibilityProblem
+
+            expected = brute.solve(VisibilityProblem(log, new_tuple, 2)).satisfied
+            assert solution.satisfied == expected
+
+
+class TestReport:
+    def test_aggregates(self, inventory):
+        log, tuples = inventory
+        report = optimize_inventory(log, tuples, budget=4)
+        assert report.total_visibility == sum(s.satisfied for s in report.solutions)
+        assert report.mean_visibility == pytest.approx(
+            report.total_visibility / len(tuples)
+        )
+        assert 0 <= report.invisible_count <= len(tuples)
+
+    def test_top_listings_sorted(self, inventory):
+        log, tuples = inventory
+        report = optimize_inventory(log, tuples, budget=4)
+        top = report.top_listings(3)
+        values = [solution.satisfied for _, solution in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_text_rendering(self, inventory):
+        log, tuples = inventory
+        report = optimize_inventory(log, tuples, budget=4)
+        text = report.to_text()
+        assert "inventory: 8 listings" in text
+        assert "top listings:" in text
+
+    def test_empty_report_statistics(self):
+        report = InventoryReport([], 3)
+        assert report.mean_visibility == 0.0
+        assert report.total_visibility == 0

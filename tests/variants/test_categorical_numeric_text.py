@@ -1,0 +1,233 @@
+"""Tests for the categorical, numeric and text variant reductions."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core import BruteForceSolver, ConsumeAttrSolver, MaxFreqItemsetsSolver
+from repro.data import generate_ads_corpus, generate_categorical, generate_numeric
+from repro.data.categorical import CategoricalSchema
+from repro.data.numeric import NumericDataset, Range
+from repro.variants import (
+    reduce_categorical_to_boolean,
+    reduce_numeric_to_boolean,
+    select_ad_keywords,
+    solve_categorical,
+    solve_numeric,
+)
+
+
+class TestCategoricalReduction:
+    @pytest.fixture
+    def schema(self):
+        return CategoricalSchema(
+            {"make": ("honda", "ford"), "color": ("red", "blue"), "body": ("sedan", "suv")}
+        )
+
+    def test_matching_conditions_become_demands(self, schema):
+        log = [{"make": "honda"}, {"make": "honda", "color": "red"}]
+        new_tuple = {"make": "honda", "color": "red", "body": "sedan"}
+        problem, bool_schema = reduce_categorical_to_boolean(schema, log, new_tuple)
+        assert len(problem.log) == 2
+        assert bool_schema.names_of(problem.log[1]) == ["make", "color"]
+
+    def test_mismatching_queries_dropped(self, schema):
+        log = [{"make": "ford"}, {"color": "red"}]
+        new_tuple = {"make": "honda", "color": "red", "body": "sedan"}
+        problem, _ = reduce_categorical_to_boolean(schema, log, new_tuple)
+        assert len(problem.log) == 1
+
+    def test_mismatching_queries_kept_with_marker(self, schema):
+        log = [{"make": "ford"}]
+        new_tuple = {"make": "honda", "color": "red", "body": "sedan"}
+        problem, bool_schema = reduce_categorical_to_boolean(
+            schema, log, new_tuple, drop_unsatisfiable=False
+        )
+        assert len(problem.log) == 1
+        # the marker bit is outside the new tuple -> query unsatisfiable
+        assert problem.log[0] & ~problem.new_tuple
+
+    def test_incomplete_tuple_rejected(self, schema):
+        with pytest.raises(ValidationError):
+            reduce_categorical_to_boolean(schema, [], {"make": "honda"})
+
+    def test_solve_returns_values(self, schema):
+        log = [
+            {"make": "honda"},
+            {"make": "honda", "color": "red"},
+            {"body": "suv"},
+        ]
+        new_tuple = {"make": "honda", "color": "red", "body": "sedan"}
+        result = solve_categorical(BruteForceSolver(), schema, log, new_tuple, 2)
+        assert result.kept == {"make": "honda", "color": "red"}
+        assert result.satisfied == 2
+
+    def test_generated_dataset_round_trip(self):
+        dataset = generate_categorical(rows=30, queries=40, seed=3)
+        new_tuple = dataset.rows[0]
+        exact = solve_categorical(
+            MaxFreqItemsetsSolver(), dataset.schema, dataset.query_log, new_tuple, 3
+        )
+        greedy = solve_categorical(
+            ConsumeAttrSolver(), dataset.schema, dataset.query_log, new_tuple, 3
+        )
+        assert greedy.satisfied <= exact.satisfied
+        assert set(exact.kept) <= set(new_tuple)
+
+
+class TestNumericReduction:
+    def test_paper_reduction_semantics(self):
+        attributes = ["price", "weight"]
+        log = [
+            {"price": Range(100, 200)},                      # contains 150
+            {"price": Range(0, 50)},                          # misses 150
+            {"price": Range(100, 300), "weight": Range(0, 10)},  # second misses
+        ]
+        new_tuple = {"price": 150.0, "weight": 20.0}
+        bool_log, tuple_mask, schema = reduce_numeric_to_boolean(
+            attributes, log, new_tuple
+        )
+        assert len(bool_log) == 3
+        assert schema.names_of(bool_log[0]) == ["price"]
+        # missed conditions raise the impossible marker
+        assert "__out_of_range__" in schema.names_of(bool_log[1])
+        assert "__out_of_range__" in schema.names_of(bool_log[2])
+        # the Boolean tuple is all-ones over real attributes, marker off
+        assert schema.names_of(tuple_mask) == attributes
+
+    def test_solve_numeric_exactness(self):
+        dataset = generate_numeric(rows=50, queries=60, seed=5)
+        new_tuple = dict(dataset.rows[0])
+        exact = solve_numeric(BruteForceSolver(), dataset, new_tuple, 3)
+        # verify against direct counting: a query is satisfied iff all its
+        # conditions are on kept attributes and contain the tuple's value
+        kept = set(exact.kept)
+        direct = sum(
+            1
+            for query in dataset.query_log
+            if all(
+                attribute in kept and rng.contains(new_tuple[attribute])
+                for attribute, rng in query.items()
+            )
+        )
+        assert direct == exact.satisfied
+
+    def test_incomplete_tuple_rejected(self):
+        with pytest.raises(ValidationError):
+            reduce_numeric_to_boolean(["a"], [], {})
+
+    def test_budget_zero(self):
+        dataset = generate_numeric(rows=10, queries=10, seed=6)
+        result = solve_numeric(BruteForceSolver(), dataset, dict(dataset.rows[0]), 0)
+        assert result.kept == {}
+
+
+class TestTextVariant:
+    def test_keywords_come_from_ad(self):
+        selection = select_ad_keywords(
+            "sunny two bedroom apartment downtown",
+            [["sunny"], ["downtown", "apartment"], ["castle"]],
+            budget=2,
+        )
+        assert set(selection.keywords) <= {
+            "sunny", "two", "bedroom", "apartment", "downtown",
+        }
+        assert len(selection.keywords) == 2
+
+    def test_exact_solver_beats_or_ties_greedy(self):
+        corpus, log = generate_ads_corpus(documents=60, queries=80, seed=7)
+        ad = "sunny two bedroom apartment with parking and balcony downtown"
+        greedy = select_ad_keywords(ad, log, 3, corpus=corpus)
+        exact = select_ad_keywords(ad, log, 3, solver=MaxFreqItemsetsSolver(), corpus=corpus)
+        assert greedy.satisfied_queries <= exact.satisfied_queries
+
+    def test_satisfied_query_semantics(self):
+        log = [["a", "b"], ["a"], ["c"]]
+        selection = select_ad_keywords("a b x y", log, budget=2,
+                                       solver=BruteForceSolver())
+        # keeping {a, b} satisfies both first queries
+        assert selection.satisfied_queries == 2
+
+    def test_empty_ad_rejected(self):
+        with pytest.raises(ValidationError):
+            select_ad_keywords("!!!", [["a"]], 1)
+
+    def test_vocabulary_size_reported(self):
+        corpus, log = generate_ads_corpus(documents=30, queries=10, seed=8)
+        selection = select_ad_keywords("apartment rent downtown", log, 1, corpus=corpus)
+        assert selection.vocabulary_size == len(corpus.vocabulary)
+
+
+class TestTextTopkVariant:
+    @pytest.fixture
+    def small_corpus(self):
+        from repro.retrieval.text import TextDatabase
+
+        return TextDatabase(
+            [
+                "sunny apartment downtown",
+                "quiet apartment parking",
+                "sunny house garden",
+                "downtown loft parking",
+            ]
+        )
+
+    def test_selection_within_ad_and_budget(self, small_corpus):
+        from repro.variants.text import select_ad_keywords_topk
+
+        selection = select_ad_keywords_topk(
+            "sunny downtown apartment with parking",
+            [["sunny"], ["downtown", "apartment"], ["parking"]],
+            budget=2,
+            corpus=small_corpus,
+            k=2,
+        )
+        assert len(selection.keywords) <= 2
+        assert set(selection.keywords) <= {"sunny", "downtown", "apartment", "with", "parking"}
+        assert selection.algorithm == "GreedyBm25TopK"
+
+    def test_visibility_counts_topk_membership(self, small_corpus):
+        from repro.retrieval.text import Bm25Scorer, TextDatabase
+        from repro.variants.text import select_ad_keywords_topk
+
+        query_log = [["sunny"], ["parking"], ["garden"]]
+        selection = select_ad_keywords_topk(
+            "sunny parking", query_log, budget=2, corpus=small_corpus, k=10
+        )
+        # verify the reported count by re-ranking manually
+        extended = TextDatabase(
+            small_corpus.raw_documents + [" ".join(selection.keywords)]
+        )
+        scorer = Bm25Scorer(extended)
+        ad_index = len(extended) - 1
+        manual = sum(
+            1
+            for query in query_log
+            if any(i == ad_index for i, _ in scorer.top_k(query, 10))
+        )
+        assert manual == selection.satisfied_queries
+
+    def test_small_k_reduces_visibility(self, small_corpus):
+        from repro.variants.text import select_ad_keywords_topk
+
+        query_log = [["apartment"], ["sunny"], ["parking"], ["downtown"]]
+        wide = select_ad_keywords_topk(
+            "sunny downtown apartment parking", query_log, 3, small_corpus, k=10
+        )
+        narrow = select_ad_keywords_topk(
+            "sunny downtown apartment parking", query_log, 3, small_corpus, k=1
+        )
+        assert narrow.satisfied_queries <= wide.satisfied_queries
+
+    def test_empty_ad_rejected(self, small_corpus):
+        from repro.common.errors import ValidationError
+        from repro.variants.text import select_ad_keywords_topk
+
+        with pytest.raises(ValidationError):
+            select_ad_keywords_topk(" . ", [["a"]], 1, small_corpus)
+
+    def test_negative_budget_rejected(self, small_corpus):
+        from repro.common.errors import ValidationError
+        from repro.variants.text import select_ad_keywords_topk
+
+        with pytest.raises(ValidationError):
+            select_ad_keywords_topk("sunny", [["sunny"]], -1, small_corpus)

@@ -1,0 +1,88 @@
+"""Tests for SOC-CB-D and the per-attribute variant."""
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.core import (
+    BruteForceSolver,
+    ConsumeAttrSolver,
+    MaxFreqItemsetsSolver,
+    VisibilityProblem,
+)
+from repro.variants import solve_cbd, solve_per_attribute
+from repro.variants.cbd import database_visibility_problem
+
+
+class TestCbd:
+    def test_paper_example(self, paper_database, paper_tuple):
+        solution = solve_cbd(MaxFreqItemsetsSolver(), paper_database, paper_tuple, 4)
+        assert solution.satisfied == 4
+        assert solution.kept_attributes == [
+            "ac", "four_door", "power_doors", "power_brakes",
+        ]
+
+    def test_problem_construction(self, paper_database, paper_tuple):
+        problem = database_visibility_problem(paper_database, paper_tuple, 4)
+        assert problem.log is paper_database
+        assert problem.budget == 4
+
+    def test_any_solver_works(self, paper_database, paper_tuple):
+        exact = solve_cbd(BruteForceSolver(), paper_database, paper_tuple, 4)
+        greedy = solve_cbd(ConsumeAttrSolver(), paper_database, paper_tuple, 4)
+        assert greedy.satisfied <= exact.satisfied
+
+    def test_domination_semantics(self, paper_database, paper_tuple):
+        """satisfied counts exactly the dominated database rows."""
+        solution = solve_cbd(BruteForceSolver(), paper_database, paper_tuple, 4)
+        dominated = sum(
+            1 for row in paper_database if row & solution.keep_mask == row
+        )
+        assert dominated == solution.satisfied
+
+
+class TestPerAttribute:
+    def test_sweep_covers_all_budgets(self, paper_log, paper_tuple):
+        result = solve_per_attribute(MaxFreqItemsetsSolver(), paper_log, paper_tuple)
+        assert set(result.sweep) == set(range(1, 6))  # |t| = 5
+
+    def test_best_ratio_on_paper_example(self, paper_log, paper_tuple):
+        result = solve_per_attribute(BruteForceSolver(), paper_log, paper_tuple)
+        # best ratio: 3 queries / 3 attributes = 1.0
+        assert result.ratio == pytest.approx(1.0)
+        assert result.best.satisfied == 3
+        assert result.best.keep_mask.bit_count() == 3
+
+    def test_padding_stripped_from_sweep(self, paper_log, paper_tuple):
+        """At m=5 the optimum needs only 4 attributes (auto_trans helps no
+        query); the padded fifth must be stripped or the ratio objective
+        would be corrupted."""
+        result = solve_per_attribute(BruteForceSolver(), paper_log, paper_tuple)
+        entry = result.sweep[5]
+        assert entry.satisfied == 4
+        assert entry.keep_mask.bit_count() == 4
+
+    def test_ratio_is_consistent(self, paper_log, paper_tuple):
+        result = solve_per_attribute(BruteForceSolver(), paper_log, paper_tuple)
+        best = result.best
+        assert result.ratio == pytest.approx(
+            best.satisfied / best.keep_mask.bit_count()
+        )
+
+    def test_empty_tuple(self, paper_log):
+        result = solve_per_attribute(BruteForceSolver(), paper_log, 0)
+        assert result.ratio == 0.0
+        assert result.best.satisfied == 0
+
+    def test_tie_broken_toward_fewer_attributes(self):
+        schema = Schema.anonymous(4)
+        # {a0} satisfied by 2 queries; {a1,a2} by 4 -> ratios 2.0 vs 2.0;
+        # prefer the single attribute
+        log = BooleanTable(schema, [0b0001] * 2 + [0b0110] * 4)
+        result = solve_per_attribute(BruteForceSolver(), log, 0b0111)
+        assert result.ratio == pytest.approx(2.0)
+        assert result.best.keep_mask.bit_count() == 1
+
+    def test_greedy_solver_allowed(self, paper_log, paper_tuple):
+        result = solve_per_attribute(ConsumeAttrSolver(), paper_log, paper_tuple)
+        exact = solve_per_attribute(BruteForceSolver(), paper_log, paper_tuple)
+        assert result.ratio <= exact.ratio + 1e-9

@@ -1,0 +1,148 @@
+"""Tests for the costed (heterogeneous attribute cost) extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import ValidationError
+from repro.core import BruteForceSolver, VisibilityProblem
+from repro.variants.costed import (
+    CostedVisibilityProblem,
+    solve_costed_brute_force,
+    solve_costed_density_greedy,
+    solve_costed_ilp,
+)
+
+
+class TestProblemValidation:
+    def test_cost_length_checked(self, paper_log, paper_tuple):
+        with pytest.raises(ValidationError):
+            CostedVisibilityProblem(paper_log, paper_tuple, (1.0,), 3.0)
+
+    def test_negative_cost_rejected(self, paper_log, paper_tuple):
+        with pytest.raises(ValidationError):
+            CostedVisibilityProblem(paper_log, paper_tuple, (-1.0,) * 6, 3.0)
+
+    def test_negative_budget_rejected(self, paper_log, paper_tuple):
+        with pytest.raises(ValidationError):
+            CostedVisibilityProblem(paper_log, paper_tuple, (1.0,) * 6, -1.0)
+
+    def test_evaluate_enforces_budget(self, paper_log, paper_schema, paper_tuple):
+        problem = CostedVisibilityProblem(paper_log, paper_tuple, (2.0,) * 6, 3.0)
+        with pytest.raises(ValidationError):
+            problem.evaluate(paper_schema.mask_of(["ac", "four_door"]))  # cost 4 > 3
+
+
+class TestUnitCostsReduceToOriginal:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_matches_cardinality_solvers(self, data):
+        width = data.draw(st.integers(2, 6))
+        schema = Schema.anonymous(width)
+        queries = [
+            data.draw(st.integers(1, (1 << width) - 1))
+            for _ in range(data.draw(st.integers(0, 12)))
+        ]
+        log = BooleanTable(schema, queries)
+        new_tuple = data.draw(st.integers(0, (1 << width) - 1))
+        budget = data.draw(st.integers(0, width))
+        plain = BruteForceSolver().solve(VisibilityProblem(log, new_tuple, budget))
+        costed = CostedVisibilityProblem.with_unit_costs(log, new_tuple, budget)
+        assert solve_costed_brute_force(costed).satisfied == plain.satisfied
+        assert solve_costed_ilp(costed).satisfied == plain.satisfied
+
+
+class TestHeterogeneousCosts:
+    @pytest.fixture
+    def problem(self, paper_log, paper_tuple):
+        # power_doors is expensive; everything else cheap
+        costs = (1.0, 1.0, 1.0, 5.0, 1.0, 1.0)
+        return CostedVisibilityProblem(paper_log, paper_tuple, costs, 4.0)
+
+    def test_expensive_attribute_excluded_when_budget_tight(
+        self, problem, paper_schema
+    ):
+        solution = solve_costed_ilp(problem)
+        # budget 4 cannot afford power_doors (5); the best affordable
+        # selection satisfies only q1 = {ac, four_door}
+        assert solution.satisfied == 1
+        assert not solution.keep_mask & paper_schema.mask_of(["power_doors"])
+
+    def test_larger_budget_recovers_power_doors(self, paper_log, paper_tuple, paper_schema):
+        costs = (1.0, 1.0, 1.0, 5.0, 1.0, 1.0)
+        problem = CostedVisibilityProblem(paper_log, paper_tuple, costs, 7.0)
+        solution = solve_costed_ilp(problem)
+        assert solution.keep_mask & paper_schema.mask_of(["power_doors"])
+        assert solution.satisfied == 3
+
+    def test_brute_force_agrees(self, problem):
+        assert (
+            solve_costed_brute_force(problem).satisfied
+            == solve_costed_ilp(problem).satisfied
+        )
+
+    def test_cost_reported(self, problem):
+        solution = solve_costed_ilp(problem)
+        assert solution.cost == problem.cost_of(solution.keep_mask)
+        assert solution.cost <= problem.budget + 1e-9
+
+    def test_zero_cost_attributes_are_free(self, paper_log, paper_tuple):
+        problem = CostedVisibilityProblem(
+            paper_log, paper_tuple, (0.0,) * 6, 0.0
+        )
+        solution = solve_costed_ilp(problem)
+        # everything is free: keep the whole tuple, satisfy all 4 satisfiable
+        assert solution.satisfied == 4
+
+    @pytest.mark.parametrize("backend", ["native", "scipy"])
+    def test_backends_agree(self, backend, problem):
+        if backend == "scipy":
+            pytest.importorskip("scipy")
+        assert solve_costed_ilp(problem, backend).satisfied == 1
+
+
+class TestDensityGreedy:
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_bounded_and_feasible(self, data):
+        width = data.draw(st.integers(2, 6))
+        schema = Schema.anonymous(width)
+        queries = [
+            data.draw(st.integers(1, (1 << width) - 1))
+            for _ in range(data.draw(st.integers(0, 10)))
+        ]
+        log = BooleanTable(schema, queries)
+        new_tuple = data.draw(st.integers(0, (1 << width) - 1))
+        costs = tuple(
+            float(data.draw(st.integers(1, 4))) for _ in range(width)
+        )
+        budget = float(data.draw(st.integers(0, 4 * width)))
+        problem = CostedVisibilityProblem(log, new_tuple, costs, budget)
+        greedy = solve_costed_density_greedy(problem)
+        exact = solve_costed_brute_force(problem)
+        assert greedy.satisfied <= exact.satisfied
+        assert greedy.cost <= budget + 1e-9
+        assert greedy.keep_mask & ~new_tuple == 0
+
+    def test_prefers_cheap_equally_useful_attribute(self):
+        schema = Schema.anonymous(3)
+        log = BooleanTable(schema, [0b001] * 3 + [0b010] * 3)
+        # a0 and a1 complete equally many queries; a0 is cheaper
+        problem = CostedVisibilityProblem(log, 0b011, (1.0, 3.0, 1.0), 1.0)
+        greedy = solve_costed_density_greedy(problem)
+        assert greedy.keep_mask == 0b001
+
+
+class TestBudgetGuard:
+    def test_brute_force_node_budget(self, paper_log, paper_tuple):
+        from repro.common.errors import SolverBudgetExceededError
+
+        problem = CostedVisibilityProblem.with_unit_costs(paper_log, paper_tuple, 3)
+        with pytest.raises(SolverBudgetExceededError):
+            solve_costed_brute_force(problem, max_nodes=2)
+
+    def test_unknown_backend(self, paper_log, paper_tuple):
+        problem = CostedVisibilityProblem.with_unit_costs(paper_log, paper_tuple, 3)
+        with pytest.raises(ValidationError):
+            solve_costed_ilp(problem, backend="xpress")

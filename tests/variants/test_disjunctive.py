@@ -1,0 +1,102 @@
+"""Tests for the disjunctive-retrieval extension variant."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import ValidationError
+from repro.core import VisibilityProblem
+from repro.variants.disjunctive import (
+    disjunctive_satisfied_count,
+    solve_disjunctive_brute_force,
+    solve_disjunctive_greedy,
+    solve_disjunctive_ilp,
+)
+
+
+class TestSemantics:
+    def test_any_shared_attribute_counts(self):
+        schema = Schema.anonymous(4)
+        log = BooleanTable(schema, [0b0011, 0b1100, 0b1000])
+        assert disjunctive_satisfied_count(log, 0b0001) == 1
+        assert disjunctive_satisfied_count(log, 0b1001) == 3
+
+    def test_empty_keep_covers_nothing(self):
+        schema = Schema.anonymous(3)
+        log = BooleanTable(schema, [0b001])
+        assert disjunctive_satisfied_count(log, 0) == 0
+
+    def test_disjunctive_at_least_conjunctive(self, paper_problem):
+        """Sharing one attribute is weaker than containing all of them."""
+        from repro.booldata.ops import satisfied_count
+
+        keep = paper_problem.pad_to_budget(0)
+        assert disjunctive_satisfied_count(
+            paper_problem.log, keep
+        ) >= satisfied_count(paper_problem.log, keep)
+
+
+class TestExactness:
+    def test_paper_example(self, paper_log, paper_tuple):
+        problem = VisibilityProblem(paper_log, paper_tuple, 2)
+        _, ilp = solve_disjunctive_ilp(problem)
+        _, brute = solve_disjunctive_brute_force(problem)
+        assert ilp == brute
+        # {four_door or power_doors} + anything touches 4 of 5 queries
+        assert brute >= 4
+
+    def test_unknown_backend_rejected(self, paper_log, paper_tuple):
+        with pytest.raises(ValidationError):
+            solve_disjunctive_ilp(VisibilityProblem(paper_log, paper_tuple, 2), "cplex")
+
+    @pytest.mark.parametrize("backend", ["native", "scipy"])
+    def test_backends_agree(self, backend, paper_log, paper_tuple):
+        if backend == "scipy":
+            pytest.importorskip("scipy")
+        problem = VisibilityProblem(paper_log, paper_tuple, 3)
+        _, value = solve_disjunctive_ilp(problem, backend)
+        _, brute = solve_disjunctive_brute_force(problem)
+        assert value == brute
+
+
+class TestGreedyGuarantee:
+    def test_greedy_bounded_by_optimum(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            width = rng.randint(2, 7)
+            schema = Schema.anonymous(width)
+            log = BooleanTable(
+                schema, [rng.getrandbits(width) or 1 for _ in range(rng.randint(1, 15))]
+            )
+            problem = VisibilityProblem(log, rng.getrandbits(width), rng.randint(0, width))
+            _, greedy = solve_disjunctive_greedy(problem)
+            _, optimum = solve_disjunctive_brute_force(problem)
+            assert greedy <= optimum
+            # classic coverage guarantee (integer-safe: 0.63 < 1 - 1/e)
+            assert greedy >= 0.63 * optimum - 1e-9
+
+    def test_greedy_reports_consistent_count(self, paper_log, paper_tuple):
+        problem = VisibilityProblem(paper_log, paper_tuple, 2)
+        keep, covered = solve_disjunctive_greedy(problem)
+        assert covered == disjunctive_satisfied_count(paper_log, keep)
+        assert keep & ~paper_tuple == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_ilp_matches_brute_force_property(data):
+    width = data.draw(st.integers(2, 6))
+    schema = Schema.anonymous(width)
+    queries = data.draw(
+        st.lists(st.integers(1, (1 << width) - 1), max_size=12)
+    )
+    log = BooleanTable(schema, queries)
+    new_tuple = data.draw(st.integers(0, (1 << width) - 1))
+    budget = data.draw(st.integers(0, width))
+    problem = VisibilityProblem(log, new_tuple, budget)
+    _, ilp = solve_disjunctive_ilp(problem)
+    _, brute = solve_disjunctive_brute_force(problem)
+    assert ilp == brute

@@ -1,0 +1,137 @@
+"""Hypothesis property tests for the variant reductions.
+
+Each reduction must be *semantics-preserving*: solving the reduced
+Boolean instance and re-evaluating the answer in the original domain
+must agree with direct evaluation in that domain.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BruteForceSolver
+from repro.data.categorical import CategoricalSchema
+from repro.data.numeric import NumericDataset, Range
+from repro.variants import solve_categorical, solve_numeric
+from repro.variants.categorical import reduce_categorical_to_boolean
+from repro.variants.numeric import reduce_numeric_to_boolean
+
+
+@st.composite
+def categorical_instance(draw):
+    attribute_count = draw(st.integers(1, 4))
+    domains = {
+        f"attr{i}": tuple(f"v{j}" for j in range(draw(st.integers(2, 3))))
+        for i in range(attribute_count)
+    }
+    schema = CategoricalSchema(domains)
+    new_tuple = {
+        attribute: draw(st.sampled_from(domain))
+        for attribute, domain in domains.items()
+    }
+    query_count = draw(st.integers(0, 8))
+    queries = []
+    for _ in range(query_count):
+        chosen = draw(
+            st.lists(
+                st.sampled_from(sorted(domains)), min_size=1,
+                max_size=attribute_count, unique=True,
+            )
+        )
+        queries.append(
+            {attribute: draw(st.sampled_from(domains[attribute])) for attribute in chosen}
+        )
+    budget = draw(st.integers(0, attribute_count))
+    return schema, queries, new_tuple, budget
+
+
+@settings(max_examples=40, deadline=None)
+@given(categorical_instance())
+def test_categorical_solution_counts_match_direct_evaluation(instance):
+    schema, queries, new_tuple, budget = instance
+    result = solve_categorical(BruteForceSolver(), schema, queries, new_tuple, budget)
+    kept = set(result.kept)
+    direct = sum(
+        1
+        for query in queries
+        if all(
+            attribute in kept and new_tuple[attribute] == value
+            for attribute, value in query.items()
+        )
+    )
+    assert direct == result.satisfied
+    assert len(kept) <= budget
+    for attribute, value in result.kept.items():
+        assert new_tuple[attribute] == value
+
+
+@settings(max_examples=40, deadline=None)
+@given(categorical_instance())
+def test_categorical_reduction_row_semantics(instance):
+    schema, queries, new_tuple, budget = instance
+    problem, bool_schema = reduce_categorical_to_boolean(
+        schema, queries, new_tuple, drop_unsatisfiable=False
+    )
+    assert len(problem.log) == len(queries)
+    for query, row in zip(queries, problem.log):
+        mismatched = any(new_tuple[a] != v for a, v in query.items())
+        has_marker = bool(row & ~problem.new_tuple)
+        assert has_marker == mismatched
+
+
+@st.composite
+def numeric_instance(draw):
+    attribute_count = draw(st.integers(1, 4))
+    attributes = [f"n{i}" for i in range(attribute_count)]
+    new_tuple = {a: float(draw(st.integers(0, 10))) for a in attributes}
+    query_count = draw(st.integers(0, 8))
+    queries = []
+    for _ in range(query_count):
+        chosen = draw(
+            st.lists(st.sampled_from(attributes), min_size=1,
+                     max_size=attribute_count, unique=True)
+        )
+        conditions = {}
+        for attribute in chosen:
+            low = draw(st.integers(0, 10))
+            high = draw(st.integers(low, 10))
+            conditions[attribute] = Range(float(low), float(high))
+        queries.append(conditions)
+    budget = draw(st.integers(0, attribute_count))
+    return attributes, queries, new_tuple, budget
+
+
+@settings(max_examples=40, deadline=None)
+@given(numeric_instance())
+def test_numeric_solution_counts_match_direct_evaluation(instance):
+    attributes, queries, new_tuple, budget = instance
+    dataset = NumericDataset(attributes, [dict(new_tuple)], queries)
+    result = solve_numeric(BruteForceSolver(), dataset, new_tuple, budget)
+    kept = set(result.kept)
+    direct = sum(
+        1
+        for query in queries
+        if all(
+            attribute in kept and rng.contains(new_tuple[attribute])
+            for attribute, rng in query.items()
+        )
+    )
+    assert direct == result.satisfied
+    assert len(kept) <= budget
+
+
+@settings(max_examples=40, deadline=None)
+@given(numeric_instance())
+def test_numeric_reduction_bit_semantics(instance):
+    attributes, queries, new_tuple, _ = instance
+    log, tuple_mask, schema = reduce_numeric_to_boolean(attributes, queries, new_tuple)
+    marker = 1 << schema.index_of("__out_of_range__")
+    for query, row in zip(queries, log):
+        any_miss = any(
+            not rng.contains(new_tuple[attribute]) for attribute, rng in query.items()
+        )
+        assert bool(row & marker) == any_miss
+        for attribute, rng in query.items():
+            bit = 1 << schema.index_of(attribute)
+            assert bool(row & bit) == rng.contains(new_tuple[attribute])
+    assert tuple_mask & marker == 0

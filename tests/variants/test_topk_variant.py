@@ -1,0 +1,176 @@
+"""Tests for the SOC-Topk variant and its reduction to SOC-CB-QL."""
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.bits import bit_count
+from repro.common.combinatorics import combinations_of_mask
+from repro.common.errors import ValidationError
+from repro.core import BruteForceSolver
+from repro.retrieval import AttributeCountScore, ExtrinsicScore
+from repro.variants import TopkVisibilityProblem, reduce_topk_to_cbql, solve_topk
+from repro.variants.topk import greedy_topk
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.anonymous(5)
+
+
+@pytest.fixture
+def database(schema) -> BooleanTable:
+    return BooleanTable(
+        schema,
+        [0b00111, 0b01111, 0b00011, 0b11000, 0b00101, 0b11111],
+    )
+
+
+@pytest.fixture
+def log(schema) -> BooleanTable:
+    return BooleanTable(
+        schema,
+        [0b00001, 0b00010, 0b00100, 0b00011, 0b01000, 0b10000],
+    )
+
+
+def brute_force_topk_optimum(problem: TopkVisibilityProblem) -> int:
+    """Oracle: enumerate all compressions, evaluate true top-k visibility."""
+    best = 0
+    size = min(problem.budget, bit_count(problem.new_tuple))
+    for keep in combinations_of_mask(problem.new_tuple, size):
+        best = max(best, problem.visibility(keep))
+    return best
+
+
+class TestValidation:
+    def test_schema_mismatch_rejected(self, database, schema):
+        other = BooleanTable(Schema.anonymous(4), [1])
+        with pytest.raises(ValidationError):
+            TopkVisibilityProblem(database, other, 0b1, 2, AttributeCountScore(), 1)
+
+    def test_bad_k_rejected(self, database, log):
+        with pytest.raises(ValidationError):
+            TopkVisibilityProblem(database, log, 0b1, 2, AttributeCountScore(), 0)
+
+
+class TestReduction:
+    def test_reduction_drops_hopeless_queries(self, database, log):
+        problem = TopkVisibilityProblem(
+            database, log, new_tuple=0b00111, budget=2,
+            scoring=AttributeCountScore(), k=1,
+        )
+        reduced = reduce_topk_to_cbql(problem)
+        # with k=1 and candidate score 2, queries matched by a higher-
+        # scoring row are hopeless
+        assert len(reduced.log) < len(log)
+
+    def test_exactness_against_oracle_attribute_count(self, database, log):
+        for budget in (1, 2, 3):
+            for k in (1, 2, 3):
+                problem = TopkVisibilityProblem(
+                    database, log, new_tuple=0b01111, budget=budget,
+                    scoring=AttributeCountScore(), k=k,
+                )
+                solution = solve_topk(BruteForceSolver(), problem)
+                achieved = problem.visibility(solution.keep_mask)
+                assert achieved == brute_force_topk_optimum(problem), (budget, k)
+                # reduced-objective value equals true top-k visibility
+                assert solution.satisfied == achieved
+
+    def test_exactness_with_extrinsic_score(self, database, log):
+        prices = [10.0, 20.0, 5.0, 40.0, 15.0, 60.0]
+        for candidate_price, k in ((30.0, 2), (1.0, 1), (100.0, 3)):
+            scoring = ExtrinsicScore(prices, candidate_price)
+            problem = TopkVisibilityProblem(
+                database, log, new_tuple=0b00111, budget=2, scoring=scoring, k=k,
+            )
+            solution = solve_topk(BruteForceSolver(), problem)
+            assert problem.visibility(solution.keep_mask) == brute_force_topk_optimum(
+                problem
+            )
+
+    def test_non_global_score_rejected(self, database, log):
+        from repro.retrieval import GlobalScore
+
+        class MaskDependent(GlobalScore):
+            def score_row(self, row_index: int, row_mask: int) -> float:
+                return 0.0
+
+            def score_candidate(self, tuple_mask: int) -> float:
+                return float(tuple_mask)  # varies with the retained set
+
+        problem = TopkVisibilityProblem(database, log, 0b00111, 2, MaskDependent(), 1)
+        with pytest.raises(ValidationError):
+            reduce_topk_to_cbql(problem)
+
+    def test_attribute_count_subclass_takes_probe_path(self, database, log):
+        """A subclass overriding score_candidate must not silently use the
+        popcount shortcut."""
+
+        class ConstantScore(AttributeCountScore):
+            def score_candidate(self, tuple_mask: int) -> float:
+                return 2.5
+
+        problem = TopkVisibilityProblem(
+            database, log, 0b00111, 2, ConstantScore(), 1
+        )
+        reduced = reduce_topk_to_cbql(problem)  # constant score: no error
+        assert len(reduced.log) <= len(log)
+
+    def test_pessimistic_ties(self, database, log):
+        problem = TopkVisibilityProblem(
+            database, log, new_tuple=0b00111, budget=3,
+            scoring=AttributeCountScore(), k=2, tie_policy="pessimistic",
+        )
+        solution = solve_topk(BruteForceSolver(), problem)
+        assert problem.visibility(solution.keep_mask) == brute_force_topk_optimum(
+            problem
+        )
+
+
+class TestGreedyTopk:
+    def test_bounded_by_oracle(self, database, log):
+        problem = TopkVisibilityProblem(
+            database, log, new_tuple=0b01111, budget=2,
+            scoring=AttributeCountScore(), k=2,
+        )
+        keep, visibility = greedy_topk(problem)
+        assert visibility <= brute_force_topk_optimum(problem)
+        assert keep & ~problem.new_tuple == 0
+        assert bit_count(keep) <= problem.budget
+
+    def test_visibility_reported_matches_mask(self, database, log):
+        problem = TopkVisibilityProblem(
+            database, log, new_tuple=0b01111, budget=2,
+            scoring=AttributeCountScore(), k=2,
+        )
+        keep, visibility = greedy_topk(problem)
+        assert visibility == problem.visibility(keep)
+
+
+class TestGreedyTopkWithPriceScoring:
+    def test_price_ranking_lower_is_better(self, database, log):
+        """greedy_topk works with any scoring, including cheap-first
+        price ranking where the new tuple's price is extrinsic."""
+        prices = [100.0, 80.0, 120.0, 50.0, 90.0, 30.0]
+        scoring = ExtrinsicScore(prices, candidate_value=60.0, higher_is_better=False)
+        problem = TopkVisibilityProblem(
+            database, log, new_tuple=0b01111, budget=3, scoring=scoring, k=2,
+        )
+        keep, visibility = greedy_topk(problem)
+        assert visibility == problem.visibility(keep)
+        assert visibility <= brute_force_topk_optimum(problem)
+
+    def test_cheaper_candidate_sees_more_queries(self, database, log):
+        """A cheaper listing survives more top-k cuts under cheap-first
+        ranking (monotonicity of the admission predicate)."""
+        prices = [100.0, 80.0, 120.0, 50.0, 90.0, 30.0]
+
+        def optimum_for(candidate_price):
+            scoring = ExtrinsicScore(prices, candidate_price, higher_is_better=False)
+            problem = TopkVisibilityProblem(
+                database, log, new_tuple=0b11111, budget=4, scoring=scoring, k=1,
+            )
+            return brute_force_topk_optimum(problem)
+
+        assert optimum_for(10.0) >= optimum_for(200.0)

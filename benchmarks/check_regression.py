@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Guard the vertical-engine timings against regressions.
+
+Re-runs the vertical side of the recorded benchmark suite and fails
+(exit code 1) if any workload got more than ``--factor`` (default 2x)
+slower than the baseline in ``BENCH_vertical.json``, or if an objective
+value drifted from the recorded one.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --factor 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from vertical_workload import MEASUREMENTS
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_vertical.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="recorded baseline (default: BENCH_vertical.json at repo root)",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=2.0,
+        help="maximum tolerated slowdown vs the recorded timing (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"error: no baseline at {args.baseline}; run the benchmark first:")
+        print("  PYTHONPATH=src python -m pytest benchmarks/test_bench_vertical_index.py")
+        return 2
+    baseline = json.loads(args.baseline.read_text())["results"]
+
+    failures = []
+    for name, measure in MEASUREMENTS.items():
+        recorded = baseline.get(name)
+        if recorded is None:
+            print(f"~ {name}: not in baseline, skipping")
+            continue
+        fresh = measure(engines=("vertical",))
+        seconds = fresh["vertical_s"]
+        budget = recorded["vertical_s"] * args.factor
+        objective_key = (
+            "objective" if "objective" in recorded else "objective_checksum"
+        )
+        status = "ok"
+        if fresh[objective_key] != recorded[objective_key]:
+            status = "OBJECTIVE DRIFT"
+            failures.append(
+                f"{name}: objective {fresh[objective_key]} != recorded "
+                f"{recorded[objective_key]}"
+            )
+        elif seconds > budget:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {seconds:.3f}s > {args.factor:.1f}x recorded "
+                f"{recorded['vertical_s']:.3f}s"
+            )
+        print(
+            f"{'x' if status != 'ok' else '.'} {name}: {seconds:.3f}s "
+            f"(recorded {recorded['vertical_s']:.3f}s, budget {budget:.3f}s) {status}"
+        )
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nvertical engine within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

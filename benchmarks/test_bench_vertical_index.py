@@ -1,0 +1,47 @@
+"""A/B benchmark: vertical bitmap index vs naive row-major engine.
+
+Records end-to-end speedups on seeded, fixed-size workloads into
+``BENCH_vertical.json`` at the repo root (the baseline that
+``check_regression.py`` guards).  The acceptance bar of the vertical-
+index PR: on 100k queries x 64 attributes, ConsumeAttrCumul and
+brute-force objective evaluation must be >= 10x faster with identical
+objective values.
+
+Run explicitly (the tier-1 suite does not collect ``benchmarks/``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_vertical_index.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+from vertical_workload import run_suite, suite_meta
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_vertical.json"
+
+
+def test_vertical_engine_speedups():
+    results = run_suite()
+
+    for name, result in results.items():
+        assert result.get("objectives_match", result.get("values_match")), (
+            f"{name}: engines disagree on the objective"
+        )
+    # the ISSUE's acceptance bar, on the 100k x 64 workload
+    assert results["consume_attr_cumul_100k"]["speedup"] >= 10.0
+    assert results["objective_eval_100k"]["speedup"] >= 10.0
+
+    payload = {
+        "meta": {**suite_meta(), "python": platform.python_version()},
+        "results": results,
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    for name, result in results.items():
+        print(
+            f"{name}: naive {result['naive_s']:.3f}s"
+            f" vertical {result['vertical_s']:.3f}s"
+            f" speedup {result['speedup']:.1f}x"
+        )

@@ -1,0 +1,162 @@
+"""Shared A/B measurement harness for the vertical bitmap index.
+
+Used by two entry points:
+
+* ``test_bench_vertical_index.py`` — records naive-vs-vertical timings
+  for the hot paths into ``BENCH_vertical.json`` (repo root);
+* ``check_regression.py`` — re-runs the *vertical* side only and fails
+  if timings regressed more than 2x against the recorded baseline.
+
+Everything is seeded and fixed-size so recorded numbers are comparable
+across runs on the same machine class.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.bits import random_mask
+from repro.core import VisibilityProblem, make_solver
+from repro.data import synthetic_workload
+
+SEED = 20080406  # the paper's conference date
+WIDTH = 64
+TUPLE_SIZE = 56  # dense tuple => most queries satisfiable, worst case for scans
+BUDGET = 10
+LARGE_LOG = 100_000  # the ISSUE's acceptance scale
+SMALL_LOG = 20_000  # secondary series, keeps the naive side affordable
+EVAL_CANDIDATES = 200
+
+_LOG_CACHE: dict[int, BooleanTable] = {}
+
+
+def _log_rows(size: int) -> BooleanTable:
+    if size not in _LOG_CACHE:
+        _LOG_CACHE[size] = synthetic_workload(
+            Schema.anonymous(WIDTH), size, seed=SEED
+        )
+    return _LOG_CACHE[size]
+
+
+def fresh_problem(
+    size: int, tuple_size: int = TUPLE_SIZE, budget: int = BUDGET
+) -> VisibilityProblem:
+    """A problem over a *fresh* table so no cached index leaks between
+    engine runs (the generated rows themselves are cached)."""
+    log = _log_rows(size)
+    table = BooleanTable(log.schema, list(log))
+    new_tuple = random_mask(WIDTH, tuple_size, random.Random(SEED + 1))
+    return VisibilityProblem(table, new_tuple, budget)
+
+
+def _candidate_masks(problem: VisibilityProblem) -> list[int]:
+    """Seeded random budget-sized keep-masks (the brute-force evaluation
+    workload: score many candidate compressions against the full log)."""
+    rng = random.Random(SEED + 2)
+    attributes = [
+        attribute
+        for attribute in range(WIDTH)
+        if problem.new_tuple >> attribute & 1
+    ]
+    masks = []
+    for _ in range(EVAL_CANDIDATES):
+        keep = 0
+        for attribute in rng.sample(attributes, problem.budget):
+            keep |= 1 << attribute
+        masks.append(keep)
+    return masks
+
+
+def measure_solver(
+    algorithm: str,
+    size: int,
+    engines: tuple[str, ...] = ("naive", "vertical"),
+    tuple_size: int = TUPLE_SIZE,
+    budget: int = BUDGET,
+) -> dict:
+    """Time one solver end-to-end (index construction included) per engine."""
+    result: dict = {"algorithm": algorithm, "log_size": size, "budget": budget}
+    objectives = {}
+    for engine in engines:
+        problem = fresh_problem(size, tuple_size, budget)
+        solver = make_solver(algorithm, engine=engine)
+        start = time.perf_counter()
+        solution = solver.solve(problem)
+        result[f"{engine}_s"] = round(time.perf_counter() - start, 6)
+        objectives[engine] = solution.satisfied
+    result["objective"] = objectives[engines[-1]]
+    if len(engines) == 2:
+        result["objectives_match"] = objectives["naive"] == objectives["vertical"]
+        result["speedup"] = round(result["naive_s"] / result["vertical_s"], 2)
+    return result
+
+
+def measure_objective_evaluation(
+    size: int, engines: tuple[str, ...] = ("naive", "vertical")
+) -> dict:
+    """Time brute-force objective evaluation of many candidate masks.
+
+    Naive: one row-major log scan per candidate (``problem.evaluate`` on
+    a cold table).  Vertical: ``problem.evaluate_many`` — index built
+    once inside the timed region, then one wide expression per candidate.
+    """
+    result: dict = {
+        "workload": "objective_evaluation",
+        "log_size": size,
+        "candidates": EVAL_CANDIDATES,
+    }
+    checksums = {}
+    for engine in engines:
+        problem = fresh_problem(size)
+        masks = _candidate_masks(problem)
+        start = time.perf_counter()
+        if engine == "vertical":
+            values = problem.evaluate_many(masks)
+        else:
+            values = [problem.evaluate(mask) for mask in masks]
+        result[f"{engine}_s"] = round(time.perf_counter() - start, 6)
+        checksums[engine] = sum(values)
+    result["objective_checksum"] = checksums[engines[-1]]
+    if len(engines) == 2:
+        result["values_match"] = checksums["naive"] == checksums["vertical"]
+        result["speedup"] = round(result["naive_s"] / result["vertical_s"], 2)
+    return result
+
+
+#: name -> zero-argument measurement, the recorded benchmark suite
+MEASUREMENTS = {
+    "consume_attr_cumul_100k": lambda engines=("naive", "vertical"): measure_solver(
+        "ConsumeAttrCumul", LARGE_LOG, engines
+    ),
+    "objective_eval_100k": lambda engines=("naive", "vertical"): (
+        measure_objective_evaluation(LARGE_LOG, engines)
+    ),
+    "coverage_greedy_20k": lambda engines=("naive", "vertical"): measure_solver(
+        "CoverageGreedy", SMALL_LOG, engines
+    ),
+    "consume_queries_20k": lambda engines=("naive", "vertical"): measure_solver(
+        "ConsumeQueries", SMALL_LOG, engines
+    ),
+    # a narrower tuple keeps C(pool, m) enumerable for both engines
+    "brute_force_20k": lambda engines=("naive", "vertical"): measure_solver(
+        "BruteForce", SMALL_LOG, engines, tuple_size=18, budget=6
+    ),
+}
+
+
+def run_suite(engines: tuple[str, ...] = ("naive", "vertical")) -> dict:
+    return {name: measure(engines) for name, measure in MEASUREMENTS.items()}
+
+
+def suite_meta() -> dict:
+    return {
+        "seed": SEED,
+        "width": WIDTH,
+        "tuple_size": TUPLE_SIZE,
+        "budget": BUDGET,
+        "large_log": LARGE_LOG,
+        "small_log": SMALL_LOG,
+        "eval_candidates": EVAL_CANDIDATES,
+    }

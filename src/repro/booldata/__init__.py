@@ -7,6 +7,7 @@ ordered collection of masks sharing a schema and serves both as the
 product database ``D`` and as the query log ``Q`` of the paper.
 """
 
+from repro.booldata.index import ENGINES, VerticalIndex
 from repro.booldata.io import (
     load_table_csv,
     load_table_json,
@@ -28,6 +29,8 @@ from repro.booldata.table import BooleanTable
 __all__ = [
     "Schema",
     "BooleanTable",
+    "VerticalIndex",
+    "ENGINES",
     "dominates",
     "satisfies",
     "satisfied_count",

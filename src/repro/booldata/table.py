@@ -11,11 +11,34 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
 
+from repro.booldata.index import VerticalIndex
 from repro.booldata.schema import Schema
 from repro.common.bits import bit_count
 from repro.common.errors import ValidationError
 
-__all__ = ["BooleanTable"]
+__all__ = ["BooleanTable", "count_attribute_frequencies"]
+
+
+def count_attribute_frequencies(
+    rows: Iterable[int], width: int, pool: int | None = None
+) -> list[int]:
+    """Per-attribute occurrence counts across row masks (row-major).
+
+    The one shared counting loop behind
+    :meth:`BooleanTable.attribute_frequencies` and the naive-engine
+    greedy solvers; ``pool`` restricts counting to a subset of
+    attributes.  Index-backed callers use
+    :meth:`~repro.booldata.index.VerticalIndex.attribute_frequencies`
+    instead, which returns the same list as column popcounts.
+    """
+    counts = [0] * width
+    for row in rows:
+        remaining = row if pool is None else row & pool
+        while remaining:
+            low = remaining & -remaining
+            counts[low.bit_length() - 1] += 1
+            remaining ^= low
+    return counts
 
 
 class BooleanTable:
@@ -29,11 +52,12 @@ class BooleanTable:
     5
     """
 
-    __slots__ = ("schema", "_rows")
+    __slots__ = ("schema", "_rows", "_index")
 
     def __init__(self, schema: Schema, rows: Iterable[int] = ()) -> None:
         self.schema = schema
         self._rows: list[int] = [schema.validate_mask(row) for row in rows]
+        self._index: VerticalIndex | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -49,6 +73,7 @@ class BooleanTable:
 
     def append(self, row: int) -> None:
         self._rows.append(self.schema.validate_mask(row))
+        self._index = None  # row positions shifted under the index
 
     def extend(self, rows: Iterable[int]) -> None:
         for row in rows:
@@ -73,6 +98,24 @@ class BooleanTable:
     def __repr__(self) -> str:
         return f"BooleanTable(width={self.schema.width}, rows={len(self._rows)})"
 
+    # -- vertical index ----------------------------------------------------
+
+    def vertical_index(self) -> VerticalIndex:
+        """Attribute-major bitset index over the rows (built lazily, cached).
+
+        Invalidated by :meth:`append` / :meth:`extend`; every batch
+        evaluation and vertical-engine solver shares the one instance.
+        """
+        if self._index is None:
+            self._index = VerticalIndex(self.schema.width, self._rows)
+        return self._index
+
+    @property
+    def cached_vertical_index(self) -> VerticalIndex | None:
+        """The index if already built — lets cheap one-shot callers use it
+        opportunistically without paying for construction."""
+        return self._index
+
     # -- statistics ---------------------------------------------------------
 
     @property
@@ -84,15 +127,12 @@ class BooleanTable:
         """Per-attribute occurrence counts across rows.
 
         This is exactly the statistic the ``ConsumeAttr`` greedy ranks by.
+        Served as column popcounts when the vertical index is built, and
+        by the shared :func:`count_attribute_frequencies` loop otherwise.
         """
-        counts = [0] * self.schema.width
-        for row in self._rows:
-            remaining = row
-            while remaining:
-                low = remaining & -remaining
-                counts[low.bit_length() - 1] += 1
-                remaining ^= low
-        return counts
+        if self._index is not None:
+            return self._index.attribute_frequencies()
+        return count_attribute_frequencies(self._rows, self.schema.width)
 
     def density(self) -> float:
         """Fraction of 1s in the bit matrix (0 for an empty table)."""

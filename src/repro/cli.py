@@ -21,7 +21,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.booldata import BooleanTable, load_table_csv, load_table_json
+from repro.booldata import ENGINES, BooleanTable, load_table_csv, load_table_json
 from repro.common.errors import ReproError
 from repro.core import available_algorithms, make_solver
 from repro.core.problem import VisibilityProblem
@@ -78,6 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="algorithm name (see `algorithms`); default MaxFreqItemSets",
     )
     solve.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="vertical",
+        help="evaluation engine for solver inner loops: 'vertical' bitmap "
+        "index (default) or the row-major 'naive' oracle",
+    )
+    solve.add_argument(
         "--against-database",
         action="store_true",
         help="SOC-CB-D: maximize dominated database rows instead of log queries",
@@ -118,7 +125,7 @@ def _run_solve(args) -> int:
             raise ReproError("--against-database requires --database")
         target = database
     problem = VisibilityProblem(target, new_tuple, args.budget)
-    solver = make_solver(args.algorithm)
+    solver = make_solver(args.algorithm, engine=args.engine)
     solution = solver.solve(problem)
 
     if args.explain:

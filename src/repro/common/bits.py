@@ -24,6 +24,7 @@ __all__ = [
     "is_subset",
     "bit_count",
     "bit_indices",
+    "iter_bit_indices",
     "first_bit",
     "from_indices",
     "mask_complement",
@@ -62,17 +63,46 @@ def bit_count(mask: int) -> int:
 def bit_indices(mask: int) -> list[int]:
     """Return the sorted list of set-bit positions.
 
+    Extracts the lowest set bit (``mask & -mask``) per step, so the cost
+    scales with the number of set bits, not the mask width.
+
     >>> bit_indices(0b1010)
     [1, 3]
     """
     indices = []
-    index = 0
     while mask:
-        if mask & 1:
-            indices.append(index)
-        mask >>= 1
-        index += 1
+        low = mask & -mask
+        indices.append(low.bit_length() - 1)
+        mask ^= low
     return indices
+
+
+#: set-bit offsets within one byte, for chunked iteration of huge masks
+_BYTE_BITS = tuple(
+    tuple(offset for offset in range(8) if value >> offset & 1)
+    for value in range(256)
+)
+
+
+def iter_bit_indices(mask: int) -> Iterator[int]:
+    """Yield set-bit positions of ``mask`` in ascending order.
+
+    Intended for *huge* masks (row bitsets over 100k-query logs):
+    ``mask`` is serialised to bytes once, so the cost is
+    O(width/8 + popcount) — repeated lowest-bit extraction would copy
+    the whole integer per set bit, degrading to O(popcount * width/64).
+
+    >>> list(iter_bit_indices(0b1010))
+    [1, 3]
+    """
+    if mask < 0:
+        raise ValueError("mask must be non-negative")
+    base = 0
+    for byte in mask.to_bytes((mask.bit_length() + 7) // 8, "little"):
+        if byte:
+            for offset in _BYTE_BITS[byte]:
+                yield base + offset
+        base += 8
 
 
 def first_bit(mask: int) -> int:

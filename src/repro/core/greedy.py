@@ -26,13 +26,23 @@ baseline the paper does not include:
 
 All solvers restrict attention to attributes of the new tuple — the
 compressed tuple may only retain attributes the product has.
+
+Every solver runs on one of two engines (constructor argument
+``engine``):
+
+* ``"vertical"`` (default) — inner loops over the
+  :class:`~repro.booldata.index.VerticalIndex`: counts become popcounts
+  of wide bitwise expressions over row bitsets, O(n/64) words per count.
+* ``"naive"`` — the paper-literal row-major Python loops, kept as the
+  correctness oracle; the engine-equivalence property tests assert both
+  return identical selections.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-
-from repro.common.bits import bit_count, bit_indices
+from repro.booldata.index import validate_engine
+from repro.booldata.table import count_attribute_frequencies
+from repro.common.bits import bit_count, bit_indices, iter_bit_indices
 from repro.core.base import Solver
 from repro.core.problem import Solution, VisibilityProblem
 
@@ -44,40 +54,54 @@ __all__ = [
 ]
 
 
-def _attribute_frequencies(queries: list[int], pool: int) -> Counter[int]:
-    """Occurrence counts of pool attributes across the queries."""
-    counts: Counter[int] = Counter()
-    for query in queries:
-        remaining = query & pool
-        while remaining:
-            low = remaining & -remaining
-            counts[low.bit_length() - 1] += 1
-            remaining ^= low
-    return counts
+class _EngineSolver(Solver):
+    """Shared engine plumbing for the engine-aware solvers."""
+
+    def __init__(self, engine: str = "vertical") -> None:
+        self.engine = validate_engine(engine)
+
+    def _satisfiable_frequencies(self, problem: VisibilityProblem) -> list[int]:
+        """Frequency of each tuple attribute among satisfiable queries.
+
+        One statistic, two engines: column popcounts on the vertical
+        index, or the shared row-major counting loop of
+        :func:`repro.booldata.table.count_attribute_frequencies`.
+        """
+        if self.engine == "vertical":
+            return problem.index.attribute_frequencies(
+                pool=problem.new_tuple, within=problem.satisfiable_tids
+            )
+        return count_attribute_frequencies(
+            problem.satisfiable_queries, problem.width, pool=problem.new_tuple
+        )
 
 
-class ConsumeAttrSolver(Solver):
+class ConsumeAttrSolver(_EngineSolver):
     """Keep the ``m`` individually most frequent attributes."""
 
     name = "ConsumeAttr"
     optimal = False
 
     def _solve(self, problem: VisibilityProblem) -> Solution:
-        queries = problem.satisfiable_queries
-        counts = _attribute_frequencies(queries, problem.new_tuple)
+        frequencies = self._satisfiable_frequencies(problem)
         ranked = sorted(
             bit_indices(problem.new_tuple),
-            key=lambda attribute: (-counts.get(attribute, 0), attribute),
+            key=lambda attribute: (-frequencies[attribute], attribute),
         )
         keep_mask = 0
         for attribute in ranked[: problem.budget]:
             keep_mask |= 1 << attribute
+        reported = {
+            attribute: frequencies[attribute]
+            for attribute in bit_indices(problem.new_tuple)
+            if frequencies[attribute]
+        }
         return self.make_solution(
-            problem, keep_mask, stats={"frequencies": dict(counts)}
+            problem, keep_mask, stats={"frequencies": reported}
         )
 
 
-class ConsumeAttrCumulSolver(Solver):
+class ConsumeAttrCumulSolver(_EngineSolver):
     """Cumulative co-occurrence greedy.
 
     Step 1 picks the most frequent attribute; step ``k`` picks the
@@ -85,14 +109,26 @@ class ConsumeAttrCumulSolver(Solver):
     previously selected attribute, breaking ties (including the all-zero
     case, common once the selected set outgrows typical query sizes) by
     individual frequency.
+
+    Vertical engine: the co-occurrence of a candidate with the selected
+    set is ``popcount(current & column(a))`` where ``current`` is the
+    running AND of the selected columns — one wide AND per candidate
+    instead of a scan over all satisfiable queries.
     """
 
     name = "ConsumeAttrCumul"
     optimal = False
 
     def _solve(self, problem: VisibilityProblem) -> Solution:
+        frequencies = self._satisfiable_frequencies(problem)
+        if self.engine == "vertical":
+            return self._solve_vertical(problem, frequencies)
+        return self._solve_naive(problem, frequencies)
+
+    def _solve_naive(
+        self, problem: VisibilityProblem, frequencies: list[int]
+    ) -> Solution:
         queries = problem.satisfiable_queries
-        counts = _attribute_frequencies(queries, problem.new_tuple)
         candidates = set(bit_indices(problem.new_tuple))
         keep_mask = 0
         for _ in range(problem.budget):
@@ -104,7 +140,7 @@ class ConsumeAttrCumulSolver(Solver):
                 cooccurrence = sum(
                     1 for query in queries if query & together == together
                 )
-                key = (cooccurrence, counts.get(attribute, 0), -attribute)
+                key = (cooccurrence, frequencies[attribute], -attribute)
                 if best_key is None or key > best_key:
                     best_key = key
                     best_attribute = attribute
@@ -114,19 +150,49 @@ class ConsumeAttrCumulSolver(Solver):
             candidates.discard(best_attribute)
         return self.make_solution(problem, keep_mask)
 
+    def _solve_vertical(
+        self, problem: VisibilityProblem, frequencies: list[int]
+    ) -> Solution:
+        index = problem.index
+        candidates = set(bit_indices(problem.new_tuple))
+        keep_mask = 0
+        current = problem.satisfiable_tids  # AND of selected columns so far
+        for _ in range(problem.budget):
+            best_attribute = None
+            best_key: tuple[int, int, int] | None = None
+            for attribute in candidates:
+                cooccurrence = (current & index.column(attribute)).bit_count()
+                key = (cooccurrence, frequencies[attribute], -attribute)
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_attribute = attribute
+            if best_attribute is None:
+                break
+            keep_mask |= 1 << best_attribute
+            current &= index.column(best_attribute)
+            candidates.discard(best_attribute)
+        return self.make_solution(problem, keep_mask)
 
-class ConsumeQueriesSolver(Solver):
+
+class ConsumeQueriesSolver(_EngineSolver):
     """Consume whole queries, cheapest (fewest new attributes) first.
 
     Deliberately re-scans the whole workload at each iteration, as the
     paper describes — this is why Fig 10 shows it consistently slower
-    than the other greedies.
+    than the other greedies.  The vertical engine keeps the per-query
+    scan but walks only the still-uncovered satisfiable rows (tracked as
+    one bitset), skipping satisfiability and coverage re-checks.
     """
 
     name = "ConsumeQueries"
     optimal = False
 
     def _solve(self, problem: VisibilityProblem) -> Solution:
+        if self.engine == "vertical":
+            return self._solve_vertical(problem)
+        return self._solve_naive(problem)
+
+    def _solve_naive(self, problem: VisibilityProblem) -> Solution:
         new_tuple = problem.new_tuple
         keep_mask = 0
         budget_left = problem.budget
@@ -155,19 +221,61 @@ class ConsumeQueriesSolver(Solver):
             problem, keep_mask, stats={"queries_consumed": consumed}
         )
 
+    def _solve_vertical(self, problem: VisibilityProblem) -> Solution:
+        log = problem.log
+        index = problem.index
+        keep_mask = 0
+        budget_left = problem.budget
+        consumed = 0
+        # Satisfiable queries not yet covered by keep_mask.  A query with
+        # zero new attributes is exactly a covered one, so the naive
+        # engine's eligibility filter becomes bitset maintenance.
+        uncovered = problem.satisfiable_tids & ~index.satisfied_rows(keep_mask)
+        while budget_left > 0 and uncovered:
+            best_query = None
+            best_new = None
+            for tid in iter_bit_indices(uncovered):
+                new_attributes = bit_count(log[tid] & ~keep_mask)
+                if new_attributes > budget_left:
+                    continue
+                if best_new is None or new_attributes < best_new:
+                    best_new = new_attributes
+                    best_query = log[tid]
+                    if best_new == 1:
+                        break  # an uncovered query introduces >= 1 attribute
+            if best_query is None:
+                break
+            keep_mask |= best_query
+            budget_left = problem.budget - bit_count(keep_mask)
+            consumed += 1
+            uncovered &= ~index.satisfied_rows(keep_mask, within=uncovered)
+        return self.make_solution(
+            problem, keep_mask, stats={"queries_consumed": consumed}
+        )
 
-class CoverageGreedySolver(Solver):
+
+class CoverageGreedySolver(_EngineSolver):
     """Extension: classic greedy max-coverage on completed queries.
 
     Each step keeps the attribute whose addition *completes* the most
     queries (all their attributes selected); ties broken by how many
     still-incomplete queries the attribute appears in, then by index.
+
+    Vertical engine: a query is completed by adding ``a`` iff it avoids
+    every other unselected tuple attribute, so per step one prefix/suffix
+    OR sweep over the candidate columns yields every candidate's
+    "violator" bitset in O(|pool|) wide operations total.
     """
 
     name = "CoverageGreedy"
     optimal = False
 
     def _solve(self, problem: VisibilityProblem) -> Solution:
+        if self.engine == "vertical":
+            return self._solve_vertical(problem)
+        return self._solve_naive(problem)
+
+    def _solve_naive(self, problem: VisibilityProblem) -> Solution:
         queries = list(problem.satisfiable_queries)
         keep_mask = 0
         for _ in range(problem.budget):
@@ -191,4 +299,42 @@ class CoverageGreedySolver(Solver):
                 break
             keep_mask |= 1 << best_attribute
             queries = [q for q in queries if q & keep_mask != q]
+        return self.make_solution(problem, keep_mask)
+
+    def _solve_vertical(self, problem: VisibilityProblem) -> Solution:
+        index = problem.index
+        keep_mask = 0
+        # Still-incomplete satisfiable queries.  The naive engine keeps
+        # already-complete (e.g. empty) queries in its list until the
+        # first filter pass; they shift every candidate's `completed`
+        # count by the same constant, so dropping them up front leaves
+        # every comparison — and the selection — unchanged.
+        remaining = problem.satisfiable_tids & ~index.satisfied_rows(keep_mask)
+        for _ in range(problem.budget):
+            pool = bit_indices(problem.new_tuple & ~keep_mask)
+            if not pool:
+                break
+            columns = [index.column(attribute) for attribute in pool]
+            # prefix/suffix ORs: violators of candidate i = every other
+            # unselected tuple attribute's column
+            size = len(pool)
+            suffix = [0] * (size + 1)
+            for i in range(size - 1, -1, -1):
+                suffix[i] = suffix[i + 1] | columns[i]
+            best_attribute = None
+            best_key: tuple[int, int, int] | None = None
+            best_violators = 0
+            prefix = 0
+            for i, attribute in enumerate(pool):
+                violators = prefix | suffix[i + 1]
+                completed = (remaining & ~violators).bit_count()
+                touched = (remaining & columns[i]).bit_count() - completed
+                key = (completed, touched, -attribute)
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_attribute = attribute
+                    best_violators = violators
+                prefix |= columns[i]
+            keep_mask |= 1 << best_attribute
+            remaining &= best_violators  # completed queries leave the pool
         return self.make_solution(problem, keep_mask)

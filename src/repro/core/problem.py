@@ -13,9 +13,11 @@ database as input" — via :meth:`VisibilityProblem.from_database`.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from functools import cached_property
 
+from repro.booldata.index import VerticalIndex
 from repro.booldata.ops import satisfied_count
 from repro.booldata.table import BooleanTable
 from repro.common.bits import bit_count, bit_indices, is_subset
@@ -66,6 +68,23 @@ class VisibilityProblem:
         return bit_count(self.new_tuple)
 
     @cached_property
+    def index(self) -> VerticalIndex:
+        """Vertical bitmap index of the log (shared via the table's cache).
+
+        Attribute-major row bitsets turn objective evaluation,
+        co-occurrence and complemented-log support into a few wide
+        bitwise operations; see :mod:`repro.booldata.index`.
+        """
+        return self.log.vertical_index()
+
+    @cached_property
+    def satisfiable_tids(self) -> int:
+        """Row bitset of the satisfiable queries (vertical twin of
+        :attr:`satisfiable_queries`): bit ``i`` is set iff query ``i`` is
+        a subset of the uncompressed tuple."""
+        return self.index.satisfied_rows(self.new_tuple)
+
+    @cached_property
     def satisfiable_queries(self) -> list[int]:
         """Masks of log queries that the *uncompressed* tuple satisfies.
 
@@ -87,8 +106,7 @@ class VisibilityProblem:
             mask |= query
         return mask & self.new_tuple
 
-    def evaluate(self, keep_mask: int) -> int:
-        """Objective value of a candidate compression (validated)."""
+    def _validate_candidate(self, keep_mask: int) -> None:
         self.log.schema.validate_mask(keep_mask)
         if not is_subset(keep_mask, self.new_tuple):
             raise ValidationError(
@@ -98,15 +116,48 @@ class VisibilityProblem:
             raise ValidationError(
                 f"candidate retains {bit_count(keep_mask)} attributes, budget is {self.budget}"
             )
+
+    def evaluate(self, keep_mask: int) -> int:
+        """Objective value of a candidate compression (validated).
+
+        Uses the vertical index opportunistically when it is already
+        built (one wide AND-NOT instead of a log scan); a cold one-shot
+        call stays row-major rather than paying for index construction.
+        """
+        self._validate_candidate(keep_mask)
+        index = self.log.cached_vertical_index
+        if index is not None:
+            return index.satisfied_count(keep_mask)
         return satisfied_count(self.log, keep_mask)
+
+    def evaluate_many(self, keep_masks: Iterable[int]) -> list[int]:
+        """Objective values of a batch of candidates (each validated).
+
+        Builds the vertical index once and answers every candidate with
+        O(M) wide bitwise operations — the batch analogue of
+        :meth:`evaluate` for ranking pipelines and exhaustive search.
+        """
+        index = self.index
+        counts = []
+        for keep_mask in keep_masks:
+            self._validate_candidate(keep_mask)
+            counts.append(index.satisfied_count(keep_mask))
+        return counts
 
     def pad_to_budget(self, keep_mask: int) -> int:
         """Extend ``keep_mask`` with arbitrary tuple attributes up to ``m``.
 
         Retaining extra attributes can never reduce conjunctive
         visibility, so solvers use this to return exactly ``min(m, |t|)``
-        attributes even when fewer suffice for the optimum.
+        attributes even when fewer suffice for the optimum.  The input
+        must already be a valid compression: a mask keeping attributes
+        the tuple lacks is rejected instead of silently padded.
         """
+        self.log.schema.validate_mask(keep_mask)
+        if not is_subset(keep_mask, self.new_tuple):
+            raise ValidationError(
+                "pad_to_budget: keep_mask retains attributes the new tuple does not have"
+            )
         missing = min(self.budget, self.tuple_size) - bit_count(keep_mask)
         if missing <= 0:
             return keep_mask

@@ -27,6 +27,7 @@ __all__ = [
     "SOLVERS",
     "OPTIMAL_ALGORITHMS",
     "GREEDY_ALGORITHMS",
+    "ENGINE_AWARE_ALGORITHMS",
     "make_solver",
     "available_algorithms",
 ]
@@ -46,6 +47,15 @@ SOLVERS: dict[str, Callable[..., Solver]] = {
 OPTIMAL_ALGORITHMS: tuple[str, ...] = ("ILP", "MaxFreqItemSets")
 #: the paper's three greedy algorithms
 GREEDY_ALGORITHMS: tuple[str, ...] = ("ConsumeAttr", "ConsumeAttrCumul", "ConsumeQueries")
+#: solvers whose inner loops run on either evaluation engine
+#: (``engine="naive"`` row-major loops or ``engine="vertical"`` bitmap index)
+ENGINE_AWARE_ALGORITHMS: tuple[str, ...] = (
+    "BruteForce",
+    "ConsumeAttr",
+    "ConsumeAttrCumul",
+    "ConsumeQueries",
+    "CoverageGreedy",
+)
 
 
 def available_algorithms() -> list[str]:
@@ -53,12 +63,20 @@ def available_algorithms() -> list[str]:
     return list(SOLVERS)
 
 
-def make_solver(name: str, **overrides) -> Solver:
-    """Instantiate a registered solver by name."""
+def make_solver(name: str, *, engine: str | None = None, **overrides) -> Solver:
+    """Instantiate a registered solver by name.
+
+    ``engine`` selects the evaluation engine for the solvers in
+    :data:`ENGINE_AWARE_ALGORITHMS` and is ignored for the others (their
+    hot paths — LP pivots, itemset mining — are not row scans), so one
+    global ``--engine`` flag can be applied to any algorithm.
+    """
     try:
         factory = SOLVERS[name]
     except KeyError:
         raise ValidationError(
             f"unknown algorithm {name!r}; available: {available_algorithms()}"
         ) from None
+    if engine is not None and name in ENGINE_AWARE_ALGORITHMS:
+        overrides.setdefault("engine", engine)
     return factory(**overrides)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+from repro.booldata.index import build_columns
 from repro.booldata.table import BooleanTable
 from repro.common.bits import bit_indices, full_mask, mask_complement
 from repro.common.errors import ValidationError
@@ -34,28 +35,31 @@ class TransactionDatabase:
         if width <= 0:
             raise ValidationError(f"width must be positive, got {width}")
         self.width = width
-        self._rows: list[int] = []
-        self._tidsets: list[int] = [0] * width
-        self._all_tids = 0
         full = full_mask(width)
+        validated = []
         for row in rows:
             if not isinstance(row, int) or row < 0 or row & ~full:
                 raise ValidationError(f"row {row!r} out of range for width {width}")
-            self._append_indexed(row)
-
-    def _append_indexed(self, row: int) -> None:
-        tid_bit = 1 << len(self._rows)
-        self._rows.append(row)
-        self._all_tids |= tid_bit
-        remaining = row
-        while remaining:
-            low = remaining & -remaining
-            self._tidsets[low.bit_length() - 1] |= tid_bit
-            remaining ^= low
+            validated.append(row)
+        self._rows: list[int] = validated
+        # Shared with VerticalIndex: linear bytearray transposition, not
+        # per-row `tidset |= 1 << tid` (which copies the whole int each time).
+        self._tidsets: list[int] = build_columns(width, validated)
+        self._all_tids = full_mask(len(validated))
 
     @classmethod
     def from_boolean_table(cls, table: BooleanTable) -> "TransactionDatabase":
-        return cls(table.schema.width, table)
+        """Adopt a table's cached vertical index: the per-attribute row
+        bitsets of :class:`~repro.booldata.index.VerticalIndex` *are* the
+        tidsets, so no re-transposition (or re-validation — the table's
+        schema already checked every row) is needed."""
+        index = table.vertical_index()
+        database = cls.__new__(cls)
+        database.width = table.schema.width
+        database._rows = list(table)
+        database._tidsets = list(index.columns)
+        database._all_tids = index.all_rows
+        return database
 
     # -- SupportCounter protocol ------------------------------------------------
 

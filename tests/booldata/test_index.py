@@ -1,0 +1,151 @@
+"""Unit and property tests for the vertical bitmap index."""
+
+import random
+from itertools import combinations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.booldata import BooleanTable, Schema, VerticalIndex
+from repro.booldata.index import build_columns, validate_engine
+from repro.booldata.table import count_attribute_frequencies
+from repro.common.bits import bit_indices, from_indices
+from repro.common.errors import ValidationError
+
+WIDTH = 6
+
+rows_strategy = st.lists(st.integers(0, 2**WIDTH - 1), max_size=40)
+mask_strategy = st.integers(0, 2**WIDTH - 1)
+
+
+def make_index(rows):
+    table = BooleanTable(Schema.anonymous(WIDTH), rows)
+    return table, table.vertical_index()
+
+
+class TestConstruction:
+    def test_columns_transpose_rows(self):
+        _, index = make_index([0b011, 0b101, 0b001])
+        assert index.column(0) == 0b111  # attribute 0 in rows 0, 1, 2
+        assert index.column(1) == 0b001  # attribute 1 in row 0 only
+        assert index.column(2) == 0b010  # attribute 2 in row 1 only
+
+    def test_empty_table(self):
+        _, index = make_index([])
+        assert index.num_rows == 0
+        assert index.all_rows == 0
+        assert index.satisfied_count(0b111) == 0
+
+    def test_used_attributes(self):
+        _, index = make_index([0b101, 0b100])
+        assert index.used_attributes == 0b101
+
+    def test_build_columns_matches_bit_by_bit(self):
+        rng = random.Random(7)
+        rows = [rng.randrange(2**WIDTH) for _ in range(200)]
+        columns = build_columns(WIDTH, rows)
+        for attribute in range(WIDTH):
+            for tid, row in enumerate(rows):
+                assert (columns[attribute] >> tid & 1) == (row >> attribute & 1)
+
+    def test_table_caches_and_append_invalidates(self):
+        table = BooleanTable(Schema.anonymous(WIDTH), [0b011])
+        assert table.cached_vertical_index is None
+        index = table.vertical_index()
+        assert table.vertical_index() is index
+        assert table.cached_vertical_index is index
+        table.append(0b100)
+        assert table.cached_vertical_index is None
+        assert table.vertical_index().column(2) == 0b10
+
+    def test_validate_engine(self):
+        assert validate_engine("naive") == "naive"
+        assert validate_engine("vertical") == "vertical"
+        with pytest.raises(ValidationError):
+            validate_engine("horizontal")
+
+
+class TestIdentities:
+    @given(rows_strategy, mask_strategy)
+    def test_satisfied_rows_matches_row_major(self, rows, keep):
+        _, index = make_index(rows)
+        expected = from_indices(
+            i for i, row in enumerate(rows) if row & keep == row
+        )
+        assert index.satisfied_rows(keep) == expected
+        assert index.satisfied_count(keep) == sum(
+            1 for row in rows if row & keep == row
+        )
+
+    @given(rows_strategy, mask_strategy)
+    def test_cooccurring_rows_matches_row_major(self, rows, attrs):
+        _, index = make_index(rows)
+        expected = from_indices(
+            i for i, row in enumerate(rows) if row & attrs == attrs
+        )
+        assert index.cooccurring_rows(attrs) == expected
+
+    @given(rows_strategy, mask_strategy)
+    def test_disjoint_count_is_complemented_support(self, rows, itemset):
+        _, index = make_index(rows)
+        assert index.disjoint_count(itemset) == sum(
+            1 for row in rows if row & itemset == 0
+        )
+
+    @given(rows_strategy, mask_strategy, mask_strategy)
+    def test_within_restricts_every_count(self, rows, keep, within_seed):
+        _, index = make_index(rows)
+        within = within_seed & index.all_rows
+        assert index.satisfied_rows(keep, within) == index.satisfied_rows(keep) & within
+        assert index.cooccurring_rows(keep, within) == (
+            index.cooccurring_rows(keep) & within
+        )
+        assert index.disjoint_rows(keep, within) == index.disjoint_rows(keep) & within
+
+
+class TestFrequencies:
+    @given(rows_strategy)
+    def test_matches_table_statistic(self, rows):
+        table, index = make_index(rows)
+        assert index.attribute_frequencies() == count_attribute_frequencies(
+            rows, WIDTH
+        )
+        # table method answers from the index once built
+        assert table.attribute_frequencies() == index.attribute_frequencies()
+
+    @given(rows_strategy, mask_strategy)
+    def test_pool_zeroes_outside_attributes(self, rows, pool):
+        _, index = make_index(rows)
+        frequencies = index.attribute_frequencies(pool=pool)
+        full = index.attribute_frequencies()
+        for attribute in range(WIDTH):
+            expected = full[attribute] if pool >> attribute & 1 else 0
+            assert frequencies[attribute] == expected
+
+
+class TestBestSubset:
+    @given(rows_strategy, mask_strategy, st.integers(0, WIDTH))
+    def test_matches_exhaustive_enumeration(self, rows, pool, budget):
+        _, index = make_index(rows)
+        size = min(budget, pool.bit_count())
+        best_mask, best_count, leaves = index.best_subset(pool, size)
+        # reference: first maximum in lexicographic combination order
+        expected_mask, expected_count, expected_leaves = 0, -1, 0
+        for chosen in combinations(bit_indices(pool), size):
+            candidate = from_indices(chosen)
+            expected_leaves += 1
+            count = sum(1 for row in rows if row & candidate == row)
+            if count > expected_count:
+                expected_count = count
+                expected_mask = candidate
+        assert leaves == expected_leaves
+        assert best_mask == expected_mask
+        assert best_count == max(expected_count, 0)
+
+    def test_within_restriction(self):
+        _, index = make_index([0b001, 0b010, 0b011])
+        # only rows 0 and 2 considered
+        best_mask, best_count, _ = index.best_subset(0b011, 1, within=0b101)
+        assert best_mask == 0b001  # keeps row 0; row 2 needs both attributes
+        assert best_count == 1

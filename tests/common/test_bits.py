@@ -122,3 +122,21 @@ class TestRandomMask:
     def test_bad_size_rejected(self):
         with pytest.raises(ValueError):
             bits.random_mask(4, 5, random.Random(0))
+
+
+class TestIterBitIndices:
+    def test_matches_bit_indices_small(self):
+        for mask in (0, 1, 0b1010, 0b1111, 1 << 63):
+            assert list(bits.iter_bit_indices(mask)) == bits.bit_indices(mask)
+
+    @given(st.integers(0, 2**300))
+    def test_matches_bit_indices(self, mask):
+        assert list(bits.iter_bit_indices(mask)) == bits.bit_indices(mask)
+
+    def test_huge_sparse_mask(self):
+        mask = (1 << 100_000) | (1 << 12_345) | 1
+        assert list(bits.iter_bit_indices(mask)) == [0, 12_345, 100_000]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            next(bits.iter_bit_indices(-1))

@@ -74,6 +74,16 @@ class TestPadToBudget:
         problem = VisibilityProblem(paper_log, paper_tuple, 100)
         assert problem.pad_to_budget(0) == paper_tuple
 
+    def test_rejects_mask_outside_tuple(self, paper_problem, paper_schema):
+        # turbo is not an attribute of the car: padding must not silently
+        # legitimize an invalid keep-mask
+        with pytest.raises(ValidationError):
+            paper_problem.pad_to_budget(paper_schema.mask_of(["turbo"]))
+
+    def test_rejects_mask_outside_schema(self, paper_problem):
+        with pytest.raises(ValidationError):
+            paper_problem.pad_to_budget(1 << 40)
+
 
 class TestFromDatabase:
     def test_cbd_constructor(self, paper_database, paper_tuple):

@@ -8,6 +8,7 @@ import doctest
 
 import pytest
 
+import repro.booldata.index
 import repro.booldata.schema
 import repro.booldata.table
 import repro.common.bits
@@ -23,6 +24,7 @@ MODULES = [
     repro.common.estimates,
     repro.common.tables,
     repro.common.timing,
+    repro.booldata.index,
     repro.booldata.schema,
     repro.booldata.table,
     repro.retrieval.text,

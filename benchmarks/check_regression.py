@@ -1,15 +1,21 @@
 #!/usr/bin/env python
-"""Guard the vertical-engine timings against regressions.
+"""Guard the vertical-engine and runtime-harness numbers against regressions.
 
 Re-runs the vertical side of the recorded benchmark suite and fails
 (exit code 1) if any workload got more than ``--factor`` (default 2x)
 slower than the baseline in ``BENCH_vertical.json``, or if an objective
 value drifted from the recorded one.
 
+When ``BENCH_runtime.json`` exists, additionally re-runs the anytime
+runtime suite and fails if the harness+checkpoint overhead exceeds the
+5% acceptance bar, or a deadline-bounded run overruns its deadline by
+more than the tolerated factor.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py
     PYTHONPATH=src python benchmarks/check_regression.py --factor 1.5
+    PYTHONPATH=src python benchmarks/check_regression.py --skip-runtime
 """
 
 from __future__ import annotations
@@ -22,6 +28,49 @@ from pathlib import Path
 from vertical_workload import MEASUREMENTS
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_vertical.json"
+RUNTIME_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+#: the runtime PR's acceptance bars
+MAX_OVERHEAD_FRACTION = 0.05
+OVERHEAD_EPSILON_S = 0.003
+MAX_OVERRUN_FACTOR = 4.0
+
+
+def check_runtime(failures: list[str]) -> None:
+    """Re-run the runtime suite against its recorded acceptance bars."""
+    from runtime_workload import MEASUREMENTS as RUNTIME_MEASUREMENTS
+
+    for name, measure in RUNTIME_MEASUREMENTS.items():
+        fresh = measure()
+        if "overhead_s" in fresh:
+            budget = max(MAX_OVERHEAD_FRACTION * fresh["bare_s"], OVERHEAD_EPSILON_S)
+            ok = fresh["overhead_s"] <= budget
+            if not ok:
+                failures.append(
+                    f"{name}: harness overhead {fresh['overhead_s']:.4f}s "
+                    f"({fresh['overhead_pct']:.1f}%) > budget {budget:.4f}s"
+                )
+            print(
+                f"{'.' if ok else 'x'} {name}: bare {fresh['bare_s']:.3f}s "
+                f"harness {fresh['harness_s']:.3f}s "
+                f"({fresh['overhead_pct']:+.1f}%, budget {budget * 1000:.1f} ms)"
+                f"{'' if ok else ' OVERHEAD'}"
+            )
+        else:
+            ok = (
+                fresh["overrun_factor"] <= MAX_OVERRUN_FACTOR
+                and fresh["objective"] is not None
+            )
+            if not ok:
+                failures.append(
+                    f"{name}: {fresh['elapsed_s']:.3f}s for a "
+                    f"{fresh['deadline_ms']:.0f} ms deadline "
+                    f"({fresh['overrun_factor']:.1f}x > {MAX_OVERRUN_FACTOR:.1f}x)"
+                )
+            print(
+                f"{'.' if ok else 'x'} {name}: {fresh['elapsed_s'] * 1000:.1f} ms "
+                f"({fresh['overrun_factor']:.1f}x the deadline, {fresh['status']})"
+                f"{'' if ok else ' OVERRUN'}"
+            )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -33,6 +82,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--factor", type=float, default=2.0,
         help="maximum tolerated slowdown vs the recorded timing (default 2.0)",
+    )
+    parser.add_argument(
+        "--skip-runtime", action="store_true",
+        help="skip the anytime-runtime overhead checks",
     )
     args = parser.parse_args(argv)
 
@@ -72,12 +125,18 @@ def main(argv: list[str] | None = None) -> int:
             f"(recorded {recorded['vertical_s']:.3f}s, budget {budget:.3f}s) {status}"
         )
 
+    if not args.skip_runtime:
+        if RUNTIME_BASELINE.exists():
+            check_runtime(failures)
+        else:
+            print("~ runtime suite: no BENCH_runtime.json baseline, skipping")
+
     if failures:
         print(f"\n{len(failures)} regression(s):")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print("\nvertical engine within budget")
+    print("\nvertical engine and runtime within budget")
     return 0
 
 

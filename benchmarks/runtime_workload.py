@@ -1,0 +1,147 @@
+"""Measurement harness for the anytime runtime's overhead.
+
+Two questions, answered on the PR-1 vertical workloads:
+
+* **Checkpoint + harness overhead** — running a solver through
+  :class:`repro.runtime.SolverHarness` with a live (but generous)
+  deadline activates every cooperative ticker in the inner loops; the
+  acceptance bar is < 5% versus the bare solver, whose tickers are the
+  no-op :data:`~repro.common.deadline.NULL_TICKER`.
+* **Deadline responsiveness** — with a 50 ms deadline on an instance
+  where the pure-Python ILP needs minutes, the harness must return a
+  valid outcome within a small multiple of the deadline (one grace
+  window for the terminal fallback bounds it near 2x).
+
+Used by ``test_bench_runtime.py`` (records ``BENCH_runtime.json``) and
+``check_regression.py`` (re-runs and gates).  Seeded and fixed-size like
+the vertical suite.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+from vertical_workload import LARGE_LOG, SEED, SMALL_LOG, fresh_problem
+
+from repro.booldata import BooleanTable, Schema
+from repro.core import VisibilityProblem, make_solver
+from repro.runtime import SolverHarness
+
+#: deadline long enough to never fire — the tickers still run, which is
+#: exactly the cost being measured
+IDLE_DEADLINE_MS = 600_000.0
+REPEATS = 7
+RESPONSIVENESS_DEADLINE_MS = 50.0
+
+
+def _timed(run) -> float:
+    start = time.perf_counter()
+    run()
+    return time.perf_counter() - start
+
+
+def measure_overhead(
+    algorithm: str,
+    size: int,
+    tuple_size: int | None = None,
+    budget: int | None = None,
+    repeats: int = REPEATS,
+) -> dict:
+    """Bare solver vs harness-with-live-deadline, median of ``repeats``.
+
+    The two sides are interleaved (and the order alternated) within each
+    repeat, so slow drift in machine load lands on both equally instead
+    of masquerading as harness overhead.
+    """
+    kwargs = {}
+    if tuple_size is not None:
+        kwargs["tuple_size"] = tuple_size
+    if budget is not None:
+        kwargs["budget"] = budget
+    solver = make_solver(algorithm, engine="vertical")
+    harness = SolverHarness(
+        [algorithm], engine="vertical", deadline_ms=IDLE_DEADLINE_MS
+    )
+
+    bare_timings, harness_timings = [], []
+    for repeat in range(repeats):
+        sides = [
+            (bare_timings, lambda: solver.solve(fresh_problem(size, **kwargs))),
+            (harness_timings, lambda: harness.run(fresh_problem(size, **kwargs))),
+        ]
+        if repeat % 2:
+            sides.reverse()
+        for timings, run in sides:
+            timings.append(_timed(run))
+
+    bare_s = statistics.median(bare_timings)
+    harness_s = statistics.median(harness_timings)
+    overhead_s = harness_s - bare_s
+    return {
+        "algorithm": algorithm,
+        "log_size": size,
+        "repeats": repeats,
+        "bare_s": round(bare_s, 6),
+        "harness_s": round(harness_s, 6),
+        "overhead_s": round(overhead_s, 6),
+        "overhead_pct": round(100.0 * overhead_s / bare_s, 2) if bare_s else 0.0,
+    }
+
+
+def hard_ilp_problem() -> VisibilityProblem:
+    """An instance where the pure-Python ILP branch-and-bound needs far
+    longer than any serving deadline."""
+    rng = random.Random(SEED + 3)
+    width = 10
+    schema = Schema.anonymous(width)
+    log = BooleanTable(schema, [rng.getrandbits(width) or 1 for _ in range(200)])
+    return VisibilityProblem(log, (1 << width) - 1, 4)
+
+
+def measure_responsiveness(deadline_ms: float = RESPONSIVENESS_DEADLINE_MS) -> dict:
+    """Wall clock of a deadline-bounded run through the default chain."""
+    problem = hard_ilp_problem()
+    harness = SolverHarness(deadline_ms=deadline_ms)
+    start = time.perf_counter()
+    outcome = harness.run(problem)
+    elapsed_s = time.perf_counter() - start
+    return {
+        "workload": "deadline_responsiveness",
+        "deadline_ms": deadline_ms,
+        "elapsed_s": round(elapsed_s, 6),
+        "overrun_factor": round(elapsed_s / (deadline_ms / 1000.0), 2),
+        "status": outcome.status,
+        "objective": outcome.solution.satisfied if outcome.solution else None,
+        "attempts": [a.solver + ":" + a.status for a in outcome.attempts],
+    }
+
+
+#: name -> zero-argument measurement, the recorded runtime suite
+MEASUREMENTS = {
+    "harness_consume_attr_cumul_100k": lambda: measure_overhead(
+        "ConsumeAttrCumul", LARGE_LOG
+    ),
+    "harness_coverage_greedy_20k": lambda: measure_overhead(
+        "CoverageGreedy", SMALL_LOG
+    ),
+    # a narrower tuple keeps C(pool, m) enumerable (as in the vertical suite)
+    "harness_brute_force_20k": lambda: measure_overhead(
+        "BruteForce", SMALL_LOG, tuple_size=18, budget=6
+    ),
+    "deadline_responsiveness_50ms": measure_responsiveness,
+}
+
+
+def run_suite() -> dict:
+    return {name: measure() for name, measure in MEASUREMENTS.items()}
+
+
+def suite_meta() -> dict:
+    return {
+        "seed": SEED,
+        "repeats": REPEATS,
+        "idle_deadline_ms": IDLE_DEADLINE_MS,
+        "responsiveness_deadline_ms": RESPONSIVENESS_DEADLINE_MS,
+    }

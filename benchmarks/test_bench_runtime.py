@@ -1,0 +1,71 @@
+"""Benchmark: anytime-harness overhead and deadline responsiveness.
+
+Records ``BENCH_runtime.json`` at the repo root (the baseline that
+``check_regression.py`` guards).  The acceptance bars of the runtime PR:
+
+* serving a solver through the harness with a live-but-idle deadline
+  (every cooperative checkpoint active) costs < 5% on the PR-1 vertical
+  workloads;
+* a 50 ms deadline on an ILP-hostile instance returns a valid outcome
+  within a small multiple of the deadline.
+
+Run explicitly (the tier-1 suite does not collect ``benchmarks/``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_runtime.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+from runtime_workload import run_suite, suite_meta
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+#: relative gate plus a small absolute epsilon so millisecond-scale
+#: workloads cannot flake on scheduler noise
+MAX_OVERHEAD_FRACTION = 0.05
+OVERHEAD_EPSILON_S = 0.003
+MAX_OVERRUN_FACTOR = 4.0
+
+
+def test_runtime_overhead_and_responsiveness():
+    results = run_suite()
+
+    for name, result in results.items():
+        if "overhead_s" not in result:
+            continue
+        budget = max(
+            MAX_OVERHEAD_FRACTION * result["bare_s"], OVERHEAD_EPSILON_S
+        )
+        assert result["overhead_s"] <= budget, (
+            f"{name}: harness overhead {result['overhead_s'] * 1000:.1f} ms "
+            f"exceeds {budget * 1000:.1f} ms "
+            f"({result['overhead_pct']:.1f}% vs bare {result['bare_s']:.3f}s)"
+        )
+
+    responsiveness = results["deadline_responsiveness_50ms"]
+    assert responsiveness["status"] in ("fallback", "anytime")
+    assert responsiveness["objective"] is not None
+    assert responsiveness["overrun_factor"] <= MAX_OVERRUN_FACTOR
+
+    payload = {
+        "meta": {**suite_meta(), "python": platform.python_version()},
+        "results": results,
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    for name, result in results.items():
+        if "overhead_s" in result:
+            print(
+                f"{name}: bare {result['bare_s']:.3f}s"
+                f" harness {result['harness_s']:.3f}s"
+                f" overhead {result['overhead_pct']:+.1f}%"
+            )
+        else:
+            print(
+                f"{name}: {result['elapsed_s'] * 1000:.1f} ms for a "
+                f"{result['deadline_ms']:.0f} ms deadline"
+                f" ({result['overrun_factor']:.1f}x, {result['status']})"
+            )

@@ -36,6 +36,14 @@ from repro.core import (
     explain,
     make_solver,
 )
+from repro.runtime import (
+    CircuitBreaker,
+    Deadline,
+    RunOutcome,
+    SolverHarness,
+    deadline_scope,
+    make_harness,
+)
 from repro.variants import (
     solve_categorical,
     solve_cbd,
@@ -66,6 +74,12 @@ __all__ = [
     "explain",
     "OPTIMAL_ALGORITHMS",
     "GREEDY_ALGORITHMS",
+    "Deadline",
+    "deadline_scope",
+    "SolverHarness",
+    "make_harness",
+    "RunOutcome",
+    "CircuitBreaker",
     "solve_cbd",
     "solve_per_attribute",
     "solve_topk",

@@ -30,6 +30,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.common.bits import bit_indices, full_mask
+from repro.common.deadline import NULL_TICKER
 from repro.common.errors import ValidationError
 
 __all__ = ["ENGINES", "VerticalIndex", "build_columns", "validate_engine"]
@@ -184,7 +185,7 @@ class VerticalIndex:
     # -- exhaustive search kernel ------------------------------------------------
 
     def best_subset(
-        self, pool: int, size: int, within: int | None = None
+        self, pool: int, size: int, within: int | None = None, ticker=NULL_TICKER
     ) -> tuple[int, int, int]:
         """Best ``size``-subset of ``pool`` by satisfied-row count.
 
@@ -195,6 +196,11 @@ class VerticalIndex:
         excluded columns down a DFS — O(1) wide operations per node
         instead of O(n) row scans per candidate.  Returns
         ``(best_mask, best_count, leaves_enumerated)``.
+
+        ``ticker`` is a cooperative deadline checkpoint
+        (:class:`~repro.common.deadline.Ticker`) ticked once per leaf
+        with the incumbent mask, so an expiring deadline surfaces the
+        best candidate enumerated so far.
         """
         rows = self.all_rows if within is None else within
         # rows using attributes outside the pool can never be satisfied
@@ -219,6 +225,7 @@ class VerticalIndex:
                 if count > best_count:
                     best_count = count
                     best_mask = chosen
+                ticker.tick(best_mask)
                 return
             if total - position < size - picked:
                 return  # not enough attributes left

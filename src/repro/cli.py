@@ -22,12 +22,36 @@ import sys
 from pathlib import Path
 
 from repro.booldata import ENGINES, BooleanTable, load_table_csv, load_table_json
-from repro.common.errors import ReproError
+from repro.common.errors import (
+    InfeasibleProblemError,
+    ReproError,
+    SolverInterrupted,
+    ValidationError,
+)
 from repro.core import available_algorithms, make_solver
 from repro.core.problem import VisibilityProblem
 from repro.core.report import explain
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_OK",
+    "EXIT_ERROR",
+    "EXIT_VALIDATION",
+    "EXIT_INFEASIBLE",
+    "EXIT_INTERRUPTED",
+]
+
+#: success
+EXIT_OK = 0
+#: any other library error (I/O, internal failures, exhausted fallback chains)
+EXIT_ERROR = 1
+#: malformed input: bad flags, bad files, unknown algorithms
+EXIT_VALIDATION = 2
+#: the optimization problem has no feasible solution
+EXIT_INFEASIBLE = 3
+#: a solver budget or deadline expired before an answer was available
+EXIT_INTERRUPTED = 4
 
 
 def _load_table(path: str) -> BooleanTable:
@@ -36,7 +60,7 @@ def _load_table(path: str) -> BooleanTable:
         return load_table_csv(path)
     if suffix == ".json":
         return load_table_json(path)
-    raise ReproError(f"unsupported table format {suffix!r} (use .csv or .json)")
+    raise ValidationError(f"unsupported table format {suffix!r} (use .csv or .json)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,38 +119,97 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bound the optimality gap via the LP relaxation (one simplex solve)",
     )
+    solve.add_argument(
+        "--deadline-ms",
+        dest="deadline_ms",
+        type=float,
+        default=None,
+        help="wall-clock budget in milliseconds; the run is served through "
+        "the anytime harness and degrades instead of overrunning",
+    )
+    solve.add_argument(
+        "--fallback",
+        nargs="?",
+        const="default",
+        default=None,
+        metavar="CHAIN",
+        help="serve through a fallback chain: a comma-separated algorithm "
+        "list (primary first), or bare --fallback for the default "
+        "ILP,MaxFreqItemSets,ConsumeAttrCumul",
+    )
     return parser
 
 
 def _resolve_tuple(args, log: BooleanTable, database: BooleanTable | None) -> int:
     if (args.tuple_names is None) == (args.tuple_row is None):
-        raise ReproError("provide exactly one of --tuple or --tuple-row")
+        raise ValidationError("provide exactly one of --tuple or --tuple-row")
     if args.tuple_names is not None:
         names = [name.strip() for name in args.tuple_names.split(",") if name.strip()]
         return log.schema.mask_of(names)
     source = database if database is not None else log
     if not 0 <= args.tuple_row < len(source):
-        raise ReproError(
+        raise ValidationError(
             f"--tuple-row {args.tuple_row} out of range for {len(source)} rows"
         )
     return source[args.tuple_row]
+
+
+def _fallback_chain(args) -> list[str]:
+    """The harness chain implied by --fallback / --algorithm."""
+    if args.fallback is None or args.fallback == "default":
+        from repro.core.registry import DEFAULT_FALLBACK_CHAIN
+
+        if args.fallback is None:
+            # --deadline-ms without --fallback bounds the chosen algorithm
+            return [args.algorithm]
+        return list(DEFAULT_FALLBACK_CHAIN)
+    chain = [name.strip() for name in args.fallback.split(",") if name.strip()]
+    if not chain:
+        raise ValidationError("--fallback needs at least one algorithm name")
+    return chain
+
+
+def _solve_with_harness(args, problem: VisibilityProblem):
+    from repro.runtime import make_harness
+
+    harness = make_harness(
+        _fallback_chain(args), engine=args.engine, deadline_ms=args.deadline_ms
+    )
+    outcome = harness.run(problem)
+    deadline = "unbounded" if outcome.deadline_s is None else f"{outcome.deadline_s * 1000:.0f} ms"
+    print(
+        f"runtime: {outcome.status} in {outcome.elapsed_s * 1000:.1f} ms "
+        f"(deadline {deadline})"
+    )
+    for attempt in outcome.attempts:
+        note = attempt.error or attempt.detail
+        suffix = f" - {note}" if note else ""
+        print(f"  {attempt.solver}: {attempt.status} ({attempt.elapsed_s * 1000:.1f} ms){suffix}")
+    if outcome.solution is None:
+        if any(a.status == "interrupted" for a in outcome.attempts):
+            raise SolverInterrupted("no solver produced an answer within the deadline")
+        raise ReproError("every solver in the fallback chain failed")
+    return outcome.solution
 
 
 def _run_solve(args) -> int:
     log = _load_table(args.log)
     database = _load_table(args.database) if args.database else None
     if database is not None and database.schema != log.schema:
-        raise ReproError("--database and --log use different schemas")
+        raise ValidationError("--database and --log use different schemas")
     new_tuple = _resolve_tuple(args, log, database)
 
     target = log
     if args.against_database:
         if database is None:
-            raise ReproError("--against-database requires --database")
+            raise ValidationError("--against-database requires --database")
         target = database
     problem = VisibilityProblem(target, new_tuple, args.budget)
-    solver = make_solver(args.algorithm, engine=args.engine)
-    solution = solver.solve(problem)
+    if args.deadline_ms is not None or args.fallback is not None:
+        solution = _solve_with_harness(args, problem)
+    else:
+        solver = make_solver(args.algorithm, engine=args.engine)
+        solution = solver.solve(problem)
 
     if args.explain:
         print(explain(solution).to_text())
@@ -159,9 +242,20 @@ def main(argv: list[str] | None = None) -> int:
             print(profile_workload(_load_table(args.log), top_pairs=args.pairs).to_text())
             return 0
         return _run_solve(args)
+    except ValidationError as error:
+        return _fail(error, EXIT_VALIDATION)
+    except InfeasibleProblemError as error:
+        return _fail(error, EXIT_INFEASIBLE)
+    except SolverInterrupted as error:
+        return _fail(error, EXIT_INTERRUPTED)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        return _fail(error, EXIT_ERROR)
+
+
+def _fail(error: ReproError, code: int) -> int:
+    message = (str(error) or type(error).__name__).splitlines()[0]
+    print(f"error: {message}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,10 +17,20 @@ from repro.common.bits import (
     random_mask,
 )
 from repro.common.combinatorics import binomial, combinations_of_mask
+from repro.common.deadline import (
+    NULL_TICKER,
+    Deadline,
+    Ticker,
+    active_deadline,
+    active_ticker,
+    deadline_scope,
+)
 from repro.common.errors import (
+    DeadlineExceededError,
     InfeasibleProblemError,
     ReproError,
     SolverBudgetExceededError,
+    SolverInterrupted,
     ValidationError,
 )
 from repro.common.estimates import good_turing_unseen_estimate
@@ -43,7 +53,15 @@ __all__ = [
     "ReproError",
     "ValidationError",
     "InfeasibleProblemError",
+    "SolverInterrupted",
     "SolverBudgetExceededError",
+    "DeadlineExceededError",
+    "Deadline",
+    "Ticker",
+    "NULL_TICKER",
+    "active_deadline",
+    "active_ticker",
+    "deadline_scope",
     "good_turing_unseen_estimate",
     "ensure_rng",
     "format_table",

@@ -1,0 +1,195 @@
+"""Cooperative wall-clock deadlines for solver inner loops.
+
+The exact algorithms can blow up (subset enumeration, branch-and-bound,
+itemset mining), and a serving system cannot afford an unbounded solve.
+This module provides the *cooperative* half of the deadline story:
+
+* :class:`Deadline` — an immutable expiry token over an injectable
+  monotonic clock; ``check()`` raises
+  :class:`~repro.common.errors.DeadlineExceededError` once expired.
+* :class:`Ticker` — a counter-strided checkpoint for hot loops: calling
+  :meth:`Ticker.tick` costs one increment-and-compare, and only every
+  ``every``-th call actually reads the clock.  A tick carries the
+  caller's current incumbent so the raised error's ``best_known`` always
+  holds the best partial answer.
+* an *ambient* deadline (:func:`active_deadline` / :func:`deadline_scope`)
+  carried in a :class:`contextvars.ContextVar`, so a harness can impose
+  a deadline on any registry solver without every inner loop growing a
+  ``deadline=`` parameter.  Loops ask for :func:`active_ticker`; with no
+  active deadline they receive the no-op :data:`NULL_TICKER` and pay
+  only a single dynamic dispatch per checkpoint.
+
+The enforcement half — fallback chains, anytime results, retries — lives
+in :mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import math
+import time
+from collections.abc import Callable
+
+from repro.common.errors import DeadlineExceededError, ValidationError
+
+__all__ = [
+    "Deadline",
+    "Ticker",
+    "NULL_TICKER",
+    "active_deadline",
+    "active_ticker",
+    "deadline_scope",
+]
+
+#: default checkpoint stride — cheap enough for per-candidate loops,
+#: fine-grained enough that 50 ms deadlines are honoured within a few ms
+DEFAULT_STRIDE = 256
+
+
+class Deadline:
+    """An expiry point on a monotonic clock.
+
+    ``Deadline(0.05)`` expires 50 ms after construction.  ``duration``
+    ``None`` builds an unbounded deadline that never expires (useful as
+    a neutral element so call sites avoid ``is None`` branching).  The
+    clock is injectable for deterministic tests.
+    """
+
+    __slots__ = ("duration", "expires_at", "_clock")
+
+    def __init__(
+        self,
+        duration: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if duration is not None and duration < 0:
+            raise ValidationError(f"deadline duration must be >= 0, got {duration}")
+        self.duration = duration
+        self._clock = clock
+        self.expires_at = None if duration is None else clock() + duration
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """Deadline ``seconds`` from now."""
+        return cls(seconds, clock)
+
+    @classmethod
+    def after_ms(
+        cls, milliseconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """Deadline ``milliseconds`` from now (the CLI's unit)."""
+        return cls(milliseconds / 1000.0, clock)
+
+    @classmethod
+    def unbounded(cls) -> "Deadline":
+        """A deadline that never expires."""
+        return cls(None)
+
+    @property
+    def bounded(self) -> bool:
+        return self.expires_at is not None
+
+    def remaining(self) -> float:
+        """Seconds until expiry (``math.inf`` when unbounded, >= 0)."""
+        if self.expires_at is None:
+            return math.inf
+        return max(0.0, self.expires_at - self._clock())
+
+    def expired(self) -> bool:
+        return self.expires_at is not None and self._clock() >= self.expires_at
+
+    def check(self, best_known: object = None, context: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the deadline passed."""
+        if self.expired():
+            where = f" in {context}" if context else ""
+            raise DeadlineExceededError(
+                f"deadline of {self.duration * 1000:.1f} ms exceeded{where}",
+                best_known=best_known,
+            )
+
+    def ticker(self, every: int = DEFAULT_STRIDE) -> "Ticker":
+        """A strided checkpoint bound to this deadline.
+
+        Unbounded deadlines hand back :data:`NULL_TICKER` so hot loops
+        never pay for clock reads that cannot fire.
+        """
+        if self.expires_at is None:
+            return NULL_TICKER
+        return Ticker(self, every)
+
+    def __repr__(self) -> str:
+        if self.expires_at is None:
+            return "Deadline(unbounded)"
+        return f"Deadline({self.duration * 1000:.1f}ms, remaining={self.remaining() * 1000:.1f}ms)"
+
+
+class Ticker:
+    """Counter-strided deadline checkpoint for hot loops.
+
+    >>> deadline = Deadline.unbounded()
+    >>> deadline.ticker() is NULL_TICKER
+    True
+    """
+
+    __slots__ = ("deadline", "every", "context", "_count")
+
+    def __init__(self, deadline: Deadline, every: int = DEFAULT_STRIDE, context: str = "") -> None:
+        if every < 1:
+            raise ValidationError(f"ticker stride must be >= 1, got {every}")
+        self.deadline = deadline
+        self.every = every
+        self.context = context
+        self._count = 0
+
+    def tick(self, best_known: object = None) -> None:
+        """One loop iteration; checks the clock every ``every`` calls."""
+        self._count += 1
+        if self._count >= self.every:
+            self._count = 0
+            self.deadline.check(best_known, self.context)
+
+
+class _NullTicker:
+    """The no-deadline ticker: ``tick`` is a no-op."""
+
+    __slots__ = ()
+
+    def tick(self, best_known: object = None) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NULL_TICKER"
+
+
+#: shared no-op ticker handed out when no deadline is active
+NULL_TICKER = _NullTicker()
+
+_ACTIVE: contextvars.ContextVar[Deadline | None] = contextvars.ContextVar(
+    "repro_active_deadline", default=None
+)
+
+
+def active_deadline() -> Deadline | None:
+    """The deadline imposed by the innermost :func:`deadline_scope`."""
+    return _ACTIVE.get()
+
+
+def active_ticker(every: int = DEFAULT_STRIDE, context: str = "") -> Ticker | _NullTicker:
+    """A checkpoint against the ambient deadline (no-op when none is set)."""
+    deadline = _ACTIVE.get()
+    if deadline is None or deadline.expires_at is None:
+        return NULL_TICKER
+    return Ticker(deadline, every, context)
+
+
+@contextlib.contextmanager
+def deadline_scope(deadline: Deadline | None):
+    """Impose ``deadline`` as the ambient deadline for the ``with`` body."""
+    token = _ACTIVE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _ACTIVE.reset(token)

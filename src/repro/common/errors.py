@@ -11,7 +11,9 @@ __all__ = [
     "ReproError",
     "ValidationError",
     "InfeasibleProblemError",
+    "SolverInterrupted",
     "SolverBudgetExceededError",
+    "DeadlineExceededError",
 ]
 
 
@@ -27,15 +29,29 @@ class InfeasibleProblemError(ReproError):
     """An optimization problem has no feasible solution."""
 
 
-class SolverBudgetExceededError(ReproError):
-    """A solver exhausted its iteration / node / time budget.
+class SolverInterrupted(ReproError):
+    """A solver was stopped before running to completion.
 
-    Raised instead of silently returning a possibly sub-optimal answer, so
-    that the exactness contract of the optimal algorithms is never broken
-    behind the caller's back.
+    Raised instead of silently returning a possibly sub-optimal answer,
+    so that the exactness contract of the optimal algorithms is never
+    broken behind the caller's back.  ``best_known`` carries the best
+    incumbent found before the interruption — for the attribute-selection
+    solvers, a ``keep_mask`` int that already satisfies the candidate
+    invariants (subset of the tuple, within budget) — so anytime callers
+    such as :class:`repro.runtime.SolverHarness` can degrade gracefully
+    instead of discarding partial work.  ``None`` when no usable
+    incumbent exists.
     """
 
     def __init__(self, message: str, best_known: object = None) -> None:
         super().__init__(message)
-        #: best incumbent found before the budget ran out (may be ``None``)
+        #: best incumbent found before the interruption (may be ``None``)
         self.best_known = best_known
+
+
+class SolverBudgetExceededError(SolverInterrupted):
+    """A solver exhausted its iteration / node / candidate budget."""
+
+
+class DeadlineExceededError(SolverInterrupted):
+    """A cooperative wall-clock deadline expired inside a solver loop."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro.booldata.index import validate_engine
 from repro.common.bits import bit_count
 from repro.common.combinatorics import binomial, combinations_of_mask
+from repro.common.deadline import active_ticker
 from repro.common.errors import SolverBudgetExceededError
 from repro.core.base import Solver
 from repro.core.problem import Solution, VisibilityProblem
@@ -55,17 +56,25 @@ class BruteForceSolver(Solver):
         size = min(problem.budget, bit_count(pool))
         subsets = binomial(bit_count(pool), size)
         if subsets > self.max_subsets:
+            # Pre-flight refusal: no enumeration happened, so the only
+            # honest incumbent is the arbitrary budget-filling compression
+            # (the same baseline the paper's fixed-threshold fallback uses).
             raise SolverBudgetExceededError(
                 f"brute force would enumerate {subsets} subsets "
-                f"(limit {self.max_subsets})"
+                f"(limit {self.max_subsets})",
+                best_known=problem.pad_to_budget(0),
             )
 
         if self.engine == "vertical":
+            ticker = active_ticker(context="brute-force enumeration")
             best_mask, _, enumerated = problem.index.best_subset(
-                pool, size, within=problem.satisfiable_tids
+                pool, size, within=problem.satisfiable_tids, ticker=ticker
             )
         else:
-            best_mask, enumerated = self._enumerate_naive(problem, pool, size)
+            # a naive candidate costs a full log scan, so check the clock
+            # far more often than on the vertical engine
+            ticker = active_ticker(every=8, context="brute-force enumeration")
+            best_mask, enumerated = self._enumerate_naive(problem, pool, size, ticker)
         return self.make_solution(
             problem,
             best_mask,
@@ -74,7 +83,7 @@ class BruteForceSolver(Solver):
 
     @staticmethod
     def _enumerate_naive(
-        problem: VisibilityProblem, pool: int, size: int
+        problem: VisibilityProblem, pool: int, size: int, ticker
     ) -> tuple[int, int]:
         queries = problem.satisfiable_queries
         best_mask = 0
@@ -89,4 +98,5 @@ class BruteForceSolver(Solver):
             if satisfied > best_satisfied:
                 best_satisfied = satisfied
                 best_mask = candidate
+            ticker.tick(best_mask)
         return best_mask, enumerated

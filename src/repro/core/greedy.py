@@ -43,6 +43,7 @@ from __future__ import annotations
 from repro.booldata.index import validate_engine
 from repro.booldata.table import count_attribute_frequencies
 from repro.common.bits import bit_count, bit_indices, iter_bit_indices
+from repro.common.deadline import active_ticker
 from repro.core.base import Solver
 from repro.core.problem import Solution, VisibilityProblem
 
@@ -131,10 +132,14 @@ class ConsumeAttrCumulSolver(_EngineSolver):
         queries = problem.satisfiable_queries
         candidates = set(bit_indices(problem.new_tuple))
         keep_mask = 0
+        # a naive candidate evaluation scans the whole sub-log, so the
+        # deadline checkpoint fires once per candidate
+        ticker = active_ticker(every=4, context="ConsumeAttrCumul pass")
         for _ in range(problem.budget):
             best_attribute = None
             best_key: tuple[int, int, int] | None = None
             for attribute in candidates:
+                ticker.tick(keep_mask)
                 bit = 1 << attribute
                 together = keep_mask | bit
                 cooccurrence = sum(
@@ -157,10 +162,12 @@ class ConsumeAttrCumulSolver(_EngineSolver):
         candidates = set(bit_indices(problem.new_tuple))
         keep_mask = 0
         current = problem.satisfiable_tids  # AND of selected columns so far
+        ticker = active_ticker(context="ConsumeAttrCumul pass")
         for _ in range(problem.budget):
             best_attribute = None
             best_key: tuple[int, int, int] | None = None
             for attribute in candidates:
+                ticker.tick(keep_mask)
                 cooccurrence = (current & index.column(attribute)).bit_count()
                 key = (cooccurrence, frequencies[attribute], -attribute)
                 if best_key is None or key > best_key:
@@ -197,6 +204,7 @@ class ConsumeQueriesSolver(_EngineSolver):
         keep_mask = 0
         budget_left = problem.budget
         consumed = 0
+        ticker = active_ticker(every=4096, context="ConsumeQueries pass")
         while budget_left > 0:
             best_query = None
             best_new = None
@@ -204,6 +212,7 @@ class ConsumeQueriesSolver(_EngineSolver):
             # the paper describes ("we make a pass on the whole workload at
             # each iteration") — this is what makes it the slowest greedy.
             for query in problem.log:
+                ticker.tick(keep_mask)
                 if query & new_tuple != query:
                     continue  # demands attributes the product lacks
                 new_attributes = bit_count(query & ~keep_mask)
@@ -231,10 +240,12 @@ class ConsumeQueriesSolver(_EngineSolver):
         # zero new attributes is exactly a covered one, so the naive
         # engine's eligibility filter becomes bitset maintenance.
         uncovered = problem.satisfiable_tids & ~index.satisfied_rows(keep_mask)
+        ticker = active_ticker(every=4096, context="ConsumeQueries pass")
         while budget_left > 0 and uncovered:
             best_query = None
             best_new = None
             for tid in iter_bit_indices(uncovered):
+                ticker.tick(keep_mask)
                 new_attributes = bit_count(log[tid] & ~keep_mask)
                 if new_attributes > budget_left:
                     continue
@@ -278,10 +289,12 @@ class CoverageGreedySolver(_EngineSolver):
     def _solve_naive(self, problem: VisibilityProblem) -> Solution:
         queries = list(problem.satisfiable_queries)
         keep_mask = 0
+        ticker = active_ticker(every=4, context="CoverageGreedy pass")
         for _ in range(problem.budget):
             best_attribute = None
             best_key: tuple[int, int, int] | None = None
             for attribute in bit_indices(problem.new_tuple & ~keep_mask):
+                ticker.tick(keep_mask)
                 bit = 1 << attribute
                 extended = keep_mask | bit
                 completed = 0
@@ -304,6 +317,7 @@ class CoverageGreedySolver(_EngineSolver):
     def _solve_vertical(self, problem: VisibilityProblem) -> Solution:
         index = problem.index
         keep_mask = 0
+        ticker = active_ticker(context="CoverageGreedy pass")
         # Still-incomplete satisfiable queries.  The naive engine keeps
         # already-complete (e.g. empty) queries in its list until the
         # first filter pass; they shift every candidate's `completed`
@@ -326,6 +340,7 @@ class CoverageGreedySolver(_EngineSolver):
             best_violators = 0
             prefix = 0
             for i, attribute in enumerate(pool):
+                ticker.tick(keep_mask)
                 violators = prefix | suffix[i + 1]
                 completed = (remaining & ~violators).bit_count()
                 touched = (remaining & columns[i]).bit_count() - completed

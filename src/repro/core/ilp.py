@@ -26,7 +26,11 @@ paper).
 from __future__ import annotations
 
 from repro.common.bits import bit_indices
-from repro.common.errors import SolverBudgetExceededError, ValidationError
+from repro.common.errors import (
+    DeadlineExceededError,
+    SolverBudgetExceededError,
+    ValidationError,
+)
 from repro.core.base import Solver
 from repro.core.problem import Solution, VisibilityProblem
 from repro.lp.branch_and_bound import BranchAndBoundSolver
@@ -105,18 +109,24 @@ class IlpSolver(Solver):
         else:
             result = BranchAndBoundSolver(max_nodes=self.max_nodes).solve_model(model)
 
-        if result.status is SolveStatus.BUDGET_EXCEEDED:
+        if result.status.interrupted:
+            # Decode the feasible branch-and-bound incumbent (if any) so
+            # anytime callers get a valid keep_mask, not just a number.
+            incumbent = (
+                self._decode_mask(result.x, x_vars) if result.x.size else None
+            )
+            if result.status is SolveStatus.DEADLINE_EXCEEDED:
+                raise DeadlineExceededError(
+                    "ILP branch-and-bound hit the deadline", best_known=incumbent
+                )
             raise SolverBudgetExceededError(
                 f"ILP branch-and-bound exceeded {self.max_nodes} nodes",
-                best_known=result.objective,
+                best_known=incumbent,
             )
         if not result.is_optimal:
             raise ValidationError(f"unexpected ILP status {result.status}")
 
-        keep_mask = 0
-        for attribute, x in enumerate(x_vars):
-            if x is not None and result.x[x.index] > 0.5:
-                keep_mask |= 1 << attribute
+        keep_mask = self._decode_mask(result.x, x_vars)
         return self.make_solution(
             problem,
             keep_mask,
@@ -128,3 +138,11 @@ class IlpSolver(Solver):
                 "constraints": len(model.constraints),
             },
         )
+
+    @staticmethod
+    def _decode_mask(x, x_vars) -> int:
+        keep_mask = 0
+        for attribute, var in enumerate(x_vars):
+            if var is not None and x[var.index] > 0.5:
+                keep_mask |= 1 << attribute
+        return keep_mask

@@ -42,7 +42,12 @@ from dataclasses import dataclass
 from repro.booldata.table import BooleanTable
 from repro.common.bits import bit_count, bit_indices, mask_complement
 from repro.common.combinatorics import binomial, combinations_of_mask
-from repro.common.errors import SolverBudgetExceededError, ValidationError
+from repro.common.deadline import active_ticker
+from repro.common.errors import (
+    SolverBudgetExceededError,
+    SolverInterrupted,
+    ValidationError,
+)
 from repro.core.base import Solver
 from repro.core.greedy import ConsumeAttrSolver
 from repro.core.problem import Solution, VisibilityProblem
@@ -112,6 +117,7 @@ def _best_level_itemset(
     best: _LevelPick | None = None
     checked = 0
     seen: set[int] = set()
+    ticker = active_ticker(every=64, context="itemset level extraction")
     for maximal in maximal_itemsets:
         if maximal & complement_tuple != complement_tuple:
             continue  # not a superset of ~t
@@ -123,8 +129,11 @@ def _best_level_itemset(
             continue
         combination_count = binomial(bit_count(free), picks_needed)
         if checked + combination_count > max_candidates:
+            # best_known is the partial _LevelPick; the solver paths
+            # translate it into a valid keep_mask before the error escapes
             raise SolverBudgetExceededError(
-                f"level extraction would enumerate more than {max_candidates} itemsets"
+                f"level extraction would enumerate more than {max_candidates} itemsets",
+                best_known=best,
             )
         for extra in combinations_of_mask(free, picks_needed):
             itemset = complement_tuple | extra
@@ -135,6 +144,7 @@ def _best_level_itemset(
             support = complemented.support(itemset)
             if best is None or support > best.support:
                 best = _LevelPick(itemset, support, checked)
+            ticker.tick(best)
     if best is not None:
         best.candidates_checked = checked
     return best
@@ -195,16 +205,27 @@ class MaximalItemsetIndex:
         threshold: int,
         max_candidates: int = 5_000_000,
     ) -> _LevelPick | None:
-        """Best level-(M-m) itemset for a tuple at a fixed threshold."""
+        """Best level-(M-m) itemset for a tuple at a fixed threshold.
+
+        Interruptions (budget or deadline) escape with ``best_known``
+        already translated into a keep-mask incumbent, not the internal
+        :class:`_LevelPick`.
+        """
         width = self.log.schema.width
         complement_tuple = mask_complement(new_tuple, width)
-        return _best_level_itemset(
-            self._complemented,
-            self.maximal_itemsets(threshold),
-            complement_tuple,
-            width - budget,
-            max_candidates,
-        )
+        try:
+            return _best_level_itemset(
+                self._complemented,
+                self.maximal_itemsets(threshold),
+                complement_tuple,
+                width - budget,
+                max_candidates,
+            )
+        except SolverInterrupted as error:
+            incumbent = error.best_known
+            if isinstance(incumbent, _LevelPick):
+                incumbent = mask_complement(incumbent.itemset, width)
+            raise type(error)(str(error), best_known=incumbent) from None
 
 
 class MaxFreqItemsetsSolver(Solver):
@@ -278,6 +299,25 @@ class MaxFreqItemsetsSolver(Solver):
             return self._solve_projected(problem)
         return self._solve_unprojected(problem)
 
+    def _anytime(
+        self, problem: VisibilityProblem, error: SolverInterrupted, pick_to_mask
+    ) -> SolverInterrupted:
+        """Rebuild an interruption so ``best_known`` is a usable keep-mask.
+
+        Partial :class:`_LevelPick` incumbents are translated through the
+        calling path's own itemset-to-mask conversion; when the
+        interruption fired before any candidate existed (e.g. inside the
+        miner) the ConsumeAttr selection — always cheap and always a
+        valid compression — stands in, so the anytime path never comes
+        back empty-handed.
+        """
+        incumbent = error.best_known
+        if isinstance(incumbent, _LevelPick):
+            incumbent = pick_to_mask(incumbent)
+        if incumbent is None:
+            incumbent = ConsumeAttrSolver().solve(problem).keep_mask
+        return type(error)(str(error), best_known=incumbent)
+
     def _solve_projected(self, problem: VisibilityProblem) -> Solution:
         """Fast path: mine in the subspace of the tuple's own attributes.
 
@@ -303,25 +343,32 @@ class MaxFreqItemsetsSolver(Solver):
             return self.make_solution(problem, 0, stats={"empty_effective_log": True})
 
         width = len(attributes)
+
+        def lift(pick: _LevelPick) -> int:
+            """Map a projected itemset back to a full-schema keep-mask."""
+            keep_mask = 0
+            remaining = mask_complement(pick.itemset, width)
+            while remaining:
+                low = remaining & -remaining
+                keep_mask |= 1 << attributes[low.bit_length() - 1]
+                remaining ^= low
+            return keep_mask
+
         complemented = TransactionDatabase(width, projected_queries).complement()
         level = width - problem.budget  # non-trivial solve: budget < |t|
-        pick, stats = self._mine_and_pick(
-            problem, complemented, complement_tuple=0, level=level,
-            log_size=len(projected_queries),
-        )
+        try:
+            pick, stats = self._mine_and_pick(
+                problem, complemented, complement_tuple=0, level=level,
+                log_size=len(projected_queries),
+            )
+        except SolverInterrupted as error:
+            raise self._anytime(problem, error, lift) from None
         stats["projected_width"] = width
         if pick is None or pick.support == 0:
             stats["returned_empty"] = True
             return self.make_solution(problem, 0, stats=stats)
         stats["candidates_checked"] = pick.candidates_checked
-        keep_projected = mask_complement(pick.itemset, width)
-        keep_mask = 0
-        remaining = keep_projected
-        while remaining:
-            low = remaining & -remaining
-            keep_mask |= 1 << attributes[low.bit_length() - 1]
-            remaining ^= low
-        return self.make_solution(problem, keep_mask, stats=stats)
+        return self.make_solution(problem, lift(pick), stats=stats)
 
     def _solve_unprojected(self, problem: VisibilityProblem) -> Solution:
         """Paper-literal path over the full schema and (optionally) full log."""
@@ -334,9 +381,15 @@ class MaxFreqItemsetsSolver(Solver):
         complement_tuple = mask_complement(problem.new_tuple, width)
         level = width - problem.budget
 
-        pick, stats = self._mine_and_pick(
-            problem, complemented, complement_tuple, level, len(log)
-        )
+        try:
+            pick, stats = self._mine_and_pick(
+                problem, complemented, complement_tuple, level, len(log)
+            )
+        except SolverInterrupted as error:
+            raise self._anytime(
+                problem, error,
+                lambda pick: mask_complement(pick.itemset, width),
+            ) from None
         stats["effective_log_size"] = len(log)
         if pick is None or pick.support == 0:
             # Fixed threshold too high ("the algorithm will return
@@ -405,9 +458,13 @@ class MaxFreqItemsetsSolver(Solver):
         pick: _LevelPick | None = None
         while True:
             rounds += 1
-            pick = self.index.lookup(
-                problem.new_tuple, problem.budget, threshold, self.max_candidates
-            )
+            try:
+                pick = self.index.lookup(
+                    problem.new_tuple, problem.budget, threshold, self.max_candidates
+                )
+            except SolverInterrupted as error:
+                # lookup already translated best_known into a keep-mask
+                raise self._anytime(problem, error, lambda pick: None) from None
             if pick is not None and (not adaptive or pick.support >= 1):
                 break
             if not adaptive or threshold == 1:

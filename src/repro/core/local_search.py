@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 
 from repro.common.bits import bit_indices
+from repro.common.deadline import active_ticker
 from repro.common.rng import ensure_rng
 from repro.core.base import Solver
 from repro.core.greedy import ConsumeAttrSolver
@@ -47,6 +48,8 @@ class LocalSearchSolver(Solver):
     def _solve(self, problem: VisibilityProblem) -> Solution:
         rng = ensure_rng(self.seed)
         queries = problem.satisfiable_queries
+        ticker = active_ticker(every=4, context="local-search swaps")
+        incumbent = 0  # best mask across climbs, for anytime interruption
 
         def objective(mask: int) -> int:
             return sum(1 for query in queries if query & mask == query)
@@ -66,6 +69,7 @@ class LocalSearchSolver(Solver):
                 for drop in kept:
                     without = mask ^ (1 << drop)
                     for add in unkept:
+                        ticker.tick(incumbent or mask)
                         candidate = without | (1 << add)
                         candidate_value = objective(candidate)
                         if candidate_value > best_value:
@@ -80,7 +84,9 @@ class LocalSearchSolver(Solver):
         attributes = bit_indices(problem.new_tuple)
 
         start = ConsumeAttrSolver().solve(problem).keep_mask
+        incumbent = start
         best_mask, best_value, total_rounds = climb(start)
+        incumbent = best_mask
         for _ in range(self.restarts):
             restart = 0
             for attribute in rng.sample(attributes, size):

@@ -28,6 +28,7 @@ __all__ = [
     "OPTIMAL_ALGORITHMS",
     "GREEDY_ALGORITHMS",
     "ENGINE_AWARE_ALGORITHMS",
+    "DEFAULT_FALLBACK_CHAIN",
     "make_solver",
     "available_algorithms",
 ]
@@ -56,6 +57,11 @@ ENGINE_AWARE_ALGORITHMS: tuple[str, ...] = (
     "ConsumeQueries",
     "CoverageGreedy",
 )
+#: the default anytime degradation ladder used by
+#: :class:`repro.runtime.SolverHarness`: exact ILP first, the paper's
+#: scalable exact algorithm second, and the fast near-optimal greedy as
+#: the terminal safety net (Section VI shows it within a few percent)
+DEFAULT_FALLBACK_CHAIN: tuple[str, ...] = ("ILP", "MaxFreqItemSets", "ConsumeAttrCumul")
 
 
 def available_algorithms() -> list[str]:

@@ -24,6 +24,7 @@ import math
 
 import numpy as np
 
+from repro.common.deadline import active_deadline
 from repro.lp.model import CompiledProblem, Model
 from repro.lp.simplex import SimplexSolver
 from repro.lp.solution import MilpSolution, SolveStatus
@@ -67,8 +68,8 @@ class BranchAndBoundSolver:
             return MilpSolution(SolveStatus.INFEASIBLE, nodes_explored=1)
         if root_lp.status is SolveStatus.UNBOUNDED:
             return MilpSolution(SolveStatus.UNBOUNDED, nodes_explored=1)
-        if root_lp.status is SolveStatus.BUDGET_EXCEEDED:
-            return MilpSolution(SolveStatus.BUDGET_EXCEEDED, nodes_explored=1)
+        if root_lp.status.interrupted:
+            return MilpSolution(root_lp.status, nodes_explored=1)
 
         rounded = self._rounding_heuristic(problem, root_lp.x)
         if rounded is not None:
@@ -77,11 +78,16 @@ class BranchAndBoundSolver:
 
         heap: list[tuple[float, int, tuple[np.ndarray, np.ndarray]]] = []
         heapq.heappush(heap, (root_lp.objective, next(counter), root))
+        deadline = active_deadline()
 
         while heap:
             bound, _, (low, high) = heapq.heappop(heap)
             if bound >= incumbent_value - self.absolute_gap:
                 continue  # cannot beat the incumbent
+            if deadline is not None and deadline.expired():
+                return self._result(problem, SolveStatus.DEADLINE_EXCEEDED,
+                                    incumbent_x, incumbent_value,
+                                    nodes_explored, lp_iterations)
             if nodes_explored >= self.max_nodes:
                 status = (
                     SolveStatus.BUDGET_EXCEEDED
@@ -94,8 +100,8 @@ class BranchAndBoundSolver:
             relaxation = self._solve_relaxation(problem, low, high)
             nodes_explored += 1
             lp_iterations += relaxation.iterations
-            if relaxation.status is SolveStatus.BUDGET_EXCEEDED:
-                return self._result(problem, SolveStatus.BUDGET_EXCEEDED, incumbent_x,
+            if relaxation.status.interrupted:
+                return self._result(problem, relaxation.status, incumbent_x,
                                     incumbent_value, nodes_explored, lp_iterations)
             if not relaxation.is_optimal:
                 continue  # infeasible branch

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.common.deadline import active_deadline
 from repro.common.errors import ValidationError
 from repro.lp.solution import LpSolution, SolveStatus
 
@@ -182,7 +183,14 @@ class SimplexSolver:
         iterations = 0
         stalled = 0
         use_bland = False
+        deadline = active_deadline()
         while iterations < self.max_iterations:
+            # Cooperative deadline checkpoint: a pivot is a dense numpy
+            # pass over the whole tableau, so a clock read per pivot is
+            # noise — and large tableaus make coarser strides overshoot
+            # short deadlines by whole multiples.
+            if deadline is not None and deadline.expired():
+                return SolveStatus.DEADLINE_EXCEEDED, iterations
             # Reduced costs: z_j - c_j = c_B @ column_j - c_j.
             reduced = cost[basis] @ tableau[:, :num_columns] - cost[:num_columns]
             if use_bland:

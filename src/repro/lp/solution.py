@@ -15,6 +15,13 @@ class SolveStatus(enum.Enum):
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     BUDGET_EXCEEDED = "budget_exceeded"
+    DEADLINE_EXCEEDED = "deadline_exceeded"
+
+    @property
+    def interrupted(self) -> bool:
+        """The solve stopped early (budget or deadline) with the search
+        incomplete; any reported incumbent is feasible but unproven."""
+        return self in (SolveStatus.BUDGET_EXCEEDED, SolveStatus.DEADLINE_EXCEEDED)
 
 
 @dataclass

@@ -22,6 +22,7 @@ Three miners, trading generality for speed:
 from __future__ import annotations
 
 from repro.common.bits import bit_indices
+from repro.common.deadline import active_ticker
 from repro.common.errors import SolverBudgetExceededError
 from repro.mining.apriori import apriori
 
@@ -165,6 +166,8 @@ def mine_maximal_dfs(
                 return  # extendable; the superset is reached on its own path
         record(mask)
 
+    ticker = active_ticker(every=64, context="maximal-itemset DFS")
+
     def dfs(head: int, candidates: list[int]) -> None:
         nonlocal nodes
         nodes += 1
@@ -172,6 +175,7 @@ def mine_maximal_dfs(
             raise SolverBudgetExceededError(
                 f"maximal-itemset DFS exceeded {max_nodes} nodes"
             )
+        ticker.tick()
         head_support = support(head) if head else database.num_transactions
         # PEP: absorb candidates occurring in every supporting transaction.
         tail: list[tuple[int, int]] = []

@@ -26,6 +26,7 @@ from collections import Counter
 from dataclasses import dataclass
 
 from repro.common.bits import bit_indices
+from repro.common.deadline import NULL_TICKER, active_deadline, active_ticker
 from repro.common.errors import ValidationError
 from repro.common.estimates import good_turing_unseen_estimate
 from repro.common.rng import ensure_rng
@@ -69,6 +70,7 @@ class _RandomWalkMinerBase:
         #: that can fire before rare MFIs are hit even once.
         self.min_iterations = min_iterations
         self._steps = 0
+        self._step_ticker = NULL_TICKER
 
     def mine(self, database) -> tuple[dict[int, int], WalkStatistics]:
         """Return ``({mfi_mask: support}, statistics)``.
@@ -83,7 +85,13 @@ class _RandomWalkMinerBase:
         discoveries: Counter[int] = Counter()
         draws: list[int] = []
         iterations = 0
+        # Walks are expensive (many support counts each), so the deadline
+        # is read once per walk; single lattice steps checkpoint too.
+        deadline = active_deadline()
+        self._step_ticker = active_ticker(context="random-walk lattice steps")
         while iterations < self.max_iterations:
+            if deadline is not None:
+                deadline.check(context="random-walk mining")
             if (
                 iterations >= self.min_iterations
                 and discoveries
@@ -125,6 +133,7 @@ class _RandomWalkMinerBase:
             active = False
             kept = []
             for item in candidates:
+                self._step_ticker.tick()
                 extended = itemset | (1 << item)
                 if database.support(extended) >= self.threshold:
                     itemset = extended

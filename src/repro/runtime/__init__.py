@@ -1,0 +1,57 @@
+"""Runtime hardening for the SOC-CB-QL solvers.
+
+The algorithm layer (:mod:`repro.core`) is honest to a fault: exact
+solvers raise when interrupted rather than silently returning a
+sub-optimal answer.  A serving system needs the opposite contract —
+*always* return the best valid answer available within a wall-clock
+budget.  This package bridges the two:
+
+* :mod:`repro.common.deadline` (re-exported here) provides the
+  cooperative deadline tokens threaded through solver inner loops;
+* :class:`SolverHarness` runs a fallback chain of registry solvers
+  under a shared deadline with retries, an invariant guard and anytime
+  degradation, returning a structured :class:`RunOutcome`;
+* :class:`CircuitBreaker` protects the serving path from a persistently
+  failing exact tier;
+* :mod:`repro.runtime.faults` injects deterministic failures for chaos
+  tests.
+"""
+
+from repro.common.deadline import (
+    NULL_TICKER,
+    Deadline,
+    Ticker,
+    active_deadline,
+    active_ticker,
+    deadline_scope,
+)
+from repro.runtime.breaker import CircuitBreaker
+from repro.runtime.faults import (
+    Fault,
+    FaultPlan,
+    FaultySolver,
+    InjectedCrash,
+    TransientFault,
+    corrupt_solution,
+)
+from repro.runtime.harness import Attempt, RunOutcome, SolverHarness, make_harness
+
+__all__ = [
+    "Deadline",
+    "Ticker",
+    "NULL_TICKER",
+    "active_deadline",
+    "active_ticker",
+    "deadline_scope",
+    "Attempt",
+    "RunOutcome",
+    "SolverHarness",
+    "make_harness",
+    "CircuitBreaker",
+    "Fault",
+    "FaultPlan",
+    "FaultySolver",
+    "TransientFault",
+    "InjectedCrash",
+    "corrupt_solution",
+]

@@ -1,0 +1,81 @@
+"""Circuit breaker for the exact-solver tier.
+
+In the serving path (:class:`repro.simulate.monitor.VisibilityMonitor`)
+a persistently failing exact solver should not be retried on every
+request — each attempt burns most of the deadline before the fallback
+even starts.  The breaker implements the classic three-state pattern:
+
+* **closed** — primary runs normally; consecutive failures are counted;
+* **open** — after ``failure_threshold`` consecutive failures the
+  primary is skipped entirely and requests go straight to the terminal
+  fallback, for ``cooldown_s`` seconds;
+* **half-open** — once the cooldown elapses, a single trial request is
+  let through; success closes the breaker, failure re-opens it for
+  another full cooldown.
+
+The clock is injectable so tests can drive the cooldown without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.common.errors import ValidationError
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with cooldown and half-open trials."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValidationError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValidationError("cooldown_s must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self.failures = 0
+        self._opened_at: float | None = None
+
+    def record_failure(self) -> None:
+        """Count one primary failure; trips (or re-trips) at the threshold."""
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+
+    def record_success(self) -> None:
+        """A primary success fully resets the breaker."""
+        self.failures = 0
+        self._opened_at = None
+
+    def is_open(self) -> bool:
+        """True while the primary should be skipped.
+
+        Returns False once the cooldown has elapsed — that lets exactly
+        the callers who check through; a failure on that half-open trial
+        re-arms the cooldown via :meth:`record_failure`.
+        """
+        if self._opened_at is None:
+            return False
+        return (self._clock() - self._opened_at) < self.cooldown_s
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"`` (for diagnostics)."""
+        if self._opened_at is None:
+            return "closed"
+        return "open" if self.is_open() else "half-open"
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, failures={self.failures}, "
+            f"threshold={self.failure_threshold})"
+        )

@@ -1,0 +1,255 @@
+"""Seeded fault injection for chaos-testing the solver runtime.
+
+The harness promises anytime semantics *under failure*: transient
+errors, hard crashes, slow solvers and corrupted answers must all
+degrade into a valid :class:`~repro.runtime.harness.RunOutcome`
+instead of escaping.  Verifying that promise needs failures on demand,
+so this module provides a deterministic fault layer:
+
+* :class:`FaultPlan` — a per-solver schedule of :class:`Fault` steps,
+  either written explicitly or generated from a seed
+  (:meth:`FaultPlan.seeded`), replayable call for call;
+* :class:`FaultySolver` — wraps any :class:`~repro.core.base.Solver`
+  and consults the plan on every ``solve`` call.
+
+Fault kinds:
+
+``ok``
+    pass through untouched;
+``error``
+    raise :class:`TransientFault` (the retryable class — the harness
+    retries these with backoff);
+``crash``
+    raise :class:`InjectedCrash`, a plain :class:`RuntimeError`
+    standing in for non-library failures (segfaulting extension,
+    OOM-killed worker) that must not be retried blindly;
+``delay``
+    sleep ``delay_s`` before solving, to push a fast solver past a
+    deadline;
+``corrupt``
+    solve correctly, then forge a damaged :class:`Solution` that
+    bypasses the dataclass validators — exercising the harness's
+    invariant guard, the last line of defence.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.common.bits import bit_count, is_subset
+from repro.common.errors import ReproError, ValidationError
+from repro.core.base import Solver
+from repro.core.problem import Solution, VisibilityProblem
+
+__all__ = [
+    "TransientFault",
+    "InjectedCrash",
+    "Fault",
+    "OK",
+    "FaultPlan",
+    "FaultySolver",
+    "corrupt_solution",
+]
+
+FAULT_KINDS = ("ok", "error", "crash", "delay", "corrupt")
+CORRUPTION_MODES = ("lie", "overbudget", "alien")
+
+
+class TransientFault(ReproError):
+    """An injected failure of the retryable class (timeouts, flaky I/O)."""
+
+
+class InjectedCrash(RuntimeError):
+    """An injected failure outside the library's error hierarchy."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: what happens on one ``solve`` call."""
+
+    kind: str
+    delay_s: float = 0.0
+    corruption: str = "lie"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValidationError(f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if self.corruption not in CORRUPTION_MODES:
+            raise ValidationError(
+                f"unknown corruption mode {self.corruption!r}; known: {CORRUPTION_MODES}"
+            )
+        if self.delay_s < 0:
+            raise ValidationError("delay_s must be non-negative")
+
+
+OK = Fault("ok")
+
+
+def _coerce(step: Fault | str) -> Fault:
+    return step if isinstance(step, Fault) else Fault(step)
+
+
+class FaultPlan:
+    """Deterministic per-solver fault schedule.
+
+    ``schedules`` maps a solver name to either
+
+    * a sequence of steps, consumed one per ``solve`` call and falling
+      back to ``default`` once exhausted, or
+    * a single step, applied on *every* call (``{"ILP": "error"}`` makes
+      ILP permanently unavailable).
+
+    Steps are :class:`Fault` instances or bare kind strings.  The plan
+    records every decision in :attr:`history` for assertions, and
+    :meth:`reset` rewinds it for an identical replay.
+    """
+
+    def __init__(
+        self,
+        schedules: Mapping[str, Fault | str | Sequence[Fault | str]] | None = None,
+        default: Fault | str = OK,
+    ) -> None:
+        self._always: dict[str, Fault] = {}
+        self._queues: dict[str, list[Fault]] = {}
+        for name, steps in (schedules or {}).items():
+            if isinstance(steps, (Fault, str)):
+                self._always[name] = _coerce(steps)
+            else:
+                self._queues[name] = [_coerce(step) for step in steps]
+        self._default = _coerce(default)
+        self._positions: dict[str, int] = {}
+        #: every decision taken, as ``(solver_name, fault)`` pairs
+        self.history: list[tuple[str, Fault]] = []
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        solver_names: Sequence[str],
+        *,
+        rate: float = 0.5,
+        length: int = 8,
+        kinds: Sequence[str] = ("error", "crash", "delay", "corrupt"),
+        max_delay_s: float = 0.002,
+    ) -> "FaultPlan":
+        """A reproducible random plan: same seed, same fault schedule."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValidationError("fault rate must be in [0, 1]")
+        rng = random.Random(seed)
+        schedules: dict[str, list[Fault]] = {}
+        for name in solver_names:
+            steps = []
+            for _ in range(length):
+                if rng.random() >= rate:
+                    steps.append(OK)
+                    continue
+                kind = rng.choice(list(kinds))
+                if kind == "delay":
+                    steps.append(Fault("delay", delay_s=rng.uniform(0.0, max_delay_s)))
+                elif kind == "corrupt":
+                    steps.append(Fault("corrupt", corruption=rng.choice(CORRUPTION_MODES)))
+                else:
+                    steps.append(Fault(kind))
+            schedules[name] = steps
+        return cls(schedules)
+
+    def next_fault(self, solver_name: str) -> Fault:
+        """The fault for this solver's next ``solve`` call (and advance)."""
+        fault = self._always.get(solver_name)
+        if fault is None:
+            queue = self._queues.get(solver_name)
+            if queue is None:
+                fault = self._default
+            else:
+                position = self._positions.get(solver_name, 0)
+                fault = queue[position] if position < len(queue) else self._default
+                self._positions[solver_name] = position + 1
+        self.history.append((solver_name, fault))
+        return fault
+
+    def reset(self) -> None:
+        """Rewind all schedules and clear the history."""
+        self._positions.clear()
+        self.history.clear()
+
+
+class FaultySolver(Solver):
+    """A solver whose every ``solve`` call first consults a fault plan."""
+
+    def __init__(self, inner: Solver, plan: FaultPlan, sleep=time.sleep) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.name = inner.name
+        self.optimal = inner.optimal
+        self._sleep = sleep
+
+    def solve(self, problem: VisibilityProblem) -> Solution:
+        fault = self.plan.next_fault(self.name)
+        if fault.kind == "error":
+            raise TransientFault(f"injected transient fault in {self.name}")
+        if fault.kind == "crash":
+            raise InjectedCrash(f"injected crash in {self.name}")
+        if fault.kind == "delay":
+            self._sleep(fault.delay_s)
+        solution = self.inner.solve(problem)
+        if fault.kind == "corrupt":
+            return corrupt_solution(solution, fault.corruption)
+        return solution
+
+    def _solve(self, problem: VisibilityProblem) -> Solution:
+        # ``solve`` is overridden wholesale; the abstract hook only
+        # exists to satisfy the Solver interface.
+        return self.inner._solve(problem)
+
+    def __repr__(self) -> str:
+        return f"FaultySolver({self.inner!r})"
+
+
+def _forge(
+    problem: VisibilityProblem, keep_mask: int, satisfied: int, algorithm: str
+) -> Solution:
+    """Build a Solution *without* running its validators.
+
+    Chaos tooling only: a buggy or hostile solver would hand back an
+    object that never went through ``__post_init__``, and the harness's
+    invariant guard must catch it anyway.
+    """
+    forged = object.__new__(Solution)
+    object.__setattr__(forged, "problem", problem)
+    object.__setattr__(forged, "keep_mask", keep_mask)
+    object.__setattr__(forged, "satisfied", satisfied)
+    object.__setattr__(forged, "algorithm", algorithm)
+    object.__setattr__(forged, "optimal", False)
+    object.__setattr__(forged, "stats", {"forged": True})
+    return forged
+
+
+def corrupt_solution(solution: Solution, mode: str = "lie") -> Solution:
+    """Damage a correct solution in a detectable way.
+
+    * ``lie`` — keep the mask but overstate the objective;
+    * ``overbudget`` — return the whole tuple, ignoring the budget
+      (falls back to ``lie`` when the budget already covers the tuple);
+    * ``alien`` — retain an attribute the tuple does not have (falls
+      back to ``lie`` when the tuple spans the whole schema).
+    """
+    problem = solution.problem
+    algorithm = solution.algorithm
+    if mode == "overbudget":
+        mask = problem.new_tuple
+        if bit_count(mask) > problem.budget:
+            return _forge(problem, mask, len(problem.log), algorithm)
+        mode = "lie"
+    if mode == "alien":
+        alien = ((1 << problem.width) - 1) & ~problem.new_tuple
+        if alien:
+            mask = solution.keep_mask | (alien & -alien)
+            assert not is_subset(mask, problem.new_tuple)
+            return _forge(problem, mask, solution.satisfied, algorithm)
+        mode = "lie"
+    if mode != "lie":
+        raise ValidationError(f"unknown corruption mode {mode!r}")
+    return _forge(problem, solution.keep_mask, solution.satisfied + 13, algorithm)

@@ -52,6 +52,33 @@ class Marketplace:
         self._ads.append(ad)
         return ad.ad_id
 
+    def post_optimized_ad(
+        self,
+        new_tuple: int,
+        budget: int,
+        traffic: BooleanTable,
+        harness,
+        label: str = "",
+    ) -> tuple[int, object]:
+        """Compress ``new_tuple`` against ``traffic`` and post the result.
+
+        The serving path for sellers: the attribute selection runs
+        through a :class:`repro.runtime.SolverHarness`, so a deadline or
+        a failing exact solver degrades to the harness's fallback chain
+        instead of blocking the posting.  Returns ``(ad_id, outcome)``;
+        when even the fallback chain fails, nothing is posted and
+        ``ad_id`` is ``None`` — the outcome says why.
+        """
+        from repro.core.problem import VisibilityProblem
+
+        if traffic.schema != self.schema:
+            raise ValidationError("traffic schema differs from marketplace schema")
+        problem = VisibilityProblem(traffic, new_tuple, budget)
+        outcome = harness.run(problem)
+        if outcome.solution is None:
+            return None, outcome
+        return self.post_ad(outcome.solution.keep_mask, label), outcome
+
     @property
     def ads(self) -> list[PostedAd]:
         return list(self._ads)

@@ -46,6 +46,13 @@ class VisibilityMonitor:
     ConsumeAttr greedy by default — a lower bound on the true optimum,
     so recommendations err on the quiet side; plug in an exact solver
     for aggressive re-optimization).
+
+    ``harness`` (a :class:`repro.runtime.SolverHarness`) makes
+    re-optimization deadline-safe: :meth:`reoptimize_anytime` serves
+    through its fallback chain — and, when the harness carries a
+    :class:`repro.runtime.CircuitBreaker`, a persistently failing exact
+    tier is skipped in favour of the greedy safety net until the
+    cooldown elapses.
     """
 
     def __init__(
@@ -57,6 +64,7 @@ class VisibilityMonitor:
         window_size: int = 200,
         tolerance: float = 0.8,
         estimator: Solver | None = None,
+        harness=None,
     ) -> None:
         schema.validate_mask(new_tuple)
         schema.validate_mask(keep_mask)
@@ -74,6 +82,7 @@ class VisibilityMonitor:
         self.budget = budget
         self.tolerance = tolerance
         self.estimator = estimator or ConsumeAttrSolver()
+        self.harness = harness
         self._window: deque[int] = deque(maxlen=window_size)
         self._realized = 0
 
@@ -123,8 +132,37 @@ class VisibilityMonitor:
             return self.keep_mask
         problem = VisibilityProblem(window, self.new_tuple, self.budget)
         solution = solver.solve(problem)
-        self.keep_mask = solution.keep_mask
+        self._adopt(solution.keep_mask)
+        return self.keep_mask
+
+    def reoptimize_anytime(self, harness=None):
+        """Re-select attributes through an anytime harness.
+
+        Serves through the fallback chain of ``harness`` (or the one
+        given at construction) and returns the structured
+        :class:`repro.runtime.RunOutcome` — the caller sees whether the
+        new mask is exact, a fallback or a best-effort incumbent.  The
+        advertised mask is only replaced when the run produced a valid
+        solution; a failed outcome leaves the current ad untouched
+        (serving stale beats serving nothing).  Returns ``None`` on an
+        empty window, where re-optimization is meaningless.
+        """
+        harness = harness if harness is not None else self.harness
+        if harness is None:
+            raise ValidationError(
+                "reoptimize_anytime needs a harness (argument or constructor)"
+            )
+        window = self.window
+        if not len(window):
+            return None
+        problem = VisibilityProblem(window, self.new_tuple, self.budget)
+        outcome = harness.run(problem)
+        if outcome.solution is not None:
+            self._adopt(outcome.solution.keep_mask)
+        return outcome
+
+    def _adopt(self, keep_mask: int) -> None:
+        self.keep_mask = keep_mask
         self._realized = sum(
             1 for query in self._window if query & self.keep_mask == query
         )
-        return self.keep_mask

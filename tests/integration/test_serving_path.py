@@ -1,0 +1,112 @@
+"""Tests for the harness-backed serving path (monitor + marketplace)."""
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.errors import ValidationError
+from repro.runtime import CircuitBreaker, FaultPlan, SolverHarness
+from repro.simulate import Marketplace, VisibilityMonitor
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.anonymous(6)
+
+
+@pytest.fixture
+def traffic(schema) -> list[int]:
+    return [0b000011, 0b000110, 0b001100, 0b000011, 0b000101, 0b011000]
+
+
+def make_monitor(schema, **overrides):
+    defaults = dict(
+        new_tuple=0b011111,
+        keep_mask=0b000011,
+        budget=2,
+        schema=schema,
+        window_size=10,
+    )
+    defaults.update(overrides)
+    return VisibilityMonitor(**defaults)
+
+
+class TestMonitorAnytimeReoptimization:
+    def test_reoptimizes_through_the_harness(self, schema, traffic):
+        harness = SolverHarness(["MaxFreqItemSets", "ConsumeAttrCumul"])
+        monitor = make_monitor(schema, harness=harness)
+        monitor.observe_many(traffic)
+        outcome = monitor.reoptimize_anytime()
+        assert outcome.status == "exact"
+        assert monitor.keep_mask == outcome.solution.keep_mask
+        assert monitor.status().realized_share >= 0.8
+
+    def test_failed_run_keeps_the_current_ad(self, schema, traffic):
+        harness = SolverHarness(
+            ["ConsumeAttr"], fault_plan=FaultPlan({}, default="crash")
+        )
+        monitor = make_monitor(schema, harness=harness)
+        monitor.observe_many(traffic)
+        before = monitor.keep_mask
+        outcome = monitor.reoptimize_anytime()
+        assert outcome.status == "failed"
+        assert monitor.keep_mask == before
+
+    def test_breaker_routes_around_a_dead_exact_tier(self, schema, traffic):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=60.0)
+        harness = SolverHarness(
+            ["ILP", "ConsumeAttrCumul"],
+            fault_plan=FaultPlan({"ILP": "crash"}),
+            breaker=breaker,
+        )
+        monitor = make_monitor(schema, harness=harness)
+        monitor.observe_many(traffic)
+        monitor.reoptimize_anytime()
+        monitor.reoptimize_anytime()
+        assert breaker.is_open()
+        outcome = monitor.reoptimize_anytime()
+        assert outcome.attempts[0].status == "skipped"
+        assert outcome.status == "fallback"
+
+    def test_harness_argument_overrides_constructor(self, schema, traffic):
+        monitor = make_monitor(schema)
+        monitor.observe_many(traffic)
+        outcome = monitor.reoptimize_anytime(SolverHarness(["ConsumeAttr"]))
+        assert outcome.status == "exact"
+
+    def test_needs_a_harness(self, schema, traffic):
+        monitor = make_monitor(schema)
+        monitor.observe_many(traffic)
+        with pytest.raises(ValidationError):
+            monitor.reoptimize_anytime()
+
+    def test_empty_window_returns_none(self, schema):
+        monitor = make_monitor(schema, harness=SolverHarness(["ConsumeAttr"]))
+        assert monitor.reoptimize_anytime() is None
+
+
+class TestMarketplaceServing:
+    def test_post_optimized_ad(self, schema, traffic):
+        market = Marketplace(schema)
+        log = BooleanTable(schema, traffic)
+        ad_id, outcome = market.post_optimized_ad(
+            0b011111, 2, log, SolverHarness(["MaxFreqItemSets", "ConsumeAttrCumul"])
+        )
+        assert outcome.status == "exact"
+        assert market.ads[ad_id].mask == outcome.solution.keep_mask
+        hits = market.run_workload(log)
+        assert hits[ad_id] == outcome.solution.satisfied
+
+    def test_failed_chain_posts_nothing(self, schema, traffic):
+        market = Marketplace(schema)
+        log = BooleanTable(schema, traffic)
+        harness = SolverHarness(["ConsumeAttr"], fault_plan=FaultPlan({}, default="crash"))
+        ad_id, outcome = market.post_optimized_ad(0b011111, 2, log, harness)
+        assert ad_id is None
+        assert outcome.status == "failed"
+        assert len(market) == 0
+
+    def test_schema_mismatch_rejected(self, schema, traffic):
+        market = Marketplace(schema)
+        other = BooleanTable(Schema.anonymous(3), [0b001])
+        with pytest.raises(ValidationError):
+            market.post_optimized_ad(0b011111, 2, other, SolverHarness(["ConsumeAttr"]))

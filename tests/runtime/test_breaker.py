@@ -1,0 +1,81 @@
+"""Tests for the circuit breaker's state machine."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.runtime.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock: FakeClock) -> CircuitBreaker:
+    return CircuitBreaker(failure_threshold=3, cooldown_s=10.0, clock=clock)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed(self, breaker):
+        assert breaker.state == "closed"
+        assert not breaker.is_open()
+
+    def test_trips_at_threshold(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert not breaker.is_open()
+        breaker.record_failure()
+        assert breaker.is_open()
+        assert breaker.state == "open"
+
+    def test_success_resets_the_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert not breaker.is_open()
+
+    def test_cooldown_half_opens(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 9.9
+        assert breaker.is_open()
+        clock.now = 10.0
+        assert not breaker.is_open()
+        assert breaker.state == "half-open"
+
+    def test_half_open_failure_rearms_the_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 15.0
+        assert not breaker.is_open()
+        breaker.record_failure()  # the trial request failed
+        assert breaker.is_open()
+        clock.now = 24.9
+        assert breaker.is_open()
+        clock.now = 25.0
+        assert not breaker.is_open()
+
+    def test_half_open_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 20.0
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.failures == 0
+
+    def test_validation(self, clock):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValidationError):
+            CircuitBreaker(cooldown_s=-1)

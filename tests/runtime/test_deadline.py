@@ -1,0 +1,130 @@
+"""Tests for the cooperative deadline primitive."""
+
+import pytest
+
+from repro.common.deadline import (
+    NULL_TICKER,
+    Deadline,
+    Ticker,
+    active_deadline,
+    active_ticker,
+    deadline_scope,
+)
+from repro.common.errors import (
+    DeadlineExceededError,
+    SolverInterrupted,
+    ValidationError,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_expires_on_schedule(self):
+        clock = FakeClock()
+        deadline = Deadline(0.05, clock=clock)
+        assert not deadline.expired()
+        assert deadline.remaining() == pytest.approx(0.05)
+        clock.advance(0.049)
+        assert not deadline.expired()
+        clock.advance(0.002)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_with_incumbent_and_context(self):
+        clock = FakeClock()
+        deadline = Deadline(0.01, clock=clock)
+        deadline.check()  # not yet expired: no-op
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.check(best_known=0b101, context="unit test")
+        assert excinfo.value.best_known == 0b101
+        assert "unit test" in str(excinfo.value)
+
+    def test_deadline_error_is_solver_interrupted(self):
+        assert issubclass(DeadlineExceededError, SolverInterrupted)
+
+    def test_unbounded_never_expires(self):
+        deadline = Deadline.unbounded()
+        assert not deadline.bounded
+        assert not deadline.expired()
+        assert deadline.remaining() == float("inf")
+        deadline.check()
+
+    def test_after_ms(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(50, clock=clock)
+        assert deadline.duration == pytest.approx(0.05)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            Deadline(-1.0)
+
+
+class TestTicker:
+    def test_strided_clock_reads(self):
+        clock = FakeClock()
+        deadline = Deadline(0.01, clock=clock)
+        ticker = Ticker(deadline, every=4)
+        clock.advance(1.0)  # already expired, but ticks 1-3 must not look
+        ticker.tick()
+        ticker.tick()
+        ticker.tick()
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            ticker.tick(best_known=7)
+        assert excinfo.value.best_known == 7
+
+    def test_unbounded_deadline_hands_out_null_ticker(self):
+        assert Deadline.unbounded().ticker() is NULL_TICKER
+        NULL_TICKER.tick()  # no-op, never raises
+        NULL_TICKER.tick(best_known=3)
+
+    def test_stride_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            Ticker(Deadline(1.0), every=0)
+
+
+class TestAmbientDeadline:
+    def test_no_scope_means_no_deadline(self):
+        assert active_deadline() is None
+        assert active_ticker() is NULL_TICKER
+
+    def test_scope_sets_and_resets(self):
+        deadline = Deadline(1.0)
+        with deadline_scope(deadline) as scoped:
+            assert scoped is deadline
+            assert active_deadline() is deadline
+            assert isinstance(active_ticker(), Ticker)
+        assert active_deadline() is None
+
+    def test_nested_scopes_restore_outer(self):
+        outer, inner = Deadline(1.0), Deadline(2.0)
+        with deadline_scope(outer):
+            with deadline_scope(inner):
+                assert active_deadline() is inner
+            assert active_deadline() is outer
+
+    def test_scope_resets_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with deadline_scope(Deadline(1.0)):
+                raise RuntimeError("boom")
+        assert active_deadline() is None
+
+    def test_expired_ambient_deadline_interrupts_a_loop(self):
+        clock = FakeClock()
+        deadline = Deadline(0.01, clock=clock)
+        with deadline_scope(deadline):
+            ticker = active_ticker(every=2, context="loop")
+            clock.advance(1.0)
+            ticker.tick()
+            with pytest.raises(DeadlineExceededError):
+                ticker.tick()

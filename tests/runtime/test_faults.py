@@ -1,0 +1,141 @@
+"""Tests for the deterministic fault-injection layer."""
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.bits import bit_count, is_subset
+from repro.common.errors import ValidationError
+from repro.core import VisibilityProblem, make_solver
+from repro.runtime.faults import (
+    OK,
+    Fault,
+    FaultPlan,
+    FaultySolver,
+    InjectedCrash,
+    TransientFault,
+    corrupt_solution,
+)
+
+
+@pytest.fixture
+def problem() -> VisibilityProblem:
+    schema = Schema.anonymous(5)
+    log = BooleanTable(schema, [0b00011, 0b00110, 0b01100, 0b00101, 0b00011])
+    return VisibilityProblem(log, 0b01111, 2)
+
+
+class TestFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            Fault("explode")
+
+    def test_unknown_corruption_rejected(self):
+        with pytest.raises(ValidationError):
+            Fault("corrupt", corruption="subtle")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValidationError):
+            Fault("delay", delay_s=-1)
+
+
+class TestFaultPlan:
+    def test_schedule_consumed_in_order_then_default(self):
+        plan = FaultPlan({"ILP": ["error", "ok", "crash"]})
+        kinds = [plan.next_fault("ILP").kind for _ in range(5)]
+        assert kinds == ["error", "ok", "crash", "ok", "ok"]
+
+    def test_single_step_applies_forever(self):
+        plan = FaultPlan({"ILP": "error"})
+        assert all(plan.next_fault("ILP").kind == "error" for _ in range(10))
+
+    def test_unscheduled_solver_gets_default(self):
+        plan = FaultPlan({"ILP": "error"}, default="crash")
+        assert plan.next_fault("ConsumeAttr").kind == "crash"
+
+    def test_history_records_decisions(self):
+        plan = FaultPlan({"ILP": ["error"]})
+        plan.next_fault("ILP")
+        plan.next_fault("Greedy")
+        assert plan.history == [("ILP", Fault("error")), ("Greedy", OK)]
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan({"ILP": ["error", "crash"]})
+        first = [plan.next_fault("ILP") for _ in range(3)]
+        plan.reset()
+        assert [plan.next_fault("ILP") for _ in range(3)] == first
+        assert len(plan.history) == 3
+
+    def test_seeded_plans_are_deterministic(self):
+        names = ["ILP", "ConsumeAttrCumul"]
+        a = FaultPlan.seeded(42, names, rate=0.7)
+        b = FaultPlan.seeded(42, names, rate=0.7)
+        for name in names:
+            assert [a.next_fault(name) for _ in range(10)] == [
+                b.next_fault(name) for _ in range(10)
+            ]
+
+    def test_seeded_rate_zero_is_all_ok(self):
+        plan = FaultPlan.seeded(1, ["ILP"], rate=0.0)
+        assert all(plan.next_fault("ILP") is OK for _ in range(8))
+
+    def test_seeded_rate_validated(self):
+        with pytest.raises(ValidationError):
+            FaultPlan.seeded(1, ["ILP"], rate=1.5)
+
+
+class TestFaultySolver:
+    def test_error_raises_transient_fault(self, problem):
+        solver = FaultySolver(make_solver("ConsumeAttr"), FaultPlan({"ConsumeAttr": "error"}))
+        with pytest.raises(TransientFault):
+            solver.solve(problem)
+
+    def test_crash_raises_injected_crash(self, problem):
+        solver = FaultySolver(make_solver("ConsumeAttr"), FaultPlan({"ConsumeAttr": "crash"}))
+        with pytest.raises(InjectedCrash):
+            solver.solve(problem)
+
+    def test_delay_sleeps_then_solves(self, problem):
+        pauses = []
+        solver = FaultySolver(
+            make_solver("ConsumeAttr"),
+            FaultPlan({"ConsumeAttr": Fault("delay", delay_s=0.25)}),
+            sleep=pauses.append,
+        )
+        solution = solver.solve(problem)
+        assert pauses == [0.25]
+        assert solution.satisfied == problem.evaluate(solution.keep_mask)
+
+    def test_ok_passes_through(self, problem):
+        inner = make_solver("ConsumeAttr")
+        solver = FaultySolver(inner, FaultPlan())
+        assert solver.solve(problem).keep_mask == inner.solve(problem).keep_mask
+
+    def test_wrapper_preserves_identity(self):
+        inner = make_solver("ILP")
+        wrapped = FaultySolver(inner, FaultPlan())
+        assert wrapped.name == "ILP"
+        assert wrapped.optimal == inner.optimal
+
+
+class TestCorruptSolution:
+    def test_lie_overstates_objective(self, problem):
+        honest = make_solver("ConsumeAttr").solve(problem)
+        forged = corrupt_solution(honest, "lie")
+        assert forged.keep_mask == honest.keep_mask
+        assert forged.satisfied != problem.evaluate(forged.keep_mask)
+
+    def test_overbudget_ignores_the_budget(self, problem):
+        honest = make_solver("ConsumeAttr").solve(problem)
+        forged = corrupt_solution(honest, "overbudget")
+        assert bit_count(forged.keep_mask) > problem.budget
+
+    def test_alien_keeps_an_attribute_the_tuple_lacks(self, problem):
+        honest = make_solver("ConsumeAttr").solve(problem)
+        forged = corrupt_solution(honest, "alien")
+        assert not is_subset(forged.keep_mask, problem.new_tuple)
+
+    def test_corruption_bypasses_solution_validators(self, problem):
+        # The whole point: a Solution constructed normally would raise.
+        honest = make_solver("ConsumeAttr").solve(problem)
+        forged = corrupt_solution(honest, "overbudget")
+        assert forged.stats == {"forged": True}

@@ -1,0 +1,400 @@
+"""Tests for the anytime solver harness.
+
+Covers the tentpole contract: a structured outcome is always returned
+(never an escaping exception), deadlines bound the wall clock, faults
+degrade along the chain, corrupted answers are rejected, and incumbents
+from interrupted solvers are served as anytime solutions.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.bits import bit_count, is_subset
+from repro.common.errors import (
+    ReproError,
+    SolverBudgetExceededError,
+    ValidationError,
+)
+from repro.core import VisibilityProblem, available_algorithms, make_solver
+from repro.core.base import Solver
+from repro.core.registry import DEFAULT_FALLBACK_CHAIN
+from repro.runtime import (
+    CircuitBreaker,
+    Fault,
+    FaultPlan,
+    RunOutcome,
+    SolverHarness,
+    corrupt_solution,
+    make_harness,
+)
+from tests.conftest import random_instance
+
+
+def small_problem(seed: int = 7, width: int = 6, queries: int = 30) -> VisibilityProblem:
+    rng = random.Random(seed)
+    schema = Schema.anonymous(width)
+    new_tuple = (1 << width) - 1 & ~0b1
+    log = BooleanTable(
+        schema, [rng.getrandbits(width) & new_tuple or 2 for _ in range(queries)]
+    )
+    return VisibilityProblem(log, new_tuple, 3)
+
+
+def hard_problem(seed: int = 3) -> VisibilityProblem:
+    """An instance where the pure-Python ILP needs far more than 1 s."""
+    rng = random.Random(seed)
+    width = 10
+    schema = Schema.anonymous(width)
+    log = BooleanTable(schema, [rng.getrandbits(width) or 1 for _ in range(200)])
+    return VisibilityProblem(log, (1 << width) - 1, 4)
+
+
+class ScriptedSolver(Solver):
+    """Plays back a script: each step is an exception to raise or a
+    callable producing the solution; after the script, delegates to the
+    greedy reference."""
+
+    optimal = False
+
+    def __init__(self, name: str, steps=()):
+        self.name = name
+        self._steps = list(steps)
+        self.calls = 0
+
+    def solve(self, problem):
+        self.calls += 1
+        if self._steps:
+            step = self._steps.pop(0)
+            if isinstance(step, BaseException):
+                raise step
+            return step(problem)
+        return make_solver("ConsumeAttr").solve(problem)
+
+    def _solve(self, problem):  # pragma: no cover - solve is overridden
+        raise AssertionError
+
+
+def valid(outcome: RunOutcome, problem: VisibilityProblem) -> bool:
+    solution = outcome.solution
+    return (
+        solution is not None
+        and is_subset(solution.keep_mask, problem.new_tuple)
+        and bit_count(solution.keep_mask) <= problem.budget
+        and solution.satisfied == problem.evaluate(solution.keep_mask)
+    )
+
+
+class TestBasics:
+    def test_default_chain(self):
+        assert make_harness().chain == DEFAULT_FALLBACK_CHAIN
+
+    def test_exact_run_matches_primary(self):
+        problem = small_problem()
+        harness = SolverHarness(["MaxFreqItemSets", "ConsumeAttrCumul"])
+        outcome = harness.run(problem)
+        direct = make_solver("MaxFreqItemSets").solve(problem)
+        assert outcome.status == "exact"
+        assert outcome.solution.keep_mask == direct.keep_mask
+        assert outcome.solution.satisfied == direct.satisfied
+        assert [a.status for a in outcome.attempts] == ["completed"]
+
+    def test_harness_is_a_solver(self):
+        problem = small_problem()
+        solution = SolverHarness(["ConsumeAttrCumul"]).solve(problem)
+        assert solution.satisfied == problem.evaluate(solution.keep_mask)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValidationError):
+            SolverHarness([])
+
+    def test_outcome_to_dict_is_json_safe(self):
+        import json
+
+        outcome = SolverHarness(["ConsumeAttr"]).run(small_problem())
+        json.dumps(outcome.to_dict())
+
+    def test_solve_raises_when_everything_fails(self):
+        harness = SolverHarness(
+            ["ConsumeAttr"], fault_plan=FaultPlan({}, default="crash")
+        )
+        with pytest.raises(ReproError, match="fallback chain failed"):
+            harness.solve(small_problem())
+
+
+class TestFallbackEquivalence:
+    """Satellite: a run whose primary is fault-injected must be
+    bit-identical to running the fallback solver directly."""
+
+    @pytest.mark.parametrize("kind", ["error", "crash"])
+    def test_dead_primary_equals_direct_fallback(self, kind):
+        rng = random.Random(20080406)
+        for _ in range(25):
+            problem = random_instance(rng, max_width=7, max_queries=15)
+            harness = SolverHarness(
+                ["BruteForce", "MaxFreqItemSets"],
+                fault_plan=FaultPlan({"BruteForce": kind}),
+                retries=0,
+                backoff_s=0.0,
+            )
+            outcome = harness.run(problem)
+            direct = make_solver("MaxFreqItemSets").solve(problem)
+            assert outcome.status == "fallback"
+            assert outcome.solution.keep_mask == direct.keep_mask
+            assert outcome.solution.satisfied == direct.satisfied
+
+    def test_corrupted_primary_equals_direct_fallback(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            problem = random_instance(rng, max_width=7, max_queries=15)
+            harness = SolverHarness(
+                ["ConsumeAttr", "ConsumeAttrCumul"],
+                fault_plan=FaultPlan({"ConsumeAttr": "corrupt"}),
+            )
+            outcome = harness.run(problem)
+            direct = make_solver("ConsumeAttrCumul").solve(problem)
+            assert outcome.status in ("fallback", "exact")
+            if outcome.status == "fallback":
+                assert outcome.attempts[0].status == "rejected"
+                assert outcome.solution.keep_mask == direct.keep_mask
+                assert outcome.solution.satisfied == direct.satisfied
+
+
+class TestChaosMatrix:
+    """Satellite: every registry solver survives every seeded fault
+    schedule — the outcome is structured and, when present, valid."""
+
+    @pytest.mark.parametrize("algorithm", available_algorithms())
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_seeded_chaos_never_escapes(self, algorithm, seed):
+        problem = small_problem(seed=seed, width=5, queries=20)
+        chain = [algorithm, "ConsumeAttrCumul"]
+        plan = FaultPlan.seeded(seed, chain, rate=0.6, max_delay_s=0.001)
+        harness = SolverHarness(
+            chain, fault_plan=plan, retries=1, backoff_s=0.0, deadline_ms=2_000
+        )
+        for _ in range(4):  # march through the fault schedule
+            outcome = harness.run(problem)
+            assert outcome.status in ("exact", "fallback", "anytime", "failed")
+            if outcome.solution is not None:
+                assert valid(outcome, problem)
+            else:
+                assert outcome.status == "failed"
+
+
+class TestDeadline:
+    def test_acceptance_50ms_deadline_where_ilp_needs_seconds(self):
+        problem = hard_problem()
+        harness = SolverHarness(deadline_ms=50)
+        started = time.perf_counter()
+        outcome = harness.run(problem)
+        elapsed = time.perf_counter() - started
+        # ~2x the deadline by design (one grace window); generous bound
+        # so CI jitter cannot flake the test.
+        assert elapsed < 1.0
+        assert outcome.status in ("fallback", "anytime")
+        assert valid(outcome, problem)
+        assert outcome.attempts[0].solver == "ILP"
+        assert outcome.attempts[0].status == "interrupted"
+
+    def test_run_deadline_override(self):
+        problem = hard_problem()
+        harness = SolverHarness()  # unbounded by default
+        outcome = harness.run(problem, deadline_ms=50)
+        assert outcome.deadline_s == pytest.approx(0.05)
+        assert valid(outcome, problem)
+
+    def test_terminal_grace_window_is_flagged(self):
+        problem = hard_problem()
+        outcome = SolverHarness(deadline_ms=50).run(problem)
+        terminal = outcome.attempts[-1]
+        if terminal.status == "completed":
+            assert terminal.detail == "grace window"
+
+    def test_unbounded_run_never_interrupts(self):
+        outcome = SolverHarness(["ConsumeAttrCumul"]).run(small_problem())
+        assert outcome.deadline_s is None
+        assert outcome.status == "exact"
+
+
+class TestAnytime:
+    def test_interrupted_incumbent_is_served(self):
+        problem = small_problem()
+        incumbent = problem.pad_to_budget(0)
+        primary = ScriptedSolver(
+            "Fragile", [SolverBudgetExceededError("stopped", best_known=incumbent)]
+        )
+        outcome = SolverHarness([primary]).run(problem)
+        assert outcome.status == "anytime"
+        assert outcome.solution.keep_mask == incumbent
+        assert outcome.solution.satisfied == problem.evaluate(incumbent)
+        assert outcome.solution.stats["anytime"] is True
+
+    def test_best_incumbent_wins(self):
+        problem = small_problem()
+        masks = sorted(
+            {problem.pad_to_budget(0), problem.pad_to_budget(0b100)},
+            key=problem.evaluate,
+        )
+        solvers = [
+            ScriptedSolver(f"S{i}", [SolverBudgetExceededError("x", best_known=mask)])
+            for i, mask in enumerate(masks)
+        ]
+        outcome = SolverHarness(solvers).run(problem)
+        assert outcome.status == "anytime"
+        assert outcome.solution.satisfied == max(
+            problem.evaluate(mask) for mask in masks
+        )
+
+    def test_invalid_incumbent_is_discarded(self):
+        problem = small_problem()
+        bogus = problem.new_tuple  # exceeds the budget
+        primary = ScriptedSolver(
+            "Liar", [SolverBudgetExceededError("stopped", best_known=bogus)]
+        )
+        outcome = SolverHarness([primary]).run(problem)
+        assert outcome.status == "failed"
+        assert outcome.solution is None
+
+
+class TestGuard:
+    @pytest.mark.parametrize("mode", ["lie", "overbudget", "alien"])
+    def test_corrupted_solutions_are_rejected(self, mode):
+        problem = small_problem()
+        honest = make_solver("ConsumeAttr").solve(problem)
+        forged = corrupt_solution(honest, mode)
+        primary = ScriptedSolver("Corrupt", [lambda _p: forged])
+        outcome = SolverHarness([primary, "ConsumeAttrCumul"]).run(problem)
+        assert outcome.attempts[0].status == "rejected"
+        assert outcome.status == "fallback"
+        assert valid(outcome, problem)
+
+    def test_non_solution_return_is_rejected(self):
+        problem = small_problem()
+        primary = ScriptedSolver("Weird", [lambda _p: {"keep": 3}])
+        outcome = SolverHarness([primary, "ConsumeAttr"]).run(problem)
+        assert outcome.attempts[0].status == "rejected"
+        assert "not a Solution" in outcome.attempts[0].error
+
+
+class TestRetries:
+    def test_transient_fault_is_retried(self):
+        problem = small_problem()
+        pauses = []
+        harness = SolverHarness(
+            ["ConsumeAttr"],
+            fault_plan=FaultPlan({"ConsumeAttr": ["error", "ok"]}),
+            retries=1,
+            backoff_s=0.01,
+            sleep=pauses.append,
+        )
+        outcome = harness.run(problem)
+        assert outcome.status == "exact"
+        assert outcome.attempts[0].retries == 1
+        assert len(pauses) == 1 and pauses[0] > 0
+
+    def test_retry_budget_exhausts(self):
+        problem = small_problem()
+        harness = SolverHarness(
+            ["ConsumeAttr"],
+            fault_plan=FaultPlan({"ConsumeAttr": "error"}),
+            retries=2,
+            backoff_s=0.0,
+        )
+        outcome = harness.run(problem)
+        assert outcome.status == "failed"
+        assert outcome.attempts[0].retries == 2
+
+    def test_crashes_are_not_retried(self):
+        problem = small_problem()
+        harness = SolverHarness(
+            ["ConsumeAttr", "ConsumeAttrCumul"],
+            fault_plan=FaultPlan({"ConsumeAttr": "crash"}),
+            retries=3,
+        )
+        outcome = harness.run(problem)
+        assert outcome.attempts[0].retries == 0
+        assert outcome.status == "fallback"
+
+    def test_backoff_is_seeded_and_deterministic(self):
+        problem = small_problem()
+
+        def run_once():
+            pauses = []
+            SolverHarness(
+                ["ConsumeAttr"],
+                fault_plan=FaultPlan({"ConsumeAttr": ["error", "error", "ok"]}),
+                retries=2,
+                backoff_s=0.01,
+                seed=99,
+                sleep=pauses.append,
+            ).run(problem)
+            return pauses
+
+        assert run_once() == run_once()
+
+
+class TestCircuitBreaker:
+    def make(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=10.0, clock=clock)
+        harness = SolverHarness(
+            ["ILP", "ConsumeAttrCumul"],
+            fault_plan=FaultPlan({"ILP": "crash"}),
+            breaker=breaker,
+        )
+        return breaker, harness
+
+    def test_open_breaker_skips_to_terminal(self):
+        clock = lambda: 0.0
+        breaker, harness = self.make(clock)
+        problem = small_problem()
+        harness.run(problem)
+        harness.run(problem)
+        assert breaker.is_open()
+        outcome = harness.run(problem)
+        assert outcome.attempts[0].status == "skipped"
+        assert outcome.attempts[0].detail == "circuit open"
+        assert outcome.status == "fallback"
+        assert valid(outcome, problem)
+
+    def test_half_open_trial_recovers(self):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=10.0, clock=lambda: now[0])
+        harness = SolverHarness(
+            ["ConsumeAttr", "ConsumeAttrCumul"],
+            fault_plan=FaultPlan({"ConsumeAttr": ["crash", "crash"]}),
+            breaker=breaker,
+        )
+        problem = small_problem()
+        harness.run(problem)
+        harness.run(problem)
+        assert breaker.is_open()
+        now[0] = 11.0  # cooldown over; the fault schedule is exhausted
+        outcome = harness.run(problem)
+        assert outcome.status == "exact"
+        assert breaker.state == "closed"
+
+
+class TestIncumbentPropagation:
+    """Satellite: interruption errors carry usable ``best_known``."""
+
+    def test_itemsets_budget_error_carries_incumbent(self):
+        problem = hard_problem()
+        solver = make_solver("MaxFreqItemSets", max_candidates=1)
+        with pytest.raises(SolverBudgetExceededError) as excinfo:
+            solver.solve(problem)
+        mask = excinfo.value.best_known
+        assert isinstance(mask, int)
+        assert is_subset(mask, problem.new_tuple)
+        assert bit_count(mask) <= problem.budget
+
+    def test_brute_force_budget_error_carries_incumbent(self):
+        problem = hard_problem()
+        solver = make_solver("BruteForce", max_subsets=1)
+        with pytest.raises(SolverBudgetExceededError) as excinfo:
+            solver.solve(problem)
+        mask = excinfo.value.best_known
+        assert isinstance(mask, int)
+        assert is_subset(mask, problem.new_tuple)

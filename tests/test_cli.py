@@ -1,11 +1,19 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
 import json
+import random
 
 import pytest
 
-from repro.booldata import save_table_csv, save_table_json
-from repro.cli import main
+from repro.booldata import BooleanTable, Schema, save_table_csv, save_table_json
+from repro.cli import (
+    EXIT_ERROR,
+    EXIT_INFEASIBLE,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_VALIDATION,
+    main,
+)
 
 
 @pytest.fixture
@@ -133,6 +141,128 @@ class TestErrorHandling:
             "--algorithm", "Oracle",
         ])
         assert code == 2
+
+
+@pytest.fixture
+def hard_log_csv(tmp_path):
+    """A log where the pure-Python ILP needs far longer than any test
+    deadline, so --deadline-ms reliably interrupts it."""
+    rng = random.Random(3)
+    width = 10
+    schema = Schema.anonymous(width)
+    log = BooleanTable(schema, [rng.getrandbits(width) or 1 for _ in range(200)])
+    path = tmp_path / "hard.csv"
+    save_table_csv(log, path)
+    return str(path), ",".join(schema.names_of((1 << width) - 1))
+
+
+class TestRuntimeFlags:
+    def test_deadline_with_fallback_chain_degrades(self, capsys, hard_log_csv):
+        path, names = hard_log_csv
+        code = main([
+            "solve", "--log", path, "--tuple", names, "--budget", "4",
+            "--deadline-ms", "50", "--fallback",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "runtime:" in out
+        assert "ILP: interrupted" in out
+        assert "queries satisfied" in out
+
+    def test_explicit_fallback_chain(self, capsys, log_csv):
+        code = main([
+            "solve", "--log", log_csv,
+            "--tuple", "ac,four_door,power_doors,auto_trans,power_brakes",
+            "--budget", "3", "--fallback", "MaxFreqItemSets,ConsumeAttr",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "runtime: exact" in out
+        assert "queries satisfied: 3 of 5" in out
+
+    def test_deadline_without_fallback_bounds_chosen_algorithm(self, capsys, log_csv):
+        code = main([
+            "solve", "--log", log_csv,
+            "--tuple", "ac,four_door,power_doors,auto_trans,power_brakes",
+            "--budget", "3", "--algorithm", "ConsumeAttr", "--deadline-ms", "5000",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "runtime: exact" in out
+        assert "ConsumeAttr: completed" in out
+
+    def test_empty_fallback_chain_rejected(self, capsys, log_csv):
+        code = main([
+            "solve", "--log", log_csv, "--tuple", "ac", "--budget", "1",
+            "--fallback", " , ",
+        ])
+        assert code == EXIT_VALIDATION
+
+
+class TestExitCodes:
+    def test_validation_error_is_2(self, log_csv):
+        assert main(["solve", "--log", log_csv, "--budget", "1"]) == EXIT_VALIDATION
+
+    def test_deadline_exhaustion_is_4(self, capsys, hard_log_csv):
+        path, names = hard_log_csv
+        code = main([
+            "solve", "--log", path, "--tuple", names, "--budget", "4",
+            "--algorithm", "ILP", "--deadline-ms", "40",
+        ])
+        assert code == EXIT_INTERRUPTED
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_solver_budget_exhaustion_is_4(self, capsys, hard_log_csv, monkeypatch):
+        import repro.cli as cli
+        from repro.common.errors import SolverBudgetExceededError
+
+        def exploding(name, **kwargs):
+            raise SolverBudgetExceededError("node budget exhausted")
+
+        monkeypatch.setattr(cli, "make_solver", exploding)
+        path, names = hard_log_csv
+        code = main([
+            "solve", "--log", path, "--tuple", names, "--budget", "4",
+        ])
+        assert code == EXIT_INTERRUPTED
+
+    def test_infeasible_problem_is_3(self, capsys, log_csv, monkeypatch):
+        import repro.cli as cli
+        from repro.common.errors import InfeasibleProblemError
+
+        def infeasible(name, **kwargs):
+            raise InfeasibleProblemError("no feasible selection")
+
+        monkeypatch.setattr(cli, "make_solver", infeasible)
+        code = main(["solve", "--log", log_csv, "--tuple", "ac", "--budget", "1"])
+        assert code == EXIT_INFEASIBLE
+        assert "no feasible selection" in capsys.readouterr().err
+
+    def test_other_library_errors_are_1(self, capsys, log_csv, monkeypatch):
+        import repro.cli as cli
+        from repro.common.errors import ReproError
+
+        def broken(name, **kwargs):
+            raise ReproError("internal failure")
+
+        monkeypatch.setattr(cli, "make_solver", broken)
+        code = main(["solve", "--log", log_csv, "--tuple", "ac", "--budget", "1"])
+        assert code == EXIT_ERROR
+        assert "internal failure" in capsys.readouterr().err
+
+    def test_error_messages_are_one_line(self, capsys, log_csv, monkeypatch):
+        import repro.cli as cli
+        from repro.common.errors import ReproError
+
+        def broken(name, **kwargs):
+            raise ReproError("first line\nsecond line")
+
+        monkeypatch.setattr(cli, "make_solver", broken)
+        main(["solve", "--log", log_csv, "--tuple", "ac", "--budget", "1"])
+        err = capsys.readouterr().err
+        assert err == "error: first line\n"
 
 
 class TestProfileCommand:

@@ -11,24 +11,29 @@ runtime suite and fails if the harness+checkpoint overhead exceeds the
 5% acceptance bar, or a deadline-bounded run overruns its deadline by
 more than the tolerated factor.
 
+When ``BENCH_obs.json`` exists, additionally re-runs the telemetry
+suite and fails if running the instrumented hot paths under a live
+recorder costs more than the 5% acceptance bar versus the default
+no-op recorder.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py
     PYTHONPATH=src python benchmarks/check_regression.py --factor 1.5
-    PYTHONPATH=src python benchmarks/check_regression.py --skip-runtime
+    PYTHONPATH=src python benchmarks/check_regression.py --skip-runtime --skip-obs
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import sys
 from pathlib import Path
 
 from vertical_workload import MEASUREMENTS
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_vertical.json"
 RUNTIME_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+OBS_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 #: the runtime PR's acceptance bars
 MAX_OVERHEAD_FRACTION = 0.05
 OVERHEAD_EPSILON_S = 0.003
@@ -73,6 +78,27 @@ def check_runtime(failures: list[str]) -> None:
             )
 
 
+def check_obs(failures: list[str]) -> None:
+    """Re-run the telemetry suite against its recorded acceptance bar."""
+    from obs_workload import MEASUREMENTS as OBS_MEASUREMENTS
+
+    for name, measure in OBS_MEASUREMENTS.items():
+        fresh = measure()
+        budget = max(MAX_OVERHEAD_FRACTION * fresh["disabled_s"], OVERHEAD_EPSILON_S)
+        ok = fresh["overhead_s"] <= budget
+        if not ok:
+            failures.append(
+                f"{name}: recording overhead {fresh['overhead_s']:.4f}s "
+                f"({fresh['overhead_pct']:.1f}%) > budget {budget:.4f}s"
+            )
+        print(
+            f"{'.' if ok else 'x'} {name}: disabled {fresh['disabled_s']:.3f}s "
+            f"enabled {fresh['enabled_s']:.3f}s "
+            f"({fresh['overhead_pct']:+.1f}%, budget {budget * 1000:.1f} ms)"
+            f"{'' if ok else ' OVERHEAD'}"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -86,6 +112,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-runtime", action="store_true",
         help="skip the anytime-runtime overhead checks",
+    )
+    parser.add_argument(
+        "--skip-obs", action="store_true",
+        help="skip the telemetry-recording overhead checks",
     )
     args = parser.parse_args(argv)
 
@@ -131,12 +161,18 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print("~ runtime suite: no BENCH_runtime.json baseline, skipping")
 
+    if not args.skip_obs:
+        if OBS_BASELINE.exists():
+            check_obs(failures)
+        else:
+            print("~ telemetry suite: no BENCH_obs.json baseline, skipping")
+
     if failures:
         print(f"\n{len(failures)} regression(s):")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print("\nvertical engine and runtime within budget")
+    print("\nvertical engine, runtime and telemetry within budget")
     return 0
 
 

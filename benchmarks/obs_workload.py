@@ -1,0 +1,140 @@
+"""A/B measurement harness for the telemetry layer's overhead.
+
+The tentpole bar of the observability PR: instrumentation through every
+solver hot path must cost **< 5%** when a live recorder is installed,
+and nothing measurable when disabled (the default
+:data:`repro.obs.NULL_RECORDER`).  The disabled side runs the exact same
+instrumented code with the no-op recorder, so the comparison isolates
+what a live :class:`repro.obs.Recorder` adds: counter increments, span
+bookkeeping and the per-run counter-delta snapshot.
+
+Workloads reuse the PR-1 vertical suite's seeded instances
+(:mod:`vertical_workload`) so numbers line up with ``BENCH_vertical``
+and ``BENCH_runtime``.  Sides are interleaved within each repeat (order
+alternating) so machine-load drift lands on both equally.
+
+Used by ``test_bench_obs.py`` (records ``BENCH_obs.json``) and
+``check_regression.py`` (re-runs and gates).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from vertical_workload import LARGE_LOG, SEED, SMALL_LOG, fresh_problem
+
+from repro.core import make_solver
+from repro.obs import Recorder, recording
+from repro.runtime import SolverHarness
+
+REPEATS = 7
+
+
+def _timed(run) -> float:
+    start = time.perf_counter()
+    run()
+    return time.perf_counter() - start
+
+
+def measure_recording_overhead(
+    workload: str,
+    algorithm: str,
+    size: int,
+    tuple_size: int | None = None,
+    budget: int | None = None,
+    harness: bool = False,
+    repeats: int = REPEATS,
+) -> dict:
+    """Median solve time with telemetry disabled vs enabled.
+
+    ``harness=True`` serves through a single-entry
+    :class:`~repro.runtime.SolverHarness`, which additionally exercises
+    the per-run attempt counters and the counter-delta snapshot in
+    ``RunOutcome.stats``.
+    """
+    kwargs = {}
+    if tuple_size is not None:
+        kwargs["tuple_size"] = tuple_size
+    if budget is not None:
+        kwargs["budget"] = budget
+
+    if harness:
+        runner = SolverHarness([algorithm], engine="vertical")
+        solve = lambda: runner.run(fresh_problem(size, **kwargs))  # noqa: E731
+    else:
+        solver = make_solver(algorithm, engine="vertical")
+        solve = lambda: solver.solve(fresh_problem(size, **kwargs))  # noqa: E731
+
+    def solve_recording():
+        with recording(Recorder()):
+            solve()
+
+    disabled_timings, enabled_timings = [], []
+    for repeat in range(repeats):
+        sides = [
+            (disabled_timings, solve),
+            (enabled_timings, solve_recording),
+        ]
+        if repeat % 2:
+            sides.reverse()
+        for timings, run in sides:
+            timings.append(_timed(run))
+
+    disabled_s = statistics.median(disabled_timings)
+    enabled_s = statistics.median(enabled_timings)
+    overhead_s = enabled_s - disabled_s
+    return {
+        "workload": workload,
+        "algorithm": algorithm,
+        "log_size": size,
+        "harness": harness,
+        "repeats": repeats,
+        "disabled_s": round(disabled_s, 6),
+        "enabled_s": round(enabled_s, 6),
+        "overhead_s": round(overhead_s, 6),
+        "overhead_pct": (
+            round(100.0 * overhead_s / disabled_s, 2) if disabled_s else 0.0
+        ),
+    }
+
+
+#: name -> zero-argument measurement, the recorded telemetry suite.
+#: Coverage: greedy passes + bitmap ops (ConsumeAttrCumul,
+#: CoverageGreedy), candidate enumeration (BruteForce), the itemset
+#: miner's DFS counters (MaxFreqItemSets), and the harness wrapper's
+#: attempt/delta bookkeeping.
+MEASUREMENTS = {
+    "obs_consume_attr_cumul_100k": lambda: measure_recording_overhead(
+        "obs_consume_attr_cumul_100k", "ConsumeAttrCumul", LARGE_LOG
+    ),
+    "obs_coverage_greedy_20k": lambda: measure_recording_overhead(
+        "obs_coverage_greedy_20k", "CoverageGreedy", SMALL_LOG
+    ),
+    # a narrower tuple keeps C(pool, m) enumerable (as in the vertical suite)
+    "obs_brute_force_20k": lambda: measure_recording_overhead(
+        "obs_brute_force_20k", "BruteForce", SMALL_LOG, tuple_size=18, budget=6
+    ),
+    "obs_itemsets_20k": lambda: measure_recording_overhead(
+        "obs_itemsets_20k", "MaxFreqItemSets", SMALL_LOG, tuple_size=18, budget=6
+    ),
+    "obs_harness_consume_attr_cumul_20k": lambda: measure_recording_overhead(
+        "obs_harness_consume_attr_cumul_20k",
+        "ConsumeAttrCumul",
+        SMALL_LOG,
+        harness=True,
+    ),
+}
+
+
+def run_suite() -> dict:
+    return {name: measure() for name, measure in MEASUREMENTS.items()}
+
+
+def suite_meta() -> dict:
+    return {
+        "seed": SEED,
+        "repeats": REPEATS,
+        "large_log": LARGE_LOG,
+        "small_log": SMALL_LOG,
+    }

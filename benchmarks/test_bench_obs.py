@@ -1,0 +1,55 @@
+"""Benchmark: telemetry-layer overhead with a live recorder.
+
+Records ``BENCH_obs.json`` at the repo root (the baseline that
+``check_regression.py`` guards).  The acceptance bar of the
+observability PR: running the instrumented hot paths under a live
+:class:`repro.obs.Recorder` costs < 5% versus the same code with the
+default no-op recorder.
+
+Run explicitly (the tier-1 suite does not collect ``benchmarks/``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_obs.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+from obs_workload import run_suite, suite_meta
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+#: relative gate plus a small absolute epsilon so millisecond-scale
+#: workloads cannot flake on scheduler noise
+MAX_OVERHEAD_FRACTION = 0.05
+OVERHEAD_EPSILON_S = 0.003
+
+
+def test_recording_overhead_under_five_percent():
+    results = run_suite()
+
+    for name, result in results.items():
+        budget = max(
+            MAX_OVERHEAD_FRACTION * result["disabled_s"], OVERHEAD_EPSILON_S
+        )
+        assert result["overhead_s"] <= budget, (
+            f"{name}: recording overhead {result['overhead_s'] * 1000:.1f} ms "
+            f"exceeds {budget * 1000:.1f} ms "
+            f"({result['overhead_pct']:.1f}% vs disabled "
+            f"{result['disabled_s']:.3f}s)"
+        )
+
+    payload = {
+        "meta": {**suite_meta(), "python": platform.python_version()},
+        "results": results,
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    for name, result in results.items():
+        print(
+            f"{name}: disabled {result['disabled_s']:.3f}s "
+            f"enabled {result['enabled_s']:.3f}s "
+            f"({result['overhead_pct']:+.1f}%)"
+        )
+    print(f"recorded -> {BASELINE_PATH}")

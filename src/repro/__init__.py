@@ -36,9 +36,18 @@ from repro.core import (
     explain,
     make_solver,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Recorder,
+    Tracer,
+    get_recorder,
+    recording,
+    set_recorder,
+)
 from repro.runtime import (
     CircuitBreaker,
     Deadline,
+    OutcomeStats,
     RunOutcome,
     SolverHarness,
     deadline_scope,
@@ -79,7 +88,14 @@ __all__ = [
     "SolverHarness",
     "make_harness",
     "RunOutcome",
+    "OutcomeStats",
     "CircuitBreaker",
+    "MetricsRegistry",
+    "Recorder",
+    "Tracer",
+    "get_recorder",
+    "recording",
+    "set_recorder",
     "solve_cbd",
     "solve_per_attribute",
     "solve_topk",

@@ -85,7 +85,10 @@ class VerticalIndex:
     2
     """
 
-    __slots__ = ("width", "num_rows", "all_rows", "columns", "used_attributes")
+    __slots__ = (
+        "width", "num_rows", "all_rows", "columns", "used_attributes",
+        "or_ops", "and_ops", "popcount_ops",
+    )
 
     def __init__(self, width: int, rows: Sequence[int]) -> None:
         if width <= 0:
@@ -100,6 +103,13 @@ class VerticalIndex:
         for attribute, column in enumerate(self.columns):
             if column:
                 self.used_attributes |= 1 << attribute
+        # lifetime work counters: wide bitwise ops since construction,
+        # maintained as plain ints (one small-int add per *call*, never
+        # per row) so telemetry can read deltas without slowing the
+        # kernels down — see repro.obs.recorder.record_bitmap_ops
+        self.or_ops = 0
+        self.and_ops = 0
+        self.popcount_ops = 0
 
     @classmethod
     def from_table(cls, table) -> "VerticalIndex":
@@ -115,8 +125,10 @@ class VerticalIndex:
 
     def violators(self, attributes: int) -> int:
         """Bitset of rows containing *any* attribute of ``attributes``."""
+        attributes &= self.used_attributes
+        self.or_ops += attributes.bit_count()
         acc = 0
-        for attribute in bit_indices(attributes & self.used_attributes):
+        for attribute in bit_indices(attributes):
             acc |= self.columns[attribute]
         return acc
 
@@ -129,15 +141,18 @@ class VerticalIndex:
         ``within & ~OR(column(a) for a ∉ K)``.
         """
         rows = self.all_rows if within is None else within
+        self.and_ops += 1
         return rows & ~self.violators(self.used_attributes & ~keep_mask)
 
     def satisfied_count(self, keep_mask: int, within: int | None = None) -> int:
         """Number of rows retrieved by ``keep_mask`` (the SOC objective)."""
+        self.popcount_ops += 1
         return self.satisfied_rows(keep_mask, within).bit_count()
 
     def cooccurring_rows(self, attributes: int, within: int | None = None) -> int:
         """Rows containing *every* attribute of ``attributes``."""
         rows = self.all_rows if within is None else within
+        self.and_ops += attributes.bit_count()
         remaining = attributes
         while remaining and rows:
             low = remaining & -remaining
@@ -147,6 +162,7 @@ class VerticalIndex:
 
     def cooccurrence_count(self, attributes: int, within: int | None = None) -> int:
         """Number of rows containing every attribute of ``attributes``."""
+        self.popcount_ops += 1
         return self.cooccurring_rows(attributes, within).bit_count()
 
     def disjoint_rows(self, itemset: int, within: int | None = None) -> int:
@@ -156,10 +172,12 @@ class VerticalIndex:
         ``I`` in ``~Q`` equals ``#{q : q & I == 0}``.
         """
         rows = self.all_rows if within is None else within
+        self.and_ops += 1
         return rows & ~self.violators(itemset & self.used_attributes)
 
     def disjoint_count(self, itemset: int, within: int | None = None) -> int:
         """Complemented-log support of ``itemset`` (popcount of the above)."""
+        self.popcount_ops += 1
         return self.disjoint_rows(itemset, within).bit_count()
 
     # -- statistics --------------------------------------------------------------
@@ -175,11 +193,16 @@ class VerticalIndex:
         attributes = (
             range(self.width) if pool is None else bit_indices(pool)
         )
+        scanned = 0
         for attribute in attributes:
             column = self.columns[attribute]
             if within is not None:
                 column &= within
             counts[attribute] = column.bit_count()
+            scanned += 1
+        self.popcount_ops += scanned
+        if within is not None:
+            self.and_ops += scanned
         return counts
 
     # -- exhaustive search kernel ------------------------------------------------
@@ -234,8 +257,21 @@ class VerticalIndex:
             walk(position + 1, chosen | (1 << attribute), violators, picked + 1)
             walk(position + 1, chosen, violators | columns[position], picked)
 
-        walk(0, 0, base, 0)
+        try:
+            walk(0, 0, base, 0)
+        finally:
+            # per leaf: one OR to close the exclusion set, one AND-NOT
+            # against the row universe, one popcount; roughly one more OR
+            # per exclude edge on the way down — charged in bulk here so
+            # the DFS itself stays increment-free
+            self.or_ops += 2 * leaves
+            self.and_ops += leaves
+            self.popcount_ops += leaves
         return best_mask, max(best_count, 0), leaves
+
+    def ops_snapshot(self) -> tuple[int, int, int]:
+        """Lifetime ``(or, and, popcount)`` op counts (monotonic)."""
+        return (self.or_ops, self.and_ops, self.popcount_ops)
 
     def __repr__(self) -> str:
         return f"VerticalIndex(width={self.width}, rows={self.num_rows})"

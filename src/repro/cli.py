@@ -53,6 +53,15 @@ EXIT_INFEASIBLE = 3
 #: a solver budget or deadline expired before an answer was available
 EXIT_INTERRUPTED = 4
 
+_EXIT_CODES_EPILOG = """\
+exit codes:
+  0  success
+  1  any other library error (I/O, internal failures, exhausted fallback chains)
+  2  malformed input: bad flags, bad files, unknown algorithms
+  3  the optimization problem has no feasible solution
+  4  a solver budget or deadline expired before an answer was available
+"""
+
 
 def _load_table(path: str) -> BooleanTable:
     suffix = Path(path).suffix.lower()
@@ -67,6 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Selecting attributes for maximum visibility (ICDE 2008).",
+        epilog=_EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -78,7 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--pairs", type=int, default=5, help="co-occurring pairs to show (default 5)"
     )
 
-    solve = commands.add_parser("solve", help="solve one SOC-CB-QL instance")
+    solve = commands.add_parser(
+        "solve",
+        help="solve one SOC-CB-QL instance",
+        epilog=_EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     solve.add_argument("--log", required=True, help="query log (.csv or .json)")
     solve.add_argument(
         "--tuple",
@@ -137,6 +153,30 @@ def build_parser() -> argparse.ArgumentParser:
         "list (primary first), or bare --fallback for the default "
         "ILP,MaxFreqItemSets,ConsumeAttrCumul",
     )
+    solve.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        metavar="FILE",
+        default=None,
+        help="record tracing spans and write them as JSON lines "
+        "('-' for stdout)",
+    )
+    solve.add_argument(
+        "--metrics-out",
+        dest="metrics_out",
+        metavar="FILE",
+        default=None,
+        help="record solver/harness metrics and write them on exit "
+        "('-' for stdout)",
+    )
+    solve.add_argument(
+        "--metrics-format",
+        dest="metrics_format",
+        choices=("prom", "json"),
+        default="prom",
+        help="exposition format for --metrics-out: Prometheus text "
+        "(default) or a JSON snapshot",
+    )
     return parser
 
 
@@ -193,8 +233,61 @@ def _solve_with_harness(args, problem: VisibilityProblem):
 
 
 def _run_solve(args) -> int:
-    log = _load_table(args.log)
-    database = _load_table(args.database) if args.database else None
+    """Dispatch ``solve``, installing a live recorder when telemetry
+    output was requested (``--trace-out`` / ``--metrics-out``)."""
+    if args.trace_out is None and args.metrics_out is None:
+        return _run_solve_inner(args)
+    from repro.obs import Recorder, recording
+
+    recorder = Recorder()
+    try:
+        with recording(recorder):
+            with recorder.span("cli.solve", algorithm=args.algorithm):
+                return _run_solve_inner(args)
+    finally:
+        # dumped even when the solve fails — partial telemetry is how a
+        # failed run gets diagnosed
+        _write_telemetry(args, recorder)
+
+
+def _write_telemetry(args, recorder) -> None:
+    if args.metrics_out is not None:
+        if args.metrics_format == "json":
+            rendered = recorder.metrics.to_json()
+        else:
+            rendered = recorder.metrics.to_prometheus()
+        _dump(args.metrics_out, rendered)
+    if args.trace_out is not None:
+        _dump(args.trace_out, recorder.tracer.to_jsonl())
+
+
+def _dump(destination: str, text: str) -> None:
+    if destination == "-":
+        sys.stdout.write(text)
+    else:
+        Path(destination).write_text(text)
+
+
+def _observed_solve(solver, problem):
+    """Plain-solver path: account bitmap-index work to the run."""
+    from repro.obs import bitmap_ops_snapshot, get_recorder, record_bitmap_ops
+
+    recorder = get_recorder()
+    if not recorder.enabled:
+        return solver.solve(problem)
+    before = bitmap_ops_snapshot(problem.log)
+    try:
+        return solver.solve(problem)
+    finally:
+        record_bitmap_ops(recorder, problem.log, before)
+
+
+def _run_solve_inner(args) -> int:
+    from repro.obs import get_recorder
+
+    with get_recorder().span("cli.load", log=args.log):
+        log = _load_table(args.log)
+        database = _load_table(args.database) if args.database else None
     if database is not None and database.schema != log.schema:
         raise ValidationError("--database and --log use different schemas")
     new_tuple = _resolve_tuple(args, log, database)
@@ -209,7 +302,7 @@ def _run_solve(args) -> int:
         solution = _solve_with_harness(args, problem)
     else:
         solver = make_solver(args.algorithm, engine=args.engine)
-        solution = solver.solve(problem)
+        solution = _observed_solve(solver, problem)
 
     if args.explain:
         print(explain(solution).to_text())

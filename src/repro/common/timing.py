@@ -1,57 +1,12 @@
-"""Timing utilities for the experiment harness."""
+"""Timing utilities for the experiment harness.
+
+The implementation lives in :mod:`repro.obs.timing` — the telemetry
+layer's single timing substrate — and is re-exported here so existing
+imports keep working.
+"""
 
 from __future__ import annotations
 
-import time
-from collections.abc import Callable
-from dataclasses import dataclass, field
-from typing import Any, TypeVar
-
-T = TypeVar("T")
+from repro.obs.timing import Stopwatch, time_call
 
 __all__ = ["Stopwatch", "time_call"]
-
-
-@dataclass
-class Stopwatch:
-    """Accumulating stopwatch with named laps.
-
-    >>> watch = Stopwatch()
-    >>> with watch.lap("setup"):
-    ...     pass
-    >>> "setup" in watch.laps
-    True
-    """
-
-    laps: dict[str, float] = field(default_factory=dict)
-
-    def lap(self, name: str) -> "_Lap":
-        return _Lap(self, name)
-
-    def add(self, name: str, seconds: float) -> None:
-        self.laps[name] = self.laps.get(name, 0.0) + seconds
-
-    @property
-    def total(self) -> float:
-        return sum(self.laps.values())
-
-
-class _Lap:
-    def __init__(self, watch: Stopwatch, name: str) -> None:
-        self._watch = watch
-        self._name = name
-        self._start = 0.0
-
-    def __enter__(self) -> "_Lap":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info: Any) -> None:
-        self._watch.add(self._name, time.perf_counter() - self._start)
-
-
-def time_call(func: Callable[..., T], *args: Any, **kwargs: Any) -> tuple[T, float]:
-    """Call ``func`` and return ``(result, elapsed_seconds)``."""
-    start = time.perf_counter()
-    result = func(*args, **kwargs)
-    return result, time.perf_counter() - start

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import abc
+import time
 
 from repro.common.bits import bit_count
 from repro.core.problem import Solution, VisibilityProblem
+from repro.obs.recorder import get_recorder
 
 __all__ = ["Solver"]
 
@@ -35,7 +37,22 @@ class Solver(abc.ABC):
             return self._finish(problem, 0, trivial="budget=0")
         if not len(problem.log):
             return self._finish(problem, problem.pad_to_budget(0), trivial="empty log")
-        solution = self._solve(problem)
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return self._solve(problem)
+        start = time.perf_counter()
+        with recorder.span(
+            "solve",
+            algorithm=self.name,
+            budget=problem.budget,
+            log_size=len(problem.log),
+        ):
+            solution = self._solve(problem)
+        labels = {"algorithm": self.name}
+        recorder.count("repro_solver_solves_total", 1, labels)
+        recorder.observe(
+            "repro_solver_solve_seconds", time.perf_counter() - start, labels
+        )
         return solution
 
     def _finish(self, problem: VisibilityProblem, keep: int, trivial: str) -> Solution:

@@ -20,6 +20,7 @@ from repro.common.deadline import active_ticker
 from repro.common.errors import SolverBudgetExceededError
 from repro.core.base import Solver
 from repro.core.problem import Solution, VisibilityProblem
+from repro.obs.recorder import get_recorder
 
 __all__ = ["BruteForceSolver"]
 
@@ -75,6 +76,9 @@ class BruteForceSolver(Solver):
             # far more often than on the vertical engine
             ticker = active_ticker(every=8, context="brute-force enumeration")
             best_mask, enumerated = self._enumerate_naive(problem, pool, size, ticker)
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("repro_bruteforce_candidates_total", enumerated)
         return self.make_solution(
             problem,
             best_mask,

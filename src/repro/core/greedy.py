@@ -46,6 +46,7 @@ from repro.common.bits import bit_count, bit_indices, iter_bit_indices
 from repro.common.deadline import active_ticker
 from repro.core.base import Solver
 from repro.core.problem import Solution, VisibilityProblem
+from repro.obs.recorder import get_recorder
 
 __all__ = [
     "ConsumeAttrSolver",
@@ -76,6 +77,14 @@ class _EngineSolver(Solver):
             problem.satisfiable_queries, problem.width, pool=problem.new_tuple
         )
 
+    def _record_passes(self, passes: int) -> None:
+        """One telemetry call per solve: selection passes executed."""
+        recorder = get_recorder()
+        if recorder.enabled and passes:
+            recorder.count(
+                "repro_greedy_passes_total", passes, {"algorithm": self.name}
+            )
+
 
 class ConsumeAttrSolver(_EngineSolver):
     """Keep the ``m`` individually most frequent attributes."""
@@ -97,6 +106,7 @@ class ConsumeAttrSolver(_EngineSolver):
             for attribute in bit_indices(problem.new_tuple)
             if frequencies[attribute]
         }
+        self._record_passes(1)
         return self.make_solution(
             problem, keep_mask, stats={"frequencies": reported}
         )
@@ -153,6 +163,7 @@ class ConsumeAttrCumulSolver(_EngineSolver):
                 break
             keep_mask |= 1 << best_attribute
             candidates.discard(best_attribute)
+        self._record_passes(bit_count(keep_mask))
         return self.make_solution(problem, keep_mask)
 
     def _solve_vertical(
@@ -178,6 +189,7 @@ class ConsumeAttrCumulSolver(_EngineSolver):
             keep_mask |= 1 << best_attribute
             current &= index.column(best_attribute)
             candidates.discard(best_attribute)
+        self._record_passes(bit_count(keep_mask))
         return self.make_solution(problem, keep_mask)
 
 
@@ -226,6 +238,7 @@ class ConsumeQueriesSolver(_EngineSolver):
             keep_mask |= best_query
             budget_left = problem.budget - bit_count(keep_mask)
             consumed += 1
+        self._record_passes(consumed)
         return self.make_solution(
             problem, keep_mask, stats={"queries_consumed": consumed}
         )
@@ -260,6 +273,7 @@ class ConsumeQueriesSolver(_EngineSolver):
             budget_left = problem.budget - bit_count(keep_mask)
             consumed += 1
             uncovered &= ~index.satisfied_rows(keep_mask, within=uncovered)
+        self._record_passes(consumed)
         return self.make_solution(
             problem, keep_mask, stats={"queries_consumed": consumed}
         )
@@ -312,6 +326,7 @@ class CoverageGreedySolver(_EngineSolver):
                 break
             keep_mask |= 1 << best_attribute
             queries = [q for q in queries if q & keep_mask != q]
+        self._record_passes(bit_count(keep_mask))
         return self.make_solution(problem, keep_mask)
 
     def _solve_vertical(self, problem: VisibilityProblem) -> Solution:
@@ -352,4 +367,5 @@ class CoverageGreedySolver(_EngineSolver):
                 prefix |= columns[i]
             keep_mask |= 1 << best_attribute
             remaining &= best_violators  # completed queries leave the pool
+        self._record_passes(bit_count(keep_mask))
         return self.make_solution(problem, keep_mask)

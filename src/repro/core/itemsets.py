@@ -52,6 +52,7 @@ from repro.core.base import Solver
 from repro.core.greedy import ConsumeAttrSolver
 from repro.core.problem import Solution, VisibilityProblem
 from repro.mining.maximal import mine_maximal_dfs, mine_maximal_reference
+from repro.obs.recorder import get_recorder
 from repro.mining.randomwalk import BottomUpRandomWalkMiner, TwoPhaseRandomWalkMiner
 from repro.mining.transactions import ComplementedTransactions, TransactionDatabase
 
@@ -118,33 +119,39 @@ def _best_level_itemset(
     checked = 0
     seen: set[int] = set()
     ticker = active_ticker(every=64, context="itemset level extraction")
-    for maximal in maximal_itemsets:
-        if maximal & complement_tuple != complement_tuple:
-            continue  # not a superset of ~t
-        if bit_count(maximal) < level:
-            continue
-        free = maximal & ~complement_tuple
-        picks_needed = level - bit_count(complement_tuple)
-        if picks_needed < 0 or picks_needed > bit_count(free):
-            continue
-        combination_count = binomial(bit_count(free), picks_needed)
-        if checked + combination_count > max_candidates:
-            # best_known is the partial _LevelPick; the solver paths
-            # translate it into a valid keep_mask before the error escapes
-            raise SolverBudgetExceededError(
-                f"level extraction would enumerate more than {max_candidates} itemsets",
-                best_known=best,
-            )
-        for extra in combinations_of_mask(free, picks_needed):
-            itemset = complement_tuple | extra
-            if itemset in seen:
+    try:
+        for maximal in maximal_itemsets:
+            if maximal & complement_tuple != complement_tuple:
+                continue  # not a superset of ~t
+            if bit_count(maximal) < level:
                 continue
-            seen.add(itemset)
-            checked += 1
-            support = complemented.support(itemset)
-            if best is None or support > best.support:
-                best = _LevelPick(itemset, support, checked)
-            ticker.tick(best)
+            free = maximal & ~complement_tuple
+            picks_needed = level - bit_count(complement_tuple)
+            if picks_needed < 0 or picks_needed > bit_count(free):
+                continue
+            combination_count = binomial(bit_count(free), picks_needed)
+            if checked + combination_count > max_candidates:
+                # best_known is the partial _LevelPick; the solver paths
+                # translate it into a valid keep_mask before the error escapes
+                raise SolverBudgetExceededError(
+                    "level extraction would enumerate more than "
+                    f"{max_candidates} itemsets",
+                    best_known=best,
+                )
+            for extra in combinations_of_mask(free, picks_needed):
+                itemset = complement_tuple | extra
+                if itemset in seen:
+                    continue
+                seen.add(itemset)
+                checked += 1
+                support = complemented.support(itemset)
+                if best is None or support > best.support:
+                    best = _LevelPick(itemset, support, checked)
+                ticker.tick(best)
+    finally:
+        recorder = get_recorder()
+        if recorder.enabled and checked:
+            recorder.count("repro_itemset_level_candidates_total", checked)
     if best is not None:
         best.candidates_checked = checked
     return best

@@ -28,6 +28,7 @@ from repro.common.deadline import active_deadline
 from repro.lp.model import CompiledProblem, Model
 from repro.lp.simplex import SimplexSolver
 from repro.lp.solution import MilpSolution, SolveStatus
+from repro.obs.recorder import get_recorder
 
 __all__ = ["BranchAndBoundSolver"]
 
@@ -54,6 +55,13 @@ class BranchAndBoundSolver:
         return self.solve(model.compile())
 
     def solve(self, problem: CompiledProblem) -> MilpSolution:
+        solution = self._branch_and_bound(problem)
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("repro_bnb_nodes_total", solution.nodes_explored)
+        return solution
+
+    def _branch_and_bound(self, problem: CompiledProblem) -> MilpSolution:
         integer_mask = problem.integer
         incumbent_x: np.ndarray | None = None
         incumbent_value = math.inf  # minimization orientation

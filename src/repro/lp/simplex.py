@@ -26,6 +26,7 @@ import numpy as np
 from repro.common.deadline import active_deadline
 from repro.common.errors import ValidationError
 from repro.lp.solution import LpSolution, SolveStatus
+from repro.obs.recorder import get_recorder
 
 __all__ = ["SimplexSolver"]
 
@@ -92,6 +93,10 @@ class SimplexSolver:
         if solution.is_optimal:
             solution.x = solution.x + low
             solution.objective += shift_constant
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("repro_simplex_solves_total")
+            recorder.count("repro_simplex_pivots_total", solution.iterations)
         return solution
 
     # -- core ------------------------------------------------------------------

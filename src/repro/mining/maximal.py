@@ -21,10 +21,10 @@ Three miners, trading generality for speed:
 
 from __future__ import annotations
 
-from repro.common.bits import bit_indices
 from repro.common.deadline import active_ticker
 from repro.common.errors import SolverBudgetExceededError
 from repro.mining.apriori import apriori
+from repro.obs.recorder import get_recorder
 
 __all__ = [
     "filter_maximal",
@@ -202,5 +202,12 @@ def mine_maximal_dfs(
             remaining = [other for _, other in tail[position + 1 :]]
             dfs(new_head, remaining)
 
-    dfs(0, frequent_items)
+    try:
+        dfs(0, frequent_items)
+    finally:
+        # record even when the node budget or a deadline fires mid-walk,
+        # so interrupted mining still shows up in the work counters
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("repro_itemset_dfs_expansions_total", nodes)
     return mfis

@@ -30,6 +30,7 @@ from repro.common.deadline import NULL_TICKER, active_deadline, active_ticker
 from repro.common.errors import ValidationError
 from repro.common.estimates import good_turing_unseen_estimate
 from repro.common.rng import ensure_rng
+from repro.obs.recorder import get_recorder
 
 __all__ = ["WalkStatistics", "TwoPhaseRandomWalkMiner", "BottomUpRandomWalkMiner"]
 
@@ -89,19 +90,30 @@ class _RandomWalkMinerBase:
         # is read once per walk; single lattice steps checkpoint too.
         deadline = active_deadline()
         self._step_ticker = active_ticker(context="random-walk lattice steps")
-        while iterations < self.max_iterations:
-            if deadline is not None:
-                deadline.check(context="random-walk mining")
-            if (
-                iterations >= self.min_iterations
-                and discoveries
-                and all(count >= self.min_discoveries for count in discoveries.values())
-            ):
-                break
-            itemset = self._walk(database)
-            discoveries[itemset] += 1
-            draws.append(itemset)
-            iterations += 1
+        try:
+            while iterations < self.max_iterations:
+                if deadline is not None:
+                    deadline.check(context="random-walk mining")
+                if (
+                    iterations >= self.min_iterations
+                    and discoveries
+                    and all(
+                        count >= self.min_discoveries
+                        for count in discoveries.values()
+                    )
+                ):
+                    break
+                itemset = self._walk(database)
+                discoveries[itemset] += 1
+                draws.append(itemset)
+                iterations += 1
+        finally:
+            # partial work still lands in the counters when the deadline
+            # interrupts a walk mid-loop
+            recorder = get_recorder()
+            if recorder.enabled:
+                recorder.count("repro_randomwalk_walks_total", iterations)
+                recorder.count("repro_randomwalk_steps_total", self._steps)
 
         converged = bool(discoveries) and all(
             count >= self.min_discoveries for count in discoveries.values()

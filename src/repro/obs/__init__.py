@@ -1,0 +1,51 @@
+"""Unified telemetry: tracing spans, metrics, and the global recorder.
+
+The package is dependency-free and zero-cost when disabled — see
+``docs/observability.md`` for the span model, metric naming
+conventions, exposition formats, and measured overhead.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import (
+    DECLARED_METRICS,
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    bitmap_ops_snapshot,
+    get_recorder,
+    observed_phase,
+    record_bitmap_ops,
+    recording,
+    set_recorder,
+)
+from repro.obs.timing import Stopwatch, time_call
+from repro.obs.tracing import Span, Tracer, current_span
+
+__all__ = [
+    "DECLARED_METRICS",
+    "DEFAULT_BUCKETS",
+    "NULL_RECORDER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "Stopwatch",
+    "Tracer",
+    "bitmap_ops_snapshot",
+    "current_span",
+    "get_recorder",
+    "observed_phase",
+    "record_bitmap_ops",
+    "recording",
+    "set_recorder",
+    "time_call",
+]

@@ -1,0 +1,248 @@
+"""The global telemetry switch: a recorder that is a no-op by default.
+
+Hot paths call :func:`get_recorder` and either bail on
+``recorder.enabled`` or make a single coarse call per solve/phase (never
+per inner-loop iteration).  The default recorder is
+:data:`NULL_RECORDER`, whose methods do nothing, so instrumentation is
+effectively free unless a caller installs a live :class:`Recorder` —
+usually via the :func:`recording` context manager:
+
+>>> from repro.obs import Recorder, recording, get_recorder
+>>> get_recorder().enabled
+False
+>>> with recording(Recorder()) as recorder:
+...     get_recorder().count("repro_simplex_pivots_total", 5)
+>>> recorder.metrics.counter_total("repro_simplex_pivots_total")
+5.0
+
+Metric families used by the built-in instrumentation are pre-declared
+(:data:`DECLARED_METRICS`), so an exposition always lists every family —
+with zero samples for work that never ran — which makes scrape targets
+and dashboards stable across runs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "DECLARED_METRICS",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "get_recorder",
+    "recording",
+    "set_recorder",
+]
+
+#: kind, help text, label names — every family the built-in
+#: instrumentation may touch (histograms use the latency buckets)
+DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
+    ("counter", "repro_solver_solves_total",
+     "Completed Solver.solve calls.", ("algorithm",)),
+    ("counter", "repro_simplex_solves_total",
+     "LP relaxations solved by the simplex engine.", ()),
+    ("counter", "repro_simplex_pivots_total",
+     "Simplex pivot operations across all LP solves.", ()),
+    ("counter", "repro_bnb_nodes_total",
+     "Branch-and-bound nodes explored.", ()),
+    ("counter", "repro_itemset_dfs_expansions_total",
+     "Node expansions in the maximal-itemset DFS miner.", ()),
+    ("counter", "repro_itemset_level_candidates_total",
+     "Candidate itemsets scored during level extraction.", ()),
+    ("counter", "repro_randomwalk_walks_total",
+     "Random walks started by the lattice miner.", ()),
+    ("counter", "repro_randomwalk_steps_total",
+     "Lattice steps taken across all random walks.", ()),
+    ("counter", "repro_bruteforce_candidates_total",
+     "Attribute subsets enumerated by the brute-force solver.", ()),
+    ("counter", "repro_greedy_passes_total",
+     "Selection passes executed by the greedy solvers.", ("algorithm",)),
+    ("counter", "repro_index_bitmap_ops_total",
+     "Vertical-index bitmap operations (op=or|and|popcount).", ("op",)),
+    ("counter", "repro_harness_runs_total",
+     "SolverHarness.run outcomes by status.", ("status",)),
+    ("counter", "repro_harness_attempts_total",
+     "Per-solver attempts inside the harness chain.", ("solver", "status")),
+    ("counter", "repro_harness_retries_total",
+     "Transient-fault retries inside the harness.", ()),
+    ("counter", "repro_harness_fallbacks_total",
+     "Runs completed by a non-primary solver in the chain.", ()),
+    ("counter", "repro_harness_deadline_overruns_total",
+     "Harness runs that finished past their deadline.", ()),
+    ("counter", "repro_breaker_transitions_total",
+     "Circuit-breaker state transitions (to=open|closed).", ("to",)),
+    ("counter", "repro_monitor_queries_total",
+     "Queries observed by the visibility monitor.", ("hit",)),
+    ("counter", "repro_monitor_reoptimizations_total",
+     "Monitor re-optimisations through the harness.", ("status",)),
+    ("counter", "repro_marketplace_queries_total",
+     "Queries served by the marketplace.", ()),
+    ("counter", "repro_marketplace_posts_total",
+     "Optimised-ad postings by outcome status.", ("status",)),
+    ("histogram", "repro_solver_solve_seconds",
+     "Wall-clock latency of Solver.solve.", ("algorithm",)),
+    ("histogram", "repro_harness_run_seconds",
+     "Wall-clock latency of SolverHarness.run.", ()),
+    ("histogram", "repro_monitor_reoptimize_seconds",
+     "Wall-clock latency of monitor re-optimisation.", ()),
+    ("histogram", "repro_marketplace_query_seconds",
+     "Wall-clock latency of marketplace query serving.", ()),
+)
+
+
+class NullRecorder:
+    """Does nothing, as fast as Python allows.  The default recorder."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def count(self, name: str, value: float = 1.0,
+              labels: Mapping[str, object] | None = None) -> None:
+        pass
+
+    def gauge(self, name: str, value: float,
+              labels: Mapping[str, object] | None = None) -> None:
+        pass
+
+    def observe(self, name: str, value: float,
+                labels: Mapping[str, object] | None = None) -> None:
+        pass
+
+    def span(self, name: str, **attributes: Any) -> "_NullSpan":
+        return _NULL_SPAN
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+#: the process-wide default; never mutated, always safe to share
+NULL_RECORDER = NullRecorder()
+
+
+class Recorder:
+    """A live recorder: a metrics registry plus a tracer.
+
+    ``declare=True`` (the default) pre-registers every family in
+    :data:`DECLARED_METRICS` so expositions are schema-stable.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        declare: bool = True,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        if declare:
+            for kind, name, help_text, labelnames in DECLARED_METRICS:
+                if kind == "counter":
+                    self.metrics.counter(name, help_text, labelnames)
+                else:
+                    self.metrics.histogram(
+                        name, help_text, labelnames, buckets=DEFAULT_BUCKETS
+                    )
+
+    def count(self, name: str, value: float = 1.0,
+              labels: Mapping[str, object] | None = None) -> None:
+        self.metrics.inc(name, value, labels)
+
+    def gauge(self, name: str, value: float,
+              labels: Mapping[str, object] | None = None) -> None:
+        self.metrics.set_gauge(name, value, labels)
+
+    def observe(self, name: str, value: float,
+                labels: Mapping[str, object] | None = None) -> None:
+        self.metrics.observe(name, value, labels)
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        return self.tracer.span(name, **attributes)
+
+
+#: module global rather than a contextvar: reads must cost one dict
+#: lookup, and the package's solvers are single-threaded per process
+_ACTIVE: NullRecorder | Recorder = NULL_RECORDER
+
+
+def get_recorder() -> NullRecorder | Recorder:
+    """The currently installed recorder (the no-op one by default)."""
+    return _ACTIVE
+
+
+def set_recorder(recorder: NullRecorder | Recorder | None) -> None:
+    """Install ``recorder`` globally; ``None`` restores the no-op."""
+    global _ACTIVE
+    _ACTIVE = recorder if recorder is not None else NULL_RECORDER
+
+
+@contextmanager
+def recording(recorder: Recorder | None = None) -> Iterator[Recorder]:
+    """Install a recorder for the duration of the ``with`` block."""
+    live = recorder if recorder is not None else Recorder()
+    previous = _ACTIVE
+    set_recorder(live)
+    try:
+        yield live
+    finally:
+        set_recorder(previous)
+
+
+# -- shared instrumentation helpers -----------------------------------
+
+_BITMAP_OPS = ("or", "and", "popcount")
+
+
+def bitmap_ops_snapshot(table: Any) -> tuple[int, int, int]:
+    """Current ``(or, and, popcount)`` op counts of ``table``'s cached
+    vertical index, or zeros when no index has been built yet."""
+    index = getattr(table, "cached_vertical_index", None)
+    return index.ops_snapshot() if index is not None else (0, 0, 0)
+
+
+def record_bitmap_ops(
+    recorder: Recorder, table: Any, before: tuple[int, int, int]
+) -> None:
+    """Record the bitmap work done on ``table`` since ``before``."""
+    after = bitmap_ops_snapshot(table)
+    for op, start, end in zip(_BITMAP_OPS, before, after):
+        if end > start:
+            recorder.count("repro_index_bitmap_ops_total", end - start, {"op": op})
+
+
+@contextmanager
+def observed_phase(name: str, histogram: str | None = None,
+                   labels: Mapping[str, object] | None = None,
+                   **attributes: Any) -> Iterator[None]:
+    """Span + optional latency observation around a phase; cheap no-op
+    when no recorder is installed."""
+    recorder = _ACTIVE
+    if not recorder.enabled:
+        yield
+        return
+    start = time.perf_counter()
+    with recorder.span(name, **attributes):
+        yield
+    if histogram is not None:
+        recorder.observe(histogram, time.perf_counter() - start, labels)

@@ -1,0 +1,87 @@
+"""Timing utilities built on the telemetry substrate.
+
+This is the implementation behind ``repro.common.timing`` (kept as a
+re-export for compatibility).  A :class:`Stopwatch` lap additionally
+opens a tracing span named ``lap:<name>`` when a recorder is installed,
+so ad-hoc timings and structured traces come from the same clock and
+never disagree.
+
+>>> watch = Stopwatch()
+>>> with watch.lap("setup"):
+...     pass
+>>> "setup" in watch.laps
+True
+>>> watch.total >= 0.0
+True
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any, TypeVar
+
+from repro.obs.recorder import get_recorder
+
+T = TypeVar("T")
+
+__all__ = ["Stopwatch", "time_call"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    >>> watch = Stopwatch()
+    >>> watch.add("io", 0.25)
+    >>> watch.add("io", 0.25)
+    >>> watch.laps["io"]
+    0.5
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    def lap(self, name: str) -> "_Lap":
+        return _Lap(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.laps[name] = self.laps.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.laps.values())
+
+
+class _Lap:
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+        self._span: Any = None
+
+    def __enter__(self) -> "_Lap":
+        recorder = get_recorder()
+        if recorder.enabled:
+            self._span = recorder.span(f"lap:{self._name}")
+            self._span.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._watch.add(self._name, time.perf_counter() - self._start)
+        if self._span is not None:
+            self._span.__exit__(*exc_info)
+            self._span = None
+
+
+def time_call(func: Callable[..., T], *args: Any, **kwargs: Any) -> tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``.
+
+    >>> result, elapsed = time_call(sum, [1, 2, 3])
+    >>> result, elapsed >= 0.0
+    (6, True)
+    """
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,134 @@
+"""Structured tracing spans with ambient parenting.
+
+A :class:`Tracer` hands out context-manager spans.  The currently open
+span is kept in a :class:`contextvars.ContextVar`, so nested spans pick
+up their parent automatically — across generators and ``contextlib``
+scopes — without threading a span object through every call signature:
+
+>>> tracer = Tracer()
+>>> with tracer.span("solve", algorithm="ILP") as outer:
+...     with tracer.span("relaxation") as inner:
+...         pass
+>>> inner.parent_id == outer.span_id
+True
+>>> [span.name for span in tracer.finished]
+['relaxation', 'solve']
+
+Each span records wall time (``perf_counter``) and CPU time
+(``process_time``), free-form attributes, and an error flag when the
+body raises.  Finished spans export as JSON-lines via
+:meth:`Tracer.to_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, TextIO
+
+__all__ = ["Span", "Tracer", "current_span"]
+
+#: the innermost open span, if any (ambient parent for new spans)
+_CURRENT: ContextVar["Span | None"] = ContextVar("repro_obs_span", default=None)
+
+
+def current_span() -> "Span | None":
+    """The innermost span currently open in this context, or ``None``."""
+    return _CURRENT.get()
+
+
+@dataclass
+class Span:
+    """One timed operation; use as a context manager via ``Tracer.span``."""
+
+    tracer: "Tracer"
+    span_id: int
+    parent_id: int | None
+    name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+    start_s: float = 0.0
+    elapsed_s: float = 0.0
+    cpu_s: float = 0.0
+    status: str = "ok"
+    error: str | None = None
+    _token: Any = None
+    _cpu_start: float = 0.0
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes to an open (or finished) span."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT.set(self)
+        self._cpu_start = time.process_time()
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        self.elapsed_s = time.perf_counter() - self.start_s
+        self.cpu_s = time.process_time() - self._cpu_start
+        _CURRENT.reset(self._token)
+        if exc_type is not None:
+            self.status = "error"
+            self.error = f"{exc_type.__name__}: {exc}"
+        self.tracer.finished.append(self)
+
+    def to_dict(self) -> dict:
+        record = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": round(self.start_s - self.tracer.epoch_s, 9),
+            "elapsed_s": round(self.elapsed_s, 9),
+            "cpu_s": round(self.cpu_s, 9),
+            "status": self.status,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        if self.attributes:
+            record["attributes"] = self.attributes
+        return record
+
+
+class Tracer:
+    """Creates spans and collects them as they finish.
+
+    ``finished`` is ordered by completion time, so children precede
+    their parents; ``start_s`` in the export is relative to the
+    tracer's creation (its *epoch*), which keeps the numbers small and
+    machine-independent.
+    """
+
+    def __init__(self) -> None:
+        self.finished: list[Span] = []
+        self.epoch_s = time.perf_counter()
+        self._next_id = 1
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        parent = _CURRENT.get()
+        span = Span(
+            tracer=self,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            attributes=attributes,
+        )
+        self._next_id += 1
+        return span
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [span for span in self.finished if span.name == name]
+
+    def to_dicts(self) -> list[dict]:
+        return [span.to_dict() for span in self.finished]
+
+    def to_jsonl(self) -> str:
+        return "".join(
+            json.dumps(record, default=str) + "\n" for record in self.to_dicts()
+        )
+
+    def write_jsonl(self, stream: TextIO) -> None:
+        stream.write(self.to_jsonl())

@@ -34,7 +34,13 @@ from repro.runtime.faults import (
     TransientFault,
     corrupt_solution,
 )
-from repro.runtime.harness import Attempt, RunOutcome, SolverHarness, make_harness
+from repro.runtime.harness import (
+    Attempt,
+    OutcomeStats,
+    RunOutcome,
+    SolverHarness,
+    make_harness,
+)
 
 __all__ = [
     "Deadline",
@@ -44,6 +50,7 @@ __all__ = [
     "active_ticker",
     "deadline_scope",
     "Attempt",
+    "OutcomeStats",
     "RunOutcome",
     "SolverHarness",
     "make_harness",

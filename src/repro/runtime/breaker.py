@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 
 from repro.common.errors import ValidationError
+from repro.obs.recorder import get_recorder
 
 __all__ = ["CircuitBreaker"]
 
@@ -49,12 +50,24 @@ class CircuitBreaker:
         """Count one primary failure; trips (or re-trips) at the threshold."""
         self.failures += 1
         if self.failures >= self.failure_threshold:
+            if not self.is_open():
+                # closed (or half-open trial failure) -> open; a re-trip
+                # while already open only extends the cooldown
+                self._transition("open")
             self._opened_at = self._clock()
 
     def record_success(self) -> None:
         """A primary success fully resets the breaker."""
+        if self._opened_at is not None:
+            self._transition("closed")
         self.failures = 0
         self._opened_at = None
+
+    @staticmethod
+    def _transition(to: str) -> None:
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("repro_breaker_transitions_total", 1, {"to": to})
 
     def is_open(self) -> bool:
         """True while the primary should be skipped.

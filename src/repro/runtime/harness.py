@@ -33,7 +33,7 @@ from __future__ import annotations
 import random
 import time
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.common.bits import bit_count, is_subset
 from repro.common.deadline import Deadline, deadline_scope
@@ -41,10 +41,11 @@ from repro.common.errors import ReproError, SolverInterrupted, ValidationError
 from repro.core.base import Solver
 from repro.core.problem import Solution, VisibilityProblem
 from repro.core.registry import DEFAULT_FALLBACK_CHAIN, make_solver
+from repro.obs.recorder import bitmap_ops_snapshot, get_recorder, record_bitmap_ops
 from repro.runtime.breaker import CircuitBreaker
 from repro.runtime.faults import FaultPlan, FaultySolver, TransientFault
 
-__all__ = ["Attempt", "RunOutcome", "SolverHarness", "make_harness"]
+__all__ = ["Attempt", "OutcomeStats", "RunOutcome", "SolverHarness", "make_harness"]
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,36 @@ class Attempt:
 
 
 @dataclass(frozen=True)
+class OutcomeStats:
+    """Typed run statistics attached to a :class:`RunOutcome`.
+
+    ``fallback_depth`` is the position in the chain of the solver whose
+    answer was served (0 = primary), or ``-1`` when nothing completed
+    (``anytime`` outcomes built from an incumbent report the position of
+    the interrupted solver that produced it).  ``counters`` is the delta
+    of every telemetry counter over the run — empty unless a live
+    :class:`repro.obs.Recorder` was installed.
+    """
+
+    chain: tuple[str, ...] = ()
+    attempts: int = 0
+    retries: int = 0
+    fallback_depth: int = -1
+    elapsed_ms: float = 0.0
+    counters: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "chain": list(self.chain),
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "fallback_depth": self.fallback_depth,
+            "elapsed_ms": self.elapsed_ms,
+            "counters": dict(self.counters),
+        }
+
+
+@dataclass(frozen=True)
 class RunOutcome:
     """Structured result of one harness run — returned, never raised.
 
@@ -88,7 +119,7 @@ class RunOutcome:
     attempts: tuple[Attempt, ...]
     elapsed_s: float
     deadline_s: float | None
-    stats: dict = field(default_factory=dict)
+    stats: OutcomeStats = field(default_factory=OutcomeStats)
 
     @property
     def ok(self) -> bool:
@@ -101,7 +132,7 @@ class RunOutcome:
             "attempts": [attempt.to_dict() for attempt in self.attempts],
             "elapsed_s": self.elapsed_s,
             "deadline_s": self.deadline_s,
-            "stats": dict(self.stats),
+            "stats": self.stats.to_dict(),
         }
 
     def __str__(self) -> str:
@@ -176,6 +207,42 @@ class SolverHarness(Solver):
         duration = self._deadline_s if deadline_ms is ... else (
             None if deadline_ms is None else deadline_ms / 1000.0
         )
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return self._run_chain(problem, duration)
+
+        counters_before = recorder.metrics.counter_values()
+        ops_before = bitmap_ops_snapshot(problem.log)
+        with recorder.span(
+            "harness.run", chain=list(self.chain), deadline_s=duration
+        ):
+            outcome = self._run_chain(problem, duration)
+        record_bitmap_ops(recorder, problem.log, ops_before)
+        recorder.count("repro_harness_runs_total", 1, {"status": outcome.status})
+        recorder.observe("repro_harness_run_seconds", outcome.elapsed_s)
+        for attempt in outcome.attempts:
+            recorder.count(
+                "repro_harness_attempts_total",
+                1,
+                {"solver": attempt.solver, "status": attempt.status},
+            )
+            if attempt.retries:
+                recorder.count("repro_harness_retries_total", attempt.retries)
+        if outcome.status == "fallback":
+            recorder.count("repro_harness_fallbacks_total")
+        if duration is not None and outcome.elapsed_s > duration:
+            recorder.count("repro_harness_deadline_overruns_total")
+        counters_after = recorder.metrics.counter_values()
+        deltas = {
+            name: value - counters_before.get(name, 0.0)
+            for name, value in counters_after.items()
+            if value != counters_before.get(name, 0.0)
+        }
+        return replace(outcome, stats=replace(outcome.stats, counters=deltas))
+
+    def _run_chain(
+        self, problem: VisibilityProblem, duration: float | None
+    ) -> RunOutcome:
         start = self._clock()
         deadline = Deadline(duration, clock=self._clock)
         rng = random.Random(self.seed)
@@ -244,13 +311,29 @@ class SolverHarness(Solver):
         else:
             status = "failed"
 
+        if completed_by is not None:
+            fallback_depth = self._solvers.index(completed_by)
+        elif status == "anytime":
+            names = [entry.name for entry in self._solvers]
+            fallback_depth = (
+                names.index(solution.algorithm) if solution.algorithm in names else -1
+            )
+        else:
+            fallback_depth = -1
+        elapsed_s = self._clock() - start
         return RunOutcome(
             status=status,
             solution=solution,
             attempts=tuple(attempts),
-            elapsed_s=self._clock() - start,
+            elapsed_s=elapsed_s,
             deadline_s=duration,
-            stats={"chain": list(self.chain)},
+            stats=OutcomeStats(
+                chain=self.chain,
+                attempts=len(attempts),
+                retries=sum(attempt.retries for attempt in attempts),
+                fallback_depth=fallback_depth,
+                elapsed_ms=elapsed_s * 1000.0,
+            ),
         )
 
     def _attempt(

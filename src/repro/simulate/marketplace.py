@@ -8,12 +8,14 @@ matches with the highest global score), modelling a results page.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.booldata.schema import Schema
 from repro.booldata.table import BooleanTable
 from repro.common.errors import ValidationError
+from repro.obs.recorder import get_recorder
 from repro.retrieval.scoring import GlobalScore
 
 __all__ = ["PostedAd", "Marketplace"]
@@ -75,6 +77,11 @@ class Marketplace:
             raise ValidationError("traffic schema differs from marketplace schema")
         problem = VisibilityProblem(traffic, new_tuple, budget)
         outcome = harness.run(problem)
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count(
+                "repro_marketplace_posts_total", 1, {"status": outcome.status}
+            )
         if outcome.solution is None:
             return None, outcome
         return self.post_ad(outcome.solution.keep_mask, label), outcome
@@ -95,6 +102,19 @@ class Marketplace:
         the ``page_size`` best by global score, newest ad winning ties
         (fresh listings float up, as on real sites).
         """
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return self._run_query(query)
+        start = time.perf_counter()
+        try:
+            return self._run_query(query)
+        finally:
+            recorder.observe(
+                "repro_marketplace_query_seconds", time.perf_counter() - start
+            )
+            recorder.count("repro_marketplace_queries_total")
+
+    def _run_query(self, query: int) -> list[int]:
         self.schema.validate_mask(query)
         matches = [ad for ad in self._ads if query & ad.mask == query]
         if self.page_size is None:

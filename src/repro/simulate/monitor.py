@@ -10,6 +10,7 @@ realized share drops below a tolerance.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 
@@ -18,6 +19,7 @@ from repro.common.errors import ValidationError
 from repro.core.base import Solver
 from repro.core.greedy import ConsumeAttrSolver
 from repro.core.problem import VisibilityProblem
+from repro.obs.recorder import get_recorder
 
 __all__ = ["MonitorStatus", "VisibilityMonitor"]
 
@@ -99,6 +101,11 @@ class VisibilityMonitor:
         hit = query & self.keep_mask == query
         if hit:
             self._realized += 1
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count(
+                "repro_monitor_queries_total", 1, {"hit": "yes" if hit else "no"}
+            )
         return hit
 
     def observe_many(self, queries) -> int:
@@ -156,7 +163,19 @@ class VisibilityMonitor:
         if not len(window):
             return None
         problem = VisibilityProblem(window, self.new_tuple, self.budget)
-        outcome = harness.run(problem)
+        recorder = get_recorder()
+        if not recorder.enabled:
+            outcome = harness.run(problem)
+        else:
+            start = time.perf_counter()
+            with recorder.span("monitor.reoptimize", window=len(window)):
+                outcome = harness.run(problem)
+            recorder.observe(
+                "repro_monitor_reoptimize_seconds", time.perf_counter() - start
+            )
+            recorder.count(
+                "repro_monitor_reoptimizations_total", 1, {"status": outcome.status}
+            )
         if outcome.solution is not None:
             self._adopt(outcome.solution.keep_mask)
         return outcome

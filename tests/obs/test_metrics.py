@@ -1,0 +1,161 @@
+"""The metrics registry: families, labels, and both expositions."""
+
+import json
+import math
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounter:
+    def test_unlabeled_counter_starts_at_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", "x")
+        assert registry.counter_total("repro_x_total") == 0.0
+        assert "repro_x_total 0" in registry.to_prometheus()
+
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_x_total", 2)
+        registry.inc("repro_x_total")
+        assert registry.counter_total("repro_x_total") == 3.0
+
+    def test_counter_rejects_negative_increments(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            registry.inc("repro_x_total", -1)
+
+    def test_labeled_counter_keeps_series_apart(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", "x", ("algorithm",))
+        registry.inc("repro_x_total", 1, {"algorithm": "ILP"})
+        registry.inc("repro_x_total", 2, {"algorithm": "Greedy"})
+        assert registry.counter_total("repro_x_total") == 3.0
+        values = registry.counter_values()
+        assert values['repro_x_total{algorithm="ILP"}'] == 1.0
+        assert values['repro_x_total{algorithm="Greedy"}'] == 2.0
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", "x", ("algorithm",))
+        with pytest.raises(ValidationError):
+            registry.inc("repro_x_total", 1, {"wrong": "label"})
+        with pytest.raises(ValidationError):
+            registry.inc("repro_x_total", 1)
+
+    def test_redeclaration_is_idempotent_but_shape_checked(self):
+        registry = MetricsRegistry()
+        family = registry.counter("repro_x_total", "x", ("a",))
+        assert registry.counter("repro_x_total", "x", ("a",)) is family
+        with pytest.raises(ValidationError):
+            registry.counter("repro_x_total", "x", ("b",))
+        with pytest.raises(ValidationError):
+            registry.histogram("repro_x_total")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            registry.counter("bad name")
+        with pytest.raises(ValidationError):
+            registry.counter("repro_ok_total", "x", ("bad-label",))
+        with pytest.raises(ValidationError):
+            registry.counter("repro_ok_total", "x", ("__reserved",))
+
+
+class TestGauge:
+    def test_set_replaces_and_inc_adds(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("repro_depth", 5)
+        registry.set_gauge("repro_depth", 2)
+        assert registry.get("repro_depth").sample_dicts()[0]["value"] == 2.0
+        registry.get("repro_depth").inc(-1)
+        assert registry.get("repro_depth").sample_dicts()[0]["value"] == 1.0
+
+    def test_gauges_are_not_counters(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("repro_depth", 5)
+        assert "repro_depth" not in registry.counter_values()
+        with pytest.raises(ValidationError):
+            registry.counter_total("repro_depth")
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_lat_seconds", "lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            registry.observe("repro_lat_seconds", value)
+        text = registry.to_prometheus()
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="1"} 3' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 4' in text
+        assert "repro_lat_seconds_count 4" in text
+        assert "repro_lat_seconds_sum 6.05" in text
+
+    def test_sample_dicts_mirror_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_lat_seconds", "lat", buckets=(1.0,))
+        registry.observe("repro_lat_seconds", 0.5)
+        (sample,) = registry.get("repro_lat_seconds").sample_dicts()
+        assert sample["count"] == 1
+        assert sample["sum"] == 0.5
+        assert sample["buckets"]["1"] == 1
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-4)
+        assert DEFAULT_BUCKETS[-1] == pytest.approx(10.0)
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_empty_bucket_list_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            registry.histogram("repro_lat_seconds", buckets=())
+
+
+class TestExposition:
+    def test_prometheus_text_has_help_and_type_headers(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", "Things counted.")
+        text = registry.to_prometheus()
+        assert "# HELP repro_x_total Things counted." in text
+        assert "# TYPE repro_x_total counter" in text
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", "x", ("q",))
+        registry.inc("repro_x_total", 1, {"q": 'a"b\\c\nd'})
+        assert '{q="a\\"b\\\\c\\nd"}' in registry.to_prometheus()
+
+    def test_json_snapshot_round_trips(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_x_total", 7)
+        registry.observe("repro_lat_seconds", 0.02)
+        snapshot = json.loads(registry.to_json())
+        assert snapshot["repro_x_total"]["type"] == "counter"
+        assert snapshot["repro_x_total"]["samples"][0]["value"] == 7
+        assert snapshot["repro_lat_seconds"]["type"] == "histogram"
+        assert snapshot["repro_lat_seconds"]["samples"][0]["count"] == 1
+
+    def test_write_dispatches_on_format(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("repro_x_total")
+        prom = tmp_path / "m.prom"
+        with prom.open("w") as stream:
+            registry.write(stream, "prom")
+        assert "repro_x_total 1" in prom.read_text()
+        with pytest.raises(ValidationError):
+            registry.write(prom.open("w"), "xml")
+
+    def test_integer_samples_render_without_decimal_point(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_x_total", 2.0)
+        assert "repro_x_total 2\n" in registry.to_prometheus()
+
+    def test_float_samples_keep_precision(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_x_total", 0.125)
+        assert "repro_x_total 0.125" in registry.to_prometheus()
+        assert math.isclose(registry.counter_total("repro_x_total"), 0.125)

@@ -1,0 +1,47 @@
+"""Stopwatch + time_call, including the repro.common.timing re-export."""
+
+from repro.obs import Recorder, Stopwatch, recording, time_call
+
+
+class TestStopwatch:
+    def test_laps_accumulate(self):
+        watch = Stopwatch()
+        watch.add("io", 0.25)
+        watch.add("io", 0.25)
+        watch.add("solve", 1.0)
+        assert watch.laps["io"] == 0.5
+        assert watch.total == 1.5
+
+    def test_lap_context_manager_measures(self):
+        watch = Stopwatch()
+        with watch.lap("work"):
+            sum(range(1000))
+        assert watch.laps["work"] >= 0.0
+
+    def test_lap_emits_a_span_when_recording(self):
+        watch = Stopwatch()
+        with recording(Recorder()) as recorder:
+            with watch.lap("load"):
+                pass
+        assert [s.name for s in recorder.tracer.finished] == ["lap:load"]
+        assert "load" in watch.laps
+
+    def test_lap_emits_no_span_when_disabled(self):
+        watch = Stopwatch()
+        recorder = Recorder()
+        with watch.lap("load"):
+            pass
+        assert recorder.tracer.finished == []
+
+
+class TestCompatReExport:
+    def test_common_timing_is_the_same_object(self):
+        from repro.common import timing as compat
+
+        assert compat.Stopwatch is Stopwatch
+        assert compat.time_call is time_call
+
+    def test_time_call_returns_result_and_elapsed(self):
+        result, elapsed = time_call(sorted, [3, 1, 2])
+        assert result == [1, 2, 3]
+        assert elapsed >= 0.0

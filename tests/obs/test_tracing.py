@@ -1,0 +1,103 @@
+"""Tracing spans: ambient parenting, timing, errors, JSONL export."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, current_span
+
+
+class TestParenting:
+    def test_nested_spans_pick_up_ambient_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("a") as first:
+                pass
+            with tracer.span("b") as second:
+                pass
+        assert first.parent_id == second.parent_id == outer.span_id
+        assert first.span_id != second.span_id
+
+    def test_children_finish_before_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in tracer.finished] == ["inner", "outer"]
+
+
+class TestSpanRecords:
+    def test_span_measures_wall_and_cpu_time(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            sum(range(10_000))
+        (span,) = tracer.finished
+        assert span.elapsed_s >= 0.0
+        assert span.cpu_s >= 0.0
+        assert span.status == "ok"
+
+    def test_attributes_from_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("solve", algorithm="ILP") as span:
+            span.set(pivots=12)
+        assert span.attributes == {"algorithm": "ILP", "pivots": 12}
+
+    def test_exception_marks_span_as_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("fragile"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished
+        assert span.status == "error"
+        assert span.error == "RuntimeError: boom"
+        # the contextvar must be restored even on the error path
+        assert current_span() is None
+
+    def test_spans_named_filters(self):
+        tracer = Tracer()
+        with tracer.span("solve"):
+            pass
+        with tracer.span("load"):
+            pass
+        assert [s.name for s in tracer.spans_named("solve")] == ["solve"]
+
+
+class TestExport:
+    def test_jsonl_is_one_valid_object_per_span(self):
+        tracer = Tracer()
+        with tracer.span("outer", m=3):
+            with tracer.span("inner"):
+                pass
+        lines = tracer.to_jsonl().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 2
+        by_name = {record["name"]: record for record in records}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["attributes"] == {"m": 3}
+        assert all(record["start_s"] >= 0.0 for record in records)
+
+    def test_error_field_only_present_on_failures(self):
+        tracer = Tracer()
+        with tracer.span("fine"):
+            pass
+        (record,) = tracer.to_dicts()
+        assert "error" not in record
+
+    def test_write_jsonl_appends_trailing_newline(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        with path.open("w") as stream:
+            tracer.write_jsonl(stream)
+        assert path.read_text().endswith("\n")

@@ -1,0 +1,104 @@
+"""Telemetry must observe, never steer.
+
+The tentpole guarantee of :mod:`repro.obs`: installing a recorder
+changes *nothing* about what any solver or the harness computes — the
+same instances yield bit-identical keep masks with telemetry on and
+off.  Each registry solver is exercised on a seeded stream of random
+instances twice and the answers are compared, then the same contract is
+checked end-to-end through the harness (where the telemetry wrapper
+also fills in :class:`repro.runtime.OutcomeStats`).
+"""
+
+import random
+
+import pytest
+
+from repro.core import make_solver
+from repro.core.registry import SOLVERS
+from repro.obs import Recorder, recording
+from repro.runtime import OutcomeStats, SolverHarness
+from tests.conftest import random_instance
+
+SEED = 20080406
+
+
+def _instances(count: int, **kwargs):
+    rng = random.Random(SEED)
+    return [random_instance(rng, **kwargs) for _ in range(count)]
+
+
+@pytest.mark.parametrize("algorithm", sorted(SOLVERS))
+def test_recorder_never_changes_a_solver_answer(algorithm):
+    problems = _instances(12, max_width=7, max_queries=15)
+    baseline = [make_solver(algorithm).solve(problem) for problem in problems]
+    with recording(Recorder()) as recorder:
+        observed = [make_solver(algorithm).solve(problem) for problem in problems]
+    for quiet, loud in zip(baseline, observed):
+        assert loud.keep_mask == quiet.keep_mask
+        assert loud.satisfied == quiet.satisfied
+        assert loud.algorithm == quiet.algorithm
+    # and the solves were actually observed, not skipped
+    solves = recorder.metrics.counter_total("repro_solver_solves_total")
+    assert solves >= 1  # trivial regimes short-circuit before instrumentation
+
+
+def test_recorder_never_changes_a_harness_outcome():
+    problems = _instances(8, max_width=7, max_queries=15)
+    chain = ["MaxFreqItemSets", "ConsumeAttrCumul"]
+    quiet = [SolverHarness(chain).run(problem) for problem in problems]
+    with recording(Recorder()):
+        loud = [SolverHarness(chain).run(problem) for problem in problems]
+    for before, after in zip(quiet, loud):
+        assert after.status == before.status
+        assert after.solution.keep_mask == before.solution.keep_mask
+        assert after.solution.satisfied == before.solution.satisfied
+        assert [a.solver for a in after.attempts] == [a.solver for a in before.attempts]
+
+
+class TestOutcomeStats:
+    def test_stats_without_recorder_still_describe_the_run(self, paper_problem):
+        outcome = SolverHarness(["MaxFreqItemSets"]).run(paper_problem)
+        stats = outcome.stats
+        assert isinstance(stats, OutcomeStats)
+        assert stats.chain == ("MaxFreqItemSets",)
+        assert stats.attempts == 1
+        assert stats.retries == 0
+        assert stats.fallback_depth == 0
+        assert stats.elapsed_ms >= 0.0
+        assert stats.counters == {}
+
+    def test_stats_counters_filled_in_when_recording(self, paper_problem):
+        with recording(Recorder()):
+            outcome = SolverHarness(["MaxFreqItemSets"]).run(paper_problem)
+        counters = outcome.stats.counters
+        assert counters  # the run's own delta, not the registry's totals
+        assert counters['repro_harness_runs_total{status="exact"}'] == 1.0
+        assert any(key.startswith("repro_solver_solves_total") for key in counters)
+
+    def test_stats_deltas_are_per_run_not_cumulative(self, paper_problem):
+        with recording(Recorder()):
+            first = SolverHarness(["ConsumeAttr"]).run(paper_problem)
+            second = SolverHarness(["ConsumeAttr"]).run(paper_problem)
+        key = 'repro_harness_runs_total{status="exact"}'
+        assert first.stats.counters[key] == 1.0
+        assert second.stats.counters[key] == 1.0
+
+    def test_fallback_depth_counts_chain_position(self, paper_problem):
+        from repro.runtime import FaultPlan
+
+        with recording(Recorder()):
+            outcome = SolverHarness(
+                ["ILP", "MaxFreqItemSets"],
+                fault_plan=FaultPlan({"ILP": "error"}),
+                retries=0,
+                backoff_s=0.0,
+            ).run(paper_problem)
+        assert outcome.status == "fallback"
+        assert outcome.stats.fallback_depth == 1
+        assert outcome.stats.counters["repro_harness_fallbacks_total"] == 1.0
+
+    def test_stats_round_trip_through_to_dict(self, paper_problem):
+        outcome = SolverHarness(["ConsumeAttr"]).run(paper_problem)
+        record = outcome.to_dict()
+        assert record["stats"]["attempts"] == 1
+        assert record["stats"]["chain"] == ["ConsumeAttr"]

@@ -315,3 +315,95 @@ class TestAlternativeAlgorithms:
         out = capsys.readouterr().out
         assert "LocalSearch" in out
         assert "queries satisfied: 3 of 5" in out
+
+
+class TestTelemetryFlags:
+    TUPLE = "ac,four_door,power_doors,auto_trans,power_brakes"
+
+    def _solve(self, log_csv, *extra):
+        return main([
+            "solve", "--log", log_csv, "--tuple", self.TUPLE,
+            "--budget", "3", *extra,
+        ])
+
+    def test_metrics_to_stdout_prometheus(self, capsys, log_csv):
+        assert self._solve(log_csv, "--metrics-out", "-") == EXIT_OK
+        out = capsys.readouterr().out
+        assert "# TYPE repro_solver_solves_total counter" in out
+        assert 'repro_solver_solves_total{algorithm="MaxFreqItemSets"} 1' in out
+        assert "repro_itemset_dfs_expansions_total" in out
+        # zero-initialised families keep the exposition schema-stable
+        assert "repro_simplex_pivots_total 0" in out
+        assert 'repro_solver_solve_seconds_bucket{algorithm="MaxFreqItemSets",le="+Inf"} 1' in out
+
+    def test_metrics_json_to_file(self, capsys, log_csv, tmp_path):
+        target = tmp_path / "metrics.json"
+        code = self._solve(
+            log_csv, "--metrics-out", str(target), "--metrics-format", "json"
+        )
+        assert code == EXIT_OK
+        snapshot = json.loads(target.read_text())
+        solves = snapshot["repro_solver_solves_total"]
+        assert solves["type"] == "counter"
+        # the greedy seed pass runs ConsumeAttr inside MaxFreqItemSets,
+        # so both algorithms appear in the samples
+        assert {
+            "labels": {"algorithm": "MaxFreqItemSets"}, "value": 1.0
+        } in solves["samples"]
+        assert "queries satisfied" in capsys.readouterr().out
+
+    def test_trace_jsonl_nests_under_cli_spans(self, log_csv, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        assert self._solve(log_csv, "--trace-out", str(target)) == EXIT_OK
+        records = [json.loads(line) for line in target.read_text().splitlines()]
+        by_name = {record["name"]: record for record in records}
+        assert by_name["cli.solve"]["parent_id"] is None
+        assert by_name["cli.load"]["parent_id"] == by_name["cli.solve"]["span_id"]
+        assert by_name["solve"]["attributes"]["algorithm"] == "MaxFreqItemSets"
+
+    def test_harness_run_emits_fallback_counters(self, capsys, log_csv):
+        code = self._solve(
+            log_csv, "--fallback", "MaxFreqItemSets,ConsumeAttrCumul",
+            "--metrics-out", "-",
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert 'repro_harness_runs_total{status="exact"} 1' in out
+        assert 'repro_harness_attempts_total{solver="MaxFreqItemSets",status="completed"} 1' in out
+        assert "repro_harness_run_seconds_count 1" in out
+        assert 'repro_index_bitmap_ops_total{op="popcount"}' in out
+
+    def test_metrics_dumped_even_when_the_solve_fails(self, capsys, log_csv):
+        code = main([
+            "solve", "--log", log_csv, "--tuple", self.TUPLE,
+            "--budget", "3", "--algorithm", "NoSuchAlgorithm",
+            "--metrics-out", "-",
+        ])
+        assert code == EXIT_VALIDATION
+        out = capsys.readouterr().out
+        # the exposition still arrives, with no solves recorded
+        assert "# TYPE repro_solver_solves_total counter" in out
+        assert "repro_solver_solves_total{" not in out
+
+    def test_no_flags_means_no_recorder(self, capsys, log_csv):
+        from repro.obs import NULL_RECORDER, get_recorder
+
+        assert self._solve(log_csv) == EXIT_OK
+        assert get_recorder() is NULL_RECORDER
+        assert "repro_" not in capsys.readouterr().out
+
+    def test_recorder_uninstalled_after_telemetry_run(self, capsys, log_csv):
+        from repro.obs import NULL_RECORDER, get_recorder
+
+        assert self._solve(log_csv, "--metrics-out", "-") == EXIT_OK
+        assert get_recorder() is NULL_RECORDER
+
+
+class TestHelpEpilog:
+    def test_exit_codes_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["solve", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        for line in ("0  success", "3  ", "4  "):
+            assert line in out

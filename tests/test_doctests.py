@@ -15,7 +15,10 @@ import repro.common.bits
 import repro.common.combinatorics
 import repro.common.estimates
 import repro.common.tables
-import repro.common.timing
+import repro.obs.metrics
+import repro.obs.recorder
+import repro.obs.timing
+import repro.obs.tracing
 import repro.retrieval.text
 
 MODULES = [
@@ -23,7 +26,10 @@ MODULES = [
     repro.common.combinatorics,
     repro.common.estimates,
     repro.common.tables,
-    repro.common.timing,
+    repro.obs.metrics,
+    repro.obs.recorder,
+    repro.obs.timing,
+    repro.obs.tracing,
     repro.booldata.index,
     repro.booldata.schema,
     repro.booldata.table,

@@ -16,28 +16,46 @@ suite and fails if running the instrumented hot paths under a live
 recorder costs more than the 5% acceptance bar versus the default
 no-op recorder.
 
+When ``BENCH_parallel.json`` exists, additionally re-runs the
+shard-parallel batch suite and fails on a serial/parallel visibility
+mismatch, a timing regression, or (on >= 4 CPUs) a jobs=4 speedup below
+the 2x acceptance bar.
+
+Finally runs ``ruff check`` over ``src``, ``tests`` and ``benchmarks``
+when ruff is available, so lint regressions fail the same gate.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py
     PYTHONPATH=src python benchmarks/check_regression.py --factor 1.5
-    PYTHONPATH=src python benchmarks/check_regression.py --skip-runtime --skip-obs
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --skip-runtime --skip-obs --skip-parallel --skip-lint
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import json
+import os
+import shutil
+import subprocess
+import sys
 from pathlib import Path
 
 from vertical_workload import MEASUREMENTS
 
-DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_vertical.json"
-RUNTIME_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
-OBS_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_vertical.json"
+RUNTIME_BASELINE = REPO_ROOT / "BENCH_runtime.json"
+OBS_BASELINE = REPO_ROOT / "BENCH_obs.json"
+PARALLEL_BASELINE = REPO_ROOT / "BENCH_parallel.json"
 #: the runtime PR's acceptance bars
 MAX_OVERHEAD_FRACTION = 0.05
 OVERHEAD_EPSILON_S = 0.003
 MAX_OVERRUN_FACTOR = 4.0
+#: the parallel PR's acceptance bar, applied where cores exist
+MIN_JOBS4_SPEEDUP = 2.0
 
 
 def check_runtime(failures: list[str]) -> None:
@@ -99,6 +117,85 @@ def check_obs(failures: list[str]) -> None:
         )
 
 
+def check_parallel(failures: list[str], factor: float) -> None:
+    """Re-run the shard-parallel suite against the recorded baseline."""
+    from parallel_workload import MEASUREMENTS as PARALLEL_MEASUREMENTS
+
+    baseline = json.loads(PARALLEL_BASELINE.read_text())["results"]
+    for name, measure in PARALLEL_MEASUREMENTS.items():
+        recorded = baseline.get(name)
+        if recorded is None:
+            print(f"~ {name}: not in baseline, skipping")
+            continue
+        fresh = measure()
+        problems = []
+        if fresh["workload"] == "inventory":
+            seconds = fresh["jobs1_s"]
+            recorded_seconds = recorded["jobs1_s"]
+            if not fresh["visibility_match"]:
+                problems.append("serial and parallel visibility differ")
+            if fresh["total_visibility"] != recorded["total_visibility"]:
+                problems.append(
+                    f"visibility {fresh['total_visibility']} != recorded "
+                    f"{recorded['total_visibility']}"
+                )
+            cores = os.cpu_count() or 1
+            if cores >= 4 and fresh["speedup_jobs4"] < MIN_JOBS4_SPEEDUP:
+                problems.append(
+                    f"jobs=4 speedup {fresh['speedup_jobs4']:.2f}x < "
+                    f"{MIN_JOBS4_SPEEDUP:.1f}x on {cores} cpus"
+                )
+            detail = (
+                f"serial {fresh['serial_s']:.3f}s jobs1 {fresh['jobs1_s']:.3f}s "
+                f"jobs4 {fresh['jobs4_s']:.3f}s "
+                f"({fresh['speedup_jobs4']:.2f}x, {cores} cpu(s))"
+            )
+        else:
+            seconds = fresh["sharded_s"]
+            recorded_seconds = recorded["sharded_s"]
+            if not fresh["counts_match"]:
+                problems.append("sharded counts differ from the full index")
+            if fresh["objective_checksum"] != recorded["objective_checksum"]:
+                problems.append(
+                    f"checksum {fresh['objective_checksum']} != recorded "
+                    f"{recorded['objective_checksum']}"
+                )
+            detail = (
+                f"full index {fresh['full_index_s']:.3f}s "
+                f"sharded {fresh['sharded_s']:.3f}s"
+            )
+        if seconds > recorded_seconds * factor:
+            problems.append(
+                f"{seconds:.3f}s > {factor:.1f}x recorded {recorded_seconds:.3f}s"
+            )
+        for problem in problems:
+            failures.append(f"{name}: {problem}")
+        print(f"{'.' if not problems else 'x'} {name}: {detail}"
+              f"{'' if not problems else ' ' + '; '.join(problems)}")
+
+
+def check_lint(failures: list[str]) -> None:
+    """Run ``ruff check`` when ruff is available in the environment."""
+    if importlib.util.find_spec("ruff") is not None:
+        command = [sys.executable, "-m", "ruff"]
+    elif shutil.which("ruff"):
+        command = ["ruff"]
+    else:
+        print("~ lint: ruff not available, skipping")
+        return
+    proc = subprocess.run(
+        [*command, "check", "src", "tests", "benchmarks"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        failures.append("ruff check reported lint errors")
+        print(f"x lint: ruff check failed\n{proc.stdout}{proc.stderr}")
+    else:
+        print(". lint: ruff check clean")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -116,6 +213,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-obs", action="store_true",
         help="skip the telemetry-recording overhead checks",
+    )
+    parser.add_argument(
+        "--skip-parallel", action="store_true",
+        help="skip the shard-parallel batch-engine checks",
+    )
+    parser.add_argument(
+        "--skip-lint", action="store_true",
+        help="skip the ruff lint check",
     )
     args = parser.parse_args(argv)
 
@@ -167,12 +272,21 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print("~ telemetry suite: no BENCH_obs.json baseline, skipping")
 
+    if not args.skip_parallel:
+        if PARALLEL_BASELINE.exists():
+            check_parallel(failures, args.factor)
+        else:
+            print("~ parallel suite: no BENCH_parallel.json baseline, skipping")
+
+    if not args.skip_lint:
+        check_lint(failures)
+
     if failures:
         print(f"\n{len(failures)} regression(s):")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print("\nvertical engine, runtime and telemetry within budget")
+    print("\nvertical engine, runtime, telemetry, parallel and lint within budget")
     return 0
 
 

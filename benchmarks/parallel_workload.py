@@ -1,0 +1,149 @@
+"""Measurement harness for the shard-parallel batch engine.
+
+Used by two entry points:
+
+* ``test_bench_parallel.py`` — records serial vs ``--jobs`` inventory
+  timings on the 100k x 64 workload into ``BENCH_parallel.json``;
+* ``check_regression.py`` — re-runs the suite and fails on timing
+  regressions, on any serial/parallel visibility mismatch, and (on
+  machines with >= 4 CPUs) on a jobs=4 speedup below the 2x bar.
+
+The per-listing recipe is pinned to the per-tuple adaptive
+``MaxFreqItemsetsSolver`` — the serial engine's fastest correct path at
+this scale — so the comparison isolates what the parallel layer adds:
+per-shard satisfiable-sub-log priming plus process fan-out.  Speedups
+are machine-dependent: the priming gain shows up at any core count, the
+process-parallel gain only with real cores (``cpu_count`` is recorded
+alongside the timings for exactly that reason).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.bits import random_mask
+from repro.core.itemsets import MaxFreqItemsetsSolver
+from repro.data import synthetic_workload
+from repro.parallel import ParallelConfig, ShardedLog, optimize_inventory_parallel
+from repro.variants.batch import optimize_inventory
+
+SEED = 20080406  # the paper's conference date
+WIDTH = 64
+LARGE_LOG = 100_000  # the ISSUE's acceptance scale
+NUM_TUPLES = 96
+TUPLE_SIZE = 10  # scan-bound listings: the satisfiable extraction dominates
+BUDGET = 3
+SHARDS = 4
+JOBS_SERIES = (1, 2, 4)
+EVAL_CANDIDATES = 400
+
+_LOG_CACHE: dict[int, BooleanTable] = {}
+
+
+def _log_rows(size: int) -> BooleanTable:
+    if size not in _LOG_CACHE:
+        _LOG_CACHE[size] = synthetic_workload(Schema.anonymous(WIDTH), size, seed=SEED)
+    return _LOG_CACHE[size]
+
+
+def _fresh_log(size: int) -> BooleanTable:
+    """A fresh table so no cached index leaks between timed variants."""
+    log = _log_rows(size)
+    return BooleanTable(log.schema, list(log))
+
+
+def _inventory_tuples() -> list[int]:
+    rng = random.Random(SEED + 3)
+    return [random_mask(WIDTH, TUPLE_SIZE, rng) for _ in range(NUM_TUPLES)]
+
+
+def measure_inventory(size: int = LARGE_LOG) -> dict:
+    """Serial vs shard-parallel inventory optimization, same recipe."""
+    tuples = _inventory_tuples()
+    result: dict = {
+        "workload": "inventory",
+        "log_size": size,
+        "listings": NUM_TUPLES,
+        "budget": BUDGET,
+        "shards": SHARDS,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+    log = _fresh_log(size)
+    start = time.perf_counter()
+    serial = optimize_inventory(log, tuples, BUDGET, solver=MaxFreqItemsetsSolver())
+    result["serial_s"] = round(time.perf_counter() - start, 6)
+    visibilities = {"serial": serial.total_visibility}
+
+    for jobs in JOBS_SERIES:
+        log = _fresh_log(size)
+        config = ParallelConfig(jobs=jobs, shards=SHARDS)
+        start = time.perf_counter()
+        report = optimize_inventory_parallel(
+            log, tuples, BUDGET, solver=MaxFreqItemsetsSolver(), config=config
+        )
+        result[f"jobs{jobs}_s"] = round(time.perf_counter() - start, 6)
+        result[f"speedup_jobs{jobs}"] = round(
+            result["serial_s"] / result[f"jobs{jobs}_s"], 2
+        )
+        visibilities[f"jobs{jobs}"] = report.total_visibility
+
+    result["total_visibility"] = visibilities["serial"]
+    result["visibility_match"] = len(set(visibilities.values())) == 1
+    return result
+
+
+def measure_sharded_counting(size: int = LARGE_LOG) -> dict:
+    """Map-reduce objective counting vs the single full-log index."""
+    rng = random.Random(SEED + 4)
+    masks = [random_mask(WIDTH, BUDGET, rng) for _ in range(EVAL_CANDIDATES)]
+    result: dict = {
+        "workload": "sharded_counting",
+        "log_size": size,
+        "candidates": EVAL_CANDIDATES,
+        "shards": SHARDS,
+    }
+
+    log = _fresh_log(size)
+    start = time.perf_counter()
+    index = log.vertical_index()
+    serial_counts = [index.satisfied_count(mask) for mask in masks]
+    result["full_index_s"] = round(time.perf_counter() - start, 6)
+
+    log = _fresh_log(size)
+    start = time.perf_counter()
+    sharded = ShardedLog(log, SHARDS)
+    sharded_counts = sharded.evaluate_many(masks)
+    result["sharded_s"] = round(time.perf_counter() - start, 6)
+
+    result["objective_checksum"] = sum(serial_counts)
+    result["counts_match"] = serial_counts == sharded_counts
+    return result
+
+
+#: name -> zero-argument measurement, the recorded benchmark suite
+MEASUREMENTS = {
+    "inventory_100k": measure_inventory,
+    "sharded_counting_100k": measure_sharded_counting,
+}
+
+
+def run_suite() -> dict:
+    return {name: measure() for name, measure in MEASUREMENTS.items()}
+
+
+def suite_meta() -> dict:
+    return {
+        "seed": SEED,
+        "width": WIDTH,
+        "large_log": LARGE_LOG,
+        "listings": NUM_TUPLES,
+        "tuple_size": TUPLE_SIZE,
+        "budget": BUDGET,
+        "shards": SHARDS,
+        "jobs_series": list(JOBS_SERIES),
+        "cpu_count": os.cpu_count() or 1,
+    }

@@ -1,0 +1,60 @@
+"""Benchmark: shard-parallel batch engine vs the serial inventory loop.
+
+Records serial vs ``jobs in {1, 2, 4}`` timings on the 100k x 64
+inventory workload into ``BENCH_parallel.json`` at the repo root (the
+baseline ``check_regression.py`` guards).  Acceptance bars:
+
+* every variant reports the *identical* total visibility (the
+  determinism contract of ``repro.parallel``);
+* shard map-reduce counting matches the full-log index count-for-count;
+* the parallel engine beats the serial loop at ``jobs=1`` already (the
+  per-shard priming gain, core-count independent);
+* on machines with >= 4 CPUs, ``jobs=4`` must be >= 2x the serial loop.
+  The recorded ``cpu_count`` keeps single-core recordings honest — the
+  regression gate re-checks the bar only where it is physically
+  meaningful.
+
+Run explicitly (the tier-1 suite does not collect ``benchmarks/``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_parallel.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+
+from parallel_workload import run_suite, suite_meta
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def test_parallel_engine_speedups():
+    results = run_suite()
+
+    inventory = results["inventory_100k"]
+    assert inventory["visibility_match"], "serial and parallel visibility differ"
+    assert results["sharded_counting_100k"]["counts_match"], (
+        "shard map-reduce counts differ from the full-log index"
+    )
+    # priming pays for the parallel layer even inline on one core
+    assert inventory["speedup_jobs1"] >= 1.2
+    if (os.cpu_count() or 1) >= 4:
+        assert inventory["speedup_jobs4"] >= 2.0
+
+    payload = {
+        "meta": {**suite_meta(), "python": platform.python_version()},
+        "results": results,
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"inventory_100k: serial {inventory['serial_s']:.3f}s "
+        + " ".join(
+            f"jobs{jobs} {inventory[f'jobs{jobs}_s']:.3f}s "
+            f"({inventory[f'speedup_jobs{jobs}']:.2f}x)"
+            for jobs in (1, 2, 4)
+        )
+        + f" on {inventory['cpu_count']} cpu(s)"
+    )

@@ -8,6 +8,8 @@ code::
         --budget 3 --algorithm MaxFreqItemSets --explain
     python -m repro solve --log queries.json --tuple-row 0 --database cars.csv \
         --budget 5
+    python -m repro inventory --log queries.csv --database cars.csv \
+        --budget 3 --jobs 4
 
 ``--log`` accepts a ``.csv`` (0/1 matrix with header) or ``.json``
 (attribute-name rows) file; the new tuple is either a comma-separated
@@ -177,7 +179,116 @@ def build_parser() -> argparse.ArgumentParser:
         help="exposition format for --metrics-out: Prometheus text "
         "(default) or a JSON snapshot",
     )
+
+    inventory = commands.add_parser(
+        "inventory",
+        help="optimize a whole inventory of listings, shard-parallel",
+        epilog=_EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    inventory.add_argument("--log", required=True, help="query log (.csv or .json)")
+    inventory.add_argument(
+        "--database",
+        help="listings table (.csv/.json); defaults to --log rows",
+    )
+    inventory.add_argument(
+        "--tuple-rows",
+        dest="tuple_rows",
+        default="all",
+        help="listing rows to optimize: 'all' (default), or a spec like "
+        "'0,3,7-12'",
+    )
+    inventory.add_argument(
+        "--budget", "-m", type=int, required=True, help="attributes to retain"
+    )
+    inventory.add_argument(
+        "--algorithm",
+        default=None,
+        help="per-listing algorithm; default is the shared-index "
+        "MaxFreqItemSets recipe of Section IV.C",
+    )
+    inventory.add_argument(
+        "--index-threshold",
+        dest="index_threshold",
+        type=_parse_threshold,
+        default=0.01,
+        help="shared-index mining threshold: float fraction in (0, 1] "
+        "or absolute int count >= 1 (default 0.01)",
+    )
+    inventory.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: os.cpu_count(); 1 runs inline)",
+    )
+    inventory.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="row shards of the query log (default: --jobs)",
+    )
+    inventory.add_argument(
+        "--chunk-size",
+        dest="chunk_size",
+        type=int,
+        default=None,
+        help="listings per pool task (default: ~4 tasks per worker)",
+    )
+    inventory.add_argument(
+        "--deadline-ms",
+        dest="deadline_ms",
+        type=float,
+        default=None,
+        help="per-listing wall-clock budget; served through the anytime "
+        "harness and degrades instead of overrunning",
+    )
+    inventory.add_argument(
+        "--straggler-timeout-ms",
+        dest="straggler_timeout_ms",
+        type=float,
+        default=None,
+        help="abandon pool tasks still unfinished after this budget and "
+        "recompute them through the degraded greedy tier",
+    )
     return parser
+
+
+def _parse_threshold(text: str) -> int | float:
+    """``--index-threshold``: int count or float fraction."""
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected an int count or float fraction, got {text!r}"
+            ) from None
+
+
+def _parse_row_spec(spec: str, count: int) -> list[int]:
+    """Row selection: 'all', or comma-separated indices/ranges '0,3,7-12'."""
+    if spec.strip().lower() == "all":
+        return list(range(count))
+    rows: list[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            if "-" in part:
+                low, high = part.split("-", 1)
+                rows.extend(range(int(low), int(high) + 1))
+            else:
+                rows.append(int(part))
+        except ValueError:
+            raise ValidationError(f"bad --tuple-rows entry {part!r}") from None
+    if not rows:
+        raise ValidationError("--tuple-rows selected no rows")
+    for row in rows:
+        if not 0 <= row < count:
+            raise ValidationError(f"--tuple-rows index {row} out of range for {count} rows")
+    return rows
 
 
 def _resolve_tuple(args, log: BooleanTable, database: BooleanTable | None) -> int:
@@ -319,6 +430,41 @@ def _run_solve_inner(args) -> int:
     return 0
 
 
+def _run_inventory(args) -> int:
+    from repro.parallel import ParallelConfig, optimize_inventory_parallel
+
+    log = _load_table(args.log)
+    source = _load_table(args.database) if args.database else log
+    if args.database and source.schema != log.schema:
+        raise ValidationError("--database and --log use different schemas")
+    new_tuples = [source[row] for row in _parse_row_spec(args.tuple_rows, len(source))]
+    solver = make_solver(args.algorithm) if args.algorithm else None
+    config = ParallelConfig(
+        jobs=args.jobs,
+        shards=args.shards,
+        chunk_size=args.chunk_size,
+        deadline_ms=args.deadline_ms,
+        straggler_timeout_s=(
+            None if args.straggler_timeout_ms is None
+            else args.straggler_timeout_ms / 1000.0
+        ),
+    )
+    report = optimize_inventory_parallel(
+        log,
+        new_tuples,
+        args.budget,
+        solver=solver,
+        index_threshold=args.index_threshold,
+        config=config,
+    )
+    print(report.to_text())
+    print(
+        f"\n(jobs {config.resolved_jobs()}, shards {config.resolved_shards()}, "
+        f"{len(new_tuples)} listings)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -334,6 +480,8 @@ def main(argv: list[str] | None = None) -> int:
 
             print(profile_workload(_load_table(args.log), top_pairs=args.pairs).to_text())
             return 0
+        if args.command == "inventory":
+            return _run_inventory(args)
         return _run_solve(args)
     except ValidationError as error:
         return _fail(error, EXIT_VALIDATION)

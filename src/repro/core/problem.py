@@ -94,6 +94,29 @@ class VisibilityProblem:
         """
         return [query for query in self.log if is_subset(query, self.new_tuple)]
 
+    def prime_satisfiable(self, tids: int, queries: list[int]) -> "VisibilityProblem":
+        """Seed the cached satisfiable views with precomputed values.
+
+        The shard engine (:mod:`repro.parallel`) derives the satisfiable
+        sub-log from per-shard vertical indexes; priming the
+        ``cached_property`` slots lets each solve reuse that work instead
+        of re-scanning the log.  The values must equal what the lazy
+        properties would compute — the same rows in the same ascending
+        log order — or solver results may silently differ.  Contiguous
+        row shards guarantee this by construction; the equivalence
+        property tests assert it.
+        """
+        if bit_count(tids) != len(queries):
+            raise ValidationError(
+                "primed tids and queries disagree on the satisfiable count"
+            )
+        # ``cached_property`` stores through the instance ``__dict__``,
+        # which bypasses the frozen-dataclass ``__setattr__`` just as the
+        # lazy computation itself does.
+        self.__dict__["satisfiable_tids"] = tids
+        self.__dict__["satisfiable_queries"] = list(queries)
+        return self
+
     @cached_property
     def relevant_attributes(self) -> int:
         """Attributes of ``t`` that appear in some satisfiable query.

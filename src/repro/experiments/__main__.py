@@ -36,6 +36,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--list", action="store_true", help="list experiments and exit")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run experiments in parallel worker processes (default 1: serial)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         help="also write all results to this JSON file",
@@ -58,16 +64,31 @@ def main(argv: list[str] | None = None) -> int:
         print(f"available: {list(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
     scale = ExperimentScale.by_name(args.scale)
     results = []
-    for name in names:
+    if args.jobs != 1:
+        from repro.parallel import run_experiments_parallel
+
         started = time.perf_counter()
-        result = run_experiment(name, scale)
+        results = run_experiments_parallel(names, scale, jobs=args.jobs)
         elapsed = time.perf_counter() - started
-        results.append(result)
-        print(result.to_text())
-        print(f"(ran in {elapsed:.1f}s)")
-        print()
+        for result in results:
+            print(result.to_text())
+            print()
+        print(f"({len(results)} experiments in {elapsed:.1f}s, {args.jobs} jobs)")
+    else:
+        for name in names:
+            started = time.perf_counter()
+            result = run_experiment(name, scale)
+            elapsed = time.perf_counter() - started
+            results.append(result)
+            print(result.to_text())
+            print(f"(ran in {elapsed:.1f}s)")
+            print()
     if args.json:
         from repro.experiments.record import save_results
 

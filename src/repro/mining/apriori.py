@@ -19,7 +19,7 @@ from __future__ import annotations
 from itertools import combinations
 
 from repro.common.bits import bit_indices
-from repro.common.errors import SolverBudgetExceededError
+from repro.common.errors import SolverBudgetExceededError, ValidationError
 
 __all__ = ["apriori", "frequent_itemsets_brute_force"]
 
@@ -40,7 +40,7 @@ def apriori(
     by raising :class:`SolverBudgetExceededError`.
     """
     if threshold < 1:
-        raise ValueError(f"threshold must be >= 1, got {threshold}")
+        raise ValidationError(f"threshold must be >= 1, got {threshold}")
 
     frequent: dict[int, int] = {}
     current_level: list[int] = []

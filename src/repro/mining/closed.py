@@ -19,7 +19,7 @@ subsumption checking against already-emitted closed sets.
 
 from __future__ import annotations
 
-from repro.common.errors import SolverBudgetExceededError
+from repro.common.errors import SolverBudgetExceededError, ValidationError
 from repro.mining.apriori import frequent_itemsets_brute_force
 
 __all__ = ["closure_of", "mine_closed_reference", "mine_closed_dfs", "is_closed"]
@@ -80,7 +80,7 @@ def mine_closed_dfs(
     whether the (closed) empty itemset is reported when applicable.
     """
     if threshold < 1:
-        raise ValueError(f"threshold must be >= 1, got {threshold}")
+        raise ValidationError(f"threshold must be >= 1, got {threshold}")
     closed: dict[int, int] = {}
     if database.num_transactions < threshold:
         return closed

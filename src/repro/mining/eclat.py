@@ -9,7 +9,7 @@ narrow near the root.
 
 from __future__ import annotations
 
-from repro.common.errors import SolverBudgetExceededError
+from repro.common.errors import SolverBudgetExceededError, ValidationError
 
 __all__ = ["eclat"]
 
@@ -21,7 +21,7 @@ def eclat(database, threshold: int, max_itemsets: int = 5_000_000) -> dict[int, 
     ``threshold`` is an absolute support count (>= 1).
     """
     if threshold < 1:
-        raise ValueError(f"threshold must be >= 1, got {threshold}")
+        raise ValidationError(f"threshold must be >= 1, got {threshold}")
 
     frequent_items = []
     for item in range(database.width):

@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Iterable
 
-from repro.common.errors import SolverBudgetExceededError
+from repro.common.errors import SolverBudgetExceededError, ValidationError
 
 __all__ = ["FPTree", "fp_growth"]
 
@@ -91,7 +91,7 @@ def fp_growth(database, threshold: int, max_itemsets: int = 5_000_000) -> dict[i
     ``TransactionDatabase`` and the complemented view qualify).
     """
     if threshold < 1:
-        raise ValueError(f"threshold must be >= 1, got {threshold}")
+        raise ValidationError(f"threshold must be >= 1, got {threshold}")
 
     # Global item order: descending support, then ascending item id.
     counts: dict[int, int] = defaultdict(int)

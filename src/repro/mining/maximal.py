@@ -22,7 +22,7 @@ Three miners, trading generality for speed:
 from __future__ import annotations
 
 from repro.common.deadline import active_ticker
-from repro.common.errors import SolverBudgetExceededError
+from repro.common.errors import SolverBudgetExceededError, ValidationError
 from repro.mining.apriori import apriori
 from repro.obs.recorder import get_recorder
 
@@ -97,7 +97,7 @@ def mine_maximal_dfs(
     search nodes are expanded.
     """
     if threshold < 1:
-        raise ValueError(f"threshold must be >= 1, got {threshold}")
+        raise ValidationError(f"threshold must be >= 1, got {threshold}")
     if database.num_transactions < threshold:
         return {}
 

@@ -86,6 +86,11 @@ DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
      "Queries served by the marketplace.", ()),
     ("counter", "repro_marketplace_posts_total",
      "Optimised-ad postings by outcome status.", ("status",)),
+    ("counter", "repro_parallel_tasks_total",
+     "Tasks dispatched to the shard-parallel worker pool "
+     "(status=completed|failed|straggler).", ("status",)),
+    ("counter", "repro_parallel_stragglers_total",
+     "Straggler tasks abandoned and recomputed via the degraded fallback.", ()),
     ("histogram", "repro_solver_solve_seconds",
      "Wall-clock latency of Solver.solve.", ("algorithm",)),
     ("histogram", "repro_harness_run_seconds",
@@ -94,6 +99,8 @@ DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
      "Wall-clock latency of monitor re-optimisation.", ()),
     ("histogram", "repro_marketplace_query_seconds",
      "Wall-clock latency of marketplace query serving.", ()),
+    ("histogram", "repro_parallel_task_seconds",
+     "Wall-clock latency of one parallel task, dispatch to merge.", ()),
 )
 
 

@@ -1,0 +1,41 @@
+"""Shard-parallel execution for batch workloads.
+
+The serial engine optimizes one listing at a time over one index of the
+whole log.  This package scales the two batch surfaces the paper's
+marketplace setting actually has — a whole inventory of new listings
+(Section IV.C preprocessing) and the experiment sweeps — across row
+shards and worker processes:
+
+* :mod:`repro.parallel.sharding` — partition the log into contiguous
+  row shards with per-shard vertical indexes; map-reduce counting whose
+  merged results equal the serial engine bit-for-bit;
+* :mod:`repro.parallel.pool` — process-pool plumbing: fork-shared
+  context, chunked work queues, parent-side straggler degradation,
+  pool metrics and spans;
+* :mod:`repro.parallel.batch` — :func:`optimize_inventory_parallel`, a
+  drop-in parallel ``optimize_inventory``;
+* :mod:`repro.parallel.sweeps` — experiment fan-out for
+  ``python -m repro.experiments --jobs N``.
+
+Determinism contract: without a deadline, results are identical to the
+serial engine for every ``jobs`` and shard count (see
+``docs/parallelism.md``); deadlines and straggler timeouts degrade
+through :class:`repro.runtime.SolverHarness` semantics instead of
+changing that contract silently.
+"""
+
+from repro.parallel.batch import optimize_inventory_parallel
+from repro.parallel.pool import MapReport, ParallelConfig, WorkerPool
+from repro.parallel.sharding import LogShard, ShardedLog, shard_bounds
+from repro.parallel.sweeps import run_experiments_parallel
+
+__all__ = [
+    "LogShard",
+    "MapReport",
+    "ParallelConfig",
+    "ShardedLog",
+    "WorkerPool",
+    "optimize_inventory_parallel",
+    "run_experiments_parallel",
+    "shard_bounds",
+]

@@ -1,0 +1,232 @@
+"""Shard-parallel ``optimize_inventory``.
+
+The batch engine fans the per-listing solves of
+:func:`repro.variants.batch.optimize_inventory` over a
+:class:`~repro.parallel.pool.WorkerPool`:
+
+* the **work** is sharded — listings are chunked into picklable
+  ``(position, new_tuple)`` tasks;
+* the **log** is sharded — each worker primes every problem's
+  satisfiable sub-log from the per-shard vertical indexes of a
+  :class:`~repro.parallel.sharding.ShardedLog` (built once, pre-fork)
+  instead of re-scanning the whole log per listing;
+* the **recipe** is shared — workers answer listings through the exact
+  :class:`~repro.variants.batch.InventorySolvePlan` the serial loop
+  uses, so without a deadline the results are bit-for-bit identical to
+  the serial engine for any ``jobs`` and any shard count.
+
+Degradation composes with :mod:`repro.runtime` rather than bypassing
+it: with ``config.deadline_ms`` each listing is served through a
+:class:`~repro.runtime.SolverHarness` chain (the plan first, a greedy
+terminal tier second) inside the worker, and stragglers abandoned after
+``config.straggler_timeout_s`` are recomputed in the parent through the
+same harness under the deadline — partial results, never a hung batch.
+
+Workers return compact dicts, not :class:`~repro.core.problem.Solution`
+objects (a solution drags its whole problem — including the log —
+through the result pickle); the parent rebuilds solutions under a
+``parallel.merge`` span.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+from repro.core.base import Solver
+from repro.core.problem import Solution, VisibilityProblem
+from repro.obs.recorder import get_recorder
+from repro.parallel.pool import ParallelConfig, WorkerPool
+from repro.parallel.sharding import ShardedLog
+from repro.variants.batch import InventoryReport, InventorySolvePlan
+
+__all__ = ["optimize_inventory_parallel"]
+
+#: deadline of the in-parent straggler recompute (greedy tier, ms-scale)
+_STRAGGLER_DEADLINE_MS = 50.0
+
+
+class _PlanSolver(Solver):
+    """The inventory plan as a harness chain entry."""
+
+    optimal = False
+
+    def __init__(self, plan: InventorySolvePlan) -> None:
+        self.plan = plan
+        self.name = plan.primary_name
+
+    def _solve(self, problem: VisibilityProblem) -> Solution:
+        return self.plan.solve_one(problem)
+
+
+class _InventoryContext:
+    """Everything a worker needs, shared pre-fork (or pickled once)."""
+
+    __slots__ = ("plan", "sharded", "harness", "straggler_harness")
+
+    def __init__(self, plan, sharded, harness, straggler_harness) -> None:
+        self.plan = plan
+        self.sharded = sharded
+        self.harness = harness
+        self.straggler_harness = straggler_harness
+
+
+def _make_problem(context: _InventoryContext, new_tuple: int) -> VisibilityProblem:
+    problem = context.plan.make_problem(new_tuple)
+    if context.sharded is not None:
+        tids, queries = context.sharded.satisfiable_rows(new_tuple)
+        problem.prime_satisfiable(tids, queries)
+    return problem
+
+
+def _compact(position: int, solution: Solution, **extra: Any) -> dict:
+    record = {
+        "position": position,
+        "keep_mask": solution.keep_mask,
+        "satisfied": solution.satisfied,
+        "algorithm": solution.algorithm,
+        "optimal": solution.optimal,
+        "stats": dict(solution.stats),
+    }
+    record["stats"].update(extra)
+    return record
+
+
+def _solve_chunk(context: _InventoryContext, chunk: Sequence[tuple[int, int]]) -> list[dict]:
+    """Worker task: solve one chunk of ``(position, new_tuple)`` items."""
+    records = []
+    for position, new_tuple in chunk:
+        problem = _make_problem(context, new_tuple)
+        if context.harness is None:
+            records.append(_compact(position, context.plan.solve_one(problem)))
+            continue
+        outcome = context.harness.run(problem)
+        if outcome.solution is None:
+            records.append(_failed_record(position, problem))
+        else:
+            records.append(
+                _compact(position, outcome.solution, outcome_status=outcome.status)
+            )
+    return records
+
+
+def _solve_chunk_degraded(
+    context: _InventoryContext, chunk: Sequence[tuple[int, int]]
+) -> list[dict]:
+    """Straggler fallback, run in the parent: greedy tier under a short
+    deadline through the harness — degraded but always an answer."""
+    records = []
+    for position, new_tuple in chunk:
+        problem = context.plan.make_problem(new_tuple)
+        outcome = context.straggler_harness.run(problem)
+        if outcome.solution is None:
+            records.append(_failed_record(position, problem))
+        else:
+            records.append(
+                _compact(
+                    position,
+                    outcome.solution,
+                    outcome_status=outcome.status,
+                    straggler_fallback=True,
+                )
+            )
+    return records
+
+
+def _failed_record(position: int, problem: VisibilityProblem) -> dict:
+    """Even a failed chain yields a valid (empty) compression."""
+    return {
+        "position": position,
+        "keep_mask": 0,
+        "satisfied": problem.evaluate(0),
+        "algorithm": "none",
+        "optimal": False,
+        "stats": {"outcome_status": "failed"},
+    }
+
+
+def optimize_inventory_parallel(
+    log: BooleanTable,
+    new_tuples: Sequence[int],
+    budget: int,
+    solver: Solver | None = None,
+    share_index: bool = True,
+    index_threshold: int | float = 0.01,
+    config: ParallelConfig | None = None,
+) -> InventoryReport:
+    """:func:`repro.variants.batch.optimize_inventory`, shard-parallel.
+
+    Drop-in compatible: same arguments plus a
+    :class:`~repro.parallel.pool.ParallelConfig`, same
+    :class:`~repro.variants.batch.InventoryReport` result.  Without a
+    deadline the report is identical to the serial engine's for any
+    ``jobs``/``shards`` — chunking only changes *where* a listing is
+    solved, never *how*.
+    """
+    if config is None:
+        config = ParallelConfig()
+    if not new_tuples:
+        raise ValidationError("inventory is empty")
+    plan = InventorySolvePlan(
+        log, budget, solver=solver, share_index=share_index,
+        index_threshold=index_threshold,
+    )
+    sharded = None
+    if len(log):
+        # Build the full-log index and the shards pre-fork: workers
+        # inherit both copy-on-write, exactly the amortization the
+        # serial loop gets from the table's index cache.
+        log.vertical_index()
+        sharded = ShardedLog(log, config.resolved_shards())
+    harness = None
+    if config.deadline_ms is not None:
+        from repro.runtime import SolverHarness
+
+        harness = SolverHarness(
+            [_PlanSolver(plan), "ConsumeAttrCumul"], deadline_ms=config.deadline_ms
+        )
+    straggler_harness = None
+    if config.straggler_timeout_s is not None:
+        from repro.runtime import SolverHarness
+
+        straggler_harness = SolverHarness(
+            ["ConsumeAttrCumul"], deadline_ms=_STRAGGLER_DEADLINE_MS
+        )
+    context = _InventoryContext(plan, sharded, harness, straggler_harness)
+
+    items = list(enumerate(new_tuples))
+    chunk_size = config.resolved_chunk_size(len(items))
+    chunks = [items[start:start + chunk_size] for start in range(0, len(items), chunk_size)]
+    with WorkerPool(config.resolved_jobs(), context=context) as pool:
+        report = pool.map(
+            _solve_chunk,
+            chunks,
+            timeout_s=config.straggler_timeout_s,
+            fallback=(
+                _solve_chunk_degraded
+                if config.straggler_timeout_s is not None
+                else None
+            ),
+        )
+
+    with get_recorder().span(
+        "parallel.merge", tasks=len(chunks), stragglers=report.stragglers
+    ):
+        records = sorted(
+            (record for chunk_records in report.results for record in chunk_records),
+            key=lambda record: record["position"],
+        )
+        solutions = [
+            Solution(
+                VisibilityProblem(log, new_tuples[record["position"]], budget),
+                record["keep_mask"],
+                record["satisfied"],
+                record["algorithm"],
+                record["optimal"],
+                record["stats"],
+            )
+            for record in records
+        ]
+    return InventoryReport(solutions, budget)

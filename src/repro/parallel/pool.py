@@ -1,0 +1,292 @@
+"""Process-pool plumbing: shared context, chunked tasks, stragglers.
+
+A :class:`WorkerPool` runs top-level task functions of the form
+``fn(context, payload) -> result`` where *context* is the big shared
+state (the query log, a solve plan, a :class:`ShardedLog`) and *payload*
+a small picklable work item:
+
+* ``jobs=1`` executes everything **inline** — no subprocess, no
+  pickling, bit-for-bit the serial code path;
+* ``jobs>1`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  With the ``fork`` start method (the default where available) the
+  context is inherited copy-on-write through a module global set before
+  the first task is submitted, so the log is never pickled; with
+  ``spawn`` the context is pickled once into each worker's initializer.
+
+Straggler handling is parent-side: :meth:`WorkerPool.map` takes an
+optional wall-clock ``timeout_s`` and a ``fallback`` callable; tasks
+still unfinished when the budget expires are abandoned and their results
+recomputed in the parent via ``fallback(context, payload)`` — callers
+pass a cheap degraded recipe (typically a greedy tier under a
+:class:`~repro.runtime.SolverHarness` deadline), so a wedged worker
+yields a partial-quality result instead of a hung batch.
+
+Every map is observable through :mod:`repro.obs`: a ``parallel.dispatch``
+span brackets submission and collection, and the pre-declared families
+``repro_parallel_tasks_total{status}``, ``repro_parallel_task_seconds``
+and ``repro_parallel_stragglers_total`` record per-task outcomes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import DeadlineExceededError, ValidationError
+from repro.obs.recorder import get_recorder
+
+__all__ = ["MapReport", "ParallelConfig", "WorkerPool"]
+
+#: the forked workers' copy-on-write view of the shared context
+_CONTEXT: Any = None
+
+
+def _initialize_worker(payload: bytes) -> None:
+    """Spawn-mode initializer: unpickle the shared context once."""
+    global _CONTEXT
+    _CONTEXT = pickle.loads(payload)
+
+
+def _run_task(fn: Callable[[Any, Any], Any], payload: Any) -> Any:
+    """The one function a worker ever runs."""
+    return fn(_CONTEXT, payload)
+
+
+def _positive_int(name: str, value: int | None) -> None:
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ValidationError(f"{name} must be a positive int, got {value!r}")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs of the shard-parallel batch engine.
+
+    ``jobs``
+        worker processes; ``None`` means ``os.cpu_count()`` and ``1``
+        runs inline with no pool at all.
+    ``shards``
+        row shards of the query log; ``None`` follows ``jobs``.
+    ``chunk_size``
+        work items per pool task; ``None`` aims for four tasks per
+        worker so stragglers stay small.
+    ``deadline_ms``
+        per-listing wall-clock budget, served through
+        :class:`~repro.runtime.SolverHarness` inside the worker (anytime
+        degradation instead of an overrun).
+    ``straggler_timeout_s``
+        wall-clock budget for a whole map; unfinished tasks are
+        abandoned and recomputed through the caller's degraded fallback.
+    """
+
+    jobs: int | None = None
+    shards: int | None = None
+    chunk_size: int | None = None
+    deadline_ms: float | None = None
+    straggler_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        _positive_int("jobs", self.jobs)
+        _positive_int("shards", self.shards)
+        _positive_int("chunk_size", self.chunk_size)
+        if self.deadline_ms is not None and self.deadline_ms < 0:
+            raise ValidationError("deadline_ms must be non-negative")
+        if self.straggler_timeout_s is not None and self.straggler_timeout_s <= 0:
+            raise ValidationError("straggler_timeout_s must be positive")
+
+    def resolved_jobs(self) -> int:
+        return self.jobs if self.jobs is not None else (os.cpu_count() or 1)
+
+    def resolved_shards(self) -> int:
+        return self.shards if self.shards is not None else self.resolved_jobs()
+
+    def resolved_chunk_size(self, num_items: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        targeted_tasks = 4 * self.resolved_jobs()
+        return max(1, -(-num_items // max(1, targeted_tasks)))
+
+
+@dataclass(frozen=True)
+class MapReport:
+    """Results of one :meth:`WorkerPool.map`, in payload order."""
+
+    results: list
+    #: per-payload outcome: ``completed`` | ``failed`` | ``straggler``
+    statuses: list[str]
+    elapsed_s: float
+
+    @property
+    def stragglers(self) -> int:
+        return sum(1 for status in self.statuses if status == "straggler")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for status in self.statuses if status == "failed")
+
+
+class WorkerPool:
+    """Context-manager pool; ``jobs=1`` degenerates to inline execution."""
+
+    def __init__(self, jobs: int, context: Any = None, start_method: str | None = None) -> None:
+        _positive_int("jobs", jobs)
+        if start_method is not None and start_method not in ("fork", "spawn"):
+            raise ValidationError(
+                f"start_method must be 'fork' or 'spawn', got {start_method!r}"
+            )
+        self.jobs = jobs
+        self.context = context
+        self._requested_method = start_method
+        self._executor: ProcessPoolExecutor | None = None
+        self._owns_context_global = False
+
+    def __enter__(self) -> "WorkerPool":
+        if self.jobs == 1:
+            return self
+        method = self._requested_method or (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        mp_context = multiprocessing.get_context(method)
+        if method == "fork":
+            # Workers are forked lazily at first submit; the global must
+            # be in place before then and stays set for the pool's life.
+            global _CONTEXT
+            _CONTEXT = self.context
+            self._owns_context_global = True
+            self._executor = ProcessPoolExecutor(self.jobs, mp_context=mp_context)
+        else:
+            self._executor = ProcessPoolExecutor(
+                self.jobs,
+                mp_context=mp_context,
+                initializer=_initialize_worker,
+                initargs=(pickle.dumps(self.context),),
+            )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._executor is not None:
+            executor, self._executor = self._executor, None
+            # drop queued work, then kill abandoned stragglers outright so the
+            # final join is immediate and nothing lingers into interpreter exit
+            executor.shutdown(wait=False, cancel_futures=True)
+            for process in list((getattr(executor, "_processes", None) or {}).values()):
+                process.terminate()
+            executor.shutdown(wait=True)
+        if self._owns_context_global:
+            global _CONTEXT
+            _CONTEXT = None
+            self._owns_context_global = False
+
+    # -- the map loop --------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[Any, Any], Any],
+        payloads: Sequence[Any],
+        *,
+        timeout_s: float | None = None,
+        fallback: Callable[[Any, Any], Any] | None = None,
+    ) -> MapReport:
+        """Run ``fn(context, payload)`` for every payload.
+
+        Results come back in payload order.  A task that raises is
+        ``failed`` and a task still unfinished after ``timeout_s`` is a
+        ``straggler``; both degrade to ``fallback(context, payload)``
+        when one is given (and re-raise otherwise).  ``fn`` and
+        ``fallback`` must be top-level functions (picklable by
+        reference).
+        """
+        recorder = get_recorder()
+        started = time.perf_counter()
+        with recorder.span(
+            "parallel.dispatch", tasks=len(payloads), jobs=self.jobs
+        ):
+            if self._executor is None:
+                results, statuses = self._map_inline(fn, payloads, fallback, recorder)
+            else:
+                results, statuses = self._map_pool(
+                    fn, payloads, timeout_s, fallback, recorder
+                )
+        return MapReport(results, statuses, time.perf_counter() - started)
+
+    def _map_inline(self, fn, payloads, fallback, recorder):
+        results, statuses = [], []
+        for payload in payloads:
+            task_start = time.perf_counter()
+            try:
+                value = fn(self.context, payload)
+                status = "completed"
+            except Exception:
+                if fallback is None:
+                    raise
+                value = fallback(self.context, payload)
+                status = "failed"
+            self._account(recorder, status, time.perf_counter() - task_start)
+            results.append(value)
+            statuses.append(status)
+        return results, statuses
+
+    def _map_pool(self, fn, payloads, timeout_s, fallback, recorder):
+        started = time.perf_counter()
+        futures = {
+            self._executor.submit(_run_task, fn, payload): position
+            for position, payload in enumerate(payloads)
+        }
+        results: list = [None] * len(payloads)
+        statuses: list = [None] * len(payloads)
+        pending = set(futures)
+        while pending:
+            remaining = None
+            if timeout_s is not None:
+                remaining = timeout_s - (time.perf_counter() - started)
+                if remaining <= 0:
+                    break
+            done, pending = wait(pending, timeout=remaining, return_when=FIRST_COMPLETED)
+            if not done and timeout_s is not None:
+                break
+            for future in done:
+                position = futures[future]
+                elapsed = time.perf_counter() - started
+                try:
+                    results[position] = future.result()
+                    statuses[position] = "completed"
+                except Exception:
+                    if fallback is None:
+                        for straggler in pending:
+                            straggler.cancel()
+                        raise
+                    results[position] = fallback(self.context, payloads[position])
+                    statuses[position] = "failed"
+                self._account(recorder, statuses[position], elapsed)
+        for future in pending:  # stragglers: abandon and recompute in-parent
+            future.cancel()
+            position = futures[future]
+            if fallback is None:
+                raise DeadlineExceededError(
+                    f"parallel task {position} exceeded the {timeout_s}s straggler "
+                    "budget and no degraded fallback was provided"
+                )
+            results[position] = fallback(self.context, payloads[position])
+            statuses[position] = "straggler"
+            self._account(recorder, "straggler", time.perf_counter() - started)
+        return results, statuses
+
+    @staticmethod
+    def _account(recorder, status: str, elapsed_s: float) -> None:
+        if not recorder.enabled:
+            return
+        recorder.count("repro_parallel_tasks_total", 1, {"status": status})
+        recorder.observe("repro_parallel_task_seconds", elapsed_s)
+        if status == "straggler":
+            recorder.count("repro_parallel_stragglers_total")
+
+    def __repr__(self) -> str:
+        mode = "inline" if self.jobs == 1 else f"{self.jobs} processes"
+        return f"WorkerPool({mode})"

@@ -1,0 +1,173 @@
+"""Row sharding of a query log with per-shard vertical indexes.
+
+The serial engine answers every objective question from one
+:class:`~repro.booldata.index.VerticalIndex` over the whole log.  This
+module partitions the log into **contiguous row shards**, builds one
+vertical index per shard, and answers the same questions by map-reduce:
+
+* a *satisfied count* is the sum of per-shard popcounts — integer
+  addition is exact, so merged counts equal the serial engine
+  bit-for-bit;
+* a *row bitset* over the full log is the OR of per-shard bitsets
+  shifted by each shard's starting row;
+* the *satisfiable sub-log* of a tuple is the concatenation of per-shard
+  extractions — contiguous shards in ascending order reproduce exactly
+  the ascending-row list the serial scan produces, which is what lets
+  :meth:`~repro.core.problem.VisibilityProblem.prime_satisfiable` reuse
+  it without changing any solver's answer.
+
+Shards are plain :class:`~repro.booldata.table.BooleanTable` slices, so
+they pickle (for ``spawn`` pools) and are inherited copy-on-write (for
+``fork`` pools) like any other table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.booldata.index import VerticalIndex
+from repro.booldata.table import BooleanTable
+from repro.common.bits import iter_bit_indices
+from repro.common.errors import ValidationError
+
+__all__ = ["LogShard", "ShardedLog", "shard_bounds"]
+
+
+def shard_bounds(num_rows: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced ``[start, stop)`` row bounds.
+
+    Shard sizes differ by at most one row; shards never outnumber rows
+    (a 3-row log asked for 8 shards gets 3 singleton shards).  An empty
+    log yields one empty shard so every downstream reduce has an
+    identity element.
+    """
+    if shards < 1:
+        raise ValidationError(f"shards must be >= 1, got {shards}")
+    if num_rows < 0:
+        raise ValidationError(f"num_rows must be non-negative, got {num_rows}")
+    effective = max(1, min(shards, num_rows))
+    base, extra = divmod(num_rows, effective)
+    bounds = []
+    start = 0
+    for position in range(effective):
+        stop = start + base + (1 if position < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+class LogShard:
+    """One contiguous slice of the log plus its own vertical index."""
+
+    __slots__ = ("shard_id", "start", "stop", "table")
+
+    def __init__(self, shard_id: int, start: int, stop: int, table: BooleanTable) -> None:
+        self.shard_id = shard_id
+        self.start = start
+        self.stop = stop
+        self.table = table
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def index(self) -> VerticalIndex:
+        """The shard's vertical index (built once, cached on the table)."""
+        return self.table.vertical_index()
+
+    def __repr__(self) -> str:
+        return f"LogShard(id={self.shard_id}, rows=[{self.start}, {self.stop}))"
+
+
+class ShardedLog:
+    """A query log partitioned into row shards for map-reduce counting."""
+
+    __slots__ = ("log", "shards")
+
+    def __init__(self, log: BooleanTable, shards: int) -> None:
+        self.log = log
+        rows = log.rows
+        self.shards: tuple[LogShard, ...] = tuple(
+            LogShard(shard_id, start, stop, BooleanTable(log.schema, rows[start:stop]))
+            for shard_id, (start, stop) in enumerate(shard_bounds(len(rows), shards))
+        )
+
+    def __len__(self) -> int:
+        return len(self.log)
+
+    @property
+    def schema(self):
+        return self.log.schema
+
+    # -- map-reduce counting -------------------------------------------------
+
+    def satisfied_count(self, keep_mask: int) -> int:
+        """Queries satisfied by ``keep_mask``: sum of per-shard popcounts."""
+        self.log.schema.validate_mask(keep_mask)
+        return sum(shard.index.satisfied_count(keep_mask) for shard in self.shards)
+
+    def evaluate_many(
+        self, keep_masks: Iterable[int], pool=None
+    ) -> list[int]:
+        """Objective counts for a batch of candidates, shard map-reduce.
+
+        The vertical twin of
+        :meth:`repro.core.problem.VisibilityProblem.evaluate_many`: each
+        shard answers every candidate from its own index and the
+        per-shard integer vectors are summed elementwise — exact, so the
+        merged counts equal the serial engine bit-for-bit.  Pass a
+        :class:`repro.parallel.pool.WorkerPool` to fan the shards out
+        over processes; ``None`` reduces inline.
+        """
+        masks = list(keep_masks)
+        for keep_mask in masks:
+            self.log.schema.validate_mask(keep_mask)
+        if pool is None or len(self.shards) == 1:
+            vectors = [_shard_count_vector(self, (shard.shard_id, masks))
+                       for shard in self.shards]
+        else:
+            report = pool.map(
+                _shard_count_vector,
+                [(shard.shard_id, masks) for shard in self.shards],
+            )
+            vectors = report.results
+        return [sum(vector[i] for vector in vectors) for i in range(len(masks))]
+
+    # -- merged row bitsets --------------------------------------------------
+
+    def satisfied_rows(self, keep_mask: int) -> int:
+        """Full-log row bitset: per-shard bitsets shifted into place."""
+        self.log.schema.validate_mask(keep_mask)
+        merged = 0
+        for shard in self.shards:
+            merged |= shard.index.satisfied_rows(keep_mask) << shard.start
+        return merged
+
+    def satisfiable_rows(self, new_tuple: int) -> tuple[int, list[int]]:
+        """``(tids, queries)`` of the tuple's satisfiable sub-log.
+
+        ``tids`` is the merged full-log row bitset, ``queries`` the row
+        masks in ascending log order — exactly the pair
+        :class:`~repro.core.problem.VisibilityProblem` derives lazily,
+        suitable for
+        :meth:`~repro.core.problem.VisibilityProblem.prime_satisfiable`.
+        """
+        self.log.schema.validate_mask(new_tuple)
+        tids = 0
+        queries: list[int] = []
+        for shard in self.shards:
+            local = shard.index.satisfied_rows(new_tuple)
+            tids |= local << shard.start
+            table = shard.table
+            queries.extend(table[position] for position in iter_bit_indices(local))
+        return tids, queries
+
+    def __repr__(self) -> str:
+        return f"ShardedLog(rows={len(self.log)}, shards={len(self.shards)})"
+
+
+def _shard_count_vector(sharded: ShardedLog, payload: tuple[int, Sequence[int]]) -> list[int]:
+    """Worker task: one shard's objective counts for every candidate."""
+    shard_id, keep_masks = payload
+    index = sharded.shards[shard_id].index
+    return [index.satisfied_count(keep_mask) for keep_mask in keep_masks]

@@ -1,0 +1,34 @@
+"""Experiment sweeps over a worker pool.
+
+``python -m repro.experiments --jobs N`` fans independent experiments
+(each a pure function of ``(name, scale)``) out over processes.  Results
+come back in request order, so the output is byte-identical to the
+serial loop — only wall-clock changes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.common.errors import ValidationError
+from repro.parallel.pool import WorkerPool
+
+__all__ = ["run_experiments_parallel"]
+
+
+def _run_one(scale, name: str):
+    from repro.experiments.runners import run_experiment
+
+    return run_experiment(name, scale)
+
+
+def run_experiments_parallel(names: Sequence[str], scale, jobs: int = 1) -> list:
+    """Run the named experiments, ``jobs`` at a time; results in order."""
+    from repro.experiments.runners import EXPERIMENTS
+
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        raise ValidationError(f"unknown experiments: {unknown}")
+    with WorkerPool(jobs, context=scale) as pool:
+        report = pool.map(_run_one, list(names))
+    return report.results

@@ -137,7 +137,44 @@ class Marketplace:
         return impressions
 
     def impressions_of(self, ad_id: int, log: BooleanTable) -> int:
-        """Impressions a single ad earns over a log."""
+        """Impressions a single ad earns over a log.
+
+        Counts only the one ad's matches instead of replaying the whole
+        workload against every posted ad: Boolean mode is a plain subset
+        count (one wide bitset operation when the log's vertical index is
+        already built), top-k mode counts how many better-ranked rivals
+        also match each query and admits the ad while fewer than
+        ``page_size`` do.  Results are identical to
+        ``run_workload(log)[ad_id]``.
+        """
         if not 0 <= ad_id < len(self._ads):
             raise ValidationError(f"unknown ad id {ad_id}")
-        return self.run_workload(log)[ad_id]
+        if log.schema != self.schema:
+            raise ValidationError("workload schema differs from marketplace schema")
+        mask = self._ads[ad_id].mask
+        if self.page_size is None:
+            index = log.cached_vertical_index
+            if index is not None:
+                return index.satisfied_count(mask)
+            return sum(1 for query in log if query & mask == query)
+        # Rivals ranked strictly above this ad: higher score, newer on ties
+        # (the ``(score, ad_id)`` ordering of :meth:`_run_query`).
+        rank = (self.scoring.score_candidate(mask), ad_id)
+        rivals = [
+            ad.mask
+            for ad in self._ads
+            if (self.scoring.score_candidate(ad.mask), ad.ad_id) > rank
+        ]
+        impressions = 0
+        for query in log:
+            if query & mask != query:
+                continue
+            ahead = 0
+            for rival in rivals:
+                if query & rival == query:
+                    ahead += 1
+                    if ahead >= self.page_size:
+                        break
+            if ahead < self.page_size:
+                impressions += 1
+        return impressions

@@ -12,7 +12,7 @@ adapts the greedy algorithms where no exact reduction exists):
 * :mod:`repro.variants.text` — text documents with keyword queries.
 """
 
-from repro.variants.batch import InventoryReport, optimize_inventory
+from repro.variants.batch import InventoryReport, InventorySolvePlan, optimize_inventory
 from repro.variants.categorical import (
     reduce_categorical_to_boolean,
     solve_categorical,
@@ -53,4 +53,5 @@ __all__ = [
     "solve_costed_density_greedy",
     "optimize_inventory",
     "InventoryReport",
+    "InventorySolvePlan",
 ]

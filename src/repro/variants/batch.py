@@ -24,7 +24,98 @@ from repro.core.base import Solver
 from repro.core.itemsets import MaximalItemsetIndex, MaxFreqItemsetsSolver
 from repro.core.problem import Solution, VisibilityProblem
 
-__all__ = ["InventoryReport", "optimize_inventory"]
+__all__ = [
+    "InventoryReport",
+    "InventorySolvePlan",
+    "optimize_inventory",
+    "resolve_index_threshold",
+    "validate_index_threshold",
+]
+
+
+def validate_index_threshold(index_threshold: int | float) -> None:
+    """Reject ill-typed or non-positive mining thresholds up front.
+
+    Mirrors the :class:`MaxFreqItemsetsSolver` threshold rules: a float
+    is a log fraction in ``(0, 1]``, an int an absolute support count
+    ``>= 1`` (bools are ints in Python, but ``True`` as a threshold is a
+    bug, not a request for support 1).
+    """
+    if isinstance(index_threshold, bool) or not isinstance(index_threshold, (int, float)):
+        raise ValidationError(
+            f"index_threshold must be an int count or float fraction, "
+            f"got {index_threshold!r}"
+        )
+    if isinstance(index_threshold, float):
+        if not 0 < index_threshold <= 1:
+            raise ValidationError(
+                f"fractional index_threshold must be in (0, 1], got {index_threshold}"
+            )
+    elif index_threshold < 1:
+        raise ValidationError(
+            f"absolute index_threshold must be >= 1, got {index_threshold}"
+        )
+
+
+def resolve_index_threshold(index_threshold: int | float, log_size: int) -> int:
+    """Validated absolute support count for the shared itemset index."""
+    validate_index_threshold(index_threshold)
+    if isinstance(index_threshold, float):
+        return max(1, int(index_threshold * log_size))
+    return int(index_threshold)
+
+
+class InventorySolvePlan:
+    """The validated per-listing solving recipe.
+
+    Captures everything :func:`optimize_inventory` decides once for the
+    whole inventory — the shared :class:`MaximalItemsetIndex`, the
+    resolved mining threshold, the per-tuple fallback — so the serial
+    loop and the shard-parallel engine (:mod:`repro.parallel.batch`)
+    answer every listing through literally the same code path.
+    """
+
+    def __init__(
+        self,
+        log: BooleanTable,
+        budget: int,
+        solver: Solver | None = None,
+        share_index: bool = True,
+        index_threshold: int | float = 0.01,
+    ) -> None:
+        if budget < 0:
+            raise ValidationError("budget must be non-negative")
+        validate_index_threshold(index_threshold)
+        self.log = log
+        self.budget = budget
+        self.indexed_solver: MaxFreqItemsetsSolver | None = None
+        self.fallback: MaxFreqItemsetsSolver | None = None
+        self.solver: Solver | None = None
+        if solver is None and share_index and len(log):
+            threshold = resolve_index_threshold(index_threshold, len(log))
+            index = MaximalItemsetIndex(log)
+            self.indexed_solver = MaxFreqItemsetsSolver(threshold=threshold, index=index)
+            self.fallback = MaxFreqItemsetsSolver()
+        else:
+            self.solver = solver or MaxFreqItemsetsSolver()
+
+    def make_problem(self, new_tuple: int) -> VisibilityProblem:
+        return VisibilityProblem(self.log, new_tuple, self.budget)
+
+    @property
+    def primary_name(self) -> str:
+        chosen = self.indexed_solver if self.indexed_solver is not None else self.solver
+        return chosen.name
+
+    def solve_one(self, problem: VisibilityProblem) -> Solution:
+        """Answer one listing — the Section IV.C indexed recipe when shared."""
+        if self.indexed_solver is not None:
+            solution = self.indexed_solver.solve(problem)
+            if solution.stats.get("returned_empty"):
+                # optimum below the indexed threshold: resolve exactly
+                solution = self.fallback.solve(problem)
+            return solution
+        return self.solver.solve(problem)
 
 
 @dataclass(frozen=True)
@@ -95,31 +186,11 @@ def optimize_inventory(
     """
     if not new_tuples:
         raise ValidationError("inventory is empty")
-    if budget < 0:
-        raise ValidationError("budget must be non-negative")
-
-    if solver is None and share_index and len(log):
-        threshold = (
-            max(1, int(index_threshold * len(log)))
-            if isinstance(index_threshold, float)
-            else int(index_threshold)
-        )
-        index = MaximalItemsetIndex(log)
-        indexed_solver = MaxFreqItemsetsSolver(threshold=threshold, index=index)
-        fallback = MaxFreqItemsetsSolver()
-        solutions = []
-        for new_tuple in new_tuples:
-            problem = VisibilityProblem(log, new_tuple, budget)
-            solution = indexed_solver.solve(problem)
-            if solution.stats.get("returned_empty"):
-                # optimum below the indexed threshold: resolve exactly
-                solution = fallback.solve(problem)
-            solutions.append(solution)
-        return InventoryReport(solutions, budget)
-
-    chosen = solver or MaxFreqItemsetsSolver()
+    plan = InventorySolvePlan(
+        log, budget, solver=solver, share_index=share_index,
+        index_threshold=index_threshold,
+    )
     solutions = [
-        chosen.solve(VisibilityProblem(log, new_tuple, budget))
-        for new_tuple in new_tuples
+        plan.solve_one(plan.make_problem(new_tuple)) for new_tuple in new_tuples
     ]
     return InventoryReport(solutions, budget)

@@ -77,6 +77,46 @@ class TestMarketplace:
         log = BooleanTable(schema, [0b000001, 0b001000, 0b110000, 0b001011])
         assert market.impressions_of(ad, log) == satisfied_count(log, mask)
 
+    def test_impressions_of_matches_workload_boolean_mode(self, schema):
+        """Regression: the single-ad path used to replay the whole workload.
+
+        The direct count must agree with the full simulation for every ad."""
+        market = Marketplace(schema)
+        ads = [market.post_ad(mask) for mask in (0b000111, 0b011100, 0b000001)]
+        log = synthetic_workload(schema, 120, seed=17)
+        full = market.run_workload(log)
+        for ad in ads:
+            assert market.impressions_of(ad, log) == full[ad]
+
+    def test_impressions_of_matches_workload_topk_mode(self, schema):
+        """Top-k mode counts only queries where the ad makes the first page."""
+        market = Marketplace(schema, page_size=2, scoring=AttributeCountScore())
+        ads = [
+            market.post_ad(mask)
+            for mask in (0b000011, 0b000110, 0b001100, 0b111000, 0b000101)
+        ]
+        log = synthetic_workload(schema, 150, seed=23)
+        full = market.run_workload(log)
+        for ad in ads:
+            assert market.impressions_of(ad, log) == full[ad]
+
+    def test_impressions_of_topk_score_ties(self, schema):
+        """Ties on score break toward the newest ad, same as run_query."""
+        market = Marketplace(schema, page_size=1, scoring=AttributeCountScore())
+        older = market.post_ad(0b000011)
+        newer = market.post_ad(0b000101)
+        log = BooleanTable(schema, [0b000001, 0b000001, 0b000010])
+        full = market.run_workload(log)
+        assert market.impressions_of(older, log) == full[older]
+        assert market.impressions_of(newer, log) == full[newer]
+
+    def test_impressions_of_schema_mismatch_rejected(self, schema):
+        market = Marketplace(schema)
+        ad = market.post_ad(0b1)
+        other = BooleanTable(Schema.anonymous(3), [1])
+        with pytest.raises(ValidationError):
+            market.impressions_of(ad, other)
+
 
 class TestSplitLog:
     def test_sizes(self, schema):

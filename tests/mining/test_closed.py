@@ -94,6 +94,13 @@ class TestMiners:
         with pytest.raises(ValueError):
             mine_closed_dfs(basket, 0)
 
+    def test_threshold_error_is_validation_error(self, basket):
+        """Regression: normalized from a bare ValueError to ValidationError."""
+        from repro.common.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            mine_closed_dfs(basket, 0)
+
     def test_node_budget(self):
         import random
 

@@ -49,6 +49,15 @@ class TestMinersAgree:
         with pytest.raises(ValueError):
             miner(market_basket, 0)
 
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_threshold_error_is_validation_error(self, miner, market_basket, bad):
+        """Regression: miners used to raise a bare ValueError; entry points
+        now raise ValidationError (still a ValueError subclass)."""
+        from repro.common.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            miner(market_basket, bad)
+
     def test_supports_are_exact(self, miner, market_basket):
         result = miner(market_basket, 2)
         for itemset, support in result.items():

@@ -83,6 +83,15 @@ class TestDfsMiner:
         with pytest.raises(ValueError):
             mine_maximal_dfs(db, 0)
 
+    @pytest.mark.parametrize("miner", [mine_maximal_dfs, mine_maximal_reference])
+    def test_threshold_error_is_validation_error(self, miner):
+        """Regression: normalized from a bare ValueError to ValidationError."""
+        from repro.common.errors import ValidationError
+
+        db = TransactionDatabase(2, [1])
+        with pytest.raises(ValidationError):
+            miner(db, 0)
+
 
 @settings(max_examples=60, deadline=None)
 @given(st.lists(st.integers(0, 255), max_size=25), st.integers(1, 8))

@@ -1,0 +1,153 @@
+"""Shard-parallel inventory results must be identical to the serial engine.
+
+The property the tentpole promises: for seeded random logs, any shard
+count and ``jobs in {1, 2, 4}``, ``optimize_inventory_parallel`` (no
+deadline) returns exactly the keep-masks, objective counts and
+algorithm labels of the serial ``optimize_inventory``.
+"""
+
+import random
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.bits import random_mask
+from repro.common.errors import ValidationError
+from repro.core import make_solver
+from repro.data import synthetic_workload
+from repro.obs import Recorder, recording
+from repro.parallel import ParallelConfig, optimize_inventory_parallel
+from repro.variants.batch import optimize_inventory
+
+SEEDS = [13, 41, 97]
+
+
+def random_inventory(seed: int):
+    rng = random.Random(seed)
+    width = rng.choice([10, 14, 18])
+    schema = Schema.anonymous(width)
+    log = synthetic_workload(schema, rng.randrange(60, 260), seed=seed)
+    tuples = [
+        random_mask(width, rng.randrange(4, max(5, (2 * width) // 3)), rng)
+        for _ in range(rng.randrange(5, 12))
+    ]
+    budget = rng.randrange(2, 4)
+    return log, tuples, budget
+
+
+def assert_reports_identical(parallel, serial):
+    assert [s.keep_mask for s in parallel.solutions] == [
+        s.keep_mask for s in serial.solutions
+    ]
+    assert [s.satisfied for s in parallel.solutions] == [
+        s.satisfied for s in serial.solutions
+    ]
+    assert [s.algorithm for s in parallel.solutions] == [
+        s.algorithm for s in serial.solutions
+    ]
+    assert parallel.total_visibility == serial.total_visibility
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("shards", [1, 3, 5])
+    def test_inline_matches_serial_across_shard_counts(self, seed, shards):
+        log, tuples, budget = random_inventory(seed)
+        serial = optimize_inventory(log, tuples, budget)
+        parallel = optimize_inventory_parallel(
+            log, tuples, budget, config=ParallelConfig(jobs=1, shards=shards)
+        )
+        assert_reports_identical(parallel, serial)
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_process_pools_match_serial(self, jobs):
+        log, tuples, budget = random_inventory(SEEDS[0])
+        serial = optimize_inventory(log, tuples, budget)
+        parallel = optimize_inventory_parallel(
+            log, tuples, budget, config=ParallelConfig(jobs=jobs, shards=3)
+        )
+        assert_reports_identical(parallel, serial)
+
+    def test_custom_solver_matches_serial(self):
+        log, tuples, budget = random_inventory(SEEDS[1])
+        solver = make_solver("ConsumeAttrCumul")
+        serial = optimize_inventory(log, tuples, budget, solver=solver)
+        parallel = optimize_inventory_parallel(
+            log, tuples, budget, solver=make_solver("ConsumeAttrCumul"),
+            config=ParallelConfig(jobs=1, shards=2),
+        )
+        assert_reports_identical(parallel, serial)
+
+    def test_absolute_index_threshold_matches_serial(self):
+        log, tuples, budget = random_inventory(SEEDS[2])
+        serial = optimize_inventory(log, tuples, budget, index_threshold=5)
+        parallel = optimize_inventory_parallel(
+            log, tuples, budget, index_threshold=5,
+            config=ParallelConfig(jobs=1, shards=4),
+        )
+        assert_reports_identical(parallel, serial)
+
+    def test_generous_deadline_still_matches(self):
+        """A deadline that never fires must not change the answers."""
+        log, tuples, budget = random_inventory(SEEDS[0])
+        serial = optimize_inventory(log, tuples, budget)
+        parallel = optimize_inventory_parallel(
+            log, tuples, budget,
+            config=ParallelConfig(jobs=1, deadline_ms=60_000),
+        )
+        assert_reports_identical(parallel, serial)
+        assert all(
+            s.stats.get("outcome_status") == "exact" for s in parallel.solutions
+        )
+
+
+class TestDegradation:
+    def test_tight_deadline_degrades_not_crashes(self):
+        log, tuples, budget = random_inventory(SEEDS[1])
+        parallel = optimize_inventory_parallel(
+            log, tuples, budget, config=ParallelConfig(jobs=1, deadline_ms=0.0)
+        )
+        # every listing still gets a valid answer, flagged by outcome status
+        assert len(parallel.solutions) == len(tuples)
+        for solution in parallel.solutions:
+            assert solution.stats.get("outcome_status") in (
+                "exact", "fallback", "anytime", "failed"
+            )
+
+
+class TestValidation:
+    def test_empty_inventory_rejected(self):
+        log, _, _ = random_inventory(SEEDS[0])
+        with pytest.raises(ValidationError):
+            optimize_inventory_parallel(log, [], 2)
+
+    def test_negative_budget_rejected(self):
+        log, tuples, _ = random_inventory(SEEDS[0])
+        with pytest.raises(ValidationError):
+            optimize_inventory_parallel(log, tuples, -1)
+
+    @pytest.mark.parametrize("bad", [0, -3, 0.0, 1.5, True])
+    def test_bad_index_threshold_rejected(self, bad):
+        log, tuples, budget = random_inventory(SEEDS[0])
+        with pytest.raises(ValidationError):
+            optimize_inventory_parallel(log, tuples, budget, index_threshold=bad)
+
+
+class TestObservability:
+    def test_pool_metrics_and_merge_span_recorded(self):
+        log, tuples, budget = random_inventory(SEEDS[2])
+        with recording(Recorder()) as recorder:
+            optimize_inventory_parallel(
+                log, tuples, budget, config=ParallelConfig(jobs=1, shards=2)
+            )
+        assert recorder.metrics.counter_total("repro_parallel_tasks_total") >= 1.0
+        assert recorder.tracer.spans_named("parallel.dispatch")
+        assert recorder.tracer.spans_named("parallel.merge")
+
+    def test_empty_log_inventory(self):
+        schema = Schema.anonymous(6)
+        log = BooleanTable(schema, [])
+        report = optimize_inventory_parallel(
+            log, [0b111, 0b11], 2, config=ParallelConfig(jobs=1)
+        )
+        assert [s.satisfied for s in report.solutions] == [0, 0]

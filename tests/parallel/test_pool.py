@@ -1,0 +1,131 @@
+"""Worker-pool plumbing: config validation, inline/fork parity, stragglers."""
+
+import os
+import time
+
+import pytest
+
+from repro.common.errors import DeadlineExceededError, ValidationError
+from repro.obs import Recorder, recording
+from repro.parallel import ParallelConfig, WorkerPool
+
+
+# Task functions must be top-level so they pickle by reference.
+def square(context, payload):
+    return (context or 0) + payload * payload
+
+
+def flaky(context, payload):
+    if payload == "boom":
+        raise RuntimeError("injected")
+    return ("ok", payload)
+
+
+def sleepy(context, payload):
+    if payload == "slow":
+        time.sleep(1.0)
+    return ("done", payload)
+
+
+def degraded(context, payload):
+    return ("degraded", payload)
+
+
+class TestParallelConfig:
+    def test_defaults_resolve_to_cpu_count(self):
+        config = ParallelConfig()
+        assert config.resolved_jobs() == (os.cpu_count() or 1)
+        assert config.resolved_shards() == config.resolved_jobs()
+
+    def test_explicit_values_win(self):
+        config = ParallelConfig(jobs=2, shards=5, chunk_size=3)
+        assert config.resolved_jobs() == 2
+        assert config.resolved_shards() == 5
+        assert config.resolved_chunk_size(100) == 3
+
+    def test_default_chunking_targets_four_tasks_per_worker(self):
+        config = ParallelConfig(jobs=2)
+        assert config.resolved_chunk_size(80) == 10
+        assert config.resolved_chunk_size(1) == 1
+        assert config.resolved_chunk_size(0) == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"jobs": 0},
+            {"jobs": -1},
+            {"jobs": True},
+            {"shards": 0},
+            {"chunk_size": 0},
+            {"deadline_ms": -5.0},
+            {"straggler_timeout_s": 0.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            ParallelConfig(**kwargs)
+
+
+class TestWorkerPool:
+    def test_inline_map_runs_without_processes(self):
+        with WorkerPool(1, context=10) as pool:
+            report = pool.map(square, [1, 2, 3])
+        assert report.results == [11, 14, 19]
+        assert report.statuses == ["completed"] * 3
+        assert report.stragglers == 0
+
+    def test_pool_matches_inline(self):
+        with WorkerPool(1, context=5) as pool:
+            inline = pool.map(square, list(range(8))).results
+        with WorkerPool(2, context=5) as pool:
+            forked = pool.map(square, list(range(8))).results
+        assert forked == inline
+
+    def test_inline_failure_uses_fallback(self):
+        with WorkerPool(1) as pool:
+            report = pool.map(flaky, ["a", "boom", "b"], fallback=degraded)
+        assert report.results == [("ok", "a"), ("degraded", "boom"), ("ok", "b")]
+        assert report.statuses == ["completed", "failed", "completed"]
+        assert report.failed == 1
+
+    def test_inline_failure_without_fallback_raises(self):
+        with WorkerPool(1) as pool:
+            with pytest.raises(RuntimeError):
+                pool.map(flaky, ["boom"])
+
+    def test_pool_failure_uses_fallback(self):
+        with WorkerPool(2) as pool:
+            report = pool.map(flaky, ["a", "boom"], fallback=degraded)
+        assert sorted(report.statuses) == ["completed", "failed"]
+        assert ("degraded", "boom") in report.results
+
+    def test_straggler_degrades_to_fallback(self):
+        with recording(Recorder()) as recorder:
+            with WorkerPool(2) as pool:
+                report = pool.map(
+                    sleepy, ["fast", "slow"], timeout_s=0.4, fallback=degraded
+                )
+        assert report.results[0] == ("done", "fast")
+        assert report.results[1] == ("degraded", "slow")
+        assert report.statuses == ["completed", "straggler"]
+        assert report.stragglers == 1
+        assert recorder.metrics.counter_total("repro_parallel_stragglers_total") == 1.0
+        assert recorder.metrics.counter_total("repro_parallel_tasks_total") == 2.0
+
+    def test_straggler_without_fallback_raises(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(DeadlineExceededError):
+                pool.map(sleepy, ["slow"], timeout_s=0.2)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkerPool(0)
+        with pytest.raises(ValidationError):
+            WorkerPool(2, start_method="forkserver")
+
+    def test_dispatch_span_and_task_metrics_recorded(self):
+        with recording(Recorder()) as recorder:
+            with WorkerPool(1, context=0) as pool:
+                pool.map(square, [1, 2])
+        assert recorder.tracer.spans_named("parallel.dispatch")
+        assert recorder.metrics.counter_total("repro_parallel_tasks_total") == 2.0

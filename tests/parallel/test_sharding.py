@@ -1,0 +1,144 @@
+"""Shard map-reduce counting must equal the serial engine bit-for-bit."""
+
+import random
+
+import pytest
+
+from repro.booldata import BooleanTable, Schema
+from repro.common.bits import random_mask
+from repro.common.errors import ValidationError
+from repro.core import VisibilityProblem
+from repro.data import synthetic_workload
+from repro.parallel import ShardedLog, WorkerPool, shard_bounds
+
+SEEDS = [5, 19, 83]
+
+
+def random_log(seed: int) -> BooleanTable:
+    rng = random.Random(seed)
+    width = rng.choice([8, 12, 20])
+    schema = Schema.anonymous(width)
+    if rng.random() < 0.5:
+        return synthetic_workload(schema, rng.randrange(30, 200), seed=seed)
+    return BooleanTable(
+        schema,
+        [rng.randrange(2**width) & rng.randrange(2**width)
+         for _ in range(rng.randrange(5, 150))],
+    )
+
+
+class TestShardBounds:
+    def test_bounds_cover_contiguously_and_balanced(self):
+        for num_rows in (0, 1, 2, 7, 100, 101):
+            for shards in (1, 2, 3, 8, 150):
+                bounds = shard_bounds(num_rows, shards)
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == num_rows
+                for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+                    assert stop == start
+                sizes = [stop - start for start, stop in bounds]
+                assert max(sizes) - min(sizes) <= 1
+                # shards never outnumber rows (empty log gets one shard)
+                assert len(bounds) == max(1, min(shards, num_rows))
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValidationError):
+            shard_bounds(10, 0)
+        with pytest.raises(ValidationError):
+            shard_bounds(-1, 2)
+
+
+class TestShardedCounting:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7])
+    def test_satisfied_count_matches_full_index(self, seed, shards):
+        log = random_log(seed)
+        sharded = ShardedLog(log, shards)
+        index = log.vertical_index()
+        rng = random.Random(seed + 1)
+        for _ in range(20):
+            mask = rng.randrange(2**log.schema.width)
+            assert sharded.satisfied_count(mask) == index.satisfied_count(mask)
+            assert sharded.satisfied_rows(mask) == index.satisfied_rows(mask)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_evaluate_many_matches_problem(self, seed):
+        log = random_log(seed)
+        rng = random.Random(seed + 2)
+        width = log.schema.width
+        new_tuple = random_mask(width, max(2, width // 2), rng)
+        problem = VisibilityProblem(log, new_tuple, 2)
+        candidates = [
+            random_mask(width, 2, rng) & new_tuple for _ in range(15)
+        ]
+        sharded = ShardedLog(log, 3)
+        assert sharded.evaluate_many(candidates) == problem.evaluate_many(candidates)
+
+    def test_evaluate_many_over_worker_pool(self):
+        log = random_log(SEEDS[0])
+        sharded = ShardedLog(log, 4)
+        rng = random.Random(7)
+        masks = [rng.randrange(2**log.schema.width) for _ in range(10)]
+        inline = sharded.evaluate_many(masks)
+        with WorkerPool(2, context=sharded) as pool:
+            fanned = sharded.evaluate_many(masks, pool=pool)
+        assert fanned == inline
+
+    def test_mask_validation(self):
+        log = random_log(SEEDS[0])
+        sharded = ShardedLog(log, 2)
+        with pytest.raises(ValidationError):
+            sharded.satisfied_count(1 << log.schema.width)
+
+    def test_more_shards_than_rows(self):
+        schema = Schema.anonymous(4)
+        log = BooleanTable(schema, [0b0011, 0b0101, 0b1000])
+        sharded = ShardedLog(log, 16)
+        assert len(sharded.shards) == 3
+        assert sharded.satisfied_count(0b0111) == 2
+
+    def test_empty_log(self):
+        log = BooleanTable(Schema.anonymous(4), [])
+        sharded = ShardedLog(log, 3)
+        assert len(sharded.shards) == 1
+        assert sharded.satisfied_count(0b1111) == 0
+        assert sharded.satisfiable_rows(0b1111) == (0, [])
+
+
+class TestSatisfiableExtraction:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("shards", [1, 2, 5])
+    def test_matches_lazy_problem_views_exactly(self, seed, shards):
+        """Same rows, same ascending order — the priming contract."""
+        log = random_log(seed)
+        rng = random.Random(seed + 3)
+        width = log.schema.width
+        new_tuple = random_mask(width, max(2, (2 * width) // 3), rng)
+        problem = VisibilityProblem(log, new_tuple, 2)
+        tids, queries = ShardedLog(log, shards).satisfiable_rows(new_tuple)
+        assert tids == problem.satisfiable_tids
+        assert queries == problem.satisfiable_queries
+
+    def test_primed_problem_solves_identically(self):
+        log = random_log(SEEDS[1])
+        rng = random.Random(99)
+        width = log.schema.width
+        new_tuple = random_mask(width, max(3, width // 2), rng)
+        from repro.core.itemsets import MaxFreqItemsetsSolver
+
+        plain = MaxFreqItemsetsSolver().solve(VisibilityProblem(log, new_tuple, 2))
+        primed_problem = VisibilityProblem(
+            BooleanTable(log.schema, list(log)), new_tuple, 2
+        )
+        tids, queries = ShardedLog(primed_problem.log, 3).satisfiable_rows(new_tuple)
+        primed_problem.prime_satisfiable(tids, queries)
+        primed = MaxFreqItemsetsSolver().solve(primed_problem)
+        assert primed.keep_mask == plain.keep_mask
+        assert primed.satisfied == plain.satisfied
+        assert primed.stats == plain.stats
+
+    def test_prime_rejects_inconsistent_views(self):
+        log = random_log(SEEDS[2])
+        problem = VisibilityProblem(log, 0, 0)
+        with pytest.raises(ValidationError):
+            problem.prime_satisfiable(0b11, [1])

@@ -1,0 +1,57 @@
+"""Experiment fan-out: same results as the serial loop, in order.
+
+Visibility experiments (fig7, fig9) are deterministic, so their rendered
+tables must match the serial run exactly.  Timing experiments (fig6)
+carry wall-clock measurements, so only their structure is compared.
+"""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.experiments import ExperimentScale, run_experiment
+from repro.parallel import run_experiments_parallel
+
+
+@pytest.fixture(scope="module")
+def tiny_scale() -> ExperimentScale:
+    return ExperimentScale(
+        name="tiny",
+        cars=150,
+        cars_per_point=1,
+        real_queries=30,
+        synthetic_queries=40,
+        log_sizes=(20, 40),
+        attribute_counts=(8,),
+        ilp_max_log=20,
+        budgets=(2,),
+        seed=1,
+    )
+
+
+def test_results_match_serial_in_order(tiny_scale):
+    names = ["fig7", "fig9"]
+    serial = [run_experiment(name, tiny_scale) for name in names]
+    parallel = run_experiments_parallel(names, tiny_scale, jobs=1)
+    assert [result.name for result in parallel] == names
+    assert [result.to_text() for result in parallel] == [
+        result.to_text() for result in serial
+    ]
+
+
+def test_timing_experiment_keeps_structure(tiny_scale):
+    serial = run_experiment("fig6", tiny_scale)
+    (parallel,) = run_experiments_parallel(["fig6"], tiny_scale, jobs=1)
+    assert parallel.name == serial.name
+    assert parallel.x_values == serial.x_values
+    assert list(parallel.series) == list(serial.series)
+
+
+def test_process_fanout_matches_serial(tiny_scale):
+    serial = run_experiment("fig7", tiny_scale)
+    (parallel,) = run_experiments_parallel(["fig7"], tiny_scale, jobs=2)
+    assert parallel.to_text() == serial.to_text()
+
+
+def test_unknown_experiment_rejected(tiny_scale):
+    with pytest.raises(ValidationError):
+        run_experiments_parallel(["fig99"], tiny_scale)

@@ -143,6 +143,74 @@ class TestErrorHandling:
         assert code == 2
 
 
+class TestInventoryCommand:
+    def test_inventory_over_log_rows(self, capsys, log_csv):
+        code = main([
+            "inventory", "--log", log_csv, "--budget", "2", "--jobs", "1",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "inventory:" in out
+        assert "jobs 1" in out
+
+    def test_inventory_with_database_and_row_spec(self, capsys, log_csv,
+                                                  database_csv):
+        code = main([
+            "inventory", "--log", log_csv, "--database", database_csv,
+            "--tuple-rows", "0,2-3", "--budget", "2", "--jobs", "1",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "3 listings" in out
+
+    def test_inventory_matches_solve_for_single_listing(self, capsys, log_csv,
+                                                        database_csv):
+        """The batch path and the single-tuple path agree on the objective."""
+        code = main([
+            "solve", "--log", log_csv, "--database", database_csv,
+            "--tuple-row", "0", "--budget", "2",
+        ])
+        assert code == EXIT_OK
+        solve_out = capsys.readouterr().out
+        code = main([
+            "inventory", "--log", log_csv, "--database", database_csv,
+            "--tuple-rows", "0", "--budget", "2", "--jobs", "1",
+        ])
+        assert code == EXIT_OK
+        inventory_out = capsys.readouterr().out
+        (satisfied,) = [
+            line.split(":")[1].split("of")[0].strip()
+            for line in solve_out.splitlines()
+            if line.startswith("queries satisfied")
+        ]
+        assert f"total visibility: {satisfied}" in inventory_out
+
+    def test_zero_index_threshold_is_exit_2(self, capsys, log_csv):
+        """Regression: used to surface as an uncaught ValueError traceback."""
+        code = main([
+            "inventory", "--log", log_csv, "--budget", "2",
+            "--index-threshold", "0", "--jobs", "1",
+        ])
+        assert code == EXIT_VALIDATION
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+
+    def test_invalid_jobs_is_exit_2(self, log_csv):
+        assert main([
+            "inventory", "--log", log_csv, "--budget", "2", "--jobs", "0",
+        ]) == EXIT_VALIDATION
+
+    def test_bad_row_spec_is_exit_2(self, log_csv):
+        assert main([
+            "inventory", "--log", log_csv, "--budget", "2", "--jobs", "1",
+            "--tuple-rows", "0,99-101",
+        ]) == EXIT_VALIDATION
+        assert main([
+            "inventory", "--log", log_csv, "--budget", "2", "--jobs", "1",
+            "--tuple-rows", "banana",
+        ]) == EXIT_VALIDATION
+
+
 @pytest.fixture
 def hard_log_csv(tmp_path):
     """A log where the pure-Python ILP needs far longer than any test

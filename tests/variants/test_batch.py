@@ -47,6 +47,29 @@ class TestOptimizeInventory:
         with pytest.raises(ValidationError):
             optimize_inventory(log, tuples, -1)
 
+    @pytest.mark.parametrize("bad", [0, -3, 0.0, -0.5, 1.5, True])
+    def test_bad_index_threshold_rejected_up_front(self, inventory, bad):
+        """Regression: an int threshold < 1 used to reach the DFS miner
+        and die with a raw ValueError instead of a ValidationError."""
+        log, tuples = inventory
+        with pytest.raises(ValidationError):
+            optimize_inventory(log, tuples, budget=4, index_threshold=bad)
+
+    def test_bad_index_threshold_rejected_even_when_index_unused(self, inventory):
+        """Validation happens before the share_index/solver dispatch."""
+        log, tuples = inventory
+        with pytest.raises(ValidationError):
+            optimize_inventory(
+                log, tuples, budget=4, share_index=False, index_threshold=0
+            )
+
+    def test_absolute_int_threshold_works(self, inventory):
+        log, tuples = inventory
+        report = optimize_inventory(log, tuples, budget=4, index_threshold=10)
+        exact = optimize_inventory(log, tuples, budget=4, share_index=False)
+        for indexed, plain in zip(report.solutions, exact.solutions):
+            assert indexed.satisfied == plain.satisfied
+
     def test_small_instance_against_brute_force(self):
         schema = Schema.anonymous(5)
         log = BooleanTable(schema, [0b00011, 0b00110, 0b11000, 0b00011])

@@ -21,6 +21,11 @@ shard-parallel batch suite and fails on a serial/parallel visibility
 mismatch, a timing regression, or (on >= 4 CPUs) a jobs=4 speedup below
 the 2x acceptance bar.
 
+When ``BENCH_stream.json`` exists, additionally re-runs the streaming
+suite and fails on an incremental/rebuild objective mismatch, a monitor
+tick speedup below the 5x acceptance bar, or a cache hit that stopped
+matching (or meaningfully outpacing) the uncached solve.
+
 Finally runs ``ruff check`` over ``src``, ``tests`` and ``benchmarks``
 when ruff is available, so lint regressions fail the same gate.
 
@@ -29,7 +34,7 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py
     PYTHONPATH=src python benchmarks/check_regression.py --factor 1.5
     PYTHONPATH=src python benchmarks/check_regression.py \
-        --skip-runtime --skip-obs --skip-parallel --skip-lint
+        --skip-runtime --skip-obs --skip-parallel --skip-stream --skip-lint
 """
 
 from __future__ import annotations
@@ -50,12 +55,16 @@ DEFAULT_BASELINE = REPO_ROOT / "BENCH_vertical.json"
 RUNTIME_BASELINE = REPO_ROOT / "BENCH_runtime.json"
 OBS_BASELINE = REPO_ROOT / "BENCH_obs.json"
 PARALLEL_BASELINE = REPO_ROOT / "BENCH_parallel.json"
+STREAM_BASELINE = REPO_ROOT / "BENCH_stream.json"
 #: the runtime PR's acceptance bars
 MAX_OVERHEAD_FRACTION = 0.05
 OVERHEAD_EPSILON_S = 0.003
 MAX_OVERRUN_FACTOR = 4.0
 #: the parallel PR's acceptance bar, applied where cores exist
 MIN_JOBS4_SPEEDUP = 2.0
+#: the streaming PR's acceptance bars
+MIN_TICK_SPEEDUP = 5.0
+MIN_CACHE_SPEEDUP = 10.0
 
 
 def check_runtime(failures: list[str]) -> None:
@@ -174,6 +183,65 @@ def check_parallel(failures: list[str], factor: float) -> None:
               f"{'' if not problems else ' ' + '; '.join(problems)}")
 
 
+def check_stream(failures: list[str], factor: float) -> None:
+    """Re-run the streaming suite against the recorded baseline."""
+    from stream_workload import MEASUREMENTS as STREAM_MEASUREMENTS
+
+    baseline = json.loads(STREAM_BASELINE.read_text())["results"]
+    for name, measure in STREAM_MEASUREMENTS.items():
+        recorded = baseline.get(name)
+        if recorded is None:
+            print(f"~ {name}: not in baseline, skipping")
+            continue
+        fresh = measure()
+        problems = []
+        if fresh["workload"] == "monitor_tick":
+            if fresh["objective_checksum"] is None:
+                problems.append("incremental and rebuild objectives diverged")
+            elif fresh["objective_checksum"] != recorded["objective_checksum"]:
+                problems.append(
+                    f"checksum {fresh['objective_checksum']} != recorded "
+                    f"{recorded['objective_checksum']}"
+                )
+            if fresh["speedup"] < MIN_TICK_SPEEDUP:
+                problems.append(
+                    f"tick speedup {fresh['speedup']:.1f}x < "
+                    f"{MIN_TICK_SPEEDUP:.1f}x"
+                )
+            if fresh["stream_tick_s"] > recorded["stream_tick_s"] * factor:
+                problems.append(
+                    f"{fresh['stream_tick_s']:.4f}s > {factor:.1f}x recorded "
+                    f"{recorded['stream_tick_s']:.4f}s"
+                )
+            detail = (
+                f"stream {fresh['stream_tick_s'] * 1000:.2f} ms "
+                f"rebuild {fresh['rebuild_tick_s'] * 1000:.2f} ms "
+                f"({fresh['speedup']:.1f}x)"
+            )
+        else:
+            if not fresh["solutions_match"]:
+                problems.append("cached solution differs from the uncached one")
+            if fresh["objective"] != recorded["objective"]:
+                problems.append(
+                    f"objective {fresh['objective']} != recorded "
+                    f"{recorded['objective']}"
+                )
+            if fresh["speedup"] < MIN_CACHE_SPEEDUP:
+                problems.append(
+                    f"hit speedup {fresh['speedup']:.1f}x < "
+                    f"{MIN_CACHE_SPEEDUP:.1f}x"
+                )
+            detail = (
+                f"hit {fresh['hit_s'] * 1e6:.1f} us "
+                f"solve {fresh['solve_s'] * 1000:.2f} ms "
+                f"({fresh['speedup']:.1f}x)"
+            )
+        for problem in problems:
+            failures.append(f"{name}: {problem}")
+        print(f"{'.' if not problems else 'x'} {name}: {detail}"
+              f"{'' if not problems else ' ' + '; '.join(problems)}")
+
+
 def check_lint(failures: list[str]) -> None:
     """Run ``ruff check`` when ruff is available in the environment."""
     if importlib.util.find_spec("ruff") is not None:
@@ -217,6 +285,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-parallel", action="store_true",
         help="skip the shard-parallel batch-engine checks",
+    )
+    parser.add_argument(
+        "--skip-stream", action="store_true",
+        help="skip the streaming monitor/cache checks",
     )
     parser.add_argument(
         "--skip-lint", action="store_true",
@@ -278,6 +350,12 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print("~ parallel suite: no BENCH_parallel.json baseline, skipping")
 
+    if not args.skip_stream:
+        if STREAM_BASELINE.exists():
+            check_stream(failures, args.factor)
+        else:
+            print("~ stream suite: no BENCH_stream.json baseline, skipping")
+
     if not args.skip_lint:
         check_lint(failures)
 
@@ -286,7 +364,10 @@ def main(argv: list[str] | None = None) -> int:
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print("\nvertical engine, runtime, telemetry, parallel and lint within budget")
+    print(
+        "\nvertical engine, runtime, telemetry, parallel, stream and lint "
+        "within budget"
+    )
     return 0
 
 

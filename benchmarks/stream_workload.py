@@ -1,0 +1,217 @@
+"""Measurement harness for the streaming serving layer.
+
+Two questions, answered at the ISSUE's acceptance scale:
+
+* **Monitor tick latency** — a :class:`repro.simulate.VisibilityMonitor`
+  tick (observe one query, re-assess the window) rides the incrementally
+  maintained :class:`repro.stream.StreamingLog`; the acceptance bar is a
+  >= 5x speedup at a 10k-query window versus the pre-streaming tick,
+  which re-materialized the window table (and rebuilt its vertical
+  index) on every assessment.  Both sides must report identical
+  achievable objectives — the incremental index is bit-for-bit the
+  rebuilt one.
+* **Solve-cache hit latency** — serving a repeated ``(tuple, budget)``
+  request against an unchanged window through
+  :class:`repro.stream.SolveCache` versus re-running the solver, with
+  identical solutions.
+
+Used by ``test_bench_stream.py`` (records ``BENCH_stream.json``) and
+``check_regression.py`` (re-runs and gates).  Seeded and fixed-size like
+the vertical suite.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+from collections import deque
+
+from vertical_workload import SEED
+
+from repro.booldata import BooleanTable, Schema
+from repro.core import VisibilityProblem, make_solver
+from repro.core.greedy import ConsumeAttrSolver
+from repro.simulate import VisibilityMonitor
+from repro.stream import SolveCache, StreamingLog
+
+WIDTH = 32
+WINDOW = 10_000  # the ISSUE's acceptance scale
+TICKS = 25
+REPEATS = 5
+BUDGET = 6
+CACHE_LOG = 2_000
+CACHE_LOOPS = 20
+
+
+def _traffic(size: int, seed: int) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.getrandbits(WIDTH) or 1 for _ in range(size)]
+
+
+class _RebuildMonitor:
+    """The pre-streaming tick, kept as the baseline under measurement:
+    a plain deque window whose table — and therefore its vertical index —
+    is materialized from scratch on every assessment."""
+
+    def __init__(self, schema: Schema, new_tuple: int, budget: int,
+                 window_size: int, rows: list[int]) -> None:
+        self.schema = schema
+        self.new_tuple = new_tuple
+        self.budget = budget
+        self.estimator = ConsumeAttrSolver()
+        self._window = deque(rows, maxlen=window_size)
+
+    def tick(self, query: int) -> int:
+        self._window.append(query)
+        problem = VisibilityProblem(
+            BooleanTable(self.schema, list(self._window)),
+            self.new_tuple,
+            self.budget,
+        )
+        return self.estimator.solve(problem).satisfied
+
+
+def _stream_tick(monitor: VisibilityMonitor, query: int) -> int:
+    monitor.observe(query)
+    return monitor.status().achievable
+
+
+def measure_monitor_tick(
+    window: int = WINDOW, ticks: int = TICKS, repeats: int = REPEATS
+) -> dict:
+    """Median per-tick latency, incremental stream vs full rebuild.
+
+    The two sides are interleaved (and the order alternated) within each
+    repeat so machine-load drift lands on both equally.  Each repeat
+    starts from a fresh, identically prefilled window; the achievable
+    objectives of every tick are summed into a checksum that must match
+    across sides.
+    """
+    schema = Schema.anonymous(WIDTH)
+    prefill = _traffic(window, SEED + 5)
+    live = _traffic(ticks, SEED + 6)
+    new_tuple = schema.full
+
+    def fresh_stream() -> VisibilityMonitor:
+        monitor = VisibilityMonitor(
+            new_tuple=new_tuple,
+            keep_mask=0,
+            budget=BUDGET,
+            schema=schema,
+            window_size=window,
+        )
+        for query in prefill:
+            monitor.observe(query)
+        return monitor
+
+    def fresh_rebuild() -> _RebuildMonitor:
+        return _RebuildMonitor(schema, new_tuple, BUDGET, window, prefill)
+
+    def run_side(tick) -> tuple[float, int]:
+        checksum = 0
+        start = time.perf_counter()
+        for query in live:
+            checksum += tick(query)
+        return time.perf_counter() - start, checksum
+
+    stream_timings, rebuild_timings = [], []
+    checksums = set()
+    for repeat in range(repeats):
+        sides = [
+            (stream_timings,
+             lambda: run_side(lambda q, m=fresh_stream(): _stream_tick(m, q))),
+            (rebuild_timings,
+             lambda: run_side(lambda q, m=fresh_rebuild(): m.tick(q))),
+        ]
+        if repeat % 2:
+            sides.reverse()
+        for timings, run in sides:
+            elapsed, checksum = run()
+            timings.append(elapsed / ticks)
+            checksums.add(checksum)
+
+    stream_s = statistics.median(stream_timings)
+    rebuild_s = statistics.median(rebuild_timings)
+    return {
+        "workload": "monitor_tick",
+        "window": window,
+        "ticks": ticks,
+        "repeats": repeats,
+        "stream_tick_s": round(stream_s, 6),
+        "rebuild_tick_s": round(rebuild_s, 6),
+        "speedup": round(rebuild_s / stream_s, 2) if stream_s else 0.0,
+        "objective_checksum": checksums.pop() if len(checksums) == 1 else None,
+    }
+
+
+def measure_cache_hit(
+    size: int = CACHE_LOG, loops: int = CACHE_LOOPS, repeats: int = REPEATS
+) -> dict:
+    """Cache-hit latency vs an uncached solve at the same epoch."""
+    schema = Schema.anonymous(WIDTH)
+    log = StreamingLog(schema, rows=_traffic(size, SEED + 7))
+    solver = make_solver("ConsumeAttrCumul", engine="vertical")
+    cache = SolveCache(log, capacity=8)
+    new_tuple = schema.full
+    cached = cache.solve(new_tuple, BUDGET, solver)  # prime the entry
+    uncached = solver.solve(VisibilityProblem.from_stream(log, new_tuple, BUDGET))
+
+    def hit_side() -> float:
+        start = time.perf_counter()
+        for _ in range(loops):
+            cache.solve(new_tuple, BUDGET, solver)
+        return (time.perf_counter() - start) / loops
+
+    def solve_side() -> float:
+        start = time.perf_counter()
+        for _ in range(loops):
+            solver.solve(VisibilityProblem.from_stream(log, new_tuple, BUDGET))
+        return (time.perf_counter() - start) / loops
+
+    hit_timings, solve_timings = [], []
+    for repeat in range(repeats):
+        sides = [(hit_timings, hit_side), (solve_timings, solve_side)]
+        if repeat % 2:
+            sides.reverse()
+        for timings, run in sides:
+            timings.append(run())
+
+    hit_s = statistics.median(hit_timings)
+    solve_s = statistics.median(solve_timings)
+    return {
+        "workload": "cache_hit",
+        "log_size": size,
+        "loops": loops,
+        "repeats": repeats,
+        "hit_s": round(hit_s, 9),
+        "solve_s": round(solve_s, 6),
+        "speedup": round(solve_s / hit_s, 2) if hit_s else 0.0,
+        "objective": cached.satisfied,
+        "solutions_match": (
+            cached.keep_mask == uncached.keep_mask
+            and cached.satisfied == uncached.satisfied
+        ),
+    }
+
+
+#: name -> zero-argument measurement, the recorded streaming suite
+MEASUREMENTS = {
+    "monitor_tick_window_10k": measure_monitor_tick,
+    "solve_cache_hit_2k": measure_cache_hit,
+}
+
+
+def run_suite() -> dict:
+    return {name: measure() for name, measure in MEASUREMENTS.items()}
+
+
+def suite_meta() -> dict:
+    return {
+        "seed": SEED,
+        "width": WIDTH,
+        "window": WINDOW,
+        "ticks": TICKS,
+        "repeats": REPEATS,
+        "budget": BUDGET,
+    }

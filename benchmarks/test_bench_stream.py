@@ -1,0 +1,64 @@
+"""Benchmark: streaming monitor ticks and solve-cache hits.
+
+Records ``BENCH_stream.json`` at the repo root (the baseline that
+``check_regression.py`` guards).  The acceptance bars of the streaming
+PR:
+
+* a monitor tick over the incrementally maintained window is >= 5x
+  faster than the rebuild-per-assessment baseline at a 10k window, with
+  identical achievable objectives on every tick;
+* a solve-cache hit is far cheaper than re-running the solver and
+  returns the identical solution.
+
+Run explicitly (the tier-1 suite does not collect ``benchmarks/``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_stream.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+from stream_workload import run_suite, suite_meta
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+
+MIN_TICK_SPEEDUP = 5.0
+MIN_CACHE_SPEEDUP = 10.0
+
+
+def test_stream_tick_and_cache_speedups():
+    results = run_suite()
+
+    tick = results["monitor_tick_window_10k"]
+    assert tick["objective_checksum"] is not None, (
+        "incremental and rebuild ticks disagreed on the achievable objective"
+    )
+    assert tick["speedup"] >= MIN_TICK_SPEEDUP, (
+        f"monitor tick speedup {tick['speedup']:.1f}x below the "
+        f"{MIN_TICK_SPEEDUP:.0f}x bar (stream {tick['stream_tick_s'] * 1000:.2f} ms "
+        f"vs rebuild {tick['rebuild_tick_s'] * 1000:.2f} ms)"
+    )
+
+    cache = results["solve_cache_hit_2k"]
+    assert cache["solutions_match"], "cached solution differs from the uncached one"
+    assert cache["speedup"] >= MIN_CACHE_SPEEDUP, (
+        f"cache hit speedup {cache['speedup']:.1f}x below the "
+        f"{MIN_CACHE_SPEEDUP:.0f}x bar"
+    )
+
+    payload = {
+        "meta": {**suite_meta(), "python": platform.python_version()},
+        "results": results,
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"monitor_tick_window_10k: stream {tick['stream_tick_s'] * 1000:.2f} ms "
+        f"rebuild {tick['rebuild_tick_s'] * 1000:.2f} ms ({tick['speedup']:.1f}x)"
+    )
+    print(
+        f"solve_cache_hit_2k: hit {cache['hit_s'] * 1e6:.1f} us "
+        f"solve {cache['solve_s'] * 1000:.2f} ms ({cache['speedup']:.1f}x)"
+    )

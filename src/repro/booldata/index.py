@@ -33,7 +33,14 @@ from repro.common.bits import bit_indices, full_mask
 from repro.common.deadline import NULL_TICKER
 from repro.common.errors import ValidationError
 
-__all__ = ["ENGINES", "VerticalIndex", "build_columns", "validate_engine"]
+__all__ = [
+    "ENGINES",
+    "VerticalIndex",
+    "build_columns",
+    "merge_columns",
+    "shift_columns",
+    "validate_engine",
+]
 
 #: evaluation engines understood by the engine-aware solvers
 ENGINES = ("naive", "vertical")
@@ -70,6 +77,39 @@ def build_columns(width: int, rows: Sequence[int]) -> list[int]:
         0 if buffer is None else int.from_bytes(buffer, "little")
         for buffer in buffers
     ]
+
+
+def merge_columns(base: list[int], delta: Sequence[int], offset: int) -> None:
+    """OR ``delta`` columns into ``base`` with rows renumbered by ``offset``.
+
+    The append half of incremental index maintenance
+    (:mod:`repro.stream`): a batch of new rows is transposed once with
+    :func:`build_columns` and merged into the standing columns with one
+    shift+OR per *occupied* attribute — O(width + total set bits) wide
+    operations instead of a full rebuild.
+    """
+    if offset < 0:
+        raise ValidationError(f"offset must be non-negative, got {offset}")
+    if len(base) != len(delta):
+        raise ValidationError(
+            f"cannot merge {len(delta)} delta columns into {len(base)} base columns"
+        )
+    for attribute, column in enumerate(delta):
+        if column:
+            base[attribute] |= column << offset
+
+
+def shift_columns(columns: Sequence[int], offset: int) -> list[int]:
+    """Drop the lowest ``offset`` row positions from every column.
+
+    The compaction half of incremental maintenance: when the retired
+    rows form a prefix of the slot space (the sliding-window case), the
+    fresh-rebuild columns over the surviving rows are exactly the old
+    columns shifted right — any stale prefix bits fall off the end.
+    """
+    if offset < 0:
+        raise ValidationError(f"offset must be non-negative, got {offset}")
+    return [column >> offset for column in columns]
 
 
 class VerticalIndex:
@@ -116,6 +156,45 @@ class VerticalIndex:
         """Index a :class:`~repro.booldata.table.BooleanTable` (or any
         sized iterable of masks with a ``schema.width``)."""
         return cls(table.schema.width, list(table))
+
+    @classmethod
+    def from_columns(
+        cls, width: int, num_rows: int, columns: Sequence[int]
+    ) -> "VerticalIndex":
+        """Adopt pre-transposed columns without re-reading any rows.
+
+        The caller guarantees ``columns[a]`` equals what a fresh build
+        over the same ``num_rows`` rows would produce (no bits at or
+        above ``num_rows``); the streaming engine (:mod:`repro.stream`)
+        uses this to materialise its incrementally-maintained columns as
+        a first-class index, bit-for-bit equal to a rebuild.
+        """
+        if width <= 0:
+            raise ValidationError(f"width must be positive, got {width}")
+        if num_rows < 0:
+            raise ValidationError(f"num_rows must be non-negative, got {num_rows}")
+        if len(columns) != width:
+            raise ValidationError(
+                f"expected {width} columns, got {len(columns)}"
+            )
+        row_universe = full_mask(num_rows)
+        index = cls.__new__(cls)
+        index.width = width
+        index.num_rows = num_rows
+        index.all_rows = row_universe
+        index.columns = list(columns)
+        index.used_attributes = 0
+        for attribute, column in enumerate(index.columns):
+            if column:
+                if column & ~row_universe:
+                    raise ValidationError(
+                        f"column {attribute} has bits beyond row {num_rows - 1}"
+                    )
+                index.used_attributes |= 1 << attribute
+        index.or_ops = 0
+        index.and_ops = 0
+        index.popcount_ops = 0
+        return index
 
     # -- primitive views ---------------------------------------------------------
 

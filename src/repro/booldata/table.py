@@ -71,6 +71,36 @@ class BooleanTable:
         """Build from rows given as attribute-name sets."""
         return cls(schema, (schema.mask_of(names) for names in name_rows))
 
+    @classmethod
+    def adopting(
+        cls,
+        schema: Schema,
+        rows: list[int],
+        index: VerticalIndex | None = None,
+    ) -> "BooleanTable":
+        """Adopt already-validated rows (and optionally a matching index).
+
+        Skips per-row mask validation and takes ownership of ``rows``
+        directly — the caller guarantees every mask fits ``schema`` and,
+        when ``index`` is given, that it equals a fresh
+        :class:`~repro.booldata.index.VerticalIndex` over exactly these
+        rows.  This is how the streaming engine (:mod:`repro.stream`)
+        snapshots a window in O(rows) pointer copies instead of re-paying
+        validation and transposition on every tick.
+        """
+        if index is not None and (
+            index.width != schema.width or index.num_rows != len(rows)
+        ):
+            raise ValidationError(
+                f"adopted index ({index.width}x{index.num_rows}) does not match "
+                f"table ({schema.width}x{len(rows)})"
+            )
+        table = cls.__new__(cls)
+        table.schema = schema
+        table._rows = rows
+        table._index = index
+        return table
+
     def append(self, row: int) -> None:
         self._rows.append(self.schema.validate_mask(row))
         self._index = None  # row positions shifted under the index

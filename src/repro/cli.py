@@ -10,6 +10,7 @@ code::
         --budget 5
     python -m repro inventory --log queries.csv --database cars.csv \
         --budget 3 --jobs 4
+    python -m repro stream --window 500 --cache-size 64 --deadline-ms 250
 
 ``--log`` accepts a ``.csv`` (0/1 matrix with header) or ``.json``
 (attribute-name rows) file; the new tuple is either a comma-separated
@@ -250,6 +251,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="abandon pool tasks still unfinished after this budget and "
         "recompute them through the degraded greedy tier",
     )
+
+    stream = commands.add_parser(
+        "stream",
+        help="replay a drifting workload through the streaming engine",
+        epilog=_EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    stream.add_argument(
+        "--width", type=int, default=16, help="schema width (default 16)"
+    )
+    stream.add_argument(
+        "--size", type=int, default=2000,
+        help="queries to replay (default 2000)",
+    )
+    stream.add_argument(
+        "--window", type=int, default=500,
+        help="sliding-window size in queries (default 500)",
+    )
+    stream.add_argument(
+        "--compact-threshold",
+        dest="compact_threshold",
+        type=float,
+        default=0.5,
+        help="tombstone fraction that triggers index compaction "
+        "(default 0.5)",
+    )
+    stream.add_argument(
+        "--budget", "-m", type=int, default=4,
+        help="attributes to retain (default 4)",
+    )
+    stream.add_argument("--seed", type=int, default=0, help="workload seed")
+    stream.add_argument(
+        "--check-every",
+        dest="check_every",
+        type=int,
+        default=50,
+        help="queries between monitor status checks (default 50)",
+    )
+    stream.add_argument(
+        "--cache-size",
+        dest="cache_size",
+        type=int,
+        default=64,
+        help="solve-cache capacity; 0 disables caching (default 64)",
+    )
+    stream.add_argument(
+        "--no-stale",
+        dest="no_stale",
+        action="store_true",
+        help="disable stale-while-revalidate serving of the last-known-good "
+        "mask when a deadline-bounded refresh fails",
+    )
+    stream.add_argument(
+        "--deadline-ms",
+        dest="deadline_ms",
+        type=float,
+        default=None,
+        help="wall-clock budget per re-optimization; served through the "
+        "anytime harness",
+    )
+    stream.add_argument(
+        "--chain",
+        default=None,
+        metavar="CHAIN",
+        help="re-optimization fallback chain, comma-separated primary first "
+        "(default ILP,MaxFreqItemSets,ConsumeAttrCumul)",
+    )
+    stream.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="vertical",
+        help="evaluation engine for solver inner loops (default vertical)",
+    )
     return parser
 
 
@@ -465,6 +539,62 @@ def _run_inventory(args) -> int:
     return 0
 
 
+def _run_stream(args) -> int:
+    from repro.stream import ReplayConfig, replay_drift
+
+    if args.cache_size < 0:
+        raise ValidationError(
+            f"--cache-size must be non-negative, got {args.cache_size}"
+        )
+    chain = None
+    if args.chain is not None:
+        chain = tuple(name.strip() for name in args.chain.split(",") if name.strip())
+        if not chain:
+            raise ValidationError("--chain needs at least one algorithm name")
+    config = ReplayConfig(
+        width=args.width,
+        size=args.size,
+        window=args.window,
+        compact_threshold=args.compact_threshold,
+        budget=args.budget,
+        seed=args.seed,
+        check_every=args.check_every,
+        cache_size=args.cache_size or None,
+        stale_while_revalidate=not args.no_stale,
+        deadline_ms=args.deadline_ms,
+        chain=chain,
+        engine=args.engine,
+    )
+    report = replay_drift(config)
+    print(
+        f"stream: {report.queries} queries through a window of "
+        f"{config.window} (width {config.width}, budget {config.budget})"
+    )
+    print(f"hits: {report.hits} ({report.hit_rate:.1%})")
+    outcomes = ", ".join(
+        f"{status} {count}" for status, count in sorted(report.outcomes.items())
+    )
+    print(
+        f"reoptimizations: {report.reoptimizations} over {report.checks} checks"
+        + (f" ({outcomes})" if outcomes else "")
+    )
+    if report.cache is not None:
+        cache = report.cache
+        print(
+            f"cache: {cache['hits']} hits, {cache['misses']} misses, "
+            f"{cache['stale_serves']} stale, {cache['evictions']} evicted"
+        )
+    else:
+        print("cache: disabled")
+    print(f"index: epoch {report.epoch}, compactions {report.compactions}")
+    status = report.final_status
+    print(
+        f"final: realized {status.realized} of achievable {status.achievable} "
+        f"({status.realized_share:.1%})"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -482,6 +612,8 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         if args.command == "inventory":
             return _run_inventory(args)
+        if args.command == "stream":
+            return _run_stream(args)
         return _run_solve(args)
     except ValidationError as error:
         return _fail(error, EXIT_VALIDATION)

@@ -51,6 +51,19 @@ class VisibilityProblem:
         """SOC-CB-D: maximize the number of dominated database tuples."""
         return cls(database, new_tuple, budget)
 
+    @classmethod
+    def from_stream(cls, stream, new_tuple: int, budget: int) -> "VisibilityProblem":
+        """Snapshot a streaming log into a solvable problem instance.
+
+        ``stream`` is any object with a ``snapshot() -> BooleanTable``
+        method — in practice a :class:`repro.stream.StreamingLog`, whose
+        snapshot arrives with the incrementally-maintained vertical
+        index already attached, so the solve pays no table rebuild or
+        transposition.  The problem is frozen at the snapshot's epoch;
+        later stream mutations do not leak into it.
+        """
+        return cls(stream.snapshot(), new_tuple, budget)
+
     # -- derived views -----------------------------------------------------------
 
     @property

@@ -25,12 +25,27 @@ __all__ = ["drifting_workload", "interest_profile"]
 def interest_profile(schema: Schema, popular: Sequence[str], boost: float = 8.0,
                      base: float = 0.2) -> list[float]:
     """Attribute weights concentrating interest on ``popular`` names."""
+    if base <= 0:
+        raise ValidationError(f"base weight must be positive, got {base}")
     if boost <= base:
         raise ValidationError("boost must exceed the base weight")
     weights = [base] * schema.width
     for name in popular:
         weights[schema.index_of(name)] = boost
     return weights
+
+
+def _validate_weights(name: str, weights: Sequence[float], width: int) -> None:
+    """Reject weight vectors the sampler would silently mis-draw from."""
+    if len(weights) != width:
+        raise ValidationError("weight vectors must match the schema width")
+    for weight in weights:
+        if weight < 0:
+            raise ValidationError(
+                f"{name} weights must be non-negative, got {weight}"
+            )
+    if sum(weights) <= 0:
+        raise ValidationError(f"{name} weights must not all be zero")
 
 
 def drifting_workload(
@@ -50,8 +65,8 @@ def drifting_workload(
     """
     if size < 0:
         raise ValidationError("size must be non-negative")
-    if len(start_weights) != schema.width or len(end_weights) != schema.width:
-        raise ValidationError("weight vectors must match the schema width")
+    _validate_weights("start", start_weights, schema.width)
+    _validate_weights("end", end_weights, schema.width)
     rng = ensure_rng(seed)
     distribution = size_distribution or PAPER_SIZE_DISTRIBUTION
     rows = []

@@ -91,6 +91,16 @@ DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
      "(status=completed|failed|straggler).", ("status",)),
     ("counter", "repro_parallel_stragglers_total",
      "Straggler tasks abandoned and recomputed via the degraded fallback.", ()),
+    ("counter", "repro_stream_appends_total",
+     "Queries appended to streaming logs.", ()),
+    ("counter", "repro_stream_retires_total",
+     "Queries retired (aged out) from streaming logs.", ()),
+    ("counter", "repro_stream_compactions_total",
+     "Streaming-log compactions (tombstone threshold crossings).", ()),
+    ("counter", "repro_stream_cache_lookups_total",
+     "Solve-cache lookups (result=hit|miss|stale).", ("result",)),
+    ("counter", "repro_stream_cache_evictions_total",
+     "Solve-cache entries evicted by the LRU bound.", ()),
     ("histogram", "repro_solver_solve_seconds",
      "Wall-clock latency of Solver.solve.", ("algorithm",)),
     ("histogram", "repro_harness_run_seconds",
@@ -101,6 +111,10 @@ DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
      "Wall-clock latency of marketplace query serving.", ()),
     ("histogram", "repro_parallel_task_seconds",
      "Wall-clock latency of one parallel task, dispatch to merge.", ()),
+    ("histogram", "repro_stream_compact_seconds",
+     "Wall-clock latency of streaming-log compaction.", ()),
+    ("histogram", "repro_stream_cache_solve_seconds",
+     "Wall-clock latency of uncached solves behind the solve cache.", ()),
 )
 
 

@@ -17,6 +17,7 @@ from repro.booldata.table import BooleanTable
 from repro.common.errors import ValidationError
 from repro.obs.recorder import get_recorder
 from repro.retrieval.scoring import GlobalScore
+from repro.stream.log import StreamingLog
 
 __all__ = ["PostedAd", "Marketplace"]
 
@@ -32,11 +33,20 @@ class PostedAd:
 
 @dataclass
 class Marketplace:
-    """Hosts ads over one schema and replays query traffic against them."""
+    """Hosts ads over one schema and replays query traffic against them.
+
+    An optional ``stream`` (a :class:`repro.stream.StreamingLog` over the
+    same schema) turns the marketplace into a continuously-served venue:
+    :meth:`ingest` answers each arriving query *and* records it into the
+    sliding traffic window, and :meth:`post_optimized_ad` can then
+    compress new tuples against that live window without the caller
+    assembling a :class:`BooleanTable` per posting.
+    """
 
     schema: Schema
     page_size: int | None = None  # None = Boolean retrieval, no cap
     scoring: GlobalScore | None = None
+    stream: StreamingLog | None = None
     _ads: list[PostedAd] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -44,6 +54,8 @@ class Marketplace:
             raise ValidationError("page_size must be >= 1 when set")
         if self.page_size is not None and self.scoring is None:
             raise ValidationError("top-k mode needs a scoring function")
+        if self.stream is not None and self.stream.schema != self.schema:
+            raise ValidationError("traffic stream schema differs from marketplace schema")
 
     # -- posting ------------------------------------------------------------
 
@@ -58,8 +70,8 @@ class Marketplace:
         self,
         new_tuple: int,
         budget: int,
-        traffic: BooleanTable,
-        harness,
+        traffic: BooleanTable | StreamingLog | None = None,
+        harness=None,
         label: str = "",
     ) -> tuple[int, object]:
         """Compress ``new_tuple`` against ``traffic`` and post the result.
@@ -70,9 +82,24 @@ class Marketplace:
         instead of blocking the posting.  Returns ``(ad_id, outcome)``;
         when even the fallback chain fails, nothing is posted and
         ``ad_id`` is ``None`` — the outcome says why.
+
+        ``traffic`` may be a static :class:`BooleanTable`, a
+        :class:`repro.stream.StreamingLog` (snapshotted at its current
+        epoch), or ``None`` to use the marketplace's own attached
+        stream.
         """
         from repro.core.problem import VisibilityProblem
 
+        if harness is None:
+            raise ValidationError("post_optimized_ad needs a harness")
+        if traffic is None:
+            traffic = self.stream
+            if traffic is None:
+                raise ValidationError(
+                    "post_optimized_ad needs traffic (argument or attached stream)"
+                )
+        if isinstance(traffic, StreamingLog):
+            traffic = traffic.snapshot()
         if traffic.schema != self.schema:
             raise ValidationError("traffic schema differs from marketplace schema")
         problem = VisibilityProblem(traffic, new_tuple, budget)
@@ -92,6 +119,30 @@ class Marketplace:
 
     def __len__(self) -> int:
         return len(self._ads)
+
+    # -- streaming ingestion --------------------------------------------------
+
+    def ingest(self, query: int) -> list[int]:
+        """Serve one arriving query and record it into the traffic stream.
+
+        The streaming counterpart of :meth:`run_query`: the query earns
+        its impressions against the current ads *and* enters the sliding
+        window that future :meth:`post_optimized_ad` calls optimize
+        against.  Requires an attached stream.
+        """
+        if self.stream is None:
+            raise ValidationError("ingest needs a traffic stream (constructor)")
+        surfaced = self.run_query(query)
+        self.stream.append(query)
+        return surfaced
+
+    def ingest_many(self, queries) -> Counter[int]:
+        """Ingest a batch; returns impressions per ad along the way."""
+        impressions: Counter[int] = Counter()
+        for query in queries:
+            for ad_id in self.ingest(query):
+                impressions[ad_id] += 1
+        return impressions
 
     # -- traffic -------------------------------------------------------------
 

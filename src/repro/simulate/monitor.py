@@ -11,7 +11,6 @@ realized share drops below a tolerance.
 from __future__ import annotations
 
 import time
-from collections import deque
 from dataclasses import dataclass
 
 from repro.booldata.table import BooleanTable
@@ -20,6 +19,8 @@ from repro.core.base import Solver
 from repro.core.greedy import ConsumeAttrSolver
 from repro.core.problem import VisibilityProblem
 from repro.obs.recorder import get_recorder
+from repro.stream.cache import SolveCache
+from repro.stream.log import StreamingLog
 
 __all__ = ["MonitorStatus", "VisibilityMonitor"]
 
@@ -55,6 +56,16 @@ class VisibilityMonitor:
     :class:`repro.runtime.CircuitBreaker`, a persistently failing exact
     tier is skipped in favour of the greedy safety net until the
     cooldown elapses.
+
+    The window rides a :class:`repro.stream.StreamingLog`, so a tick is
+    O(delta): each observed query merges into the incrementally
+    maintained vertical index, and ``status()`` / ``reoptimize()`` in
+    the same tick share one epoch-cached window snapshot instead of
+    materializing the table twice.  ``cache_size`` (optional) adds a
+    :class:`repro.stream.SolveCache` in front of the estimator and the
+    harness, memoizing solves against an unchanged window;
+    ``stale_while_revalidate`` additionally serves the last-known-good
+    mask when a deadline-bounded refresh fails outright.
     """
 
     def __init__(
@@ -67,6 +78,9 @@ class VisibilityMonitor:
         tolerance: float = 0.8,
         estimator: Solver | None = None,
         harness=None,
+        compact_threshold: float = 0.5,
+        cache_size: int | None = None,
+        stale_while_revalidate: bool = False,
     ) -> None:
         schema.validate_mask(new_tuple)
         schema.validate_mask(keep_mask)
@@ -85,19 +99,27 @@ class VisibilityMonitor:
         self.tolerance = tolerance
         self.estimator = estimator or ConsumeAttrSolver()
         self.harness = harness
-        self._window: deque[int] = deque(maxlen=window_size)
+        self.stream = StreamingLog(
+            schema, window_size=window_size, compact_threshold=compact_threshold
+        )
+        self.cache = (
+            SolveCache(
+                self.stream,
+                capacity=cache_size,
+                stale_while_revalidate=stale_while_revalidate,
+            )
+            if cache_size is not None
+            else None
+        )
         self._realized = 0
 
     # -- stream ingestion ------------------------------------------------------
 
     def observe(self, query: int) -> bool:
         """Ingest one query; returns whether the current ad satisfied it."""
-        self.schema.validate_mask(query)
-        if len(self._window) == self._window.maxlen:
-            evicted = self._window[0]
-            if evicted & self.keep_mask == evicted:
-                self._realized -= 1
-        self._window.append(query)
+        evicted = self.stream.append(query)
+        if evicted is not None and evicted & self.keep_mask == evicted:
+            self._realized -= 1
         hit = query & self.keep_mask == query
         if hit:
             self._realized += 1
@@ -116,17 +138,28 @@ class VisibilityMonitor:
 
     @property
     def window(self) -> BooleanTable:
-        return BooleanTable(self.schema, list(self._window))
+        """The current window as a table (epoch-cached snapshot).
+
+        Repeated accesses between observations — e.g. ``status()`` plus
+        ``reoptimize()`` in one tick — return the same materialization,
+        with the incrementally maintained vertical index attached.
+        """
+        return self.stream.snapshot()
 
     def status(self) -> MonitorStatus:
         """Current realized-vs-achievable assessment."""
-        window = self.window
-        if not len(window):
+        if not len(self.stream):
             return MonitorStatus(0, 0, 0, False)
-        problem = VisibilityProblem(window, self.new_tuple, self.budget)
-        achievable = self.estimator.solve(problem).satisfied
+        if self.cache is not None:
+            solution = self.cache.solve(self.new_tuple, self.budget, self.estimator)
+        else:
+            problem = VisibilityProblem.from_stream(
+                self.stream, self.new_tuple, self.budget
+            )
+            solution = self.estimator.solve(problem)
+        achievable = solution.satisfied
         should = self._realized < self.tolerance * achievable
-        return MonitorStatus(len(window), self._realized, achievable, should)
+        return MonitorStatus(len(self.stream), self._realized, achievable, should)
 
     def reoptimize(self, solver: Solver) -> int:
         """Re-select attributes against the current window; returns the mask.
@@ -134,11 +167,15 @@ class VisibilityMonitor:
         Resets the realized counter to the new selection's performance
         over the retained window.
         """
-        window = self.window
-        if not len(window):
+        if not len(self.stream):
             return self.keep_mask
-        problem = VisibilityProblem(window, self.new_tuple, self.budget)
-        solution = solver.solve(problem)
+        if self.cache is not None:
+            solution = self.cache.solve(self.new_tuple, self.budget, solver)
+        else:
+            problem = VisibilityProblem.from_stream(
+                self.stream, self.new_tuple, self.budget
+            )
+            solution = solver.solve(problem)
         self._adopt(solution.keep_mask)
         return self.keep_mask
 
@@ -159,17 +196,15 @@ class VisibilityMonitor:
             raise ValidationError(
                 "reoptimize_anytime needs a harness (argument or constructor)"
             )
-        window = self.window
-        if not len(window):
+        if not len(self.stream):
             return None
-        problem = VisibilityProblem(window, self.new_tuple, self.budget)
         recorder = get_recorder()
         if not recorder.enabled:
-            outcome = harness.run(problem)
+            outcome = self._run_reoptimize(harness)
         else:
             start = time.perf_counter()
-            with recorder.span("monitor.reoptimize", window=len(window)):
-                outcome = harness.run(problem)
+            with recorder.span("monitor.reoptimize", window=len(self.stream)):
+                outcome = self._run_reoptimize(harness)
             recorder.observe(
                 "repro_monitor_reoptimize_seconds", time.perf_counter() - start
             )
@@ -180,8 +215,16 @@ class VisibilityMonitor:
             self._adopt(outcome.solution.keep_mask)
         return outcome
 
+    def _run_reoptimize(self, harness):
+        if self.cache is not None:
+            return self.cache.run(self.new_tuple, self.budget, harness)
+        problem = VisibilityProblem.from_stream(
+            self.stream, self.new_tuple, self.budget
+        )
+        return harness.run(problem)
+
     def _adopt(self, keep_mask: int) -> None:
         self.keep_mask = keep_mask
         self._realized = sum(
-            1 for query in self._window if query & self.keep_mask == query
+            1 for query in self.stream if query & self.keep_mask == query
         )

@@ -1,0 +1,37 @@
+"""Streaming query-log engine: incremental indexes, versioned solve caching.
+
+The static pipeline solves one :class:`~repro.core.problem.VisibilityProblem`
+against one frozen log; this package makes the *serving* path
+incremental for continuously arriving traffic:
+
+* :class:`~repro.stream.index.DeltaVerticalIndex` — attribute-major
+  index maintained in place under appends (per-epoch delta buffers),
+  retires (tombstone row mask) and threshold-triggered compaction,
+  always answer-equivalent to a fresh rebuild;
+* :class:`~repro.stream.log.StreamingLog` — the sliding-window query
+  log riding that index, with an epoch version tag and epoch-cached
+  :class:`~repro.booldata.table.BooleanTable` snapshots;
+* :class:`~repro.stream.cache.SolveCache` — epoch-versioned, LRU-bounded
+  memoization of solver results, with stale-while-revalidate serving
+  through the :class:`~repro.runtime.SolverHarness` deadline machinery;
+* :func:`~repro.stream.replay.replay_drift` — the drifting-workload
+  replay driver behind the ``stream`` CLI subcommand and benchmarks.
+
+``repro.simulate``'s :class:`~repro.simulate.monitor.VisibilityMonitor`
+and :class:`~repro.simulate.marketplace.Marketplace` ride these types on
+their serving paths.
+"""
+
+from repro.stream.cache import SolveCache
+from repro.stream.index import DeltaVerticalIndex
+from repro.stream.log import StreamingLog
+from repro.stream.replay import ReplayConfig, ReplayReport, replay_drift
+
+__all__ = [
+    "DeltaVerticalIndex",
+    "ReplayConfig",
+    "ReplayReport",
+    "SolveCache",
+    "StreamingLog",
+    "replay_drift",
+]

@@ -1,0 +1,204 @@
+"""Versioned memoization of solver results over a streaming log.
+
+A :class:`SolveCache` sits between the serving layer and the solvers:
+repeated solves of the same ``(new_tuple, budget)`` against an unchanged
+window return the cached :class:`~repro.core.problem.Solution` instead
+of re-running the solver.  Consistency comes from versioning, not
+invalidation hooks: every key embeds the owning
+:class:`~repro.stream.log.StreamingLog`'s **epoch**, which bumps on each
+append/retire, so a mutation makes every previous key unreachable — a
+cached answer can never be served against window content it was not
+computed for.  An LRU bound keeps the dead epochs from accumulating.
+
+The cache also implements **stale-while-revalidate** for the harness
+path: when a deadline-bounded :class:`~repro.runtime.SolverHarness` run
+comes back ``failed`` (nothing completed, no incumbent), the cache can
+serve the last-known-good keep-mask for the same ``(new_tuple, budget,
+chain)`` — re-evaluated against the *current* window, so the reported
+objective is honest even though the selection is old.  Such outcomes
+carry status ``"stale"`` and ``stats["stale"] = True`` on the solution.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import replace
+
+from repro.common.errors import ValidationError
+from repro.core.base import Solver
+from repro.core.problem import Solution, VisibilityProblem
+from repro.obs.recorder import get_recorder
+from repro.stream.log import StreamingLog
+
+__all__ = ["SolveCache"]
+
+#: RunOutcome status for a failed run answered from the last-known-good mask
+STALE_STATUS = "stale"
+
+
+class SolveCache:
+    """LRU-bounded, epoch-versioned cache of solver results.
+
+    ``capacity`` bounds the number of retained entries across all epochs;
+    ``stale_while_revalidate`` enables serving the last-known-good mask
+    when a harness run fails outright (see module docstring).
+    """
+
+    def __init__(
+        self,
+        log: StreamingLog,
+        capacity: int = 128,
+        stale_while_revalidate: bool = False,
+    ) -> None:
+        if capacity < 1:
+            raise ValidationError(f"capacity must be >= 1, got {capacity}")
+        self.log = log
+        self.capacity = capacity
+        self.stale_while_revalidate = stale_while_revalidate
+        #: (new_tuple, budget, solver_name, epoch) -> Solution | RunOutcome
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        #: (new_tuple, budget, solver_name) -> last-known-good Solution
+        self._latest: dict[tuple, Solution] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stale_serves = 0
+        self.evictions = 0
+
+    # -- the two solve paths -----------------------------------------------------
+
+    def solve(self, new_tuple: int, budget: int, solver: Solver) -> Solution:
+        """Solve through ``solver``, memoized at the current epoch.
+
+        A hit returns the exact :class:`Solution` object the uncached
+        solve produced — same mask, same objective, same stats.
+        """
+        key = (new_tuple, budget, solver.name, self.log.epoch)
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        recorder = get_recorder()
+        start = time.perf_counter()
+        solution = solver.solve(
+            VisibilityProblem.from_stream(self.log, new_tuple, budget)
+        )
+        if recorder.enabled:
+            recorder.observe(
+                "repro_stream_cache_solve_seconds", time.perf_counter() - start
+            )
+        self._store(key, solution, solution)
+        return solution
+
+    def run(self, new_tuple: int, budget: int, harness, deadline_ms=...):
+        """Solve through a :class:`~repro.runtime.SolverHarness`, memoized.
+
+        Returns the harness's :class:`~repro.runtime.RunOutcome`.  A
+        usable outcome (any status with a solution) is cached under the
+        current epoch.  A ``failed`` outcome is where
+        stale-while-revalidate kicks in: if a previous run of the same
+        ``(new_tuple, budget, chain)`` produced a solution, its keep-mask
+        is re-evaluated against the current window and served as a
+        ``"stale"`` outcome instead of a failure — the deadline machinery
+        already bounded the refresh attempt, so serving stale costs one
+        objective evaluation on top.
+        """
+        name = "/".join(harness.chain)
+        key = (new_tuple, budget, name, self.log.epoch)
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        problem = VisibilityProblem.from_stream(self.log, new_tuple, budget)
+        outcome = harness.run(problem, deadline_ms=deadline_ms)
+        if outcome.solution is not None:
+            self._store(key, outcome, outcome.solution)
+            return outcome
+        latest_key = (new_tuple, budget, name)
+        latest = self._latest.get(latest_key)
+        if self.stale_while_revalidate and latest is not None:
+            satisfied = problem.evaluate(latest.keep_mask)
+            stale_solution = Solution(
+                problem=problem,
+                keep_mask=latest.keep_mask,
+                satisfied=satisfied,
+                algorithm=latest.algorithm,
+                optimal=False,
+                stats={"stale": True},
+            )
+            outcome = replace(outcome, status=STALE_STATUS, solution=stale_solution)
+            self.stale_serves += 1
+            recorder = get_recorder()
+            if recorder.enabled:
+                recorder.count(
+                    "repro_stream_cache_lookups_total", 1, {"result": "stale"}
+                )
+            # cache it: re-running a failing refresh within the same
+            # epoch would burn the deadline again for the same answer
+            self._insert(key, outcome)
+        return outcome
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _lookup(self, key: tuple):
+        recorder = get_recorder()
+        if recorder.enabled:
+            with recorder.span(
+                "cache.lookup", solver=key[2], epoch=key[3]
+            ) as span:
+                entry = self._touch(key)
+                span.set(result="hit" if entry is not None else "miss")
+            recorder.count(
+                "repro_stream_cache_lookups_total",
+                1,
+                {"result": "hit" if entry is not None else "miss"},
+            )
+        else:
+            entry = self._touch(key)
+        if entry is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return entry
+
+    def _touch(self, key: tuple):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def _store(self, key: tuple, entry: object, solution: Solution) -> None:
+        self._insert(key, entry)
+        self._latest[(key[0], key[1], key[2])] = solution
+
+    def _insert(self, key: tuple, entry: object) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            recorder = get_recorder()
+            if recorder.enabled:
+                recorder.count("repro_stream_cache_evictions_total")
+
+    def invalidate(self) -> None:
+        """Drop every entry, including the last-known-good masks."""
+        self._entries.clear()
+        self._latest.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        """Counters for reports and tests."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale_serves": self.stale_serves,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SolveCache(entries={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, stale={self.stale_serves})"
+        )

@@ -1,0 +1,278 @@
+"""Incrementally maintained vertical index over a mutating row set.
+
+A :class:`DeltaVerticalIndex` answers the same questions as a
+:class:`~repro.booldata.index.VerticalIndex` — satisfied counts,
+co-occurrence, complemented-log support, attribute frequencies — over a
+row set that *mutates*: rows are appended at the tail and retired from
+the head (the sliding-window pattern of :class:`~repro.stream.log.StreamingLog`).
+
+Three mechanisms keep every mutation cheap:
+
+* **per-epoch delta buffers** — appended rows accumulate in a pending
+  list and are transposed *once* per query epoch
+  (:func:`~repro.booldata.index.build_columns` over the batch, then one
+  shift+OR per occupied attribute via
+  :func:`~repro.booldata.index.merge_columns`), so ``k`` appends between
+  queries cost one O(k)-row transposition, not ``k`` index rebuilds;
+* **a tombstone row mask** — retiring a row clears its bit in the live
+  mask and leaves its column bits in place as *stale* bits; every answer
+  intersects with the live mask, which cancels stale bits exactly, so a
+  retire is O(1);
+* **threshold-triggered compaction** — once tombstones exceed a fraction
+  of the slot space, :meth:`compact` renumbers the surviving rows to
+  positions ``0..n-1`` (a single shift per column in the prefix case,
+  a linear rebuild otherwise), bounding both memory and the per-answer
+  word count.
+
+The maintenance contract, asserted by the property tests: after *any*
+mutation sequence, every answer equals the one a fresh
+:class:`~repro.booldata.index.VerticalIndex` over the surviving rows
+would give, and :meth:`materialize` produces that fresh index
+bit-for-bit without re-reading the rows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.booldata.index import (
+    VerticalIndex,
+    build_columns,
+    merge_columns,
+    shift_columns,
+)
+from repro.common.bits import bit_indices, full_mask
+from repro.common.errors import ValidationError
+
+__all__ = ["DeltaVerticalIndex"]
+
+
+class DeltaVerticalIndex:
+    """Attribute-major index with append deltas, tombstones and compaction.
+
+    Row positions ("slots") are assigned in append order and survive
+    retires until the next compaction, so between compactions the live
+    rows occupy a *subset* of ``[0, slots)`` and the bitsets returned by
+    the ``*_rows`` methods are numbered in slot space.  Counts are
+    position-independent and match a fresh rebuild exactly.
+
+    >>> index = DeltaVerticalIndex(3)
+    >>> [index.append(row) for row in (0b011, 0b101, 0b001)]  # slot per row
+    [0, 1, 2]
+    >>> index.satisfied_count(0b011)   # rows that are subsets of {0, 1}
+    2
+    >>> index.retire(0)                # tombstone the first row
+    >>> index.satisfied_count(0b011)
+    1
+    """
+
+    __slots__ = ("width", "_columns", "_slots", "_tombstones", "_dead", "_pending")
+
+    def __init__(self, width: int, rows: Sequence[int] = ()) -> None:
+        if width <= 0:
+            raise ValidationError(f"width must be positive, got {width}")
+        self.width = width
+        self._columns: list[int] = [0] * width
+        #: merged slot count; pending rows sit above this watermark
+        self._slots = 0
+        #: bitset of retired slot positions
+        self._tombstones = 0
+        self._dead = 0
+        #: appended masks not yet transposed into the columns
+        self._pending: list[int] = []
+        for row in rows:
+            self.append(row)
+
+    # -- mutation ----------------------------------------------------------------
+
+    def append(self, row: int) -> int:
+        """Add one row mask; returns the slot it will occupy."""
+        if not isinstance(row, int) or row < 0 or row >> self.width:
+            raise ValidationError(f"row {row!r} out of range for width {self.width}")
+        slot = self._slots + len(self._pending)
+        self._pending.append(row)
+        return slot
+
+    def retire(self, slot: int) -> None:
+        """Tombstone the row at ``slot``; its column bits become stale."""
+        if not 0 <= slot < self._slots + len(self._pending):
+            raise ValidationError(f"slot {slot} out of range")
+        if slot >= self._slots:
+            # the row is still in the delta buffer; merge so the
+            # tombstone has a column bit to shadow
+            self._flush()
+        bit = 1 << slot
+        if self._tombstones & bit:
+            raise ValidationError(f"slot {slot} is already retired")
+        self._tombstones |= bit
+        self._dead += 1
+
+    def compact(self, survivors: Sequence[int] | None = None) -> int:
+        """Renumber the live rows to slots ``0..n-1``; returns ``n``.
+
+        When the tombstones form a prefix of the slot space (sliding
+        windows always retire the head) the columns shift right in one
+        wide operation each; otherwise the columns are rebuilt from
+        ``survivors``, the live row masks in slot order, which the owner
+        must supply (the general path has no way to "close ranks" inside
+        a column without per-row work anyway).
+        """
+        self._flush()
+        if self._dead == 0:
+            return self._slots
+        if self._tombstones == full_mask(self._dead):
+            self._columns = shift_columns(self._columns, self._dead)
+        else:
+            if survivors is None:
+                raise ValidationError(
+                    "non-prefix tombstones need the surviving rows to compact"
+                )
+            if len(survivors) != self._slots - self._dead:
+                raise ValidationError(
+                    f"expected {self._slots - self._dead} survivors, "
+                    f"got {len(survivors)}"
+                )
+            self._columns = build_columns(self.width, survivors)
+        self._slots -= self._dead
+        self._tombstones = 0
+        self._dead = 0
+        return self._slots
+
+    def _flush(self) -> None:
+        """Transpose the pending delta and merge it into the columns."""
+        if not self._pending:
+            return
+        delta = build_columns(self.width, self._pending)
+        merge_columns(self._columns, delta, self._slots)
+        self._slots += len(self._pending)
+        self._pending.clear()
+
+    # -- shape -------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Number of live (non-retired) rows."""
+        return self._slots + len(self._pending) - self._dead
+
+    @property
+    def slots(self) -> int:
+        """Total slot positions, live and tombstoned (pending included)."""
+        return self._slots + len(self._pending)
+
+    @property
+    def tombstones(self) -> int:
+        """Bitset of retired slot positions."""
+        return self._tombstones
+
+    @property
+    def dead_fraction(self) -> float:
+        """Fraction of the slot space occupied by tombstones."""
+        total = self.slots
+        return self._dead / total if total else 0.0
+
+    def live_rows(self) -> int:
+        """Bitset of live slot positions (the answer universe)."""
+        self._flush()
+        return full_mask(self._slots) & ~self._tombstones
+
+    # -- answers (the VerticalIndex API, live-masked) ----------------------------
+
+    def column(self, attribute: int) -> int:
+        """Live-row bitset for ``attribute`` (stale bits masked out)."""
+        live = self.live_rows()
+        return self._columns[attribute] & live
+
+    def violators(self, attributes: int) -> int:
+        """Live rows containing *any* attribute of ``attributes``."""
+        live = self.live_rows()
+        acc = 0
+        for attribute in bit_indices(attributes):
+            acc |= self._columns[attribute]
+        return acc & live
+
+    def satisfied_rows(self, keep_mask: int, within: int | None = None) -> int:
+        """Live rows that, read as conjunctive queries, retrieve ``keep_mask``."""
+        live = self.live_rows()
+        rows = live if within is None else within & live
+        acc = 0
+        for attribute in range(self.width):
+            if not keep_mask >> attribute & 1:
+                acc |= self._columns[attribute]
+        return rows & ~acc
+
+    def satisfied_count(self, keep_mask: int, within: int | None = None) -> int:
+        """Number of live rows retrieved by ``keep_mask``."""
+        return self.satisfied_rows(keep_mask, within).bit_count()
+
+    def cooccurring_rows(self, attributes: int, within: int | None = None) -> int:
+        """Live rows containing *every* attribute of ``attributes``."""
+        live = self.live_rows()
+        rows = live if within is None else within & live
+        remaining = attributes
+        while remaining and rows:
+            low = remaining & -remaining
+            rows &= self._columns[low.bit_length() - 1]
+            remaining ^= low
+        return rows
+
+    def cooccurrence_count(self, attributes: int, within: int | None = None) -> int:
+        """Number of live rows containing every attribute of ``attributes``."""
+        return self.cooccurring_rows(attributes, within).bit_count()
+
+    def disjoint_rows(self, itemset: int, within: int | None = None) -> int:
+        """Live rows sharing no attribute with ``itemset``."""
+        live = self.live_rows()
+        rows = live if within is None else within & live
+        acc = 0
+        for attribute in bit_indices(itemset):
+            acc |= self._columns[attribute]
+        return rows & ~acc
+
+    def disjoint_count(self, itemset: int, within: int | None = None) -> int:
+        """Complemented-log support of ``itemset`` over the live rows."""
+        return self.disjoint_rows(itemset, within).bit_count()
+
+    def attribute_frequencies(
+        self, pool: int | None = None, within: int | None = None
+    ) -> list[int]:
+        """Per-attribute live occurrence counts (``pool``/``within`` as in
+        :meth:`VerticalIndex.attribute_frequencies`)."""
+        live = self.live_rows()
+        rows = live if within is None else within & live
+        counts = [0] * self.width
+        attributes = range(self.width) if pool is None else bit_indices(pool)
+        for attribute in attributes:
+            counts[attribute] = (self._columns[attribute] & rows).bit_count()
+        return counts
+
+    # -- materialisation ---------------------------------------------------------
+
+    def materialize(self, survivors: Sequence[int] | None = None) -> VerticalIndex:
+        """A :class:`VerticalIndex` bit-for-bit equal to a fresh rebuild.
+
+        Prefix tombstones (the sliding-window invariant) cost one shift
+        per column — the stale prefix bits fall off the end, so the
+        result is *exactly* the index ``VerticalIndex(width, live_rows)``
+        would build, and any consumer that adopts raw columns (e.g.
+        :meth:`~repro.mining.transactions.TransactionDatabase.from_boolean_table`)
+        sees contiguous, hole-free row numbering.  Non-prefix tombstones
+        fall back to a rebuild from ``survivors``.
+        """
+        self._flush()
+        if self._dead == 0:
+            columns = list(self._columns)
+        elif self._tombstones == full_mask(self._dead):
+            columns = shift_columns(self._columns, self._dead)
+        else:
+            if survivors is None:
+                raise ValidationError(
+                    "non-prefix tombstones need the surviving rows to materialize"
+                )
+            columns = build_columns(self.width, survivors)
+        return VerticalIndex.from_columns(self.width, self.num_rows, columns)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaVerticalIndex(width={self.width}, live={self.num_rows}, "
+            f"slots={self.slots}, tombstones={self._dead})"
+        )

@@ -1,0 +1,233 @@
+"""Sliding-window query log with incremental index maintenance.
+
+:class:`StreamingLog` is the mutable counterpart of a static
+:class:`~repro.booldata.table.BooleanTable` query log: queries are
+appended as they arrive and retired from the head as they age out, and
+the attribute-major index rides along *incrementally* via
+:class:`~repro.stream.index.DeltaVerticalIndex` instead of being
+discarded and rebuilt on every mutation (which is what
+``BooleanTable.append`` has to do).
+
+Every mutation bumps an **epoch** counter.  The epoch is the version tag
+the rest of the streaming stack hangs consistency off: snapshots are
+cached per epoch, and :class:`~repro.stream.cache.SolveCache` keys solver
+results by it, so a cached answer can never outlive the window content
+it was computed against.  Compaction does *not* bump the epoch — it
+renumbers rows without changing the live content, so every answer (and
+every cached solve) stays valid across it.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.booldata.index import VerticalIndex
+from repro.booldata.schema import Schema
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+from repro.obs.recorder import get_recorder
+from repro.stream.index import DeltaVerticalIndex
+
+__all__ = ["StreamingLog"]
+
+
+class StreamingLog:
+    """Append/retire query log whose vertical index is maintained in place.
+
+    ``window_size`` (optional) caps the live row count: an append beyond
+    it retires the oldest query first, so the log behaves as a sliding
+    window.  ``compact_threshold`` is the tombstone fraction that
+    triggers automatic compaction after a retire; retires are strictly
+    FIFO, so tombstones always form a prefix of the slot space and
+    compaction is a single wide shift per column.
+
+    >>> log = StreamingLog(Schema.anonymous(3), window_size=2)
+    >>> log.append(0b011)
+    >>> log.append(0b101)
+    >>> log.append(0b110)       # evicts 0b011
+    3
+    >>> log.rows
+    [5, 6]
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        window_size: int | None = None,
+        compact_threshold: float = 0.5,
+        rows: Iterable[int] = (),
+    ) -> None:
+        if window_size is not None and window_size < 1:
+            raise ValidationError(f"window_size must be >= 1, got {window_size}")
+        if not 0 < compact_threshold <= 1:
+            raise ValidationError(
+                f"compact_threshold must be in (0, 1], got {compact_threshold}"
+            )
+        self.schema = schema
+        self.window_size = window_size
+        self.compact_threshold = compact_threshold
+        self._rows: deque[int] = deque()
+        self._delta = DeltaVerticalIndex(schema.width)
+        #: slot number of the oldest live row (retired slots below it)
+        self._head = 0
+        self._epoch = 0
+        self._compactions = 0
+        self._snapshot: BooleanTable | None = None
+        self._snapshot_epoch = -1
+        for row in rows:
+            self.append(row)
+
+    # -- mutation ----------------------------------------------------------------
+
+    def append(self, query: int) -> int | None:
+        """Ingest one query; returns the evicted query when the window is
+        full, ``None`` otherwise."""
+        self.schema.validate_mask(query)
+        recorder = get_recorder()
+        if recorder.enabled:
+            with recorder.span("stream.append", epoch=self._epoch):
+                evicted = self._append(query)
+            recorder.count("repro_stream_appends_total")
+        else:
+            evicted = self._append(query)
+        return evicted
+
+    def _append(self, query: int) -> int | None:
+        evicted = None
+        if self.window_size is not None and len(self._rows) >= self.window_size:
+            evicted = self._retire_one()
+        self._rows.append(query)
+        self._delta.append(query)
+        self._epoch += 1
+        self._maybe_compact()
+        return evicted
+
+    def extend(self, queries: Iterable[int]) -> list[int]:
+        """Ingest a batch; returns the queries evicted along the way."""
+        evictions = []
+        for query in queries:
+            evicted = self.append(query)
+            if evicted is not None:
+                evictions.append(evicted)
+        return evictions
+
+    def retire(self, count: int = 1) -> list[int]:
+        """Retire the ``count`` oldest queries (FIFO); returns them."""
+        if count < 0:
+            raise ValidationError(f"count must be non-negative, got {count}")
+        if count > len(self._rows):
+            raise ValidationError(
+                f"cannot retire {count} queries from a window of {len(self._rows)}"
+            )
+        retired = [self._retire_one() for _ in range(count)]
+        if retired:
+            self._epoch += 1
+            self._maybe_compact()
+        return retired
+
+    def _retire_one(self) -> int:
+        """Tombstone the head row; the caller owns the epoch bump."""
+        query = self._rows.popleft()
+        self._delta.retire(self._head)
+        self._head += 1
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("repro_stream_retires_total")
+        return query
+
+    def _maybe_compact(self) -> None:
+        if self._delta.dead_fraction >= self.compact_threshold:
+            self.compact()
+
+    def compact(self) -> int:
+        """Renumber live rows to positions ``0..n-1``; returns ``n``.
+
+        Idempotent and content-preserving: answers, snapshots and cached
+        solves all stay valid (the epoch does not change).
+        """
+        if self._head == 0 and not self._delta.tombstones:
+            return len(self._rows)
+        recorder = get_recorder()
+        if recorder.enabled:
+            start = time.perf_counter()
+            with recorder.span(
+                "stream.compact", dead=self._head, live=len(self._rows)
+            ):
+                self._delta.compact()
+            recorder.observe(
+                "repro_stream_compact_seconds", time.perf_counter() - start
+            )
+            recorder.count("repro_stream_compactions_total")
+        else:
+            self._delta.compact()
+        self._head = 0
+        self._compactions += 1
+        return len(self._rows)
+
+    # -- versioning --------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic content version; bumps on every append/retire."""
+        return self._epoch
+
+    @property
+    def compactions(self) -> int:
+        """Number of compactions performed (telemetry / tests)."""
+        return self._compactions
+
+    # -- container protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._rows)
+
+    @property
+    def rows(self) -> list[int]:
+        """The live query masks, oldest first (a copy)."""
+        return list(self._rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingLog(width={self.schema.width}, live={len(self._rows)}, "
+            f"epoch={self._epoch})"
+        )
+
+    # -- views -------------------------------------------------------------------
+
+    def vertical_index(self) -> VerticalIndex:
+        """Contiguous :class:`VerticalIndex` over the live rows.
+
+        Bit-for-bit equal to ``VerticalIndex(width, self.rows)`` —
+        including internal column representation, so consumers that
+        adopt raw columns (the transaction-database builders) are safe —
+        but produced by shifting the maintained columns, not by
+        re-reading the window.
+        """
+        return self.snapshot().vertical_index()
+
+    def snapshot(self) -> BooleanTable:
+        """Immutable :class:`BooleanTable` view of the current window.
+
+        Cached per epoch: any number of ``status()`` / ``reoptimize()``
+        calls between mutations share one materialization.  The adopted
+        index comes from :meth:`DeltaVerticalIndex.materialize`, so the
+        snapshot never re-validates or re-transposes the rows.
+        """
+        if self._snapshot is not None and self._snapshot_epoch == self._epoch:
+            return self._snapshot
+        self._snapshot = BooleanTable.adopting(
+            self.schema, list(self._rows), self._delta.materialize()
+        )
+        self._snapshot_epoch = self._epoch
+        return self._snapshot
+
+    def index_answers(self) -> DeltaVerticalIndex:
+        """The live delta index, for slot-space queries without
+        materialization (answers are live-masked; see
+        :class:`DeltaVerticalIndex`)."""
+        return self._delta

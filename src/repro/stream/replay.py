@@ -1,0 +1,193 @@
+"""Replay a drifting workload through the streaming serving stack.
+
+The shared driver behind the ``stream`` CLI subcommand and the
+streaming benchmarks: generate a
+:func:`~repro.data.drift.drifting_workload`, feed it query by query into
+a :class:`~repro.simulate.monitor.VisibilityMonitor` riding a
+:class:`~repro.stream.log.StreamingLog`, and re-optimize through a
+deadline-bounded :class:`~repro.runtime.SolverHarness` (fronted by a
+:class:`~repro.stream.cache.SolveCache`) whenever the monitor's
+realized share sags.  The returned :class:`ReplayReport` summarizes
+what a continuously-served deployment would have experienced: hit rate,
+re-optimization outcomes by status, cache effectiveness, compactions.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.errors import SolverInterrupted, ValidationError
+from repro.data.drift import drifting_workload, interest_profile
+from repro.runtime.harness import SolverHarness
+
+if TYPE_CHECKING:  # imported lazily at runtime: simulate already imports us
+    from repro.simulate.monitor import MonitorStatus
+
+__all__ = ["ReplayConfig", "ReplayReport", "drift_profiles", "replay_drift"]
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Knobs of one streaming replay (CLI flags map onto these)."""
+
+    width: int = 16
+    size: int = 2000
+    window: int = 500
+    compact_threshold: float = 0.5
+    budget: int = 4
+    seed: int = 0
+    check_every: int = 50
+    cache_size: int | None = 64
+    stale_while_revalidate: bool = True
+    deadline_ms: float | None = None
+    chain: tuple[str, ...] | None = None
+    engine: str | None = None
+    tolerance: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.width < 2:
+            raise ValidationError(f"width must be >= 2, got {self.width}")
+        if self.size < 1:
+            raise ValidationError(f"size must be >= 1, got {self.size}")
+        if self.window < 1:
+            raise ValidationError(f"window must be >= 1, got {self.window}")
+        if not 0 < self.compact_threshold <= 1:
+            raise ValidationError(
+                f"compact-threshold must be in (0, 1], got {self.compact_threshold}"
+            )
+        if self.budget < 1:
+            raise ValidationError(f"budget must be >= 1, got {self.budget}")
+        if self.check_every < 1:
+            raise ValidationError(
+                f"check_every must be >= 1, got {self.check_every}"
+            )
+        if self.cache_size is not None and self.cache_size < 1:
+            raise ValidationError(
+                f"cache-size must be >= 1, got {self.cache_size}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms < 0:
+            raise ValidationError(
+                f"deadline-ms must be non-negative, got {self.deadline_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """What happened over one replay."""
+
+    queries: int
+    hits: int
+    checks: int
+    reoptimizations: int
+    outcomes: dict[str, int]
+    final_status: "MonitorStatus"
+    final_mask: int
+    epoch: int
+    compactions: int
+    cache: dict | None
+    elapsed_s: float
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.queries if self.queries else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "hits": self.hits,
+            "hit_rate": self.hit_rate,
+            "checks": self.checks,
+            "reoptimizations": self.reoptimizations,
+            "outcomes": dict(self.outcomes),
+            "final_realized": self.final_status.realized,
+            "final_achievable": self.final_status.achievable,
+            "epoch": self.epoch,
+            "compactions": self.compactions,
+            "cache": self.cache,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def drift_profiles(schema) -> tuple[list[float], list[float]]:
+    """Start/end interest profiles: popularity moves from the first
+    attributes to the last ones over the replay."""
+    half = max(1, schema.width // 4)
+    start = interest_profile(schema, schema.names[:half])
+    end = interest_profile(schema, schema.names[-half:])
+    return start, end
+
+
+def replay_drift(config: ReplayConfig) -> ReplayReport:
+    """Run one drifting-workload replay; see the module docstring.
+
+    Raises :class:`SolverInterrupted` when a re-optimization fails with
+    the deadline exhausted and nothing — not even a stale mask — to
+    serve, mirroring the ``solve`` CLI's budget-exhaustion semantics.
+    """
+    from repro.booldata.schema import Schema
+    from repro.simulate.monitor import VisibilityMonitor
+
+    schema = Schema.anonymous(config.width)
+    start_weights, end_weights = drift_profiles(schema)
+    workload = drifting_workload(
+        schema, config.size, start_weights, end_weights, seed=config.seed
+    )
+    new_tuple = schema.full
+    harness = SolverHarness(
+        list(config.chain) if config.chain else None,
+        engine=config.engine,
+        deadline_ms=config.deadline_ms,
+    )
+    monitor = VisibilityMonitor(
+        new_tuple=new_tuple,
+        keep_mask=0,
+        budget=config.budget,
+        schema=schema,
+        window_size=config.window,
+        tolerance=config.tolerance,
+        harness=harness,
+        compact_threshold=config.compact_threshold,
+        cache_size=config.cache_size,
+        stale_while_revalidate=config.stale_while_revalidate,
+    )
+    start_time = time.perf_counter()
+    hits = 0
+    checks = 0
+    reoptimizations = 0
+    outcomes: Counter[str] = Counter()
+    for position, query in enumerate(workload, start=1):
+        if monitor.observe(query):
+            hits += 1
+        if position % config.check_every:
+            continue
+        checks += 1
+        if not monitor.status().should_reoptimize:
+            continue
+        outcome = monitor.reoptimize_anytime()
+        reoptimizations += 1
+        outcomes[outcome.status] += 1
+        if outcome.solution is None:
+            interrupted = any(
+                attempt.status == "interrupted" for attempt in outcome.attempts
+            )
+            if interrupted:
+                raise SolverInterrupted(
+                    "streaming re-optimization exhausted its deadline "
+                    "with no stale mask to serve"
+                )
+    return ReplayReport(
+        queries=config.size,
+        hits=hits,
+        checks=checks,
+        reoptimizations=reoptimizations,
+        outcomes=dict(outcomes),
+        final_status=monitor.status(),
+        final_mask=monitor.keep_mask,
+        epoch=monitor.stream.epoch,
+        compactions=monitor.stream.compactions,
+        cache=monitor.cache.stats() if monitor.cache is not None else None,
+        elapsed_s=time.perf_counter() - start_time,
+    )

@@ -23,6 +23,16 @@ class TestInterestProfile:
         with pytest.raises(ValidationError):
             interest_profile(schema, ["a"], boost=0.1, base=0.2)
 
+    def test_zero_base_rejected(self):
+        schema = Schema(["a", "b"])
+        with pytest.raises(ValidationError, match="base weight must be positive"):
+            interest_profile(schema, ["a"], base=0.0)
+
+    def test_negative_base_rejected(self):
+        schema = Schema(["a", "b"])
+        with pytest.raises(ValidationError, match="base weight must be positive"):
+            interest_profile(schema, ["a"], base=-0.5)
+
 
 class TestDriftingWorkload:
     def test_size_and_schema(self, schema):
@@ -61,6 +71,20 @@ class TestDriftingWorkload:
     def test_negative_size_rejected(self, schema):
         with pytest.raises(ValidationError):
             drifting_workload(schema, -1, [1.0] * 12, [1.0] * 12)
+
+    def test_negative_weight_rejected(self, schema):
+        bad = [1.0] * 11 + [-0.1]
+        with pytest.raises(ValidationError, match="must be non-negative"):
+            drifting_workload(schema, 5, bad, [1.0] * 12)
+        with pytest.raises(ValidationError, match="end weights"):
+            drifting_workload(schema, 5, [1.0] * 12, bad)
+
+    def test_all_zero_weights_rejected(self, schema):
+        """The sampler would silently always pick the last attribute."""
+        with pytest.raises(ValidationError, match="must not all be zero"):
+            drifting_workload(schema, 5, [0.0] * 12, [1.0] * 12)
+        with pytest.raises(ValidationError, match="end weights"):
+            drifting_workload(schema, 5, [1.0] * 12, [0.0] * 12)
 
     def test_single_query(self, schema):
         log = drifting_workload(schema, 1, [1.0] * 12, [1.0] * 12, seed=0)

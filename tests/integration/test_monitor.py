@@ -139,3 +139,51 @@ class TestCustomEstimator:
         exact_status = exact_monitor.status()
         assert exact_status.achievable >= greedy_status.achievable
         assert exact_status.should_reoptimize  # realized 0 vs achievable 3
+
+
+class TestStreamingWindow:
+    def test_window_is_cached_per_tick(self, schema):
+        """status() + reoptimize() in one tick share one materialization."""
+        monitor = make_monitor(schema)
+        monitor.observe_many([0b000011, 0b000110, 0b000011])
+        first = monitor.window
+        assert monitor.window is first           # no mutation in between
+        monitor.observe(0b000001)
+        assert monitor.window is not first       # new epoch, new snapshot
+
+    def test_window_snapshot_has_incremental_index(self, schema):
+        from repro.booldata.index import VerticalIndex
+
+        monitor = make_monitor(schema, window_size=3)
+        monitor.observe_many([0b000011, 0b000110, 0b000011, 0b010001])
+        window = monitor.window
+        assert window.rows == [0b000110, 0b000011, 0b010001]
+        index = window.cached_vertical_index
+        assert index is not None
+        assert index.columns == VerticalIndex(schema.width, window.rows).columns
+
+    def test_cached_monitor_matches_uncached(self, schema):
+        """A solve-cache in front of the estimator never changes answers."""
+        traffic = [0b000011, 0b000110, 0b001100, 0b000011, 0b011000] * 4
+        plain = make_monitor(schema)
+        cached = make_monitor(schema, cache_size=16)
+        for query in traffic:
+            assert plain.observe(query) == cached.observe(query)
+            plain_status, cached_status = plain.status(), cached.status()
+            assert plain_status == cached_status
+        assert cached.cache.hits > 0 or cached.cache.misses > 0
+
+    def test_reoptimize_through_cache(self, schema):
+        monitor = make_monitor(schema, cache_size=8)
+        monitor.observe_many([0b001100] * 6)
+        mask = monitor.reoptimize(MaxFreqItemsetsSolver())
+        assert mask == 0b001100
+        again = monitor.reoptimize(MaxFreqItemsetsSolver())
+        assert again == mask
+        assert monitor.cache.hits >= 1
+
+    def test_stream_exposed_for_shared_use(self, schema):
+        monitor = make_monitor(schema, window_size=4)
+        monitor.observe_many([0b000011] * 6)
+        assert len(monitor.stream) == 4
+        assert monitor.stream.epoch == 6

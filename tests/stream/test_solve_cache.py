@@ -1,0 +1,182 @@
+"""SolveCache: versioned memoization, LRU bounds, stale-while-revalidate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.booldata.schema import Schema
+from repro.common.errors import ValidationError
+from repro.core.base import Solver
+from repro.core.problem import VisibilityProblem
+from repro.core.registry import SOLVERS, make_solver
+from repro.runtime.harness import SolverHarness
+from repro.stream.cache import SolveCache
+from repro.stream.log import StreamingLog
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.anonymous(10)
+
+
+@pytest.fixture
+def log(schema) -> StreamingLog:
+    rng = random.Random(11)
+    return StreamingLog(
+        schema, window_size=60, rows=[rng.getrandbits(10) or 1 for _ in range(60)]
+    )
+
+
+class TestMemoization:
+    @pytest.mark.parametrize("name", sorted(SOLVERS))
+    def test_hit_identical_to_uncached_solve(self, name, schema, log):
+        """ISSUE acceptance: cached results match uncached ones for every
+        registry solver."""
+        cache = SolveCache(log)
+        solver = make_solver(name, engine="vertical")
+        first = cache.solve(schema.full, 3, solver)
+        hit = cache.solve(schema.full, 3, solver)
+        assert hit is first
+        uncached = make_solver(name, engine="vertical").solve(
+            VisibilityProblem(log.snapshot(), schema.full, 3)
+        )
+        assert hit.keep_mask == uncached.keep_mask
+        assert hit.satisfied == uncached.satisfied
+        assert cache.stats()["hits"] == 1
+
+    def test_mutation_invalidates(self, schema, log):
+        cache = SolveCache(log)
+        solver = make_solver("ConsumeAttrCumul")
+        cache.solve(schema.full, 3, solver)
+        log.append(0b1)
+        cache.solve(schema.full, 3, solver)
+        assert cache.stats() == {
+            "hits": 0, "misses": 2, "stale_serves": 0, "evictions": 0, "entries": 2,
+        }
+
+    def test_compaction_does_not_invalidate(self, schema, log):
+        cache = SolveCache(log)
+        solver = make_solver("ConsumeAttrCumul")
+        first = cache.solve(schema.full, 3, solver)
+        log.retire(2)
+        missed = cache.solve(schema.full, 3, solver)  # retire = new epoch
+        log.compact()
+        hit = cache.solve(schema.full, 3, solver)     # compaction = same epoch
+        assert hit is missed and hit is not first
+        assert cache.hits == 1
+
+    def test_distinct_keys_by_tuple_budget_solver(self, schema, log):
+        cache = SolveCache(log)
+        cache.solve(schema.full, 3, make_solver("ConsumeAttr"))
+        cache.solve(schema.full, 4, make_solver("ConsumeAttr"))
+        cache.solve(schema.full >> 1, 3, make_solver("ConsumeAttr"))
+        cache.solve(schema.full, 3, make_solver("ConsumeQueries"))
+        assert cache.stats()["misses"] == 4
+
+    def test_lru_bound_evicts_oldest(self, schema, log):
+        cache = SolveCache(log, capacity=2)
+        solver = make_solver("ConsumeAttr")
+        cache.solve(schema.full, 1, solver)
+        cache.solve(schema.full, 2, solver)
+        cache.solve(schema.full, 3, solver)   # evicts budget-1 entry
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        cache.solve(schema.full, 1, solver)   # miss: was evicted
+        assert cache.stats()["misses"] == 4
+
+    def test_capacity_validated(self, log):
+        with pytest.raises(ValidationError, match="capacity"):
+            SolveCache(log, capacity=0)
+
+    def test_invalidate_clears_everything(self, schema, log):
+        cache = SolveCache(log, stale_while_revalidate=True)
+        cache.solve(schema.full, 3, make_solver("ConsumeAttr"))
+        cache.invalidate()
+        assert len(cache) == 0
+        cache.solve(schema.full, 3, make_solver("ConsumeAttr"))
+        assert cache.stats()["misses"] == 2
+
+
+class _AlwaysFails(Solver):
+    """A chain entry that crashes — the harness reports a failed attempt."""
+
+    name = "AlwaysFails"
+    optimal = False
+
+    def _solve(self, problem):
+        raise RuntimeError("boom")
+
+
+class TestHarnessPath:
+    def test_run_memoizes_outcomes(self, schema, log):
+        cache = SolveCache(log)
+        harness = SolverHarness(["ConsumeAttrCumul"])
+        first = cache.run(schema.full, 3, harness)
+        again = cache.run(schema.full, 3, harness)
+        assert again is first
+        assert first.status == "exact"
+        assert cache.hits == 1
+
+    def test_stale_while_revalidate_serves_last_known_good(self, schema, log):
+        cache = SolveCache(log, stale_while_revalidate=True)
+        good = SolverHarness(["ConsumeAttrCumul"])
+        outcome = cache.run(schema.full, 3, good)
+        assert outcome.status == "exact"
+        log.append(0b1)  # invalidate; refresh below fails
+        bad = SolverHarness([_AlwaysFails(), _AlwaysFails()])
+        assert "/".join(bad.chain) == "/".join(["AlwaysFails", "AlwaysFails"])
+        # distinct chain name: no last-known-good for it -> failed
+        failed = cache.run(schema.full, 3, bad)
+        assert failed.status == "failed" and failed.solution is None
+
+    def test_stale_serving_same_chain(self, schema, log, monkeypatch):
+        cache = SolveCache(log, stale_while_revalidate=True)
+        harness = SolverHarness(["ConsumeAttrCumul"])
+        good = cache.run(schema.full, 3, harness)
+        assert good.solution is not None
+        log.append(0b1)
+        # same chain identity, but every run now fails
+        from repro.runtime.harness import RunOutcome
+
+        def always_fail(problem, deadline_ms=...):
+            return RunOutcome(
+                status="failed", solution=None, attempts=(),
+                elapsed_s=0.0, deadline_s=None,
+            )
+
+        monkeypatch.setattr(harness, "run", always_fail)
+        stale = cache.run(schema.full, 3, harness)
+        assert stale.status == "stale"
+        assert stale.solution is not None
+        assert stale.solution.keep_mask == good.solution.keep_mask
+        assert stale.solution.stats["stale"] is True
+        # the objective is re-evaluated against the CURRENT window
+        fresh_value = VisibilityProblem(
+            log.snapshot(), schema.full, 3
+        ).evaluate(stale.solution.keep_mask)
+        assert stale.solution.satisfied == fresh_value
+        assert cache.stale_serves == 1
+        # served from cache on a repeat at the same epoch
+        repeat = cache.run(schema.full, 3, harness)
+        assert repeat is stale
+
+    def test_no_stale_without_flag(self, schema, log, monkeypatch):
+        cache = SolveCache(log)  # stale_while_revalidate off
+        harness = SolverHarness(["ConsumeAttrCumul"])
+        cache.run(schema.full, 3, harness)
+        log.append(0b1)
+        from repro.runtime.harness import RunOutcome
+
+        monkeypatch.setattr(
+            harness,
+            "run",
+            lambda problem, deadline_ms=...: RunOutcome(
+                status="failed", solution=None, attempts=(),
+                elapsed_s=0.0, deadline_s=None,
+            ),
+        )
+        outcome = cache.run(schema.full, 3, harness)
+        assert outcome.status == "failed"
+        assert outcome.solution is None

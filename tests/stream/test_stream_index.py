@@ -1,0 +1,170 @@
+"""DeltaVerticalIndex: incremental maintenance equals a fresh rebuild."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.booldata.index import VerticalIndex, merge_columns, shift_columns
+from repro.common.errors import ValidationError
+from repro.stream.index import DeltaVerticalIndex
+
+
+def assert_matches_rebuild(delta: DeltaVerticalIndex, rows: list[int]) -> None:
+    """Every answer — and the materialized representation — must equal a
+    fresh VerticalIndex over the surviving rows."""
+    fresh = VerticalIndex(delta.width, rows)
+    live = delta.live_rows()
+    assert delta.num_rows == fresh.num_rows
+    assert live.bit_count() == len(rows)
+    assert delta.attribute_frequencies() == fresh.attribute_frequencies()
+    for probe in (0, 1, (1 << delta.width) - 1, 0b101 & ((1 << delta.width) - 1)):
+        assert delta.satisfied_count(probe) == fresh.satisfied_count(probe)
+        assert delta.cooccurrence_count(probe) == fresh.cooccurrence_count(probe)
+        assert delta.disjoint_count(probe) == fresh.disjoint_count(probe)
+
+
+class TestBasics:
+    def test_append_then_query(self):
+        index = DeltaVerticalIndex(4)
+        for row in (0b0011, 0b0101, 0b1001):
+            index.append(row)
+        assert index.num_rows == 3
+        assert index.column(0) == 0b111  # attribute 0 in every row
+        assert index.attribute_frequencies() == [3, 1, 1, 1]
+
+    def test_retire_masks_the_row_out(self):
+        index = DeltaVerticalIndex(3, [0b011, 0b101, 0b110])
+        index.retire(0)
+        assert index.num_rows == 2
+        assert index.attribute_frequencies() == [1, 1, 2]
+        assert_matches_rebuild(index, [0b101, 0b110])
+
+    def test_retire_pending_row_flushes_first(self):
+        index = DeltaVerticalIndex(3)
+        index.append(0b001)
+        index.append(0b010)
+        index.retire(1)  # still in the delta buffer
+        assert index.num_rows == 1
+        assert_matches_rebuild(index, [0b001])
+
+    def test_double_retire_rejected(self):
+        index = DeltaVerticalIndex(3, [0b001, 0b010])
+        index.retire(0)
+        with pytest.raises(ValidationError, match="already retired"):
+            index.retire(0)
+
+    def test_out_of_range_rejected(self):
+        index = DeltaVerticalIndex(3, [0b001])
+        with pytest.raises(ValidationError, match="out of range"):
+            index.retire(5)
+        with pytest.raises(ValidationError, match="out of range"):
+            index.append(0b1000)
+        with pytest.raises(ValidationError, match="must be positive"):
+            DeltaVerticalIndex(0)
+
+
+class TestCompaction:
+    def test_prefix_compaction_shifts(self):
+        index = DeltaVerticalIndex(3, [0b001, 0b010, 0b100, 0b011])
+        index.retire(0)
+        index.retire(1)
+        assert index.slots == 4
+        assert index.compact() == 2
+        assert index.slots == 2
+        assert index.tombstones == 0
+        assert_matches_rebuild(index, [0b100, 0b011])
+
+    def test_non_prefix_compaction_needs_survivors(self):
+        index = DeltaVerticalIndex(3, [0b001, 0b010, 0b100])
+        index.retire(1)
+        with pytest.raises(ValidationError, match="surviving rows"):
+            index.compact()
+        index.compact(survivors=[0b001, 0b100])
+        assert_matches_rebuild(index, [0b001, 0b100])
+
+    def test_survivor_count_checked(self):
+        index = DeltaVerticalIndex(3, [0b001, 0b010, 0b100])
+        index.retire(1)
+        with pytest.raises(ValidationError, match="expected 2 survivors"):
+            index.compact(survivors=[0b001])
+
+    def test_compact_without_tombstones_is_noop(self):
+        index = DeltaVerticalIndex(3, [0b001, 0b010])
+        assert index.compact() == 2
+        assert_matches_rebuild(index, [0b001, 0b010])
+
+
+class TestMaterialize:
+    def test_materialized_equals_rebuild_bit_for_bit(self):
+        rows = [0b0110, 0b1010, 0b0001, 0b1111]
+        index = DeltaVerticalIndex(4, rows)
+        index.retire(0)
+        materialized = index.materialize()
+        fresh = VerticalIndex(4, rows[1:])
+        assert materialized.columns == fresh.columns
+        assert materialized.all_rows == fresh.all_rows
+        assert materialized.num_rows == fresh.num_rows
+        assert materialized.used_attributes == fresh.used_attributes
+
+    def test_materialize_non_prefix_needs_survivors(self):
+        index = DeltaVerticalIndex(3, [0b001, 0b010, 0b100])
+        index.retire(1)
+        with pytest.raises(ValidationError, match="surviving rows"):
+            index.materialize()
+        materialized = index.materialize(survivors=[0b001, 0b100])
+        assert materialized.columns == VerticalIndex(3, [0b001, 0b100]).columns
+
+
+class TestColumnHelpers:
+    def test_merge_columns_offsets_rows(self):
+        base = [0b01, 0b10]
+        merge_columns(base, [0b1, 0b1], offset=2)
+        assert base == [0b101, 0b110]
+
+    def test_merge_columns_validates(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            merge_columns([0], [1], offset=-1)
+        with pytest.raises(ValidationError, match="cannot merge"):
+            merge_columns([0], [1, 1], offset=0)
+
+    def test_shift_columns_drops_prefix(self):
+        assert shift_columns([0b1101, 0b0110], 2) == [0b11, 0b01]
+        with pytest.raises(ValidationError, match="non-negative"):
+            shift_columns([0], -2)
+
+    def test_from_columns_validates_bounds(self):
+        with pytest.raises(ValidationError, match="beyond row"):
+            VerticalIndex.from_columns(2, 1, [0b10, 0])
+        with pytest.raises(ValidationError, match="expected 2 columns"):
+            VerticalIndex.from_columns(2, 1, [0b1])
+
+
+@pytest.mark.parametrize("width", [3, 8, 17, 40])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_randomized_mutations_match_rebuild(width, seed):
+    """Property: after any FIFO-retire mutation sequence, with occasional
+    compactions, every answer equals a fresh rebuild."""
+    rng = random.Random(seed * 1000 + width)
+    index = DeltaVerticalIndex(width)
+    alive: list[int] = []
+    head = 0
+    for step in range(300):
+        action = rng.random()
+        if action < 0.6 or not alive:
+            row = rng.getrandbits(width)
+            index.append(row)
+            alive.append(row)
+        elif action < 0.9:
+            index.retire(head)
+            head += 1
+            alive.pop(0)
+        else:
+            index.compact()
+            head = 0
+        if step % 23 == 0:
+            assert_matches_rebuild(index, alive)
+            materialized = index.materialize()
+            assert materialized.columns == VerticalIndex(width, alive).columns
+    assert_matches_rebuild(index, alive)

@@ -1,0 +1,153 @@
+"""StreamingLog: sliding-window semantics, epochs, snapshot caching."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.booldata.index import VerticalIndex
+from repro.booldata.schema import Schema
+from repro.common.errors import ValidationError
+from repro.stream.log import StreamingLog
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.anonymous(8)
+
+
+class TestWindowSemantics:
+    def test_append_within_window(self, schema):
+        log = StreamingLog(schema, window_size=3)
+        assert log.append(0b001) is None
+        assert log.append(0b010) is None
+        assert len(log) == 2
+        assert log.rows == [0b001, 0b010]
+
+    def test_append_beyond_window_evicts_oldest(self, schema):
+        log = StreamingLog(schema, window_size=2, rows=[0b001, 0b010])
+        assert log.append(0b100) == 0b001
+        assert log.rows == [0b010, 0b100]
+
+    def test_unbounded_log_never_evicts(self, schema):
+        log = StreamingLog(schema)
+        for value in range(50):
+            assert log.append(value % 256) is None
+        assert len(log) == 50
+
+    def test_retire_is_fifo(self, schema):
+        log = StreamingLog(schema, rows=[1, 2, 3, 4])
+        assert log.retire(2) == [1, 2]
+        assert log.rows == [3, 4]
+
+    def test_retire_more_than_live_rejected(self, schema):
+        log = StreamingLog(schema, rows=[1])
+        with pytest.raises(ValidationError, match="cannot retire 2"):
+            log.retire(2)
+
+    def test_validation(self, schema):
+        with pytest.raises(ValidationError, match="window_size"):
+            StreamingLog(schema, window_size=0)
+        with pytest.raises(ValidationError, match="compact_threshold"):
+            StreamingLog(schema, compact_threshold=0.0)
+        log = StreamingLog(schema)
+        with pytest.raises(ValidationError):
+            log.append(1 << schema.width)
+
+
+class TestEpochs:
+    def test_epoch_bumps_on_mutation(self, schema):
+        log = StreamingLog(schema)
+        assert log.epoch == 0
+        log.append(0b1)
+        assert log.epoch == 1
+        log.retire(1)
+        assert log.epoch == 2
+
+    def test_compaction_preserves_epoch(self, schema):
+        log = StreamingLog(schema, rows=[1, 2, 3, 4])
+        log.retire(1)
+        epoch = log.epoch
+        rows = log.rows
+        log.compact()
+        assert log.epoch == epoch
+        assert log.rows == rows
+
+    def test_snapshot_cached_per_epoch(self, schema):
+        log = StreamingLog(schema, rows=[0b11, 0b101])
+        first = log.snapshot()
+        assert log.snapshot() is first          # unchanged window: same object
+        log.append(0b110)
+        second = log.snapshot()
+        assert second is not first
+        assert second.rows == [0b11, 0b101, 0b110]
+        assert first.rows == [0b11, 0b101]      # old snapshot is immutable
+
+    def test_snapshot_carries_prebuilt_index(self, schema):
+        log = StreamingLog(schema, rows=[0b11, 0b101])
+        snapshot = log.snapshot()
+        assert snapshot.cached_vertical_index is not None
+        fresh = VerticalIndex(schema.width, snapshot.rows)
+        assert snapshot.cached_vertical_index.columns == fresh.columns
+
+
+class TestCompaction:
+    def test_threshold_triggers_compaction(self, schema):
+        log = StreamingLog(schema, window_size=4, compact_threshold=0.5)
+        for value in range(12):
+            log.append(value % 7 + 1)
+        # slot space never exceeds the threshold for long
+        assert log.compactions > 0
+        assert log.index_answers().dead_fraction < 0.5
+
+    def test_high_threshold_defers_compaction(self, schema):
+        log = StreamingLog(schema, window_size=4, compact_threshold=1.0)
+        for value in range(8):
+            log.append(value + 1)
+        assert log.compactions == 0
+
+
+@pytest.mark.parametrize("width,window", [(4, 5), (8, 20), (16, 7), (33, 50)])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_incremental_index_equals_rebuild(width, window, seed):
+    """Property (ISSUE acceptance): after any randomized append/retire/
+    compact sequence the maintained index is bit-for-bit identical to a
+    fresh VerticalIndex over the same rows."""
+    rng = random.Random(seed * 31 + width)
+    schema = Schema.anonymous(width)
+    log = StreamingLog(
+        schema, window_size=window, compact_threshold=rng.choice([0.25, 0.5, 0.9])
+    )
+    mirror: list[int] = []
+    for step in range(400):
+        action = rng.random()
+        if action < 0.7 or not mirror:
+            row = rng.getrandbits(width)
+            log.append(row)
+            mirror.append(row)
+            if len(mirror) > window:
+                mirror.pop(0)
+        elif action < 0.85:
+            count = rng.randrange(1, min(3, len(mirror)) + 1)
+            log.retire(count)
+            del mirror[:count]
+        else:
+            log.compact()
+        assert log.rows == mirror
+        if step % 13 == 0:
+            fresh = VerticalIndex(width, mirror)
+            incremental = log.vertical_index()
+            assert incremental.columns == fresh.columns
+            assert incremental.all_rows == fresh.all_rows
+            assert incremental.num_rows == fresh.num_rows
+            probe = rng.getrandbits(width)
+            assert incremental.satisfied_count(probe) == fresh.satisfied_count(probe)
+            assert (
+                incremental.attribute_frequencies() == fresh.attribute_frequencies()
+            )
+            assert incremental.cooccurrence_count(probe) == fresh.cooccurrence_count(
+                probe
+            )
+    fresh = VerticalIndex(width, mirror)
+    assert log.vertical_index().columns == fresh.columns

@@ -475,3 +475,60 @@ class TestHelpEpilog:
         assert "exit codes:" in out
         for line in ("0  success", "3  ", "4  "):
             assert line in out
+
+
+class TestStreamCommand:
+    def test_replay_succeeds(self, capsys):
+        code = main([
+            "stream", "--width", "10", "--size", "300", "--window", "100",
+            "--check-every", "25", "--chain", "ConsumeAttrCumul",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "stream: 300 queries" in out
+        assert "reoptimizations:" in out
+        assert "cache:" in out
+        assert "index: epoch 300" in out
+
+    def test_cache_can_be_disabled(self, capsys):
+        code = main([
+            "stream", "--width", "8", "--size", "120", "--window", "60",
+            "--check-every", "30", "--chain", "ConsumeAttr", "--cache-size", "0",
+        ])
+        assert code == EXIT_OK
+        assert "cache: disabled" in capsys.readouterr().out
+
+    def test_bad_window_is_validation_error(self, capsys):
+        assert main(["stream", "--window", "0"]) == EXIT_VALIDATION
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "window" in err
+
+    def test_bad_compact_threshold_is_validation_error(self, capsys):
+        assert main(["stream", "--compact-threshold", "1.5"]) == EXIT_VALIDATION
+        assert "compact-threshold" in capsys.readouterr().err
+
+    def test_negative_cache_size_is_validation_error(self, capsys):
+        assert main(["stream", "--cache-size", "-1"]) == EXIT_VALIDATION
+        assert "cache-size" in capsys.readouterr().err
+
+    def test_unknown_chain_algorithm_is_validation_error(self, capsys):
+        assert main(["stream", "--chain", "NoSuchSolver"]) == EXIT_VALIDATION
+
+    def test_deadline_exhaustion_is_4(self, capsys):
+        """An ILP-only chain under a tiny deadline fails before any
+        incumbent exists, and --no-stale leaves nothing to serve."""
+        code = main([
+            "stream", "--width", "10", "--size", "300", "--window", "250",
+            "--check-every", "50", "--chain", "ILP", "--deadline-ms", "5",
+            "--no-stale",
+        ])
+        assert code == EXIT_INTERRUPTED
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_stream_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stream", "--help"])
+        assert "exit codes:" in capsys.readouterr().out

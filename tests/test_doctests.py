@@ -20,6 +20,8 @@ import repro.obs.recorder
 import repro.obs.timing
 import repro.obs.tracing
 import repro.retrieval.text
+import repro.stream.index
+import repro.stream.log
 
 MODULES = [
     repro.common.bits,
@@ -34,6 +36,8 @@ MODULES = [
     repro.booldata.schema,
     repro.booldata.table,
     repro.retrieval.text,
+    repro.stream.index,
+    repro.stream.log,
 ]
 
 

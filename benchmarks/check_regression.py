@@ -26,6 +26,11 @@ suite and fails on an incremental/rebuild objective mismatch, a monitor
 tick speedup below the 5x acceptance bar, or a cache hit that stopped
 matching (or meaningfully outpacing) the uncached solve.
 
+When ``BENCH_kernel.json`` exists, additionally re-runs the bitmap
+kernel suite and fails on a cross-kernel checksum mismatch, a checksum
+drift against the baseline, a numpy timing regression, or a numpy
+speedup below the 5x acceptance bar on the 100k workloads.
+
 Finally runs ``ruff check`` over ``src``, ``tests`` and ``benchmarks``
 when ruff is available, so lint regressions fail the same gate.
 
@@ -34,7 +39,8 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py
     PYTHONPATH=src python benchmarks/check_regression.py --factor 1.5
     PYTHONPATH=src python benchmarks/check_regression.py \
-        --skip-runtime --skip-obs --skip-parallel --skip-stream --skip-lint
+        --skip-runtime --skip-obs --skip-parallel --skip-stream \
+        --skip-kernel --skip-lint
 """
 
 from __future__ import annotations
@@ -56,6 +62,7 @@ RUNTIME_BASELINE = REPO_ROOT / "BENCH_runtime.json"
 OBS_BASELINE = REPO_ROOT / "BENCH_obs.json"
 PARALLEL_BASELINE = REPO_ROOT / "BENCH_parallel.json"
 STREAM_BASELINE = REPO_ROOT / "BENCH_stream.json"
+KERNEL_BASELINE = REPO_ROOT / "BENCH_kernel.json"
 #: the runtime PR's acceptance bars
 MAX_OVERHEAD_FRACTION = 0.05
 OVERHEAD_EPSILON_S = 0.003
@@ -65,6 +72,8 @@ MIN_JOBS4_SPEEDUP = 2.0
 #: the streaming PR's acceptance bars
 MIN_TICK_SPEEDUP = 5.0
 MIN_CACHE_SPEEDUP = 10.0
+#: the kernel PR's acceptance bar on the 100k x 64 workloads
+MIN_NUMPY_SPEEDUP = 5.0
 
 
 def check_runtime(failures: list[str]) -> None:
@@ -242,6 +251,49 @@ def check_stream(failures: list[str], factor: float) -> None:
               f"{'' if not problems else ' ' + '; '.join(problems)}")
 
 
+def check_kernel(failures: list[str], factor: float) -> None:
+    """Re-run the bitmap-kernel suite against the recorded baseline."""
+    from kernel_workload import MEASUREMENTS as KERNEL_MEASUREMENTS
+    from repro.booldata.kernels import available_kernels
+
+    if "numpy" not in available_kernels():
+        print("~ kernel suite: numpy not installed, skipping")
+        return
+    baseline = json.loads(KERNEL_BASELINE.read_text())["results"]
+    for name, measure in KERNEL_MEASUREMENTS.items():
+        recorded = baseline.get(name)
+        if recorded is None:
+            print(f"~ {name}: not in baseline, skipping")
+            continue
+        fresh = measure()
+        problems = []
+        if not fresh["checksums_match"]:
+            problems.append("kernels disagree on the objective checksum")
+        if fresh["objective_checksum"] != recorded["objective_checksum"]:
+            problems.append(
+                f"checksum {fresh['objective_checksum']} != recorded "
+                f"{recorded['objective_checksum']}"
+            )
+        if fresh["numpy_s"] > recorded["numpy_s"] * factor:
+            problems.append(
+                f"numpy {fresh['numpy_s']:.3f}s > {factor:.1f}x recorded "
+                f"{recorded['numpy_s']:.3f}s"
+            )
+        if name != "million_row_eval" and fresh["speedup_numpy"] < MIN_NUMPY_SPEEDUP:
+            problems.append(
+                f"numpy speedup {fresh['speedup_numpy']:.1f}x < "
+                f"{MIN_NUMPY_SPEEDUP:.1f}x"
+            )
+        detail = (
+            f"python {fresh['python_s']:.3f}s numpy {fresh['numpy_s']:.3f}s "
+            f"({fresh['speedup_numpy']:.1f}x)"
+        )
+        for problem in problems:
+            failures.append(f"{name}: {problem}")
+        print(f"{'.' if not problems else 'x'} {name}: {detail}"
+              f"{'' if not problems else ' ' + '; '.join(problems)}")
+
+
 def check_lint(failures: list[str]) -> None:
     """Run ``ruff check`` when ruff is available in the environment."""
     if importlib.util.find_spec("ruff") is not None:
@@ -289,6 +341,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-stream", action="store_true",
         help="skip the streaming monitor/cache checks",
+    )
+    parser.add_argument(
+        "--skip-kernel", action="store_true",
+        help="skip the bitmap-kernel A/B checks",
     )
     parser.add_argument(
         "--skip-lint", action="store_true",
@@ -356,6 +412,12 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print("~ stream suite: no BENCH_stream.json baseline, skipping")
 
+    if not args.skip_kernel:
+        if KERNEL_BASELINE.exists():
+            check_kernel(failures, args.factor)
+        else:
+            print("~ kernel suite: no BENCH_kernel.json baseline, skipping")
+
     if not args.skip_lint:
         check_lint(failures)
 
@@ -365,8 +427,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  - {failure}")
         return 1
     print(
-        "\nvertical engine, runtime, telemetry, parallel, stream and lint "
-        "within budget"
+        "\nvertical engine, runtime, telemetry, parallel, stream, kernels "
+        "and lint within budget"
     )
     return 0
 

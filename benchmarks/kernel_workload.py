@@ -1,0 +1,196 @@
+"""Shared A/B measurement harness for the pluggable bitmap kernels.
+
+Used by two entry points:
+
+* ``test_bench_kernels.py`` — records python-vs-numpy-vs-compressed
+  timings for the index hot paths into ``BENCH_kernel.json`` (repo
+  root); the acceptance bar is the numpy kernel at >= 5x on the
+  100k x 64 workloads, with bit-identical objective checksums;
+* ``check_regression.py`` — re-runs the suite and fails on checksum
+  drift, a timing regression against the recorded baseline, or a numpy
+  speedup that sagged below the bar.
+
+Every measurement times the *whole* pipeline a cold solve pays — index
+construction included — on a fresh table per kernel, so no cached index
+leaks between the A and B sides.  All sizes are arguments with
+recorded-scale defaults; the tier-1 smoke test calls the same functions
+at toy scale.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.booldata import BooleanTable, Schema
+from repro.booldata.kernels import available_kernels, store_class
+from repro.common.bits import random_mask
+from repro.core import VisibilityProblem, make_solver
+from repro.data import synthetic_workload
+
+SEED = 20080406  # the paper's conference date
+WIDTH = 64
+TUPLE_SIZE = 56
+BUDGET = 10
+LARGE_LOG = 100_000  # the ISSUE's 100k x 64 acceptance scale
+MILLION_LOG = 1_000_000  # the million-row workload
+MILLION_MEAN_ATTRS = 4  # sparse traffic: ~6% density, compressed territory
+EVAL_CANDIDATES = 200
+MILLION_CANDIDATES = 32
+
+_LOG_CACHE: dict[int, BooleanTable] = {}
+_SPARSE_CACHE: dict[int, BooleanTable] = {}
+
+
+def _log_rows(size: int) -> BooleanTable:
+    if size not in _LOG_CACHE:
+        _LOG_CACHE[size] = synthetic_workload(
+            Schema.anonymous(WIDTH), size, seed=SEED
+        )
+    return _LOG_CACHE[size]
+
+
+def _sparse_rows(size: int) -> BooleanTable:
+    """A long, sparse query log (mean ``MILLION_MEAN_ATTRS`` per query)."""
+    if size not in _SPARSE_CACHE:
+        rng = random.Random(SEED + 9)
+        rows = []
+        for _ in range(size):
+            row = 0
+            for _ in range(1 + rng.randrange(2 * MILLION_MEAN_ATTRS - 1)):
+                row |= 1 << rng.randrange(WIDTH)
+            rows.append(row)
+        _SPARSE_CACHE[size] = BooleanTable(Schema.anonymous(WIDTH), rows)
+    return _SPARSE_CACHE[size]
+
+
+def _fresh_problem(log: BooleanTable, kernel: str) -> VisibilityProblem:
+    """A problem over a fresh table so each kernel builds its own index."""
+    store_class(kernel)  # import the kernel module outside the timed region
+    table = BooleanTable(log.schema, log.rows)
+    new_tuple = random_mask(WIDTH, TUPLE_SIZE, random.Random(SEED + 1))
+    return VisibilityProblem(table, new_tuple, BUDGET, kernel=kernel)
+
+
+def _candidate_masks(new_tuple: int, count: int) -> list[int]:
+    rng = random.Random(SEED + 2)
+    attributes = [a for a in range(WIDTH) if new_tuple >> a & 1]
+    masks = []
+    for _ in range(count):
+        keep = 0
+        for attribute in rng.sample(attributes, BUDGET):
+            keep |= 1 << attribute
+        masks.append(keep)
+    return masks
+
+
+def _finish(result: dict, seconds: dict, checksums: dict) -> dict:
+    reference = checksums["python"]
+    result["objective_checksum"] = reference
+    result["checksums_match"] = all(c == reference for c in checksums.values())
+    for kernel, elapsed in seconds.items():
+        result[f"{kernel}_s"] = round(elapsed, 6)
+        if kernel != "python":
+            result[f"speedup_{kernel}"] = round(seconds["python"] / elapsed, 2)
+    return result
+
+
+def measure_objective_evaluation(
+    size: int = LARGE_LOG,
+    candidates: int = EVAL_CANDIDATES,
+    kernels: tuple[str, ...] | None = None,
+) -> dict:
+    """Batch objective evaluation per kernel, construction included."""
+    log = _log_rows(size)
+    result: dict = {
+        "workload": "objective_evaluation",
+        "log_size": size,
+        "candidates": candidates,
+    }
+    seconds: dict = {}
+    checksums: dict = {}
+    for kernel in kernels or available_kernels():
+        problem = _fresh_problem(log, kernel)
+        masks = _candidate_masks(problem.new_tuple, candidates)
+        start = time.perf_counter()
+        values = problem.evaluate_many(masks)
+        seconds[kernel] = time.perf_counter() - start
+        checksums[kernel] = sum(values)
+    return _finish(result, seconds, checksums)
+
+
+def measure_greedy(
+    size: int = LARGE_LOG, kernels: tuple[str, ...] | None = None
+) -> dict:
+    """The ConsumeAttrCumul greedy end-to-end per kernel."""
+    log = _log_rows(size)
+    result: dict = {
+        "workload": "consume_attr_cumul",
+        "log_size": size,
+        "budget": BUDGET,
+    }
+    seconds: dict = {}
+    checksums: dict = {}
+    for kernel in kernels or available_kernels():
+        problem = _fresh_problem(log, kernel)
+        solver = make_solver("ConsumeAttrCumul", engine="vertical")
+        start = time.perf_counter()
+        solution = solver.solve(problem)
+        seconds[kernel] = time.perf_counter() - start
+        # one JSON-safe int covering both the objective and the selection
+        checksums[kernel] = (solution.satisfied << WIDTH) + solution.keep_mask
+    return _finish(result, seconds, checksums)
+
+
+def measure_million_rows(
+    size: int = MILLION_LOG,
+    candidates: int = MILLION_CANDIDATES,
+    kernels: tuple[str, ...] | None = None,
+) -> dict:
+    """Million-row sparse-log evaluation, with per-kernel memory."""
+    log = _sparse_rows(size)
+    result: dict = {
+        "workload": "million_row_evaluation",
+        "log_size": size,
+        "candidates": candidates,
+        "mean_attributes": MILLION_MEAN_ATTRS,
+    }
+    seconds: dict = {}
+    checksums: dict = {}
+    memory: dict = {}
+    for kernel in kernels or available_kernels():
+        problem = _fresh_problem(log, kernel)
+        masks = _candidate_masks(problem.new_tuple, candidates)
+        start = time.perf_counter()
+        values = problem.evaluate_many(masks)
+        seconds[kernel] = time.perf_counter() - start
+        checksums[kernel] = sum(values)
+        memory[kernel] = problem.index.memory_bytes()
+    result["memory_bytes"] = memory
+    return _finish(result, seconds, checksums)
+
+
+#: name -> zero-argument measurement, the recorded benchmark suite
+MEASUREMENTS = {
+    "objective_eval_100k": measure_objective_evaluation,
+    "consume_attr_cumul_100k": measure_greedy,
+    "million_row_eval": measure_million_rows,
+}
+
+
+def run_suite() -> dict:
+    return {name: measure() for name, measure in MEASUREMENTS.items()}
+
+
+def suite_meta() -> dict:
+    return {
+        "seed": SEED,
+        "width": WIDTH,
+        "tuple_size": TUPLE_SIZE,
+        "budget": BUDGET,
+        "large_log": LARGE_LOG,
+        "million_log": MILLION_LOG,
+        "eval_candidates": EVAL_CANDIDATES,
+        "million_candidates": MILLION_CANDIDATES,
+        "kernels": list(available_kernels()),
+    }

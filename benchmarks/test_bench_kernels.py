@@ -1,0 +1,54 @@
+"""A/B benchmark: bitmap kernels (python vs numpy vs compressed).
+
+Records per-kernel timings of the index hot paths into
+``BENCH_kernel.json`` at the repo root (the baseline that
+``check_regression.py`` guards).  The acceptance bar of the kernel PR:
+on 100k queries x 64 attributes, the numpy packed-uint64 kernel must be
+>= 5x faster than the pure-Python reference on both the batch
+objective-evaluation and the ConsumeAttrCumul greedy workloads, with
+bit-identical results; the million-row workload records timing and
+per-kernel memory for all kernels.
+
+Run explicitly (the tier-1 suite does not collect ``benchmarks/``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_kernels.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+import pytest
+
+from kernel_workload import run_suite, suite_meta
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+MIN_NUMPY_SPEEDUP = 5.0
+
+
+def test_kernel_speedups():
+    meta = suite_meta()
+    if "numpy" not in meta["kernels"]:
+        pytest.skip("numpy not installed; nothing to race the reference against")
+    results = run_suite()
+
+    for name, result in results.items():
+        assert result["checksums_match"], f"{name}: kernels disagree"
+    # the ISSUE's acceptance bar, on the 100k x 64 workloads
+    assert results["objective_eval_100k"]["speedup_numpy"] >= MIN_NUMPY_SPEEDUP
+    assert results["consume_attr_cumul_100k"]["speedup_numpy"] >= MIN_NUMPY_SPEEDUP
+
+    payload = {
+        "meta": {**meta, "python": platform.python_version()},
+        "results": results,
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    for name, result in results.items():
+        speedups = ", ".join(
+            f"{key.removeprefix('speedup_')} {value:.1f}x"
+            for key, value in result.items()
+            if key.startswith("speedup_")
+        )
+        print(f"{name}: python {result['python_s']:.3f}s ({speedups})")

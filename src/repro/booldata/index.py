@@ -3,13 +3,13 @@
 The row-major :class:`~repro.booldata.table.BooleanTable` answers "which
 attributes does query ``i`` have?" in O(1); every objective evaluation,
 however, asks the transposed question — "which queries contain attribute
-``a``?".  A :class:`VerticalIndex` stores, per attribute, one
-arbitrary-precision-int bitset over *row positions* (``column(a)`` has
-bit ``i`` set iff row ``i`` contains attribute ``a``), the tid-list
-representation of Eclat-style itemset miners packed into single ints.
+``a``?".  A :class:`VerticalIndex` stores, per attribute, one bitset
+over *row positions* (``column(a)`` has bit ``i`` set iff row ``i``
+contains attribute ``a``), the tid-list representation of Eclat-style
+itemset miners.
 
 On this representation the core identities of the paper become a few
-wide bitwise operations over ``n``-bit integers (O(n/64) machine words
+wide bitwise operations over ``n``-bit bitsets (O(n/64) machine words
 each) instead of O(n) Python-level iterations:
 
 * queries satisfied by a keep-mask ``K``
@@ -19,16 +19,26 @@ each) instead of O(n) Python-level iterations:
 * support of itemset ``I`` in the complemented log ``~Q``
   (``#{q : q & I == 0}``)         ==  ``popcount(all_rows & ~OR(column(a) for a ∈ I))``
 
-Construction is linear: bits are first accumulated into per-attribute
-``bytearray`` buffers (O(1) per set bit) and converted to ints once at
-the end — repeatedly OR-ing ``1 << tid`` into a growing Python int would
-copy the whole integer per row and degrade to O(n^2/64).
+*How* the bitsets are laid out is delegated to a pluggable **kernel**
+(:mod:`repro.booldata.kernels`): arbitrary-precision Python ints (the
+reference), packed numpy ``uint64`` words, or roaring-style compressed
+containers.  The index keeps the identities, the deterministic
+tie-breaking and the operation counters; kernels compete purely on
+representation, and every kernel is property-tested bit-for-bit against
+the reference.
+
+Construction of the reference columns is linear: bits are first
+accumulated into per-attribute ``bytearray`` buffers (O(1) per set bit)
+and converted to ints once at the end — repeatedly OR-ing ``1 << tid``
+into a growing Python int would copy the whole integer per row and
+degrade to O(n^2/64).
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.booldata import kernels
 from repro.common.bits import bit_indices, full_mask
 from repro.common.deadline import NULL_TICKER
 from repro.common.errors import ValidationError
@@ -112,6 +122,30 @@ def shift_columns(columns: Sequence[int], offset: int) -> list[int]:
     return [column >> offset for column in columns]
 
 
+def resolve_kernel_for_rows(
+    kernel: str | None, width: int, rows: Sequence[int]
+) -> str:
+    """Resolve ``kernel`` (possibly ``auto``/``None``) against actual rows.
+
+    Density is only measured when the ``auto`` heuristic could pick the
+    compressed kernel (numpy missing, very long log) — otherwise the
+    O(n) scan is skipped.
+    """
+    requested = kernels.validate_kernel(kernel or "auto")
+    if requested != "auto":
+        return kernels.resolve_kernel(requested)
+    density = None
+    if (
+        not kernels.numpy_available()
+        and len(rows) >= kernels.AUTO_COMPRESSED_MIN_ROWS
+    ):  # pragma: no cover - numpy present in CI
+        total = sum(row.bit_count() for row in rows)
+        density = total / (len(rows) * width) if rows else 0.0
+    return kernels.resolve_kernel(
+        "auto", num_rows=len(rows), width=width, density=density
+    )
+
+
 class VerticalIndex:
     """Attribute-major bitset index over the rows of one Boolean table.
 
@@ -126,40 +160,49 @@ class VerticalIndex:
     """
 
     __slots__ = (
-        "width", "num_rows", "all_rows", "columns", "used_attributes",
+        "width", "num_rows", "all_rows", "store", "kernel", "used_attributes",
         "or_ops", "and_ops", "popcount_ops",
     )
 
-    def __init__(self, width: int, rows: Sequence[int]) -> None:
+    def __init__(
+        self, width: int, rows: Sequence[int], kernel: str | None = None
+    ) -> None:
         if width <= 0:
             raise ValidationError(f"width must be positive, got {width}")
+        resolved = resolve_kernel_for_rows(kernel, width, rows)
         self.width = width
         self.num_rows = len(rows)
         #: bitset of every row position (the neutral ``within`` argument)
         self.all_rows = full_mask(self.num_rows)
-        self.columns = build_columns(width, rows)
+        #: the physical representation behind every answer
+        self.store = kernels.store_class(resolved).build(width, rows)
+        #: concrete kernel name the index runs on
+        self.kernel = resolved
         #: attributes that occur in at least one row
-        self.used_attributes = 0
-        for attribute, column in enumerate(self.columns):
-            if column:
-                self.used_attributes |= 1 << attribute
+        self.used_attributes = self.store.occupied_attributes()
         # lifetime work counters: wide bitwise ops since construction,
         # maintained as plain ints (one small-int add per *call*, never
         # per row) so telemetry can read deltas without slowing the
-        # kernels down — see repro.obs.recorder.record_bitmap_ops
+        # kernels down — see repro.obs.recorder.record_bitmap_ops.  The
+        # counts are *logical* (representation-independent), so every
+        # kernel reports the same numbers for the same query sequence.
         self.or_ops = 0
         self.and_ops = 0
         self.popcount_ops = 0
 
     @classmethod
-    def from_table(cls, table) -> "VerticalIndex":
+    def from_table(cls, table, kernel: str | None = None) -> "VerticalIndex":
         """Index a :class:`~repro.booldata.table.BooleanTable` (or any
         sized iterable of masks with a ``schema.width``)."""
-        return cls(table.schema.width, list(table))
+        return cls(table.schema.width, list(table), kernel=kernel)
 
     @classmethod
     def from_columns(
-        cls, width: int, num_rows: int, columns: Sequence[int]
+        cls,
+        width: int,
+        num_rows: int,
+        columns: Sequence[int],
+        kernel: str | None = None,
     ) -> "VerticalIndex":
         """Adopt pre-transposed columns without re-reading any rows.
 
@@ -178,19 +221,32 @@ class VerticalIndex:
                 f"expected {width} columns, got {len(columns)}"
             )
         row_universe = full_mask(num_rows)
-        index = cls.__new__(cls)
-        index.width = width
-        index.num_rows = num_rows
-        index.all_rows = row_universe
-        index.columns = list(columns)
-        index.used_attributes = 0
-        for attribute, column in enumerate(index.columns):
+        used_attributes = 0
+        for attribute, column in enumerate(columns):
             if column:
                 if column & ~row_universe:
                     raise ValidationError(
                         f"column {attribute} has bits beyond row {num_rows - 1}"
                     )
-                index.used_attributes |= 1 << attribute
+                used_attributes |= 1 << attribute
+        resolved = kernels.resolve_kernel(kernel or "auto", num_rows=num_rows)
+        store = kernels.store_class(resolved).from_int_columns(
+            width, num_rows, columns
+        )
+        return cls._adopt_store(width, num_rows, store, resolved, used_attributes)
+
+    @classmethod
+    def _adopt_store(
+        cls, width, num_rows, store, kernel, used_attributes
+    ) -> "VerticalIndex":
+        """Wrap an already-validated store without copying anything."""
+        index = cls.__new__(cls)
+        index.width = width
+        index.num_rows = num_rows
+        index.all_rows = full_mask(num_rows)
+        index.store = store
+        index.kernel = kernel
+        index.used_attributes = used_attributes
         index.or_ops = 0
         index.and_ops = 0
         index.popcount_ops = 0
@@ -198,18 +254,24 @@ class VerticalIndex:
 
     # -- primitive views ---------------------------------------------------------
 
+    @property
+    def columns(self) -> list[int]:
+        """All columns in the int interchange format (kernel-independent)."""
+        return self.store.int_columns()
+
     def column(self, attribute: int) -> int:
         """Bitset of rows containing ``attribute``."""
-        return self.columns[attribute]
+        return self.store.int_column(attribute)
+
+    def memory_bytes(self) -> int:
+        """Approximate resident payload of the kernel representation."""
+        return self.store.memory_bytes()
 
     def violators(self, attributes: int) -> int:
         """Bitset of rows containing *any* attribute of ``attributes``."""
         attributes &= self.used_attributes
         self.or_ops += attributes.bit_count()
-        acc = 0
-        for attribute in bit_indices(attributes):
-            acc |= self.columns[attribute]
-        return acc
+        return self.store.union_rows(attributes)
 
     # -- the paper's identities --------------------------------------------------
 
@@ -217,27 +279,41 @@ class VerticalIndex:
         """Rows that, read as conjunctive queries, retrieve ``keep_mask``.
 
         ``q ⊆ K`` iff ``q`` avoids every attribute outside ``K``:
-        ``within & ~OR(column(a) for a ∉ K)``.
+        ``within & ~OR(column(a) for a ∉ K)``.  ``within``, when given,
+        must be a subset of :attr:`all_rows`.
         """
-        rows = self.all_rows if within is None else within
+        self.or_ops += (self.used_attributes & ~keep_mask).bit_count()
         self.and_ops += 1
-        return rows & ~self.violators(self.used_attributes & ~keep_mask)
+        return self.store.subset_rows(keep_mask, within)
 
     def satisfied_count(self, keep_mask: int, within: int | None = None) -> int:
         """Number of rows retrieved by ``keep_mask`` (the SOC objective)."""
+        self.or_ops += (self.used_attributes & ~keep_mask).bit_count()
+        self.and_ops += 1
         self.popcount_ops += 1
-        return self.satisfied_rows(keep_mask, within).bit_count()
+        return self.store.subset_count(keep_mask, within)
+
+    def satisfied_counts(
+        self, keep_masks: Sequence[int], within: int | None = None
+    ) -> list[int]:
+        """Batched :meth:`satisfied_count` over many candidate keep-masks.
+
+        Kernels may amortise buffers across the batch (the numpy kernel
+        reuses one scratch vector for the whole candidate set); results
+        and op-counter charges are identical to calling
+        :meth:`satisfied_count` in a loop.
+        """
+        masks = list(keep_masks)
+        for keep_mask in masks:
+            self.or_ops += (self.used_attributes & ~keep_mask).bit_count()
+        self.and_ops += len(masks)
+        self.popcount_ops += len(masks)
+        return self.store.subset_counts(masks, within)
 
     def cooccurring_rows(self, attributes: int, within: int | None = None) -> int:
         """Rows containing *every* attribute of ``attributes``."""
-        rows = self.all_rows if within is None else within
         self.and_ops += attributes.bit_count()
-        remaining = attributes
-        while remaining and rows:
-            low = remaining & -remaining
-            rows &= self.columns[low.bit_length() - 1]
-            remaining ^= low
-        return rows
+        return self.store.intersect_rows(attributes, within)
 
     def cooccurrence_count(self, attributes: int, within: int | None = None) -> int:
         """Number of rows containing every attribute of ``attributes``."""
@@ -268,21 +344,11 @@ class VerticalIndex:
 
         ``result[a]`` is 0 for attributes outside ``pool``.
         """
-        counts = [0] * self.width
-        attributes = (
-            range(self.width) if pool is None else bit_indices(pool)
-        )
-        scanned = 0
-        for attribute in attributes:
-            column = self.columns[attribute]
-            if within is not None:
-                column &= within
-            counts[attribute] = column.bit_count()
-            scanned += 1
+        scanned = self.width if pool is None else pool.bit_count()
         self.popcount_ops += scanned
         if within is not None:
             self.and_ops += scanned
-        return counts
+        return self.store.counts(pool, within)
 
     # -- exhaustive search kernel ------------------------------------------------
 
@@ -296,7 +362,10 @@ class VerticalIndex:
         :func:`~repro.common.combinatorics.combinations_of_mask` (so ties
         resolve identically to the naive engine), carrying the OR of the
         excluded columns down a DFS — O(1) wide operations per node
-        instead of O(n) row scans per candidate.  Returns
+        instead of O(n) row scans per candidate.  Runs on int-decoded
+        columns for every kernel (the DFS state is one big-int per
+        level, which arbitrary-precision ints express most directly);
+        packed kernels serve the decoded columns from cache.  Returns
         ``(best_mask, best_count, leaves_enumerated)``.
 
         ``ticker`` is a cooperative deadline checkpoint
@@ -308,7 +377,7 @@ class VerticalIndex:
         # rows using attributes outside the pool can never be satisfied
         base = self.violators(self.used_attributes & ~pool)
         attributes = bit_indices(pool)
-        columns = [self.columns[attribute] for attribute in attributes]
+        columns = [self.store.int_column(attribute) for attribute in attributes]
         total = len(attributes)
         # suffix_or[i] = OR of columns[i:]; closes leaves in O(1)
         suffix_or = [0] * (total + 1)
@@ -353,4 +422,7 @@ class VerticalIndex:
         return (self.or_ops, self.and_ops, self.popcount_ops)
 
     def __repr__(self) -> str:
-        return f"VerticalIndex(width={self.width}, rows={self.num_rows})"
+        return (
+            f"VerticalIndex(width={self.width}, rows={self.num_rows}, "
+            f"kernel={self.kernel!r})"
+        )

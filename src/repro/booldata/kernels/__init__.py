@@ -1,0 +1,155 @@
+"""Pluggable bitmap kernels for the vertical index.
+
+A *kernel* is a physical representation of attribute-major row-bitsets
+behind the :class:`~repro.booldata.kernels.base.ColumnStore` contract.
+Three ship with the library:
+
+==============  ==============================================================
+``python``      Arbitrary-precision int per column — the executable
+                reference every other kernel is property-tested against.
+                No dependencies; excellent up to ~10^5 rows.
+``numpy``       Packed ``uint64`` words, row- and column-major
+                (:mod:`~repro.booldata.kernels.packed`).  Vectorised
+                construction and batch subset counts; the speed kernel
+                for 10^5–10^6+ row logs.  Requires the optional
+                ``numpy`` extra (``pip install repro[fast]``).
+``compressed``  Roaring-style array/runs/bits containers per 2^16-row
+                chunk (:mod:`~repro.booldata.kernels.compressed`).  The
+                memory kernel for very sparse, very long logs.
+==============  ==============================================================
+
+``auto`` resolves to a concrete kernel from what is installed and what
+the log looks like (:func:`resolve_kernel`): numpy for anything big
+enough to amortise the array round-trips, the compressed kernel for
+huge-and-sparse logs when numpy is absent, the reference kernel
+otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.booldata.kernels.base import ColumnStore
+from repro.common.errors import ValidationError
+
+__all__ = [
+    "KERNELS",
+    "KERNEL_CHOICES",
+    "DEFAULT_KERNEL",
+    "ColumnStore",
+    "available_kernels",
+    "numpy_available",
+    "resolve_kernel",
+    "store_class",
+    "validate_kernel",
+]
+
+#: concrete kernels, in documentation order
+KERNELS = ("python", "numpy", "compressed")
+
+#: what ``--kernel`` accepts: every concrete kernel plus ``auto``
+KERNEL_CHOICES = (*KERNELS, "auto")
+
+#: the executable reference; used whenever nothing better is requested
+DEFAULT_KERNEL = "python"
+
+#: ``auto`` picks numpy only above this row count — below it, big-int
+#: columns are cache-resident and the numpy round-trips don't pay
+AUTO_NUMPY_MIN_ROWS = 2048
+
+#: ``auto`` falls back to the compressed kernel (numpy absent) only for
+#: logs at least this long ...
+AUTO_COMPRESSED_MIN_ROWS = 1 << 17
+
+#: ... and at most this dense (set bits / (rows * width))
+AUTO_COMPRESSED_MAX_DENSITY = 0.01
+
+_numpy_available: bool | None = None
+
+
+def numpy_available() -> bool:
+    """True iff the optional numpy dependency is importable (cached)."""
+    global _numpy_available
+    if _numpy_available is None:
+        try:
+            import numpy  # noqa: F401
+        except ImportError:  # pragma: no cover - numpy present in CI
+            _numpy_available = False
+        else:
+            _numpy_available = True
+    return _numpy_available
+
+
+def available_kernels() -> tuple[str, ...]:
+    """The concrete kernels usable in this environment."""
+    if numpy_available():
+        return KERNELS
+    return tuple(k for k in KERNELS if k != "numpy")  # pragma: no cover
+
+
+def validate_kernel(kernel: str) -> str:
+    """Check a kernel name against :data:`KERNEL_CHOICES`."""
+    if kernel not in KERNEL_CHOICES:
+        raise ValidationError(
+            f"unknown kernel {kernel!r}; expected one of {KERNEL_CHOICES}"
+        )
+    return kernel
+
+
+def _require_available(kernel: str) -> str:
+    if kernel == "numpy" and not numpy_available():
+        raise ValidationError(
+            "kernel 'numpy' requested but numpy is not installed; "
+            "install the optional extra (pip install repro[fast]) or use "
+            "--kernel python / --kernel auto"
+        )
+    return kernel
+
+
+def resolve_kernel(
+    kernel: str | None = None,
+    *,
+    num_rows: int | None = None,
+    width: int | None = None,
+    density: float | None = None,
+) -> str:
+    """Resolve a requested kernel name to a concrete, available one.
+
+    ``None`` and ``"auto"`` pick by environment and workload shape: the
+    numpy kernel for logs long enough to amortise vectorisation
+    (:data:`AUTO_NUMPY_MIN_ROWS`), the compressed kernel when numpy is
+    missing but the log is huge and sparse, the reference kernel
+    otherwise.  A concrete name is validated (and, for ``numpy``,
+    checked for availability — a :class:`ValidationError` maps to CLI
+    exit code 2) and returned as-is.
+    """
+    kernel = validate_kernel(kernel or "auto")
+    if kernel != "auto":
+        return _require_available(kernel)
+    rows = num_rows or 0
+    if numpy_available() and rows >= AUTO_NUMPY_MIN_ROWS:
+        return "numpy"
+    if (  # pragma: no cover - exercised with a monkeypatched registry
+        not numpy_available()
+        and rows >= AUTO_COMPRESSED_MIN_ROWS
+        and density is not None
+        and density <= AUTO_COMPRESSED_MAX_DENSITY
+    ):
+        return "compressed"
+    return DEFAULT_KERNEL
+
+
+def store_class(kernel: str) -> type[ColumnStore]:
+    """The :class:`ColumnStore` subclass behind a concrete kernel name."""
+    _require_available(validate_kernel(kernel))
+    if kernel == "python":
+        from repro.booldata.kernels.pyint import PythonIntStore
+
+        return PythonIntStore
+    if kernel == "numpy":
+        from repro.booldata.kernels.packed import PackedNumpyStore
+
+        return PackedNumpyStore
+    if kernel == "compressed":
+        from repro.booldata.kernels.compressed import CompressedStore
+
+        return CompressedStore
+    raise ValidationError(f"kernel {kernel!r} has no store (did you mean 'auto'?)")

@@ -1,0 +1,139 @@
+"""The column-store contract every bitmap kernel implements.
+
+A :class:`ColumnStore` owns the physical representation of a vertical
+(attribute-major) bitmap index: one row-bitset per attribute, however
+the kernel chooses to lay it out — Python ints (the executable
+reference), packed ``uint64`` numpy words, or roaring-style compressed
+containers.  :class:`~repro.booldata.index.VerticalIndex` and
+:class:`~repro.stream.index.DeltaVerticalIndex` hold one store each and
+delegate every data-touching operation here, keeping the paper-level
+identities, operation counters and deterministic tie-breaking in exactly
+one place while the kernels compete purely on representation.
+
+Interchange format
+------------------
+
+All stores speak the same logical language as the reference kernel:
+
+* a **row** is an int bitmask over ``width`` attribute positions;
+* a **column** is an int bitset over row positions (bit ``i`` set iff
+  row ``i`` contains the attribute), little-endian in memory whenever a
+  kernel materialises bytes (``int.from_bytes(..., "little")``);
+* a **row selector** (``within``) is an int bitset over row positions,
+  or ``None`` for "every row".  Callers guarantee ``within`` is a
+  subset of the row universe — behaviour for stray higher bits is
+  kernel-defined (the reference kernel tolerates them, packed kernels
+  drop them).
+
+Every query answer is returned as plain Python ints, so results are
+bit-for-bit comparable across kernels — the property suites assert
+exactly that.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import ClassVar
+
+from repro.common.bits import full_mask
+
+__all__ = ["ColumnStore"]
+
+
+class ColumnStore:
+    """Abstract physical representation of per-attribute row-bitsets.
+
+    Concrete stores set :attr:`kernel` to their registry name and
+    implement every method below.  ``num_rows`` counts *slots*: for a
+    plain index that is the row count; for the streaming delta index it
+    includes tombstoned positions (the owner masks them out via
+    ``within``).
+    """
+
+    kernel: ClassVar[str] = "abstract"
+
+    __slots__ = ("width", "num_rows")
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def build(cls, width: int, rows: Sequence[int]) -> "ColumnStore":
+        """Transpose row masks into a fresh store."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_int_columns(
+        cls, width: int, num_rows: int, columns: Sequence[int]
+    ) -> "ColumnStore":
+        """Adopt pre-transposed int columns (the interchange format)."""
+        raise NotImplementedError
+
+    # -- shape and interop -------------------------------------------------------
+
+    def universe(self) -> int:
+        """Bitset of every slot position."""
+        return full_mask(self.num_rows)
+
+    def occupied_attributes(self) -> int:
+        """Mask of attributes present in at least one slot."""
+        raise NotImplementedError
+
+    def int_column(self, attribute: int) -> int:
+        """One column decoded to the int interchange format."""
+        raise NotImplementedError
+
+    def int_columns(self) -> list[int]:
+        """All ``width`` columns decoded to ints."""
+        return [self.int_column(attribute) for attribute in range(self.width)]
+
+    def clone(self) -> "ColumnStore":
+        """An independent copy (mutating either side affects only it)."""
+        raise NotImplementedError
+
+    def memory_bytes(self) -> int:
+        """Approximate resident payload size of the representation."""
+        raise NotImplementedError
+
+    # -- streaming mutation ------------------------------------------------------
+
+    def merge_rows(self, rows: Sequence[int], offset: int) -> None:
+        """Append ``rows`` starting at slot ``offset`` (``>= num_rows``)."""
+        raise NotImplementedError
+
+    def drop_prefix(self, count: int) -> None:
+        """Remove the lowest ``count`` slots, renumbering the rest down."""
+        raise NotImplementedError
+
+    # -- queries -----------------------------------------------------------------
+
+    def union_rows(self, attributes: int) -> int:
+        """OR of the columns selected by the ``attributes`` mask."""
+        raise NotImplementedError
+
+    def subset_rows(self, keep_mask: int, within: int | None) -> int:
+        """Slots whose row is a subset of ``keep_mask`` (the satisfied set)."""
+        raise NotImplementedError
+
+    def subset_count(self, keep_mask: int, within: int | None) -> int:
+        """Popcount of :meth:`subset_rows` (kernels may shortcut)."""
+        return self.subset_rows(keep_mask, within).bit_count()
+
+    def subset_counts(
+        self, keep_masks: Sequence[int], within: int | None
+    ) -> list[int]:
+        """Batched :meth:`subset_count` (kernels may amortise buffers)."""
+        return [self.subset_count(keep, within) for keep in keep_masks]
+
+    def intersect_rows(self, attributes: int, within: int | None) -> int:
+        """AND of the columns selected by ``attributes``, over ``within``."""
+        raise NotImplementedError
+
+    def counts(self, pool: int | None, within: int | None) -> list[int]:
+        """Per-attribute popcounts, zero outside ``pool``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(kernel={self.kernel!r}, "
+            f"width={self.width}, slots={self.num_rows})"
+        )

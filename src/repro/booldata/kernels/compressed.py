@@ -1,0 +1,317 @@
+"""The compressed kernel: roaring-style chunked columns for sparse logs.
+
+Each column is cut into chunks of 2^16 row positions and every non-empty
+chunk is stored in whichever of three container encodings is smallest —
+the classic Roaring-bitmap layout, realised with Python-native types:
+
+* ``array`` — a sorted ``array('H')`` of in-chunk offsets, 2 bytes per
+  set bit; wins below ~4096 bits per chunk (the sparse common case);
+* ``runs`` — a flat ``array('I')`` of ``(start, length)`` pairs, 8 bytes
+  per run of consecutive rows; wins for bursty/clustered attributes;
+* ``bits`` — the verbatim 65536-bit chunk as a Python int (8 KiB);
+  the dense fallback.
+
+The value of this kernel is *memory*, not raw query speed: at a million
+rows with per-mille densities the resident payload shrinks by an order
+of magnitude versus uncompressed int columns, while every query stays
+answerable through the same :class:`~repro.booldata.kernels.base.ColumnStore`
+interface.  Operations decompress per chunk into ints (big-int bitwise
+ops do the actual work) behind two small bounded caches, so repeated
+queries do not re-decode hot chunks; evicted chunks simply decode again.
+The caches are transient working state — :meth:`memory_bytes` reports
+only the compressed payload.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Sequence
+
+from repro.booldata.kernels.base import ColumnStore
+from repro.common.bits import bit_indices, full_mask
+
+__all__ = ["CompressedStore"]
+
+CHUNK_BITS = 1 << 16
+CHUNK_BYTES = CHUNK_BITS // 8
+
+#: Roaring's array/bitmap crossover: 2 bytes/bit beats 8 KiB below this.
+ARRAY_MAX_CARD = CHUNK_BITS // 16
+
+_CHUNK_CACHE_LIMIT = 512  # decompressed 8 KiB chunk ints (~4 MiB ceiling)
+_COLUMN_CACHE_LIMIT = 16  # fully decompressed column ints
+
+# container kinds
+_ARRAY, _RUNS, _BITS = "array", "runs", "bits"
+
+
+def _iter_runs(value: int):
+    """Yield maximal ``(start, length)`` 1-runs of ``value``, ascending."""
+    while value:
+        low = value & -value
+        start = low.bit_length() - 1
+        carried = value + low  # clears the lowest run, sets the bit after it
+        end = (carried & -carried).bit_length() - 1
+        yield start, end - start
+        value = carried ^ (1 << end)
+
+
+def _compress_chunk(chunk: int) -> tuple:
+    """Pick the smallest of the three encodings for one non-zero chunk."""
+    cardinality = chunk.bit_count()
+    run_count = (chunk & ~(chunk << 1)).bit_count()
+    array_bytes = 2 * cardinality
+    run_bytes = 8 * run_count
+    if run_bytes < min(array_bytes, CHUNK_BYTES):
+        flat = array("I")
+        for start, length in _iter_runs(chunk):
+            flat.append(start)
+            flat.append(length)
+        return (_RUNS, flat, cardinality)
+    if cardinality <= ARRAY_MAX_CARD:
+        return (_ARRAY, array("H", bit_indices(chunk)), cardinality)
+    return (_BITS, chunk, cardinality)
+
+
+def _decompress_chunk(container: tuple) -> int:
+    kind, payload, _cardinality = container
+    if kind is _BITS:
+        return payload
+    if kind is _ARRAY:
+        buffer = bytearray(CHUNK_BYTES)
+        for offset in payload:
+            buffer[offset >> 3] |= 1 << (offset & 7)
+        return int.from_bytes(buffer, "little")
+    value = 0
+    for position in range(0, len(payload), 2):
+        start, length = payload[position], payload[position + 1]
+        value |= ((1 << length) - 1) << start
+    return value
+
+
+def _container_bytes(container: tuple) -> int:
+    kind, payload, _cardinality = container
+    if kind is _BITS:
+        return (payload.bit_length() + 7) // 8 + 28
+    return len(payload) * payload.itemsize + 64
+
+
+def _compress_column(value: int) -> dict[int, tuple]:
+    """Full int column -> ``{chunk_index: container}`` (empty chunks absent)."""
+    containers: dict[int, tuple] = {}
+    if value:
+        raw = value.to_bytes((value.bit_length() + 7) // 8, "little")
+        for index in range((len(raw) + CHUNK_BYTES - 1) // CHUNK_BYTES):
+            chunk = int.from_bytes(
+                raw[index * CHUNK_BYTES : (index + 1) * CHUNK_BYTES], "little"
+            )
+            if chunk:
+                containers[index] = _compress_chunk(chunk)
+    return containers
+
+
+class CompressedStore(ColumnStore):
+    """Chunked array/runs/bits containers per attribute column."""
+
+    kernel = "compressed"
+
+    __slots__ = ("_columns", "_chunk_cache", "_column_cache")
+
+    def __init__(
+        self, width: int, num_rows: int, columns: list[dict[int, tuple]]
+    ) -> None:
+        self.width = width
+        self.num_rows = num_rows
+        #: per attribute: chunk index -> container (containers are never
+        #: mutated in place, so clones may share them)
+        self._columns = columns
+        self._chunk_cache: dict[tuple[int, int], int] = {}
+        self._column_cache: dict[int, int] = {}
+
+    @classmethod
+    def build(cls, width: int, rows: Sequence[int]) -> "CompressedStore":
+        from repro.booldata.index import build_columns
+
+        return cls.from_int_columns(width, len(rows), build_columns(width, rows))
+
+    @classmethod
+    def from_int_columns(
+        cls, width: int, num_rows: int, columns: Sequence[int]
+    ) -> "CompressedStore":
+        return cls(width, num_rows, [_compress_column(column) for column in columns])
+
+    # -- chunk access ------------------------------------------------------------
+
+    def _num_chunks(self) -> int:
+        return (self.num_rows + CHUNK_BITS - 1) // CHUNK_BITS
+
+    def _chunk_universe(self, index: int) -> int:
+        remaining = self.num_rows - index * CHUNK_BITS
+        return full_mask(min(remaining, CHUNK_BITS))
+
+    def _chunk_int(self, attribute: int, index: int) -> int:
+        """Decompressed chunk behind a bounded FIFO cache."""
+        key = (attribute, index)
+        cached = self._chunk_cache.get(key)
+        if cached is None:
+            container = self._columns[attribute].get(index)
+            cached = 0 if container is None else _decompress_chunk(container)
+            if len(self._chunk_cache) >= _CHUNK_CACHE_LIMIT:
+                self._chunk_cache.pop(next(iter(self._chunk_cache)))
+            self._chunk_cache[key] = cached
+        return cached
+
+    def _assemble(self, values: dict[int, int]) -> int:
+        """Per-chunk ints -> one full-length row bitset."""
+        buffer = bytearray(self._num_chunks() * CHUNK_BYTES)
+        for index, value in values.items():
+            if value:
+                buffer[index * CHUNK_BYTES : (index + 1) * CHUNK_BYTES] = (
+                    value.to_bytes(CHUNK_BYTES, "little")
+                )
+        return int.from_bytes(buffer, "little")
+
+    def _within_bytes(self, within: int) -> bytes:
+        return within.to_bytes(self._num_chunks() * CHUNK_BYTES or 1, "little")
+
+    @staticmethod
+    def _slice_chunk(raw: bytes, index: int) -> int:
+        return int.from_bytes(
+            raw[index * CHUNK_BYTES : (index + 1) * CHUNK_BYTES], "little"
+        )
+
+    # -- shape and interop -------------------------------------------------------
+
+    def occupied_attributes(self) -> int:
+        occupied = 0
+        for attribute, containers in enumerate(self._columns):
+            if containers:
+                occupied |= 1 << attribute
+        return occupied
+
+    def int_column(self, attribute: int) -> int:
+        cached = self._column_cache.get(attribute)
+        if cached is None:
+            containers = self._columns[attribute]
+            cached = self._assemble(
+                {index: _decompress_chunk(c) for index, c in containers.items()}
+            )
+            if len(self._column_cache) >= _COLUMN_CACHE_LIMIT:
+                self._column_cache.pop(next(iter(self._column_cache)))
+            self._column_cache[attribute] = cached
+        return cached
+
+    def clone(self) -> "CompressedStore":
+        return CompressedStore(
+            self.width, self.num_rows, [dict(column) for column in self._columns]
+        )
+
+    def memory_bytes(self) -> int:
+        return sum(
+            _container_bytes(container)
+            for column in self._columns
+            for container in column.values()
+        )
+
+    # -- streaming mutation ------------------------------------------------------
+
+    def merge_rows(self, rows: Sequence[int], offset: int) -> None:
+        from repro.booldata.index import build_columns
+
+        for attribute, delta in enumerate(build_columns(self.width, rows)):
+            if delta:
+                merged = self.int_column(attribute) | (delta << offset)
+                self._columns[attribute] = _compress_column(merged)
+        self.num_rows = max(self.num_rows, offset + len(rows))
+        self._chunk_cache.clear()
+        self._column_cache.clear()
+
+    def drop_prefix(self, count: int) -> None:
+        for attribute in range(self.width):
+            if self._columns[attribute]:
+                self._columns[attribute] = _compress_column(
+                    self.int_column(attribute) >> count
+                )
+        self.num_rows -= count
+        self._chunk_cache.clear()
+        self._column_cache.clear()
+
+    # -- queries -----------------------------------------------------------------
+
+    def union_rows(self, attributes: int) -> int:
+        selected = bit_indices(attributes)
+        values: dict[int, int] = {}
+        for attribute in selected:
+            for index in self._columns[attribute]:
+                values[index] = values.get(index, 0) | self._chunk_int(
+                    attribute, index
+                )
+        return self._assemble(values) if values else 0
+
+    def _excluded_union_chunks(self, keep_mask: int) -> dict[int, int]:
+        """Per-chunk OR of every non-empty column outside ``keep_mask``."""
+        values: dict[int, int] = {}
+        for attribute, containers in enumerate(self._columns):
+            if containers and not keep_mask >> attribute & 1:
+                for index in containers:
+                    value = values.get(index, 0)
+                    if value != self._chunk_universe(index):
+                        values[index] = value | self._chunk_int(attribute, index)
+        return values
+
+    def subset_rows(self, keep_mask: int, within: int | None) -> int:
+        excluded = self._excluded_union_chunks(keep_mask)
+        values = {
+            index: self._chunk_universe(index) & ~excluded.get(index, 0)
+            for index in range(self._num_chunks())
+        }
+        value = self._assemble(values)
+        return value if within is None else value & within
+
+    def subset_count(self, keep_mask: int, within: int | None) -> int:
+        excluded = self._excluded_union_chunks(keep_mask)
+        raw = self._within_bytes(within) if within is not None else None
+        total = 0
+        for index in range(self._num_chunks()):
+            value = self._chunk_universe(index) & ~excluded.get(index, 0)
+            if raw is not None:
+                value &= self._slice_chunk(raw, index)
+            total += value.bit_count()
+        return total
+
+    def intersect_rows(self, attributes: int, within: int | None) -> int:
+        selected = bit_indices(attributes)
+        if not selected:
+            return self.universe() if within is None else within
+        if any(not self._columns[attribute] for attribute in selected):
+            return 0
+        values: dict[int, int] = {}
+        for index in self._columns[selected[0]]:
+            value = self._chunk_universe(index)
+            for attribute in selected:
+                value &= self._chunk_int(attribute, index)
+                if not value:
+                    break
+            if value:
+                values[index] = value
+        value = self._assemble(values) if values else 0
+        return value if within is None else value & within
+
+    def counts(self, pool: int | None, within: int | None) -> list[int]:
+        counts = [0] * self.width
+        selected = range(self.width) if pool is None else bit_indices(pool)
+        if within is None:
+            for attribute in selected:
+                counts[attribute] = sum(
+                    container[2] for container in self._columns[attribute].values()
+                )
+            return counts
+        raw = self._within_bytes(within)
+        for attribute in selected:
+            total = 0
+            for index in self._columns[attribute]:
+                total += (
+                    self._chunk_int(attribute, index) & self._slice_chunk(raw, index)
+                ).bit_count()
+            counts[attribute] = total
+        return counts

@@ -1,0 +1,316 @@
+"""The numpy kernel: packed ``uint64`` words, column- *and* row-major.
+
+Two physical views of the same bits, each serving the operations it is
+fastest at:
+
+* **row-major** ``(num_rows, row_words)`` — one ``uint64`` word per row
+  for widths up to 64 (``row_words = ceil(width / 64)`` in general).
+  Subset tests vectorise over *rows*: a row violates a keep-mask ``K``
+  iff ``row & ~K != 0``, so ``satisfied_count(K)`` is one masked
+  ``count_nonzero`` over the whole log — no per-attribute work at all.
+  Appends are O(1) amortised writes into spare capacity, which is what
+  the streaming delta index needs.
+* **column-major** ``(width, col_words)`` — per-attribute row-bitsets
+  packed 64 rows to the word (``bitorder="little"``, so the byte images
+  round-trip with ``int.from_bytes(..., "little")`` — the interchange
+  format shared with the reference kernel).  Unions, intersections and
+  frequency counts reduce over small fancy-indexed slices.  The column
+  view is derived lazily from the row view after mutations.
+
+Construction is the decisive win: transposing 100k x 64 rows costs
+~130 ms in pure Python versus ~8 ms here (one ``np.array`` ingest plus
+one shift-and-``packbits`` pass per attribute), and end-to-end solve
+workloads are construction-dominated.
+
+Popcounts use :func:`numpy.bitwise_count` when available (numpy >= 2.0)
+and a table-driven per-byte lookup otherwise.
+
+This module imports :mod:`numpy` at import time — the kernel registry
+(:mod:`repro.booldata.kernels`) only loads it when numpy is installed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.booldata.kernels.base import ColumnStore
+from repro.common.bits import bit_indices, full_mask
+
+__all__ = ["PackedNumpyStore"]
+
+_M64 = (1 << 64) - 1
+_U8 = np.dtype("<u8")
+_CHUNK_ROWS = 1 << 16  # transpose in bounded-memory chunks
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+if not _HAS_BITWISE_COUNT:  # pragma: no cover - numpy >= 2.0 in CI
+    _POP8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def _popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Per-row popcount sums of a 2-D uint64 array."""
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+    flat = np.ascontiguousarray(words).view(np.uint8)  # pragma: no cover
+    return _POP8[flat].sum(axis=1, dtype=np.int64)  # pragma: no cover
+
+
+def _int_to_words(value: int, num_words: int) -> np.ndarray:
+    """Little-endian uint64 words of a non-negative int (read-only)."""
+    return np.frombuffer(value.to_bytes(num_words * 8, "little"), dtype=_U8)
+
+
+def _words_to_int(words: np.ndarray) -> int:
+    """Inverse of :func:`_int_to_words`."""
+    return int.from_bytes(np.ascontiguousarray(words, dtype=_U8).tobytes(), "little")
+
+
+class PackedNumpyStore(ColumnStore):
+    """Packed-uint64 bitmap store with dual row/column views."""
+
+    kernel = "numpy"
+
+    __slots__ = (
+        "_rw", "_capacity", "_rows", "_cols",
+        "_int_cache", "_wkey", "_wbools", "_cwkey", "_cwords",
+    )
+
+    def __init__(self, width: int, num_rows: int, rows: np.ndarray) -> None:
+        self.width = width
+        self.num_rows = num_rows
+        self._rw = rows.shape[1]
+        self._capacity = rows.shape[0]
+        self._rows = rows
+        self._cols: np.ndarray | None = None
+        self._int_cache: dict[int, int] = {}
+        self._wkey: int | None = None
+        self._wbools: np.ndarray | None = None
+        self._cwkey: int | None = None
+        self._cwords: np.ndarray | None = None
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def _pack_rows(cls, width: int, rows: Sequence[int]) -> np.ndarray:
+        """Row masks -> ``(len(rows), row_words)`` uint64 words."""
+        count = len(rows)
+        row_words = max(1, (width + 63) // 64)
+        if width <= 64:
+            flat = np.array(rows, dtype=np.uint64) if count else np.empty(0, np.uint64)
+            return flat.reshape(count, 1)
+        row_bytes = row_words * 8
+        buffer = b"".join(row.to_bytes(row_bytes, "little") for row in rows)
+        return np.frombuffer(buffer, dtype=_U8).reshape(count, row_words).copy()
+
+    @classmethod
+    def build(cls, width: int, rows: Sequence[int]) -> "PackedNumpyStore":
+        packed = cls._pack_rows(width, rows)
+        return cls(width, len(rows), np.ascontiguousarray(packed, dtype=np.uint64))
+
+    @classmethod
+    def from_int_columns(
+        cls, width: int, num_rows: int, columns: Sequence[int]
+    ) -> "PackedNumpyStore":
+        col_words = (num_rows + 63) // 64
+        col_bytes = col_words * 8
+        buffer = b"".join(column.to_bytes(col_bytes, "little") for column in columns)
+        cols = np.frombuffer(buffer, dtype=_U8).reshape(width, col_words).copy()
+        row_words = max(1, (width + 63) // 64)
+        rows = np.zeros((num_rows, row_words), dtype=np.uint64)
+        cols_u8 = np.ascontiguousarray(cols).view(np.uint8)  # (width, col_bytes)
+        for start in range(0, num_rows, _CHUNK_ROWS):
+            stop = min(start + _CHUNK_ROWS, num_rows)
+            segment = cols_u8[:, start // 8 : (stop + 7) // 8]
+            bits = np.unpackbits(segment, axis=1, bitorder="little",
+                                 count=stop - start)
+            packed = np.packbits(bits.T, axis=1, bitorder="little")
+            padded = np.zeros((stop - start, row_words * 8), dtype=np.uint8)
+            padded[:, : packed.shape[1]] = packed
+            rows[start:stop] = padded.view(_U8)
+        store = cls(width, num_rows, rows)
+        store._cols = cols
+        return store
+
+    # -- internal views ----------------------------------------------------------
+
+    def _row_view(self) -> np.ndarray:
+        return self._rows[: self.num_rows]
+
+    def _ensure_cols(self) -> np.ndarray:
+        """(Re)derive the column-major packed view from the row words."""
+        if self._cols is not None:
+            return self._cols
+        rows = self._row_view()
+        count = self.num_rows
+        col_bytes = ((count + 63) // 64) * 8
+        cols = np.zeros((self.width, col_bytes), dtype=np.uint8)
+        one = np.uint64(1)
+        for attribute in range(self.width):
+            word, bit = divmod(attribute, 64)
+            bits = ((rows[:, word] >> np.uint64(bit)) & one).astype(np.uint8)
+            packed = np.packbits(bits, bitorder="little")
+            cols[attribute, : packed.size] = packed
+        self._cols = cols.view(_U8)
+        return self._cols
+
+    def _invalidate(self) -> None:
+        self._cols = None
+        self._int_cache.clear()
+        self._wkey = self._wbools = None
+        self._cwkey = self._cwords = None
+
+    def _within_bools(self, within: int) -> np.ndarray:
+        """Boolean row selector for a ``within`` bitset (1-slot cache)."""
+        if within == self._wkey and self._wbools is not None:
+            return self._wbools
+        count = self.num_rows
+        raw = within.to_bytes((count + 7) // 8, "little") if count else b""
+        bools = np.unpackbits(
+            np.frombuffer(raw, dtype=np.uint8), bitorder="little", count=count
+        ).astype(bool)
+        self._wkey, self._wbools = within, bools
+        return bools
+
+    def _within_words(self, within: int) -> np.ndarray:
+        """uint64-word view of a ``within`` bitset (1-slot cache)."""
+        if within == self._cwkey and self._cwords is not None:
+            return self._cwords
+        words = _int_to_words(within, (self.num_rows + 63) // 64)
+        self._cwkey, self._cwords = within, words
+        return words
+
+    def _violators(self, keep_mask: int) -> np.ndarray:
+        """Boolean mask of rows *not* contained in ``keep_mask``."""
+        rows = self._row_view()
+        if self._rw == 1:
+            return (rows[:, 0] & np.uint64(~keep_mask & _M64)) != 0
+        exclude = _int_to_words(~keep_mask & full_mask(self._rw * 64), self._rw)
+        return (rows & exclude).any(axis=1)
+
+    # -- shape and interop -------------------------------------------------------
+
+    def occupied_attributes(self) -> int:
+        if self.num_rows == 0:
+            return 0
+        acc = np.bitwise_or.reduce(self._row_view(), axis=0)
+        return _words_to_int(acc) & full_mask(self.width)
+
+    def int_column(self, attribute: int) -> int:
+        cached = self._int_cache.get(attribute)
+        if cached is None:
+            cols = self._ensure_cols()
+            cached = int.from_bytes(cols[attribute].tobytes(), "little")
+            self._int_cache[attribute] = cached
+        return cached
+
+    def clone(self) -> "PackedNumpyStore":
+        return PackedNumpyStore(self.width, self.num_rows, self._row_view().copy())
+
+    def memory_bytes(self) -> int:
+        total = self._row_view().nbytes
+        if self._cols is not None:
+            total += self._cols.nbytes
+        return total
+
+    # -- streaming mutation ------------------------------------------------------
+
+    def merge_rows(self, rows: Sequence[int], offset: int) -> None:
+        need = offset + len(rows)
+        if need > self._capacity:
+            grown = np.zeros(
+                (max(need, 2 * self._capacity, 1024), self._rw), dtype=np.uint64
+            )
+            grown[: self.num_rows] = self._row_view()
+            self._rows, self._capacity = grown, grown.shape[0]
+        if offset > self.num_rows:
+            self._rows[self.num_rows : offset] = 0
+        if rows:
+            self._rows[offset:need] = self._pack_rows(self.width, rows)
+        self.num_rows = max(self.num_rows, need)
+        self._invalidate()
+
+    def drop_prefix(self, count: int) -> None:
+        self._rows = self._rows[count : self.num_rows].copy()
+        self.num_rows -= count
+        self._capacity = self._rows.shape[0]
+        self._invalidate()
+
+    # -- queries -----------------------------------------------------------------
+
+    def union_rows(self, attributes: int) -> int:
+        selected = bit_indices(attributes)
+        if not selected:
+            return 0
+        cols = self._ensure_cols()
+        if len(selected) == 1:
+            return self.int_column(selected[0])
+        return _words_to_int(np.bitwise_or.reduce(cols[selected], axis=0))
+
+    def subset_rows(self, keep_mask: int, within: int | None) -> int:
+        satisfied = ~self._violators(keep_mask)
+        value = int.from_bytes(
+            np.packbits(satisfied, bitorder="little").tobytes(), "little"
+        )
+        return value if within is None else value & within
+
+    def subset_count(self, keep_mask: int, within: int | None) -> int:
+        violators = self._violators(keep_mask)
+        if within is None:
+            return self.num_rows - int(np.count_nonzero(violators))
+        mask = self._within_bools(within)
+        return int(np.count_nonzero(~violators & mask))
+
+    def subset_counts(
+        self, keep_masks: Sequence[int], within: int | None
+    ) -> list[int]:
+        if self._rw != 1:
+            return [self.subset_count(keep, within) for keep in keep_masks]
+        flat = self._row_view()[:, 0]
+        counts = []
+        if within is None:
+            # one reused cache-resident scratch block: the AND output
+            # stays in L2 while each candidate streams the rows once
+            step = 1 << 15
+            scratch = np.empty(min(step, self.num_rows), dtype=np.uint64)
+            for keep in keep_masks:
+                exclude = np.uint64(~keep & _M64)
+                violators = 0
+                for start in range(0, self.num_rows, step):
+                    block = flat[start : start + step]
+                    out = scratch[: block.size]
+                    np.bitwise_and(block, exclude, out=out)
+                    violators += int(np.count_nonzero(out))
+                counts.append(self.num_rows - violators)
+            return counts
+        mask = self._within_bools(within)
+        for keep in keep_masks:
+            ok = (flat & np.uint64(~keep & _M64)) == 0
+            counts.append(int(np.count_nonzero(ok & mask)))
+        return counts
+
+    def intersect_rows(self, attributes: int, within: int | None) -> int:
+        selected = bit_indices(attributes)
+        if not selected:
+            return self.universe() if within is None else within
+        cols = self._ensure_cols()
+        if len(selected) == 1:
+            value = self.int_column(selected[0])
+        else:
+            value = _words_to_int(np.bitwise_and.reduce(cols[selected], axis=0))
+        return value if within is None else value & within
+
+    def counts(self, pool: int | None, within: int | None) -> list[int]:
+        counts = [0] * self.width
+        selected = list(range(self.width)) if pool is None else bit_indices(pool)
+        if not selected or self.num_rows == 0:
+            return counts
+        cols = self._ensure_cols()
+        chosen = cols[selected]
+        if within is not None:
+            chosen = chosen & self._within_words(within)
+        per_attribute = _popcount_rows(chosen)
+        for position, attribute in enumerate(selected):
+            counts[attribute] = int(per_attribute[position])
+        return counts

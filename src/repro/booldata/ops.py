@@ -13,10 +13,11 @@
 from __future__ import annotations
 
 from repro.booldata.table import BooleanTable
-from repro.common.bits import bit_count, is_subset, mask_complement
+from repro.common.bits import bit_count, is_subset, mask_complement, popcount
 from repro.common.errors import ValidationError
 
 __all__ = [
+    "popcount",
     "dominates",
     "satisfies",
     "satisfied_queries",

@@ -130,14 +130,26 @@ class BooleanTable:
 
     # -- vertical index ----------------------------------------------------
 
-    def vertical_index(self) -> VerticalIndex:
+    def vertical_index(self, kernel: str | None = None) -> VerticalIndex:
         """Attribute-major bitset index over the rows (built lazily, cached).
 
         Invalidated by :meth:`append` / :meth:`extend`; every batch
         evaluation and vertical-engine solver shares the one instance.
+        ``kernel`` picks the bitmap representation
+        (:mod:`repro.booldata.kernels`): ``None`` reuses whatever is
+        cached (building the default kernel otherwise), while a concrete
+        name or ``"auto"`` rebuilds — and re-caches — only when the
+        cached index runs on a different kernel than requested.
         """
-        if self._index is None:
-            self._index = VerticalIndex(self.schema.width, self._rows)
+        if self._index is not None:
+            if kernel is None:
+                return self._index
+            from repro.booldata.index import resolve_kernel_for_rows
+
+            resolved = resolve_kernel_for_rows(kernel, self.schema.width, self._rows)
+            if self._index.kernel == resolved:
+                return self._index
+        self._index = VerticalIndex(self.schema.width, self._rows, kernel=kernel)
         return self._index
 
     @property

@@ -25,6 +25,7 @@ import sys
 from pathlib import Path
 
 from repro.booldata import ENGINES, BooleanTable, load_table_csv, load_table_json
+from repro.booldata.kernels import KERNEL_CHOICES
 from repro.common.errors import (
     InfeasibleProblemError,
     ReproError,
@@ -128,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
         "index (default) or the row-major 'naive' oracle",
     )
     solve.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="bitmap kernel of the vertical index: pure-Python big ints, "
+        "numpy packed uint64 words, compressed (roaring-style) columns, "
+        "or 'auto' by log size and density (default auto)",
+    )
+    solve.add_argument(
         "--against-database",
         action="store_true",
         help="SOC-CB-D: maximize dominated database rows instead of log queries",
@@ -215,6 +224,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.01,
         help="shared-index mining threshold: float fraction in (0, 1] "
         "or absolute int count >= 1 (default 0.01)",
+    )
+    inventory.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="bitmap kernel of the shared and per-shard vertical indexes "
+        "(default auto)",
     )
     inventory.add_argument(
         "--jobs",
@@ -323,6 +339,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ENGINES,
         default="vertical",
         help="evaluation engine for solver inner loops (default vertical)",
+    )
+    stream.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="bitmap kernel of the streaming window index (default auto)",
     )
     return parser
 
@@ -482,7 +504,7 @@ def _run_solve_inner(args) -> int:
         if database is None:
             raise ValidationError("--against-database requires --database")
         target = database
-    problem = VisibilityProblem(target, new_tuple, args.budget)
+    problem = VisibilityProblem(target, new_tuple, args.budget, kernel=args.kernel)
     if args.deadline_ms is not None or args.fallback is not None:
         solution = _solve_with_harness(args, problem)
     else:
@@ -530,6 +552,7 @@ def _run_inventory(args) -> int:
         solver=solver,
         index_threshold=args.index_threshold,
         config=config,
+        kernel=args.kernel,
     )
     print(report.to_text())
     print(
@@ -564,6 +587,7 @@ def _run_stream(args) -> int:
         deadline_ms=args.deadline_ms,
         chain=chain,
         engine=args.engine,
+        kernel=args.kernel,
     )
     report = replay_drift(config)
     print(

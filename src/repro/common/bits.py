@@ -22,6 +22,7 @@ from collections.abc import Iterable, Iterator
 __all__ = [
     "full_mask",
     "is_subset",
+    "popcount",
     "bit_count",
     "bit_indices",
     "iter_bit_indices",
@@ -55,9 +56,22 @@ def is_subset(sub: int, sup: int) -> bool:
     return sub & sup == sub
 
 
+try:
+    #: population count of a non-negative int — ``int.bit_count`` on
+    #: Python >= 3.10, the ``bin(x).count("1")`` idiom otherwise.  Bind
+    #: the unbound C method directly so call sites pay no wrapper frame.
+    popcount = int.bit_count
+except AttributeError:  # pragma: no cover - pre-3.10 interpreters only
+
+    def popcount(mask: int, /) -> int:
+        """Population count fallback for interpreters without
+        ``int.bit_count`` (added in Python 3.10)."""
+        return bin(mask).count("1")
+
+
 def bit_count(mask: int) -> int:
     """Return the number of set bits (the size of the attribute set)."""
-    return mask.bit_count()
+    return popcount(mask)
 
 
 def bit_indices(mask: int) -> list[int]:

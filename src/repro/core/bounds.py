@@ -16,8 +16,6 @@ from repro.common.bits import bit_count
 from repro.common.errors import ValidationError
 from repro.core.ilp import build_soc_model
 from repro.core.problem import Solution, VisibilityProblem
-from repro.lp.simplex import SimplexSolver
-from repro.lp.solution import SolveStatus
 
 __all__ = ["GapCertificate", "lp_upper_bound", "certify"]
 
@@ -62,6 +60,9 @@ def lp_upper_bound(problem: VisibilityProblem) -> float:
     the native simplex.  Always at least the true optimum; the trivial
     bound ``min(|satisfiable|, ...)`` is applied on top.
     """
+    from repro.lp.simplex import SimplexSolver
+    from repro.lp.solution import SolveStatus
+
     satisfiable = len(problem.satisfiable_queries)
     if problem.budget == 0:
         # only all-empty queries can match an empty compression

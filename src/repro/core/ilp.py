@@ -25,6 +25,8 @@ paper).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.common.bits import bit_indices
 from repro.common.errors import (
     DeadlineExceededError,
@@ -33,9 +35,12 @@ from repro.common.errors import (
 )
 from repro.core.base import Solver
 from repro.core.problem import Solution, VisibilityProblem
-from repro.lp.branch_and_bound import BranchAndBoundSolver
-from repro.lp.model import LinearExpr, Model
-from repro.lp.solution import SolveStatus
+
+# repro.lp rides on numpy (the optional ``fast`` extra), so it is
+# imported lazily: the package — and every non-ILP solver — works
+# without it, and only an actual ILP solve demands the extra.
+if TYPE_CHECKING:
+    from repro.lp.model import Model
 
 __all__ = ["IlpSolver", "build_soc_model"]
 
@@ -52,6 +57,8 @@ def build_soc_model(
     tuple lacks — the paper's ``x_j = 0`` case is applied by simply not
     creating the variable).
     """
+    from repro.lp.model import LinearExpr, Model
+
     queries = (
         problem.satisfiable_queries if restrict_to_satisfiable else list(problem.log)
     )
@@ -101,6 +108,9 @@ class IlpSolver(Solver):
         self.max_nodes = max_nodes
 
     def _solve(self, problem: VisibilityProblem) -> Solution:
+        from repro.lp.branch_and_bound import BranchAndBoundSolver
+        from repro.lp.solution import SolveStatus
+
         model, x_vars = build_soc_model(problem, integral_y=self.integral_y)
         if self.backend == "scipy":
             from repro.lp.scipy_backend import ScipyMilpSolver

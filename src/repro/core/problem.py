@@ -33,16 +33,24 @@ class VisibilityProblem:
     ``log`` is the query log (or, for SOC-CB-D, the competing-product
     database), ``new_tuple`` the full attribute mask of the product to be
     inserted, and ``budget`` the number of attributes ``m`` to retain.
+    ``kernel`` optionally pins the bitmap kernel the vertical index runs
+    on (:mod:`repro.booldata.kernels`); ``None`` defers to whatever the
+    log has cached.
     """
 
     log: BooleanTable
     new_tuple: int
     budget: int
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         self.log.schema.validate_mask(self.new_tuple)
         if self.budget < 0:
             raise ValidationError(f"budget m must be non-negative, got {self.budget}")
+        if self.kernel is not None:
+            from repro.booldata import kernels
+
+            kernels.validate_kernel(self.kernel)
 
     @classmethod
     def from_database(
@@ -88,7 +96,7 @@ class VisibilityProblem:
         co-occurrence and complemented-log support into a few wide
         bitwise operations; see :mod:`repro.booldata.index`.
         """
-        return self.log.vertical_index()
+        return self.log.vertical_index(self.kernel)
 
     @cached_property
     def satisfiable_tids(self) -> int:
@@ -173,12 +181,11 @@ class VisibilityProblem:
         O(M) wide bitwise operations — the batch analogue of
         :meth:`evaluate` for ranking pipelines and exhaustive search.
         """
-        index = self.index
-        counts = []
+        masks = []
         for keep_mask in keep_masks:
             self._validate_candidate(keep_mask)
-            counts.append(index.satisfied_count(keep_mask))
-        return counts
+            masks.append(keep_mask)
+        return self.index.satisfied_counts(masks)
 
     def pad_to_budget(self, keep_mask: int) -> int:
         """Extend ``keep_mask`` with arbitrary tuple attributes up to ``m``.

@@ -65,7 +65,8 @@ DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
     ("counter", "repro_greedy_passes_total",
      "Selection passes executed by the greedy solvers.", ("algorithm",)),
     ("counter", "repro_index_bitmap_ops_total",
-     "Vertical-index bitmap operations (op=or|and|popcount).", ("op",)),
+     "Vertical-index bitmap operations (op=or|and|popcount) "
+     "by bitmap kernel.", ("op", "kernel")),
     ("counter", "repro_harness_runs_total",
      "SolverHarness.run outcomes by status.", ("status",)),
     ("counter", "repro_harness_attempts_total",
@@ -245,11 +246,20 @@ def bitmap_ops_snapshot(table: Any) -> tuple[int, int, int]:
 def record_bitmap_ops(
     recorder: Recorder, table: Any, before: tuple[int, int, int]
 ) -> None:
-    """Record the bitmap work done on ``table`` since ``before``."""
+    """Record the bitmap work done on ``table`` since ``before``.
+
+    The op counts are logical (kernel-independent); the ``kernel`` label
+    says which physical representation performed them.
+    """
     after = bitmap_ops_snapshot(table)
+    index = getattr(table, "cached_vertical_index", None)
+    kernel = getattr(index, "kernel", "python")
     for op, start, end in zip(_BITMAP_OPS, before, after):
         if end > start:
-            recorder.count("repro_index_bitmap_ops_total", end - start, {"op": op})
+            recorder.count(
+                "repro_index_bitmap_ops_total", end - start,
+                {"op": op, "kernel": kernel},
+            )
 
 
 @contextmanager

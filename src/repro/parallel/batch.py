@@ -155,6 +155,7 @@ def optimize_inventory_parallel(
     share_index: bool = True,
     index_threshold: int | float = 0.01,
     config: ParallelConfig | None = None,
+    kernel: str | None = None,
 ) -> InventoryReport:
     """:func:`repro.variants.batch.optimize_inventory`, shard-parallel.
 
@@ -177,9 +178,11 @@ def optimize_inventory_parallel(
     if len(log):
         # Build the full-log index and the shards pre-fork: workers
         # inherit both copy-on-write, exactly the amortization the
-        # serial loop gets from the table's index cache.
-        log.vertical_index()
-        sharded = ShardedLog(log, config.resolved_shards())
+        # serial loop gets from the table's index cache.  The requested
+        # bitmap kernel lands in the cache here, so every downstream
+        # problem (kernel=None defers to the cache) inherits it.
+        log.vertical_index(kernel)
+        sharded = ShardedLog(log, config.resolved_shards(), kernel)
     harness = None
     if config.deadline_ms is not None:
         from repro.runtime import SolverHarness

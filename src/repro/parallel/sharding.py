@@ -59,13 +59,21 @@ def shard_bounds(num_rows: int, shards: int) -> list[tuple[int, int]]:
 class LogShard:
     """One contiguous slice of the log plus its own vertical index."""
 
-    __slots__ = ("shard_id", "start", "stop", "table")
+    __slots__ = ("shard_id", "start", "stop", "table", "kernel")
 
-    def __init__(self, shard_id: int, start: int, stop: int, table: BooleanTable) -> None:
+    def __init__(
+        self,
+        shard_id: int,
+        start: int,
+        stop: int,
+        table: BooleanTable,
+        kernel: str | None = None,
+    ) -> None:
         self.shard_id = shard_id
         self.start = start
         self.stop = stop
         self.table = table
+        self.kernel = kernel
 
     def __len__(self) -> int:
         return self.stop - self.start
@@ -73,7 +81,7 @@ class LogShard:
     @property
     def index(self) -> VerticalIndex:
         """The shard's vertical index (built once, cached on the table)."""
-        return self.table.vertical_index()
+        return self.table.vertical_index(self.kernel)
 
     def __repr__(self) -> str:
         return f"LogShard(id={self.shard_id}, rows=[{self.start}, {self.stop}))"
@@ -82,13 +90,21 @@ class LogShard:
 class ShardedLog:
     """A query log partitioned into row shards for map-reduce counting."""
 
-    __slots__ = ("log", "shards")
+    __slots__ = ("log", "shards", "kernel")
 
-    def __init__(self, log: BooleanTable, shards: int) -> None:
+    def __init__(
+        self, log: BooleanTable, shards: int, kernel: str | None = None
+    ) -> None:
         self.log = log
+        #: bitmap kernel every per-shard index is built on (``None``
+        #: defers to each shard table's default)
+        self.kernel = kernel
         rows = log.rows
         self.shards: tuple[LogShard, ...] = tuple(
-            LogShard(shard_id, start, stop, BooleanTable(log.schema, rows[start:stop]))
+            LogShard(
+                shard_id, start, stop,
+                BooleanTable(log.schema, rows[start:stop]), kernel,
+            )
             for shard_id, (start, stop) in enumerate(shard_bounds(len(rows), shards))
         )
 

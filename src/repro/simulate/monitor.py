@@ -81,6 +81,7 @@ class VisibilityMonitor:
         compact_threshold: float = 0.5,
         cache_size: int | None = None,
         stale_while_revalidate: bool = False,
+        kernel: str | None = None,
     ) -> None:
         schema.validate_mask(new_tuple)
         schema.validate_mask(keep_mask)
@@ -100,7 +101,8 @@ class VisibilityMonitor:
         self.estimator = estimator or ConsumeAttrSolver()
         self.harness = harness
         self.stream = StreamingLog(
-            schema, window_size=window_size, compact_threshold=compact_threshold
+            schema, window_size=window_size, compact_threshold=compact_threshold,
+            kernel=kernel,
         )
         self.cache = (
             SolveCache(

@@ -73,7 +73,11 @@ class SolveCache:
         A hit returns the exact :class:`Solution` object the uncached
         solve produced — same mask, same objective, same stats.
         """
-        key = (new_tuple, budget, solver.name, self.log.epoch)
+        # the "solver:" prefix keeps plain solves and harness runs in
+        # disjoint key spaces — an estimator and a one-entry chain with
+        # the same algorithm name must not answer each other (they cache
+        # different entry types: Solution vs RunOutcome)
+        key = (new_tuple, budget, "solver:" + solver.name, self.log.epoch)
         cached = self._lookup(key)
         if cached is not None:
             return cached
@@ -102,7 +106,7 @@ class SolveCache:
         already bounded the refresh attempt, so serving stale costs one
         objective evaluation on top.
         """
-        name = "/".join(harness.chain)
+        name = "chain:" + "/".join(harness.chain)
         key = (new_tuple, budget, name, self.log.epoch)
         cached = self._lookup(key)
         if cached is not None:

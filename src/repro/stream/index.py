@@ -9,39 +9,40 @@ the head (the sliding-window pattern of :class:`~repro.stream.log.StreamingLog`)
 Three mechanisms keep every mutation cheap:
 
 * **per-epoch delta buffers** — appended rows accumulate in a pending
-  list and are transposed *once* per query epoch
-  (:func:`~repro.booldata.index.build_columns` over the batch, then one
-  shift+OR per occupied attribute via
-  :func:`~repro.booldata.index.merge_columns`), so ``k`` appends between
-  queries cost one O(k)-row transposition, not ``k`` index rebuilds;
+  list and are transposed *once* per query epoch (one
+  :meth:`~repro.booldata.kernels.base.ColumnStore.merge_rows` call over
+  the batch), so ``k`` appends between queries cost one O(k)-row
+  transposition, not ``k`` index rebuilds;
 * **a tombstone row mask** — retiring a row clears its bit in the live
-  mask and leaves its column bits in place as *stale* bits; every answer
-  intersects with the live mask, which cancels stale bits exactly, so a
-  retire is O(1);
+  mask and leaves its representation bits in place as *stale* bits;
+  every answer intersects with the live mask, which cancels stale bits
+  exactly, so a retire is O(1);
 * **threshold-triggered compaction** — once tombstones exceed a fraction
   of the slot space, :meth:`compact` renumbers the surviving rows to
-  positions ``0..n-1`` (a single shift per column in the prefix case,
-  a linear rebuild otherwise), bounding both memory and the per-answer
-  word count.
+  positions ``0..n-1`` (one
+  :meth:`~repro.booldata.kernels.base.ColumnStore.drop_prefix` in the
+  prefix case, a linear rebuild otherwise), bounding both memory and the
+  per-answer word count.
+
+The physical representation is a pluggable bitmap kernel
+(:mod:`repro.booldata.kernels`), the same registry the batch index uses:
+the reference int columns, packed numpy words (whose row-major layout
+makes appends O(1) amortised array writes), or compressed containers.
 
 The maintenance contract, asserted by the property tests: after *any*
 mutation sequence, every answer equals the one a fresh
 :class:`~repro.booldata.index.VerticalIndex` over the surviving rows
-would give, and :meth:`materialize` produces that fresh index
-bit-for-bit without re-reading the rows.
+would give — on any kernel — and :meth:`materialize` produces that fresh
+index bit-for-bit without re-reading the rows.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.booldata.index import (
-    VerticalIndex,
-    build_columns,
-    merge_columns,
-    shift_columns,
-)
-from repro.common.bits import bit_indices, full_mask
+from repro.booldata import kernels
+from repro.booldata.index import VerticalIndex
+from repro.common.bits import full_mask
 from repro.common.errors import ValidationError
 
 __all__ = ["DeltaVerticalIndex"]
@@ -66,13 +67,21 @@ class DeltaVerticalIndex:
     1
     """
 
-    __slots__ = ("width", "_columns", "_slots", "_tombstones", "_dead", "_pending")
+    __slots__ = (
+        "width", "kernel", "_store", "_slots", "_tombstones", "_dead", "_pending",
+    )
 
-    def __init__(self, width: int, rows: Sequence[int] = ()) -> None:
+    def __init__(
+        self, width: int, rows: Sequence[int] = (), kernel: str | None = None
+    ) -> None:
         if width <= 0:
             raise ValidationError(f"width must be positive, got {width}")
         self.width = width
-        self._columns: list[int] = [0] * width
+        #: concrete kernel the columns live on (``auto`` resolves here,
+        #: against the initial row count — streaming owners that know
+        #: their window size resolve before constructing)
+        self.kernel = kernels.resolve_kernel(kernel or "auto", num_rows=len(rows))
+        self._store = kernels.store_class(self.kernel).build(width, ())
         #: merged slot count; pending rows sit above this watermark
         self._slots = 0
         #: bitset of retired slot positions
@@ -99,7 +108,7 @@ class DeltaVerticalIndex:
             raise ValidationError(f"slot {slot} out of range")
         if slot >= self._slots:
             # the row is still in the delta buffer; merge so the
-            # tombstone has a column bit to shadow
+            # tombstone has a representation bit to shadow
             self._flush()
         bit = 1 << slot
         if self._tombstones & bit:
@@ -111,17 +120,17 @@ class DeltaVerticalIndex:
         """Renumber the live rows to slots ``0..n-1``; returns ``n``.
 
         When the tombstones form a prefix of the slot space (sliding
-        windows always retire the head) the columns shift right in one
-        wide operation each; otherwise the columns are rebuilt from
-        ``survivors``, the live row masks in slot order, which the owner
-        must supply (the general path has no way to "close ranks" inside
-        a column without per-row work anyway).
+        windows always retire the head) the store drops the prefix in
+        one wide operation per column; otherwise the columns are rebuilt
+        from ``survivors``, the live row masks in slot order, which the
+        owner must supply (the general path has no way to "close ranks"
+        inside a column without per-row work anyway).
         """
         self._flush()
         if self._dead == 0:
             return self._slots
         if self._tombstones == full_mask(self._dead):
-            self._columns = shift_columns(self._columns, self._dead)
+            self._store.drop_prefix(self._dead)
         else:
             if survivors is None:
                 raise ValidationError(
@@ -132,18 +141,19 @@ class DeltaVerticalIndex:
                     f"expected {self._slots - self._dead} survivors, "
                     f"got {len(survivors)}"
                 )
-            self._columns = build_columns(self.width, survivors)
+            self._store = kernels.store_class(self.kernel).build(
+                self.width, survivors
+            )
         self._slots -= self._dead
         self._tombstones = 0
         self._dead = 0
         return self._slots
 
     def _flush(self) -> None:
-        """Transpose the pending delta and merge it into the columns."""
+        """Transpose the pending delta and merge it into the store."""
         if not self._pending:
             return
-        delta = build_columns(self.width, self._pending)
-        merge_columns(self._columns, delta, self._slots)
+        self._store.merge_rows(self._pending, self._slots)
         self._slots += len(self._pending)
         self._pending.clear()
 
@@ -175,45 +185,39 @@ class DeltaVerticalIndex:
         self._flush()
         return full_mask(self._slots) & ~self._tombstones
 
+    def memory_bytes(self) -> int:
+        """Approximate resident payload of the kernel representation."""
+        return self._store.memory_bytes()
+
     # -- answers (the VerticalIndex API, live-masked) ----------------------------
 
     def column(self, attribute: int) -> int:
         """Live-row bitset for ``attribute`` (stale bits masked out)."""
         live = self.live_rows()
-        return self._columns[attribute] & live
+        return self._store.int_column(attribute) & live
 
     def violators(self, attributes: int) -> int:
         """Live rows containing *any* attribute of ``attributes``."""
         live = self.live_rows()
-        acc = 0
-        for attribute in bit_indices(attributes):
-            acc |= self._columns[attribute]
-        return acc & live
+        return self._store.union_rows(attributes) & live
 
     def satisfied_rows(self, keep_mask: int, within: int | None = None) -> int:
         """Live rows that, read as conjunctive queries, retrieve ``keep_mask``."""
         live = self.live_rows()
         rows = live if within is None else within & live
-        acc = 0
-        for attribute in range(self.width):
-            if not keep_mask >> attribute & 1:
-                acc |= self._columns[attribute]
-        return rows & ~acc
+        return self._store.subset_rows(keep_mask, rows)
 
     def satisfied_count(self, keep_mask: int, within: int | None = None) -> int:
         """Number of live rows retrieved by ``keep_mask``."""
-        return self.satisfied_rows(keep_mask, within).bit_count()
+        live = self.live_rows()
+        rows = live if within is None else within & live
+        return self._store.subset_count(keep_mask, rows)
 
     def cooccurring_rows(self, attributes: int, within: int | None = None) -> int:
         """Live rows containing *every* attribute of ``attributes``."""
         live = self.live_rows()
         rows = live if within is None else within & live
-        remaining = attributes
-        while remaining and rows:
-            low = remaining & -remaining
-            rows &= self._columns[low.bit_length() - 1]
-            remaining ^= low
-        return rows
+        return self._store.intersect_rows(attributes, rows)
 
     def cooccurrence_count(self, attributes: int, within: int | None = None) -> int:
         """Number of live rows containing every attribute of ``attributes``."""
@@ -223,10 +227,7 @@ class DeltaVerticalIndex:
         """Live rows sharing no attribute with ``itemset``."""
         live = self.live_rows()
         rows = live if within is None else within & live
-        acc = 0
-        for attribute in bit_indices(itemset):
-            acc |= self._columns[attribute]
-        return rows & ~acc
+        return rows & ~self._store.union_rows(itemset)
 
     def disjoint_count(self, itemset: int, within: int | None = None) -> int:
         """Complemented-log support of ``itemset`` over the live rows."""
@@ -239,40 +240,42 @@ class DeltaVerticalIndex:
         :meth:`VerticalIndex.attribute_frequencies`)."""
         live = self.live_rows()
         rows = live if within is None else within & live
-        counts = [0] * self.width
-        attributes = range(self.width) if pool is None else bit_indices(pool)
-        for attribute in attributes:
-            counts[attribute] = (self._columns[attribute] & rows).bit_count()
-        return counts
+        return self._store.counts(pool, rows)
 
     # -- materialisation ---------------------------------------------------------
 
     def materialize(self, survivors: Sequence[int] | None = None) -> VerticalIndex:
         """A :class:`VerticalIndex` bit-for-bit equal to a fresh rebuild.
 
-        Prefix tombstones (the sliding-window invariant) cost one shift
-        per column — the stale prefix bits fall off the end, so the
-        result is *exactly* the index ``VerticalIndex(width, live_rows)``
-        would build, and any consumer that adopts raw columns (e.g.
+        Prefix tombstones (the sliding-window invariant) cost one
+        prefix-drop on a cloned store — the stale prefix bits fall off
+        the end, so the result is *exactly* the index
+        ``VerticalIndex(width, live_rows, kernel)`` would build, and any
+        consumer that adopts raw columns (e.g.
         :meth:`~repro.mining.transactions.TransactionDatabase.from_boolean_table`)
         sees contiguous, hole-free row numbering.  Non-prefix tombstones
-        fall back to a rebuild from ``survivors``.
+        fall back to a rebuild from ``survivors``.  The materialised
+        index runs on the same kernel as the delta.
         """
         self._flush()
         if self._dead == 0:
-            columns = list(self._columns)
+            store = self._store.clone()
         elif self._tombstones == full_mask(self._dead):
-            columns = shift_columns(self._columns, self._dead)
+            store = self._store.clone()
+            store.drop_prefix(self._dead)
         else:
             if survivors is None:
                 raise ValidationError(
                     "non-prefix tombstones need the surviving rows to materialize"
                 )
-            columns = build_columns(self.width, survivors)
-        return VerticalIndex.from_columns(self.width, self.num_rows, columns)
+            store = kernels.store_class(self.kernel).build(self.width, survivors)
+        return VerticalIndex._adopt_store(
+            self.width, self.num_rows, store, self.kernel,
+            store.occupied_attributes(),
+        )
 
     def __repr__(self) -> str:
         return (
             f"DeltaVerticalIndex(width={self.width}, live={self.num_rows}, "
-            f"slots={self.slots}, tombstones={self._dead})"
+            f"slots={self.slots}, tombstones={self._dead}, kernel={self.kernel!r})"
         )

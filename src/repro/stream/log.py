@@ -28,6 +28,7 @@ from repro.booldata.schema import Schema
 from repro.booldata.table import BooleanTable
 from repro.common.errors import ValidationError
 from repro.obs.recorder import get_recorder
+from repro.booldata import kernels
 from repro.stream.index import DeltaVerticalIndex
 
 __all__ = ["StreamingLog"]
@@ -58,6 +59,7 @@ class StreamingLog:
         window_size: int | None = None,
         compact_threshold: float = 0.5,
         rows: Iterable[int] = (),
+        kernel: str | None = None,
     ) -> None:
         if window_size is not None and window_size < 1:
             raise ValidationError(f"window_size must be >= 1, got {window_size}")
@@ -69,7 +71,14 @@ class StreamingLog:
         self.window_size = window_size
         self.compact_threshold = compact_threshold
         self._rows: deque[int] = deque()
-        self._delta = DeltaVerticalIndex(schema.width)
+        # ``auto`` resolves against the steady-state population — the
+        # window size when one is set — not the (empty) initial contents
+        resolved = kernels.resolve_kernel(
+            kernel or "auto", num_rows=window_size or 0
+        )
+        self._delta = DeltaVerticalIndex(schema.width, kernel=resolved)
+        #: concrete bitmap kernel the window index runs on
+        self.kernel = resolved
         #: slot number of the oldest live row (retired slots below it)
         self._head = 0
         self._epoch = 0

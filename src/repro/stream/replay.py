@@ -46,8 +46,13 @@ class ReplayConfig:
     chain: tuple[str, ...] | None = None
     engine: str | None = None
     tolerance: float = 0.8
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
+        if self.kernel is not None:
+            from repro.booldata import kernels
+
+            kernels.validate_kernel(self.kernel)
         if self.width < 2:
             raise ValidationError(f"width must be >= 2, got {self.width}")
         if self.size < 1:
@@ -152,6 +157,7 @@ def replay_drift(config: ReplayConfig) -> ReplayReport:
         compact_threshold=config.compact_threshold,
         cache_size=config.cache_size,
         stale_while_revalidate=config.stale_while_revalidate,
+        kernel=config.kernel,
     )
     start_time = time.perf_counter()
     hits = 0

@@ -22,9 +22,6 @@ from dataclasses import dataclass
 from repro.booldata.table import BooleanTable
 from repro.common.bits import bit_count, bit_indices
 from repro.common.errors import SolverBudgetExceededError, ValidationError
-from repro.lp.branch_and_bound import BranchAndBoundSolver
-from repro.lp.model import LinearExpr, Model
-from repro.lp.solution import SolveStatus
 
 __all__ = [
     "CostedVisibilityProblem",
@@ -106,6 +103,12 @@ def solve_costed_ilp(
     problem: CostedVisibilityProblem, backend: str = "native"
 ) -> CostedSolution:
     """Exact costed solve: the paper's ILP with a weighted budget row."""
+    # repro.lp needs numpy (the ``fast`` extra); import at solve time so
+    # the greedy costed path works without it
+    from repro.lp.branch_and_bound import BranchAndBoundSolver
+    from repro.lp.model import LinearExpr, Model
+    from repro.lp.solution import SolveStatus
+
     model = Model("soc-costed")
     x_vars: list = [None] * problem.width
     for attribute in bit_indices(_affordable_pool(problem)):

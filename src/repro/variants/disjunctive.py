@@ -20,9 +20,6 @@ from repro.common.bits import bit_count, bit_indices
 from repro.common.combinatorics import binomial, combinations_of_mask
 from repro.common.errors import SolverBudgetExceededError, ValidationError
 from repro.core.problem import VisibilityProblem
-from repro.lp.branch_and_bound import BranchAndBoundSolver
-from repro.lp.model import LinearExpr, Model
-from repro.lp.solution import SolveStatus
 
 __all__ = [
     "disjunctive_satisfied_count",
@@ -70,6 +67,10 @@ def solve_disjunctive_ilp(
     problem: VisibilityProblem, backend: str = "native"
 ) -> tuple[int, int]:
     """Exact disjunctive solve via ILP: ``y_i <= sum_{a_j in q_i} x_j``."""
+    from repro.lp.branch_and_bound import BranchAndBoundSolver
+    from repro.lp.model import LinearExpr, Model
+    from repro.lp.solution import SolveStatus
+
     model = Model("soc-disjunctive")
     x_vars: list = [None] * problem.width
     for attribute in bit_indices(problem.new_tuple):

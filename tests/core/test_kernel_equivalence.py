@@ -1,0 +1,54 @@
+"""Kernel equivalence at the solver level.
+
+Swapping the bitmap kernel under :class:`VisibilityProblem` is a pure
+representation change: every vertical-engine solver must return exactly
+the selection (mask, objective, stats) it returns on the pure-Python
+reference kernel, on any instance.
+"""
+
+import pytest
+
+from repro.booldata import kernels
+from repro.core import VisibilityProblem, make_solver
+from repro.core.registry import ENGINE_AWARE_ALGORITHMS
+
+from tests.core.test_engine_equivalence import SEEDS, random_instance
+
+FAST = [k for k in kernels.available_kernels() if k != "python"]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("kernel", FAST)
+@pytest.mark.parametrize("algorithm", ENGINE_AWARE_ALGORITHMS)
+def test_kernels_agree_on_random_instances(algorithm, kernel, seed):
+    log, new_tuple, budget = random_instance(seed)
+    solver = make_solver(algorithm, engine="vertical")
+    reference = solver.solve(
+        VisibilityProblem(log, new_tuple, budget, kernel="python")
+    )
+    candidate = solver.solve(
+        VisibilityProblem(log, new_tuple, budget, kernel=kernel)
+    )
+    assert candidate.satisfied == reference.satisfied
+    assert candidate.keep_mask == reference.keep_mask
+    assert candidate.stats == reference.stats
+
+
+@pytest.mark.parametrize("kernel", FAST)
+def test_evaluate_many_matches_the_reference(kernel):
+    log, new_tuple, budget = random_instance(SEEDS[0])
+    lowest = new_tuple & -new_tuple
+    masks = [0, lowest, new_tuple ^ lowest if budget >= new_tuple.bit_count() - 1 else lowest]
+    reference = VisibilityProblem(log, new_tuple, budget, kernel="python")
+    expected = reference.evaluate_many(masks)
+    candidate = VisibilityProblem(log, new_tuple, budget, kernel=kernel)
+    assert candidate.evaluate_many(masks) == expected
+    assert candidate.index.kernel == kernel
+
+
+def test_problem_rejects_unknown_kernels():
+    from repro.common.errors import ValidationError
+
+    log, new_tuple, budget = random_instance(SEEDS[0])
+    with pytest.raises(ValidationError, match="unknown kernel"):
+        VisibilityProblem(log, new_tuple, budget, kernel="simd")

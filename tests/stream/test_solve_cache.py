@@ -180,3 +180,17 @@ class TestHarnessPath:
         outcome = cache.run(schema.full, 3, harness)
         assert outcome.status == "failed"
         assert outcome.solution is None
+
+
+class TestKeyNamespaces:
+    def test_estimator_and_same_named_chain_do_not_collide(self, schema, log):
+        """Regression: an estimator solve and a one-entry harness chain
+        with the same algorithm name used to share a cache key, so the
+        run() path could hand back a raw Solution instead of a
+        RunOutcome."""
+        cache = SolveCache(log)
+        solution = cache.solve(schema.full, 3, make_solver("ConsumeAttr"))
+        outcome = cache.run(schema.full, 3, SolverHarness(["ConsumeAttr"]))
+        assert outcome.solution is not None
+        assert outcome.status == "exact" or outcome.solution.keep_mask == solution.keep_mask
+        assert hasattr(outcome, "attempts")  # a RunOutcome, not a Solution

@@ -1,0 +1,111 @@
+"""Tiny-scale smoke runs of every benchmark workload.
+
+The recorded suites under ``benchmarks/`` only execute when someone runs
+them explicitly (tier-1 collects ``tests/`` alone), so a refactor could
+silently break a measurement function and nobody would notice until the
+next baseline refresh.  Every workload therefore exposes its sizes as
+arguments; here each one runs at toy scale — seconds of wall clock in
+total — asserting the result dict carries the keys and invariants
+``check_regression.py`` relies on, not any timing bar.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.booldata.kernels import available_kernels
+
+_BENCHMARKS = str(Path(__file__).resolve().parent.parent / "benchmarks")
+
+
+@pytest.fixture(autouse=True)
+def _benchmarks_on_path():
+    sys.path.insert(0, _BENCHMARKS)
+    try:
+        yield
+    finally:
+        sys.path.remove(_BENCHMARKS)
+
+
+def test_kernel_objective_evaluation_smoke():
+    import kernel_workload
+
+    result = kernel_workload.measure_objective_evaluation(size=200, candidates=5)
+    assert result["checksums_match"]
+    for kernel in available_kernels():
+        assert result[f"{kernel}_s"] >= 0.0
+        if kernel != "python":
+            assert result[f"speedup_{kernel}"] > 0.0
+
+
+def test_kernel_greedy_smoke():
+    import kernel_workload
+
+    result = kernel_workload.measure_greedy(size=200)
+    assert result["checksums_match"]
+    # the checksum packs (satisfied << width) + keep_mask: same selection
+    # AND same objective across every kernel
+    assert result["objective_checksum"] > 0
+
+
+def test_kernel_million_row_smoke():
+    import kernel_workload
+
+    result = kernel_workload.measure_million_rows(size=500, candidates=3)
+    assert result["checksums_match"]
+    assert set(result["memory_bytes"]) == set(available_kernels())
+    assert all(b > 0 for b in result["memory_bytes"].values())
+
+
+def test_vertical_workloads_smoke():
+    import vertical_workload
+
+    solver = vertical_workload.measure_solver("ConsumeAttrCumul", 200)
+    assert solver["objectives_match"]
+    assert solver["speedup"] > 0.0
+    evaluation = vertical_workload.measure_objective_evaluation(200)
+    assert evaluation["values_match"]
+
+
+def test_runtime_workloads_smoke():
+    import runtime_workload
+
+    overhead = runtime_workload.measure_overhead(
+        "ConsumeAttrCumul", 300, repeats=1
+    )
+    assert overhead["bare_s"] >= 0.0
+    assert overhead["harness_s"] >= 0.0
+    responsiveness = runtime_workload.measure_responsiveness(deadline_ms=80.0)
+    assert responsiveness["objective"] is not None
+    assert responsiveness["status"] in {"exact", "fallback", "anytime"}
+
+
+def test_obs_workload_smoke():
+    import obs_workload
+
+    result = obs_workload.measure_recording_overhead(
+        "smoke", "ConsumeAttrCumul", 300, repeats=1
+    )
+    assert result["disabled_s"] >= 0.0
+    assert result["enabled_s"] >= 0.0
+
+
+def test_parallel_workloads_smoke():
+    import parallel_workload
+
+    inventory = parallel_workload.measure_inventory(size=400)
+    assert inventory["visibility_match"]
+    counting = parallel_workload.measure_sharded_counting(size=400)
+    assert counting["counts_match"]
+
+
+def test_stream_workloads_smoke():
+    import stream_workload
+
+    tick = stream_workload.measure_monitor_tick(window=120, ticks=5, repeats=1)
+    assert tick["objective_checksum"] is not None
+    hit = stream_workload.measure_cache_hit(size=150, loops=3, repeats=1)
+    assert hit["solutions_match"]

@@ -439,7 +439,7 @@ class TestTelemetryFlags:
         assert 'repro_harness_runs_total{status="exact"} 1' in out
         assert 'repro_harness_attempts_total{solver="MaxFreqItemSets",status="completed"} 1' in out
         assert "repro_harness_run_seconds_count 1" in out
-        assert 'repro_index_bitmap_ops_total{op="popcount"}' in out
+        assert 'repro_index_bitmap_ops_total{op="popcount",kernel="python"}' in out
 
     def test_metrics_dumped_even_when_the_solve_fails(self, capsys, log_csv):
         code = main([
@@ -532,3 +532,62 @@ class TestStreamCommand:
         with pytest.raises(SystemExit):
             main(["stream", "--help"])
         assert "exit codes:" in capsys.readouterr().out
+
+
+class TestKernelFlag:
+    TUPLE = "ac,four_door,power_doors,auto_trans,power_brakes"
+
+    @pytest.mark.parametrize("kernel", ["python", "numpy", "compressed", "auto"])
+    def test_solve_accepts_every_kernel(self, capsys, log_csv, kernel):
+        code = main([
+            "solve", "--log", log_csv, "--tuple", self.TUPLE,
+            "--budget", "3", "--kernel", kernel,
+        ])
+        assert code == EXIT_OK
+        assert "queries satisfied: 3 of 5" in capsys.readouterr().out
+
+    def test_unknown_kernel_is_an_argparse_error(self, log_csv):
+        with pytest.raises(SystemExit):
+            main([
+                "solve", "--log", log_csv, "--tuple", self.TUPLE,
+                "--budget", "3", "--kernel", "simd",
+            ])
+
+    def test_numpy_kernel_without_numpy_is_exit_2(
+        self, capsys, log_csv, monkeypatch
+    ):
+        from repro.booldata import kernels
+
+        monkeypatch.setattr(kernels, "_numpy_available", False)
+        code = main([
+            "solve", "--log", log_csv, "--tuple", self.TUPLE,
+            "--budget", "3", "--kernel", "numpy",
+        ])
+        assert code == EXIT_VALIDATION
+        assert "repro[fast]" in capsys.readouterr().err
+
+    def test_metrics_carry_the_kernel_label(self, capsys, log_csv):
+        code = main([
+            "solve", "--log", log_csv, "--tuple", self.TUPLE,
+            "--budget", "3", "--kernel", "compressed", "--metrics-out", "-",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert 'repro_index_bitmap_ops_total{op="popcount",kernel="compressed"}' in out
+
+    def test_inventory_accepts_a_kernel(self, capsys, log_csv, database_csv):
+        code = main([
+            "inventory", "--log", log_csv, "--database", database_csv,
+            "--budget", "3", "--jobs", "1", "--kernel", "compressed",
+        ])
+        assert code == EXIT_OK
+        assert "listings" in capsys.readouterr().out
+
+    def test_stream_accepts_a_kernel(self, capsys):
+        code = main([
+            "stream", "--width", "8", "--size", "120", "--window", "60",
+            "--check-every", "30", "--chain", "ConsumeAttr",
+            "--kernel", "compressed",
+        ])
+        assert code == EXIT_OK
+        assert "stream: 120 queries" in capsys.readouterr().out

@@ -31,6 +31,11 @@ kernel suite and fails on a cross-kernel checksum mismatch, a checksum
 drift against the baseline, a numpy timing regression, or a numpy
 speedup below the 5x acceptance bar on the 100k workloads.
 
+When ``BENCH_store.json`` exists, additionally re-runs the durable-store
+suite and fails on a recovered-state mismatch, a recovery speedup below
+the 2x acceptance bar, a warm-cache restart that stopped hitting, or a
+WAL append overhead beyond the documented bar.
+
 Finally runs ``ruff check`` over ``src``, ``tests`` and ``benchmarks``
 when ruff is available, so lint regressions fail the same gate.
 
@@ -40,7 +45,7 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py --factor 1.5
     PYTHONPATH=src python benchmarks/check_regression.py \
         --skip-runtime --skip-obs --skip-parallel --skip-stream \
-        --skip-kernel --skip-lint
+        --skip-kernel --skip-store --skip-lint
 """
 
 from __future__ import annotations
@@ -63,6 +68,7 @@ OBS_BASELINE = REPO_ROOT / "BENCH_obs.json"
 PARALLEL_BASELINE = REPO_ROOT / "BENCH_parallel.json"
 STREAM_BASELINE = REPO_ROOT / "BENCH_stream.json"
 KERNEL_BASELINE = REPO_ROOT / "BENCH_kernel.json"
+STORE_BASELINE = REPO_ROOT / "BENCH_store.json"
 #: the runtime PR's acceptance bars
 MAX_OVERHEAD_FRACTION = 0.05
 OVERHEAD_EPSILON_S = 0.003
@@ -74,6 +80,10 @@ MIN_TICK_SPEEDUP = 5.0
 MIN_CACHE_SPEEDUP = 10.0
 #: the kernel PR's acceptance bar on the 100k x 64 workloads
 MIN_NUMPY_SPEEDUP = 5.0
+#: the durability PR's acceptance bars
+MIN_RECOVERY_SPEEDUP = 2.0
+MIN_WARM_CACHE_SPEEDUP = 10.0
+MAX_APPEND_OVERHEAD = 12.0
 
 
 def check_runtime(failures: list[str]) -> None:
@@ -294,6 +304,73 @@ def check_kernel(failures: list[str], factor: float) -> None:
               f"{'' if not problems else ' ' + '; '.join(problems)}")
 
 
+def check_store(failures: list[str], factor: float) -> None:
+    """Re-run the durable-store suite against the recorded baseline."""
+    from store_workload import MEASUREMENTS as STORE_MEASUREMENTS
+
+    baseline = json.loads(STORE_BASELINE.read_text())["results"]
+    for name, measure in STORE_MEASUREMENTS.items():
+        recorded = baseline.get(name)
+        if recorded is None:
+            print(f"~ {name}: not in baseline, skipping")
+            continue
+        fresh = measure()
+        problems = []
+        if fresh["workload"] == "wal_append":
+            if fresh["overhead_factor"] > MAX_APPEND_OVERHEAD:
+                problems.append(
+                    f"append overhead {fresh['overhead_factor']:.1f}x > "
+                    f"{MAX_APPEND_OVERHEAD:.0f}x"
+                )
+            if fresh["durable_append_s"] > recorded["durable_append_s"] * factor:
+                problems.append(
+                    f"{fresh['durable_append_s'] * 1e6:.1f}us > {factor:.1f}x "
+                    f"recorded {recorded['durable_append_s'] * 1e6:.1f}us"
+                )
+            detail = (
+                f"durable {fresh['durable_append_s'] * 1e6:.1f} us "
+                f"memory {fresh['memory_append_s'] * 1e6:.1f} us "
+                f"({fresh['overhead_factor']:.1f}x)"
+            )
+        elif fresh["workload"] == "recovery":
+            if not fresh["states_match"]:
+                problems.append("recovered index differs from the pre-crash one")
+            if fresh["speedup"] < MIN_RECOVERY_SPEEDUP:
+                problems.append(
+                    f"recovery speedup {fresh['speedup']:.1f}x < "
+                    f"{MIN_RECOVERY_SPEEDUP:.1f}x"
+                )
+            if fresh["recover_s"] > recorded["recover_s"] * factor:
+                problems.append(
+                    f"{fresh['recover_s']:.4f}s > {factor:.1f}x recorded "
+                    f"{recorded['recover_s']:.4f}s"
+                )
+            detail = (
+                f"recover {fresh['recover_s'] * 1000:.1f} ms "
+                f"rebuild {fresh['rebuild_s'] * 1000:.1f} ms "
+                f"({fresh['speedup']:.1f}x)"
+            )
+        else:
+            if not fresh["solutions_match"]:
+                problems.append("restored solution differs from a fresh solve")
+            if not fresh["all_hits"]:
+                problems.append("restored cache missed after a clean restart")
+            if fresh["speedup"] < MIN_WARM_CACHE_SPEEDUP:
+                problems.append(
+                    f"warm-hit speedup {fresh['speedup']:.1f}x < "
+                    f"{MIN_WARM_CACHE_SPEEDUP:.1f}x"
+                )
+            detail = (
+                f"hit {fresh['hit_s'] * 1e6:.1f} us "
+                f"solve {fresh['solve_s'] * 1000:.2f} ms "
+                f"({fresh['speedup']:.1f}x)"
+            )
+        for problem in problems:
+            failures.append(f"{name}: {problem}")
+        print(f"{'.' if not problems else 'x'} {name}: {detail}"
+              f"{'' if not problems else ' ' + '; '.join(problems)}")
+
+
 def check_lint(failures: list[str]) -> None:
     """Run ``ruff check`` when ruff is available in the environment."""
     if importlib.util.find_spec("ruff") is not None:
@@ -345,6 +422,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-kernel", action="store_true",
         help="skip the bitmap-kernel A/B checks",
+    )
+    parser.add_argument(
+        "--skip-store", action="store_true",
+        help="skip the durable-store WAL/recovery checks",
     )
     parser.add_argument(
         "--skip-lint", action="store_true",
@@ -418,6 +499,12 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print("~ kernel suite: no BENCH_kernel.json baseline, skipping")
 
+    if not args.skip_store:
+        if STORE_BASELINE.exists():
+            check_store(failures, args.factor)
+        else:
+            print("~ store suite: no BENCH_store.json baseline, skipping")
+
     if not args.skip_lint:
         check_lint(failures)
 
@@ -427,8 +514,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  - {failure}")
         return 1
     print(
-        "\nvertical engine, runtime, telemetry, parallel, stream, kernels "
-        "and lint within budget"
+        "\nvertical engine, runtime, telemetry, parallel, stream, kernels, "
+        "store and lint within budget"
     )
     return 0
 

@@ -1,0 +1,264 @@
+"""Measurement harness for the durable streaming store.
+
+Three questions, each with a correctness checksum attached:
+
+* **WAL append overhead** — a durable append (frame + CRC + buffered
+  write + flush, ``fsync=never``) versus the memory-only
+  :class:`repro.stream.StreamingLog` append.  Durability is not free;
+  the suite records the factor so regressions in the write path are
+  caught, and ``docs/durability.md`` quotes it.
+* **Recovery vs cold rebuild** — :func:`repro.store.recover` (newest
+  snapshot + WAL-tail replay) versus rebuilding the window by replaying
+  the full workload from scratch.  The point of checkpoints is that
+  restart cost scales with the tail, not the history; the acceptance
+  bar is >= 2x at this suite's scale, and the recovered index must be
+  bit-for-bit the pre-crash one.
+* **Warm-cache restart** — serving a repeated solve from the
+  :class:`repro.stream.SolveCache` restored out of the snapshot versus
+  re-running the solver after a cold restart.
+
+Used by ``test_bench_store.py`` (records ``BENCH_store.json``) and
+``check_regression.py --skip-store`` gates.  Seeded and fixed-size like
+the other suites.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import tempfile
+import time
+
+from vertical_workload import SEED
+
+from repro.booldata import Schema
+from repro.core import VisibilityProblem, make_solver
+from repro.store import DurableStreamingLog, StoreConfig, recover, restore_cache_state
+from repro.stream import SolveCache, StreamingLog
+
+WIDTH = 32
+WINDOW = 4_000
+HISTORY = 20_000   # appends the cold rebuild must replay end to end
+TAIL = 200         # WAL records past the last snapshot at crash time
+APPENDS = 3_000
+REPEATS = 5
+BUDGET = 6
+
+
+def _traffic(size: int, seed: int) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.getrandbits(WIDTH) or 1 for _ in range(size)]
+
+
+def _index_checksum(log) -> int:
+    """Order-sensitive digest of the materialized vertical index."""
+    index = log.snapshot().vertical_index()
+    digest = index.num_rows
+    for column in index.columns:
+        digest = (digest * 1_000_003 + column) % (1 << 61)
+    return digest
+
+
+def measure_wal_append(appends: int = APPENDS, repeats: int = REPEATS) -> dict:
+    """Median per-append latency, durable (fsync=never) vs memory-only."""
+    schema = Schema.anonymous(WIDTH)
+    queries = _traffic(appends, SEED + 11)
+
+    def durable_side() -> float:
+        with tempfile.TemporaryDirectory() as td:
+            log = DurableStreamingLog(
+                schema, td, window_size=WINDOW,
+                config=StoreConfig(fsync="never"),
+            )
+            start = time.perf_counter()
+            for query in queries:
+                log.append(query)
+            elapsed = time.perf_counter() - start
+            log.close()
+        return elapsed / appends
+
+    def memory_side() -> float:
+        log = StreamingLog(schema, window_size=WINDOW)
+        start = time.perf_counter()
+        for query in queries:
+            log.append(query)
+        return (time.perf_counter() - start) / appends
+
+    durable_timings, memory_timings = [], []
+    for repeat in range(repeats):
+        sides = [(durable_timings, durable_side), (memory_timings, memory_side)]
+        if repeat % 2:
+            sides.reverse()
+        for timings, run in sides:
+            timings.append(run())
+
+    durable_s = statistics.median(durable_timings)
+    memory_s = statistics.median(memory_timings)
+    return {
+        "workload": "wal_append",
+        "appends": appends,
+        "repeats": repeats,
+        "fsync": "never",
+        "durable_append_s": round(durable_s, 9),
+        "memory_append_s": round(memory_s, 9),
+        "overhead_factor": round(durable_s / memory_s, 2) if memory_s else 0.0,
+    }
+
+
+def measure_recovery(
+    history: int = HISTORY, tail: int = TAIL, repeats: int = REPEATS
+) -> dict:
+    """Recovery (snapshot + tail) vs a cold rebuild replaying ``history``.
+
+    One store is written per call — ``history`` appends, a checkpoint,
+    then ``tail`` more appends, then an abrupt close (no final
+    checkpoint), so recovery restores the snapshot and replays exactly
+    the tail.  Both sides must land on the identical index checksum.
+    """
+    schema = Schema.anonymous(WIDTH)
+    queries = _traffic(history + tail, SEED + 12)
+    with tempfile.TemporaryDirectory() as td:
+        log = DurableStreamingLog(
+            schema, td, window_size=WINDOW, config=StoreConfig(fsync="never"),
+        )
+        for query in queries[:history]:
+            log.append(query)
+        log.checkpoint()
+        for query in queries[history:]:
+            log.append(query)
+        expected = _index_checksum(log)
+        log.close()  # flushed but never re-checkpointed: a crash with a tail
+
+        recover_timings, rebuild_timings = [], []
+        checksums = set()
+        for repeat in range(repeats):
+            def recover_side() -> float:
+                start = time.perf_counter()
+                recovered, report = recover(td)
+                elapsed = time.perf_counter() - start
+                assert report.records_replayed == tail
+                checksums.add(_index_checksum(recovered))
+                recovered.close()
+                return elapsed
+
+            def rebuild_side() -> float:
+                start = time.perf_counter()
+                rebuilt = StreamingLog(schema, window_size=WINDOW)
+                for query in queries:
+                    rebuilt.append(query)
+                elapsed = time.perf_counter() - start
+                checksums.add(_index_checksum(rebuilt))
+                return elapsed
+
+            sides = [(recover_timings, recover_side), (rebuild_timings, rebuild_side)]
+            if repeat % 2:
+                sides.reverse()
+            for timings, run in sides:
+                timings.append(run())
+
+    recover_s = statistics.median(recover_timings)
+    rebuild_s = statistics.median(rebuild_timings)
+    return {
+        "workload": "recovery",
+        "history": history,
+        "tail": tail,
+        "window": WINDOW,
+        "repeats": repeats,
+        "recover_s": round(recover_s, 6),
+        "rebuild_s": round(rebuild_s, 6),
+        "speedup": round(rebuild_s / recover_s, 2) if recover_s else 0.0,
+        "states_match": checksums == {expected},
+    }
+
+
+def measure_warm_cache(size: int = 2_000, loops: int = 20,
+                       repeats: int = REPEATS) -> dict:
+    """Warm-restored cache hit vs re-solving after a cold restart."""
+    schema = Schema.anonymous(WIDTH)
+    solver = make_solver("ConsumeAttrCumul", engine="vertical")
+    new_tuple = schema.full
+    with tempfile.TemporaryDirectory() as td:
+        log = DurableStreamingLog(
+            schema, td, window_size=size, config=StoreConfig(fsync="never"),
+        )
+        for query in _traffic(size, SEED + 13):
+            log.append(query)
+        cache = SolveCache(log, capacity=8)
+        primed = cache.solve(new_tuple, BUDGET, solver)
+        log.checkpoint(cache)
+        log.close()
+
+        recovered, report = recover(td)
+        warm = SolveCache(recovered, capacity=8)
+        restored = restore_cache_state(warm, report.cache_state)
+        hits_before = warm.hits
+
+        def hit_side() -> float:
+            start = time.perf_counter()
+            for _ in range(loops):
+                warm.solve(new_tuple, BUDGET, solver)
+            return (time.perf_counter() - start) / loops
+
+        def solve_side() -> float:
+            start = time.perf_counter()
+            for _ in range(loops):
+                solver.solve(
+                    VisibilityProblem.from_stream(recovered, new_tuple, BUDGET)
+                )
+            return (time.perf_counter() - start) / loops
+
+        hit_timings, solve_timings = [], []
+        for repeat in range(repeats):
+            sides = [(hit_timings, hit_side), (solve_timings, solve_side)]
+            if repeat % 2:
+                sides.reverse()
+            for timings, run in sides:
+                timings.append(run())
+
+        fresh = solver.solve(
+            VisibilityProblem.from_stream(recovered, new_tuple, BUDGET)
+        )
+        recovered.close()
+
+    hit_s = statistics.median(hit_timings)
+    solve_s = statistics.median(solve_timings)
+    return {
+        "workload": "warm_cache",
+        "log_size": size,
+        "loops": loops,
+        "repeats": repeats,
+        "entries_restored": restored,
+        "all_hits": warm.hits - hits_before == loops * repeats,
+        "hit_s": round(hit_s, 9),
+        "solve_s": round(solve_s, 6),
+        "speedup": round(solve_s / hit_s, 2) if hit_s else 0.0,
+        "solutions_match": (
+            primed.keep_mask == fresh.keep_mask
+            and primed.satisfied == fresh.satisfied
+        ),
+    }
+
+
+#: name -> zero-argument measurement, the recorded store suite
+MEASUREMENTS = {
+    "wal_append_4k_window": measure_wal_append,
+    "recovery_vs_rebuild_20k": measure_recovery,
+    "warm_cache_restart_2k": measure_warm_cache,
+}
+
+
+def run_suite() -> dict:
+    return {name: measure() for name, measure in MEASUREMENTS.items()}
+
+
+def suite_meta() -> dict:
+    return {
+        "seed": SEED,
+        "width": WIDTH,
+        "window": WINDOW,
+        "history": HISTORY,
+        "tail": TAIL,
+        "appends": APPENDS,
+        "repeats": REPEATS,
+        "budget": BUDGET,
+    }

@@ -23,6 +23,8 @@ from pathlib import Path
 import pytest
 
 from kernel_workload import run_suite, suite_meta
+from repro.common.fsio import atomic_write_text
+
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 MIN_NUMPY_SPEEDUP = 5.0
@@ -44,7 +46,7 @@ def test_kernel_speedups():
         "meta": {**meta, "python": platform.python_version()},
         "results": results,
     }
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(BASELINE_PATH, json.dumps(payload, indent=2) + "\n")
     for name, result in results.items():
         speedups = ", ".join(
             f"{key.removeprefix('speedup_')} {value:.1f}x"

@@ -18,6 +18,8 @@ import platform
 from pathlib import Path
 
 from obs_workload import run_suite, suite_meta
+from repro.common.fsio import atomic_write_text
+
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 
@@ -45,7 +47,7 @@ def test_recording_overhead_under_five_percent():
         "meta": {**suite_meta(), "python": platform.python_version()},
         "results": results,
     }
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(BASELINE_PATH, json.dumps(payload, indent=2) + "\n")
     for name, result in results.items():
         print(
             f"{name}: disabled {result['disabled_s']:.3f}s "

@@ -27,6 +27,8 @@ import platform
 from pathlib import Path
 
 from parallel_workload import run_suite, suite_meta
+from repro.common.fsio import atomic_write_text
+
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
@@ -48,7 +50,7 @@ def test_parallel_engine_speedups():
         "meta": {**suite_meta(), "python": platform.python_version()},
         "results": results,
     }
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(BASELINE_PATH, json.dumps(payload, indent=2) + "\n")
     print(
         f"inventory_100k: serial {inventory['serial_s']:.3f}s "
         + " ".join(

@@ -21,6 +21,8 @@ import platform
 from pathlib import Path
 
 from runtime_workload import run_suite, suite_meta
+from repro.common.fsio import atomic_write_text
+
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
 
@@ -55,7 +57,7 @@ def test_runtime_overhead_and_responsiveness():
         "meta": {**suite_meta(), "python": platform.python_version()},
         "results": results,
     }
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(BASELINE_PATH, json.dumps(payload, indent=2) + "\n")
     for name, result in results.items():
         if "overhead_s" in result:
             print(

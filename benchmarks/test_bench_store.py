@@ -1,0 +1,86 @@
+"""Benchmark: durable-store write overhead, recovery, warm restarts.
+
+Records ``BENCH_store.json`` at the repo root (the baseline that
+``check_regression.py`` guards unless ``--skip-store``).  The
+acceptance bars of the durability PR:
+
+* recovery (snapshot + WAL-tail replay) beats a cold rebuild that
+  replays the full history by >= 2x, landing on a bit-for-bit identical
+  index;
+* a solve served from the snapshot-restored cache after a restart is
+  >= 10x cheaper than re-solving, with the identical solution;
+* the WAL append overhead versus a memory-only append stays within the
+  factor documented in ``docs/durability.md`` (measured ~5x at
+  ``fsync=never``; the bar leaves headroom for slower disks).
+
+Run explicitly (the tier-1 suite does not collect ``benchmarks/``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_store.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+from store_workload import run_suite, suite_meta
+
+from repro.common.fsio import atomic_write_text
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+MIN_RECOVERY_SPEEDUP = 2.0
+MIN_WARM_CACHE_SPEEDUP = 10.0
+MAX_APPEND_OVERHEAD = 12.0
+
+
+def test_store_durability_bars():
+    results = run_suite()
+
+    append = results["wal_append_4k_window"]
+    assert append["overhead_factor"] <= MAX_APPEND_OVERHEAD, (
+        f"WAL append overhead {append['overhead_factor']:.1f}x above the "
+        f"{MAX_APPEND_OVERHEAD:.0f}x bar (durable "
+        f"{append['durable_append_s'] * 1e6:.1f} us vs memory "
+        f"{append['memory_append_s'] * 1e6:.1f} us)"
+    )
+
+    recovery = results["recovery_vs_rebuild_20k"]
+    assert recovery["states_match"], (
+        "recovered index differs from the pre-crash / cold-rebuilt one"
+    )
+    assert recovery["speedup"] >= MIN_RECOVERY_SPEEDUP, (
+        f"recovery speedup {recovery['speedup']:.1f}x below the "
+        f"{MIN_RECOVERY_SPEEDUP:.0f}x bar (recover "
+        f"{recovery['recover_s'] * 1000:.1f} ms vs rebuild "
+        f"{recovery['rebuild_s'] * 1000:.1f} ms)"
+    )
+
+    warm = results["warm_cache_restart_2k"]
+    assert warm["entries_restored"] >= 1, "no cache entries restored"
+    assert warm["all_hits"], "restored cache missed after a clean restart"
+    assert warm["solutions_match"], "restored solution differs from a fresh solve"
+    assert warm["speedup"] >= MIN_WARM_CACHE_SPEEDUP, (
+        f"warm-cache speedup {warm['speedup']:.1f}x below the "
+        f"{MIN_WARM_CACHE_SPEEDUP:.0f}x bar"
+    )
+
+    payload = {
+        "meta": {**suite_meta(), "python": platform.python_version()},
+        "results": results,
+    }
+    atomic_write_text(BASELINE_PATH, json.dumps(payload, indent=2) + "\n")
+    print(
+        f"wal_append_4k_window: durable {append['durable_append_s'] * 1e6:.1f} us "
+        f"memory {append['memory_append_s'] * 1e6:.1f} us "
+        f"({append['overhead_factor']:.1f}x overhead)"
+    )
+    print(
+        f"recovery_vs_rebuild_20k: recover {recovery['recover_s'] * 1000:.1f} ms "
+        f"rebuild {recovery['rebuild_s'] * 1000:.1f} ms ({recovery['speedup']:.1f}x)"
+    )
+    print(
+        f"warm_cache_restart_2k: hit {warm['hit_s'] * 1e6:.1f} us "
+        f"solve {warm['solve_s'] * 1000:.2f} ms ({warm['speedup']:.1f}x)"
+    )

@@ -22,6 +22,8 @@ import platform
 from pathlib import Path
 
 from stream_workload import run_suite, suite_meta
+from repro.common.fsio import atomic_write_text
+
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
 
@@ -53,7 +55,7 @@ def test_stream_tick_and_cache_speedups():
         "meta": {**suite_meta(), "python": platform.python_version()},
         "results": results,
     }
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(BASELINE_PATH, json.dumps(payload, indent=2) + "\n")
     print(
         f"monitor_tick_window_10k: stream {tick['stream_tick_s'] * 1000:.2f} ms "
         f"rebuild {tick['rebuild_tick_s'] * 1000:.2f} ms ({tick['speedup']:.1f}x)"

@@ -19,6 +19,8 @@ import platform
 from pathlib import Path
 
 from vertical_workload import run_suite, suite_meta
+from repro.common.fsio import atomic_write_text
+
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_vertical.json"
 
@@ -38,7 +40,7 @@ def test_vertical_engine_speedups():
         "meta": {**suite_meta(), "python": platform.python_version()},
         "results": results,
     }
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(BASELINE_PATH, json.dumps(payload, indent=2) + "\n")
     for name, result in results.items():
         print(
             f"{name}: naive {result['naive_s']:.3f}s"

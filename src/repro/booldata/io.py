@@ -12,12 +12,14 @@ without hand-building bitmasks:
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 
 from repro.booldata.schema import Schema
 from repro.booldata.table import BooleanTable
 from repro.common.errors import ValidationError
+from repro.common.fsio import atomic_write_text
 
 __all__ = [
     "load_table_csv",
@@ -54,13 +56,14 @@ def load_table_csv(path: str | Path) -> BooleanTable:
 
 
 def save_table_csv(table: BooleanTable, path: str | Path) -> None:
-    """Write a table as a 0/1 CSV with a header row."""
-    path = Path(path)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(table.schema.names)
-        for row in table:
-            writer.writerow(table.schema.bits_from_mask(row))
+    """Write a table as a 0/1 CSV with a header row (atomically — a
+    crash mid-save leaves any previous file intact, never a torn one)."""
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(table.schema.names)
+    for row in table:
+        writer.writerow(table.schema.bits_from_mask(row))
+    atomic_write_text(path, buffer.getvalue())
 
 
 def load_table_json(path: str | Path) -> BooleanTable:
@@ -75,9 +78,9 @@ def load_table_json(path: str | Path) -> BooleanTable:
 
 
 def save_table_json(table: BooleanTable, path: str | Path) -> None:
-    """Write a table as attribute-name rows."""
+    """Write a table as attribute-name rows (atomic, like the CSV path)."""
     payload = {
         "attributes": list(table.schema.names),
         "rows": [table.schema.names_of(row) for row in table],
     }
-    Path(path).write_text(json.dumps(payload, indent=2))
+    atomic_write_text(path, json.dumps(payload, indent=2))

@@ -346,6 +346,36 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="bitmap kernel of the streaming window index (default auto)",
     )
+    stream.add_argument(
+        "--store-dir",
+        dest="store_dir",
+        default=None,
+        metavar="DIR",
+        help="persist the window in DIR (write-ahead log + epoch "
+        "snapshots); without it the replay is memory-only",
+    )
+    stream.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover the store in --store-dir (snapshot + WAL-tail "
+        "replay, warm solve cache) and continue from it",
+    )
+    stream.add_argument(
+        "--fsync",
+        choices=("always", "interval", "never"),
+        default="interval",
+        help="WAL durability policy: always (every record), interval "
+        "(batched), never (OS page cache only; default interval)",
+    )
+    stream.add_argument(
+        "--snapshot-every",
+        dest="snapshot_every",
+        type=int,
+        default=None,
+        metavar="EPOCHS",
+        help="checkpoint an epoch snapshot every EPOCHS mutations "
+        "(default: one checkpoint when the replay ends)",
+    )
     return parser
 
 
@@ -588,6 +618,10 @@ def _run_stream(args) -> int:
         chain=chain,
         engine=args.engine,
         kernel=args.kernel,
+        store_dir=args.store_dir,
+        resume=args.resume,
+        fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
     )
     report = replay_drift(config)
     print(
@@ -611,6 +645,24 @@ def _run_stream(args) -> int:
     else:
         print("cache: disabled")
     print(f"index: epoch {report.epoch}, compactions {report.compactions}")
+    if report.store is not None:
+        store = report.store
+        if store.get("resumed"):
+            recovery = store.get("recovery", {})
+            restored = store.get("cache_restored")
+            print(
+                f"store: resumed {store['dir']} from {recovery.get('source')} "
+                f"(replayed {recovery.get('records_replayed', 0)} WAL records"
+                + (f", restored {restored} cache entries" if restored else "")
+                + ")"
+            )
+        else:
+            print(f"store: {store['dir']}")
+        print(
+            f"store: {store.get('wal_records', 0)} WAL records "
+            f"({store.get('wal_bytes', 0)} bytes), checkpointed at epoch "
+            f"{store.get('final_epoch', report.epoch)}"
+        )
     status = report.final_status
     print(
         f"final: realized {status.realized} of achievable {status.achievable} "

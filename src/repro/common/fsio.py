@@ -1,0 +1,69 @@
+"""Crash-safe filesystem primitives shared by the storage layer.
+
+Plain ``Path.write_text`` is not atomic: a crash (or a concurrent
+reader) mid-write observes a torn file.  Every durable artifact in this
+package — snapshots, benchmark baselines, experiment results, exported
+tables — therefore goes through :func:`atomic_write_bytes`: the payload
+is written to a temporary file *in the same directory* (so the final
+rename never crosses a filesystem boundary) and published with
+:func:`os.replace`, which POSIX guarantees to be atomic.  Readers see
+either the old complete file or the new complete file, never a torn
+one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_directory"]
+
+
+def atomic_write_bytes(path: str | Path, payload: bytes, fsync: bool = False) -> None:
+    """Write ``payload`` to ``path`` atomically (temp file + ``os.replace``).
+
+    ``fsync=True`` additionally flushes the temp file — and, on POSIX,
+    the containing directory entry — to stable storage before the
+    rename is considered done, so the publication survives power loss,
+    not just process death.
+    """
+    path = Path(path)
+    handle, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "wb") as temp:
+            temp.write(payload)
+            if fsync:
+                temp.flush()
+                os.fsync(temp.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_directory(path.parent)
+
+
+def atomic_write_text(path: str | Path, text: str, fsync: bool = False) -> None:
+    """:func:`atomic_write_bytes` for UTF-8 text."""
+    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def fsync_directory(directory: str | Path) -> None:
+    """Flush a directory entry so renames/creates within it are durable.
+
+    A no-op on platforms where directories cannot be opened (Windows).
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

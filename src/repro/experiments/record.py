@@ -11,6 +11,7 @@ import json
 from pathlib import Path
 
 from repro.common.errors import ValidationError
+from repro.common.fsio import atomic_write_text
 from repro.experiments.results import ExperimentResult
 
 __all__ = ["result_to_dict", "result_from_dict", "save_results", "load_results"]
@@ -50,9 +51,10 @@ def result_from_dict(payload: dict) -> ExperimentResult:
 
 
 def save_results(results: list[ExperimentResult], path: str | Path) -> None:
-    """Write results as one JSON document."""
+    """Write results as one JSON document (atomically — an interrupted
+    save never leaves a torn archive behind)."""
     payload = {"results": [result_to_dict(result) for result in results]}
-    Path(path).write_text(json.dumps(payload, indent=2))
+    atomic_write_text(path, json.dumps(payload, indent=2))
 
 
 def load_results(path: str | Path) -> list[ExperimentResult]:

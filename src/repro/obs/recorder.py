@@ -102,6 +102,23 @@ DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
      "Solve-cache lookups (result=hit|miss|stale).", ("result",)),
     ("counter", "repro_stream_cache_evictions_total",
      "Solve-cache entries evicted by the LRU bound.", ()),
+    ("counter", "repro_store_wal_records_total",
+     "Records appended to write-ahead logs, by record type.", ("type",)),
+    ("counter", "repro_store_wal_bytes_total",
+     "Bytes appended to write-ahead logs.", ()),
+    ("counter", "repro_store_wal_fsyncs_total",
+     "fsync calls issued by write-ahead logs.", ()),
+    ("counter", "repro_store_wal_rotations_total",
+     "Write-ahead-log segment rotations.", ()),
+    ("counter", "repro_store_snapshots_total",
+     "Epoch snapshots written by durable streaming logs.", ()),
+    ("counter", "repro_store_recoveries_total",
+     "Store recoveries by outcome (status=snapshot|genesis|fresh|failed).",
+     ("status",)),
+    ("counter", "repro_store_truncated_bytes_total",
+     "Torn/corrupt WAL bytes truncated during recovery.", ()),
+    ("counter", "repro_store_cache_entries_restored_total",
+     "Solve-cache entries restored from persisted snapshots.", ()),
     ("histogram", "repro_solver_solve_seconds",
      "Wall-clock latency of Solver.solve.", ("algorithm",)),
     ("histogram", "repro_harness_run_seconds",
@@ -116,6 +133,12 @@ DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
      "Wall-clock latency of streaming-log compaction.", ()),
     ("histogram", "repro_stream_cache_solve_seconds",
      "Wall-clock latency of uncached solves behind the solve cache.", ()),
+    ("histogram", "repro_store_append_seconds",
+     "Wall-clock latency of durable appends (WAL write + apply).", ()),
+    ("histogram", "repro_store_snapshot_seconds",
+     "Wall-clock latency of epoch-snapshot checkpoints.", ()),
+    ("histogram", "repro_store_recover_seconds",
+     "Wall-clock latency of store recovery (restore + replay).", ()),
 )
 
 

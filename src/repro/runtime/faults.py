@@ -30,6 +30,15 @@ Fault kinds:
     solve correctly, then forge a damaged :class:`Solution` that
     bypasses the dataclass validators — exercising the harness's
     invariant guard, the last line of defence.
+
+The module also carries the **storage fault injector** used by the
+:mod:`repro.store` crash-recovery suite: :func:`crash_after_bytes`
+produces torn writes (a writer that dies mid-record, like a process
+killed inside ``write``), and :func:`flip_byte` / :func:`truncate_tail`
+damage files at rest (bit rot, a filesystem that lost the tail).  The
+recovery contract distinguishes exactly these two classes — torn tails
+are truncated silently, damage is truncated loudly — so the injector
+produces each on demand.
 """
 
 from __future__ import annotations
@@ -51,7 +60,11 @@ __all__ = [
     "OK",
     "FaultPlan",
     "FaultySolver",
+    "CrashingWriter",
     "corrupt_solution",
+    "crash_after_bytes",
+    "flip_byte",
+    "truncate_tail",
 ]
 
 FAULT_KINDS = ("ok", "error", "crash", "delay", "corrupt")
@@ -253,3 +266,84 @@ def corrupt_solution(solution: Solution, mode: str = "lie") -> Solution:
     if mode != "lie":
         raise ValidationError(f"unknown corruption mode {mode!r}")
     return _forge(problem, solution.keep_mask, solution.satisfied + 13, algorithm)
+
+
+# -- storage faults (the repro.store crash-recovery suite) -----------------------
+
+
+class CrashingWriter:
+    """A file wrapper that writes ``budget`` more bytes, then crashes.
+
+    A write that would exceed the budget lands only its prefix (flushed,
+    so the torn bytes are really on disk) before :class:`InjectedCrash`
+    is raised — the exact shape of a process killed mid-``write``.
+    Plugs into :class:`repro.store.wal.WriteAheadLog` via its
+    ``wrap_writer`` hook.
+    """
+
+    def __init__(self, raw, budget: int) -> None:
+        if budget < 0:
+            raise ValidationError(f"budget must be non-negative, got {budget}")
+        self._raw = raw
+        self.remaining = budget
+
+    def write(self, data: bytes) -> int:
+        if len(data) > self.remaining:
+            written = self.remaining
+            self._raw.write(data[:written])
+            self._raw.flush()
+            self.remaining = 0
+            raise InjectedCrash(
+                f"injected torn write: {written}/{len(data)} bytes landed"
+            )
+        self._raw.write(data)
+        self.remaining -= len(data)
+        return len(data)
+
+    def flush(self) -> None:
+        self._raw.flush()
+
+    def close(self) -> None:
+        self._raw.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._raw.closed
+
+    def fileno(self) -> int:
+        return self._raw.fileno()
+
+
+def crash_after_bytes(budget: int):
+    """A ``wrap_writer`` factory: allow ``budget`` bytes, then tear."""
+    return lambda raw: CrashingWriter(raw, budget)
+
+
+def flip_byte(path, offset: int) -> None:
+    """XOR one byte of a file at rest (negative ``offset`` counts from
+    the end) — simulated bit rot that CRC verification must catch."""
+    with open(path, "r+b") as handle:
+        handle.seek(0, 2)
+        size = handle.tell()
+        if not -size <= offset < size:
+            raise ValidationError(
+                f"offset {offset} out of range for {size}-byte file"
+            )
+        position = offset % size
+        handle.seek(position)
+        original = handle.read(1)
+        handle.seek(position)
+        handle.write(bytes([original[0] ^ 0xFF]))
+
+
+def truncate_tail(path, drop_bytes: int) -> int:
+    """Drop the last ``drop_bytes`` of a file (a lost tail); returns the
+    new size.  Dropping more than the file holds empties it."""
+    if drop_bytes < 0:
+        raise ValidationError(f"drop_bytes must be non-negative, got {drop_bytes}")
+    with open(path, "r+b") as handle:
+        handle.seek(0, 2)
+        size = handle.tell()
+        remaining = max(0, size - drop_bytes)
+        handle.truncate(remaining)
+    return remaining

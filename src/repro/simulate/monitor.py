@@ -66,6 +66,14 @@ class VisibilityMonitor:
     harness, memoizing solves against an unchanged window;
     ``stale_while_revalidate`` additionally serves the last-known-good
     mask when a deadline-bounded refresh fails outright.
+
+    ``stream`` (optional) hands the monitor a pre-built window — e.g. a
+    :class:`repro.store.DurableStreamingLog` recovered after a crash —
+    instead of constructing an empty one; ``window_size``,
+    ``compact_threshold`` and ``kernel`` are then taken from the stream.
+    ``cache`` likewise installs a pre-built (possibly warm-restored)
+    :class:`SolveCache`, which must ride the same stream.  The realized
+    counter is recomputed from the stream's current content either way.
     """
 
     def __init__(
@@ -82,6 +90,8 @@ class VisibilityMonitor:
         cache_size: int | None = None,
         stale_while_revalidate: bool = False,
         kernel: str | None = None,
+        stream: StreamingLog | None = None,
+        cache: SolveCache | None = None,
     ) -> None:
         schema.validate_mask(new_tuple)
         schema.validate_mask(keep_mask)
@@ -100,20 +110,35 @@ class VisibilityMonitor:
         self.tolerance = tolerance
         self.estimator = estimator or ConsumeAttrSolver()
         self.harness = harness
-        self.stream = StreamingLog(
-            schema, window_size=window_size, compact_threshold=compact_threshold,
-            kernel=kernel,
-        )
-        self.cache = (
-            SolveCache(
+        if stream is not None:
+            if stream.schema.names != schema.names:
+                raise ValidationError(
+                    "the supplied stream's schema does not match the monitor's"
+                )
+            self.stream = stream
+        else:
+            self.stream = StreamingLog(
+                schema, window_size=window_size,
+                compact_threshold=compact_threshold, kernel=kernel,
+            )
+        if cache is not None:
+            if cache.log is not self.stream:
+                raise ValidationError(
+                    "the supplied cache must ride the monitor's own stream"
+                )
+            self.cache = cache
+        elif cache_size is not None:
+            self.cache = SolveCache(
                 self.stream,
                 capacity=cache_size,
                 stale_while_revalidate=stale_while_revalidate,
             )
-            if cache_size is not None
-            else None
+        else:
+            self.cache = None
+        # a preloaded (recovered) stream may already hold queries
+        self._realized = sum(
+            1 for query in self.stream if query & self.keep_mask == query
         )
-        self._realized = 0
 
     # -- stream ingestion ------------------------------------------------------
 

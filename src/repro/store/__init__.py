@@ -1,0 +1,35 @@
+"""Durable streaming state: write-ahead log, snapshots, crash recovery.
+
+The streaming stack (:mod:`repro.stream`) keeps its window and index in
+memory; this package makes that state survive a crash:
+
+* :mod:`repro.store.records` — the length-prefixed, CRC32-checksummed
+  record wire format;
+* :mod:`repro.store.wal` — the segmented append-only write-ahead log
+  with configurable fsync policies;
+* :mod:`repro.store.snapshot` — epoch-consistent checkpoints of the
+  window in a kernel-agnostic column format, plus the store manifest;
+* :mod:`repro.store.durable` — :class:`DurableStreamingLog`, the
+  drop-in :class:`~repro.stream.log.StreamingLog` that logs every
+  mutation before applying it;
+* :mod:`repro.store.recovery` — :func:`recover`, which restores
+  snapshot + WAL tail into a log whose ``materialize()`` is bit-for-bit
+  the pre-crash index;
+* :mod:`repro.store.cachestate` — persisting
+  :class:`~repro.stream.cache.SolveCache` entries for warm restarts.
+
+See ``docs/durability.md`` for the full durability contract.
+"""
+
+from repro.store.durable import DurableStreamingLog, StoreConfig
+from repro.store.recovery import RecoveryReport, recover
+from repro.store.cachestate import export_cache_state, restore_cache_state
+
+__all__ = [
+    "DurableStreamingLog",
+    "RecoveryReport",
+    "StoreConfig",
+    "export_cache_state",
+    "recover",
+    "restore_cache_state",
+]

@@ -1,0 +1,159 @@
+"""Persisting :class:`~repro.stream.cache.SolveCache` state across restarts.
+
+A warm restart should serve the solves it already paid for: the cache's
+entries (keyed by epoch) and its last-known-good masks (the
+stale-while-revalidate safety net) ride along inside every snapshot.
+Two asymmetries shape the format:
+
+* **entries are restored only at the snapshot epoch** — an entry's key
+  embeds the epoch it was computed at, so after a restart that replays
+  WAL records past the snapshot, the old entries are unreachable by
+  construction and storing them would only occupy capacity.  The clean
+  shutdown / warm restart path (checkpoint, exit, recover) lands on the
+  same epoch and every entry hits.
+* **last-known-good masks are always restored** — the stale path only
+  needs the mask and the algorithm name, and re-evaluates the objective
+  against the *current* window, so staleness across the restart is
+  exactly as honest as staleness within one process lifetime.
+
+Solutions are serialized by value (mask, objective, algorithm, scalar
+stats) and re-attached to a problem built over the recovered log, so a
+restored hit is indistinguishable from a live one apart from a
+``stats["restored"]`` marker.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ValidationError
+from repro.core.problem import Solution, VisibilityProblem
+
+if TYPE_CHECKING:
+    from repro.stream.cache import SolveCache
+
+__all__ = ["export_cache_state", "restore_cache_state"]
+
+STATE_VERSION = 1
+
+_SCALARS = (int, float, str, bool)
+
+
+def _solution_payload(solution: Solution) -> dict:
+    return {
+        "keep_mask": solution.keep_mask,
+        "satisfied": solution.satisfied,
+        "algorithm": solution.algorithm,
+        "optimal": solution.optimal,
+        "stats": {
+            key: value for key, value in solution.stats.items()
+            if isinstance(value, _SCALARS)
+        },
+    }
+
+
+def _rebuild_solution(cache: "SolveCache", new_tuple: int, budget: int,
+                      payload: dict) -> Solution:
+    problem = VisibilityProblem.from_stream(cache.log, new_tuple, budget)
+    return Solution(
+        problem=problem,
+        keep_mask=payload["keep_mask"],
+        satisfied=payload["satisfied"],
+        algorithm=payload["algorithm"],
+        optimal=payload["optimal"],
+        stats={**payload.get("stats", {}), "restored": True},
+    )
+
+
+def export_cache_state(cache: "SolveCache") -> dict:
+    """Serialize the cache to a JSON-safe dict (see module docstring)."""
+    epoch = cache.log.epoch
+    entries = []
+    for key, entry in cache._entries.items():
+        new_tuple, budget, name, entry_epoch = key
+        if entry_epoch != epoch:
+            continue  # unreachable after any further mutation; don't persist
+        if isinstance(entry, Solution):
+            entries.append({
+                "kind": "solution",
+                "new_tuple": new_tuple,
+                "budget": budget,
+                "name": name,
+                "solution": _solution_payload(entry),
+            })
+        else:  # a RunOutcome; failed ones (solution=None) are not worth keeping
+            solution = entry.solution
+            if solution is None:
+                continue
+            entries.append({
+                "kind": "outcome",
+                "new_tuple": new_tuple,
+                "budget": budget,
+                "name": name,
+                "status": entry.status,
+                "elapsed_s": entry.elapsed_s,
+                "deadline_s": entry.deadline_s,
+                "solution": _solution_payload(solution),
+            })
+    latest = [
+        {
+            "new_tuple": new_tuple,
+            "budget": budget,
+            "name": name,
+            "solution": _solution_payload(solution),
+        }
+        for (new_tuple, budget, name), solution in cache._latest.items()
+    ]
+    return {
+        "state_version": STATE_VERSION,
+        "epoch": epoch,
+        "capacity": cache.capacity,
+        "entries": entries,
+        "latest": latest,
+    }
+
+
+def restore_cache_state(cache: "SolveCache", state: dict) -> int:
+    """Load exported state into a fresh cache over the recovered log.
+
+    Entries are only re-installed when the log stands at the epoch the
+    state was exported at (otherwise they are unreachable dead weight);
+    the last-known-good masks are installed unconditionally.  Returns
+    the number of entries restored.
+    """
+    if not isinstance(state, dict) or state.get("state_version") != STATE_VERSION:
+        raise ValidationError(
+            f"unsupported cache state version "
+            f"{state.get('state_version') if isinstance(state, dict) else state!r}"
+        )
+    for item in state.get("latest", ()):
+        solution = _rebuild_solution(
+            cache, item["new_tuple"], item["budget"], item["solution"]
+        )
+        cache._latest[(item["new_tuple"], item["budget"], item["name"])] = solution
+    restored = 0
+    if state.get("epoch") != cache.log.epoch:
+        return restored
+    for item in state.get("entries", ()):
+        key = (item["new_tuple"], item["budget"], item["name"], cache.log.epoch)
+        solution = _rebuild_solution(
+            cache, item["new_tuple"], item["budget"], item["solution"]
+        )
+        if item["kind"] == "solution":
+            cache._store(key, solution, solution)
+        elif item["kind"] == "outcome":
+            from repro.runtime.harness import OutcomeStats, RunOutcome
+
+            outcome = RunOutcome(
+                status=item["status"],
+                solution=solution,
+                attempts=(),
+                elapsed_s=item["elapsed_s"],
+                deadline_s=item["deadline_s"],
+                stats=OutcomeStats(),
+            )
+            cache._store(key, outcome, solution)
+        else:
+            raise ValidationError(f"unknown cache entry kind {item['kind']!r}")
+        restored += 1
+    return restored

@@ -1,0 +1,380 @@
+"""A :class:`~repro.stream.log.StreamingLog` whose mutations survive crashes.
+
+:class:`DurableStreamingLog` is a drop-in streaming log that writes
+every mutation to a :class:`~repro.store.wal.WriteAheadLog` *before*
+applying it in memory (WAL-then-apply), and periodically checkpoints
+the whole window into an epoch snapshot
+(:mod:`repro.store.snapshot`).  A crashed process resumes via
+:func:`repro.store.recovery.recover`, which restores the newest valid
+snapshot and replays the WAL tail — yielding a log whose
+``materialize()`` is bit-for-bit the pre-crash index.
+
+What gets logged:
+
+* ``append`` — one record per ingested query.  Window eviction and
+  threshold compaction are *not* logged: both are deterministic
+  functions of the configuration (recorded once in the manifest), so
+  replaying the appends reproduces them exactly;
+* ``retire`` — one record per ``retire(count)`` call, preserving call
+  boundaries because the epoch bumps once per call, not once per row;
+* ``compact`` — explicit compactions, for replay-timing fidelity (they
+  are content-neutral either way).
+
+The subclass only intercepts the public mutators; every query path —
+snapshots, the delta index, the epoch — is inherited unchanged, so the
+monitor, marketplace and solve cache ride a durable log without
+modification.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, BinaryIO, Callable, Iterable
+
+from repro.booldata.schema import Schema
+from repro.common.errors import ValidationError
+from repro.obs.recorder import get_recorder
+from repro.store import records as rec
+from repro.store.cachestate import export_cache_state
+from repro.store.snapshot import (
+    list_snapshots,
+    load_snapshot,
+    prune_snapshots,
+    write_manifest,
+    write_snapshot,
+)
+from repro.store.wal import (
+    FIRST_SEGMENT,
+    FSYNC_POLICIES,
+    WalPosition,
+    WriteAheadLog,
+    list_segments,
+)
+from repro.stream.index import DeltaVerticalIndex
+from repro.stream.log import StreamingLog
+
+if TYPE_CHECKING:
+    from repro.stream.cache import SolveCache
+
+__all__ = ["DurableStreamingLog", "StoreConfig"]
+
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Durability knobs of one store (CLI flags map onto these).
+
+    ``snapshot_every`` (epochs) enables automatic checkpoints;
+    ``keep_snapshots`` bounds how many snapshot generations survive
+    pruning — older ones are the fallback when the newest fails its
+    checksum, so 1 trades recovery resilience for disk.
+    """
+
+    segment_bytes: int = 1 << 20
+    fsync: str = "interval"
+    fsync_interval: int = 32
+    snapshot_every: int | None = None
+    keep_snapshots: int = 2
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_POLICIES:
+            raise ValidationError(
+                f"unknown fsync policy {self.fsync!r}; known: {FSYNC_POLICIES}"
+            )
+        if self.segment_bytes < 64:
+            raise ValidationError(
+                f"segment_bytes must be >= 64, got {self.segment_bytes}"
+            )
+        if self.fsync_interval < 1:
+            raise ValidationError(
+                f"fsync_interval must be >= 1, got {self.fsync_interval}"
+            )
+        if self.snapshot_every is not None and self.snapshot_every < 1:
+            raise ValidationError(
+                f"snapshot_every must be >= 1, got {self.snapshot_every}"
+            )
+        if self.keep_snapshots < 1:
+            raise ValidationError(
+                f"keep_snapshots must be >= 1, got {self.keep_snapshots}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "segment_bytes": self.segment_bytes,
+            "fsync": self.fsync,
+            "fsync_interval": self.fsync_interval,
+            "snapshot_every": self.snapshot_every,
+            "keep_snapshots": self.keep_snapshots,
+        }
+
+
+class DurableStreamingLog(StreamingLog):
+    """Streaming log with a write-ahead log and epoch snapshots.
+
+    Point it at an empty (or fresh) directory to start a new store; a
+    directory that already holds a store refuses to open — resume it
+    through :func:`repro.store.recovery.recover` instead, which is the
+    only path that knows how to reconcile the on-disk state.
+
+    ``checkpoint_cache`` (optional, assignable) is a
+    :class:`~repro.stream.cache.SolveCache` whose entries ride along in
+    every snapshot, including automatic ones.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        store_dir: str | Path,
+        window_size: int | None = None,
+        compact_threshold: float = 0.5,
+        kernel: str | None = None,
+        config: StoreConfig | None = None,
+        rows: Iterable[int] = (),
+        wrap_writer: Callable[[BinaryIO], BinaryIO] | None = None,
+        _resuming: bool = False,
+    ) -> None:
+        self._wal: WriteAheadLog | None = None
+        self._replaying = False
+        self._nested = False  # inside a logged append/retire (auto-compaction)
+        self.store_dir = Path(store_dir)
+        self.config = config or StoreConfig()
+        self.checkpoint_cache: "SolveCache | None" = None
+        existing = (
+            (self.store_dir / "store.json").exists()
+            or list_segments(self.store_dir)
+            or list_snapshots(self.store_dir)
+        )
+        if existing and not _resuming:
+            raise ValidationError(
+                f"{self.store_dir} already contains a store; resume it with "
+                f"repro.store.recover() or point at an empty directory"
+            )
+        super().__init__(
+            schema,
+            window_size=window_size,
+            compact_threshold=compact_threshold,
+            kernel=kernel,
+        )
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        if not _resuming:
+            write_manifest(self.store_dir, {
+                "schema": list(schema.names),
+                "window_size": window_size,
+                "compact_threshold": compact_threshold,
+                "kernel": self.kernel,
+                "config": self.config.to_dict(),
+            })
+        self._wal = WriteAheadLog(
+            self.store_dir,
+            segment_bytes=self.config.segment_bytes,
+            fsync=self.config.fsync,
+            fsync_interval=self.config.fsync_interval,
+            wrap_writer=wrap_writer,
+        )
+        self._last_checkpoint_epoch = 0
+        for row in rows:
+            self.append(row)
+
+    # -- logged mutators ---------------------------------------------------------
+
+    def append(self, query: int) -> int | None:
+        if self._wal is None or self._replaying:
+            return super().append(query)
+        self.schema.validate_mask(query)  # never log an invalid record
+        recorder = get_recorder()
+        if recorder.enabled:
+            start = time.perf_counter()
+            with recorder.span("store.append", epoch=self._epoch):
+                self._wal.append(rec.encode_append(query), rec.APPEND)
+                evicted = self._apply(super().append, query)
+            recorder.observe(
+                "repro_store_append_seconds", time.perf_counter() - start
+            )
+        else:
+            self._wal.append(rec.encode_append(query), rec.APPEND)
+            evicted = self._apply(super().append, query)
+        self._maybe_checkpoint()
+        return evicted
+
+    def _apply(self, mutator, argument):
+        """Run an inherited mutator with nested auto-compaction unlogged
+        (replay reproduces it deterministically from the config)."""
+        self._nested = True
+        try:
+            return mutator(argument)
+        finally:
+            self._nested = False
+
+    def retire(self, count: int = 1) -> list[int]:
+        if self._wal is None or self._replaying:
+            return super().retire(count)
+        # pre-validate so an invalid call never reaches the WAL
+        if count < 0:
+            raise ValidationError(f"count must be non-negative, got {count}")
+        if count > len(self._rows):
+            raise ValidationError(
+                f"cannot retire {count} queries from a window of {len(self._rows)}"
+            )
+        if count == 0:
+            return []
+        self._wal.append(rec.encode_retire(count), rec.RETIRE)
+        retired = self._apply(super().retire, count)
+        self._maybe_checkpoint()
+        return retired
+
+    def compact(self) -> int:
+        if (
+            self._wal is None
+            or self._replaying
+            or self._nested
+            or (self._head == 0 and not self._delta.tombstones)
+        ):
+            # unlogged: replay-internal, an auto-compaction that replay
+            # reproduces deterministically, or a no-op
+            return super().compact()
+        self._wal.append(rec.encode_compact(), rec.COMPACT)
+        return super().compact()
+
+    # -- checkpoints -------------------------------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        every = self.config.snapshot_every
+        if every is not None and self._epoch - self._last_checkpoint_epoch >= every:
+            self.checkpoint(self.checkpoint_cache)
+
+    def checkpoint(self, cache: "SolveCache | None" = None) -> Path:
+        """Write an epoch snapshot of the window (and optionally the
+        solve cache), prune old snapshots and fully-covered WAL
+        segments, and return the snapshot path."""
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return self._checkpoint(cache)
+        start = time.perf_counter()
+        with recorder.span(
+            "store.snapshot", epoch=self._epoch, live=len(self._rows)
+        ):
+            path = self._checkpoint(cache)
+        recorder.observe(
+            "repro_store_snapshot_seconds", time.perf_counter() - start
+        )
+        recorder.count("repro_store_snapshots_total")
+        return path
+
+    def _checkpoint(self, cache: "SolveCache | None") -> Path:
+        assert self._wal is not None
+        self.compact()  # tombstone-free columns; content- and epoch-neutral
+        self._wal.sync()  # the snapshot must not get ahead of the WAL
+        position = self._wal.position()
+        num_rows, columns = self._delta.export_columns()
+        payload = {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "epoch": self._epoch,
+            "compactions": self._compactions,
+            "num_rows": num_rows,
+            "rows": [format(row, "x") for row in self._rows],
+            "columns": [format(column, "x") for column in columns],
+            "wal": {"segment": position.segment, "offset": position.offset},
+            "cache": export_cache_state(cache) if cache is not None else None,
+        }
+        path = write_snapshot(
+            self.store_dir, payload, self._epoch,
+            fsync=self.config.fsync != "never",
+        )
+        self._last_checkpoint_epoch = self._epoch
+        prune_snapshots(self.store_dir, self.config.keep_snapshots)
+        oldest = list_snapshots(self.store_dir)[-1]
+        if oldest == path:
+            floor = position.segment
+        else:
+            try:
+                floor = load_snapshot(oldest)["wal"]["segment"]
+            except ValidationError:
+                floor = FIRST_SEGMENT  # damaged fallback snapshot: keep history
+        self._wal.prune_below(floor)
+        return path
+
+    # -- restore hooks (used by repro.store.recovery) ----------------------------
+
+    def _apply_snapshot(self, payload: dict) -> None:
+        """Adopt a verified snapshot payload as the in-memory state."""
+        if payload.get("format_version") != SNAPSHOT_FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported snapshot format {payload.get('format_version')!r}"
+            )
+        rows = [int(text, 16) for text in payload["rows"]]
+        columns = [int(text, 16) for text in payload["columns"]]
+        num_rows = payload["num_rows"]
+        if len(rows) != num_rows:
+            raise ValidationError(
+                f"snapshot rows ({len(rows)}) disagree with num_rows ({num_rows})"
+            )
+        if len(columns) != self.schema.width:
+            raise ValidationError(
+                f"snapshot has {len(columns)} columns for width {self.schema.width}"
+            )
+        self._rows = deque(rows)
+        self._delta = DeltaVerticalIndex.from_int_columns(
+            self.schema.width, num_rows, columns, kernel=self.kernel
+        )
+        self._head = 0
+        self._epoch = payload["epoch"]
+        self._compactions = payload.get("compactions", 0)
+        self._snapshot = None
+        self._snapshot_epoch = -1
+        self._last_checkpoint_epoch = self._epoch
+
+    def _replay(self, tail: Iterable[rec.Record]) -> dict[str, int]:
+        """Apply WAL-tail records without re-logging them."""
+        counts = dict.fromkeys(rec.RECORD_TYPES, 0)
+        self._replaying = True
+        try:
+            for record in tail:
+                if record.type == rec.APPEND:
+                    self.append(record.value)
+                elif record.type == rec.RETIRE:
+                    self.retire(record.value)
+                else:
+                    self.compact()
+                counts[record.type] += 1
+        finally:
+            self._replaying = False
+        return counts
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The underlying write-ahead log (telemetry / tests)."""
+        assert self._wal is not None
+        return self._wal
+
+    def wal_position(self) -> WalPosition:
+        return self.wal.position()
+
+    def last_snapshot(self) -> Path | None:
+        """Newest snapshot file, if any."""
+        snapshots = list_snapshots(self.store_dir)
+        return snapshots[0] if snapshots else None
+
+    def close(self) -> None:
+        """Flush and close the WAL; the log remains readable in memory."""
+        if self._wal is not None:
+            self._wal.close()
+
+    def __enter__(self) -> "DurableStreamingLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableStreamingLog(width={self.schema.width}, "
+            f"live={len(self._rows)}, epoch={self._epoch}, "
+            f"dir={str(self.store_dir)!r})"
+        )
+

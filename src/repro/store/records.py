@@ -1,0 +1,176 @@
+"""Wire format of write-ahead-log records.
+
+Every :class:`~repro.stream.log.StreamingLog` mutation becomes one
+length-prefixed, CRC32-checksummed record::
+
+    +----------------+----------------+------+------------------+
+    | length  (u32)  | crc32   (u32)  | type | payload          |
+    +----------------+----------------+------+------------------+
+    |<------ header (little-endian) ->|<---- body = length ---->|
+
+``length`` counts the *body* (the type byte plus the payload); the CRC
+covers exactly those bytes, so a flipped bit anywhere in the body — or
+a stale length field — fails verification.  Three record types exist:
+
+``APPEND``
+    payload is the query mask as minimal little-endian bytes;
+``RETIRE``
+    payload is a ``u32`` count (one record per ``retire(count)`` call —
+    the epoch bumps once per call, so replay must preserve call
+    boundaries, not just totals);
+``COMPACT``
+    empty payload.  Compaction is content-neutral, so the record exists
+    for fidelity of telemetry and replay timing, not correctness.
+
+Decoding is *forgiving at the tail and strict in the middle*: a record
+that runs past the end of the buffer is a **torn write** (the expected
+shape of a crash mid-append) and scanning stops cleanly before it; a
+record whose CRC fails or whose type is unknown is **corruption** and
+scanning also stops there.  Both cases surface the reason and byte
+offset so recovery can truncate the log at the last good record.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+
+__all__ = [
+    "APPEND",
+    "COMPACT",
+    "RECORD_TYPES",
+    "RETIRE",
+    "Record",
+    "ScanStop",
+    "encode_append",
+    "encode_compact",
+    "encode_record",
+    "encode_retire",
+    "scan_records",
+]
+
+#: record types, also the ``type`` label on ``repro_store_wal_records_total``
+APPEND = "append"
+RETIRE = "retire"
+COMPACT = "compact"
+
+RECORD_TYPES = (APPEND, RETIRE, COMPACT)
+
+_TYPE_CODES = {APPEND: 1, RETIRE: 2, COMPACT: 3}
+_CODE_TYPES = {code: name for name, code in _TYPE_CODES.items()}
+
+_HEADER = struct.Struct("<II")
+_RETIRE_BODY = struct.Struct("<I")
+
+#: sanity cap on the body length — anything larger is corruption, not a
+#: record (the widest append payload is a few hundred bytes)
+MAX_BODY_BYTES = 1 << 24
+
+
+@dataclass(frozen=True)
+class Record:
+    """One decoded WAL record."""
+
+    type: str
+    #: query mask for ``append``, retire count for ``retire``, 0 otherwise
+    value: int
+    #: byte offset of the record header within its segment
+    offset: int
+    #: total encoded size (header + body)
+    size: int
+
+
+@dataclass(frozen=True)
+class ScanStop:
+    """Why and where a segment scan stopped before the end of the data.
+
+    ``reason`` is one of ``torn_header`` / ``torn_payload`` (a write cut
+    short by a crash) or ``crc_mismatch`` / ``bad_length`` / ``bad_type``
+    / ``bad_payload`` (corruption).  ``offset`` is where the bad record
+    starts — the truncation point that keeps every good record.
+    """
+
+    reason: str
+    offset: int
+
+    @property
+    def torn(self) -> bool:
+        """True when the stop is an expected crash artifact, not damage."""
+        return self.reason in ("torn_header", "torn_payload")
+
+
+def encode_record(record_type: str, payload: bytes) -> bytes:
+    """Frame one record: header (length + CRC32) followed by the body."""
+    code = _TYPE_CODES.get(record_type)
+    if code is None:
+        raise ValidationError(
+            f"unknown record type {record_type!r}; known: {RECORD_TYPES}"
+        )
+    body = bytes([code]) + payload
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def encode_append(mask: int) -> bytes:
+    """An ``append`` record carrying one query mask."""
+    if mask < 0:
+        raise ValidationError(f"append mask must be non-negative, got {mask}")
+    payload = mask.to_bytes(max(1, (mask.bit_length() + 7) // 8), "little")
+    return encode_record(APPEND, payload)
+
+
+def encode_retire(count: int) -> bytes:
+    """A ``retire`` record carrying the FIFO retire count of one call."""
+    if not 0 < count <= 0xFFFFFFFF:
+        raise ValidationError(f"retire count out of range: {count}")
+    return encode_record(RETIRE, _RETIRE_BODY.pack(count))
+
+
+def encode_compact() -> bytes:
+    """A ``compact`` marker record (empty payload)."""
+    return encode_record(COMPACT, b"")
+
+
+def scan_records(data: bytes, base_offset: int = 0) -> tuple[list[Record], ScanStop | None]:
+    """Decode every well-formed record from ``data``.
+
+    Returns the good records plus a :class:`ScanStop` when the scan
+    ended early (``None`` when the buffer decodes cleanly to its end).
+    ``base_offset`` shifts reported offsets, for scans that resume
+    mid-segment.
+    """
+    records: list[Record] = []
+    offset = 0
+    end = len(data)
+    while offset < end:
+        if end - offset < _HEADER.size:
+            return records, ScanStop("torn_header", base_offset + offset)
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length < 1 or length > MAX_BODY_BYTES:
+            return records, ScanStop("bad_length", base_offset + offset)
+        body_start = offset + _HEADER.size
+        if end - body_start < length:
+            return records, ScanStop("torn_payload", base_offset + offset)
+        body = data[body_start:body_start + length]
+        if zlib.crc32(body) != crc:
+            return records, ScanStop("crc_mismatch", base_offset + offset)
+        record_type = _CODE_TYPES.get(body[0])
+        if record_type is None:
+            return records, ScanStop("bad_type", base_offset + offset)
+        payload = body[1:]
+        if record_type == APPEND:
+            value = int.from_bytes(payload, "little")
+        elif record_type == RETIRE:
+            if len(payload) != _RETIRE_BODY.size:
+                return records, ScanStop("bad_payload", base_offset + offset)
+            value = _RETIRE_BODY.unpack(payload)[0]
+        else:
+            if payload:
+                return records, ScanStop("bad_payload", base_offset + offset)
+            value = 0
+        size = _HEADER.size + length
+        records.append(Record(record_type, value, base_offset + offset, size))
+        offset += size
+    return records, None

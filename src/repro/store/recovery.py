@@ -1,0 +1,321 @@
+"""Crash recovery: snapshot restore plus WAL-tail replay.
+
+:func:`recover` turns a store directory back into a live
+:class:`~repro.store.durable.DurableStreamingLog` whose
+``materialize()`` is bit-for-bit the pre-crash index.  The candidate
+chain, strongest first:
+
+1. **newest snapshot + WAL tail** — restore the snapshot, replay every
+   record at or after its recorded WAL position;
+2. **older snapshots** — when the newest fails verification (or its WAL
+   tail has a hole), fall back one generation at a time; checkpointing
+   keeps the WAL back to the oldest retained snapshot's position
+   exactly so this replay stays possible;
+3. **genesis replay** — no usable snapshot but the WAL still starts at
+   its first segment: rebuild the whole window from the manifest
+   configuration by replaying every record;
+4. **fresh start** — a manifest with no snapshots and no WAL data is a
+   store that crashed right after creation.
+
+Anything else — a missing/damaged manifest, or no candidate whose
+history is complete — is corruption beyond recovery and raises
+:class:`~repro.common.errors.ValidationError` (CLI exit code 2).
+
+A torn or corrupt record ends the usable log: everything from the first
+bad byte on is physically truncated (the bad tail cannot be skipped —
+replay order admits no holes), the store is restored to the last good
+record, and the :class:`RecoveryReport` says what was dropped and why.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.booldata.schema import Schema
+from repro.common.errors import ValidationError
+from repro.obs.recorder import get_recorder
+from repro.store.durable import DurableStreamingLog, StoreConfig
+from repro.store.snapshot import (
+    list_snapshots,
+    load_manifest,
+    load_snapshot,
+    snapshot_epoch,
+)
+from repro.store.wal import (
+    FIRST_SEGMENT,
+    WalPosition,
+    WalScan,
+    list_segments,
+    scan_wal,
+    segment_path,
+)
+
+__all__ = ["RecoveryReport", "recover"]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What recovery found, restored, replayed and discarded."""
+
+    store_dir: str
+    #: ``snapshot`` / ``genesis`` / ``fresh`` — which candidate succeeded
+    source: str
+    #: epoch of the restored snapshot (``None`` for genesis/fresh)
+    snapshot_epoch: int | None
+    snapshot_path: str | None
+    #: snapshots that failed verification and were passed over
+    snapshots_skipped: int
+    #: per-type counts of WAL records applied
+    replayed: dict[str, int]
+    records_replayed: int
+    #: True when a torn/corrupt tail was cut off
+    truncated: bool
+    truncated_reason: str | None
+    truncated_bytes: int
+    #: recovered log state, for the caller's own sanity checks
+    epoch: int
+    live_rows: int
+    #: serialized SolveCache state from the snapshot, if one was stored
+    #: (restore it with :func:`repro.store.cachestate.restore_cache_state`)
+    cache_state: dict | None = None
+    elapsed_s: float = 0.0
+    #: snapshots skipped, with the reason each was rejected
+    skipped_detail: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "store_dir": self.store_dir,
+            "source": self.source,
+            "snapshot_epoch": self.snapshot_epoch,
+            "snapshot_path": self.snapshot_path,
+            "snapshots_skipped": self.snapshots_skipped,
+            "replayed": dict(self.replayed),
+            "records_replayed": self.records_replayed,
+            "truncated": self.truncated,
+            "truncated_reason": self.truncated_reason,
+            "truncated_bytes": self.truncated_bytes,
+            "epoch": self.epoch,
+            "live_rows": self.live_rows,
+            "cache_restorable": self.cache_state is not None,
+            "elapsed_s": self.elapsed_s,
+            "skipped_detail": list(self.skipped_detail),
+        }
+
+
+def _tail_complete(directory: Path, start: WalPosition) -> str | None:
+    """Reason the WAL tail after ``start`` cannot be replayed, or ``None``.
+
+    The tail is replayable when the segments at or after ``start`` are
+    contiguous and begin with ``start.segment`` — except that an empty
+    tail (every segment pruned up to exactly the snapshot position) is
+    fine too.
+    """
+    tail = [s for s in list_segments(directory) if s >= start.segment]
+    if not tail:
+        return None if start.offset == 0 else (
+            f"segment {start.segment} holding the snapshot position is gone"
+        )
+    if tail[0] != start.segment:
+        return f"segments {start.segment}..{tail[0] - 1} are missing"
+    for previous, current in zip(tail, tail[1:]):
+        if current != previous + 1:
+            return f"segments {previous + 1}..{current - 1} are missing"
+    return None
+
+
+def _truncate_tail(directory: Path, scan: WalScan) -> int:
+    """Physically cut the log at the first bad record; returns bytes dropped."""
+    assert scan.stop is not None and scan.stop_segment is not None
+    dropped = 0
+    path = segment_path(directory, scan.stop_segment)
+    size = path.stat().st_size
+    dropped += size - scan.stop.offset
+    with path.open("r+b") as handle:
+        handle.truncate(scan.stop.offset)
+    for segment in list_segments(directory):
+        if segment > scan.stop_segment:
+            later = segment_path(directory, segment)
+            dropped += later.stat().st_size
+            later.unlink()
+    return dropped
+
+
+def recover(
+    store_dir: str | Path,
+    kernel: str | None = None,
+    config: StoreConfig | None = None,
+    wrap_writer=None,
+) -> tuple[DurableStreamingLog, RecoveryReport]:
+    """Restore a :class:`DurableStreamingLog` from ``store_dir``.
+
+    ``kernel`` overrides the kernel recorded in the manifest — snapshots
+    and WAL records are kernel-agnostic, so a store written under one
+    kernel recovers under any other.  ``config`` overrides the persisted
+    durability knobs for the resumed process.  Raises
+    :class:`ValidationError` when the directory holds no consistent
+    state to restore (corruption beyond recovery).
+    """
+    recorder = get_recorder()
+    start_time = time.perf_counter()
+    directory = Path(store_dir)
+    try:
+        if recorder.enabled:
+            with recorder.span("store.recover", dir=str(directory)):
+                log, report = _recover(directory, kernel, config, wrap_writer)
+        else:
+            log, report = _recover(directory, kernel, config, wrap_writer)
+    except ValidationError:
+        if recorder.enabled:
+            recorder.count(
+                "repro_store_recoveries_total", 1, {"status": "failed"}
+            )
+        raise
+    elapsed = time.perf_counter() - start_time
+    report = replace(report, elapsed_s=elapsed)
+    if recorder.enabled:
+        recorder.observe("repro_store_recover_seconds", elapsed)
+        recorder.count(
+            "repro_store_recoveries_total", 1, {"status": report.source}
+        )
+        if report.truncated:
+            recorder.count(
+                "repro_store_truncated_bytes_total", report.truncated_bytes
+            )
+    return log, report
+
+
+def _recover(
+    directory: Path,
+    kernel: str | None,
+    config: StoreConfig | None,
+    wrap_writer,
+) -> tuple[DurableStreamingLog, RecoveryReport]:
+    manifest = load_manifest(directory)
+    schema = Schema(manifest["schema"])
+    stored = manifest.get("config", {})
+    effective_config = config or StoreConfig(**stored)
+    skipped: list[str] = []
+
+    # -- candidates 1 and 2: snapshots, newest first -----------------------------
+    for path in list_snapshots(directory):
+        try:
+            payload = load_snapshot(path)
+        except ValidationError as error:
+            skipped.append(str(error))
+            continue
+        position = WalPosition(payload["wal"]["segment"], payload["wal"]["offset"])
+        hole = _tail_complete(directory, position)
+        if hole is not None:
+            skipped.append(f"{path.name}: {hole}")
+            continue
+        try:
+            scan = scan_wal(directory, position)
+        except ValidationError as error:
+            skipped.append(f"{path.name}: {error}")
+            continue
+        truncated_bytes = _truncate_tail(directory, scan) if scan.stop else 0
+        log = _open(
+            schema, directory, manifest, effective_config, kernel, wrap_writer
+        )
+        try:
+            log._apply_snapshot(payload)
+            counts = log._replay(record for _, record in scan.records)
+        except ValidationError:
+            log.close()
+            raise ValidationError(
+                f"{directory}: snapshot {path.name} and its WAL tail are "
+                f"inconsistent — corruption beyond recovery"
+            ) from None
+        return log, _report(
+            directory, "snapshot", snapshot_epoch(path), str(path),
+            skipped, counts, scan, truncated_bytes, log, payload.get("cache"),
+        )
+
+    # -- candidate 3: genesis replay ---------------------------------------------
+    segments = list_segments(directory)
+    if segments:
+        if segments[0] != FIRST_SEGMENT or _tail_complete(
+            directory, WalPosition(FIRST_SEGMENT, 0)
+        ):
+            raise ValidationError(
+                f"{directory}: no usable snapshot and the write-ahead log no "
+                f"longer reaches back to its first segment — corruption "
+                f"beyond recovery"
+                + (f" (skipped: {'; '.join(skipped)})" if skipped else "")
+            )
+        scan = scan_wal(directory, WalPosition(FIRST_SEGMENT, 0))
+        truncated_bytes = _truncate_tail(directory, scan) if scan.stop else 0
+        log = _open(
+            schema, directory, manifest, effective_config, kernel, wrap_writer
+        )
+        try:
+            counts = log._replay(record for _, record in scan.records)
+        except ValidationError:
+            log.close()
+            raise ValidationError(
+                f"{directory}: write-ahead log replays to an inconsistent "
+                f"state — corruption beyond recovery"
+            ) from None
+        return log, _report(
+            directory, "genesis", None, None,
+            skipped, counts, scan, truncated_bytes, log, None,
+        )
+
+    # -- candidate 4: a store that crashed right after creation ------------------
+    log = _open(schema, directory, manifest, effective_config, kernel, wrap_writer)
+    return log, _report(
+        directory, "fresh", None, None, skipped,
+        {}, WalScan(records=[]), 0, log, None,
+    )
+
+
+def _open(
+    schema: Schema,
+    directory: Path,
+    manifest: dict,
+    config: StoreConfig,
+    kernel: str | None,
+    wrap_writer,
+) -> DurableStreamingLog:
+    return DurableStreamingLog(
+        schema,
+        directory,
+        window_size=manifest["window_size"],
+        compact_threshold=manifest["compact_threshold"],
+        kernel=kernel or manifest.get("kernel"),
+        config=config,
+        wrap_writer=wrap_writer,
+        _resuming=True,
+    )
+
+
+def _report(
+    directory: Path,
+    source: str,
+    epoch: int | None,
+    path: str | None,
+    skipped: list[str],
+    counts: dict[str, int],
+    scan: WalScan,
+    truncated_bytes: int,
+    log: DurableStreamingLog,
+    cache_state: dict | None,
+) -> RecoveryReport:
+    return RecoveryReport(
+        store_dir=str(directory),
+        source=source,
+        snapshot_epoch=epoch,
+        snapshot_path=path,
+        snapshots_skipped=len(skipped),
+        skipped_detail=skipped,
+        replayed=counts,
+        records_replayed=len(scan.records),
+        truncated=scan.stop is not None,
+        truncated_reason=scan.stop.reason if scan.stop else None,
+        truncated_bytes=truncated_bytes,
+        epoch=log.epoch,
+        live_rows=len(log),
+        cache_state=cache_state,
+    )

@@ -1,0 +1,167 @@
+"""Epoch-consistent snapshot and manifest files.
+
+A store directory holds three kinds of files::
+
+    store.json          the manifest: schema + window configuration,
+                        written once at creation (atomically)
+    snap-<epoch>.snap   checkpoints: full window state at one epoch
+    wal-<seq>.log       the write-ahead segments (repro.store.wal)
+
+A snapshot captures the :class:`~repro.stream.log.StreamingLog` at one
+epoch: the live row masks, the vertical-index columns in the
+kernel-agnostic int interchange format of the
+:class:`~repro.booldata.kernels.base.ColumnStore` contract (so a log
+checkpointed under one kernel recovers under any other), the WAL
+position the tail replay starts from, and optionally the serialized
+:class:`~repro.stream.cache.SolveCache` entries for warm restarts.
+
+Snapshot files are framed like WAL records — magic, length, CRC32,
+JSON body — and published atomically (temp file + ``os.replace``), so
+a crash mid-checkpoint leaves the previous snapshot intact and a
+flipped byte is detected at load time.  Recovery walks snapshots
+newest-first and falls back to the next older one when the newest fails
+verification.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+
+from repro.common.errors import ValidationError
+from repro.common.fsio import atomic_write_bytes
+
+__all__ = [
+    "MANIFEST_NAME",
+    "list_snapshots",
+    "load_manifest",
+    "load_snapshot",
+    "prune_snapshots",
+    "snapshot_epoch",
+    "snapshot_path",
+    "write_manifest",
+    "write_snapshot",
+]
+
+MANIFEST_NAME = "store.json"
+FORMAT_VERSION = 1
+
+_MAGIC = b"RSNP1\n"
+_HEADER = struct.Struct("<II")
+_SNAP_PREFIX = "snap-"
+_SNAP_SUFFIX = ".snap"
+
+
+# -- manifest --------------------------------------------------------------------
+
+
+def write_manifest(directory: str | Path, manifest: dict) -> Path:
+    """Publish the store manifest atomically (fsynced — it is written
+    once and everything else depends on it)."""
+    path = Path(directory) / MANIFEST_NAME
+    payload = {"format_version": FORMAT_VERSION, **manifest}
+    atomic_write_bytes(path, json.dumps(payload, indent=2).encode(), fsync=True)
+    return path
+
+
+def load_manifest(directory: str | Path) -> dict:
+    """Read and validate the manifest; raises :class:`ValidationError`
+    when it is missing or damaged (the store is beyond recovery without
+    it — nothing else records the schema)."""
+    path = Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        raise ValidationError(f"no store manifest at {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise ValidationError(f"unreadable store manifest {path}: {error}") from None
+    if not isinstance(payload, dict) or payload.get("format_version") != FORMAT_VERSION:
+        raise ValidationError(
+            f"{path}: unsupported manifest version "
+            f"{payload.get('format_version') if isinstance(payload, dict) else payload!r}"
+        )
+    missing = {"schema", "window_size", "compact_threshold"} - set(payload)
+    if missing:
+        raise ValidationError(f"{path}: manifest missing keys {sorted(missing)}")
+    return payload
+
+
+# -- snapshots -------------------------------------------------------------------
+
+
+def snapshot_path(directory: str | Path, epoch: int) -> Path:
+    return Path(directory) / f"{_SNAP_PREFIX}{epoch:012d}{_SNAP_SUFFIX}"
+
+
+def snapshot_epoch(path: Path) -> int:
+    """Epoch encoded in a snapshot filename."""
+    return int(path.name[len(_SNAP_PREFIX):-len(_SNAP_SUFFIX)])
+
+
+def list_snapshots(directory: str | Path) -> list[Path]:
+    """Snapshot files present, newest epoch first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = [
+        entry for entry in directory.iterdir()
+        if entry.name.startswith(_SNAP_PREFIX)
+        and entry.name.endswith(_SNAP_SUFFIX)
+        and entry.name[len(_SNAP_PREFIX):-len(_SNAP_SUFFIX)].isdigit()
+    ]
+    return sorted(found, key=snapshot_epoch, reverse=True)
+
+
+def write_snapshot(
+    directory: str | Path, payload: dict, epoch: int, fsync: bool = True
+) -> Path:
+    """Frame, checksum and atomically publish one snapshot."""
+    body = json.dumps(payload, separators=(",", ":")).encode()
+    framed = _MAGIC + _HEADER.pack(len(body), zlib.crc32(body)) + body
+    path = snapshot_path(directory, epoch)
+    atomic_write_bytes(path, framed, fsync=fsync)
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Verify and decode one snapshot file.
+
+    Raises :class:`ValidationError` on any damage — wrong magic, torn
+    frame, CRC mismatch, or malformed JSON.  Callers treat the error as
+    "try the next older snapshot".
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as error:
+        raise ValidationError(f"unreadable snapshot {path}: {error}") from None
+    prefix = len(_MAGIC) + _HEADER.size
+    if len(data) < prefix or not data.startswith(_MAGIC):
+        raise ValidationError(f"{path}: not a snapshot file (bad magic)")
+    length, crc = _HEADER.unpack_from(data, len(_MAGIC))
+    body = data[prefix:prefix + length]
+    if len(body) != length:
+        raise ValidationError(f"{path}: torn snapshot ({len(body)}/{length} bytes)")
+    if zlib.crc32(body) != crc:
+        raise ValidationError(f"{path}: snapshot checksum mismatch")
+    try:
+        payload = json.loads(body)
+    except ValueError as error:
+        raise ValidationError(f"{path}: snapshot body is not JSON: {error}") from None
+    if not isinstance(payload, dict) or payload.get("format_version") != FORMAT_VERSION:
+        raise ValidationError(f"{path}: unsupported snapshot version")
+    return payload
+
+
+def prune_snapshots(directory: str | Path, keep: int) -> int:
+    """Delete all but the newest ``keep`` snapshots; returns the number
+    removed.  At least one is always kept."""
+    if keep < 1:
+        raise ValidationError(f"keep must be >= 1, got {keep}")
+    removed = 0
+    for stale in list_snapshots(directory)[keep:]:
+        stale.unlink()
+        removed += 1
+    return removed

@@ -1,0 +1,278 @@
+"""Append-only, segmented write-ahead log.
+
+The durability contract: an acknowledged mutation is on disk *before*
+it is applied in memory, so the in-memory state is always recoverable
+as *snapshot + WAL tail*.  The log is a directory of numbered segment
+files (``wal-00000001.log``, ``wal-00000002.log``, ...); records never
+span segments, a segment is rotated once it would exceed
+``segment_bytes``, and whole segments below the newest snapshot's
+position can be pruned.
+
+Three fsync policies trade write latency for power-loss durability:
+
+``always``
+    ``flush`` + ``fsync`` after every record — survives power loss at
+    the cost of one disk sync per mutation;
+``interval``
+    ``flush`` after every record, ``fsync`` every ``fsync_interval``
+    records (and on rotation/close) — survives process crashes always,
+    power loss up to the last sync;
+``never``
+    ``flush`` after every record, no ``fsync`` — survives process
+    crashes (the OS page cache outlives the process), not power loss.
+
+All three keep the *process-crash* recovery guarantee tested by the
+fault-injection suite; the policy only moves the power-loss line.  A
+crash mid-record leaves a torn tail that recovery detects via the CRC
+framing (:mod:`repro.store.records`) and truncates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Callable, NamedTuple
+
+from repro.common.errors import ValidationError
+from repro.obs.recorder import get_recorder
+from repro.store.records import Record, ScanStop, scan_records
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "WalPosition",
+    "WalScan",
+    "WriteAheadLog",
+    "list_segments",
+    "scan_wal",
+    "segment_path",
+]
+
+FSYNC_POLICIES = ("always", "interval", "never")
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+#: the first segment of a fresh log; recovery knows the whole history is
+#: present exactly when this segment (or a snapshot) still exists
+FIRST_SEGMENT = 1
+
+
+class WalPosition(NamedTuple):
+    """A byte address in the log: segment sequence number + offset."""
+
+    segment: int
+    offset: int
+
+
+def segment_path(directory: str | Path, segment: int) -> Path:
+    return Path(directory) / f"{_SEGMENT_PREFIX}{segment:08d}{_SEGMENT_SUFFIX}"
+
+
+def list_segments(directory: str | Path) -> list[int]:
+    """Sequence numbers of the segments present, ascending."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    segments = []
+    for entry in directory.iterdir():
+        name = entry.name
+        if name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX):
+            digits = name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+            if digits.isdigit():
+                segments.append(int(digits))
+    return sorted(segments)
+
+
+class WriteAheadLog:
+    """Writer half of the log; reading goes through :func:`scan_wal`.
+
+    ``wrap_writer`` (tests only) intercepts the raw segment file object —
+    the storage fault injector uses it to cut writes short mid-record.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        segment_bytes: int = 1 << 20,
+        fsync: str = "interval",
+        fsync_interval: int = 32,
+        wrap_writer: Callable[[BinaryIO], BinaryIO] | None = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValidationError(
+                f"unknown fsync policy {fsync!r}; known: {FSYNC_POLICIES}"
+            )
+        if segment_bytes < 64:
+            raise ValidationError(
+                f"segment_bytes must be >= 64, got {segment_bytes}"
+            )
+        if fsync_interval < 1:
+            raise ValidationError(
+                f"fsync_interval must be >= 1, got {fsync_interval}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_bytes = segment_bytes
+        self.fsync = fsync
+        self.fsync_interval = fsync_interval
+        self._wrap_writer = wrap_writer
+        self._unsynced = 0
+        self.records_written = 0
+        self.bytes_written = 0
+        self.fsyncs = 0
+        self.rotations = 0
+        segments = list_segments(self.directory)
+        self._segment = segments[-1] if segments else FIRST_SEGMENT
+        self._open_segment()
+
+    def _open_segment(self) -> None:
+        path = segment_path(self.directory, self._segment)
+        raw = path.open("ab")
+        self._file = self._wrap_writer(raw) if self._wrap_writer else raw
+        self._raw = raw
+        self._offset = path.stat().st_size
+
+    # -- writing -----------------------------------------------------------------
+
+    def append(self, encoded: bytes, record_type: str) -> WalPosition:
+        """Write one pre-framed record; returns its start position.
+
+        The record is flushed to the OS before this returns (under every
+        policy) and fsynced per the policy, so once the caller applies
+        the mutation in memory, a process crash cannot lose it.
+        """
+        if self._offset > 0 and self._offset + len(encoded) > self.segment_bytes:
+            self._rotate()
+        position = WalPosition(self._segment, self._offset)
+        self._file.write(encoded)
+        self._file.flush()
+        self._offset += len(encoded)
+        self.records_written += 1
+        self.bytes_written += len(encoded)
+        if self.fsync == "always":
+            self._fsync()
+        elif self.fsync == "interval":
+            self._unsynced += 1
+            if self._unsynced >= self.fsync_interval:
+                self._fsync()
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count(
+                "repro_store_wal_records_total", 1, {"type": record_type}
+            )
+            recorder.count("repro_store_wal_bytes_total", len(encoded))
+        return position
+
+    def _fsync(self) -> None:
+        import os
+
+        os.fsync(self._raw.fileno())
+        self._unsynced = 0
+        self.fsyncs += 1
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("repro_store_wal_fsyncs_total")
+
+    def _rotate(self) -> None:
+        if self.fsync != "never":
+            self._fsync()
+        self._file.close()
+        self._segment += 1
+        self.rotations += 1
+        self._open_segment()
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("repro_store_wal_rotations_total")
+
+    def sync(self) -> None:
+        """Force an fsync regardless of policy (checkpoint barrier)."""
+        self._file.flush()
+        self._fsync()
+
+    def position(self) -> WalPosition:
+        """The end of the log — where the next record will start."""
+        return WalPosition(self._segment, self._offset)
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        self._file.flush()
+        if self.fsync != "never":
+            self._fsync()
+        self._file.close()
+
+    # -- maintenance -------------------------------------------------------------
+
+    def prune_below(self, segment: int) -> int:
+        """Delete whole segments strictly below ``segment``; returns the
+        number removed.  Called after a snapshot makes them redundant."""
+        removed = 0
+        for old in list_segments(self.directory):
+            if old < min(segment, self._segment):
+                segment_path(self.directory, old).unlink()
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({str(self.directory)!r}, segment={self._segment}, "
+            f"offset={self._offset}, fsync={self.fsync!r})"
+        )
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """Everything a scan of the on-disk log learned."""
+
+    #: good records in replay order, paired with their segment
+    records: list[tuple[int, Record]]
+    #: why the scan stopped early, or ``None`` for a clean end
+    stop: ScanStop | None = None
+    #: segment the stop occurred in (``None`` for a clean end)
+    stop_segment: int | None = None
+    #: bytes of good data scanned (records only)
+    bytes_scanned: int = 0
+    #: segments whose data was visited, ascending
+    segments: list[int] = field(default_factory=list)
+
+    @property
+    def end(self) -> WalPosition | None:
+        """Position just past the last good record, if any were read."""
+        if not self.records:
+            return None
+        segment, record = self.records[-1]
+        return WalPosition(segment, record.offset + record.size)
+
+
+def scan_wal(directory: str | Path, start: WalPosition | None = None) -> WalScan:
+    """Decode the log from ``start`` (default: the oldest segment).
+
+    Stops at the first torn or corrupt record; anything after the stop —
+    including whole later segments — is unreachable, because replay
+    order cannot skip a hole.  The caller (recovery) decides whether to
+    truncate there.
+    """
+    segments = list_segments(directory)
+    if start is not None:
+        segments = [s for s in segments if s >= start.segment]
+    collected: list[tuple[int, Record]] = []
+    visited: list[int] = []
+    bytes_scanned = 0
+    for segment in segments:
+        data = segment_path(directory, segment).read_bytes()
+        offset = start.offset if start is not None and segment == start.segment else 0
+        if offset > len(data):
+            raise ValidationError(
+                f"wal segment {segment} is shorter ({len(data)} bytes) than "
+                f"the snapshot position {offset} — history is incomplete"
+            )
+        visited.append(segment)
+        records, stop = scan_records(data[offset:], base_offset=offset)
+        collected.extend((segment, record) for record in records)
+        bytes_scanned += sum(record.size for record in records)
+        if stop is not None:
+            return WalScan(collected, stop, segment, bytes_scanned, visited)
+    return WalScan(collected, None, None, bytes_scanned, visited)

@@ -177,11 +177,28 @@ class SolveCache:
         self._entries[key] = entry
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            self._evict_one()
             self.evictions += 1
             recorder = get_recorder()
             if recorder.enabled:
                 recorder.count("repro_stream_cache_evictions_total")
+
+    def _evict_one(self) -> None:
+        """Evict one entry, preferring dead epochs over live ones.
+
+        Entries keyed at a past epoch are unreachable by construction
+        (every lookup embeds the *current* epoch), so they are pure dead
+        weight — evicting the least-recently-used of those first keeps a
+        hot window's worth of live entries resident even when churn has
+        filled the LRU with history.  Only when every entry is live does
+        the bound fall back to plain LRU.
+        """
+        epoch = self.log.epoch
+        for key in self._entries:  # LRU -> MRU order
+            if key[3] != epoch:
+                del self._entries[key]
+                return
+        self._entries.popitem(last=False)
 
     def invalidate(self) -> None:
         """Drop every entry, including the last-known-good masks."""

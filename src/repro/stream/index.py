@@ -242,6 +242,42 @@ class DeltaVerticalIndex:
         rows = live if within is None else within & live
         return self._store.counts(pool, rows)
 
+    # -- serialization (the repro.store snapshot contract) -----------------------
+
+    def export_columns(self) -> tuple[int, list[int]]:
+        """The store contents as ``(num_slots, int columns)``.
+
+        The columns are the kernel-agnostic interchange format of the
+        :class:`~repro.booldata.kernels.base.ColumnStore` contract, so a
+        snapshot written from any kernel restores under any other.
+        Callers that need a tombstone-free export (the snapshot writer)
+        compact first; the tombstone mask is *not* part of the export.
+        """
+        self._flush()
+        return self._slots, self._store.int_columns()
+
+    @classmethod
+    def from_int_columns(
+        cls,
+        width: int,
+        num_rows: int,
+        columns: Sequence[int],
+        kernel: str | None = None,
+    ) -> "DeltaVerticalIndex":
+        """Rebuild an index from interchange columns (no tombstones).
+
+        The inverse of :meth:`export_columns` after a compaction: the
+        ``num_rows`` slots are all live.  ``kernel`` may differ from the
+        one that exported — the logical contents are identical either
+        way.
+        """
+        index = cls(width, kernel=kernel)
+        index._store = kernels.store_class(index.kernel).from_int_columns(
+            width, num_rows, columns
+        )
+        index._slots = num_rows
+        return index
+
     # -- materialisation ---------------------------------------------------------
 
     def materialize(self, survivors: Sequence[int] | None = None) -> VerticalIndex:

@@ -47,12 +47,29 @@ class ReplayConfig:
     engine: str | None = None
     tolerance: float = 0.8
     kernel: str | None = None
+    #: directory for durable state (WAL + snapshots); ``None`` = memory-only
+    store_dir: str | None = None
+    #: resume from an existing store instead of refusing a non-empty one
+    resume: bool = False
+    fsync: str = "interval"
+    #: checkpoint every N epochs (``None`` = one checkpoint at the end)
+    snapshot_every: int | None = None
 
     def __post_init__(self) -> None:
         if self.kernel is not None:
             from repro.booldata import kernels
 
             kernels.validate_kernel(self.kernel)
+        if self.resume and self.store_dir is None:
+            raise ValidationError("resume requires a store directory (--store-dir)")
+        if self.fsync not in ("always", "interval", "never"):
+            raise ValidationError(
+                f"fsync must be one of always/interval/never, got {self.fsync!r}"
+            )
+        if self.snapshot_every is not None and self.snapshot_every < 1:
+            raise ValidationError(
+                f"snapshot-every must be >= 1, got {self.snapshot_every}"
+            )
         if self.width < 2:
             raise ValidationError(f"width must be >= 2, got {self.width}")
         if self.size < 1:
@@ -94,6 +111,9 @@ class ReplayReport:
     compactions: int
     cache: dict | None
     elapsed_s: float
+    #: durability summary when a store directory was used (recovery
+    #: outcome, WAL/snapshot activity, restored cache entries)
+    store: dict | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -113,6 +133,7 @@ class ReplayReport:
             "compactions": self.compactions,
             "cache": self.cache,
             "elapsed_s": self.elapsed_s,
+            "store": self.store,
         }
 
 
@@ -146,6 +167,7 @@ def replay_drift(config: ReplayConfig) -> ReplayReport:
         engine=config.engine,
         deadline_ms=config.deadline_ms,
     )
+    stream, cache, store_info = _build_durable_state(config, schema)
     monitor = VisibilityMonitor(
         new_tuple=new_tuple,
         keep_mask=0,
@@ -158,6 +180,8 @@ def replay_drift(config: ReplayConfig) -> ReplayReport:
         cache_size=config.cache_size,
         stale_while_revalidate=config.stale_while_revalidate,
         kernel=config.kernel,
+        stream=stream,
+        cache=cache,
     )
     start_time = time.perf_counter()
     hits = 0
@@ -184,6 +208,12 @@ def replay_drift(config: ReplayConfig) -> ReplayReport:
                     "streaming re-optimization exhausted its deadline "
                     "with no stale mask to serve"
                 )
+    if stream is not None:
+        stream.checkpoint(monitor.cache)  # final epoch snapshot + cache state
+        store_info["wal_records"] = stream.wal.records_written
+        store_info["wal_bytes"] = stream.wal.bytes_written
+        store_info["final_epoch"] = stream.epoch
+        stream.close()
     return ReplayReport(
         queries=config.size,
         hits=hits,
@@ -196,4 +226,82 @@ def replay_drift(config: ReplayConfig) -> ReplayReport:
         compactions=monitor.stream.compactions,
         cache=monitor.cache.stats() if monitor.cache is not None else None,
         elapsed_s=time.perf_counter() - start_time,
+        store=store_info,
     )
+
+
+def _build_durable_state(config: ReplayConfig, schema):
+    """Create or resume the durable stream (and warm cache) for a replay.
+
+    Returns ``(stream, cache, store_info)`` — all ``None`` for a
+    memory-only replay.  ``--resume`` against a directory that holds no
+    store yet simply starts one (first run and restart share a command
+    line); resuming an actual store recovers it and restores the solve
+    cache persisted with its newest snapshot.
+    """
+    if config.store_dir is None:
+        return None, None, None
+    from repro.obs.recorder import get_recorder
+    from repro.store import (
+        DurableStreamingLog,
+        StoreConfig,
+        recover,
+        restore_cache_state,
+    )
+    from repro.store.snapshot import MANIFEST_NAME
+    from pathlib import Path
+
+    from repro.stream.cache import SolveCache
+
+    store_config = StoreConfig(
+        fsync=config.fsync, snapshot_every=config.snapshot_every
+    )
+    info: dict = {"dir": config.store_dir, "resumed": False}
+    if config.resume and (Path(config.store_dir) / MANIFEST_NAME).exists():
+        stream, report = recover(
+            config.store_dir, kernel=config.kernel, config=store_config
+        )
+        if stream.schema.width != config.width:
+            stream.close()
+            raise ValidationError(
+                f"store at {config.store_dir} has width "
+                f"{stream.schema.width}, but the replay asked for "
+                f"{config.width}"
+            )
+        info["resumed"] = True
+        info["recovery"] = report.to_dict()
+        cache = None
+        if config.cache_size is not None:
+            cache = SolveCache(
+                stream,
+                capacity=config.cache_size,
+                stale_while_revalidate=config.stale_while_revalidate,
+            )
+            if report.cache_state is not None:
+                restored = restore_cache_state(cache, report.cache_state)
+                info["cache_restored"] = restored
+                recorder = get_recorder()
+                if recorder.enabled and restored:
+                    recorder.count(
+                        "repro_store_cache_entries_restored_total", restored
+                    )
+    else:
+        stream = DurableStreamingLog(
+            schema,
+            config.store_dir,
+            window_size=config.window,
+            compact_threshold=config.compact_threshold,
+            kernel=config.kernel,
+            config=store_config,
+        )
+        cache = (
+            SolveCache(
+                stream,
+                capacity=config.cache_size,
+                stale_while_revalidate=config.stale_while_revalidate,
+            )
+            if config.cache_size is not None
+            else None
+        )
+    stream.checkpoint_cache = cache
+    return stream, cache, info

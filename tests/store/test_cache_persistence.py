@@ -1,0 +1,177 @@
+"""SolveCache state rides snapshots: warm restarts serve paid-for solves."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.booldata.schema import Schema
+from repro.common.errors import ValidationError
+from repro.core.registry import make_solver
+from repro.runtime.harness import SolverHarness
+from repro.store import (
+    DurableStreamingLog,
+    StoreConfig,
+    export_cache_state,
+    recover,
+    restore_cache_state,
+)
+from repro.stream.cache import SolveCache
+
+SCHEMA = Schema.anonymous(10)
+CONFIG = StoreConfig(fsync="never")
+
+
+def _rows(count, seed=29):
+    rng = random.Random(seed)
+    return [rng.getrandbits(SCHEMA.width) or 1 for _ in range(count)]
+
+
+def _restart(tmp_path, prime):
+    """Create a store, let ``prime(log, cache)`` warm the cache,
+    checkpoint with the cache, close, recover.  Returns the recovered
+    log and a fresh cache with the persisted state restored."""
+    store_dir = tmp_path / "store"
+    log = DurableStreamingLog(SCHEMA, store_dir, config=CONFIG, rows=_rows(50))
+    cache = SolveCache(log, stale_while_revalidate=True)
+    prime(log, cache)
+    log.checkpoint(cache)
+    log.close()
+    recovered, report = recover(store_dir, config=CONFIG)
+    assert report.cache_state is not None
+    warm = SolveCache(recovered, stale_while_revalidate=True)
+    restored = restore_cache_state(warm, report.cache_state)
+    return recovered, warm, restored
+
+
+class TestWarmRestart:
+    def test_solution_entries_hit_after_clean_restart(self, tmp_path):
+        solver = make_solver("ConsumeAttrCumul")
+        cold = {}
+
+        def prime(log, cache):
+            cold["solution"] = cache.solve(SCHEMA.full, 3, solver)
+
+        recovered, warm, restored = _restart(tmp_path, prime)
+        assert restored == 1
+        hit = warm.solve(SCHEMA.full, 3, solver)
+        assert warm.hits == 1 and warm.misses == 0
+        assert hit.keep_mask == cold["solution"].keep_mask
+        assert hit.satisfied == cold["solution"].satisfied
+        assert hit.stats["restored"] is True
+        recovered.close()
+
+    def test_outcome_entries_hit_after_clean_restart(self, tmp_path):
+        harness = SolverHarness(["ConsumeAttrCumul"])
+
+        def prime(log, cache):
+            outcome = cache.run(SCHEMA.full, 3, harness)
+            assert outcome.status == "exact"
+
+        recovered, warm, restored = _restart(tmp_path, prime)
+        assert restored == 1
+        outcome = warm.run(SCHEMA.full, 3, harness)
+        assert warm.hits == 1
+        assert outcome.status == "exact"
+        assert outcome.solution.stats["restored"] is True
+        recovered.close()
+
+    def test_round_trip_of_multiple_keys(self, tmp_path):
+        solver = make_solver("ConsumeAttrCumul")
+
+        def prime(log, cache):
+            for budget in (1, 2, 3):
+                cache.solve(SCHEMA.full, budget, solver)
+
+        recovered, warm, restored = _restart(tmp_path, prime)
+        assert restored == 3
+        for budget in (1, 2, 3):
+            warm.solve(SCHEMA.full, budget, solver)
+        assert warm.hits == 3 and warm.misses == 0
+        recovered.close()
+
+
+class TestEpochDiscipline:
+    def test_entries_dropped_when_epochs_diverge(self, tmp_path):
+        """State exported at epoch E restores zero entries into a log
+        that has moved on — but the last-known-good masks survive."""
+        store_dir = tmp_path / "store"
+        log = DurableStreamingLog(SCHEMA, store_dir, config=CONFIG, rows=_rows(50))
+        cache = SolveCache(log)
+        cache.solve(SCHEMA.full, 3, make_solver("ConsumeAttrCumul"))
+        state = export_cache_state(cache)
+        log.append(0b1)  # epoch moves past the exported state
+        stale_cache = SolveCache(log)
+        assert restore_cache_state(stale_cache, state) == 0
+        assert len(stale_cache) == 0
+        assert len(stale_cache._latest) == 1
+        log.close()
+
+    def test_stale_while_revalidate_serves_restored_latest(self, tmp_path):
+        """After a restart *plus* new traffic, a failing refresh still
+        answers from the restored last-known-good mask."""
+        harness = SolverHarness(["ConsumeAttrCumul"])
+        cold = {}
+
+        def prime(log, cache):
+            cold["outcome"] = cache.run(SCHEMA.full, 3, harness)
+
+        recovered, warm, _ = _restart(tmp_path, prime)
+        recovered.append(0b1)  # epoch diverges: the entry is unreachable
+        from repro.runtime.harness import RunOutcome
+
+        failing = SolverHarness(["ConsumeAttrCumul"])
+        failing.run = lambda problem, deadline_ms=...: RunOutcome(
+            status="failed", solution=None, attempts=(),
+            elapsed_s=0.0, deadline_s=None,
+        )
+        served = warm.run(SCHEMA.full, 3, failing)
+        assert served.status == "stale"
+        assert served.solution.keep_mask == cold["outcome"].solution.keep_mask
+        recovered.close()
+
+
+class TestStateFormat:
+    def test_failed_outcomes_are_not_persisted(self, tmp_path):
+        from repro.core.base import Solver
+
+        class Boom(Solver):
+            name = "Boom"
+            optimal = False
+
+            def _solve(self, problem):
+                raise RuntimeError("boom")
+
+        store_dir = tmp_path / "store"
+        log = DurableStreamingLog(SCHEMA, store_dir, config=CONFIG, rows=_rows(10))
+        cache = SolveCache(log)
+        outcome = cache.run(SCHEMA.full, 3, SolverHarness([Boom()]))
+        assert outcome.status == "failed"
+        state = export_cache_state(cache)
+        assert state["entries"] == [] and state["latest"] == []
+        log.close()
+
+    def test_bad_state_version_is_rejected(self, tmp_path):
+        store_dir = tmp_path / "store"
+        log = DurableStreamingLog(SCHEMA, store_dir, config=CONFIG, rows=_rows(5))
+        cache = SolveCache(log)
+        with pytest.raises(ValidationError, match="cache state version"):
+            restore_cache_state(cache, {"state_version": 99})
+        with pytest.raises(ValidationError, match="cache state version"):
+            restore_cache_state(cache, {"entries": []})
+        log.close()
+
+    def test_state_is_json_serializable(self, tmp_path):
+        import json
+
+        store_dir = tmp_path / "store"
+        log = DurableStreamingLog(SCHEMA, store_dir, config=CONFIG, rows=_rows(30))
+        cache = SolveCache(log)
+        cache.solve(SCHEMA.full, 2, make_solver("ConsumeAttrCumul"))
+        cache.run(SCHEMA.full, 3, SolverHarness(["ConsumeAttrCumul"]))
+        state = export_cache_state(cache)
+        round_tripped = json.loads(json.dumps(state))
+        fresh = SolveCache(log)
+        assert restore_cache_state(fresh, round_tripped) == 2
+        log.close()

@@ -1,0 +1,124 @@
+"""DurableStreamingLog mirrors StreamingLog exactly while persisting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.booldata.schema import Schema
+from repro.common.errors import ValidationError
+from repro.store import DurableStreamingLog, StoreConfig
+from repro.store.snapshot import list_snapshots, load_snapshot
+from repro.store.wal import list_segments
+
+SCHEMA = Schema([f"a{i}" for i in range(12)])
+
+
+def _mirror_check(durable, plain):
+    assert durable.rows == plain.rows
+    assert durable.epoch == plain.epoch
+    assert len(durable) == len(plain)
+    durable_index = durable.index_answers().materialize()
+    plain_index = plain.index_answers().materialize()
+    assert durable_index.columns == plain_index.columns
+    assert durable_index.num_rows == plain_index.num_rows
+
+
+def test_random_ops_mirror_streaming_log(tmp_path):
+    """The property at the heart of the design: a durable log behaves
+    exactly like a plain one on every observable surface, for any
+    interleaving of appends / retires / compactions."""
+    from repro.stream.log import StreamingLog
+
+    rng = random.Random(17)
+    durable = DurableStreamingLog(
+        SCHEMA, tmp_path, window_size=40, compact_threshold=0.4,
+        config=StoreConfig(fsync="never"),
+    )
+    plain = StreamingLog(SCHEMA, window_size=40, compact_threshold=0.4)
+    for _ in range(300):
+        move = rng.random()
+        if move < 0.7 or len(durable) == 0:
+            query = rng.getrandbits(SCHEMA.width)
+            assert durable.append(query) == plain.append(query)
+        elif move < 0.95:
+            count = rng.randrange(0, len(durable) + 1)
+            assert durable.retire(count) == plain.retire(count)
+        else:
+            assert durable.compact() == plain.compact()
+        _mirror_check(durable, plain)
+    durable.close()
+
+
+def test_refuses_directory_with_existing_store(tmp_path):
+    log = DurableStreamingLog(SCHEMA, tmp_path, config=StoreConfig(fsync="never"))
+    log.append(3)
+    log.close()
+    with pytest.raises(ValidationError, match="already contains a store"):
+        DurableStreamingLog(SCHEMA, tmp_path)
+
+
+def test_invalid_mutations_never_reach_the_wal(tmp_path):
+    log = DurableStreamingLog(SCHEMA, tmp_path, config=StoreConfig(fsync="never"))
+    log.append(1)
+    written = log.wal.records_written
+    with pytest.raises(ValidationError):
+        log.append(1 << SCHEMA.width)  # mask wider than the schema
+    with pytest.raises(ValidationError):
+        log.retire(5)  # more than the window holds
+    with pytest.raises(ValidationError):
+        log.retire(-1)
+    assert log.wal.records_written == written
+    assert log.retire(0) == []  # no-op: nothing logged either
+    assert log.wal.records_written == written
+    log.close()
+
+
+def test_checkpoint_prunes_snapshots_and_segments(tmp_path):
+    config = StoreConfig(fsync="never", segment_bytes=64, keep_snapshots=2)
+    log = DurableStreamingLog(SCHEMA, tmp_path, window_size=8, config=config)
+    paths = []
+    for round_index in range(4):
+        for _ in range(20):
+            log.append(random.Random(round_index).getrandbits(SCHEMA.width))
+        paths.append(log.checkpoint())
+    assert list_snapshots(tmp_path) == [paths[3], paths[2]]
+    # WAL segments older than the oldest kept snapshot were pruned
+    floor = load_snapshot(paths[2])["wal"]["segment"]
+    assert min(list_segments(tmp_path)) >= min(floor, log.wal.position().segment)
+    assert log.last_snapshot() == paths[3]
+    log.close()
+
+
+def test_snapshot_every_auto_checkpoints(tmp_path):
+    config = StoreConfig(fsync="never", snapshot_every=10, keep_snapshots=8)
+    log = DurableStreamingLog(SCHEMA, tmp_path, config=config)
+    for query in range(25):
+        log.append(query)
+    epochs = sorted(
+        load_snapshot(path)["epoch"] for path in list_snapshots(tmp_path)
+    )
+    assert epochs == [10, 20]
+    log.close()
+
+
+def test_context_manager_closes_wal(tmp_path):
+    with DurableStreamingLog(
+        SCHEMA, tmp_path, config=StoreConfig(fsync="never")
+    ) as log:
+        log.append(7)
+    assert log.wal.closed
+
+
+def test_store_config_validation():
+    with pytest.raises(ValidationError):
+        StoreConfig(fsync="lazily")
+    with pytest.raises(ValidationError):
+        StoreConfig(segment_bytes=1)
+    with pytest.raises(ValidationError):
+        StoreConfig(fsync_interval=0)
+    with pytest.raises(ValidationError):
+        StoreConfig(snapshot_every=0)
+    with pytest.raises(ValidationError):
+        StoreConfig(keep_snapshots=0)

@@ -1,0 +1,159 @@
+"""WAL record framing: round trips, torn tails, corruption detection."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.store import records as rec
+
+
+def _encode_ops(ops):
+    """ops: list of ("append", mask) / ("retire", count) / ("compact",)."""
+    chunks = []
+    for op in ops:
+        if op[0] == "append":
+            chunks.append(rec.encode_append(op[1]))
+        elif op[0] == "retire":
+            chunks.append(rec.encode_retire(op[1]))
+        else:
+            chunks.append(rec.encode_compact())
+    return chunks
+
+
+OPS = [
+    ("append", 0),
+    ("append", 0b1011),
+    ("append", (1 << 200) | 5),   # masks wider than any machine word
+    ("retire", 1),
+    ("compact",),
+    ("append", 0xFFFF_FFFF),
+    ("retire", 3),
+]
+
+
+class TestRoundTrip:
+    def test_sequence_decodes_exactly(self):
+        data = b"".join(_encode_ops(OPS))
+        records, stop = rec.scan_records(data)
+        assert stop is None
+        assert [(r.type, r.value) for r in records] == [
+            ("append", 0),
+            ("append", 0b1011),
+            ("append", (1 << 200) | 5),
+            ("retire", 1),
+            ("compact", 0),
+            ("append", 0xFFFF_FFFF),
+            ("retire", 3),
+        ]
+        # offsets and sizes tile the buffer exactly
+        position = 0
+        for record in records:
+            assert record.offset == position
+            position += record.size
+        assert position == len(data)
+
+    def test_base_offset_shifts_reported_offsets(self):
+        data = b"".join(_encode_ops(OPS[:2]))
+        records, _ = rec.scan_records(data, base_offset=1000)
+        assert records[0].offset == 1000
+
+    def test_empty_buffer_is_clean(self):
+        assert rec.scan_records(b"") == ([], None)
+
+    def test_encode_validation(self):
+        with pytest.raises(ValidationError):
+            rec.encode_append(-1)
+        with pytest.raises(ValidationError):
+            rec.encode_retire(0)
+        with pytest.raises(ValidationError):
+            rec.encode_retire(1 << 32)
+        with pytest.raises(ValidationError):
+            rec.encode_record("banana", b"")
+
+
+class TestTornTails:
+    def test_truncation_at_every_byte(self):
+        """The core crash property: cutting the buffer anywhere yields
+        the records fully on disk, a correct stop classification, and
+        never an exception."""
+        chunks = _encode_ops(OPS)
+        data = b"".join(chunks)
+        boundaries = {0}
+        position = 0
+        for chunk in chunks:
+            position += len(chunk)
+            boundaries.add(position)
+        for cut in range(len(data) + 1):
+            records, stop = rec.scan_records(data[:cut])
+            complete = sum(1 for b in sorted(boundaries) if 0 < b <= cut)
+            assert len(records) == complete
+            if cut in boundaries:
+                assert stop is None
+            else:
+                assert stop is not None and stop.torn
+                # the stop points at the boundary the bad record started on
+                assert stop.offset == max(b for b in boundaries if b <= cut)
+
+
+class TestCorruption:
+    def test_flipped_byte_never_passes(self):
+        """Flipping any single byte either truncates the scan at (or
+        before) the damaged record or leaves earlier records intact —
+        it never yields the original full decode."""
+        chunks = _encode_ops(OPS)
+        data = b"".join(chunks)
+        rng = random.Random(5)
+        for _ in range(200):
+            index = rng.randrange(len(data))
+            damaged = bytearray(data)
+            damaged[index] ^= 1 << rng.randrange(8)
+            records, stop = rec.scan_records(bytes(damaged))
+            decoded = [(r.type, r.value) for r in records]
+            original = [
+                ("append", 0), ("append", 0b1011), ("append", (1 << 200) | 5),
+                ("retire", 1), ("compact", 0), ("append", 0xFFFF_FFFF),
+                ("retire", 3),
+            ]
+            assert decoded != original or stop is not None
+            # every record before the stop is one of the originals
+            for record, expected in zip(records, original):
+                if stop is not None and record.offset < stop.offset:
+                    assert (record.type, record.value) == expected
+
+    def test_unknown_type_is_corruption(self):
+        body = bytes([99]) + b"x"
+        import struct
+        import zlib
+
+        framed = struct.pack("<II", len(body), zlib.crc32(body)) + body
+        records, stop = rec.scan_records(framed)
+        assert records == []
+        assert stop is not None and stop.reason == "bad_type" and not stop.torn
+
+    def test_oversized_length_is_corruption(self):
+        import struct
+
+        framed = struct.pack("<II", rec.MAX_BODY_BYTES + 1, 0) + b"zz"
+        records, stop = rec.scan_records(framed)
+        assert stop is not None and stop.reason == "bad_length"
+
+    def test_malformed_retire_payload(self):
+        import struct
+        import zlib
+
+        body = bytes([2]) + b"\x01"  # retire needs a u32, got one byte
+        framed = struct.pack("<II", len(body), zlib.crc32(body)) + body
+        _, stop = rec.scan_records(framed)
+        assert stop is not None and stop.reason == "bad_payload"
+
+    def test_compact_with_payload_is_corruption(self):
+        import struct
+        import zlib
+
+        body = bytes([3]) + b"q"
+        framed = struct.pack("<II", len(body), zlib.crc32(body)) + body
+        _, stop = rec.scan_records(framed)
+        assert stop is not None and stop.reason == "bad_payload"

@@ -1,0 +1,110 @@
+"""Snapshot and manifest files: framing, damage detection, pruning."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.runtime.faults import flip_byte, truncate_tail
+from repro.store.snapshot import (
+    list_snapshots,
+    load_manifest,
+    load_snapshot,
+    prune_snapshots,
+    snapshot_epoch,
+    snapshot_path,
+    write_manifest,
+    write_snapshot,
+)
+
+MANIFEST = {
+    "schema": ["a", "b"],
+    "window_size": None,
+    "compact_threshold": 0.5,
+}
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        write_manifest(tmp_path, MANIFEST)
+        loaded = load_manifest(tmp_path)
+        assert loaded["schema"] == ["a", "b"]
+        assert loaded["format_version"] == 1
+
+    def test_missing_is_an_error(self, tmp_path):
+        with pytest.raises(ValidationError, match="no store manifest"):
+            load_manifest(tmp_path)
+
+    def test_unparseable_is_an_error(self, tmp_path):
+        (tmp_path / "store.json").write_text("{nope")
+        with pytest.raises(ValidationError, match="unreadable"):
+            load_manifest(tmp_path)
+
+    def test_wrong_version_is_an_error(self, tmp_path):
+        (tmp_path / "store.json").write_text(
+            json.dumps({**MANIFEST, "format_version": 99})
+        )
+        with pytest.raises(ValidationError, match="unsupported manifest version"):
+            load_manifest(tmp_path)
+
+    def test_missing_keys_are_an_error(self, tmp_path):
+        (tmp_path / "store.json").write_text(
+            json.dumps({"format_version": 1, "schema": ["a"]})
+        )
+        with pytest.raises(ValidationError, match="missing keys"):
+            load_manifest(tmp_path)
+
+
+def _payload(epoch):
+    return {"format_version": 1, "epoch": epoch, "rows": ["0f"]}
+
+
+class TestSnapshots:
+    def test_round_trip(self, tmp_path):
+        path = write_snapshot(tmp_path, _payload(7), epoch=7, fsync=False)
+        assert snapshot_epoch(path) == 7
+        assert load_snapshot(path) == _payload(7)
+
+    def test_flipped_byte_is_detected(self, tmp_path):
+        path = write_snapshot(tmp_path, _payload(7), epoch=7, fsync=False)
+        size = path.stat().st_size
+        for offset in range(size):
+            flip_byte(path, offset)
+            with pytest.raises(ValidationError):
+                load_snapshot(path)
+            flip_byte(path, offset)  # restore
+        assert load_snapshot(path)["epoch"] == 7
+
+    def test_torn_snapshot_is_detected(self, tmp_path):
+        path = write_snapshot(tmp_path, _payload(7), epoch=7, fsync=False)
+        truncate_tail(path, 3)
+        with pytest.raises(ValidationError, match="torn snapshot"):
+            load_snapshot(path)
+
+    def test_not_a_snapshot_file(self, tmp_path):
+        path = tmp_path / "snap-000000000001.snap"
+        path.write_bytes(b"hello world, definitely not framed")
+        with pytest.raises(ValidationError, match="bad magic"):
+            load_snapshot(path)
+
+    def test_listing_is_newest_first(self, tmp_path):
+        for epoch in (3, 11, 7):
+            write_snapshot(tmp_path, _payload(epoch), epoch=epoch, fsync=False)
+        (tmp_path / "snap-junk.snap").write_text("ignored")  # not a digit epoch
+        assert [snapshot_epoch(p) for p in list_snapshots(tmp_path)] == [11, 7, 3]
+
+    def test_prune_keeps_newest(self, tmp_path):
+        for epoch in range(1, 6):
+            write_snapshot(tmp_path, _payload(epoch), epoch=epoch, fsync=False)
+        assert prune_snapshots(tmp_path, keep=2) == 3
+        assert [snapshot_epoch(p) for p in list_snapshots(tmp_path)] == [5, 4]
+        with pytest.raises(ValidationError):
+            prune_snapshots(tmp_path, keep=0)
+
+    def test_rewrite_same_epoch_replaces(self, tmp_path):
+        write_snapshot(tmp_path, _payload(7), epoch=7, fsync=False)
+        write_snapshot(tmp_path, {**_payload(7), "rows": []}, epoch=7, fsync=False)
+        assert load_snapshot(snapshot_path(tmp_path, 7))["rows"] == []
+        assert len(list_snapshots(tmp_path)) == 1

@@ -1,0 +1,79 @@
+"""Tier-1 smoke: the full durability loop at toy scale.
+
+One scenario, end to end: stream queries into a durable store, checkpoint
+with a warm cache, keep streaming, crash mid-record, recover, and solve —
+the answer must equal the one a never-crashed process computes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.booldata.schema import Schema
+from repro.core.registry import make_solver
+from repro.runtime.faults import truncate_tail
+from repro.store import (
+    DurableStreamingLog,
+    StoreConfig,
+    recover,
+    restore_cache_state,
+)
+from repro.stream.cache import SolveCache
+from repro.stream.log import StreamingLog
+from repro.store.wal import list_segments, segment_path
+
+
+def test_write_crash_recover_solve_round_trip(tmp_path):
+    schema = Schema.anonymous(8)
+    rng = random.Random(99)
+    traffic = [rng.getrandbits(8) or 1 for _ in range(120)]
+    store_dir = tmp_path / "store"
+
+    # -- write, checkpoint warm, keep writing -----------------------------------
+    log = DurableStreamingLog(
+        schema, store_dir, window_size=40,
+        config=StoreConfig(fsync="never", snapshot_every=50),
+    )
+    cache = SolveCache(log)
+    log.checkpoint_cache = cache
+    for query in traffic[:100]:
+        log.append(query)
+    pre_crash = cache.solve(schema.full, 3, make_solver("ConsumeAttrCumul"))
+    log.checkpoint(cache)
+    for query in traffic[100:]:
+        log.append(query)
+    log.close()
+
+    # -- crash: tear the last WAL record in half --------------------------------
+    tail_segment = segment_path(store_dir, list_segments(store_dir)[-1])
+    truncate_tail(tail_segment, 3)
+
+    # -- recover and compare to a process that never crashed --------------------
+    recovered, report = recover(store_dir)
+    assert report.truncated and report.truncated_reason in (
+        "torn_header", "torn_payload"
+    )
+    mirror = StreamingLog(schema, window_size=40, rows=traffic[:119])
+    assert recovered.rows == mirror.rows
+    assert recovered.epoch == mirror.epoch
+    ours = recovered.index_answers().materialize()
+    theirs = mirror.index_answers().materialize()
+    assert ours.columns == theirs.columns
+
+    # -- the recovered window solves like the live one --------------------------
+    solver = make_solver("ConsumeAttrCumul")
+    warm = SolveCache(recovered)
+    restore_cache_state(warm, report.cache_state)
+    fresh = warm.solve(schema.full, 3, solver)   # epoch moved on: a real solve
+    from repro.core.problem import VisibilityProblem
+
+    expected = solver.solve(VisibilityProblem(mirror.snapshot(), schema.full, 3))
+    assert fresh.keep_mask == expected.keep_mask
+    assert fresh.satisfied == expected.satisfied
+    # the pre-crash solution is still reachable via the last-known-good path
+    assert warm._latest[(schema.full, 3, "solver:" + solver.name)].keep_mask \
+        == pre_crash.keep_mask
+
+    # -- and the store keeps accepting writes -----------------------------------
+    recovered.append(0b1)
+    recovered.close()

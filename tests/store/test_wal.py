@@ -1,0 +1,133 @@
+"""WriteAheadLog: segment rotation, fsync policies, scanning, pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.store import records as rec
+from repro.store.wal import (
+    FIRST_SEGMENT,
+    WalPosition,
+    WriteAheadLog,
+    list_segments,
+    scan_wal,
+    segment_path,
+)
+
+
+def _fill(wal: WriteAheadLog, count: int) -> list[WalPosition]:
+    return [
+        wal.append(rec.encode_append(i + 1), rec.APPEND) for i in range(count)
+    ]
+
+
+class TestWriting:
+    def test_positions_are_monotonic_and_scannable(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        positions = _fill(wal, 20)
+        assert positions == sorted(positions)
+        wal.close()
+        scan = scan_wal(tmp_path)
+        assert scan.stop is None
+        assert [record.value for _, record in scan.records] == list(range(1, 21))
+
+    def test_rotation_keeps_records_whole(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_bytes=64, fsync="never")
+        _fill(wal, 40)
+        wal.close()
+        segments = list_segments(tmp_path)
+        assert segments[0] == FIRST_SEGMENT and len(segments) > 1
+        assert segments == list(range(FIRST_SEGMENT, FIRST_SEGMENT + len(segments)))
+        assert wal.rotations == len(segments) - 1
+        # no record spans a segment: every segment decodes cleanly alone
+        for segment in segments:
+            data = segment_path(tmp_path, segment).read_bytes()
+            _, stop = rec.scan_records(data)
+            assert stop is None
+        scan = scan_wal(tmp_path)
+        assert [record.value for _, record in scan.records] == list(range(1, 41))
+
+    def test_reopen_appends_after_existing_tail(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        _fill(wal, 3)
+        wal.close()
+        again = WriteAheadLog(tmp_path, fsync="never")
+        again.append(rec.encode_append(99), rec.APPEND)
+        again.close()
+        scan = scan_wal(tmp_path)
+        assert [record.value for _, record in scan.records] == [1, 2, 3, 99]
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValidationError):
+            WriteAheadLog(tmp_path, fsync="sometimes")
+        with pytest.raises(ValidationError):
+            WriteAheadLog(tmp_path, segment_bytes=8)
+        with pytest.raises(ValidationError):
+            WriteAheadLog(tmp_path, fsync_interval=0)
+
+
+class TestFsyncPolicies:
+    def test_always_syncs_every_record(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="always")
+        _fill(wal, 5)
+        assert wal.fsyncs == 5
+        wal.close()
+
+    def test_interval_batches(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="interval", fsync_interval=4)
+        _fill(wal, 9)
+        assert wal.fsyncs == 2  # after records 4 and 8
+        wal.close()
+        assert wal.fsyncs == 3  # close drains the remainder
+
+    def test_never_syncs_only_on_barrier(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        _fill(wal, 8)
+        assert wal.fsyncs == 0
+        wal.sync()  # the checkpoint barrier overrides the policy
+        assert wal.fsyncs == 1
+        wal.close()
+        assert wal.fsyncs == 1
+
+
+class TestScanAndPrune:
+    def test_scan_from_position_skips_history(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        positions = _fill(wal, 10)
+        wal.close()
+        scan = scan_wal(tmp_path, positions[6])
+        assert [record.value for _, record in scan.records] == [7, 8, 9, 10]
+
+    def test_scan_position_beyond_segment_is_an_error(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        _fill(wal, 2)
+        wal.close()
+        end = wal.position()
+        with pytest.raises(ValidationError, match="history is incomplete"):
+            scan_wal(tmp_path, WalPosition(end.segment, end.offset + 1000))
+
+    def test_prune_below_never_removes_current(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_bytes=64, fsync="never")
+        _fill(wal, 40)
+        current = wal.position().segment
+        removed = wal.prune_below(current + 5)
+        assert removed == current - FIRST_SEGMENT
+        assert list_segments(tmp_path) == [current]
+        wal.close()
+
+    def test_scan_stops_at_corrupt_segment_boundary(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_bytes=64, fsync="never")
+        _fill(wal, 40)
+        wal.close()
+        segments = list_segments(tmp_path)
+        victim = segments[len(segments) // 2]
+        path = segment_path(tmp_path, victim)
+        damaged = bytearray(path.read_bytes())
+        damaged[3] ^= 0xFF
+        path.write_bytes(bytes(damaged))
+        scan = scan_wal(tmp_path)
+        assert scan.stop is not None
+        assert scan.stop_segment == victim
+        # records from segments before the damage all survived
+        assert all(segment < victim for segment, _ in scan.records)

@@ -86,6 +86,37 @@ class TestMemoization:
         cache.solve(schema.full, 1, solver)   # miss: was evicted
         assert cache.stats()["misses"] == 4
 
+    def test_eviction_prefers_dead_epochs(self, schema, log):
+        """Regression (ISSUE satellite): eviction under capacity must
+        drop dead-epoch entries — unreachable by construction, since
+        every lookup embeds the current epoch — before any live one.
+        After overflow, only live-epoch entries may remain."""
+        cache = SolveCache(log, capacity=3)
+        solver = make_solver("ConsumeAttr")
+        cache.solve(schema.full, 1, solver)      # soon dead
+        cache.solve(schema.full, 2, solver)      # soon dead
+        log.append(0b1)                          # epoch bumps: both dead
+        live_a = cache.solve(schema.full, 1, solver)
+        live_b = cache.solve(schema.full, 2, solver)  # overflow: a dead one goes
+        assert cache.evictions == 1
+        assert cache.solve(schema.full, 1, solver) is live_a
+        assert cache.solve(schema.full, 2, solver) is live_b
+        assert cache.hits == 2
+        live_c = cache.solve(schema.full, 3, solver)  # second dead one goes
+        assert cache.evictions == 2
+        assert all(key[3] == log.epoch for key in cache._entries)
+        survivors = {id(entry) for entry in cache._entries.values()}
+        assert survivors == {id(live_a), id(live_b), id(live_c)}
+
+    def test_eviction_falls_back_to_lru_when_all_live(self, schema, log):
+        cache = SolveCache(log, capacity=2)
+        solver = make_solver("ConsumeAttr")
+        cache.solve(schema.full, 1, solver)
+        cache.solve(schema.full, 2, solver)
+        cache.solve(schema.full, 3, solver)   # all live: LRU evicts budget 1
+        cache.solve(schema.full, 1, solver)
+        assert cache.stats()["misses"] == 4
+
     def test_capacity_validated(self, log):
         with pytest.raises(ValidationError, match="capacity"):
             SolveCache(log, capacity=0)

@@ -102,6 +102,21 @@ def test_parallel_workloads_smoke():
     assert counting["counts_match"]
 
 
+def test_store_workloads_smoke():
+    import store_workload
+
+    append = store_workload.measure_wal_append(appends=50, repeats=1)
+    assert append["durable_append_s"] >= 0.0
+    assert append["overhead_factor"] > 0.0
+    recovery = store_workload.measure_recovery(history=200, tail=20, repeats=1)
+    assert recovery["states_match"]
+    assert recovery["tail"] == 20
+    warm = store_workload.measure_warm_cache(size=100, loops=2, repeats=1)
+    assert warm["solutions_match"]
+    assert warm["all_hits"]
+    assert warm["entries_restored"] >= 1
+
+
 def test_stream_workloads_smoke():
     import stream_workload
 

@@ -533,6 +533,53 @@ class TestStreamCommand:
             main(["stream", "--help"])
         assert "exit codes:" in capsys.readouterr().out
 
+    def test_store_dir_then_resume(self, capsys, tmp_path):
+        """The durability loop through the CLI: one run writes a store,
+        a second run with --resume recovers it and keeps going."""
+        store = str(tmp_path / "store")
+        code = main([
+            "stream", "--width", "8", "--size", "120", "--window", "60",
+            "--check-every", "30", "--chain", "ConsumeAttrCumul",
+            "--store-dir", store, "--fsync", "never",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert f"store: {store}" in out
+        assert "WAL records" in out
+        code = main([
+            "stream", "--width", "8", "--size", "60", "--window", "60",
+            "--check-every", "30", "--chain", "ConsumeAttrCumul",
+            "--store-dir", store, "--resume", "--fsync", "never",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert f"store: resumed {store} from snapshot" in out
+        assert "cache entries" in out
+
+    def test_store_dir_refuses_nonempty_without_resume(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        args = [
+            "stream", "--width", "8", "--size", "40", "--window", "40",
+            "--check-every", "20", "--chain", "ConsumeAttrCumul",
+            "--store-dir", store, "--fsync", "never",
+        ]
+        assert main(args) == EXIT_OK
+        capsys.readouterr()
+        assert main(args) == EXIT_VALIDATION
+        assert "already contains a store" in capsys.readouterr().err
+
+    def test_resume_without_store_dir_is_validation_error(self, capsys):
+        assert main([
+            "stream", "--width", "8", "--size", "40", "--resume",
+        ]) == EXIT_VALIDATION
+        assert "store-dir" in capsys.readouterr().err
+
+    def test_bad_snapshot_every_is_validation_error(self, capsys):
+        assert main([
+            "stream", "--width", "8", "--size", "40", "--snapshot-every", "0",
+        ]) == EXIT_VALIDATION
+        assert "snapshot-every" in capsys.readouterr().err
+
 
 class TestKernelFlag:
     TUPLE = "ac,four_door,power_doors,auto_trans,power_brakes"

@@ -126,7 +126,12 @@ def check_runtime(failures: list[str]) -> None:
 
 def check_obs(failures: list[str]) -> None:
     """Re-run the telemetry suite against its recorded acceptance bar."""
-    from obs_workload import MEASUREMENTS as OBS_MEASUREMENTS
+    from obs_workload import (
+        MAX_JOURNAL_APPEND_US,
+        MAX_SCRAPE_MEDIAN_S,
+        MEASUREMENTS as OBS_MEASUREMENTS,
+        SERVICE_MEASUREMENTS,
+    )
 
     for name, measure in OBS_MEASUREMENTS.items():
         fresh = measure()
@@ -143,6 +148,36 @@ def check_obs(failures: list[str]) -> None:
             f"({fresh['overhead_pct']:+.1f}%, budget {budget * 1000:.1f} ms)"
             f"{'' if ok else ' OVERHEAD'}"
         )
+
+    for name, measure in SERVICE_MEASUREMENTS.items():
+        fresh = measure()
+        if fresh["workload"] == "obs_scrape_latency":
+            ok = fresh["median_s"] <= MAX_SCRAPE_MEDIAN_S
+            if not ok:
+                failures.append(
+                    f"{name}: median scrape {fresh['median_s'] * 1000:.1f} ms > "
+                    f"{MAX_SCRAPE_MEDIAN_S * 1000:.0f} ms"
+                )
+            print(
+                f"{'.' if ok else 'x'} {name}: median "
+                f"{fresh['median_s'] * 1000:.2f} ms p95 "
+                f"{fresh['p95_s'] * 1000:.2f} ms "
+                f"({fresh['exposition_bytes']} bytes)"
+                f"{'' if ok else ' SLOW SCRAPE'}"
+            )
+        else:
+            ok = fresh["per_event_us"] <= MAX_JOURNAL_APPEND_US
+            if not ok:
+                failures.append(
+                    f"{name}: journal append {fresh['per_event_us']:.1f} us > "
+                    f"{MAX_JOURNAL_APPEND_US:.0f} us"
+                )
+            print(
+                f"{'.' if ok else 'x'} {name}: "
+                f"{fresh['per_event_us']:.1f} us/event "
+                f"({fresh['events']} events in {fresh['total_s']:.3f}s)"
+                f"{'' if ok else ' SLOW APPEND'}"
+            )
 
 
 def check_parallel(failures: list[str], factor: float) -> None:

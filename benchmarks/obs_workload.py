@@ -131,6 +131,90 @@ def run_suite() -> dict:
     return {name: measure() for name, measure in MEASUREMENTS.items()}
 
 
+# -- standing-service measurements -------------------------------------
+#
+# The exposition server and the event journal live on the serving path
+# of a standing process, so they get their own bars: an absolute scrape
+# budget (a Prometheus scrape must never stall the scraper) and an
+# absolute per-event journal-append budget (events fire from hot
+# degradation paths).
+
+SCRAPE_REQUESTS = 50
+JOURNAL_EVENTS = 20_000
+
+#: absolute service bars gated by check_regression.py
+MAX_SCRAPE_MEDIAN_S = 0.050
+MAX_JOURNAL_APPEND_US = 100.0
+
+
+def measure_scrape_latency(requests: int = SCRAPE_REQUESTS) -> dict:
+    """Median / p95 latency of a live ``GET /metrics`` scrape.
+
+    The recorder is populated first — one real solve plus enough
+    window observations and journal events that the exposition renders
+    every moving part (declared families, sliding quantile gauges) —
+    so the number reflects a working process, not an empty registry.
+    """
+    from urllib.request import urlopen
+
+    from repro.obs import ObservabilityServer
+
+    recorder = Recorder()
+    with recording(recorder):
+        solver = make_solver("ConsumeAttrCumul", engine="vertical")
+        solver.solve(fresh_problem(SMALL_LOG))
+        for i in range(512):
+            recorder.observe("repro_stream_append_seconds", 0.0001 * (i % 7))
+            recorder.event("stream.compaction", live=i)
+    timings = []
+    exposition_bytes = 0
+    with ObservabilityServer(recorder=recorder, port=0) as server:
+        url = server.url + "/metrics"
+        for _ in range(requests):
+            start = time.perf_counter()
+            body = urlopen(url, timeout=5).read()
+            timings.append(time.perf_counter() - start)
+            exposition_bytes = len(body)
+    timings.sort()
+    return {
+        "workload": "obs_scrape_latency",
+        "requests": requests,
+        "median_s": round(statistics.median(timings), 6),
+        "p95_s": round(timings[int(0.95 * (len(timings) - 1))], 6),
+        "exposition_bytes": exposition_bytes,
+    }
+
+
+def measure_journal_append_overhead(events: int = JOURNAL_EVENTS) -> dict:
+    """Amortized cost of one ``Recorder.event`` — ring append, span
+    lookup, per-kind counter — at full journal capacity (every append
+    also overwrites, the steady state of a standing service)."""
+    recorder = Recorder(journal_capacity=1024)
+    start = time.perf_counter()
+    for i in range(events):
+        recorder.event("bench.tick", seq=i)
+    total = time.perf_counter() - start
+    return {
+        "workload": "obs_journal_append",
+        "events": events,
+        "total_s": round(total, 6),
+        "per_event_us": round(1e6 * total / events, 3),
+    }
+
+
+#: name -> zero-argument service measurement (separate from the A/B
+#: ``MEASUREMENTS``: these report absolute latencies, not enabled vs
+#: disabled deltas)
+SERVICE_MEASUREMENTS = {
+    "obs_scrape_latency": measure_scrape_latency,
+    "obs_journal_append": measure_journal_append_overhead,
+}
+
+
+def run_service_suite() -> dict:
+    return {name: measure() for name, measure in SERVICE_MEASUREMENTS.items()}
+
+
 def suite_meta() -> dict:
     return {
         "seed": SEED,

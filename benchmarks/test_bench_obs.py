@@ -17,7 +17,13 @@ import json
 import platform
 from pathlib import Path
 
-from obs_workload import run_suite, suite_meta
+from obs_workload import (
+    MAX_JOURNAL_APPEND_US,
+    MAX_SCRAPE_MEDIAN_S,
+    run_service_suite,
+    run_suite,
+    suite_meta,
+)
 from repro.common.fsio import atomic_write_text
 
 
@@ -31,6 +37,7 @@ OVERHEAD_EPSILON_S = 0.003
 
 def test_recording_overhead_under_five_percent():
     results = run_suite()
+    service = run_service_suite()
 
     for name, result in results.items():
         budget = max(
@@ -43,9 +50,21 @@ def test_recording_overhead_under_five_percent():
             f"{result['disabled_s']:.3f}s)"
         )
 
+    scrape = service["obs_scrape_latency"]
+    assert scrape["median_s"] <= MAX_SCRAPE_MEDIAN_S, (
+        f"median /metrics scrape {scrape['median_s'] * 1000:.1f} ms exceeds "
+        f"{MAX_SCRAPE_MEDIAN_S * 1000:.0f} ms"
+    )
+    journal = service["obs_journal_append"]
+    assert journal["per_event_us"] <= MAX_JOURNAL_APPEND_US, (
+        f"journal append {journal['per_event_us']:.1f} us/event exceeds "
+        f"{MAX_JOURNAL_APPEND_US:.0f} us"
+    )
+
     payload = {
         "meta": {**suite_meta(), "python": platform.python_version()},
         "results": results,
+        "service": service,
     }
     atomic_write_text(BASELINE_PATH, json.dumps(payload, indent=2) + "\n")
     for name, result in results.items():
@@ -54,4 +73,13 @@ def test_recording_overhead_under_five_percent():
             f"enabled {result['enabled_s']:.3f}s "
             f"({result['overhead_pct']:+.1f}%)"
         )
+    print(
+        f"obs_scrape_latency: median {scrape['median_s'] * 1000:.2f} ms "
+        f"p95 {scrape['p95_s'] * 1000:.2f} ms "
+        f"({scrape['exposition_bytes']} bytes)"
+    )
+    print(
+        f"obs_journal_append: {journal['per_event_us']:.1f} us/event "
+        f"({journal['events']} events)"
+    )
     print(f"recorded -> {BASELINE_PATH}")

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.booldata import ENGINES, BooleanTable, load_table_csv, load_table_json
@@ -165,30 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
         "list (primary first), or bare --fallback for the default "
         "ILP,MaxFreqItemSets,ConsumeAttrCumul",
     )
-    solve.add_argument(
-        "--trace-out",
-        dest="trace_out",
-        metavar="FILE",
-        default=None,
-        help="record tracing spans and write them as JSON lines "
-        "('-' for stdout)",
-    )
-    solve.add_argument(
-        "--metrics-out",
-        dest="metrics_out",
-        metavar="FILE",
-        default=None,
-        help="record solver/harness metrics and write them on exit "
-        "('-' for stdout)",
-    )
-    solve.add_argument(
-        "--metrics-format",
-        dest="metrics_format",
-        choices=("prom", "json"),
-        default="prom",
-        help="exposition format for --metrics-out: Prometheus text "
-        "(default) or a JSON snapshot",
-    )
+    _add_telemetry_flags(solve)
 
     inventory = commands.add_parser(
         "inventory",
@@ -376,7 +354,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint an epoch snapshot every EPOCHS mutations "
         "(default: one checkpoint when the replay ends)",
     )
+    _add_telemetry_flags(stream)
     return parser
+
+
+def _add_telemetry_flags(command: argparse.ArgumentParser) -> None:
+    """The shared telemetry surface of the ``solve`` and ``stream``
+    subcommands; any of these flags installs a live recorder."""
+    group = command.add_argument_group("telemetry")
+    group.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        metavar="FILE",
+        default=None,
+        help="record tracing spans and write them as JSON lines "
+        "('-' for stdout)",
+    )
+    group.add_argument(
+        "--metrics-out",
+        dest="metrics_out",
+        metavar="FILE",
+        default=None,
+        help="record solver/harness metrics and write them on exit "
+        "('-' for stdout)",
+    )
+    group.add_argument(
+        "--metrics-format",
+        dest="metrics_format",
+        choices=("prom", "json"),
+        default="prom",
+        help="exposition format for --metrics-out: Prometheus text "
+        "(default) or a JSON snapshot",
+    )
+    group.add_argument(
+        "--events-out",
+        dest="events_out",
+        metavar="FILE",
+        default=None,
+        help="write the structured event journal (slow solves, retries, "
+        "breaker transitions, compactions, ...) as JSON lines on exit "
+        "('-' for stdout); dumped even when the run fails",
+    )
+    group.add_argument(
+        "--profile-out",
+        dest="profile_out",
+        metavar="FILE",
+        default=None,
+        help="attach the sampling profiler and write collapsed flame "
+        "stacks (phase;frame;... count) on exit ('-' for stdout)",
+    )
+    group.add_argument(
+        "--serve-metrics",
+        dest="serve_metrics",
+        metavar="PORT",
+        type=int,
+        default=None,
+        help="expose live telemetry over HTTP on 127.0.0.1:PORT while "
+        "the command runs (/metrics, /metrics.json, /healthz, "
+        "/debug/spans, /debug/events, /debug/profile); PORT 0 picks an "
+        "ephemeral port, printed to stderr",
+    )
 
 
 def _parse_threshold(text: str) -> int | float:
@@ -469,33 +506,98 @@ def _solve_with_harness(args, problem: VisibilityProblem):
     return outcome.solution
 
 
-def _run_solve(args) -> int:
-    """Dispatch ``solve``, installing a live recorder when telemetry
-    output was requested (``--trace-out`` / ``--metrics-out``)."""
-    if args.trace_out is None and args.metrics_out is None:
-        return _run_solve_inner(args)
-    from repro.obs import Recorder, recording
+#: args attributes that, when set, ask for a live recorder
+_TELEMETRY_FLAGS = (
+    "trace_out", "metrics_out", "events_out", "profile_out", "serve_metrics"
+)
 
-    recorder = Recorder()
+
+class _TelemetryScope:
+    """What a CLI command sees inside :func:`_telemetry_scope`."""
+
+    def __init__(self, recorder=None, server=None, profiler=None) -> None:
+        self.recorder = recorder
+        self.server = server
+        self.profiler = profiler
+
+
+def _telemetry_wanted(args) -> bool:
+    return any(
+        getattr(args, name, None) is not None for name in _TELEMETRY_FLAGS
+    )
+
+
+@contextmanager
+def _telemetry_scope(args, span_name: str, max_spans: int | None = None,
+                     **span_attributes):
+    """Install the full telemetry stack for one CLI command.
+
+    No telemetry flag given means no recorder at all — the command runs
+    on the :data:`~repro.obs.NULL_RECORDER` fast path.  Otherwise a live
+    :class:`~repro.obs.Recorder` is installed, plus a
+    :class:`~repro.obs.SamplingProfiler` when ``--profile-out`` asked
+    for one and an :class:`~repro.obs.ObservabilityServer` when
+    ``--serve-metrics`` did.  Every requested output file is written in
+    ``finally`` — a failed or interrupted run still dumps its metrics,
+    trace, and event journal (the flight-recorder contract).
+    """
+    if not _telemetry_wanted(args):
+        yield _TelemetryScope()
+        return
+    from repro.obs import (
+        ObservabilityServer,
+        Recorder,
+        SamplingProfiler,
+        recording,
+    )
+
+    recorder = Recorder(max_spans=max_spans)
+    profiler = None
+    if args.profile_out is not None:
+        profiler = SamplingProfiler()
+        recorder.profiler = profiler
+        profiler.start()
+    server = None
     try:
+        if args.serve_metrics is not None:
+            server = ObservabilityServer(
+                recorder=recorder, port=args.serve_metrics
+            )
+            server.start()
+            print(f"telemetry: serving on {server.url}", file=sys.stderr)
         with recording(recorder):
-            with recorder.span("cli.solve", algorithm=args.algorithm):
-                return _run_solve_inner(args)
+            with recorder.span(span_name, **span_attributes):
+                yield _TelemetryScope(recorder, server, profiler)
     finally:
-        # dumped even when the solve fails — partial telemetry is how a
-        # failed run gets diagnosed
-        _write_telemetry(args, recorder)
+        if server is not None:
+            server.stop()
+        if profiler is not None:
+            profiler.stop()
+        _write_telemetry(args, recorder, profiler)
 
 
-def _write_telemetry(args, recorder) -> None:
+def _run_solve(args) -> int:
+    """Dispatch ``solve`` under the telemetry scope its flags imply."""
+    with _telemetry_scope(args, "cli.solve", algorithm=args.algorithm):
+        return _run_solve_inner(args)
+
+
+def _write_telemetry(args, recorder, profiler=None) -> None:
     if args.metrics_out is not None:
         if args.metrics_format == "json":
             rendered = recorder.metrics.to_json()
         else:
-            rendered = recorder.metrics.to_prometheus()
+            rendered = recorder.export_prometheus()
         _dump(args.metrics_out, rendered)
     if args.trace_out is not None:
         _dump(args.trace_out, recorder.tracer.to_jsonl())
+    if args.events_out is not None:
+        _dump(args.events_out, recorder.journal.to_jsonl())
+    if args.profile_out is not None and profiler is not None:
+        _dump(
+            args.profile_out,
+            "".join(line + "\n" for line in profiler.collapsed()),
+        )
 
 
 def _dump(destination: str, text: str) -> None:
@@ -623,7 +725,12 @@ def _run_stream(args) -> int:
         fsync=args.fsync,
         snapshot_every=args.snapshot_every,
     )
-    report = replay_drift(config)
+    # a standing replay must not trace without bound; cap finished spans
+    with _telemetry_scope(
+        args, "cli.stream", max_spans=4096,
+        size=args.size, window=args.window,
+    ) as scope:
+        report = replay_drift(config, server=scope.server)
     print(
         f"stream: {report.queries} queries through a window of "
         f"{config.window} (width {config.width}, budget {config.budget})"

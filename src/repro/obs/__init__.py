@@ -1,10 +1,12 @@
-"""Unified telemetry: tracing spans, metrics, and the global recorder.
+"""Unified telemetry: tracing spans, metrics, events, and the recorder.
 
 The package is dependency-free and zero-cost when disabled — see
 ``docs/observability.md`` for the span model, metric naming
-conventions, exposition formats, and measured overhead.
+conventions, the event-journal schema, sliding-window quantile
+semantics, the exposition server and the sampling profiler.
 """
 
+from repro.obs.events import Event, EventJournal
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -12,6 +14,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profile import SamplingProfiler, profiled_phase
 from repro.obs.recorder import (
     DECLARED_METRICS,
     NULL_RECORDER,
@@ -24,28 +27,50 @@ from repro.obs.recorder import (
     recording,
     set_recorder,
 )
+from repro.obs.schema import WINDOWED_HISTOGRAMS
+from repro.obs.serve import (
+    ObservabilityServer,
+    breaker_health,
+    stream_health,
+)
 from repro.obs.timing import Stopwatch, time_call
 from repro.obs.tracing import Span, Tracer, current_span
+from repro.obs.window import (
+    DEFAULT_QUANTILES,
+    SlidingWindowHistogram,
+    WindowedQuantiles,
+)
 
 __all__ = [
     "DECLARED_METRICS",
     "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
     "NULL_RECORDER",
+    "WINDOWED_HISTOGRAMS",
     "Counter",
+    "Event",
+    "EventJournal",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullRecorder",
+    "ObservabilityServer",
     "Recorder",
+    "SamplingProfiler",
+    "SlidingWindowHistogram",
     "Span",
     "Stopwatch",
     "Tracer",
+    "WindowedQuantiles",
     "bitmap_ops_snapshot",
+    "breaker_health",
     "current_span",
     "get_recorder",
     "observed_phase",
+    "profiled_phase",
     "record_bitmap_ops",
     "recording",
     "set_recorder",
+    "stream_health",
     "time_call",
 ]

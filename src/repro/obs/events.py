@@ -1,0 +1,182 @@
+"""Bounded in-memory journal of structured operational events.
+
+The "flight recorder" of a long-running process: noteworthy happenings —
+slow solves, harness retries and fallbacks, breaker transitions, stream
+compactions, store checkpoints and recoveries — are appended as
+structured :class:`Event` records into a fixed-capacity ring buffer.
+The journal never grows, appends are O(1) (one ``deque.append`` under
+the GIL, safe from any thread without explicit locking), and the recent
+tail is always available for live inspection (``/debug/events`` on the
+:class:`~repro.obs.serve.ObservabilityServer`) or a crash dump
+(:meth:`EventJournal.dump`) alongside ``--trace-out``.
+
+Events correlate with tracing: when a span is open at emission time the
+event carries its ``span_id`` and name, so a journal line can be joined
+against the span export.
+
+>>> journal = EventJournal(capacity=2)
+>>> journal.record("breaker.transition", to="open")
+>>> journal.record("stream.compaction", live=10)
+>>> journal.record("store.checkpoint", epoch=7)   # evicts the oldest
+>>> [event.kind for event in journal.tail()]
+['stream.compaction', 'store.checkpoint']
+>>> journal.dropped
+1
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, TextIO
+
+from repro.common.errors import ValidationError
+from repro.obs.tracing import current_span
+
+__all__ = ["Event", "EventJournal"]
+
+#: severity levels, quietest first (used by ``tail(level=...)`` filters)
+LEVELS = ("debug", "info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured journal entry."""
+
+    seq: int
+    #: UNIX timestamp (``time.time``) — wall clock, for humans and joins
+    ts: float
+    #: dotted category, e.g. ``harness.retry`` or ``store.checkpoint``
+    kind: str
+    level: str = "info"
+    #: correlation ids of the innermost open span at emission, if any
+    span_id: int | None = None
+    span_name: str | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        record = {
+            "seq": self.seq,
+            "ts": round(self.ts, 6),
+            "kind": self.kind,
+            "level": self.level,
+        }
+        if self.span_id is not None:
+            record["span_id"] = self.span_id
+            record["span_name"] = self.span_name
+        if self.attributes:
+            record["attributes"] = self.attributes
+        return record
+
+
+class EventJournal:
+    """Fixed-capacity ring buffer of :class:`Event` records.
+
+    ``capacity`` bounds memory; once full, each append overwrites the
+    oldest event (counted in :attr:`dropped`).  The clock is injectable
+    for deterministic tests.
+    """
+
+    def __init__(self, capacity: int = 1024, clock=time.time) -> None:
+        if capacity < 1:
+            raise ValidationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._clock = clock
+        self._seq = 0
+
+    # -- appending -----------------------------------------------------
+
+    def record(self, kind: str, level: str = "info", **attributes: Any) -> Event:
+        """Append one event; returns it (for tests and chaining)."""
+        if level not in LEVELS:
+            raise ValidationError(f"unknown event level {level!r} (use {LEVELS})")
+        span = current_span()
+        self._seq += 1
+        event = Event(
+            seq=self._seq,
+            ts=self._clock(),
+            kind=kind,
+            level=level,
+            span_id=span.span_id if span is not None else None,
+            span_name=span.name if span is not None else None,
+            attributes=attributes,
+        )
+        self._events.append(event)
+        return event
+
+    # -- inspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def total(self) -> int:
+        """Events ever recorded, including overwritten ones."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to the ring-buffer bound."""
+        return self._seq - len(self._events)
+
+    def tail(self, count: int | None = None, kind: str | None = None,
+             level: str | None = None) -> list[Event]:
+        """The newest events, oldest first; optionally filtered.
+
+        ``kind`` matches exactly or as a dotted prefix (``"harness"``
+        matches ``harness.retry``); ``level`` is a minimum severity.
+        """
+        events = list(self._events)
+        if kind is not None:
+            events = [
+                e for e in events
+                if e.kind == kind or e.kind.startswith(kind + ".")
+            ]
+        if level is not None:
+            if level not in LEVELS:
+                raise ValidationError(f"unknown event level {level!r}")
+            floor = LEVELS.index(level)
+            events = [e for e in events if LEVELS.index(e.level) >= floor]
+        if count is not None:
+            events = events[-count:]
+        return events
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Histogram of the *retained* events by kind."""
+        return dict(Counter(event.kind for event in self._events))
+
+    # -- export --------------------------------------------------------
+
+    def to_dicts(self, count: int | None = None) -> list[dict]:
+        return [event.to_dict() for event in self.tail(count)]
+
+    def to_jsonl(self) -> str:
+        return "".join(
+            json.dumps(record, default=str) + "\n" for record in self.to_dicts()
+        )
+
+    def write_jsonl(self, stream: TextIO) -> None:
+        stream.write(self.to_jsonl())
+
+    def dump(self, path) -> int:
+        """Flight-recorder dump: write the retained events as JSON lines
+        to ``path``; returns the number written."""
+        from pathlib import Path
+
+        events = self.to_dicts()
+        Path(path).write_text(
+            "".join(json.dumps(record, default=str) + "\n" for record in events)
+        )
+        return len(events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"EventJournal(retained={len(self._events)}, total={self._seq}, "
+            f"capacity={self.capacity})"
+        )

@@ -9,9 +9,11 @@ labels, and two exposition formats:
 * :meth:`MetricsRegistry.snapshot` — a JSON-safe dict mirror of the
   same data.
 
-The registry is not thread-safe by design: the recorder that owns it is
+Mutation is not locked: the recorder that owns the registry is
 installed per run (see :mod:`repro.obs.recorder`) and all solvers in
-this package are single-threaded.
+this package are single-threaded.  Exposition, however, snapshots every
+sample map before iterating, so a scrape thread (the observability
+server) can safely render while the working thread keeps counting.
 
 >>> registry = MetricsRegistry()
 >>> registry.counter("repro_demo_total", "Demo counter.").inc(3)
@@ -128,14 +130,14 @@ class Counter(_Family):
         return sum(self._values.values())
 
     def expose(self, lines: list[str]) -> None:
-        for key, value in self._values.items():
+        for key, value in list(self._values.items()):
             labels = _render_labels(self.labelnames, key)
             lines.append(f"{self.name}{labels} {_format_number(value)}")
 
     def sample_dicts(self) -> list[dict]:
         return [
             {"labels": dict(zip(self.labelnames, key)), "value": value}
-            for key, value in self._values.items()
+            for key, value in list(self._values.items())
         ]
 
 
@@ -190,7 +192,7 @@ class Histogram(_Family):
         series[-1] += value
 
     def expose(self, lines: list[str]) -> None:
-        for key, series in self._series.items():
+        for key, series in list(self._series.items()):
             cumulative = 0
             for i, edge in enumerate(self.buckets):
                 cumulative += series[i]
@@ -206,16 +208,34 @@ class Histogram(_Family):
             lines.append(f"{self.name}_count{plain} {count}")
 
     def sample_dicts(self) -> list[dict]:
+        """JSON samples carrying the bucket *bounds*, not just counts.
+
+        ``bounds`` is the upper edge of each finite bucket (the ``le``
+        labels of the text format); ``counts`` aligns with it and ends
+        with the ``+Inf`` overflow, and ``cumulative`` is the running
+        Prometheus-convention total (its last element equals ``count``).
+        The legacy ``buckets`` mapping (formatted edge -> count) is kept
+        for existing consumers.
+        """
         samples = []
-        for key, series in self._series.items():
+        for key, series in list(self._series.items()):
             counts = dict(zip(map(_format_number, self.buckets), series))
             counts["+Inf"] = series[len(self.buckets)]
+            raw = list(series[: len(self.buckets) + 1])
+            cumulative = []
+            running = 0
+            for value in raw:
+                running += value
+                cumulative.append(running)
             samples.append(
                 {
                     "labels": dict(zip(self.labelnames, key)),
+                    "bounds": list(self.buckets),
+                    "counts": raw,
+                    "cumulative": cumulative,
                     "buckets": counts,
                     "sum": series[-1],
-                    "count": sum(series[:-1]),
+                    "count": sum(raw),
                 }
             )
         return samples
@@ -295,10 +315,10 @@ class MetricsRegistry:
     def counter_values(self) -> dict[str, float]:
         """Flat ``{'name' | 'name{a="x"}': value}`` map of all counters."""
         values: dict[str, float] = {}
-        for family in self._families.values():
+        for family in list(self._families.values()):
             if type(family) is not Counter:
                 continue
-            for key, value in family._values.items():
+            for key, value in list(family._values.items()):
                 labels = _render_labels(family.labelnames, key)
                 values[f"{family.name}{labels}"] = value
         return values
@@ -317,7 +337,7 @@ class MetricsRegistry:
     def to_prometheus(self) -> str:
         """The Prometheus text exposition format, one family per block."""
         lines: list[str] = []
-        for family in self._families.values():
+        for family in list(self._families.values()):
             lines.extend(family.header_lines())
             family.expose(lines)
         return "\n".join(lines) + "\n" if lines else ""
@@ -331,7 +351,7 @@ class MetricsRegistry:
                 "labelnames": list(family.labelnames),
                 "samples": family.sample_dicts(),
             }
-            for name, family in self._families.items()
+            for name, family in list(self._families.items())
         }
 
     def to_json(self, indent: int | None = 2) -> str:

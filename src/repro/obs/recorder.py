@@ -12,13 +12,28 @@ usually via the :func:`recording` context manager:
 False
 >>> with recording(Recorder()) as recorder:
 ...     get_recorder().count("repro_simplex_pivots_total", 5)
+...     get_recorder().event("breaker.transition", to="open")
 >>> recorder.metrics.counter_total("repro_simplex_pivots_total")
 5.0
+>>> recorder.journal.tail()[-1].kind
+'breaker.transition'
 
 Metric families used by the built-in instrumentation are pre-declared
-(:data:`DECLARED_METRICS`), so an exposition always lists every family —
-with zero samples for work that never ran — which makes scrape targets
-and dashboards stable across runs.
+(:data:`repro.obs.schema.DECLARED_METRICS`), so an exposition always
+lists every family — with zero samples for work that never ran — which
+makes scrape targets and dashboards stable across runs.
+
+A live recorder additionally owns:
+
+* an :class:`~repro.obs.events.EventJournal` — the bounded flight
+  recorder behind :meth:`Recorder.event`;
+* a :class:`~repro.obs.window.WindowedQuantiles` family fed by
+  :meth:`Recorder.observe` for the histograms named in
+  :data:`~repro.obs.schema.WINDOWED_HISTOGRAMS` (live p50/p95/p99 over
+  the trailing window, not process-lifetime totals);
+* optionally a :class:`~repro.obs.profile.SamplingProfiler`
+  (:attr:`Recorder.profiler`), attached explicitly — sampling never
+  starts by itself.
 """
 
 from __future__ import annotations
@@ -28,8 +43,11 @@ from collections.abc import Mapping
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.obs.events import EventJournal
 from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.schema import DECLARED_METRICS, WINDOWED_HISTOGRAMS
 from repro.obs.tracing import Span, Tracer
+from repro.obs.window import WindowedQuantiles
 
 __all__ = [
     "DECLARED_METRICS",
@@ -41,106 +59,6 @@ __all__ = [
     "set_recorder",
 ]
 
-#: kind, help text, label names — every family the built-in
-#: instrumentation may touch (histograms use the latency buckets)
-DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
-    ("counter", "repro_solver_solves_total",
-     "Completed Solver.solve calls.", ("algorithm",)),
-    ("counter", "repro_simplex_solves_total",
-     "LP relaxations solved by the simplex engine.", ()),
-    ("counter", "repro_simplex_pivots_total",
-     "Simplex pivot operations across all LP solves.", ()),
-    ("counter", "repro_bnb_nodes_total",
-     "Branch-and-bound nodes explored.", ()),
-    ("counter", "repro_itemset_dfs_expansions_total",
-     "Node expansions in the maximal-itemset DFS miner.", ()),
-    ("counter", "repro_itemset_level_candidates_total",
-     "Candidate itemsets scored during level extraction.", ()),
-    ("counter", "repro_randomwalk_walks_total",
-     "Random walks started by the lattice miner.", ()),
-    ("counter", "repro_randomwalk_steps_total",
-     "Lattice steps taken across all random walks.", ()),
-    ("counter", "repro_bruteforce_candidates_total",
-     "Attribute subsets enumerated by the brute-force solver.", ()),
-    ("counter", "repro_greedy_passes_total",
-     "Selection passes executed by the greedy solvers.", ("algorithm",)),
-    ("counter", "repro_index_bitmap_ops_total",
-     "Vertical-index bitmap operations (op=or|and|popcount) "
-     "by bitmap kernel.", ("op", "kernel")),
-    ("counter", "repro_harness_runs_total",
-     "SolverHarness.run outcomes by status.", ("status",)),
-    ("counter", "repro_harness_attempts_total",
-     "Per-solver attempts inside the harness chain.", ("solver", "status")),
-    ("counter", "repro_harness_retries_total",
-     "Transient-fault retries inside the harness.", ()),
-    ("counter", "repro_harness_fallbacks_total",
-     "Runs completed by a non-primary solver in the chain.", ()),
-    ("counter", "repro_harness_deadline_overruns_total",
-     "Harness runs that finished past their deadline.", ()),
-    ("counter", "repro_breaker_transitions_total",
-     "Circuit-breaker state transitions (to=open|closed).", ("to",)),
-    ("counter", "repro_monitor_queries_total",
-     "Queries observed by the visibility monitor.", ("hit",)),
-    ("counter", "repro_monitor_reoptimizations_total",
-     "Monitor re-optimisations through the harness.", ("status",)),
-    ("counter", "repro_marketplace_queries_total",
-     "Queries served by the marketplace.", ()),
-    ("counter", "repro_marketplace_posts_total",
-     "Optimised-ad postings by outcome status.", ("status",)),
-    ("counter", "repro_parallel_tasks_total",
-     "Tasks dispatched to the shard-parallel worker pool "
-     "(status=completed|failed|straggler).", ("status",)),
-    ("counter", "repro_parallel_stragglers_total",
-     "Straggler tasks abandoned and recomputed via the degraded fallback.", ()),
-    ("counter", "repro_stream_appends_total",
-     "Queries appended to streaming logs.", ()),
-    ("counter", "repro_stream_retires_total",
-     "Queries retired (aged out) from streaming logs.", ()),
-    ("counter", "repro_stream_compactions_total",
-     "Streaming-log compactions (tombstone threshold crossings).", ()),
-    ("counter", "repro_stream_cache_lookups_total",
-     "Solve-cache lookups (result=hit|miss|stale).", ("result",)),
-    ("counter", "repro_stream_cache_evictions_total",
-     "Solve-cache entries evicted by the LRU bound.", ()),
-    ("counter", "repro_store_wal_records_total",
-     "Records appended to write-ahead logs, by record type.", ("type",)),
-    ("counter", "repro_store_wal_bytes_total",
-     "Bytes appended to write-ahead logs.", ()),
-    ("counter", "repro_store_wal_fsyncs_total",
-     "fsync calls issued by write-ahead logs.", ()),
-    ("counter", "repro_store_wal_rotations_total",
-     "Write-ahead-log segment rotations.", ()),
-    ("counter", "repro_store_snapshots_total",
-     "Epoch snapshots written by durable streaming logs.", ()),
-    ("counter", "repro_store_recoveries_total",
-     "Store recoveries by outcome (status=snapshot|genesis|fresh|failed).",
-     ("status",)),
-    ("counter", "repro_store_truncated_bytes_total",
-     "Torn/corrupt WAL bytes truncated during recovery.", ()),
-    ("counter", "repro_store_cache_entries_restored_total",
-     "Solve-cache entries restored from persisted snapshots.", ()),
-    ("histogram", "repro_solver_solve_seconds",
-     "Wall-clock latency of Solver.solve.", ("algorithm",)),
-    ("histogram", "repro_harness_run_seconds",
-     "Wall-clock latency of SolverHarness.run.", ()),
-    ("histogram", "repro_monitor_reoptimize_seconds",
-     "Wall-clock latency of monitor re-optimisation.", ()),
-    ("histogram", "repro_marketplace_query_seconds",
-     "Wall-clock latency of marketplace query serving.", ()),
-    ("histogram", "repro_parallel_task_seconds",
-     "Wall-clock latency of one parallel task, dispatch to merge.", ()),
-    ("histogram", "repro_stream_compact_seconds",
-     "Wall-clock latency of streaming-log compaction.", ()),
-    ("histogram", "repro_stream_cache_solve_seconds",
-     "Wall-clock latency of uncached solves behind the solve cache.", ()),
-    ("histogram", "repro_store_append_seconds",
-     "Wall-clock latency of durable appends (WAL write + apply).", ()),
-    ("histogram", "repro_store_snapshot_seconds",
-     "Wall-clock latency of epoch-snapshot checkpoints.", ()),
-    ("histogram", "repro_store_recover_seconds",
-     "Wall-clock latency of store recovery (restore + replay).", ()),
-)
-
 
 class NullRecorder:
     """Does nothing, as fast as Python allows.  The default recorder."""
@@ -148,6 +66,8 @@ class NullRecorder:
     __slots__ = ()
 
     enabled = False
+    #: no profiler is ever attached to the null recorder
+    profiler = None
 
     def count(self, name: str, value: float = 1.0,
               labels: Mapping[str, object] | None = None) -> None:
@@ -159,6 +79,9 @@ class NullRecorder:
 
     def observe(self, name: str, value: float,
                 labels: Mapping[str, object] | None = None) -> None:
+        pass
+
+    def event(self, kind: str, level: str = "info", **attributes: Any) -> None:
         pass
 
     def span(self, name: str, **attributes: Any) -> "_NullSpan":
@@ -185,10 +108,15 @@ NULL_RECORDER = NullRecorder()
 
 
 class Recorder:
-    """A live recorder: a metrics registry plus a tracer.
+    """A live recorder: metrics registry, tracer, event journal, and
+    sliding-window quantiles.
 
     ``declare=True`` (the default) pre-registers every family in
-    :data:`DECLARED_METRICS` so expositions are schema-stable.
+    :data:`~repro.obs.schema.DECLARED_METRICS` so expositions are
+    schema-stable.  ``journal_capacity`` bounds the event ring buffer;
+    ``window_s`` / ``window_slots`` set the sliding-quantile geometry.
+    ``max_spans`` (optional) bounds the tracer's finished-span buffer —
+    set it for standing services so traces do not grow without bound.
     """
 
     enabled = True
@@ -198,13 +126,32 @@ class Recorder:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         declare: bool = True,
+        journal: EventJournal | None = None,
+        journal_capacity: int = 1024,
+        windows: WindowedQuantiles | None = None,
+        window_s: float = 60.0,
+        window_slots: int = 12,
+        max_spans: int | None = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.tracer = tracer if tracer is not None else Tracer()
+        self.tracer = tracer if tracer is not None else Tracer(max_spans=max_spans)
+        self.journal = (
+            journal if journal is not None else EventJournal(journal_capacity)
+        )
+        self.windows = (
+            windows
+            if windows is not None
+            else WindowedQuantiles(window_s=window_s, slots=window_slots)
+        )
+        #: attach a started :class:`~repro.obs.profile.SamplingProfiler`
+        #: to collect flame stacks; ``None`` keeps profiling off
+        self.profiler = None
         if declare:
             for kind, name, help_text, labelnames in DECLARED_METRICS:
                 if kind == "counter":
                     self.metrics.counter(name, help_text, labelnames)
+                elif kind == "gauge":
+                    self.metrics.gauge(name, help_text, labelnames)
                 else:
                     self.metrics.histogram(
                         name, help_text, labelnames, buckets=DEFAULT_BUCKETS
@@ -221,9 +168,51 @@ class Recorder:
     def observe(self, name: str, value: float,
                 labels: Mapping[str, object] | None = None) -> None:
         self.metrics.observe(name, value, labels)
+        if name in WINDOWED_HISTOGRAMS:
+            self.windows.observe(name, value)
+
+    def event(self, kind: str, level: str = "info", **attributes: Any) -> None:
+        """Append a structured event to the journal (and count it)."""
+        dropped_before = self.journal.dropped
+        self.journal.record(kind, level=level, **attributes)
+        self.metrics.inc("repro_obs_events_total", 1.0, {"kind": kind})
+        if self.journal.dropped > dropped_before:
+            self.metrics.inc("repro_obs_events_dropped_total")
 
     def span(self, name: str, **attributes: Any) -> Span:
         return self.tracer.span(name, **attributes)
+
+    # -- exposition ----------------------------------------------------
+
+    def _refresh_exposition_gauges(self) -> None:
+        """Pre-scrape refresh: sliding quantiles and profiler progress."""
+        self.windows.publish(self.metrics)
+        if self.profiler is not None:
+            for phase, count in sorted(self.profiler.phases().items()):
+                self.metrics.set_gauge(
+                    "repro_profile_samples", count, {"phase": phase}
+                )
+
+    def export_prometheus(self) -> str:
+        """Full text exposition: registry families with the sliding
+        quantile gauges refreshed first."""
+        self._refresh_exposition_gauges()
+        return self.metrics.to_prometheus()
+
+    def export_json(self) -> dict:
+        """JSON-safe exposition: metric families plus the window and
+        journal summaries."""
+        self._refresh_exposition_gauges()
+        return {
+            "metrics": self.metrics.snapshot(),
+            "window_quantiles": self.windows.snapshot(),
+            "events": {
+                "retained": len(self.journal),
+                "total": self.journal.total,
+                "dropped": self.journal.dropped,
+                "by_kind": self.journal.counts_by_kind(),
+            },
+        }
 
 
 #: module global rather than a contextvar: reads must cost one dict

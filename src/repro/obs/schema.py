@@ -1,0 +1,155 @@
+"""The declared metric schema: every family the instrumentation emits.
+
+Kept in its own module — separate from the code that *emits* the names —
+so the schema-drift check (``tests/obs/test_metric_schema.py``) can scan
+the source tree for ``repro_*`` literals and compare them against this
+table without tripping over the declarations themselves.  The contract:
+
+* every metric name emitted anywhere in ``src/repro/`` must be declared
+  here (scrape targets are schema-stable: an exposition always lists
+  every family, zero-valued for work that never ran);
+* every declared name must be emitted somewhere (no dead families).
+
+Entries are ``(kind, name, help, labelnames)`` where ``kind`` is
+``counter``, ``gauge`` or ``histogram`` (histograms use the default
+latency buckets).
+"""
+
+from __future__ import annotations
+
+__all__ = ["DECLARED_METRICS", "WINDOWED_HISTOGRAMS"]
+
+#: kind, metric name, help text, label names — every family the
+#: built-in instrumentation may touch
+DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
+    ("counter", "repro_solver_solves_total",
+     "Completed Solver.solve calls.", ("algorithm",)),
+    ("counter", "repro_simplex_solves_total",
+     "LP relaxations solved by the simplex engine.", ()),
+    ("counter", "repro_simplex_pivots_total",
+     "Simplex pivot operations across all LP solves.", ()),
+    ("counter", "repro_bnb_nodes_total",
+     "Branch-and-bound nodes explored.", ()),
+    ("counter", "repro_itemset_dfs_expansions_total",
+     "Node expansions in the maximal-itemset DFS miner.", ()),
+    ("counter", "repro_itemset_level_candidates_total",
+     "Candidate itemsets scored during level extraction.", ()),
+    ("counter", "repro_randomwalk_walks_total",
+     "Random walks started by the lattice miner.", ()),
+    ("counter", "repro_randomwalk_steps_total",
+     "Lattice steps taken across all random walks.", ()),
+    ("counter", "repro_bruteforce_candidates_total",
+     "Attribute subsets enumerated by the brute-force solver.", ()),
+    ("counter", "repro_greedy_passes_total",
+     "Selection passes executed by the greedy solvers.", ("algorithm",)),
+    ("counter", "repro_index_bitmap_ops_total",
+     "Vertical-index bitmap operations (op=or|and|popcount) "
+     "by bitmap kernel.", ("op", "kernel")),
+    ("counter", "repro_harness_runs_total",
+     "SolverHarness.run outcomes by status.", ("status",)),
+    ("counter", "repro_harness_attempts_total",
+     "Per-solver attempts inside the harness chain.", ("solver", "status")),
+    ("counter", "repro_harness_retries_total",
+     "Transient-fault retries inside the harness.", ()),
+    ("counter", "repro_harness_fallbacks_total",
+     "Runs completed by a non-primary solver in the chain.", ()),
+    ("counter", "repro_harness_deadline_overruns_total",
+     "Harness runs that finished past their deadline.", ()),
+    ("counter", "repro_breaker_transitions_total",
+     "Circuit-breaker state transitions (to=open|closed).", ("to",)),
+    ("counter", "repro_monitor_queries_total",
+     "Queries observed by the visibility monitor.", ("hit",)),
+    ("counter", "repro_monitor_reoptimizations_total",
+     "Monitor re-optimisations through the harness.", ("status",)),
+    ("counter", "repro_marketplace_queries_total",
+     "Queries served by the marketplace.", ()),
+    ("counter", "repro_marketplace_posts_total",
+     "Optimised-ad postings by outcome status.", ("status",)),
+    ("counter", "repro_parallel_tasks_total",
+     "Tasks dispatched to the shard-parallel worker pool "
+     "(status=completed|failed|straggler).", ("status",)),
+    ("counter", "repro_parallel_stragglers_total",
+     "Straggler tasks abandoned and recomputed via the degraded fallback.", ()),
+    ("counter", "repro_stream_appends_total",
+     "Queries appended to streaming logs.", ()),
+    ("counter", "repro_stream_retires_total",
+     "Queries retired (aged out) from streaming logs.", ()),
+    ("counter", "repro_stream_compactions_total",
+     "Streaming-log compactions (tombstone threshold crossings).", ()),
+    ("counter", "repro_stream_cache_lookups_total",
+     "Solve-cache lookups (result=hit|miss|stale).", ("result",)),
+    ("counter", "repro_stream_cache_evictions_total",
+     "Solve-cache entries evicted by the LRU bound.", ()),
+    ("counter", "repro_store_wal_records_total",
+     "Records appended to write-ahead logs, by record type.", ("type",)),
+    ("counter", "repro_store_wal_bytes_total",
+     "Bytes appended to write-ahead logs.", ()),
+    ("counter", "repro_store_wal_fsyncs_total",
+     "fsync calls issued by write-ahead logs.", ()),
+    ("counter", "repro_store_wal_rotations_total",
+     "Write-ahead-log segment rotations.", ()),
+    ("counter", "repro_store_snapshots_total",
+     "Epoch snapshots written by durable streaming logs.", ()),
+    ("counter", "repro_store_recoveries_total",
+     "Store recoveries by outcome (status=snapshot|genesis|fresh|failed).",
+     ("status",)),
+    ("counter", "repro_store_truncated_bytes_total",
+     "Torn/corrupt WAL bytes truncated during recovery.", ()),
+    ("counter", "repro_store_cache_entries_restored_total",
+     "Solve-cache entries restored from persisted snapshots.", ()),
+    ("counter", "repro_obs_events_total",
+     "Structured events appended to the in-memory journal, by kind.",
+     ("kind",)),
+    ("counter", "repro_obs_events_dropped_total",
+     "Journal events overwritten by the ring-buffer bound before export.",
+     ()),
+    ("counter", "repro_serve_requests_total",
+     "HTTP requests answered by the observability server "
+     "(path=/metrics|/metrics.json|/healthz|/debug/spans|/debug/events"
+     "|/debug/profile|other).", ("path", "code")),
+    ("gauge", "repro_profile_samples",
+     "Stack samples collected so far by the attached sampling profiler, "
+     "by phase (absent while no profiler is attached).", ("phase",)),
+    ("gauge", "repro_window_latency_seconds",
+     "Sliding-window latency quantile of a source histogram "
+     "(source=histogram name, quantile=0.5|0.95|0.99).",
+     ("source", "quantile")),
+    ("gauge", "repro_window_latency_observations",
+     "Observations currently inside the sliding latency window.",
+     ("source",)),
+    ("histogram", "repro_solver_solve_seconds",
+     "Wall-clock latency of Solver.solve.", ("algorithm",)),
+    ("histogram", "repro_harness_run_seconds",
+     "Wall-clock latency of SolverHarness.run.", ()),
+    ("histogram", "repro_monitor_reoptimize_seconds",
+     "Wall-clock latency of monitor re-optimisation.", ()),
+    ("histogram", "repro_marketplace_query_seconds",
+     "Wall-clock latency of marketplace query serving.", ()),
+    ("histogram", "repro_parallel_task_seconds",
+     "Wall-clock latency of one parallel task, dispatch to merge.", ()),
+    ("histogram", "repro_stream_append_seconds",
+     "Wall-clock latency of one streaming-log append (tick).", ()),
+    ("histogram", "repro_stream_compact_seconds",
+     "Wall-clock latency of streaming-log compaction.", ()),
+    ("histogram", "repro_stream_cache_solve_seconds",
+     "Wall-clock latency of uncached solves behind the solve cache.", ()),
+    ("histogram", "repro_store_append_seconds",
+     "Wall-clock latency of durable appends (WAL write + apply).", ()),
+    ("histogram", "repro_store_snapshot_seconds",
+     "Wall-clock latency of epoch-snapshot checkpoints.", ()),
+    ("histogram", "repro_store_recover_seconds",
+     "Wall-clock latency of store recovery (restore + replay).", ()),
+    ("histogram", "repro_serve_request_seconds",
+     "Wall-clock latency of observability-server request handling.", ()),
+)
+
+#: histogram families that additionally feed a sliding-window quantile
+#: estimator when a live recorder is installed: solve, tick (stream
+#: append / re-optimisation), and durable-append latency
+WINDOWED_HISTOGRAMS: frozenset[str] = frozenset({
+    "repro_solver_solve_seconds",
+    "repro_harness_run_seconds",
+    "repro_monitor_reoptimize_seconds",
+    "repro_stream_append_seconds",
+    "repro_store_append_seconds",
+})

@@ -1,0 +1,327 @@
+"""Live telemetry exposition over HTTP, stdlib only.
+
+:class:`ObservabilityServer` is a threaded ``http.server`` that exposes
+the active recorder's state while the process keeps working — the
+operational surface of a standing service, startable from the CLI
+(``--serve-metrics PORT``) and embeddable by any long-running driver
+(the future ``repro.serve`` front end mounts the same handler):
+
+* ``GET /metrics`` — Prometheus text exposition (every declared family,
+  with the sliding-window quantile gauges refreshed per scrape);
+* ``GET /metrics.json`` — the JSON mirror, plus window-quantile and
+  event-journal summaries;
+* ``GET /healthz`` — liveness plus registered health checks (circuit
+  breaker state, store liveness, ...); HTTP 200 while every check
+  passes, 503 once any fails;
+* ``GET /debug/spans`` — the newest finished tracing spans
+  (``?n=`` limit);
+* ``GET /debug/events`` — the event journal's recent tail
+  (``?n=``, ``?kind=``, ``?level=`` filters);
+* ``GET /debug/profile`` — collapsed flame stacks when a sampling
+  profiler is attached (404 otherwise).
+
+The server binds ``127.0.0.1`` by default and serves each request on a
+daemon thread; scrapes read snapshot copies of the registry maps, so a
+scrape racing the working thread can be *slightly stale* but never
+corrupt.  Port 0 asks the OS for an ephemeral port — read
+:attr:`ObservabilityServer.port` after :meth:`start`.
+
+>>> from repro.obs import Recorder, recording
+>>> with recording(Recorder()):
+...     with ObservabilityServer(port=0) as server:
+...         url = server.url  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections.abc import Callable
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.common.errors import ValidationError
+from repro.obs.recorder import get_recorder
+
+__all__ = ["HealthCheck", "ObservabilityServer", "breaker_health", "stream_health"]
+
+#: a health probe: returns (healthy, detail) and must never raise
+HealthCheck = Callable[[], tuple[bool, str]]
+
+
+def breaker_health(breaker) -> HealthCheck:
+    """Health probe over a :class:`repro.runtime.CircuitBreaker`: healthy
+    unless the breaker is open (the exact tier is being skipped)."""
+
+    def check() -> tuple[bool, str]:
+        state = breaker.state
+        return state != "open", f"state={state} failures={breaker.failures}"
+
+    return check
+
+
+def stream_health(stream) -> HealthCheck:
+    """Health probe over a (durable) streaming log: healthy while the
+    window answers; reports epoch and live size."""
+
+    def check() -> tuple[bool, str]:
+        try:
+            size = len(stream)
+            epoch = stream.epoch
+        except Exception as error:  # noqa: BLE001 - a probe must not raise
+            return False, f"unavailable: {error}"
+        return True, f"epoch={epoch} live={size}"
+
+    return check
+
+
+class ObservabilityServer:
+    """Background exposition server over the active (or a given) recorder.
+
+    ``recorder=None`` resolves :func:`repro.obs.get_recorder` per
+    request — install the recorder first (or pass one explicitly) and
+    the server follows it.  ``health`` maps check names to
+    :data:`HealthCheck` callables; more can be added after construction
+    with :meth:`add_health`.
+    """
+
+    def __init__(
+        self,
+        recorder=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health: dict[str, HealthCheck] | None = None,
+    ) -> None:
+        if port < 0 or port > 65535:
+            raise ValidationError(f"port must be in [0, 65535], got {port}")
+        self._recorder = recorder
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self.health_checks: dict[str, HealthCheck] = dict(health or {})
+        self.started_at: float | None = None
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def url(self) -> str:
+        if self.port is None:
+            raise ValidationError("server is not started")
+        return f"http://{self.host}:{self.port}"
+
+    def add_health(self, name: str, check: HealthCheck) -> None:
+        """Register (or replace) one named health probe."""
+        self.health_checks[name] = check
+
+    def start(self) -> "ObservabilityServer":
+        if self.running:
+            raise ValidationError("server is already running")
+        server = self
+
+        class Handler(_ObservabilityHandler):
+            observability = server
+
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler
+        )
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self.started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.event("serve.start", host=self.host, port=self.port)
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.event("serve.stop", port=self.port)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request-side state --------------------------------------------
+
+    @property
+    def recorder(self):
+        return self._recorder if self._recorder is not None else get_recorder()
+
+    def health_report(self) -> tuple[bool, dict]:
+        """Evaluate every probe; returns (all healthy, JSON payload)."""
+        checks: dict[str, dict] = {}
+        healthy = True
+        for name, check in sorted(self.health_checks.items()):
+            try:
+                ok, detail = check()
+            except Exception as error:  # noqa: BLE001 - probes must not kill /healthz
+                ok, detail = False, f"probe raised: {error}"
+            healthy = healthy and ok
+            checks[name] = {"healthy": ok, "detail": detail}
+        uptime = (
+            time.monotonic() - self.started_at
+            if self.started_at is not None
+            else 0.0
+        )
+        payload = {
+            "status": "ok" if healthy else "degraded",
+            "recorder": "live" if self.recorder.enabled else "null",
+            "uptime_s": round(uptime, 3),
+            "checks": checks,
+        }
+        return healthy, payload
+
+
+class _ObservabilityHandler(BaseHTTPRequestHandler):
+    """Routes one request; the owning server is bound at class level."""
+
+    observability: ObservabilityServer
+    server_version = "repro-obs/1.0"
+    protocol_version = "HTTP/1.1"
+
+    #: canonical path label for the scrape counter (bounded cardinality)
+    _KNOWN_PATHS = (
+        "/metrics", "/metrics.json", "/healthz", "/debug/spans",
+        "/debug/events", "/debug/profile",
+    )
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # scrapes must not spam the CLI's stdout
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        start = time.perf_counter()
+        split = urlsplit(self.path)
+        path = split.path.rstrip("/") or "/"
+        query = {
+            key: values[-1] for key, values in parse_qs(split.query).items()
+        }
+        try:
+            code = self._route(path, query)
+        except BrokenPipeError:  # client went away mid-scrape
+            return
+        except Exception as error:  # noqa: BLE001 - a scrape bug must not kill serving
+            code = self._send(
+                500, "application/json",
+                json.dumps({"error": str(error)}) + "\n",
+            )
+        recorder = self.observability.recorder
+        if recorder.enabled:
+            label = path if path in self._KNOWN_PATHS else "other"
+            recorder.count(
+                "repro_serve_requests_total", 1,
+                {"path": label, "code": str(code)},
+            )
+            recorder.observe(
+                "repro_serve_request_seconds", time.perf_counter() - start
+            )
+
+    def _route(self, path: str, query: dict[str, str]) -> int:
+        recorder = self.observability.recorder
+        if path == "/metrics":
+            if recorder.enabled:
+                body = recorder.export_prometheus()
+            else:
+                body = NULL_RECORDER_EXPOSITION
+            return self._send(
+                200, "text/plain; version=0.0.4; charset=utf-8", body
+            )
+        if path == "/metrics.json":
+            payload = (
+                recorder.export_json()
+                if recorder.enabled
+                else {"metrics": {}, "recorder": "null"}
+            )
+            return self._send_json(200, payload)
+        if path == "/healthz":
+            healthy, payload = self.observability.health_report()
+            return self._send_json(200 if healthy else 503, payload)
+        if path == "/debug/spans":
+            if not recorder.enabled:
+                return self._send_json(200, {"spans": []})
+            limit = _int_param(query, "n", 200)
+            spans = list(recorder.tracer.finished)[-limit:]
+            return self._send_json(
+                200, {"spans": [span.to_dict() for span in spans]}
+            )
+        if path == "/debug/events":
+            if not recorder.enabled:
+                return self._send_json(200, {"events": []})
+            limit = _int_param(query, "n", 200)
+            try:
+                events = recorder.journal.tail(
+                    limit, kind=query.get("kind"), level=query.get("level")
+                )
+            except ValidationError as error:
+                return self._send_json(400, {"error": str(error)})
+            return self._send_json(
+                200,
+                {
+                    "events": [event.to_dict() for event in events],
+                    "retained": len(recorder.journal),
+                    "dropped": recorder.journal.dropped,
+                },
+            )
+        if path == "/debug/profile":
+            profiler = getattr(recorder, "profiler", None)
+            if profiler is None:
+                return self._send_json(
+                    404, {"error": "no sampling profiler attached"}
+                )
+            body = "".join(
+                line + "\n" for line in profiler.collapsed(query.get("phase"))
+            )
+            return self._send(200, "text/plain; charset=utf-8", body)
+        return self._send_json(404, {"error": f"unknown path {path!r}"})
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send(self, code: int, content_type: str, body: str) -> int:
+        data = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+        return code
+
+    def _send_json(self, code: int, payload: dict) -> int:
+        return self._send(
+            code, "application/json",
+            json.dumps(payload, indent=2, default=str) + "\n",
+        )
+
+
+#: what /metrics answers when no live recorder is installed — still a
+#: valid (empty) exposition, so scrapers see the target as up
+NULL_RECORDER_EXPOSITION = "# no live recorder installed\n"
+
+
+def _int_param(query: dict[str, str], name: str, default: int) -> int:
+    try:
+        value = int(query.get(name, default))
+    except ValueError:
+        return default
+    return max(1, value)

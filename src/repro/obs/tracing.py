@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import time
+from collections import deque
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, TextIO
@@ -100,10 +101,15 @@ class Tracer:
     their parents; ``start_s`` in the export is relative to the
     tracer's creation (its *epoch*), which keeps the numbers small and
     machine-independent.
+
+    ``max_spans`` (optional) turns the finished buffer into a ring: a
+    standing service keeps only the newest spans instead of growing
+    without bound.  ``None`` (the default) retains everything, which is
+    what one-shot CLI runs and the test suite expect.
     """
 
-    def __init__(self) -> None:
-        self.finished: list[Span] = []
+    def __init__(self, max_spans: int | None = None) -> None:
+        self.finished: deque[Span] = deque(maxlen=max_spans)
         self.epoch_s = time.perf_counter()
         self._next_id = 1
 

@@ -1,0 +1,228 @@
+"""Sliding-window quantile estimation over time-decaying bucket rings.
+
+Process-lifetime histograms (:class:`repro.obs.metrics.Histogram`)
+answer "what has this process ever seen"; a standing service needs
+"what are p50/p95/p99 *right now*".  :class:`SlidingWindowHistogram`
+keeps a ring of time slices — each a fixed-bucket count array — and
+rotates stale slices out as the clock advances, so every read reflects
+only the last ``window_s`` seconds.  Quantiles are estimated the
+Prometheus way: find the bucket holding the target rank and interpolate
+linearly between its bounds.
+
+Appends cost one integer bisect plus two list increments; reads merge at
+most ``slots`` small arrays.  Both are safe to interleave from a scrape
+thread and the working thread (plain list mutations under the GIL).
+
+>>> clock = lambda: fake[0]
+>>> fake = [0.0]
+>>> window = SlidingWindowHistogram(window_s=10.0, slots=5, clock=clock)
+>>> for value in (0.01, 0.02, 0.03):
+...     window.observe(value)
+>>> window.count()
+3
+>>> fake[0] = 60.0            # everything ages out
+>>> window.count()
+0
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from collections.abc import Iterable, Mapping
+
+from repro.common.errors import ValidationError
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+__all__ = ["SlidingWindowHistogram", "WindowedQuantiles", "DEFAULT_QUANTILES"]
+
+#: the quantiles exposed by default: median, tail, extreme tail
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class SlidingWindowHistogram:
+    """Fixed-bucket histogram over the trailing ``window_s`` seconds.
+
+    ``slots`` is the time resolution: the window is divided into that
+    many slices, and expiry happens a slice at a time, so a reading may
+    include up to ``window_s / slots`` seconds of extra history — the
+    standard staleness/cost trade of bucket rings.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 60.0,
+        slots: int = 12,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        clock=time.monotonic,
+    ) -> None:
+        if window_s <= 0:
+            raise ValidationError(f"window_s must be positive, got {window_s}")
+        if slots < 1:
+            raise ValidationError(f"slots must be >= 1, got {slots}")
+        self.window_s = float(window_s)
+        self.slots = slots
+        self.buckets = tuple(sorted(float(edge) for edge in buckets))
+        if not self.buckets:
+            raise ValidationError("need at least one bucket edge")
+        self._clock = clock
+        self._slice_s = self.window_s / slots
+        # ring[i] = [slice_id, count, sum, bucket counts..., overflow]
+        width = len(self.buckets) + 1
+        self._ring = [[-1, 0, 0.0] + [0] * width for _ in range(slots)]
+
+    def _slice_id(self) -> int:
+        return int(self._clock() / self._slice_s)
+
+    def observe(self, value: float) -> None:
+        """Record one observation into the current time slice."""
+        slice_id = self._slice_id()
+        entry = self._ring[slice_id % self.slots]
+        if entry[0] != slice_id:
+            # the slot's previous occupant has aged out; reuse in place
+            entry[0] = slice_id
+            entry[1] = 0
+            entry[2] = 0.0
+            for i in range(3, len(entry)):
+                entry[i] = 0
+        entry[1] += 1
+        entry[2] += value
+        entry[3 + bisect_left(self.buckets, value)] += 1
+
+    # -- reads ---------------------------------------------------------
+
+    def _live_entries(self) -> list[list]:
+        floor = self._slice_id() - self.slots + 1
+        return [entry for entry in self._ring if entry[0] >= floor]
+
+    def count(self) -> int:
+        """Observations currently inside the window."""
+        return sum(entry[1] for entry in self._live_entries())
+
+    def sum(self) -> float:
+        return sum(entry[2] for entry in self._live_entries())
+
+    def merged_counts(self) -> list[int]:
+        """Per-bucket (non-cumulative) counts over the live window,
+        ending with the overflow (``+Inf``) bucket."""
+        width = len(self.buckets) + 1
+        merged = [0] * width
+        for entry in self._live_entries():
+            for i in range(width):
+                merged[i] += entry[3 + i]
+        return merged
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile over the window, ``None`` when empty.
+
+        Linear interpolation inside the target bucket; the overflow
+        bucket clamps to the highest finite edge (as Prometheus'
+        ``histogram_quantile`` does).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1], got {q}")
+        counts = self.merged_counts()
+        total = sum(counts)
+        if total == 0:
+            return None
+        rank = q * total
+        cumulative = 0
+        for i, edge in enumerate(self.buckets):
+            previous = cumulative
+            cumulative += counts[i]
+            if cumulative >= rank:
+                low = self.buckets[i - 1] if i > 0 else 0.0
+                if counts[i] == 0:
+                    return edge
+                return low + (edge - low) * (rank - previous) / counts[i]
+        return self.buckets[-1]
+
+    def quantiles(
+        self, qs: Iterable[float] = DEFAULT_QUANTILES
+    ) -> dict[float, float | None]:
+        return {q: self.quantile(q) for q in qs}
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary: window geometry, live count/sum, quantiles."""
+        count = self.count()
+        return {
+            "window_s": self.window_s,
+            "slots": self.slots,
+            "count": count,
+            "sum": round(self.sum(), 9),
+            "quantiles": {
+                str(q): value
+                for q, value in self.quantiles().items()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SlidingWindowHistogram(window_s={self.window_s}, "
+            f"slots={self.slots}, live={self.count()})"
+        )
+
+
+class WindowedQuantiles:
+    """A keyed family of sliding-window histograms.
+
+    The recorder routes selected histogram observations here
+    (:data:`repro.obs.schema.WINDOWED_HISTOGRAMS`); estimators are
+    created lazily per source name, all sharing one window geometry.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 60.0,
+        slots: int = 12,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        clock=time.monotonic,
+    ) -> None:
+        self.window_s = float(window_s)
+        self.slots = slots
+        self.buckets = tuple(buckets)
+        self._clock = clock
+        self._windows: dict[str, SlidingWindowHistogram] = {}
+
+    def observe(self, name: str, value: float) -> None:
+        window = self._windows.get(name)
+        if window is None:
+            window = self._windows[name] = SlidingWindowHistogram(
+                self.window_s, self.slots, self.buckets, clock=self._clock
+            )
+        window.observe(value)
+
+    def get(self, name: str) -> SlidingWindowHistogram | None:
+        return self._windows.get(name)
+
+    def sources(self) -> list[str]:
+        return sorted(self._windows)
+
+    def snapshot(self) -> dict:
+        """JSON-safe mirror: one summary per source histogram."""
+        return {
+            name: self._windows[name].snapshot() for name in self.sources()
+        }
+
+    def publish(self, metrics, quantiles: Iterable[float] = DEFAULT_QUANTILES,
+                ) -> None:
+        """Refresh the exposition gauges from the current window state.
+
+        Sets ``repro_window_latency_seconds{source,quantile}`` and
+        ``repro_window_latency_observations{source}`` on ``metrics`` (a
+        :class:`~repro.obs.metrics.MetricsRegistry`), so both exposition
+        formats carry live quantiles without custom rendering.
+        """
+        for name, window in sorted(self._windows.items()):
+            metrics.set_gauge(
+                "repro_window_latency_observations",
+                window.count(),
+                {"source": name},
+            )
+            estimates: Mapping[float, float | None] = window.quantiles(quantiles)
+            for q, value in estimates.items():
+                metrics.set_gauge(
+                    "repro_window_latency_seconds",
+                    value if value is not None else 0.0,
+                    {"source": name, "quantile": str(q)},
+                )

@@ -286,6 +286,12 @@ class WorkerPool:
         recorder.observe("repro_parallel_task_seconds", elapsed_s)
         if status == "straggler":
             recorder.count("repro_parallel_stragglers_total")
+            recorder.event(
+                "parallel.straggler", level="warning",
+                elapsed_s=round(elapsed_s, 6),
+            )
+        elif status == "failed":
+            recorder.event("parallel.task_failed", level="warning")
 
     def __repr__(self) -> str:
         mode = "inline" if self.jobs == 1 else f"{self.jobs} processes"

@@ -63,11 +63,17 @@ class CircuitBreaker:
         self.failures = 0
         self._opened_at = None
 
-    @staticmethod
-    def _transition(to: str) -> None:
+    def _transition(self, to: str) -> None:
         recorder = get_recorder()
         if recorder.enabled:
             recorder.count("repro_breaker_transitions_total", 1, {"to": to})
+            recorder.event(
+                "breaker.transition",
+                level="warning" if to == "open" else "info",
+                to=to,
+                failures=self.failures,
+                cooldown_s=self.cooldown_s,
+            )
 
     def is_open(self) -> bool:
         """True while the primary should be skipped.

@@ -41,6 +41,7 @@ from repro.common.errors import ReproError, SolverInterrupted, ValidationError
 from repro.core.base import Solver
 from repro.core.problem import Solution, VisibilityProblem
 from repro.core.registry import DEFAULT_FALLBACK_CHAIN, make_solver
+from repro.obs.profile import profiled_phase
 from repro.obs.recorder import bitmap_ops_snapshot, get_recorder, record_bitmap_ops
 from repro.runtime.breaker import CircuitBreaker
 from repro.runtime.faults import FaultPlan, FaultySolver, TransientFault
@@ -228,10 +229,38 @@ class SolverHarness(Solver):
             )
             if attempt.retries:
                 recorder.count("repro_harness_retries_total", attempt.retries)
+                recorder.event(
+                    "harness.retry", level="warning",
+                    solver=attempt.solver, retries=attempt.retries,
+                    status=attempt.status,
+                )
+            if attempt.status in ("failed", "rejected"):
+                recorder.event(
+                    "harness.failure", level="warning",
+                    solver=attempt.solver, status=attempt.status,
+                    error=attempt.error,
+                )
         if outcome.status == "fallback":
             recorder.count("repro_harness_fallbacks_total")
+            served_by = (
+                outcome.solution.algorithm if outcome.solution else None
+            )
+            recorder.event(
+                "harness.fallback", level="warning",
+                served_by=served_by, depth=outcome.stats.fallback_depth,
+            )
+        elif outcome.status in ("anytime", "failed"):
+            recorder.event(
+                "harness.degraded", level="error",
+                status=outcome.status,
+                elapsed_s=round(outcome.elapsed_s, 6),
+            )
         if duration is not None and outcome.elapsed_s > duration:
             recorder.count("repro_harness_deadline_overruns_total")
+            recorder.event(
+                "harness.slow_solve", level="warning",
+                elapsed_s=round(outcome.elapsed_s, 6), deadline_s=duration,
+            )
         counters_after = recorder.metrics.counter_values()
         deltas = {
             name: value - counters_before.get(name, 0.0)
@@ -354,7 +383,7 @@ class SolverHarness(Solver):
 
         while True:
             try:
-                with deadline_scope(deadline):
+                with deadline_scope(deadline), profiled_phase("solve"):
                     solution = solver.solve(problem)
             except SolverInterrupted as error:
                 incumbent = self._valid_incumbent(problem, error.best_known)

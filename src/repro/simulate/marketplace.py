@@ -109,6 +109,11 @@ class Marketplace:
             recorder.count(
                 "repro_marketplace_posts_total", 1, {"status": outcome.status}
             )
+            if outcome.solution is None:
+                recorder.event(
+                    "marketplace.post_failed", level="error",
+                    label=label, status=outcome.status,
+                )
         if outcome.solution is None:
             return None, outcome
         return self.post_ad(outcome.solution.keep_mask, label), outcome

@@ -238,6 +238,13 @@ class VisibilityMonitor:
             recorder.count(
                 "repro_monitor_reoptimizations_total", 1, {"status": outcome.status}
             )
+            if outcome.status != "exact":
+                recorder.event(
+                    "monitor.reoptimize_degraded",
+                    level="warning" if outcome.solution is not None else "error",
+                    status=outcome.status,
+                    window=len(self.stream),
+                )
         if outcome.solution is not None:
             self._adopt(outcome.solution.keep_mask)
         return outcome

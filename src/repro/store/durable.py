@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, BinaryIO, Callable, Iterable
 
 from repro.booldata.schema import Schema
 from repro.common.errors import ValidationError
+from repro.obs.profile import profiled_phase
 from repro.obs.recorder import get_recorder
 from repro.store import records as rec
 from repro.store.cachestate import export_cache_state
@@ -252,16 +253,23 @@ class DurableStreamingLog(StreamingLog):
         segments, and return the snapshot path."""
         recorder = get_recorder()
         if not recorder.enabled:
-            return self._checkpoint(cache)
+            with profiled_phase("store_checkpoint"):
+                return self._checkpoint(cache)
         start = time.perf_counter()
         with recorder.span(
             "store.snapshot", epoch=self._epoch, live=len(self._rows)
-        ):
+        ), profiled_phase("store_checkpoint"):
             path = self._checkpoint(cache)
         recorder.observe(
             "repro_store_snapshot_seconds", time.perf_counter() - start
         )
         recorder.count("repro_store_snapshots_total")
+        recorder.event(
+            "store.checkpoint",
+            epoch=self._epoch,
+            live=len(self._rows),
+            elapsed_s=round(time.perf_counter() - start, 6),
+        )
         return path
 
     def _checkpoint(self, cache: "SolveCache | None") -> Path:

@@ -166,10 +166,14 @@ def recover(
                 log, report = _recover(directory, kernel, config, wrap_writer)
         else:
             log, report = _recover(directory, kernel, config, wrap_writer)
-    except ValidationError:
+    except ValidationError as error:
         if recorder.enabled:
             recorder.count(
                 "repro_store_recoveries_total", 1, {"status": "failed"}
+            )
+            recorder.event(
+                "store.recovery", level="error",
+                dir=str(directory), status="failed", error=str(error),
             )
         raise
     elapsed = time.perf_counter() - start_time
@@ -183,6 +187,15 @@ def recover(
             recorder.count(
                 "repro_store_truncated_bytes_total", report.truncated_bytes
             )
+        recorder.event(
+            "store.recovery",
+            level="warning" if report.truncated else "info",
+            dir=str(directory),
+            status=report.source,
+            records_replayed=report.records_replayed,
+            truncated_bytes=report.truncated_bytes,
+            elapsed_s=round(elapsed, 6),
+        )
     return log, report
 
 

@@ -96,9 +96,12 @@ class StreamingLog:
         self.schema.validate_mask(query)
         recorder = get_recorder()
         if recorder.enabled:
-            with recorder.span("stream.append", epoch=self._epoch):
+            with recorder.span("stream.append", epoch=self._epoch) as span:
                 evicted = self._append(query)
             recorder.count("repro_stream_appends_total")
+            # the tick latency feeds the sliding-window quantiles; reuse
+            # the span's clock instead of timing the append twice
+            recorder.observe("repro_stream_append_seconds", span.elapsed_s)
         else:
             evicted = self._append(query)
         return evicted
@@ -165,10 +168,16 @@ class StreamingLog:
                 "stream.compact", dead=self._head, live=len(self._rows)
             ):
                 self._delta.compact()
-            recorder.observe(
-                "repro_stream_compact_seconds", time.perf_counter() - start
-            )
+            elapsed = time.perf_counter() - start
+            recorder.observe("repro_stream_compact_seconds", elapsed)
             recorder.count("repro_stream_compactions_total")
+            recorder.event(
+                "stream.compaction",
+                dead=self._head,
+                live=len(self._rows),
+                epoch=self._epoch,
+                elapsed_s=round(elapsed, 6),
+            )
         else:
             self._delta.compact()
         self._head = 0

@@ -146,14 +146,20 @@ def drift_profiles(schema) -> tuple[list[float], list[float]]:
     return start, end
 
 
-def replay_drift(config: ReplayConfig) -> ReplayReport:
+def replay_drift(config: ReplayConfig, server=None) -> ReplayReport:
     """Run one drifting-workload replay; see the module docstring.
 
     Raises :class:`SolverInterrupted` when a re-optimization fails with
     the deadline exhausted and nothing — not even a stale mask — to
     serve, mirroring the ``solve`` CLI's budget-exhaustion semantics.
+
+    ``server`` (an :class:`repro.obs.ObservabilityServer`, optional)
+    gets health probes registered over the live window, the durable
+    store and the harness breaker, so ``/healthz`` scrapes mid-replay
+    reflect real serving state.
     """
     from repro.booldata.schema import Schema
+    from repro.obs.profile import profiled_phase
     from repro.simulate.monitor import VisibilityMonitor
 
     schema = Schema.anonymous(config.width)
@@ -183,14 +189,23 @@ def replay_drift(config: ReplayConfig) -> ReplayReport:
         stream=stream,
         cache=cache,
     )
+    if server is not None:
+        from repro.obs.serve import breaker_health, stream_health
+
+        server.add_health("window", stream_health(monitor.stream))
+        if stream is not None:
+            server.add_health("store", stream_health(stream))
+        if getattr(harness, "breaker", None) is not None:
+            server.add_health("breaker", breaker_health(harness.breaker))
     start_time = time.perf_counter()
     hits = 0
     checks = 0
     reoptimizations = 0
     outcomes: Counter[str] = Counter()
     for position, query in enumerate(workload, start=1):
-        if monitor.observe(query):
-            hits += 1
+        with profiled_phase("stream_tick"):
+            if monitor.observe(query):
+                hits += 1
         if position % config.check_every:
             continue
         checks += 1

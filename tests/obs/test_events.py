@@ -1,0 +1,162 @@
+"""The event journal: bounded, structured, span-correlated."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.obs import EventJournal, Recorder, recording
+from repro.obs.events import Event
+
+
+class TestRecording:
+    def test_record_returns_the_event(self):
+        journal = EventJournal(clock=lambda: 12.5)
+        event = journal.record("breaker.transition", to="open")
+        assert isinstance(event, Event)
+        assert event.kind == "breaker.transition"
+        assert event.ts == 12.5
+        assert event.attributes == {"to": "open"}
+        assert event.level == "info"
+
+    def test_sequence_numbers_are_monotonic(self):
+        journal = EventJournal()
+        first = journal.record("a")
+        second = journal.record("b")
+        assert second.seq == first.seq + 1
+
+    def test_unknown_level_is_rejected(self):
+        journal = EventJournal()
+        with pytest.raises(ValidationError, match="unknown event level"):
+            journal.record("a", level="fatal")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            EventJournal(capacity=0)
+
+
+class TestRingBound:
+    def test_oldest_events_are_overwritten(self):
+        journal = EventJournal(capacity=3)
+        for i in range(5):
+            journal.record(f"kind.{i}")
+        assert len(journal) == 3
+        assert [e.kind for e in journal.tail()] == ["kind.2", "kind.3", "kind.4"]
+
+    def test_total_and_dropped_account_for_overwrites(self):
+        journal = EventJournal(capacity=2)
+        for _ in range(7):
+            journal.record("tick")
+        assert journal.total == 7
+        assert journal.dropped == 5
+        assert len(journal) == 2
+
+    def test_clear_keeps_the_sequence_counter(self):
+        journal = EventJournal(capacity=4)
+        journal.record("a")
+        journal.clear()
+        assert len(journal) == 0
+        assert journal.record("b").seq == 2
+
+
+class TestTailFilters:
+    def _journal(self):
+        journal = EventJournal()
+        journal.record("harness.retry", level="warning")
+        journal.record("harness.fallback", level="warning")
+        journal.record("stream.compaction")
+        journal.record("store.recovery", level="error")
+        return journal
+
+    def test_kind_matches_exact_and_dotted_prefix(self):
+        journal = self._journal()
+        assert len(journal.tail(kind="harness")) == 2
+        assert len(journal.tail(kind="harness.retry")) == 1
+        assert journal.tail(kind="harness.ret") == []
+
+    def test_level_is_a_minimum_severity(self):
+        journal = self._journal()
+        assert len(journal.tail(level="warning")) == 3
+        assert [e.kind for e in journal.tail(level="error")] == ["store.recovery"]
+
+    def test_count_takes_the_newest(self):
+        journal = self._journal()
+        assert [e.kind for e in journal.tail(2)] == [
+            "stream.compaction", "store.recovery"
+        ]
+
+    def test_bad_level_filter_is_rejected(self):
+        with pytest.raises(ValidationError):
+            self._journal().tail(level="loud")
+
+    def test_counts_by_kind(self):
+        assert self._journal().counts_by_kind() == {
+            "harness.retry": 1,
+            "harness.fallback": 1,
+            "stream.compaction": 1,
+            "store.recovery": 1,
+        }
+
+
+class TestSpanCorrelation:
+    def test_event_inside_a_span_carries_its_ids(self):
+        with recording(Recorder()) as recorder:
+            with recorder.span("monitor.reoptimize") as span:
+                event = recorder.journal.record("harness.retry")
+        assert event.span_id == span.span_id
+        assert event.span_name == "monitor.reoptimize"
+
+    def test_event_outside_any_span_has_no_ids(self):
+        journal = EventJournal()
+        event = journal.record("stream.compaction")
+        assert event.span_id is None
+        assert event.span_name is None
+
+
+class TestExport:
+    def test_to_dict_omits_empty_fields(self):
+        journal = EventJournal(clock=lambda: 1.0)
+        record = journal.record("a").to_dict()
+        assert record == {"seq": 1, "ts": 1.0, "kind": "a", "level": "info"}
+
+    def test_jsonl_round_trip(self):
+        journal = EventJournal(clock=lambda: 2.0)
+        journal.record("breaker.transition", to="open", failures=3)
+        lines = journal.to_jsonl().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["kind"] == "breaker.transition"
+        assert record["attributes"] == {"to": "open", "failures": 3}
+
+    def test_dump_writes_the_flight_record(self, tmp_path):
+        journal = EventJournal()
+        journal.record("store.checkpoint", epoch=4)
+        journal.record("store.recovery", level="error")
+        target = tmp_path / "flight.jsonl"
+        assert journal.dump(target) == 2
+        records = [json.loads(line) for line in target.read_text().splitlines()]
+        assert [r["kind"] for r in records] == [
+            "store.checkpoint", "store.recovery"
+        ]
+
+
+class TestRecorderIntegration:
+    def test_recorder_event_counts_by_kind(self):
+        recorder = Recorder()
+        recorder.event("harness.retry", level="warning", solver="ILP")
+        recorder.event("harness.retry", level="warning", solver="ILP")
+        assert recorder.metrics.counter_total("repro_obs_events_total") == 2.0
+        assert recorder.journal.tail()[-1].attributes == {"solver": "ILP"}
+
+    def test_recorder_counts_dropped_events(self):
+        recorder = Recorder(journal_capacity=2)
+        for _ in range(5):
+            recorder.event("tick")
+        assert recorder.metrics.counter_total(
+            "repro_obs_events_dropped_total"
+        ) == 3.0
+
+    def test_null_recorder_event_is_a_noop(self):
+        from repro.obs import NULL_RECORDER
+
+        NULL_RECORDER.event("anything", level="error")  # must not raise

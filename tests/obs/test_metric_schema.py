@@ -1,0 +1,102 @@
+"""Metric-schema drift check: emitted names ≡ declared names.
+
+A static scan of ``src/repro/`` for quoted ``repro_*`` literals, compared
+against :data:`repro.obs.schema.DECLARED_METRICS` in both directions:
+
+* a metric emitted but not declared would silently miss pre-declaration
+  (its family absent from expositions until first use — scrape targets
+  drift);
+* a metric declared but never emitted is a dead family polluting every
+  scrape.
+
+``schema.py`` itself is excluded from the scan (it *is* the declaration
+side), and the few quoted ``repro_*`` strings that are not metric names
+are allowlisted explicitly so a new one has to be justified here.
+"""
+
+import re
+from pathlib import Path
+
+import repro
+from repro.obs.schema import DECLARED_METRICS, WINDOWED_HISTOGRAMS
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+#: quoted repro_* literals that are deliberately not metric names
+NON_METRIC_LITERALS = {
+    "repro_obs_span",         # the tracing ContextVar's name
+    "repro_active_deadline",  # the deadline ContextVar's name
+    "repro_demo_total",       # the metrics module's doctest example
+}
+
+_LITERAL = re.compile(r"""["'](repro_[a-z0-9_]+)["']""")
+
+
+def _emitted_names() -> dict[str, set[str]]:
+    """Every quoted ``repro_*`` literal outside the schema module, mapped
+    to the files that mention it."""
+    found: dict[str, set[str]] = {}
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if path.name == "schema.py" and path.parent.name == "obs":
+            continue
+        for name in _LITERAL.findall(path.read_text()):
+            found.setdefault(name, set()).add(
+                str(path.relative_to(SRC_ROOT.parent))
+            )
+    return found
+
+
+def _declared_names() -> set[str]:
+    return {name for _kind, name, _help, _labels in DECLARED_METRICS}
+
+
+def test_every_emitted_metric_is_declared():
+    emitted = _emitted_names()
+    undeclared = set(emitted) - _declared_names() - NON_METRIC_LITERALS
+    assert not undeclared, (
+        "metric literals emitted in src/repro/ but missing from "
+        "repro.obs.schema.DECLARED_METRICS: "
+        + ", ".join(
+            f"{name} ({', '.join(sorted(emitted[name]))})"
+            for name in sorted(undeclared)
+        )
+    )
+
+
+def test_every_declared_metric_is_emitted_somewhere():
+    dead = _declared_names() - set(_emitted_names())
+    assert not dead, (
+        "families declared in repro.obs.schema.DECLARED_METRICS but never "
+        "emitted anywhere in src/repro/: " + ", ".join(sorted(dead))
+    )
+
+
+def test_allowlist_entries_are_real_and_not_declared():
+    emitted = set(_emitted_names())
+    declared = _declared_names()
+    for literal in NON_METRIC_LITERALS:
+        assert literal in emitted, f"stale allowlist entry: {literal}"
+        assert literal not in declared, (
+            f"{literal} is allowlisted as a non-metric but also declared"
+        )
+
+
+def test_declarations_are_well_formed_and_unique():
+    names = [name for _kind, name, _help, _labels in DECLARED_METRICS]
+    assert len(names) == len(set(names)), "duplicate declared metric"
+    for kind, name, help_text, labelnames in DECLARED_METRICS:
+        assert kind in ("counter", "gauge", "histogram"), (kind, name)
+        assert re.fullmatch(r"repro_[a-z0-9_]+", name), name
+        assert help_text.endswith("."), f"{name} help should be a sentence"
+        assert isinstance(labelnames, tuple), name
+        if kind == "counter":
+            assert name.endswith("_total"), (
+                f"counter {name} should carry the _total suffix"
+            )
+
+
+def test_windowed_histograms_are_declared_histograms():
+    histograms = {
+        name for kind, name, _h, _l in DECLARED_METRICS if kind == "histogram"
+    }
+    assert WINDOWED_HISTOGRAMS <= histograms

@@ -1,0 +1,138 @@
+"""The sampling profiler: phase labels, collapsed stacks, zero-cost off."""
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.obs import Recorder, SamplingProfiler, profiled_phase, recording
+
+
+def _burn(deadline_s=0.05):
+    """Busy loop long enough for a 1 ms sampler to land several hits."""
+    end = time.perf_counter() + deadline_s
+    total = 0
+    while time.perf_counter() < end:
+        total += sum(range(200))
+    return total
+
+
+class TestLifecycle:
+    def test_validates_parameters(self):
+        with pytest.raises(ValidationError):
+            SamplingProfiler(interval_s=0)
+        with pytest.raises(ValidationError):
+            SamplingProfiler(max_depth=0)
+
+    def test_context_manager_starts_and_stops(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        assert not profiler.running
+        with profiler:
+            assert profiler.running
+        assert not profiler.running
+
+    def test_double_start_is_rejected(self):
+        with SamplingProfiler(interval_s=0.001) as profiler:
+            with pytest.raises(ValidationError):
+                profiler.start()
+
+    def test_stop_without_start_is_a_noop(self):
+        SamplingProfiler().stop()
+
+
+class TestSampling:
+    def test_samples_land_while_working(self):
+        with SamplingProfiler(interval_s=0.001) as profiler:
+            _burn()
+        assert profiler.sample_count > 0
+        assert profiler.collapsed()  # at least one collapsed stack line
+
+    def test_phase_labels_attribute_samples(self):
+        with SamplingProfiler(interval_s=0.001) as profiler:
+            with profiler.phase("solve"):
+                _burn()
+        phases = profiler.phases()
+        assert phases.get("solve", 0) > 0
+
+    def test_phases_nest_innermost_wins(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        with profiler.phase("stream_tick"):
+            assert profiler._phase == "stream_tick"
+            with profiler.phase("solve"):
+                assert profiler._phase == "solve"
+            assert profiler._phase == "stream_tick"
+        assert profiler._phase == "idle"
+
+    def test_collapsed_lines_carry_phase_and_count(self):
+        with SamplingProfiler(interval_s=0.001) as profiler:
+            with profiler.phase("solve"):
+                _burn()
+        lines = [line for line in profiler.collapsed() if line.startswith("solve;")]
+        assert lines
+        stack, count = lines[0].rsplit(" ", 1)
+        assert int(count) >= 1
+        assert ";" in stack  # phase;module:func;...
+
+    def test_collapsed_filtered_by_phase_drops_the_label(self):
+        with SamplingProfiler(interval_s=0.001) as profiler:
+            with profiler.phase("solve"):
+                _burn()
+        for line in profiler.collapsed("solve"):
+            assert not line.startswith("solve;")
+
+    def test_dump_and_clear(self, tmp_path):
+        with SamplingProfiler(interval_s=0.001) as profiler:
+            _burn()
+        target = tmp_path / "flame.txt"
+        written = profiler.dump(target)
+        assert written == len(target.read_text().splitlines())
+        profiler.clear()
+        assert profiler.sample_count == 0
+        assert profiler.collapsed() == []
+
+    def test_samples_only_the_target_thread(self):
+        done = threading.Event()
+
+        def background():
+            while not done.is_set():
+                sum(range(100))
+
+        worker = threading.Thread(target=background, daemon=True)
+        worker.start()
+        try:
+            with SamplingProfiler(interval_s=0.001) as profiler:
+                time.sleep(0.02)  # this (target) thread sleeps; worker burns
+            # sleeping stacks are fine, but no stack may come from the worker
+            assert all("background" not in line for line in profiler.collapsed())
+        finally:
+            done.set()
+
+
+class TestProfiledPhase:
+    def test_noop_without_a_recorder(self):
+        with profiled_phase("solve"):
+            pass  # must not raise; NULL_RECORDER has profiler=None
+
+    def test_noop_with_a_recorder_but_no_profiler(self):
+        with recording(Recorder()):
+            with profiled_phase("solve"):
+                pass
+
+    def test_labels_the_attached_profiler(self):
+        recorder = Recorder()
+        recorder.profiler = SamplingProfiler(interval_s=0.001)
+        with recording(recorder):
+            with recorder.profiler:
+                with profiled_phase("store_checkpoint"):
+                    _burn()
+        assert recorder.profiler.phases().get("store_checkpoint", 0) > 0
+
+    def test_exposition_publishes_sample_gauges(self):
+        recorder = Recorder()
+        recorder.profiler = SamplingProfiler(interval_s=0.001)
+        with recorder.profiler:
+            with recorder.profiler.phase("solve"):
+                _burn()
+        rendered = recorder.export_prometheus()
+        assert 'repro_profile_samples{phase="solve"}' in rendered

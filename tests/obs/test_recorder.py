@@ -82,8 +82,11 @@ class TestDeclaredSchema:
         for kind, name, _help, _labels in DECLARED_METRICS:
             if kind == "counter":
                 assert name.endswith("_total"), name
-            else:
+            elif kind == "histogram":
                 assert name.endswith("_seconds"), name
+            else:  # gauges state a level, never a cumulative total
+                assert kind == "gauge", (kind, name)
+                assert not name.endswith("_total"), name
 
     def test_declared_labels_are_enforced(self):
         recorder = Recorder()

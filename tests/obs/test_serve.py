@@ -1,0 +1,265 @@
+"""The live exposition server: routes, health, scrape accounting.
+
+The smoke test the PR's acceptance hangs on: start on an ephemeral
+port, scrape ``/metrics`` and ``/healthz`` over real HTTP, shut down
+cleanly.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.obs import (
+    ObservabilityServer,
+    Recorder,
+    SamplingProfiler,
+    breaker_health,
+    recording,
+    stream_health,
+)
+
+
+def _get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=5) as response:
+        return response.status, response.read().decode()
+
+
+def _get_error(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=5) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode()
+
+
+class TestSmoke:
+    def test_ephemeral_port_scrape_and_clean_shutdown(self):
+        recorder = Recorder()
+        recorder.count("repro_stream_appends_total", 3)
+        server = ObservabilityServer(recorder=recorder, port=0)
+        with server:
+            assert server.running
+            assert server.port not in (None, 0)
+            code, body = _get(server, "/metrics")
+            assert code == 200
+            assert "repro_stream_appends_total 3" in body
+            code, body = _get(server, "/healthz")
+            assert code == 200
+            assert json.loads(body)["status"] == "ok"
+        assert not server.running
+        # the lifecycle landed in the journal
+        kinds = [event.kind for event in recorder.journal.tail()]
+        assert kinds == ["serve.start", "serve.stop"]
+
+    def test_port_validation_and_double_start(self):
+        with pytest.raises(ValidationError):
+            ObservabilityServer(port=-1)
+        server = ObservabilityServer(recorder=Recorder(), port=0)
+        with server:
+            with pytest.raises(ValidationError):
+                server.start()
+        server.stop()  # second stop is a no-op
+
+    def test_url_requires_a_started_server(self):
+        with pytest.raises(ValidationError):
+            ObservabilityServer().url
+
+
+class TestMetricsRoutes:
+    def test_metrics_text_carries_window_quantiles(self):
+        recorder = Recorder()
+        recorder.observe("repro_harness_run_seconds", 0.02)
+        with ObservabilityServer(recorder=recorder, port=0) as server:
+            _, body = _get(server, "/metrics")
+        assert "# TYPE repro_window_latency_seconds gauge" in body
+        assert 'source="repro_harness_run_seconds"' in body
+
+    def test_metrics_json_mirror(self):
+        recorder = Recorder()
+        recorder.event("stream.compaction", live=10)
+        with ObservabilityServer(recorder=recorder, port=0) as server:
+            _, body = _get(server, "/metrics.json")
+        payload = json.loads(body)
+        assert "repro_stream_appends_total" in payload["metrics"]
+        # the server's own serve.start event joins the journal
+        assert payload["events"]["total"] == 2
+        assert payload["events"]["by_kind"] == {
+            "stream.compaction": 1, "serve.start": 1
+        }
+
+    def test_null_recorder_still_answers(self):
+        with ObservabilityServer(port=0) as server:  # resolves NULL_RECORDER
+            code, body = _get(server, "/metrics")
+            assert code == 200
+            assert "no live recorder" in body
+            _, body = _get(server, "/metrics.json")
+            assert json.loads(body)["recorder"] == "null"
+
+    def test_server_follows_the_installed_recorder(self):
+        with ObservabilityServer(port=0) as server:
+            with recording(Recorder()) as recorder:
+                recorder.count("repro_stream_appends_total", 7)
+                _, body = _get(server, "/metrics")
+        assert "repro_stream_appends_total 7" in body
+
+    def test_scrapes_are_counted(self):
+        import time
+
+        recorder = Recorder()
+        with ObservabilityServer(recorder=recorder, port=0) as server:
+            for _ in range(3):
+                _get(server, "/metrics")
+        # the handler accounts a scrape *after* writing its response, so
+        # wait for the last in-flight increment rather than reading a
+        # mid-flight body
+        deadline = time.time() + 2.0
+        while time.time() < deadline:
+            if recorder.metrics.counter_total("repro_serve_requests_total") >= 3:
+                break
+            time.sleep(0.01)
+        body = recorder.metrics.to_prometheus()
+        assert (
+            'repro_serve_requests_total{path="/metrics",code="200"} 3' in body
+        )
+        assert "repro_serve_request_seconds_count 3" in body
+
+    def test_unknown_paths_are_404_with_bounded_label(self):
+        import time
+
+        recorder = Recorder()
+        with ObservabilityServer(recorder=recorder, port=0) as server:
+            code, _ = _get_error(server, "/nope/" + "x" * 50)
+            assert code == 404
+        deadline = time.time() + 2.0
+        while time.time() < deadline:
+            if recorder.metrics.counter_total("repro_serve_requests_total") >= 1:
+                break
+            time.sleep(0.01)
+        body = recorder.metrics.to_prometheus()
+        assert 'repro_serve_requests_total{path="other",code="404"} 1' in body
+
+
+class TestHealth:
+    def test_healthz_degrades_when_a_check_fails(self):
+        server = ObservabilityServer(
+            recorder=Recorder(),
+            port=0,
+            health={"always_down": lambda: (False, "broken")},
+        )
+        with server:
+            code, body = _get_error(server, "/healthz")
+        assert code == 503
+        payload = json.loads(body)
+        assert payload["status"] == "degraded"
+        assert payload["checks"]["always_down"] == {
+            "healthy": False, "detail": "broken"
+        }
+
+    def test_raising_probe_reads_as_unhealthy_not_a_500(self):
+        def bad_probe():
+            raise RuntimeError("probe exploded")
+
+        server = ObservabilityServer(recorder=Recorder(), port=0)
+        server.add_health("flaky", bad_probe)
+        with server:
+            code, body = _get_error(server, "/healthz")
+        assert code == 503
+        assert "probe raised" in json.loads(body)["checks"]["flaky"]["detail"]
+
+    def test_breaker_health_tracks_the_breaker_state(self):
+        from repro.runtime import CircuitBreaker
+
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=60.0)
+        check = breaker_health(breaker)
+        ok, detail = check()
+        assert ok and "state=closed" in detail
+        breaker.record_failure()
+        ok, detail = check()
+        assert not ok and "state=open" in detail
+
+    def test_stream_health_reports_epoch_and_live_size(self):
+        from repro.booldata.schema import Schema
+        from repro.stream import StreamingLog
+
+        log = StreamingLog(Schema.anonymous(4), window_size=8)
+        log.append(0b0011)
+        ok, detail = stream_health(log)()
+        assert ok
+        assert detail == "epoch=1 live=1"
+
+    def test_stream_health_survives_a_broken_stream(self):
+        class Broken:
+            def __len__(self):
+                raise RuntimeError("gone")
+
+        ok, detail = stream_health(Broken())()
+        assert not ok
+        assert "unavailable" in detail
+
+    def test_healthz_reports_recorder_mode_and_uptime(self):
+        with ObservabilityServer(recorder=Recorder(), port=0) as server:
+            _, body = _get(server, "/healthz")
+        payload = json.loads(body)
+        assert payload["recorder"] == "live"
+        assert payload["uptime_s"] >= 0.0
+
+
+class TestDebugRoutes:
+    def test_debug_spans_returns_newest_finished_spans(self):
+        recorder = Recorder()
+        for i in range(5):
+            with recorder.span("solve", attempt=i):
+                pass
+        with ObservabilityServer(recorder=recorder, port=0) as server:
+            _, body = _get(server, "/debug/spans?n=2")
+        spans = json.loads(body)["spans"]
+        assert len(spans) == 2
+        assert [span["attributes"]["attempt"] for span in spans] == [3, 4]
+
+    def test_debug_events_filters_and_reports_drops(self):
+        recorder = Recorder(journal_capacity=3)
+        recorder.event("harness.retry", level="warning")
+        recorder.event("stream.compaction")
+        recorder.event("store.checkpoint")
+        recorder.event("store.recovery", level="error")
+        with ObservabilityServer(recorder=recorder, port=0) as server:
+            _, body = _get(server, "/debug/events?kind=store")
+            code, _ = _get_error(server, "/debug/events?level=bogus")
+        payload = json.loads(body)
+        assert [e["kind"] for e in payload["events"]] == [
+            "store.checkpoint", "store.recovery"
+        ]
+        # two drops: four explicit events plus the server's serve.start
+        # overflowed the capacity-3 ring twice
+        assert payload["dropped"] == 2
+        assert code == 400
+
+    def test_debug_profile_404s_without_a_profiler(self):
+        with ObservabilityServer(recorder=Recorder(), port=0) as server:
+            code, _ = _get_error(server, "/debug/profile")
+        assert code == 404
+
+    def test_debug_profile_serves_collapsed_stacks(self):
+        import time
+
+        recorder = Recorder()
+        recorder.profiler = SamplingProfiler(interval_s=0.001)
+        with recorder.profiler:
+            with recorder.profiler.phase("solve"):
+                end = time.perf_counter() + 0.05
+                while time.perf_counter() < end:
+                    sum(range(200))
+        with ObservabilityServer(recorder=recorder, port=0) as server:
+            code, body = _get(server, "/debug/profile?phase=solve")
+        assert code == 200
+        assert body  # collapsed lines, no phase prefix in filtered form
+        assert all(not line.startswith("solve;") for line in body.splitlines())
+
+    def test_debug_routes_empty_without_a_recorder(self):
+        with ObservabilityServer(port=0) as server:
+            _, spans = _get(server, "/debug/spans")
+            _, events = _get(server, "/debug/events")
+        assert json.loads(spans) == {"spans": []}
+        assert json.loads(events) == {"events": []}

@@ -31,7 +31,7 @@ class TestStopwatch:
         recorder = Recorder()
         with watch.lap("load"):
             pass
-        assert recorder.tracer.finished == []
+        assert list(recorder.tracer.finished) == []
 
 
 class TestCompatReExport:

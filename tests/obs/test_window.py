@@ -1,0 +1,186 @@
+"""Sliding-window quantiles: decay, estimation, exposition gauges."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.obs import Recorder, SlidingWindowHistogram, WindowedQuantiles
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import WINDOWED_HISTOGRAMS
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestSlidingWindowHistogram:
+    def test_validates_geometry(self):
+        with pytest.raises(ValidationError):
+            SlidingWindowHistogram(window_s=0)
+        with pytest.raises(ValidationError):
+            SlidingWindowHistogram(slots=0)
+        with pytest.raises(ValidationError):
+            SlidingWindowHistogram(buckets=())
+
+    def test_count_and_sum_track_live_observations(self):
+        clock = FakeClock()
+        window = SlidingWindowHistogram(window_s=10, slots=5, clock=clock)
+        for value in (0.01, 0.02, 0.03):
+            window.observe(value)
+        assert window.count() == 3
+        assert window.sum() == pytest.approx(0.06)
+
+    def test_observations_age_out_after_the_window(self):
+        clock = FakeClock()
+        window = SlidingWindowHistogram(window_s=10, slots=5, clock=clock)
+        window.observe(0.5)
+        clock.now = 9.0  # still inside
+        assert window.count() == 1
+        clock.now = 20.0  # aged out
+        assert window.count() == 0
+        assert window.quantile(0.5) is None
+
+    def test_slices_expire_one_at_a_time(self):
+        clock = FakeClock()
+        window = SlidingWindowHistogram(window_s=10, slots=5, clock=clock)
+        window.observe(0.1)        # slice 0
+        clock.now = 6.0
+        window.observe(0.1)        # slice 3
+        clock.now = 11.0           # slice 5: slice 0 is out, slice 3 alive
+        assert window.count() == 1
+
+    def test_slot_reuse_resets_stale_counts(self):
+        clock = FakeClock()
+        window = SlidingWindowHistogram(window_s=10, slots=5, clock=clock)
+        window.observe(0.1)
+        clock.now = 10.0  # same ring slot as t=0, one full rotation later
+        window.observe(0.2)
+        assert window.count() == 1
+        assert window.sum() == pytest.approx(0.2)
+
+    def test_quantile_interpolates_within_the_bucket(self):
+        clock = FakeClock()
+        window = SlidingWindowHistogram(
+            window_s=10, slots=5, buckets=(0.1, 0.2, 0.4), clock=clock
+        )
+        for _ in range(10):
+            window.observe(0.15)  # all land in the (0.1, 0.2] bucket
+        estimate = window.quantile(0.5)
+        assert 0.1 < estimate <= 0.2
+        assert window.quantile(0.5) == pytest.approx(0.15)
+
+    def test_quantile_orders_across_buckets(self):
+        clock = FakeClock()
+        window = SlidingWindowHistogram(
+            window_s=10, slots=5, buckets=(0.01, 0.1, 1.0), clock=clock
+        )
+        for _ in range(90):
+            window.observe(0.005)
+        for _ in range(10):
+            window.observe(0.5)
+        assert window.quantile(0.5) <= 0.01
+        assert window.quantile(0.99) > 0.1
+
+    def test_overflow_clamps_to_the_highest_edge(self):
+        clock = FakeClock()
+        window = SlidingWindowHistogram(
+            window_s=10, slots=5, buckets=(0.1, 0.2), clock=clock
+        )
+        window.observe(5.0)
+        assert window.quantile(0.99) == 0.2
+
+    def test_quantile_range_is_validated(self):
+        with pytest.raises(ValidationError):
+            SlidingWindowHistogram().quantile(1.5)
+
+    def test_merged_counts_include_the_overflow_bucket(self):
+        clock = FakeClock()
+        window = SlidingWindowHistogram(
+            window_s=10, slots=5, buckets=(0.1,), clock=clock
+        )
+        window.observe(0.05)
+        window.observe(9.0)
+        assert window.merged_counts() == [1, 1]
+
+    def test_snapshot_is_json_safe(self):
+        clock = FakeClock()
+        window = SlidingWindowHistogram(window_s=10, slots=5, clock=clock)
+        window.observe(0.02)
+        snapshot = window.snapshot()
+        assert snapshot["count"] == 1
+        assert set(snapshot["quantiles"]) == {"0.5", "0.95", "0.99"}
+
+
+class TestWindowedQuantiles:
+    def test_sources_are_created_lazily(self):
+        family = WindowedQuantiles(clock=FakeClock())
+        assert family.sources() == []
+        family.observe("repro_solver_solve_seconds", 0.01)
+        assert family.sources() == ["repro_solver_solve_seconds"]
+        assert family.get("repro_solver_solve_seconds").count() == 1
+        assert family.get("unknown") is None
+
+    def test_publish_sets_quantile_and_observation_gauges(self):
+        clock = FakeClock()
+        family = WindowedQuantiles(window_s=10, slots=5, clock=clock)
+        for value in (0.01, 0.02, 0.04):
+            family.observe("repro_harness_run_seconds", value)
+        registry = MetricsRegistry()
+        family.publish(registry)
+        rendered = registry.to_prometheus()
+        assert (
+            'repro_window_latency_observations{source="repro_harness_run_seconds"} 3'
+            in rendered
+        )
+        assert (
+            'repro_window_latency_seconds{quantile="0.5"'
+            ',source="repro_harness_run_seconds"}'
+        ) in rendered
+
+    def test_empty_window_publishes_zero(self):
+        clock = FakeClock()
+        family = WindowedQuantiles(window_s=10, slots=5, clock=clock)
+        family.observe("repro_harness_run_seconds", 0.01)
+        clock.now = 100.0  # everything decayed
+        registry = MetricsRegistry()
+        family.publish(registry)
+        rendered = registry.to_prometheus()
+        assert (
+            'repro_window_latency_seconds{quantile="0.5"'
+            ',source="repro_harness_run_seconds"} 0\n'
+        ) in rendered
+
+
+class TestRecorderRouting:
+    def test_windowed_histograms_feed_the_quantile_family(self):
+        recorder = Recorder()
+        recorder.observe("repro_solver_solve_seconds", 0.02, {"algorithm": "X"})
+        assert recorder.windows.sources() == ["repro_solver_solve_seconds"]
+        # the lifetime histogram records it too
+        rendered = recorder.metrics.to_prometheus()
+        assert "repro_solver_solve_seconds_count" in rendered
+
+    def test_non_windowed_histograms_do_not(self):
+        recorder = Recorder()
+        recorder.observe("repro_store_snapshot_seconds", 0.02)
+        assert recorder.windows.sources() == []
+
+    def test_every_windowed_name_is_a_declared_histogram(self):
+        from repro.obs.schema import DECLARED_METRICS
+
+        declared_histograms = {
+            name for kind, name, _, _ in DECLARED_METRICS if kind == "histogram"
+        }
+        assert WINDOWED_HISTOGRAMS <= declared_histograms
+
+    def test_exposition_carries_window_gauges(self):
+        recorder = Recorder()
+        recorder.observe("repro_harness_run_seconds", 0.01)
+        rendered = recorder.export_prometheus()
+        assert 'repro_window_latency_seconds{source="repro_harness_run_seconds"' in rendered
+        snapshot = recorder.export_json()
+        assert "repro_harness_run_seconds" in snapshot["window_quantiles"]
+        assert snapshot["events"]["total"] == 0

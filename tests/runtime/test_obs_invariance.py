@@ -55,6 +55,77 @@ def test_recorder_never_changes_a_harness_outcome():
         assert [a.solver for a in after.attempts] == [a.solver for a in before.attempts]
 
 
+@pytest.mark.parametrize("algorithm", sorted(SOLVERS))
+def test_journal_windows_and_profiler_never_change_an_answer(algorithm):
+    """The full observability stack — event journal, sliding-window
+    quantiles, an attached sampling profiler — observes, never steers."""
+    from repro.obs import SamplingProfiler
+
+    problems = _instances(10, max_width=7, max_queries=15)
+    baseline = [make_solver(algorithm).solve(problem) for problem in problems]
+    recorder = Recorder(journal_capacity=8, window_s=5.0, window_slots=4)
+    recorder.profiler = SamplingProfiler(interval_s=0.001)
+    with recorder.profiler:
+        with recording(recorder):
+            observed = [
+                make_solver(algorithm).solve(problem) for problem in problems
+            ]
+    for quiet, loud in zip(baseline, observed):
+        assert loud.keep_mask == quiet.keep_mask
+        assert loud.satisfied == quiet.satisfied
+    # the windowed estimator actually saw the solves it is invariant over
+    window = recorder.windows.get("repro_solver_solve_seconds")
+    if recorder.metrics.counter_total("repro_solver_solves_total"):
+        assert window is not None and window.count() >= 1
+
+
+def test_harness_failures_journal_events_without_changing_outcomes(paper_problem):
+    from repro.runtime import FaultPlan
+
+    chain = ["ILP", "MaxFreqItemSets"]
+    plan = FaultPlan({"ILP": "error"})
+
+    def run():
+        return SolverHarness(
+            chain, fault_plan=plan, retries=1, backoff_s=0.0
+        ).run(paper_problem)
+
+    quiet = run()
+    with recording(Recorder()) as recorder:
+        loud = run()
+    assert loud.status == quiet.status == "fallback"
+    assert loud.solution.keep_mask == quiet.solution.keep_mask
+    kinds = {event.kind for event in recorder.journal.tail()}
+    assert "harness.retry" in kinds
+    assert "harness.failure" in kinds
+    assert "harness.fallback" in kinds
+    # journal events inherit severities the /debug/events filter can use
+    assert all(
+        event.level == "warning"
+        for event in recorder.journal.tail(kind="harness")
+    )
+
+
+def test_stream_replay_is_invariant_under_full_telemetry():
+    """One end-to-end drifting replay, quiet vs fully observed."""
+    from repro.stream import ReplayConfig, replay_drift
+
+    config = ReplayConfig(width=8, size=300, window=100, seed=3)
+    quiet = replay_drift(config)
+    recorder = Recorder()
+    with recording(recorder):
+        loud = replay_drift(config)
+    assert loud.final_mask == quiet.final_mask
+    assert loud.hits == quiet.hits
+    assert loud.outcomes == quiet.outcomes
+    assert loud.epoch == quiet.epoch
+    assert loud.compactions == quiet.compactions
+    # the tick latency fed the sliding window
+    window = recorder.windows.get("repro_stream_append_seconds")
+    assert window is not None
+    assert recorder.metrics.counter_total("repro_stream_appends_total") == 300
+
+
 class TestOutcomeStats:
     def test_stats_without_recorder_still_describe_the_run(self, paper_problem):
         outcome = SolverHarness(["MaxFreqItemSets"]).run(paper_problem)

@@ -466,6 +466,55 @@ class TestTelemetryFlags:
         assert self._solve(log_csv, "--metrics-out", "-") == EXIT_OK
         assert get_recorder() is NULL_RECORDER
 
+    def test_events_out_writes_the_journal(self, capsys, log_csv, tmp_path):
+        target = tmp_path / "events.jsonl"
+        code = self._solve(
+            log_csv, "--events-out", str(target),
+            "--fallback", "ILP,MaxFreqItemSets", "--deadline-ms", "0",
+        )
+        assert code == EXIT_OK  # the greedy safety net still answers
+        kinds = [
+            json.loads(line)["kind"]
+            for line in target.read_text().splitlines()
+        ]
+        assert "harness.fallback" in kinds or "harness.degraded" in kinds
+
+    def test_flight_recorder_dump_fires_on_a_forced_failure(
+        self, capsys, log_csv, tmp_path
+    ):
+        target = tmp_path / "flight.jsonl"
+        code = self._solve(
+            log_csv, "--events-out", str(target),
+            "--fallback", "ILP", "--deadline-ms", "0",
+        )
+        assert code == EXIT_INTERRUPTED  # the run itself failed...
+        records = [
+            json.loads(line) for line in target.read_text().splitlines()
+        ]
+        assert records, "flight recorder must dump on failure"
+        # ...and the journal says why, at error severity
+        assert any(
+            r["kind"] == "harness.degraded" and r["level"] == "error"
+            for r in records
+        )
+
+    def test_profile_out_writes_collapsed_stacks(self, capsys, log_csv, tmp_path):
+        target = tmp_path / "flame.txt"
+        assert self._solve(log_csv, "--profile-out", str(target)) == EXIT_OK
+        for line in target.read_text().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert ";" in stack  # phase;module:func;...
+
+    def test_serve_metrics_announces_and_shuts_down(self, capsys, log_csv):
+        assert self._solve(log_csv, "--serve-metrics", "0") == EXIT_OK
+        err = capsys.readouterr().err
+        assert "telemetry: serving on http://127.0.0.1:" in err
+        # no stray daemon keeps the port: a fresh server binds port 0 fine
+        from repro.obs import NULL_RECORDER, get_recorder
+
+        assert get_recorder() is NULL_RECORDER
+
 
 class TestHelpEpilog:
     def test_exit_codes_documented_in_help(self, capsys):
@@ -532,6 +581,66 @@ class TestStreamCommand:
         with pytest.raises(SystemExit):
             main(["stream", "--help"])
         assert "exit codes:" in capsys.readouterr().out
+
+    def test_stream_telemetry_flags(self, capsys, tmp_path):
+        """The stream subcommand shares the solve telemetry surface."""
+        events = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        code = main([
+            "stream", "--width", "8", "--size", "200", "--window", "80",
+            "--check-every", "40", "--chain", "ConsumeAttrCumul",
+            "--events-out", str(events), "--metrics-out", str(metrics),
+        ])
+        assert code == EXIT_OK
+        rendered = metrics.read_text()
+        assert "repro_stream_appends_total 200" in rendered
+        # the sliding tick-latency window made it into the exposition
+        assert 'source="repro_stream_append_seconds"' in rendered
+        assert events.exists()  # journal dumps even when nothing degraded
+
+    def test_stream_serve_metrics_registers_health_sources(self, capsys):
+        """--serve-metrics on a replay wires window health into /healthz."""
+        import re
+        import urllib.request
+
+        from repro import cli as cli_module
+
+        captured = {}
+        original = cli_module._telemetry_scope
+
+        def peeking_scope(args, span_name, **kwargs):
+            scope = original(args, span_name, **kwargs)
+
+            class Wrapper:
+                def __enter__(self):
+                    inner = scope.__enter__()
+                    captured["server"] = inner.server
+                    body = urllib.request.urlopen(
+                        inner.server.url + "/healthz", timeout=5
+                    ).read().decode()
+                    captured["early_health"] = json.loads(body)
+                    return inner
+
+                def __exit__(self, *exc_info):
+                    return scope.__exit__(*exc_info)
+
+            return Wrapper()
+
+        cli_module._telemetry_scope = peeking_scope
+        try:
+            code = main([
+                "stream", "--width", "8", "--size", "150", "--window", "60",
+                "--check-every", "30", "--chain", "ConsumeAttrCumul",
+                "--serve-metrics", "0",
+            ])
+        finally:
+            cli_module._telemetry_scope = original
+        assert code == EXIT_OK
+        assert not captured["server"].running  # clean shutdown
+        # once the replay built its monitor it registered the probe
+        assert "window" in captured["server"].health_checks
+        err = capsys.readouterr().err
+        assert re.search(r"serving on http://127\.0\.0\.1:\d+", err)
 
     def test_store_dir_then_resume(self, capsys, tmp_path):
         """The durability loop through the CLI: one run writes a store,

@@ -36,6 +36,12 @@ suite and fails on a recovered-state mismatch, a recovery speedup below
 the 2x acceptance bar, a warm-cache restart that stopped hitting, or a
 WAL append overhead beyond the documented bar.
 
+When ``BENCH_serve.json`` exists, additionally re-runs the multi-tenant
+serving suite and fails on a served answer that diverged from the serial
+harness replay, a solve p99 above the recorded bar (or the baseline
+value times ``--factor``), a tenant whose bounded shed retries never
+landed, or a drain that left admissions pending.
+
 Finally runs ``ruff check`` over ``src``, ``tests`` and ``benchmarks``
 when ruff is available, so lint regressions fail the same gate.
 
@@ -45,7 +51,7 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py --factor 1.5
     PYTHONPATH=src python benchmarks/check_regression.py \
         --skip-runtime --skip-obs --skip-parallel --skip-stream \
-        --skip-kernel --skip-store --skip-lint
+        --skip-kernel --skip-store --skip-serve --skip-lint
 """
 
 from __future__ import annotations
@@ -69,6 +75,7 @@ PARALLEL_BASELINE = REPO_ROOT / "BENCH_parallel.json"
 STREAM_BASELINE = REPO_ROOT / "BENCH_stream.json"
 KERNEL_BASELINE = REPO_ROOT / "BENCH_kernel.json"
 STORE_BASELINE = REPO_ROOT / "BENCH_store.json"
+SERVE_BASELINE = REPO_ROOT / "BENCH_serve.json"
 #: the runtime PR's acceptance bars
 MAX_OVERHEAD_FRACTION = 0.05
 OVERHEAD_EPSILON_S = 0.003
@@ -84,6 +91,8 @@ MIN_NUMPY_SPEEDUP = 5.0
 MIN_RECOVERY_SPEEDUP = 2.0
 MIN_WARM_CACHE_SPEEDUP = 10.0
 MAX_APPEND_OVERHEAD = 12.0
+#: the serving PR's latency bar (solve p99 with the greedy chain)
+MAX_SERVE_P99_S = 0.75
 
 
 def check_runtime(failures: list[str]) -> None:
@@ -406,6 +415,63 @@ def check_store(failures: list[str], factor: float) -> None:
               f"{'' if not problems else ' ' + '; '.join(problems)}")
 
 
+def check_serve(failures: list[str], factor: float) -> None:
+    """Re-run the multi-tenant serving suite against the recorded baseline."""
+    from serve_workload import MEASUREMENTS as SERVE_MEASUREMENTS
+
+    baseline = json.loads(SERVE_BASELINE.read_text())["results"]
+    for name, measure in SERVE_MEASUREMENTS.items():
+        recorded = baseline.get(name)
+        if recorded is None:
+            print(f"~ {name}: not in baseline, skipping")
+            continue
+        fresh = measure()
+        problems = []
+        if fresh["gave_up"] > 0:
+            problems.append(
+                f"{fresh['gave_up']} tenant(s) exhausted their shed retries"
+            )
+        if fresh["pending_after_drain"] != 0:
+            problems.append(
+                f"drain left {fresh['pending_after_drain']} admission(s) pending"
+            )
+        if fresh["workload"] == "serve_load":
+            if not fresh["answers_match"]:
+                problems.append(
+                    "served answers diverged from the serial harness replay"
+                )
+            if fresh["p99_s"] > MAX_SERVE_P99_S:
+                problems.append(
+                    f"solve p99 {fresh['p99_s'] * 1000:.1f} ms > "
+                    f"{MAX_SERVE_P99_S * 1000:.0f} ms bar"
+                )
+            if fresh["p99_s"] > recorded["p99_s"] * factor:
+                problems.append(
+                    f"solve p99 {fresh['p99_s'] * 1000:.1f} ms > {factor:.1f}x "
+                    f"recorded {recorded['p99_s'] * 1000:.1f} ms"
+                )
+            detail = (
+                f"{fresh['requests']} requests {fresh['throughput_rps']:.0f} rps "
+                f"p50 {fresh['p50_s'] * 1000:.1f} ms "
+                f"p99 {fresh['p99_s'] * 1000:.1f} ms"
+            )
+        else:
+            if fresh["sheds"] == 0:
+                problems.append("tiny admission bounds never shed")
+            if not fresh["all_tenants_served"]:
+                problems.append(
+                    f"only {fresh['solved']}/{fresh['tenants']} tenants served"
+                )
+            detail = (
+                f"{fresh['requests']} requests, {fresh['sheds']} sheds, "
+                f"{fresh['solved']}/{fresh['tenants']} tenants served"
+            )
+        for problem in problems:
+            failures.append(f"{name}: {problem}")
+        print(f"{'.' if not problems else 'x'} {name}: {detail}"
+              f"{'' if not problems else ' ' + '; '.join(problems)}")
+
+
 def check_lint(failures: list[str]) -> None:
     """Run ``ruff check`` when ruff is available in the environment."""
     if importlib.util.find_spec("ruff") is not None:
@@ -461,6 +527,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-store", action="store_true",
         help="skip the durable-store WAL/recovery checks",
+    )
+    parser.add_argument(
+        "--skip-serve", action="store_true",
+        help="skip the multi-tenant serving checks",
     )
     parser.add_argument(
         "--skip-lint", action="store_true",
@@ -540,6 +610,12 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print("~ store suite: no BENCH_store.json baseline, skipping")
 
+    if not args.skip_serve:
+        if SERVE_BASELINE.exists():
+            check_serve(failures, args.factor)
+        else:
+            print("~ serve suite: no BENCH_serve.json baseline, skipping")
+
     if not args.skip_lint:
         check_lint(failures)
 
@@ -550,7 +626,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(
         "\nvertical engine, runtime, telemetry, parallel, stream, kernels, "
-        "store and lint within budget"
+        "store, serve and lint within budget"
     )
     return 0
 

@@ -1,0 +1,206 @@
+"""Measurement harness for the multi-tenant serving layer.
+
+Two questions, each with a correctness check attached:
+
+* **Concurrent load** — hundreds of tenants ingest their own query
+  streams over keep-alive connections and each issues a solve; the
+  suite records solve-latency quantiles (p50/p95/p99) and throughput,
+  and verifies every served answer is **bit-identical** to a serial
+  :class:`repro.runtime.SolverHarness` run over the same window — the
+  whole point of per-tenant locking is that concurrency never changes
+  an answer.
+* **Shedding under pressure** — the same workload against deliberately
+  tiny admission bounds; the server must shed (429/503) rather than
+  queue without bound, every shed client's bounded retries must
+  eventually land, and the drained server must finish with zero pending
+  admissions.
+
+Used by ``test_bench_serve.py`` (records ``BENCH_serve.json``) and
+``check_regression.py --skip-serve`` gates.  The greedy-only chain and
+``deadline_ms=None`` keep answers deterministic; tenant query streams
+come from the load generator's seeded RNG.
+"""
+
+from __future__ import annotations
+
+from repro.booldata import Schema
+from repro.core import VisibilityProblem
+from repro.runtime import SolverHarness
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.loadgen import run_load_sync, tenant_queries
+from repro.stream import StreamingLog
+
+SEED = 20080415  # keep the serve suite's traffic independent of the others
+WIDTH = 12
+TENANTS = 150
+QUERIES_PER_TENANT = 48
+BATCH_SIZE = 16
+BUDGET = 3
+WINDOW = 256
+CHAIN = ("ConsumeAttrCumul",)
+
+
+def _reference_answer(queries: list[int], new_tuple: int) -> tuple[int, int]:
+    """What a serial harness run over the same window answers."""
+    schema = Schema.anonymous(WIDTH)
+    log = StreamingLog(schema, window_size=WINDOW)
+    log.extend(queries)
+    harness = SolverHarness(CHAIN, deadline_ms=None)
+    outcome = harness.run(VisibilityProblem.from_stream(log, new_tuple, BUDGET))
+    return outcome.solution.keep_mask, outcome.solution.satisfied
+
+
+def measure_serve_load(
+    tenants: int = TENANTS,
+    queries_per_tenant: int = QUERIES_PER_TENANT,
+    batch_size: int = BATCH_SIZE,
+    workers: int = 4,
+    queue_depth: int = 8,
+) -> dict:
+    """Drive ``tenants`` concurrent clients; record latency quantiles.
+
+    Every tenant's served solve is checked bit-for-bit against a serial
+    replay of its deterministic query stream.
+    """
+    new_tuple = (1 << WIDTH) - 1
+    config = ServeConfig(
+        width=WIDTH,
+        window_size=WINDOW,
+        chain=CHAIN,
+        deadline_ms=None,
+        max_tenants=max(tenants + 8, 16),
+        queue_depth=queue_depth,
+        workers=workers,
+    )
+    with ServerThread(config) as server:
+        report = run_load_sync(
+            "127.0.0.1",
+            server.port,
+            tenants=tenants,
+            width=WIDTH,
+            queries_per_tenant=queries_per_tenant,
+            batch_size=batch_size,
+            budget=BUDGET,
+            new_tuple=new_tuple,
+            seed=SEED,
+        )
+        pending_after = server.admission.total_pending
+
+    mismatches = 0
+    solved = 0
+    for index in range(tenants):
+        result = report.results[f"tenant-{index:04d}"]
+        if result.solve is None:
+            continue
+        solved += 1
+        expected = _reference_answer(
+            tenant_queries(index, SEED, WIDTH, queries_per_tenant)[-WINDOW:],
+            new_tuple,
+        )
+        served = (result.solve["keep_mask"], result.solve["satisfied"])
+        if served != expected:
+            mismatches += 1
+
+    quantiles = report.latency_quantiles()
+    return {
+        "workload": "serve_load",
+        "tenants": tenants,
+        "queries_per_tenant": queries_per_tenant,
+        "workers": workers,
+        "queue_depth": queue_depth,
+        "requests": report.requests,
+        "codes": {str(code): n for code, n in sorted(report.codes.items())},
+        "sheds": report.sheds,
+        "gave_up": report.gave_up,
+        "solved": solved,
+        "elapsed_s": round(report.elapsed_s, 4),
+        "throughput_rps": round(report.throughput_rps, 1),
+        "p50_s": round(quantiles["p50_s"], 6),
+        "p95_s": round(quantiles["p95_s"], 6),
+        "p99_s": round(quantiles["p99_s"], 6),
+        "answers_match": solved == tenants and mismatches == 0,
+        "pending_after_drain": pending_after,
+    }
+
+
+def measure_shedding(
+    tenants: int = 48,
+    queries_per_tenant: int = 24,
+    batch_size: int = 4,
+    workers: int = 2,
+    queue_depth: int = 1,
+    max_pending: int = 2,
+) -> dict:
+    """The same traffic against tiny admission bounds.
+
+    The contract under pressure: bounded rejection (429/503 with
+    retries landing), never an unbounded queue or a hung client.
+    """
+    new_tuple = (1 << WIDTH) - 1
+    config = ServeConfig(
+        width=WIDTH,
+        window_size=WINDOW,
+        chain=CHAIN,
+        deadline_ms=None,
+        max_tenants=max(tenants + 8, 16),
+        queue_depth=queue_depth,
+        max_pending=max_pending,
+        workers=workers,
+    )
+    with ServerThread(config) as server:
+        report = run_load_sync(
+            "127.0.0.1",
+            server.port,
+            tenants=tenants,
+            width=WIDTH,
+            queries_per_tenant=queries_per_tenant,
+            batch_size=batch_size,
+            budget=BUDGET,
+            new_tuple=new_tuple,
+            seed=SEED + 1,
+        )
+        admission = server.admission.snapshot()
+
+    solved = sum(
+        1 for result in report.results.values() if result.solve is not None
+    )
+    return {
+        "workload": "serve_shedding",
+        "tenants": tenants,
+        "queue_depth": queue_depth,
+        "max_pending": max_pending,
+        "workers": workers,
+        "requests": report.requests,
+        "codes": {str(code): n for code, n in sorted(report.codes.items())},
+        "sheds": report.sheds,
+        "gave_up": report.gave_up,
+        "solved": solved,
+        "all_tenants_served": solved == tenants,
+        "elapsed_s": round(report.elapsed_s, 4),
+        "pending_after_drain": admission["pending"],
+        "shed_counters": admission["shed"],
+    }
+
+
+#: name -> zero-argument measurement, the recorded serve suite
+MEASUREMENTS = {
+    "serve_load_150_tenants": measure_serve_load,
+    "serve_shedding_tiny_bounds": measure_shedding,
+}
+
+
+def run_suite() -> dict:
+    return {name: measure() for name, measure in MEASUREMENTS.items()}
+
+
+def suite_meta() -> dict:
+    return {
+        "seed": SEED,
+        "width": WIDTH,
+        "tenants": TENANTS,
+        "queries_per_tenant": QUERIES_PER_TENANT,
+        "batch_size": BATCH_SIZE,
+        "budget": BUDGET,
+        "window": WINDOW,
+        "chain": list(CHAIN),
+    }

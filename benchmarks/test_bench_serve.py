@@ -1,0 +1,86 @@
+"""Benchmark: multi-tenant serving latency and shedding under pressure.
+
+Records ``BENCH_serve.json`` at the repo root (the baseline that
+``check_regression.py`` guards unless ``--skip-serve``).  The
+acceptance bars of the serving PR:
+
+* 150 concurrent tenants each get a solve answer **bit-identical** to a
+  serial harness replay of their own window — concurrency never changes
+  an answer;
+* solve p99 stays under the recorded bar with the greedy chain (the
+  latency of admission + executor dispatch + solve, not of retries);
+* under deliberately tiny admission bounds the server sheds (429/503)
+  instead of queueing without bound, every shed client's bounded
+  retries eventually land, and the drained server ends with zero
+  pending admissions.
+
+Run explicitly (the tier-1 suite does not collect ``benchmarks/``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_serve.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+from serve_workload import run_suite, suite_meta
+
+from repro.common.fsio import atomic_write_text
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: the serving PR's latency bar: solve p99 across 150 concurrent
+#: tenants with the greedy chain (generous for slow CI boxes; the
+#: regression gate additionally compares against the recorded value)
+MAX_SOLVE_P99_S = 0.75
+
+
+def test_serve_bars():
+    results = run_suite()
+
+    load = results["serve_load_150_tenants"]
+    assert load["answers_match"], (
+        "served answers diverged from the serial harness replay "
+        f"(solved {load['solved']}/{load['tenants']})"
+    )
+    assert load["gave_up"] == 0, (
+        f"{load['gave_up']} tenant(s) exhausted their shed retries"
+    )
+    assert load["pending_after_drain"] == 0, "drain left admissions pending"
+    assert load["p99_s"] <= MAX_SOLVE_P99_S, (
+        f"solve p99 {load['p99_s'] * 1000:.1f} ms above the "
+        f"{MAX_SOLVE_P99_S * 1000:.0f} ms bar"
+    )
+
+    shed = results["serve_shedding_tiny_bounds"]
+    assert shed["sheds"] > 0, (
+        "tiny admission bounds never shed — backpressure is not engaging"
+    )
+    assert shed["all_tenants_served"], (
+        f"only {shed['solved']}/{shed['tenants']} tenants served under "
+        "pressure — retries should always land eventually"
+    )
+    assert shed["gave_up"] == 0, (
+        f"{shed['gave_up']} tenant(s) gave up under tiny bounds"
+    )
+    assert shed["pending_after_drain"] == 0, "drain left admissions pending"
+
+    payload = {
+        "meta": {**suite_meta(), "python": platform.python_version()},
+        "results": results,
+    }
+    atomic_write_text(BASELINE_PATH, json.dumps(payload, indent=2) + "\n")
+    print(
+        f"serve_load_150_tenants: {load['requests']} requests "
+        f"{load['throughput_rps']:.0f} rps, solve p50 "
+        f"{load['p50_s'] * 1000:.1f} ms p99 {load['p99_s'] * 1000:.1f} ms, "
+        f"{load['sheds']} sheds"
+    )
+    print(
+        f"serve_shedding_tiny_bounds: {shed['requests']} requests, "
+        f"{shed['sheds']} sheds "
+        f"(429={shed['codes'].get('429', 0)} 503={shed['codes'].get('503', 0)}), "
+        f"all {shed['tenants']} tenants served"
+    )

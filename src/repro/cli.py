@@ -355,6 +355,132 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: one checkpoint when the replay ends)",
     )
     _add_telemetry_flags(stream)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant visibility server",
+        epilog=_EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8311,
+        help="bind port; 0 picks an ephemeral port (default 8311)",
+    )
+    serve.add_argument(
+        "--width", type=int, default=16, help="schema width (default 16)"
+    )
+    serve.add_argument(
+        "--window", type=int, default=512,
+        help="per-tenant sliding-window size (default 512)",
+    )
+    serve.add_argument(
+        "--compact-threshold",
+        dest="compact_threshold",
+        type=float,
+        default=0.5,
+        help="tombstone fraction that triggers index compaction "
+        "(default 0.5)",
+    )
+    serve.add_argument(
+        "--max-tenants",
+        dest="max_tenants",
+        type=int,
+        default=256,
+        help="tenant namespaces before new tenants are shed with 429 "
+        "(default 256)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        dest="queue_depth",
+        type=int,
+        default=8,
+        help="pending requests per tenant before shedding with 429 "
+        "(default 8)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        dest="max_pending",
+        type=int,
+        default=None,
+        help="pending requests across all tenants before shedding with "
+        "503 (default: 4x --workers)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        dest="deadline_ms",
+        type=float,
+        default=250.0,
+        help="per-solve wall-clock budget through the anytime harness "
+        "(default 250)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        dest="cache_size",
+        type=int,
+        default=64,
+        help="per-tenant solve-cache capacity (default 64)",
+    )
+    serve.add_argument(
+        "--chain",
+        default=None,
+        metavar="CHAIN",
+        help="default solve fallback chain, comma-separated primary first "
+        "(default ILP,MaxFreqItemSets,ConsumeAttrCumul)",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="vertical",
+        help="evaluation engine for solver inner loops (default vertical)",
+    )
+    serve.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="bitmap kernel of tenant window indexes (default auto)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="solver thread-pool size (default 4)",
+    )
+    serve.add_argument(
+        "--store-dir",
+        dest="store_dir",
+        default=None,
+        metavar="DIR",
+        help="persist each tenant's window in DIR/<tenant> (write-ahead "
+        "log + epoch snapshots, resumed on restart); without it tenants "
+        "are memory-only",
+    )
+    serve.add_argument(
+        "--fsync",
+        choices=("always", "interval", "never"),
+        default="interval",
+        help="WAL durability policy for --store-dir (default interval)",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        dest="snapshot_every",
+        type=int,
+        default=None,
+        metavar="EPOCHS",
+        help="checkpoint tenant snapshots every EPOCHS mutations "
+        "(default: one checkpoint at shutdown)",
+    )
+    serve.add_argument(
+        "--duration-s",
+        dest="duration_s",
+        type=float,
+        default=None,
+        help="serve for this many seconds then shut down cleanly "
+        "(default: until interrupted)",
+    )
+    _add_telemetry_flags(serve)
     return parser
 
 
@@ -778,6 +904,88 @@ def _run_stream(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    import time
+
+    from repro.serve import ServeConfig, ServerThread
+    from repro.serve.app import admission_health, tenants_health
+    from repro.store import StoreConfig
+
+    chain = None
+    if args.chain is not None:
+        chain = tuple(name.strip() for name in args.chain.split(",") if name.strip())
+        if not chain:
+            raise ValidationError("--chain needs at least one algorithm name")
+    store_dir = Path(args.store_dir) if args.store_dir else None
+    store_config = None
+    if store_dir is not None:
+        store_config = StoreConfig(
+            fsync=args.fsync, snapshot_every=args.snapshot_every
+        )
+    kwargs = {}
+    if chain is not None:
+        kwargs["chain"] = chain
+    config = ServeConfig(
+        width=args.width,
+        host=args.host,
+        port=args.port,
+        window_size=args.window,
+        compact_threshold=args.compact_threshold,
+        cache_size=args.cache_size,
+        kernel=args.kernel,
+        engine=args.engine,
+        deadline_ms=args.deadline_ms,
+        max_tenants=args.max_tenants,
+        queue_depth=args.queue_depth,
+        max_pending=args.max_pending,
+        workers=args.workers,
+        store_dir=store_dir,
+        store_config=store_config,
+        **kwargs,
+    )
+    # a standing service must not trace without bound; cap finished spans
+    with _telemetry_scope(
+        args, "cli.serve", max_spans=4096,
+        host=args.host, port=args.port,
+    ) as scope:
+        thread = ServerThread(config)
+        try:
+            server = thread.start()
+        except OSError as error:
+            raise ReproError(f"cannot bind {args.host}:{args.port}: {error}") from None
+        if scope.server is not None:
+            scope.server.add_health(
+                "serve_admission", admission_health(server.admission)
+            )
+            scope.server.add_health(
+                "serve_tenants", tenants_health(server.tenants)
+            )
+        print(
+            f"serving on http://{config.host}:{server.port} "
+            f"(width {config.width}, window {config.window_size}, "
+            f"workers {config.workers}, chain {'/'.join(config.chain)})",
+            flush=True,
+        )
+        try:
+            if args.duration_s is not None:
+                time.sleep(args.duration_s)
+            else:  # pragma: no cover - interactive foreground loop
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            print("interrupt: draining and shutting down", file=sys.stderr)
+        finally:
+            admission = server.admission.snapshot()
+            tenants = len(server.tenants)
+            thread.stop()
+        print(
+            f"served {tenants} tenant(s); shed "
+            f"{admission['shed']['tenant_queue']} (429) / "
+            f"{admission['shed']['overload']} (503); clean shutdown"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -797,6 +1005,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_inventory(args)
         if args.command == "stream":
             return _run_stream(args)
+        if args.command == "serve":
+            return _run_serve(args)
         return _run_solve(args)
     except ValidationError as error:
         return _fail(error, EXIT_VALIDATION)

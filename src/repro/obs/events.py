@@ -4,8 +4,8 @@ The "flight recorder" of a long-running process: noteworthy happenings —
 slow solves, harness retries and fallbacks, breaker transitions, stream
 compactions, store checkpoints and recoveries — are appended as
 structured :class:`Event` records into a fixed-capacity ring buffer.
-The journal never grows, appends are O(1) (one ``deque.append`` under
-the GIL, safe from any thread without explicit locking), and the recent
+The journal never grows, appends are O(1) (one ``deque.append`` plus a
+sequence bump under a small lock, safe from any thread), and the recent
 tail is always available for live inspection (``/debug/events`` on the
 :class:`~repro.obs.serve.ObservabilityServer`) or a crash dump
 (:meth:`EventJournal.dump`) alongside ``--trace-out``.
@@ -27,6 +27,7 @@ against the span export.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import Counter, deque
 from dataclasses import dataclass, field
@@ -86,6 +87,9 @@ class EventJournal:
         self._events: deque[Event] = deque(maxlen=capacity)
         self._clock = clock
         self._seq = 0
+        # guards _seq allocation and the ring: the scrape thread copies
+        # the deque under the same lock, so it never iterates mid-append
+        self._lock = threading.Lock()
 
     # -- appending -----------------------------------------------------
 
@@ -94,17 +98,19 @@ class EventJournal:
         if level not in LEVELS:
             raise ValidationError(f"unknown event level {level!r} (use {LEVELS})")
         span = current_span()
-        self._seq += 1
-        event = Event(
-            seq=self._seq,
-            ts=self._clock(),
-            kind=kind,
-            level=level,
-            span_id=span.span_id if span is not None else None,
-            span_name=span.name if span is not None else None,
-            attributes=attributes,
-        )
-        self._events.append(event)
+        ts = self._clock()
+        with self._lock:
+            self._seq += 1
+            event = Event(
+                seq=self._seq,
+                ts=ts,
+                kind=kind,
+                level=level,
+                span_id=span.span_id if span is not None else None,
+                span_name=span.name if span is not None else None,
+                attributes=attributes,
+            )
+            self._events.append(event)
         return event
 
     # -- inspection ----------------------------------------------------
@@ -129,7 +135,8 @@ class EventJournal:
         ``kind`` matches exactly or as a dotted prefix (``"harness"``
         matches ``harness.retry``); ``level`` is a minimum severity.
         """
-        events = list(self._events)
+        with self._lock:
+            events = list(self._events)
         if kind is not None:
             events = [
                 e for e in events
@@ -146,7 +153,9 @@ class EventJournal:
 
     def counts_by_kind(self) -> dict[str, int]:
         """Histogram of the *retained* events by kind."""
-        return dict(Counter(event.kind for event in self._events))
+        with self._lock:
+            events = list(self._events)
+        return dict(Counter(event.kind for event in events))
 
     # -- export --------------------------------------------------------
 
@@ -173,7 +182,8 @@ class EventJournal:
         return len(events)
 
     def clear(self) -> None:
-        self._events.clear()
+        with self._lock:
+            self._events.clear()
 
     def __repr__(self) -> str:
         return (

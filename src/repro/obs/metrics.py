@@ -9,11 +9,15 @@ labels, and two exposition formats:
 * :meth:`MetricsRegistry.snapshot` — a JSON-safe dict mirror of the
   same data.
 
-Mutation is not locked: the recorder that owns the registry is
-installed per run (see :mod:`repro.obs.recorder`) and all solvers in
-this package are single-threaded.  Exposition, however, snapshots every
-sample map before iterating, so a scrape thread (the observability
-server) can safely render while the working thread keeps counting.
+Thread-safety contract: every family guards its sample map with a
+small per-family lock, and the registry guards family declaration with
+its own lock.  Any number of worker threads may ``inc``/``set``/
+``observe`` concurrently while the scrape thread (the observability
+server) renders — increments are never lost, histogram ``sum``/
+``count``/bucket series are internally consistent in every exposition,
+and no iteration races a mutation.  The locks are uncontended in the
+single-threaded case and cost well under the 5% overhead gate of
+``BENCH_obs.json``.
 
 >>> registry = MetricsRegistry()
 >>> registry.counter("repro_demo_total", "Demo counter.").inc(3)
@@ -27,6 +31,7 @@ from __future__ import annotations
 
 import json
 import re
+import threading
 from collections.abc import Iterable, Mapping
 from typing import TextIO
 
@@ -85,6 +90,9 @@ class _Family:
                 raise ValidationError(f"invalid label name: {label!r}")
         self.name = name
         self.help_text = help_text
+        # guards the sample map: mutators hold it for the read-modify-write,
+        # exposition holds it while copying, so snapshots are never torn
+        self._lock = threading.Lock()
 
     def _key(self, labels: Mapping[str, object] | None) -> tuple[str, ...]:
         if not self.labelnames:
@@ -124,20 +132,26 @@ class Counter(_Family):
         if value < 0:
             raise ValidationError(f"counter {self.name} cannot decrease ({value})")
         key = self._key(labels)
-        self._values[key] = self._values.get(key, 0.0) + value
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + value
 
     def total(self) -> float:
-        return sum(self._values.values())
+        with self._lock:
+            return sum(self._values.values())
 
     def expose(self, lines: list[str]) -> None:
-        for key, value in list(self._values.items()):
+        with self._lock:
+            samples = list(self._values.items())
+        for key, value in samples:
             labels = _render_labels(self.labelnames, key)
             lines.append(f"{self.name}{labels} {_format_number(value)}")
 
     def sample_dicts(self) -> list[dict]:
+        with self._lock:
+            samples = list(self._values.items())
         return [
             {"labels": dict(zip(self.labelnames, key)), "value": value}
-            for key, value in list(self._values.items())
+            for key, value in samples
         ]
 
 
@@ -148,10 +162,13 @@ class Gauge(Counter):
 
     def inc(self, value: float = 1.0, labels: Mapping[str, object] | None = None) -> None:
         key = self._key(labels)
-        self._values[key] = self._values.get(key, 0.0) + value
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + value
 
     def set(self, value: float, labels: Mapping[str, object] | None = None) -> None:
-        self._values[self._key(labels)] = float(value)
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
 
 
 class Histogram(_Family):
@@ -180,19 +197,26 @@ class Histogram(_Family):
 
     def observe(self, value: float, labels: Mapping[str, object] | None = None) -> None:
         key = self._key(labels)
-        series = self._series.get(key)
-        if series is None:
-            series = self._series[key] = self._fresh_series()
-        for i, edge in enumerate(self.buckets):
-            if value <= edge:
-                series[i] += 1
-                break
-        else:
-            series[len(self.buckets)] += 1
-        series[-1] += value
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = self._fresh_series()
+            for i, edge in enumerate(self.buckets):
+                if value <= edge:
+                    series[i] += 1
+                    break
+            else:
+                series[len(self.buckets)] += 1
+            series[-1] += value
+
+    def _copy_series(self) -> list[tuple[tuple[str, ...], list]]:
+        """Deep-copy every series under the lock: exposition then renders
+        from frozen data, so ``sum``/``count``/buckets can never tear."""
+        with self._lock:
+            return [(key, list(series)) for key, series in self._series.items()]
 
     def expose(self, lines: list[str]) -> None:
-        for key, series in list(self._series.items()):
+        for key, series in self._copy_series():
             cumulative = 0
             for i, edge in enumerate(self.buckets):
                 cumulative += series[i]
@@ -218,7 +242,7 @@ class Histogram(_Family):
         for existing consumers.
         """
         samples = []
-        for key, series in list(self._series.items()):
+        for key, series in self._copy_series():
             counts = dict(zip(map(_format_number, self.buckets), series))
             counts["+Inf"] = series[len(self.buckets)]
             raw = list(series[: len(self.buckets) + 1])
@@ -252,21 +276,24 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._families: dict[str, _Family] = {}
+        # guards the family map itself; per-family sample locks guard values
+        self._lock = threading.RLock()
 
     # -- declaration --------------------------------------------------
 
     def _declare(self, cls, name, help_text, labelnames, **kwargs) -> _Family:
-        family = self._families.get(name)
-        if family is not None:
-            if type(family) is not cls or family.labelnames != tuple(labelnames):
-                raise ValidationError(
-                    f"metric {name} already declared as {family.kind}"
-                    f"{family.labelnames}"
-                )
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if type(family) is not cls or family.labelnames != tuple(labelnames):
+                    raise ValidationError(
+                        f"metric {name} already declared as {family.kind}"
+                        f"{family.labelnames}"
+                    )
+                return family
+            family = cls(name, help_text, labelnames, **kwargs)
+            self._families[name] = family
             return family
-        family = cls(name, help_text, labelnames, **kwargs)
-        self._families[name] = family
-        return family
 
     def counter(self, name: str, help_text: str = "",
                 labelnames: Iterable[str] = ()) -> Counter:
@@ -315,12 +342,17 @@ class MetricsRegistry:
     def counter_values(self) -> dict[str, float]:
         """Flat ``{'name' | 'name{a="x"}': value}`` map of all counters."""
         values: dict[str, float] = {}
-        for family in list(self._families.values()):
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
             if type(family) is not Counter:
                 continue
-            for key, value in list(family._values.items()):
+            for sample in family.sample_dicts():
+                key = tuple(
+                    sample["labels"][name] for name in family.labelnames
+                )
                 labels = _render_labels(family.labelnames, key)
-                values[f"{family.name}{labels}"] = value
+                values[f"{family.name}{labels}"] = sample["value"]
         return values
 
     def counter_total(self, name: str) -> float:
@@ -337,13 +369,17 @@ class MetricsRegistry:
     def to_prometheus(self) -> str:
         """The Prometheus text exposition format, one family per block."""
         lines: list[str] = []
-        for family in list(self._families.values()):
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
             lines.extend(family.header_lines())
             family.expose(lines)
         return "\n".join(lines) + "\n" if lines else ""
 
     def snapshot(self) -> dict:
         """JSON-safe mirror of every family and sample."""
+        with self._lock:
+            items = list(self._families.items())
         return {
             name: {
                 "type": family.kind,
@@ -351,7 +387,7 @@ class MetricsRegistry:
                 "labelnames": list(family.labelnames),
                 "samples": family.sample_dicts(),
             }
-            for name, family in list(self._families.items())
+            for name, family in items
         }
 
     def to_json(self, indent: int | None = 2) -> str:

@@ -103,10 +103,27 @@ DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
     ("counter", "repro_obs_events_dropped_total",
      "Journal events overwritten by the ring-buffer bound before export.",
      ()),
+    ("counter", "repro_serve_api_requests_total",
+     "Requests answered by the multi-tenant visibility server "
+     "(endpoint=solve|ingest|status|metrics|healthz|other, code=HTTP "
+     "status).", ("endpoint", "code")),
+    ("counter", "repro_serve_shed_total",
+     "Requests shed by admission control "
+     "(reason=tenant_queue|overload|tenant_limit|stopping).", ("reason",)),
+    ("counter", "repro_serve_solves_total",
+     "Tenant solves served, by harness outcome status.", ("status",)),
+    ("counter", "repro_serve_ingested_queries_total",
+     "Queries accepted into tenant windows via POST /ingest.", ()),
+    ("counter", "repro_serve_tenants_created_total",
+     "Tenant namespaces created on first touch.", ()),
     ("counter", "repro_serve_requests_total",
      "HTTP requests answered by the observability server "
      "(path=/metrics|/metrics.json|/healthz|/debug/spans|/debug/events"
      "|/debug/profile|other).", ("path", "code")),
+    ("gauge", "repro_serve_tenants",
+     "Live tenant namespaces held by the visibility server.", ()),
+    ("gauge", "repro_serve_queue_depth",
+     "Admitted requests currently pending across all tenants.", ()),
     ("gauge", "repro_profile_samples",
      "Stack samples collected so far by the attached sampling profiler, "
      "by phase (absent while no profiler is attached).", ("phase",)),
@@ -141,6 +158,10 @@ DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
      "Wall-clock latency of store recovery (restore + replay).", ()),
     ("histogram", "repro_serve_request_seconds",
      "Wall-clock latency of observability-server request handling.", ()),
+    ("histogram", "repro_serve_solve_seconds",
+     "Wall-clock latency of tenant solves (lock wait + cache/harness).", ()),
+    ("histogram", "repro_serve_ingest_seconds",
+     "Wall-clock latency of tenant ingest batches.", ()),
 )
 
 #: histogram families that additionally feed a sliding-window quantile
@@ -152,4 +173,5 @@ WINDOWED_HISTOGRAMS: frozenset[str] = frozenset({
     "repro_monitor_reoptimize_seconds",
     "repro_stream_append_seconds",
     "repro_store_append_seconds",
+    "repro_serve_solve_seconds",
 })

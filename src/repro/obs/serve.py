@@ -262,7 +262,7 @@ class _ObservabilityHandler(BaseHTTPRequestHandler):
             if not recorder.enabled:
                 return self._send_json(200, {"spans": []})
             limit = _int_param(query, "n", 200)
-            spans = list(recorder.tracer.finished)[-limit:]
+            spans = recorder.tracer.finished_spans()[-limit:]
             return self._send_json(
                 200, {"spans": [span.to_dict() for span in spans]}
             )

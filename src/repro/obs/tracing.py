@@ -23,6 +23,7 @@ body raises.  Finished spans export as JSON-lines via
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import deque
 from contextvars import ContextVar
@@ -75,7 +76,7 @@ class Span:
         if exc_type is not None:
             self.status = "error"
             self.error = f"{exc_type.__name__}: {exc}"
-        self.tracer.finished.append(self)
+        self.tracer._finish(self)
 
     def to_dict(self) -> dict:
         record = {
@@ -112,24 +113,38 @@ class Tracer:
         self.finished: deque[Span] = deque(maxlen=max_spans)
         self.epoch_s = time.perf_counter()
         self._next_id = 1
+        # guards id allocation and the finished ring; readers that may
+        # race worker threads go through finished_spans()
+        self._lock = threading.Lock()
 
     def span(self, name: str, **attributes: Any) -> Span:
         parent = _CURRENT.get()
-        span = Span(
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(
             tracer=self,
-            span_id=self._next_id,
+            span_id=span_id,
             parent_id=parent.span_id if parent is not None else None,
             name=name,
             attributes=attributes,
         )
-        self._next_id += 1
-        return span
+
+    def _finish(self, span: "Span") -> None:
+        with self._lock:
+            self.finished.append(span)
+
+    def finished_spans(self) -> list[Span]:
+        """Point-in-time copy of the finished ring, safe to iterate while
+        other threads keep closing spans."""
+        with self._lock:
+            return list(self.finished)
 
     def spans_named(self, name: str) -> list[Span]:
-        return [span for span in self.finished if span.name == name]
+        return [span for span in self.finished_spans() if span.name == name]
 
     def to_dicts(self) -> list[dict]:
-        return [span.to_dict() for span in self.finished]
+        return [span.to_dict() for span in self.finished_spans()]
 
     def to_jsonl(self) -> str:
         return "".join(

@@ -10,8 +10,9 @@ Prometheus way: find the bucket holding the target rank and interpolate
 linearly between its bounds.
 
 Appends cost one integer bisect plus two list increments; reads merge at
-most ``slots`` small arrays.  Both are safe to interleave from a scrape
-thread and the working thread (plain list mutations under the GIL).
+most ``slots`` small arrays.  Both run under a per-histogram lock, so a
+scrape thread and any number of working threads can interleave freely —
+a read never sees a slice mid-reset or a count/sum pair mid-update.
 
 >>> clock = lambda: fake[0]
 >>> fake = [0.0]
@@ -27,6 +28,7 @@ thread and the working thread (plain list mutations under the GIL).
 
 from __future__ import annotations
 
+import threading
 import time
 from bisect import bisect_left
 from collections.abc import Iterable, Mapping
@@ -70,6 +72,8 @@ class SlidingWindowHistogram:
         # ring[i] = [slice_id, count, sum, bucket counts..., overflow]
         width = len(self.buckets) + 1
         self._ring = [[-1, 0, 0.0] + [0] * width for _ in range(slots)]
+        # guards slice reset + increments against reads from other threads
+        self._lock = threading.Lock()
 
     def _slice_id(self) -> int:
         return int(self._clock() / self._slice_s)
@@ -77,23 +81,25 @@ class SlidingWindowHistogram:
     def observe(self, value: float) -> None:
         """Record one observation into the current time slice."""
         slice_id = self._slice_id()
-        entry = self._ring[slice_id % self.slots]
-        if entry[0] != slice_id:
-            # the slot's previous occupant has aged out; reuse in place
-            entry[0] = slice_id
-            entry[1] = 0
-            entry[2] = 0.0
-            for i in range(3, len(entry)):
-                entry[i] = 0
-        entry[1] += 1
-        entry[2] += value
-        entry[3 + bisect_left(self.buckets, value)] += 1
+        with self._lock:
+            entry = self._ring[slice_id % self.slots]
+            if entry[0] != slice_id:
+                # the slot's previous occupant has aged out; reuse in place
+                entry[0] = slice_id
+                entry[1] = 0
+                entry[2] = 0.0
+                for i in range(3, len(entry)):
+                    entry[i] = 0
+            entry[1] += 1
+            entry[2] += value
+            entry[3 + bisect_left(self.buckets, value)] += 1
 
     # -- reads ---------------------------------------------------------
 
     def _live_entries(self) -> list[list]:
         floor = self._slice_id() - self.slots + 1
-        return [entry for entry in self._ring if entry[0] >= floor]
+        with self._lock:
+            return [list(entry) for entry in self._ring if entry[0] >= floor]
 
     def count(self) -> int:
         """Observations currently inside the window."""
@@ -183,26 +189,34 @@ class WindowedQuantiles:
         self.buckets = tuple(buckets)
         self._clock = clock
         self._windows: dict[str, SlidingWindowHistogram] = {}
+        # guards lazy estimator creation against publish()'s iteration
+        self._lock = threading.Lock()
 
     def observe(self, name: str, value: float) -> None:
         window = self._windows.get(name)
         if window is None:
-            window = self._windows[name] = SlidingWindowHistogram(
-                self.window_s, self.slots, self.buckets, clock=self._clock
-            )
+            with self._lock:
+                window = self._windows.get(name)
+                if window is None:
+                    window = self._windows[name] = SlidingWindowHistogram(
+                        self.window_s, self.slots, self.buckets,
+                        clock=self._clock,
+                    )
         window.observe(value)
 
     def get(self, name: str) -> SlidingWindowHistogram | None:
         return self._windows.get(name)
 
+    def _items(self) -> list[tuple[str, SlidingWindowHistogram]]:
+        with self._lock:
+            return sorted(self._windows.items())
+
     def sources(self) -> list[str]:
-        return sorted(self._windows)
+        return [name for name, _ in self._items()]
 
     def snapshot(self) -> dict:
         """JSON-safe mirror: one summary per source histogram."""
-        return {
-            name: self._windows[name].snapshot() for name in self.sources()
-        }
+        return {name: window.snapshot() for name, window in self._items()}
 
     def publish(self, metrics, quantiles: Iterable[float] = DEFAULT_QUANTILES,
                 ) -> None:
@@ -213,7 +227,7 @@ class WindowedQuantiles:
         :class:`~repro.obs.metrics.MetricsRegistry`), so both exposition
         formats carry live quantiles without custom rendering.
         """
-        for name, window in sorted(self._windows.items()):
+        for name, window in self._items():
             metrics.set_gauge(
                 "repro_window_latency_observations",
                 window.count(),

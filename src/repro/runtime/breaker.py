@@ -13,12 +13,22 @@ even starts.  The breaker implements the classic three-state pattern:
   let through; success closes the breaker, failure re-opens it for
   another full cooldown.
 
+All transitions run under a lock, and the half-open trial is a real
+single-probe slot: :meth:`allow` atomically claims it, so under
+concurrent callers exactly one thread runs the trial per cooldown
+window while the rest keep skipping the primary.  The claim is a
+timestamp, not a flag — if the probing thread dies (or the harness
+skips its primary because the deadline already expired) the slot
+self-expires after another ``cooldown_s``, so a lost probe can never
+wedge the breaker open forever.
+
 The clock is injectable so tests can drive the cooldown without
 sleeping.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 
 from repro.common.errors import ValidationError
@@ -45,23 +55,59 @@ class CircuitBreaker:
         self._clock = clock
         self.failures = 0
         self._opened_at: float | None = None
+        #: when the current half-open probe was claimed (None = slot free)
+        self._probing_at: float | None = None
+        self._lock = threading.RLock()
 
     def record_failure(self) -> None:
         """Count one primary failure; trips (or re-trips) at the threshold."""
-        self.failures += 1
-        if self.failures >= self.failure_threshold:
-            if not self.is_open():
-                # closed (or half-open trial failure) -> open; a re-trip
-                # while already open only extends the cooldown
-                self._transition("open")
-            self._opened_at = self._clock()
+        transition = None
+        with self._lock:
+            self.failures += 1
+            self._probing_at = None
+            if self.failures >= self.failure_threshold:
+                if not self._cooling():
+                    # closed (or half-open trial failure) -> open; a re-trip
+                    # while already open only extends the cooldown
+                    transition = "open"
+                self._opened_at = self._clock()
+        if transition is not None:
+            self._transition(transition)
 
     def record_success(self) -> None:
         """A primary success fully resets the breaker."""
-        if self._opened_at is not None:
-            self._transition("closed")
-        self.failures = 0
-        self._opened_at = None
+        transition = None
+        with self._lock:
+            if self._opened_at is not None:
+                transition = "closed"
+            self.failures = 0
+            self._opened_at = None
+            self._probing_at = None
+        if transition is not None:
+            self._transition(transition)
+
+    def allow(self) -> bool:
+        """Atomically decide whether this caller may run the primary.
+
+        Closed: always True.  Open (cooldown running): False.  Half-open:
+        True for exactly one caller — the first claims the probe slot,
+        concurrent callers get False until the probe resolves via
+        :meth:`record_success`/:meth:`record_failure` or its claim
+        expires after ``cooldown_s``.
+        """
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            now = self._clock()
+            if (now - self._opened_at) < self.cooldown_s:
+                return False
+            if (
+                self._probing_at is not None
+                and (now - self._probing_at) < self.cooldown_s
+            ):
+                return False
+            self._probing_at = now
+            return True
 
     def _transition(self, to: str) -> None:
         recorder = get_recorder()
@@ -75,23 +121,31 @@ class CircuitBreaker:
                 cooldown_s=self.cooldown_s,
             )
 
+    def _cooling(self) -> bool:
+        # caller holds the lock
+        if self._opened_at is None:
+            return False
+        return (self._clock() - self._opened_at) < self.cooldown_s
+
     def is_open(self) -> bool:
         """True while the primary should be skipped.
 
         Returns False once the cooldown has elapsed — that lets exactly
         the callers who check through; a failure on that half-open trial
-        re-arms the cooldown via :meth:`record_failure`.
+        re-arms the cooldown via :meth:`record_failure`.  Concurrency-
+        aware callers should prefer :meth:`allow`, which additionally
+        serializes the half-open trial to a single probe.
         """
-        if self._opened_at is None:
-            return False
-        return (self._clock() - self._opened_at) < self.cooldown_s
+        with self._lock:
+            return self._cooling()
 
     @property
     def state(self) -> str:
         """``"closed"``, ``"open"`` or ``"half-open"`` (for diagnostics)."""
-        if self._opened_at is None:
-            return "closed"
-        return "open" if self.is_open() else "half-open"
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            return "open" if self._cooling() else "half-open"
 
     def __repr__(self) -> str:
         return (

@@ -284,7 +284,7 @@ class SolverHarness(Solver):
         if (
             self.breaker is not None
             and len(chain) > 1
-            and self.breaker.is_open()
+            and not self.breaker.allow()
         ):
             for solver in chain[:-1]:
                 attempts.append(Attempt(solver.name, "skipped", 0.0, detail="circuit open"))

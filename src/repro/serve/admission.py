@@ -1,0 +1,102 @@
+"""Admission control: bounded queues, load shedding, never a hang.
+
+The server dispatches solver work to a thread pool; without a bound, a
+burst simply queues behind the executor and every tenant's latency
+grows without limit.  :class:`AdmissionController` keeps two small
+counters under one lock — pending work per tenant and pending work in
+total — and refuses new work the moment either bound is hit:
+
+* a tenant exceeding its own queue depth is shed with **429** (its
+  neighbours are unaffected — per-tenant isolation);
+* the global bound tripping is shed with **503** (the whole box is
+  saturated; ``Retry-After`` tells clients when to come back).
+
+Shedding is decided *before* the request touches tenant state or the
+executor, so a rejected request costs microseconds, and the executor's
+queue can never hold more than ``max_total`` entries.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.common.errors import ValidationError
+
+__all__ = ["AdmissionController", "SHED_STATUS"]
+
+#: shed reason -> HTTP status
+SHED_STATUS = {"tenant_queue": 429, "overload": 503}
+
+
+class AdmissionController:
+    """Per-tenant and global pending-work bounds with O(1) decisions."""
+
+    def __init__(self, queue_depth: int, max_total: int) -> None:
+        if queue_depth < 1:
+            raise ValidationError(f"queue_depth must be >= 1, got {queue_depth}")
+        if max_total < queue_depth:
+            raise ValidationError(
+                f"max_total ({max_total}) must be >= queue_depth ({queue_depth})"
+            )
+        self.queue_depth = queue_depth
+        self.max_total = max_total
+        self._pending: dict[str, int] = {}
+        self._total = 0
+        self.shed = {"tenant_queue": 0, "overload": 0}
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tenant: str) -> str | None:
+        """Admit one unit of work for ``tenant``.
+
+        Returns ``None`` on admission (the caller *must* pair it with
+        :meth:`release`), or the shed reason (``"tenant_queue"`` /
+        ``"overload"``) when the request must be rejected.
+        """
+        with self._lock:
+            if self._total >= self.max_total:
+                self.shed["overload"] += 1
+                return "overload"
+            pending = self._pending.get(tenant, 0)
+            if pending >= self.queue_depth:
+                self.shed["tenant_queue"] += 1
+                return "tenant_queue"
+            self._pending[tenant] = pending + 1
+            self._total += 1
+            return None
+
+    def release(self, tenant: str) -> None:
+        """Return one admitted unit; the counters can never go negative."""
+        with self._lock:
+            pending = self._pending.get(tenant, 0)
+            if pending <= 1:
+                self._pending.pop(tenant, None)
+            else:
+                self._pending[tenant] = pending - 1
+            if pending > 0:
+                self._total -= 1
+
+    @property
+    def total_pending(self) -> int:
+        with self._lock:
+            return self._total
+
+    def pending_for(self, tenant: str) -> int:
+        with self._lock:
+            return self._pending.get(tenant, 0)
+
+    def snapshot(self) -> dict:
+        """JSON-safe counters for ``/status`` and health probes."""
+        with self._lock:
+            return {
+                "pending": self._total,
+                "queue_depth": self.queue_depth,
+                "max_total": self.max_total,
+                "shed": dict(self.shed),
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"AdmissionController(pending={self._total}/{self.max_total}, "
+                f"per_tenant<={self.queue_depth})"
+            )

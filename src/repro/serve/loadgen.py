@@ -1,0 +1,258 @@
+"""Load generator: N concurrent tenants hammering one server.
+
+The client half of the serving benchmark and the end-to-end tests: each
+simulated tenant opens one keep-alive connection, ingests a few batches
+of schema-valid random queries, then issues solves, recording per-
+request latency and status code.  Shed responses (429/503) are retried
+with a short backoff up to a bounded count — the workload measures a
+server under pressure, and the contract is *bounded* rejection, never a
+hang — and every shed is tallied in the report.
+
+Everything is stdlib asyncio over raw streams; determinism comes from
+seeding each tenant's query generator with ``seed + tenant index``, so
+a run's final solve answers are reproducible and comparable against a
+serial :class:`~repro.simulate.monitor.VisibilityMonitor` replay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["LoadReport", "TenantResult", "percentile", "run_load", "run_load_sync"]
+
+#: bounded retries for shed responses before the tenant gives up
+MAX_SHED_RETRIES = 50
+RETRY_BACKOFF_S = 0.01
+
+
+class HttpClient:
+    """One keep-alive connection speaking just enough HTTP/1.1."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout_s
+        )
+
+    async def request(self, method: str, path: str, payload: dict | None = None):
+        """Returns ``(status_code, decoded_body)``; body is a dict for
+        JSON responses, text otherwise."""
+        if self._writer is None:
+            await self.connect()
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Content-Type: application/json\r\n\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await asyncio.wait_for(self._writer.drain(), self.timeout_s)
+        return await asyncio.wait_for(self._read_response(), self.timeout_s)
+
+    async def _read_response(self):
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split(b" ", 2)[1])
+        length = 0
+        content_type = ""
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                length = int(value.strip())
+            elif name == "content-type":
+                content_type = value.strip()
+        raw = await self._reader.readexactly(length) if length else b""
+        if content_type.startswith("application/json"):
+            return status, json.loads(raw.decode() or "null")
+        return status, raw.decode()
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._reader = None
+
+
+@dataclass
+class TenantResult:
+    """What one simulated tenant saw."""
+
+    name: str
+    queries: list[int] = field(default_factory=list)
+    solve: dict | None = None
+    sheds: int = 0
+    gave_up: bool = False
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load run."""
+
+    tenants: int
+    requests: int
+    codes: dict[int, int]
+    sheds: int
+    gave_up: int
+    elapsed_s: float
+    solve_latencies_s: list[float]
+    results: dict[str, TenantResult]
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def latency_quantiles(self) -> dict[str, float]:
+        ordered = sorted(self.solve_latencies_s)
+        return {
+            "p50_s": percentile(ordered, 0.50),
+            "p95_s": percentile(ordered, 0.95),
+            "p99_s": percentile(ordered, 0.99),
+        }
+
+    def summary(self) -> dict:
+        return {
+            "tenants": self.tenants,
+            "requests": self.requests,
+            "codes": {str(code): n for code, n in sorted(self.codes.items())},
+            "sheds": self.sheds,
+            "gave_up": self.gave_up,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "throughput_rps": round(self.throughput_rps, 1),
+            **{k: round(v, 6) for k, v in self.latency_quantiles().items()},
+        }
+
+
+def percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0.0 if empty)."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def tenant_queries(index: int, seed: int, width: int, count: int) -> list[int]:
+    """The deterministic query stream of tenant ``index``."""
+    rng = random.Random(seed * 100_003 + index)
+    full = (1 << width) - 1
+    return [rng.randint(1, full) for _ in range(count)]
+
+
+async def _drive_tenant(
+    host, port, index, *, seed, width, queries_per_tenant, batch_size,
+    new_tuple, budget, deadline_ms, chain, record,
+):
+    name = f"tenant-{index:04d}"
+    result = TenantResult(name=name)
+    result.queries = tenant_queries(index, seed, width, queries_per_tenant)
+    client = HttpClient(host, port)
+    try:
+        for start in range(0, len(result.queries), batch_size):
+            batch = result.queries[start:start + batch_size]
+            await _with_retries(
+                client, "POST", "/ingest",
+                {"tenant": name, "queries": batch}, result, record,
+            )
+        payload = {"tenant": name, "new_tuple": new_tuple, "budget": budget}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if chain is not None:
+            payload["chain"] = list(chain)
+        status, body = await _with_retries(
+            client, "POST", "/solve", payload, result, record, timed=True
+        )
+        if status == 200:
+            result.solve = body
+    except (ConnectionError, asyncio.TimeoutError, OSError):
+        result.gave_up = True
+    finally:
+        client.close()
+    return result
+
+
+async def _with_retries(client, method, path, payload, result, record,
+                        timed=False):
+    loop = asyncio.get_running_loop()
+    for attempt in range(MAX_SHED_RETRIES + 1):
+        start = loop.time()
+        status, body = await client.request(method, path, payload)
+        elapsed = loop.time() - start
+        record(status, elapsed if (timed and status == 200) else None)
+        if status not in (429, 503):
+            return status, body
+        result.sheds += 1
+        if attempt == MAX_SHED_RETRIES:
+            result.gave_up = True
+            return status, body
+        await asyncio.sleep(RETRY_BACKOFF_S * (1 + attempt % 5))
+    raise AssertionError("unreachable")
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    tenants: int = 100,
+    width: int = 12,
+    queries_per_tenant: int = 64,
+    batch_size: int = 32,
+    budget: int = 3,
+    new_tuple: int | None = None,
+    deadline_ms: float | None = None,
+    chain: tuple[str, ...] | None = None,
+    seed: int = 7,
+) -> LoadReport:
+    """Drive ``tenants`` concurrent clients against a running server."""
+    codes: dict[int, int] = {}
+    solve_latencies: list[float] = []
+    requests = 0
+
+    def record(status: int, solve_elapsed: float | None) -> None:
+        nonlocal requests
+        requests += 1
+        codes[status] = codes.get(status, 0) + 1
+        if solve_elapsed is not None:
+            solve_latencies.append(solve_elapsed)
+
+    target = new_tuple if new_tuple is not None else (1 << width) - 1
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    results = await asyncio.gather(*(
+        _drive_tenant(
+            host, port, index,
+            seed=seed, width=width, queries_per_tenant=queries_per_tenant,
+            batch_size=batch_size, new_tuple=target, budget=budget,
+            deadline_ms=deadline_ms, chain=chain, record=record,
+        )
+        for index in range(tenants)
+    ))
+    elapsed = loop.time() - started
+    return LoadReport(
+        tenants=tenants,
+        requests=requests,
+        codes=codes,
+        sheds=sum(r.sheds for r in results),
+        gave_up=sum(1 for r in results if r.gave_up),
+        elapsed_s=elapsed,
+        solve_latencies_s=solve_latencies,
+        results={r.name: r for r in results},
+    )
+
+
+def run_load_sync(host: str, port: int, **kwargs) -> LoadReport:
+    """Synchronous wrapper for benchmarks and the CLI."""
+    return asyncio.run(run_load(host, port, **kwargs))

@@ -1,0 +1,146 @@
+"""Wire protocol of the serving layer: JSON bodies in, JSON bodies out.
+
+Requests and responses are deliberately plain: masks travel as the
+integer bitmasks the whole codebase computes on, attribute names ride
+along in responses for humans.  Parsing is strict — an unknown field,
+a mask outside the schema, or an oversized batch is a 400 before any
+tenant state is touched.
+
+:class:`ProtocolError` carries the HTTP status so the app layer can
+translate validation failures into responses without a taxonomy of
+exception classes.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+
+__all__ = [
+    "IngestRequest",
+    "ProtocolError",
+    "SolveRequest",
+    "parse_ingest",
+    "parse_solve",
+]
+
+#: DNS-label-ish tenant names: they double as store sub-directory names
+TENANT_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9_.-]{0,63}\Z")
+
+#: upper bound on one ingest batch (keeps a single request's executor
+#: slice small; bigger streams arrive as multiple requests)
+MAX_INGEST_BATCH = 10_000
+
+_SOLVE_FIELDS = {"tenant", "new_tuple", "budget", "deadline_ms", "chain"}
+_INGEST_FIELDS = {"tenant", "queries"}
+
+
+class ProtocolError(Exception):
+    """A request the protocol refuses; ``status`` is the HTTP code."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    tenant: str
+    new_tuple: int
+    budget: int
+    deadline_ms: float | None
+    chain: tuple[str, ...] | None
+
+
+@dataclass(frozen=True)
+class IngestRequest:
+    tenant: str
+    queries: tuple[int, ...]
+
+
+def parse_body(raw: bytes) -> dict:
+    """Decode a request body into a JSON object or raise a 400."""
+    try:
+        payload = json.loads(raw.decode("utf-8") if raw else "")
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"invalid JSON body: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("request body must be a JSON object")
+    return payload
+
+
+def _tenant(payload: dict) -> str:
+    tenant = payload.get("tenant")
+    if not isinstance(tenant, str) or not TENANT_RE.match(tenant):
+        raise ProtocolError(
+            "tenant must match [A-Za-z0-9][A-Za-z0-9_.-]{0,63}"
+        )
+    return tenant
+
+
+def _mask(value: object, field: str, width: int) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(f"{field} must be an integer bitmask")
+    if value < 0 or value >= (1 << width):
+        raise ProtocolError(
+            f"{field} {value} out of range for schema width {width}"
+        )
+    return value
+
+
+def _reject_unknown(payload: dict, allowed: set[str]) -> None:
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ProtocolError(f"unknown fields: {', '.join(unknown)}")
+
+
+def parse_solve(raw: bytes, width: int) -> SolveRequest:
+    """Validate a ``POST /solve`` body against the server's schema width."""
+    payload = parse_body(raw)
+    _reject_unknown(payload, _SOLVE_FIELDS)
+    tenant = _tenant(payload)
+    if "new_tuple" not in payload or "budget" not in payload:
+        raise ProtocolError("solve needs new_tuple and budget")
+    new_tuple = _mask(payload["new_tuple"], "new_tuple", width)
+    budget = payload["budget"]
+    if not isinstance(budget, int) or isinstance(budget, bool) or budget < 0:
+        raise ProtocolError("budget must be a non-negative integer")
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if (
+            not isinstance(deadline_ms, (int, float))
+            or isinstance(deadline_ms, bool)
+            or deadline_ms <= 0
+        ):
+            raise ProtocolError("deadline_ms must be a positive number")
+        deadline_ms = float(deadline_ms)
+    chain = payload.get("chain")
+    if chain is not None:
+        if (
+            not isinstance(chain, list)
+            or not chain
+            or not all(isinstance(name, str) and name for name in chain)
+        ):
+            raise ProtocolError("chain must be a non-empty list of solver names")
+        chain = tuple(chain)
+    return SolveRequest(tenant, new_tuple, budget, deadline_ms, chain)
+
+
+def parse_ingest(raw: bytes, width: int) -> IngestRequest:
+    """Validate a ``POST /ingest`` body against the server's schema width."""
+    payload = parse_body(raw)
+    _reject_unknown(payload, _INGEST_FIELDS)
+    tenant = _tenant(payload)
+    queries = payload.get("queries")
+    if not isinstance(queries, list) or not queries:
+        raise ProtocolError("queries must be a non-empty list of bitmasks")
+    if len(queries) > MAX_INGEST_BATCH:
+        raise ProtocolError(
+            f"batch of {len(queries)} exceeds the {MAX_INGEST_BATCH} limit",
+            status=413,
+        )
+    masks = tuple(
+        _mask(query, f"queries[{i}]", width) for i, query in enumerate(queries)
+    )
+    return IngestRequest(tenant, masks)

@@ -1,0 +1,289 @@
+"""Per-tenant namespaces: one stream, cache, breaker and harness each.
+
+A :class:`Tenant` is the unit of isolation: its sliding window, solve
+cache and circuit breaker are private, so one tenant's query drift,
+cache churn or failing exact tier never leaks into a neighbour's
+answers.  All tenant state mutates under a per-tenant lock —
+:class:`~repro.stream.StreamingLog` is single-writer by design, and the
+serving layer runs solves on a thread pool — so concurrent requests for
+the *same* tenant serialize while different tenants proceed in
+parallel.
+
+With a ``store_dir``, each tenant's window lives in its own
+sub-directory as a :class:`~repro.store.DurableStreamingLog`; an
+existing store is resumed through :func:`repro.store.recovery.recover`
+on first touch, so a restarted server picks up every tenant's window
+where the crash left it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.booldata.schema import Schema
+from repro.common.errors import ValidationError
+from repro.core.registry import DEFAULT_FALLBACK_CHAIN
+from repro.obs.recorder import get_recorder
+from repro.runtime import CircuitBreaker, SolverHarness
+from repro.serve.protocol import IngestRequest, ProtocolError, SolveRequest
+from repro.store import DurableStreamingLog, StoreConfig, recover
+from repro.stream import SolveCache, StreamingLog
+
+__all__ = ["Tenant", "TenantManager", "TenantConfig"]
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Shared knobs every tenant namespace is built from."""
+
+    schema: Schema
+    window_size: int = 512
+    compact_threshold: float = 0.5
+    cache_size: int = 64
+    kernel: str | None = None
+    chain: tuple[str, ...] = DEFAULT_FALLBACK_CHAIN
+    engine: str | None = None
+    deadline_ms: float | None = 250.0
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 5.0
+    store_dir: Path | None = None
+    store_config: StoreConfig | None = None
+    clock: object = field(default=time.monotonic, compare=False)
+
+
+class Tenant:
+    """One tenant's stream + cache + breaker-guarded solver harness."""
+
+    def __init__(self, name: str, config: TenantConfig) -> None:
+        self.name = name
+        self.config = config
+        self.lock = threading.Lock()
+        self.solves = 0
+        self.ingested = 0
+        self.created_s = time.time()
+        if config.store_dir is not None:
+            directory = config.store_dir / name
+            if directory.exists() and any(directory.iterdir()):
+                self.stream, self.recovery = recover(
+                    directory,
+                    kernel=config.kernel,
+                    config=config.store_config,
+                )
+            else:
+                self.stream = DurableStreamingLog(
+                    config.schema,
+                    directory,
+                    window_size=config.window_size,
+                    compact_threshold=config.compact_threshold,
+                    kernel=config.kernel,
+                    config=config.store_config,
+                )
+                self.recovery = None
+        else:
+            self.stream = StreamingLog(
+                config.schema,
+                window_size=config.window_size,
+                compact_threshold=config.compact_threshold,
+                kernel=config.kernel,
+            )
+            self.recovery = None
+        self.cache = SolveCache(
+            self.stream,
+            capacity=config.cache_size,
+            stale_while_revalidate=True,
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_threshold,
+            cooldown_s=config.breaker_cooldown_s,
+            clock=config.clock,
+        )
+        self._harnesses: dict[tuple[str, ...], SolverHarness] = {}
+
+    # -- solver plumbing ---------------------------------------------------------
+
+    def harness_for(self, chain: tuple[str, ...] | None) -> SolverHarness:
+        """The memoized harness for ``chain`` (default chain on ``None``).
+
+        Every chain shares the tenant's breaker: a failing primary trips
+        it once, and every variant then skips straight to its terminal
+        tier until the cooldown elapses.
+        """
+        key = tuple(chain) if chain is not None else self.config.chain
+        harness = self._harnesses.get(key)
+        if harness is None:
+            try:
+                harness = SolverHarness(
+                    key,
+                    engine=self.config.engine,
+                    deadline_ms=self.config.deadline_ms,
+                    breaker=self.breaker if len(key) > 1 else None,
+                )
+            except ValidationError as error:
+                raise ProtocolError(str(error)) from None
+            self._harnesses[key] = harness
+        return harness
+
+    # -- request handlers (run on the executor, not the event loop) ---------------
+
+    def solve(self, request: SolveRequest) -> dict:
+        """Serve one solve; returns the JSON-safe response body."""
+        try:
+            self.config.schema.validate_mask(request.new_tuple)
+        except ValidationError as error:
+            raise ProtocolError(str(error)) from None
+        harness = self.harness_for(request.chain)
+        recorder = get_recorder()
+        start = time.perf_counter()
+        with self.lock:
+            if not len(self.stream):
+                raise ProtocolError(
+                    f"tenant {self.name!r} has no ingested queries to solve"
+                    " against",
+                    status=409,
+                )
+            deadline = (
+                request.deadline_ms if request.deadline_ms is not None else ...
+            )
+            outcome = self.cache.run(
+                request.new_tuple, request.budget, harness, deadline_ms=deadline
+            )
+            self.solves += 1
+            epoch = self.stream.epoch
+        elapsed = time.perf_counter() - start
+        if recorder.enabled:
+            recorder.observe("repro_serve_solve_seconds", elapsed)
+            recorder.count(
+                "repro_serve_solves_total", 1, {"status": outcome.status}
+            )
+        body = {
+            "tenant": self.name,
+            "status": outcome.status,
+            "epoch": epoch,
+            "window": len(self.stream),
+            "elapsed_s": round(elapsed, 6),
+        }
+        solution = outcome.solution
+        if solution is None:
+            body.update(keep_mask=None, satisfied=None, attributes=None)
+        else:
+            body.update(
+                keep_mask=solution.keep_mask,
+                satisfied=solution.satisfied,
+                attributes=self.config.schema.names_of(solution.keep_mask),
+                algorithm=solution.algorithm,
+                optimal=solution.optimal,
+            )
+        return body
+
+    def ingest(self, request: IngestRequest) -> dict:
+        """Append one batch; returns the JSON-safe response body."""
+        recorder = get_recorder()
+        start = time.perf_counter()
+        with self.lock:
+            evicted = self.stream.extend(request.queries)
+            self.ingested += len(request.queries)
+            epoch = self.stream.epoch
+            window = len(self.stream)
+        elapsed = time.perf_counter() - start
+        if recorder.enabled:
+            recorder.observe("repro_serve_ingest_seconds", elapsed)
+            recorder.count(
+                "repro_serve_ingested_queries_total", len(request.queries)
+            )
+        return {
+            "tenant": self.name,
+            "accepted": len(request.queries),
+            "evicted": len(evicted),
+            "epoch": epoch,
+            "window": window,
+        }
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def status(self) -> dict:
+        """JSON-safe summary for ``GET /status``."""
+        with self.lock:
+            return {
+                "window": len(self.stream),
+                "epoch": self.stream.epoch,
+                "solves": self.solves,
+                "ingested": self.ingested,
+                "breaker": self.breaker.state,
+                "cache": self.cache.stats(),
+                "durable": isinstance(self.stream, DurableStreamingLog),
+            }
+
+    def close(self) -> None:
+        """Flush and close the tenant's store (checkpoint when durable)."""
+        with self.lock:
+            if isinstance(self.stream, DurableStreamingLog) and len(self.stream):
+                self.stream.checkpoint(self.cache)
+            self.stream.close()
+
+
+class TenantManager:
+    """Creates tenants on first touch, bounded by ``max_tenants``."""
+
+    def __init__(self, config: TenantConfig, max_tenants: int = 256) -> None:
+        if max_tenants < 1:
+            raise ValidationError(f"max_tenants must be >= 1, got {max_tenants}")
+        self.config = config
+        self.max_tenants = max_tenants
+        self._tenants: dict[str, Tenant] = {}
+        self._lock = threading.Lock()
+
+    def get_or_create(self, name: str) -> Tenant:
+        """The tenant named ``name``, created on first use.
+
+        Raises :class:`ProtocolError` (429) when the namespace is full —
+        shedding *new* tenants keeps every existing tenant serviceable.
+        """
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is not None:
+                return tenant
+            if len(self._tenants) >= self.max_tenants:
+                raise ProtocolError(
+                    f"tenant limit ({self.max_tenants}) reached", status=429
+                )
+            tenant = Tenant(name, self.config)
+            self._tenants[name] = tenant
+            population = len(self._tenants)
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("repro_serve_tenants_created_total")
+            recorder.gauge("repro_serve_tenants", population)
+        return tenant
+
+    def get(self, name: str) -> Tenant | None:
+        with self._lock:
+            return self._tenants.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    def status(self) -> dict:
+        """Per-tenant summaries keyed by tenant name."""
+        with self._lock:
+            tenants = list(self._tenants.items())
+        return {name: tenant.status() for name, tenant in tenants}
+
+    def close_all(self) -> list[str]:
+        """Close every tenant (checkpointing durable ones); returns names."""
+        with self._lock:
+            tenants = list(self._tenants.items())
+            self._tenants.clear()
+        for _, tenant in tenants:
+            tenant.close()
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.gauge("repro_serve_tenants", 0)
+        return [name for name, _ in tenants]

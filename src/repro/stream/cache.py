@@ -17,10 +17,19 @@ serve the last-known-good keep-mask for the same ``(new_tuple, budget,
 chain)`` — re-evaluated against the *current* window, so the reported
 objective is honest even though the selection is old.  Such outcomes
 carry status ``"stale"`` and ``stats["stale"] = True`` on the solution.
+
+Thread-safety: all LRU/latest bookkeeping runs under one re-entrant
+lock, so concurrent callers (the serving layer dispatches per-tenant
+solves to a thread pool) can hit, miss, store, and evict without
+double-evicting or resurrecting dead-epoch entries.  The solver call
+itself runs *outside* the lock — two threads missing on the same key
+both solve and both store the same deterministic result, rather than
+serializing solves behind the cache.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import replace
@@ -64,6 +73,9 @@ class SolveCache:
         self.misses = 0
         self.stale_serves = 0
         self.evictions = 0
+        # guards _entries/_latest and the stat counters; re-entrant so a
+        # store can nest inside a locked helper without deadlock
+        self._lock = threading.RLock()
 
     # -- the two solve paths -----------------------------------------------------
 
@@ -117,7 +129,8 @@ class SolveCache:
             self._store(key, outcome, outcome.solution)
             return outcome
         latest_key = (new_tuple, budget, name)
-        latest = self._latest.get(latest_key)
+        with self._lock:
+            latest = self._latest.get(latest_key)
         if self.stale_while_revalidate and latest is not None:
             satisfied = problem.evaluate(latest.keep_mask)
             stale_solution = Solution(
@@ -129,7 +142,8 @@ class SolveCache:
                 stats={"stale": True},
             )
             outcome = replace(outcome, status=STALE_STATUS, solution=stale_solution)
-            self.stale_serves += 1
+            with self._lock:
+                self.stale_serves += 1
             recorder = get_recorder()
             if recorder.enabled:
                 recorder.count(
@@ -157,31 +171,38 @@ class SolveCache:
             )
         else:
             entry = self._touch(key)
-        if entry is not None:
-            self.hits += 1
-        else:
-            self.misses += 1
+        with self._lock:
+            if entry is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
         return entry
 
     def _touch(self, key: tuple):
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
 
     def _store(self, key: tuple, entry: object, solution: Solution) -> None:
-        self._insert(key, entry)
-        self._latest[(key[0], key[1], key[2])] = solution
+        with self._lock:
+            self._insert(key, entry)
+            self._latest[(key[0], key[1], key[2])] = solution
 
     def _insert(self, key: tuple, entry: object) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._evict_one()
-            self.evictions += 1
+        evicted = 0
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._evict_one()
+                self.evictions += 1
+                evicted += 1
+        if evicted:
             recorder = get_recorder()
             if recorder.enabled:
-                recorder.count("repro_stream_cache_evictions_total")
+                recorder.count("repro_stream_cache_evictions_total", evicted)
 
     def _evict_one(self) -> None:
         """Evict one entry, preferring dead epochs over live ones.
@@ -202,21 +223,24 @@ class SolveCache:
 
     def invalidate(self) -> None:
         """Drop every entry, including the last-known-good masks."""
-        self._entries.clear()
-        self._latest.clear()
+        with self._lock:
+            self._entries.clear()
+            self._latest.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> dict:
         """Counters for reports and tests."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stale_serves": self.stale_serves,
-            "evictions": self.evictions,
-            "entries": len(self._entries),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stale_serves": self.stale_serves,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+            }
 
     def __repr__(self) -> str:
         return (

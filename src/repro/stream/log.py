@@ -249,3 +249,13 @@ class StreamingLog:
         materialization (answers are live-masked; see
         :class:`DeltaVerticalIndex`)."""
         return self._delta
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the log; an in-memory window has nothing to flush.
+
+        Present so callers can close any stream uniformly —
+        :class:`~repro.store.DurableStreamingLog` overrides this to seal
+        its write-ahead log.
+        """

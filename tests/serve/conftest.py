@@ -1,0 +1,35 @@
+"""Shared plumbing for the serving-layer tests: a tiny sync HTTP client."""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+
+def request(
+    port: int,
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    host: str = "127.0.0.1",
+    timeout_s: float = 30.0,
+):
+    """One request against a running server; returns ``(status, body, headers)``.
+
+    ``body`` is a dict for JSON responses, text otherwise.
+    """
+    conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        raw = response.read()
+        headers = {k.lower(): v for k, v in response.getheaders()}
+        if headers.get("content-type", "").startswith("application/json"):
+            decoded = json.loads(raw.decode() or "null")
+        else:
+            decoded = raw.decode()
+        return response.status, decoded, headers
+    finally:
+        conn.close()

@@ -1,0 +1,120 @@
+"""Admission-control bounds: per-tenant 429, global 503, exact bookkeeping."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.serve.admission import SHED_STATUS, AdmissionController
+
+
+def test_constructor_validation():
+    with pytest.raises(ValidationError):
+        AdmissionController(0, 4)
+    with pytest.raises(ValidationError):
+        AdmissionController(4, 2)
+
+
+def test_tenant_bound_sheds_429():
+    admission = AdmissionController(queue_depth=2, max_total=10)
+    assert admission.try_acquire("a") is None
+    assert admission.try_acquire("a") is None
+    reason = admission.try_acquire("a")
+    assert reason == "tenant_queue"
+    assert SHED_STATUS[reason] == 429
+    # a neighbour is unaffected by a's saturation
+    assert admission.try_acquire("b") is None
+
+
+def test_global_bound_sheds_503():
+    admission = AdmissionController(queue_depth=2, max_total=3)
+    for tenant in ("a", "a", "b"):
+        assert admission.try_acquire(tenant) is None
+    reason = admission.try_acquire("c")
+    assert reason == "overload"
+    assert SHED_STATUS[reason] == 503
+    assert admission.snapshot()["shed"]["overload"] == 1
+
+
+def test_release_restores_capacity():
+    admission = AdmissionController(queue_depth=1, max_total=1)
+    assert admission.try_acquire("a") is None
+    assert admission.try_acquire("a") == "overload"  # global bound first
+    admission.release("a")
+    assert admission.try_acquire("a") is None
+    admission.release("a")
+    assert admission.total_pending == 0
+    assert admission.pending_for("a") == 0
+
+
+def test_release_never_goes_negative():
+    admission = AdmissionController(queue_depth=2, max_total=4)
+    admission.release("ghost")
+    admission.release("ghost")
+    assert admission.total_pending == 0
+    assert admission.try_acquire("ghost") is None
+    assert admission.total_pending == 1
+
+
+def test_snapshot_shape():
+    admission = AdmissionController(queue_depth=2, max_total=4)
+    admission.try_acquire("a")
+    snapshot = admission.snapshot()
+    assert snapshot == {
+        "pending": 1,
+        "queue_depth": 2,
+        "max_total": 4,
+        "shed": {"tenant_queue": 0, "overload": 0},
+    }
+
+
+def test_concurrent_acquire_admits_exactly_max_total():
+    """T threads fight for the global bound; admissions never exceed it."""
+    admission = AdmissionController(queue_depth=8, max_total=8)
+    threads = 16
+    barrier = threading.Barrier(threads)
+    admitted = []
+    lock = threading.Lock()
+
+    def worker(tenant: str) -> None:
+        barrier.wait()
+        reason = admission.try_acquire(tenant)
+        with lock:
+            admitted.append(reason)
+
+    pool = [
+        threading.Thread(target=worker, args=(f"t{i % 4}",))
+        for i in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+    assert admitted.count(None) == 8
+    assert admission.total_pending == 8
+    shed = admission.snapshot()["shed"]
+    assert shed["tenant_queue"] + shed["overload"] == 8
+
+
+def test_concurrent_acquire_release_converges_to_zero():
+    admission = AdmissionController(queue_depth=4, max_total=32)
+    rounds = 200
+
+    def worker(tenant: str) -> None:
+        for _ in range(rounds):
+            if admission.try_acquire(tenant) is None:
+                admission.release(tenant)
+
+    pool = [
+        threading.Thread(target=worker, args=(f"t{i % 3}",)) for i in range(8)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+    assert admission.total_pending == 0
+    assert all(admission.pending_for(f"t{i}") == 0 for i in range(3))

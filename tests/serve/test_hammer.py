@@ -1,0 +1,359 @@
+"""Thread-safety hammer tests: scrape-while-mutate and atomic transitions.
+
+These are the regression tests for the concurrency sweep behind the
+serving layer: obs primitives are scraped from one thread while worker
+threads mutate them, the solve cache is hit from a pool and must answer
+bit-identically to uncached serial solves, and the circuit breaker's
+half-open state must admit exactly one probe per cooldown window no
+matter how many threads race for it.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.booldata.schema import Schema
+from repro.core.problem import VisibilityProblem
+from repro.obs.events import EventJournal
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import Recorder
+from repro.obs.tracing import Tracer
+from repro.runtime import CircuitBreaker, SolverHarness
+from repro.stream import SolveCache, StreamingLog
+
+THREADS = 8
+
+
+def run_threads(target, count: int = THREADS, args_for=None):
+    barrier = threading.Barrier(count)
+
+    def wrapped(index: int) -> None:
+        barrier.wait()
+        target(*(args_for(index) if args_for else (index,)))
+
+    pool = [threading.Thread(target=wrapped, args=(i,)) for i in range(count)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+
+# -- metrics: scrape while mutating -------------------------------------------
+
+
+def test_metrics_scrape_while_mutate():
+    """Writers hammer counters/gauges/histograms while scrapers export.
+
+    The histogram observes a constant value, so any torn snapshot shows
+    up as ``sum != value * count``; the final totals must be exact.
+    """
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_ops_total", "Ops.", ("kind",))
+    gauge = registry.gauge("repro_test_level", "Level.", ())
+    histogram = registry.histogram("repro_test_seconds", "Latency.", ("kind",))
+    value = 0.125
+    per_thread = 400
+    stop = threading.Event()
+    torn = []
+
+    def scraper() -> None:
+        while not stop.is_set():
+            text = registry.to_prometheus()
+            assert "repro_test_ops_total" in text
+            for sample in histogram.sample_dicts():
+                if abs(sample["sum"] - value * sample["count"]) > 1e-9:
+                    torn.append(sample)
+            registry.snapshot()
+
+    scrapers = [threading.Thread(target=scraper) for _ in range(2)]
+    for thread in scrapers:
+        thread.start()
+
+    def writer(index: int) -> None:
+        kind = f"k{index % 2}"
+        for _ in range(per_thread):
+            counter.inc(1, {"kind": kind})
+            gauge.set(index)
+            histogram.observe(value, {"kind": kind})
+
+    try:
+        run_threads(writer)
+    finally:
+        stop.set()
+        for thread in scrapers:
+            thread.join()
+
+    assert torn == []
+    assert counter.total() == THREADS * per_thread
+    for sample in histogram.sample_dicts():
+        assert sample["sum"] == value * sample["count"]
+    counts = {
+        s["labels"]["kind"]: s["count"] for s in histogram.sample_dicts()
+    }
+    assert counts == {"k0": 4 * per_thread, "k1": 4 * per_thread}
+
+
+def test_counter_increments_are_never_lost():
+    """The classic lost-update race: N threads x M increments == N*M."""
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_total", "T.", ())
+    per_thread = 2000
+
+    def writer(_index: int) -> None:
+        for _ in range(per_thread):
+            counter.inc()
+
+    run_threads(writer)
+    assert counter.total() == THREADS * per_thread
+
+
+def test_event_journal_concurrent_record_and_tail():
+    journal = EventJournal(capacity=256)
+    per_thread = 300
+    stop = threading.Event()
+
+    def reader() -> None:
+        while not stop.is_set():
+            tail = journal.tail(50)
+            # sequence numbers are unique and ordered within a tail
+            seqs = [event.seq for event in tail]
+            assert seqs == sorted(seqs)
+            assert len(set(seqs)) == len(seqs)
+            journal.counts_by_kind()
+
+    scraper = threading.Thread(target=reader)
+    scraper.start()
+
+    def writer(index: int) -> None:
+        for i in range(per_thread):
+            journal.record(f"kind{index % 3}", step=i)
+
+    try:
+        run_threads(writer)
+    finally:
+        stop.set()
+        scraper.join()
+
+    assert journal.total == THREADS * per_thread
+    assert sum(journal.counts_by_kind().values()) == len(journal)
+
+
+def test_tracer_concurrent_spans_and_export():
+    tracer = Tracer(max_spans=10_000)
+    per_thread = 200
+    stop = threading.Event()
+
+    def reader() -> None:
+        while not stop.is_set():
+            for span in tracer.finished_spans():
+                assert span.status in {"ok", "error"}
+            tracer.to_dicts()
+
+    scraper = threading.Thread(target=reader)
+    scraper.start()
+
+    def writer(index: int) -> None:
+        for i in range(per_thread):
+            with tracer.span(f"work{index}", step=i):
+                pass
+
+    try:
+        run_threads(writer)
+    finally:
+        stop.set()
+        scraper.join()
+
+    finished = tracer.finished_spans()
+    assert len(finished) == THREADS * per_thread
+    assert len({span.span_id for span in finished}) == len(finished)
+
+
+def test_recorder_export_while_observing_windowed_histogram():
+    """End-to-end scrape path: export_prometheus against live observes."""
+    recorder = Recorder()
+    stop = threading.Event()
+
+    def scraper() -> None:
+        while not stop.is_set():
+            text = recorder.export_prometheus()
+            assert "repro_serve_solve_seconds" in text
+            recorder.export_json()
+
+    thread = threading.Thread(target=scraper)
+    thread.start()
+
+    def writer(index: int) -> None:
+        for _ in range(300):
+            recorder.observe("repro_serve_solve_seconds", 0.01)
+            recorder.count("repro_serve_solves_total", 1, {"status": "exact"})
+            recorder.event("serve.test", index=index)
+
+    try:
+        run_threads(writer)
+    finally:
+        stop.set()
+        thread.join()
+
+    assert recorder.metrics.counter_total("repro_serve_solves_total") == (
+        THREADS * 300
+    )
+
+
+# -- solve cache: concurrent hits are bit-identical ---------------------------
+
+
+def test_solve_cache_concurrent_hits_match_serial_solves():
+    """Property: under concurrency, cached answers equal uncached ones.
+
+    Rounds alternate a single-threaded window mutation (StreamingLog is
+    single-writer by design) with a multi-threaded solve burst; every
+    answer must be bit-identical to a fresh uncached harness run, and
+    the LRU bound must hold throughout.
+    """
+    rng = random.Random(42)
+    width = 6
+    schema = Schema.anonymous(width)
+    log = StreamingLog(schema, window_size=64)
+    cache = SolveCache(log, capacity=16)
+    # one harness per thread: the cache key only depends on the chain
+    harnesses = [
+        SolverHarness(("ConsumeAttrCumul",), deadline_ms=None)
+        for _ in range(THREADS)
+    ]
+    reference_harness = SolverHarness(("ConsumeAttrCumul",), deadline_ms=None)
+
+    for round_index in range(6):
+        log.extend([rng.getrandbits(width) or 1 for _ in range(10)])
+        requests = [
+            (rng.getrandbits(width), rng.randint(0, width)) for _ in range(8)
+        ]
+        # serial uncached reference answers for this window state
+        reference_log = StreamingLog(schema, window_size=64)
+        reference_log.extend(log.rows)
+        expected = {}
+        for new_tuple, budget in requests:
+            outcome = reference_harness.run(
+                VisibilityProblem.from_stream(reference_log, new_tuple, budget)
+            )
+            expected[(new_tuple, budget)] = (
+                outcome.solution.keep_mask,
+                outcome.solution.satisfied,
+            )
+
+        answers: dict[tuple, list] = {pair: [] for pair in requests}
+        lock = threading.Lock()
+
+        def worker(index: int) -> None:
+            for pair in requests:
+                outcome = cache.run(pair[0], pair[1], harnesses[index])
+                with lock:
+                    answers[pair].append(
+                        (outcome.solution.keep_mask, outcome.solution.satisfied)
+                    )
+
+        run_threads(worker)
+        assert len(cache) <= cache.capacity
+        for pair, seen in answers.items():
+            assert seen == [expected[pair]] * THREADS, (round_index, pair)
+
+    stats = cache.stats()
+    assert stats["hits"] + stats["misses"] == 6 * THREADS * 8
+    assert stats["entries"] <= cache.capacity
+
+
+# -- circuit breaker: single-probe half-open ----------------------------------
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def tripped_breaker(clock: FakeClock) -> CircuitBreaker:
+    breaker = CircuitBreaker(failure_threshold=3, cooldown_s=10.0, clock=clock)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == "open"
+    return breaker
+
+
+def race_allow(breaker: CircuitBreaker, threads: int = 16) -> int:
+    grants = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(threads)
+
+    def worker() -> None:
+        barrier.wait()
+        granted = breaker.allow()
+        with lock:
+            grants.append(granted)
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    return sum(grants)
+
+
+def test_breaker_half_open_admits_exactly_one_probe():
+    clock = FakeClock()
+    breaker = tripped_breaker(clock)
+    assert race_allow(breaker) == 0  # cooldown still running
+
+    clock.advance(10.0)
+    assert breaker.state == "half-open"
+    assert race_allow(breaker) == 1  # one probe, no matter the contention
+
+    # the probe failed: back to a full cooldown, nobody gets through
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert race_allow(breaker) == 0
+
+    clock.advance(10.0)
+    assert race_allow(breaker) == 1
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert race_allow(breaker) == 16  # closed admits everyone
+
+
+def test_breaker_lost_probe_self_expires():
+    """A claimed probe whose thread dies cannot wedge the breaker."""
+    clock = FakeClock()
+    breaker = tripped_breaker(clock)
+    clock.advance(10.0)
+    assert breaker.allow() is True  # probe claimed, never resolved
+    assert breaker.allow() is False  # slot held
+    clock.advance(10.0)
+    assert breaker.allow() is True  # claim expired; a new probe may run
+
+
+def test_breaker_chaos_never_corrupts_state():
+    """Random concurrent failure/success/allow traffic stays coherent."""
+    breaker = CircuitBreaker(failure_threshold=2, cooldown_s=0.001)
+
+    def worker(index: int) -> None:
+        rng = random.Random(index)
+        for _ in range(500):
+            roll = rng.random()
+            if roll < 0.4:
+                breaker.record_failure()
+            elif roll < 0.6:
+                breaker.record_success()
+            else:
+                breaker.allow()
+            assert breaker.state in {"closed", "open", "half-open"}
+            assert breaker.failures >= 0
+
+    run_threads(worker)
+    # terminal sanity: a success from quiescence closes it for good
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.allow() is True

@@ -1,0 +1,110 @@
+"""Strict-parsing contract of the wire protocol."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_INGEST_BATCH,
+    ProtocolError,
+    parse_ingest,
+    parse_solve,
+)
+
+WIDTH = 6
+
+
+def body(**fields) -> bytes:
+    return json.dumps(fields).encode()
+
+
+class TestParseSolve:
+    def test_minimal_valid(self):
+        request = parse_solve(body(tenant="t1", new_tuple=0b101, budget=2), WIDTH)
+        assert request.tenant == "t1"
+        assert request.new_tuple == 0b101
+        assert request.budget == 2
+        assert request.deadline_ms is None
+        assert request.chain is None
+
+    def test_full_valid(self):
+        request = parse_solve(
+            body(tenant="a.b-c_9", new_tuple=63, budget=0, deadline_ms=50,
+                 chain=["ILP", "ConsumeAttrCumul"]),
+            WIDTH,
+        )
+        assert request.deadline_ms == 50.0
+        assert request.chain == ("ILP", "ConsumeAttrCumul")
+
+    @pytest.mark.parametrize("raw", [b"", b"nonsense", b"[1, 2]", b'"str"'])
+    def test_non_object_bodies(self, raw):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_solve(raw, WIDTH)
+        assert excinfo.value.status == 400
+
+    @pytest.mark.parametrize("tenant", ["", "-leading", "a" * 65, "sp ace", 7, None])
+    def test_bad_tenant_names(self, tenant):
+        with pytest.raises(ProtocolError):
+            parse_solve(body(tenant=tenant, new_tuple=1, budget=1), WIDTH)
+
+    def test_missing_required_fields(self):
+        with pytest.raises(ProtocolError, match="new_tuple and budget"):
+            parse_solve(body(tenant="t", new_tuple=1), WIDTH)
+        with pytest.raises(ProtocolError, match="new_tuple and budget"):
+            parse_solve(body(tenant="t", budget=1), WIDTH)
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown fields: extra"):
+            parse_solve(body(tenant="t", new_tuple=1, budget=1, extra=1), WIDTH)
+
+    @pytest.mark.parametrize("mask", [-1, 1 << WIDTH, True, 1.5, "3"])
+    def test_mask_validation(self, mask):
+        with pytest.raises(ProtocolError):
+            parse_solve(body(tenant="t", new_tuple=mask, budget=1), WIDTH)
+
+    @pytest.mark.parametrize("budget", [-1, True, 1.5, "3", None])
+    def test_budget_validation(self, budget):
+        with pytest.raises(ProtocolError):
+            parse_solve(body(tenant="t", new_tuple=1, budget=budget), WIDTH)
+
+    @pytest.mark.parametrize("deadline", [0, -5, "fast", True])
+    def test_deadline_validation(self, deadline):
+        with pytest.raises(ProtocolError):
+            parse_solve(
+                body(tenant="t", new_tuple=1, budget=1, deadline_ms=deadline),
+                WIDTH,
+            )
+
+    @pytest.mark.parametrize("chain", [[], ["ok", ""], "ILP", [1], ["a", None]])
+    def test_chain_validation(self, chain):
+        with pytest.raises(ProtocolError):
+            parse_solve(
+                body(tenant="t", new_tuple=1, budget=1, chain=chain), WIDTH
+            )
+
+
+class TestParseIngest:
+    def test_valid_batch(self):
+        request = parse_ingest(body(tenant="t", queries=[1, 2, 63]), WIDTH)
+        assert request.queries == (1, 2, 63)
+
+    @pytest.mark.parametrize("queries", [None, [], "masks", 5])
+    def test_batch_shape(self, queries):
+        with pytest.raises(ProtocolError):
+            parse_ingest(body(tenant="t", queries=queries), WIDTH)
+
+    def test_member_masks_validated(self):
+        with pytest.raises(ProtocolError, match=r"queries\[1\]"):
+            parse_ingest(body(tenant="t", queries=[1, 1 << WIDTH]), WIDTH)
+
+    def test_oversized_batch_is_413(self):
+        queries = [1] * (MAX_INGEST_BATCH + 1)
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_ingest(body(tenant="t", queries=queries), WIDTH)
+        assert excinfo.value.status == 413
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown fields"):
+            parse_ingest(body(tenant="t", queries=[1], mode="fast"), WIDTH)

@@ -117,6 +117,24 @@ def test_store_workloads_smoke():
     assert warm["entries_restored"] >= 1
 
 
+def test_serve_workloads_smoke():
+    import serve_workload
+
+    load = serve_workload.measure_serve_load(
+        tenants=6, queries_per_tenant=8, batch_size=4, workers=2
+    )
+    assert load["answers_match"]
+    assert load["gave_up"] == 0
+    assert load["pending_after_drain"] == 0
+    shed = serve_workload.measure_shedding(
+        tenants=6, queries_per_tenant=8, batch_size=4,
+        workers=2, queue_depth=1, max_pending=1,
+    )
+    assert shed["all_tenants_served"]
+    assert shed["gave_up"] == 0
+    assert shed["pending_after_drain"] == 0
+
+
 def test_stream_workloads_smoke():
     import stream_workload
 

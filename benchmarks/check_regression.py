@@ -42,6 +42,12 @@ harness replay, a solve p99 above the recorded bar (or the baseline
 value times ``--factor``), a tenant whose bounded shed retries never
 landed, or a drain that left admissions pending.
 
+When ``BENCH_compete.json`` exists, additionally re-runs the
+competitive best-response suite and fails on a game that neither
+converged nor detected a cycle, a welfare or price-of-anarchy drift
+from the recorded values, a jobs=1/jobs=2 trajectory divergence, or a
+game slower than the baseline times ``--factor``.
+
 Finally runs ``ruff check`` over ``src``, ``tests`` and ``benchmarks``
 when ruff is available, so lint regressions fail the same gate.
 
@@ -51,7 +57,7 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py --factor 1.5
     PYTHONPATH=src python benchmarks/check_regression.py \
         --skip-runtime --skip-obs --skip-parallel --skip-stream \
-        --skip-kernel --skip-store --skip-serve --skip-lint
+        --skip-kernel --skip-store --skip-serve --skip-compete --skip-lint
 """
 
 from __future__ import annotations
@@ -76,6 +82,7 @@ STREAM_BASELINE = REPO_ROOT / "BENCH_stream.json"
 KERNEL_BASELINE = REPO_ROOT / "BENCH_kernel.json"
 STORE_BASELINE = REPO_ROOT / "BENCH_store.json"
 SERVE_BASELINE = REPO_ROOT / "BENCH_serve.json"
+COMPETE_BASELINE = REPO_ROOT / "BENCH_compete.json"
 #: the runtime PR's acceptance bars
 MAX_OVERHEAD_FRACTION = 0.05
 OVERHEAD_EPSILON_S = 0.003
@@ -472,6 +479,64 @@ def check_serve(failures: list[str], factor: float) -> None:
               f"{'' if not problems else ' ' + '; '.join(problems)}")
 
 
+def check_compete(failures: list[str], factor: float) -> None:
+    """Re-run the competitive-game suite against the recorded baseline."""
+    from compete_workload import MEASUREMENTS as COMPETE_MEASUREMENTS
+
+    baseline = json.loads(COMPETE_BASELINE.read_text())["results"]
+    for name, measure in COMPETE_MEASUREMENTS.items():
+        recorded = baseline.get(name)
+        if recorded is None:
+            print(f"~ {name}: not in baseline, skipping")
+            continue
+        fresh = measure()
+        problems = []
+        if fresh["workload"] == "sequential_game":
+            if not fresh["converged"] and fresh["cycle"] is None:
+                problems.append("game neither converged nor detected a cycle")
+            if fresh["final_welfare"] != recorded["final_welfare"]:
+                problems.append(
+                    f"welfare {fresh['final_welfare']} != recorded "
+                    f"{recorded['final_welfare']}"
+                )
+            if fresh["price_of_anarchy"] != recorded["price_of_anarchy"]:
+                problems.append(
+                    f"PoA {fresh['price_of_anarchy']} != recorded "
+                    f"{recorded['price_of_anarchy']}"
+                )
+            if fresh["game_s"] > recorded["game_s"] * factor:
+                problems.append(
+                    f"{fresh['game_s']:.3f}s > {factor:.1f}x recorded "
+                    f"{recorded['game_s']:.3f}s"
+                )
+            detail = (
+                f"{fresh['rounds']} rounds {fresh['game_s']:.3f}s "
+                f"welfare {fresh['final_welfare']:.0f} "
+                f"PoA {fresh['price_of_anarchy']}"
+            )
+        else:
+            if not fresh["trajectories_match"]:
+                problems.append("jobs=2 trajectory diverged from jobs=1")
+            if fresh["final_welfare"] != recorded["final_welfare"]:
+                problems.append(
+                    f"welfare {fresh['final_welfare']} != recorded "
+                    f"{recorded['final_welfare']}"
+                )
+            if fresh["jobs1_s"] > recorded["jobs1_s"] * factor:
+                problems.append(
+                    f"{fresh['jobs1_s']:.3f}s > {factor:.1f}x recorded "
+                    f"{recorded['jobs1_s']:.3f}s"
+                )
+            detail = (
+                f"jobs1 {fresh['jobs1_s']:.3f}s jobs2 {fresh['jobs2_s']:.3f}s "
+                f"trajectories {'match' if fresh['trajectories_match'] else 'DIVERGED'}"
+            )
+        for problem in problems:
+            failures.append(f"{name}: {problem}")
+        print(f"{'.' if not problems else 'x'} {name}: {detail}"
+              f"{'' if not problems else ' ' + '; '.join(problems)}")
+
+
 def check_lint(failures: list[str]) -> None:
     """Run ``ruff check`` when ruff is available in the environment."""
     if importlib.util.find_spec("ruff") is not None:
@@ -531,6 +596,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-serve", action="store_true",
         help="skip the multi-tenant serving checks",
+    )
+    parser.add_argument(
+        "--skip-compete", action="store_true",
+        help="skip the competitive best-response game checks",
     )
     parser.add_argument(
         "--skip-lint", action="store_true",
@@ -616,6 +685,12 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print("~ serve suite: no BENCH_serve.json baseline, skipping")
 
+    if not args.skip_compete:
+        if COMPETE_BASELINE.exists():
+            check_compete(failures, args.factor)
+        else:
+            print("~ compete suite: no BENCH_compete.json baseline, skipping")
+
     if not args.skip_lint:
         check_lint(failures)
 
@@ -626,7 +701,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(
         "\nvertical engine, runtime, telemetry, parallel, stream, kernels, "
-        "store, serve and lint within budget"
+        "store, serve, compete and lint within budget"
     )
     return 0
 

@@ -1,0 +1,146 @@
+"""Measurement harness for the competitive best-response game.
+
+Two questions, at a scale the gate can re-run in seconds:
+
+* **Sequential dynamics** — a seeded multi-seller game played to its
+  verdict: rounds to convergence, per-round latency, the equilibrium
+  welfare, and the price of anarchy / stability against the cooperative
+  bound.  The welfare and the ratios are pure functions of the seed, so
+  the gate treats them as drift checksums.
+* **Simultaneous fan-out** — the same game under the simultaneous
+  schedule at ``jobs=1`` (inline) and ``jobs=2`` (forked worker pool);
+  the trajectories must be bit-identical, per the engine's determinism
+  contract, and both sides' round latencies are recorded.
+
+Games run the cheap exact chain (``MaxFreqItemSets`` primary): it
+returns the same exact best responses as the ILP-first default on these
+widths at a fraction of the cost, keeping the suite fast and the
+checksums deterministic.
+
+Used by ``test_bench_compete.py`` (records ``BENCH_compete.json``) and
+``check_regression.py`` (re-runs and gates; ``--skip-compete`` opts
+out).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.compete import CompeteConfig, analyze_equilibria, make_scenario, play
+
+SEED = 42
+WIDTH = 12
+SELLERS = 3
+TRAFFIC = 400
+BUDGET = 4
+MAX_ROUNDS = 15
+CHAIN = ("MaxFreqItemSets", "ConsumeAttrCumul")
+
+
+def measure_sequential_game(
+    width: int = WIDTH,
+    sellers: int = SELLERS,
+    traffic: int = TRAFFIC,
+    max_rounds: int = MAX_ROUNDS,
+) -> dict:
+    """One seeded sequential game plus its equilibrium analytics."""
+    scenario = make_scenario(width, sellers, traffic, seed=SEED, budget=BUDGET)
+    config = CompeteConfig(
+        schedule="sequential", max_rounds=max_rounds, chain=CHAIN
+    )
+    start = time.perf_counter()
+    result = play(scenario.sellers, scenario.traffic, config)
+    game_s = time.perf_counter() - start
+    start = time.perf_counter()
+    report = analyze_equilibria(scenario.sellers, scenario.traffic, config)
+    analytics_s = time.perf_counter() - start
+    return {
+        "workload": "sequential_game",
+        "width": width,
+        "sellers": sellers,
+        "traffic": traffic,
+        "rounds": len(result.rounds),
+        "converged": result.converged,
+        "cycle": result.cycle,
+        "final_welfare": result.final.welfare,
+        "best_welfare": result.best_known.welfare,
+        "cooperative_welfare": report.cooperative_welfare,
+        "price_of_anarchy": (
+            None if report.price_of_anarchy is None
+            else round(report.price_of_anarchy, 6)
+        ),
+        "price_of_stability": (
+            None if report.price_of_stability is None
+            else round(report.price_of_stability, 6)
+        ),
+        "game_s": round(game_s, 6),
+        "round_s": round(
+            statistics.median(r.elapsed_s for r in result.rounds), 6
+        ),
+        "analytics_s": round(analytics_s, 6),
+    }
+
+
+def measure_simultaneous_equivalence(
+    width: int = WIDTH,
+    sellers: int = SELLERS,
+    traffic: int = TRAFFIC,
+    max_rounds: int = 8,
+) -> dict:
+    """jobs=1 vs jobs=2 simultaneous schedules: identical trajectories."""
+    scenario = make_scenario(width, sellers, traffic, seed=SEED, budget=BUDGET)
+
+    def side(jobs: int):
+        config = CompeteConfig(
+            schedule="simultaneous", max_rounds=max_rounds,
+            jobs=jobs, chain=CHAIN,
+        )
+        start = time.perf_counter()
+        result = play(scenario.sellers, scenario.traffic, config)
+        return result, time.perf_counter() - start
+
+    inline, inline_s = side(1)
+    forked, forked_s = side(2)
+    trajectories_match = (
+        [r.masks for r in inline.rounds] == [r.masks for r in forked.rounds]
+        and [r.payoffs for r in inline.rounds] == [r.payoffs for r in forked.rounds]
+    )
+    return {
+        "workload": "simultaneous_equivalence",
+        "width": width,
+        "sellers": sellers,
+        "traffic": traffic,
+        "rounds": len(inline.rounds),
+        "converged": inline.converged,
+        "final_welfare": inline.final.welfare,
+        "trajectories_match": trajectories_match,
+        "jobs1_s": round(inline_s, 6),
+        "jobs2_s": round(forked_s, 6),
+        "jobs1_round_s": round(
+            statistics.median(r.elapsed_s for r in inline.rounds), 6
+        ),
+    }
+
+
+#: name -> zero-argument measurement, the recorded competitive suite
+MEASUREMENTS = {
+    "sequential_game_3x400": measure_sequential_game,
+    "simultaneous_jobs_equivalence": measure_simultaneous_equivalence,
+}
+
+
+def run_suite() -> dict:
+    return {name: measure() for name, measure in MEASUREMENTS.items()}
+
+
+def suite_meta() -> dict:
+    return {
+        "seed": SEED,
+        "width": WIDTH,
+        "sellers": SELLERS,
+        "traffic": TRAFFIC,
+        "budget": BUDGET,
+        "max_rounds": MAX_ROUNDS,
+        "chain": list(CHAIN),
+    }

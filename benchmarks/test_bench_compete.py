@@ -1,0 +1,62 @@
+"""Benchmark: the competitive best-response game at gate scale.
+
+Records ``BENCH_compete.json`` at the repo root (the baseline that
+``check_regression.py`` guards).  The acceptance bars of the compete PR:
+
+* the seeded sequential game converges to a best-response fixed point
+  (or reports a cycle — this seed converges) and its price of anarchy /
+  stability are well-defined and >= 1;
+* the simultaneous schedule at ``jobs=2`` replays the ``jobs=1``
+  trajectory bit-for-bit.
+
+Run explicitly (the tier-1 suite does not collect ``benchmarks/``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_compete.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+from compete_workload import run_suite, suite_meta
+from repro.common.fsio import atomic_write_text
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_compete.json"
+
+
+def test_compete_game_and_equivalence():
+    results = run_suite()
+
+    game = results["sequential_game_3x400"]
+    assert game["converged"] or game["cycle"] is not None, (
+        "the seeded game neither converged nor detected a cycle"
+    )
+    assert game["converged"], "this seed is expected to reach a fixed point"
+    assert game["price_of_anarchy"] is not None
+    assert game["price_of_anarchy"] >= 1.0
+    assert 1.0 <= game["price_of_stability"] <= game["price_of_anarchy"]
+    assert game["cooperative_welfare"] >= game["final_welfare"]
+
+    equivalence = results["simultaneous_jobs_equivalence"]
+    assert equivalence["trajectories_match"], (
+        "jobs=2 produced a different trajectory than jobs=1"
+    )
+
+    payload = {
+        "meta": {**suite_meta(), "python": platform.python_version()},
+        "results": results,
+    }
+    atomic_write_text(BASELINE_PATH, json.dumps(payload, indent=2) + "\n")
+    print(
+        f"sequential_game_3x400: {game['rounds']} rounds in "
+        f"{game['game_s']:.2f}s (round median {game['round_s'] * 1000:.0f} ms), "
+        f"welfare {game['final_welfare']:.0f}, "
+        f"PoA {game['price_of_anarchy']:.3f} PoS {game['price_of_stability']:.3f}"
+    )
+    print(
+        f"simultaneous_jobs_equivalence: jobs1 {equivalence['jobs1_s']:.2f}s "
+        f"jobs2 {equivalence['jobs2_s']:.2f}s, trajectories "
+        f"{'match' if equivalence['trajectories_match'] else 'DIVERGED'}"
+    )

@@ -11,6 +11,8 @@ code::
     python -m repro inventory --log queries.csv --database cars.csv \
         --budget 3 --jobs 4
     python -m repro stream --window 500 --cache-size 64 --deadline-ms 250
+    python -m repro compete --sellers 3 --rounds 20 --schedule sequential \
+        --payoff impressions --seed 7
 
 ``--log`` accepts a ``.csv`` (0/1 matrix with header) or ``.json``
 (attribute-name rows) file; the new tuple is either a comma-separated
@@ -356,6 +358,122 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(stream)
 
+    compete = commands.add_parser(
+        "compete",
+        help="play the adversarial multi-seller visibility game",
+        epilog=_EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    compete.add_argument(
+        "--sellers", type=int, default=3,
+        help="competing sellers in the scenario (default 3)",
+    )
+    compete.add_argument(
+        "--width", type=int, default=12, help="schema width (default 12)"
+    )
+    compete.add_argument(
+        "--traffic", type=int, default=400,
+        help="queries in the seeded traffic log (default 400)",
+    )
+    compete.add_argument(
+        "--budget", "-m", type=int, default=None,
+        help="attributes each seller may retain (default: width // 2)",
+    )
+    compete.add_argument(
+        "--rounds", type=int, default=20,
+        help="best-response round cap (default 20)",
+    )
+    compete.add_argument(
+        "--schedule",
+        choices=("sequential", "simultaneous"),
+        default="sequential",
+        help="sellers respond in turn (sequential, default) or all at "
+        "once against the previous round's profile (simultaneous)",
+    )
+    compete.add_argument(
+        "--payoff",
+        choices=("impressions", "revenue", "diversity"),
+        default="impressions",
+        help="seller objective: raw impressions (default), revenue net "
+        "of per-attribute disclosure costs, or diversity-discounted "
+        "impressions",
+    )
+    compete.add_argument(
+        "--cost-scale",
+        dest="cost_scale",
+        type=float,
+        default=0.0,
+        help="draw per-attribute disclosure costs uniformly from "
+        "[0, SCALE) for the revenue payoff (default 0: free)",
+    )
+    compete.add_argument(
+        "--diversity-penalty",
+        dest="diversity_penalty",
+        type=float,
+        default=0.5,
+        help="overlap penalty per shared attribute for the diversity "
+        "payoff (default 0.5)",
+    )
+    compete.add_argument(
+        "--page-size",
+        dest="page_size",
+        type=int,
+        default=None,
+        help="top-k impression model: result-page slots per query "
+        "(default: Boolean tie-splitting)",
+    )
+    compete.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for simultaneous best responses "
+        "(default 1: inline; any value is bit-identical to 1)",
+    )
+    compete.add_argument(
+        "--chain",
+        default=None,
+        metavar="CHAIN",
+        help="best-response fallback chain, comma-separated primary "
+        "first (default ILP,MaxFreqItemSets,ConsumeAttrCumul)",
+    )
+    compete.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="evaluation engine for solver inner loops (default: "
+        "registry default)",
+    )
+    compete.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default=None,
+        help="bitmap kernel for derived best-response problems "
+        "(default: problem default)",
+    )
+    compete.add_argument(
+        "--deadline-ms",
+        dest="deadline_ms",
+        type=float,
+        default=None,
+        help="per-best-response wall-clock budget through the anytime "
+        "harness (note: bounds solve time, so replays may differ)",
+    )
+    compete.add_argument("--seed", type=int, default=0, help="scenario seed")
+    compete.add_argument(
+        "--restarts",
+        type=int,
+        default=None,
+        help="restart count for equilibrium analytics (sequential "
+        "schedules rotate the response order; default: one per seller)",
+    )
+    compete.add_argument(
+        "--no-analytics",
+        dest="no_analytics",
+        action="store_true",
+        help="skip the price-of-anarchy/-stability analysis after the game",
+    )
+    _add_telemetry_flags(compete)
+
     serve = commands.add_parser(
         "serve",
         help="run the multi-tenant visibility server",
@@ -407,6 +525,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="pending requests across all tenants before shedding with "
         "503 (default: 4x --workers)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        dest="rate_limit",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="per-tenant token-bucket rate limit in requests/second; "
+        "tenants over it are shed with 429 before occupying a queue "
+        "slot (default: unlimited)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        dest="rate_burst",
+        type=int,
+        default=None,
+        metavar="N",
+        help="token-bucket burst size for --rate-limit "
+        "(default: ceil of the rate)",
     )
     serve.add_argument(
         "--deadline-ms",
@@ -904,6 +1041,88 @@ def _run_stream(args) -> int:
     return 0
 
 
+def _run_compete(args) -> int:
+    from repro.compete import CompeteConfig, analyze_equilibria, make_scenario, play
+
+    chain = None
+    if args.chain is not None:
+        chain = tuple(name.strip() for name in args.chain.split(",") if name.strip())
+        if not chain:
+            raise ValidationError("--chain needs at least one algorithm name")
+    kwargs = {}
+    if chain is not None:
+        kwargs["chain"] = chain
+    config = CompeteConfig(
+        schedule=args.schedule,
+        max_rounds=args.rounds,
+        payoff=args.payoff,
+        page_size=args.page_size,
+        jobs=args.jobs,
+        engine=args.engine,
+        kernel=args.kernel,
+        deadline_ms=args.deadline_ms,
+        diversity_penalty=args.diversity_penalty,
+        **kwargs,
+    )
+    scenario = make_scenario(
+        args.width,
+        args.sellers,
+        args.traffic,
+        seed=args.seed,
+        budget=args.budget,
+        cost_scale=args.cost_scale,
+    )
+    with _telemetry_scope(
+        args, "cli.compete", max_spans=4096,
+        sellers=args.sellers, schedule=args.schedule,
+    ):
+        result = play(scenario.sellers, scenario.traffic, config)
+        model = "tie-split" if args.page_size is None else f"top-{args.page_size}"
+        print(
+            f"compete: {len(scenario.sellers)} sellers, width {args.width}, "
+            f"traffic {len(scenario.traffic)}, schedule {config.schedule}, "
+            f"payoff {config.payoff}, impressions {model}, seed {args.seed}"
+        )
+        for record in result.rounds:
+            payoffs = ", ".join(f"{value:.2f}" for value in record.payoffs)
+            print(
+                f"round {record.number:>3}: welfare {record.welfare:.1f}  "
+                f"changed {record.changed}  payoffs [{payoffs}]"
+            )
+        if result.converged:
+            print(f"converged: best-response fixed point after {len(result.rounds)} rounds")
+        elif result.cycle is not None:
+            first, again = result.cycle
+            print(
+                f"cycle: round {again} revisited the profile of round {first} "
+                f"(length {result.cycle_length})"
+            )
+        else:
+            print(f"round cap: stopped after {len(result.rounds)} rounds")
+        best = result.best_known
+        print(f"best known: round {best.number}, welfare {best.welfare:.1f}")
+        for spec, mask in zip(scenario.sellers, result.final.masks):
+            kept = ", ".join(scenario.schema.names_of(mask)) or "(nothing)"
+            print(f"  {spec.name}: {kept}")
+        if not args.no_analytics:
+            report = analyze_equilibria(
+                scenario.sellers, scenario.traffic, config, restarts=args.restarts
+            )
+            print(
+                f"cooperative optimum: welfare {report.cooperative_welfare:.1f} "
+                f"({report.converged_games} equilibria, "
+                f"{report.cycling_games} cycling restarts)"
+            )
+            if report.price_of_anarchy is not None:
+                print(
+                    f"price of anarchy: {report.price_of_anarchy:.3f}  "
+                    f"price of stability: {report.price_of_stability:.3f}"
+                )
+            else:
+                print("price of anarchy: undefined (no converged equilibrium)")
+    return 0
+
+
 def _run_serve(args) -> int:
     import time
 
@@ -938,6 +1157,8 @@ def _run_serve(args) -> int:
         max_tenants=args.max_tenants,
         queue_depth=args.queue_depth,
         max_pending=args.max_pending,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
         workers=args.workers,
         store_dir=store_dir,
         store_config=store_config,
@@ -981,6 +1202,7 @@ def _run_serve(args) -> int:
         print(
             f"served {tenants} tenant(s); shed "
             f"{admission['shed']['tenant_queue']} (429) / "
+            f"{admission['shed']['rate_limit']} (429 rate) / "
             f"{admission['shed']['overload']} (503); clean shutdown"
         )
     return 0
@@ -1005,6 +1227,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_inventory(args)
         if args.command == "stream":
             return _run_stream(args)
+        if args.command == "compete":
+            return _run_compete(args)
         if args.command == "serve":
             return _run_serve(args)
         return _run_solve(args)

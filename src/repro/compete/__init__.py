@@ -1,0 +1,62 @@
+"""Adversarial multi-seller visibility: best-response dynamics.
+
+The paper optimizes one listing against a static query log; this package
+makes visibility *competitive*.  ``N`` sellers each hold a tuple and an
+attribute budget and repeatedly re-solve their
+:class:`~repro.core.problem.VisibilityProblem` against an impression
+model in which the rivals' currently-posted ads absorb query traffic
+(:mod:`repro.compete.impressions`): equal tie-splitting under Boolean
+retrieval, or top-k result-page slots under a global score.  The game
+engine (:mod:`repro.compete.engine`) plays sequential or simultaneous
+best-response rounds with fixed-point convergence detection, state-hash
+cycle detection and a round cap with ``best_known`` anytime semantics;
+:mod:`repro.compete.analytics` compares the reached equilibria against a
+cooperative optimum computed through the same solver registry (price of
+anarchy / price of stability).
+
+See ``docs/compete.md`` for the game model and the determinism
+contract, and ``python -m repro compete --help`` for the CLI.
+"""
+
+from repro.compete.analytics import EquilibriumReport, analyze_equilibria, cooperative_optimum
+from repro.compete.engine import CompeteConfig, GameResult, RoundRecord, best_response, play
+from repro.compete.impressions import (
+    ImpressionModel,
+    TieSplitModel,
+    TopKModel,
+    make_impression_model,
+)
+from repro.compete.payoffs import (
+    PAYOFFS,
+    DiversityPayoff,
+    ImpressionsPayoff,
+    Payoff,
+    RevenuePayoff,
+    make_payoff,
+)
+from repro.compete.scenario import Scenario, make_scenario
+from repro.compete.sellers import SellerSpec
+
+__all__ = [
+    "PAYOFFS",
+    "CompeteConfig",
+    "DiversityPayoff",
+    "EquilibriumReport",
+    "GameResult",
+    "ImpressionModel",
+    "ImpressionsPayoff",
+    "Payoff",
+    "RevenuePayoff",
+    "RoundRecord",
+    "Scenario",
+    "SellerSpec",
+    "TieSplitModel",
+    "TopKModel",
+    "analyze_equilibria",
+    "best_response",
+    "cooperative_optimum",
+    "make_impression_model",
+    "make_payoff",
+    "make_scenario",
+    "play",
+]

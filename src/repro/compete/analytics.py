@@ -1,0 +1,213 @@
+"""Equilibrium analytics: how bad is selfish attribute selection?
+
+The *cooperative optimum* is the best joint profile a central planner
+could post — computed here through the same solver registry the game
+uses: sellers are assigned greedily in several deterministic orders,
+each solving a residual problem over the queries (or top-k slots) the
+previous assignments left unclaimed, and the best of those profiles
+(plus every profile the dynamics themselves visited) is kept.  The
+result is a certified *lower bound* on the true optimum, which keeps
+the ratios conservative:
+
+* price of anarchy  = cooperative welfare / worst equilibrium welfare;
+* price of stability = cooperative welfare / best equilibrium welfare.
+
+Equilibria are the fixed points reached by best-response dynamics from
+deterministic restarts (rotated sequential response orders).  A game
+that only cycles contributes no equilibrium; the report then carries
+the cycle evidence instead of the ratios.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.booldata.table import BooleanTable
+from repro.compete.engine import CompeteConfig, GameResult, play
+from repro.compete.sellers import SellerSpec
+from repro.core.problem import VisibilityProblem
+from repro.stream.log import StreamingLog
+
+__all__ = ["EquilibriumReport", "analyze_equilibria", "cooperative_optimum"]
+
+
+def _matches(query: int, mask: int) -> bool:
+    return query & mask == query
+
+
+def _assignment_orders(count: int, limit: int = 4) -> list[list[int]]:
+    """Deterministic seller orders: rotations, newest-first last."""
+    base = list(range(count))
+    orders = [base[rotation:] + base[:rotation] for rotation in range(min(count, limit))]
+    reversed_base = base[::-1]
+    if reversed_base not in orders:
+        orders.append(reversed_base)
+    return orders
+
+
+def _greedy_assignment(
+    sellers: Sequence[SellerSpec],
+    traffic: BooleanTable,
+    config: CompeteConfig,
+    order: Sequence[int],
+) -> tuple[int, ...]:
+    """One cooperative profile: residual-coverage greedy in ``order``."""
+    from repro.runtime import make_harness
+
+    harness = make_harness(
+        config.chain, engine=config.engine, deadline_ms=config.deadline_ms
+    )
+    masks = [0] * len(sellers)
+    page_size = config.page_size
+    if page_size is None:
+        remaining = traffic.rows
+        for index in order:
+            spec = sellers[index]
+            problem = VisibilityProblem(
+                BooleanTable(traffic.schema, remaining), spec.new_tuple, spec.budget
+            )
+            outcome = harness.run(problem)
+            mask = (
+                outcome.solution.keep_mask
+                if outcome.solution is not None
+                else problem.pad_to_budget(0)
+            )
+            masks[index] = mask
+            remaining = [query for query in remaining if not _matches(query, mask)]
+    else:
+        rows = traffic.rows
+        slots = [0] * len(rows)
+        for index in order:
+            spec = sellers[index]
+            open_rows = [
+                query for query, used in zip(rows, slots) if used < page_size
+            ]
+            problem = VisibilityProblem(
+                BooleanTable(traffic.schema, open_rows), spec.new_tuple, spec.budget
+            )
+            outcome = harness.run(problem)
+            mask = (
+                outcome.solution.keep_mask
+                if outcome.solution is not None
+                else problem.pad_to_budget(0)
+            )
+            masks[index] = mask
+            for position, query in enumerate(rows):
+                if _matches(query, mask):
+                    slots[position] += 1
+    return tuple(masks)
+
+
+def cooperative_optimum(
+    sellers: Sequence[SellerSpec],
+    traffic: BooleanTable,
+    config: CompeteConfig,
+    extra_candidates: Sequence[Sequence[int]] = (),
+) -> tuple[tuple[int, ...], float]:
+    """Best known joint profile and its welfare (a certified lower bound).
+
+    ``extra_candidates`` lets the caller feed profiles the dynamics
+    visited, which guarantees the reported optimum is never worse than
+    any equilibrium it is compared against (so the ratios stay >= 1).
+    """
+    sellers = tuple(sellers)
+    model = config.impression_model()
+    best_masks: tuple[int, ...] | None = None
+    best_welfare = float("-inf")
+    candidates = [
+        _greedy_assignment(sellers, traffic, config, order)
+        for order in _assignment_orders(len(sellers))
+    ]
+    candidates.extend(tuple(candidate) for candidate in extra_candidates)
+    for masks in candidates:
+        welfare = model.welfare(traffic, masks)
+        if welfare > best_welfare:
+            best_masks, best_welfare = masks, welfare
+    assert best_masks is not None  # at least one greedy order always runs
+    return best_masks, best_welfare
+
+
+@dataclass(frozen=True)
+class EquilibriumReport:
+    """Cooperative bound vs the equilibria the dynamics reached."""
+
+    cooperative_masks: tuple[int, ...]
+    cooperative_welfare: float
+    equilibrium_welfares: tuple[float, ...]
+    games: tuple[GameResult, ...]
+    price_of_anarchy: float | None
+    price_of_stability: float | None
+
+    @property
+    def converged_games(self) -> int:
+        return sum(1 for game in self.games if game.converged)
+
+    @property
+    def cycling_games(self) -> int:
+        return sum(1 for game in self.games if game.cycle is not None)
+
+    def to_dict(self) -> dict:
+        return {
+            "cooperative_welfare": self.cooperative_welfare,
+            "cooperative_masks": list(self.cooperative_masks),
+            "equilibrium_welfares": list(self.equilibrium_welfares),
+            "converged_games": self.converged_games,
+            "cycling_games": self.cycling_games,
+            "price_of_anarchy": self.price_of_anarchy,
+            "price_of_stability": self.price_of_stability,
+        }
+
+
+def analyze_equilibria(
+    sellers: Sequence[SellerSpec],
+    traffic: BooleanTable | StreamingLog,
+    config: CompeteConfig,
+    restarts: int | None = None,
+) -> EquilibriumReport:
+    """Run restarts of the dynamics and price the reached equilibria.
+
+    Sequential restarts rotate the response order (different orders can
+    reach different fixed points); the simultaneous schedule is
+    order-free, so it plays a single game.  Analytics need a frozen
+    welfare target, so a streaming traffic source is snapshotted once
+    up front.
+    """
+    sellers = tuple(sellers)
+    if isinstance(traffic, StreamingLog):
+        traffic = traffic.snapshot()
+    if config.schedule == "simultaneous":
+        orders: list[Sequence[int] | None] = [None]
+    else:
+        count = len(sellers) if restarts is None else max(1, restarts)
+        base = list(range(len(sellers)))
+        orders = [
+            base[rotation % len(base):] + base[:rotation % len(base)]
+            for rotation in range(min(count, len(base)))
+        ]
+    games = tuple(
+        play(sellers, traffic, config, order=order) for order in orders
+    )
+
+    model = config.impression_model()
+    equilibria = [
+        model.welfare(traffic, game.final.masks)
+        for game in games
+        if game.converged
+    ]
+    visited = [game.best_known.masks for game in games]
+    cooperative_masks, cooperative_welfare = cooperative_optimum(
+        sellers, traffic, config, extra_candidates=visited
+    )
+    anarchy = stability = None
+    if equilibria and min(equilibria) > 0:
+        anarchy = cooperative_welfare / min(equilibria)
+        stability = cooperative_welfare / max(equilibria)
+    return EquilibriumReport(
+        cooperative_masks=cooperative_masks,
+        cooperative_welfare=cooperative_welfare,
+        equilibrium_welfares=tuple(equilibria),
+        games=games,
+        price_of_anarchy=anarchy,
+        price_of_stability=stability,
+    )

@@ -1,0 +1,373 @@
+"""The best-response game engine: rounds, schedules, convergence.
+
+One *round* gives every seller a best response against the others'
+currently-posted masks:
+
+* ``sequential`` — sellers respond in order, each seeing the responses
+  already made this round (the classic best-response dynamic; the
+  tie-split game is a congestion game, so this schedule converges);
+* ``simultaneous`` — every seller responds to the *previous* round's
+  profile; the responses are independent and fan out over a
+  :class:`repro.parallel.WorkerPool` (``jobs=1`` runs inline,
+  bit-identical to ``jobs=N`` because each response is a pure function
+  of the shared round context).
+
+The loop stops on a pure-strategy fixed point (a round that changes no
+mask), a state revisit (cycle detected — simultaneous schedules can
+oscillate), or the round cap.  Whatever happens, ``best_known`` carries
+the highest-welfare profile seen — the anytime answer mirroring
+:class:`~repro.runtime.SolverHarness` semantics.
+
+Drifting traffic: pass a :class:`repro.stream.StreamingLog` and the
+engine re-snapshots the sliding window before every round, so sellers
+chase the live distribution; a ``before_round`` hook lets the caller
+append fresh queries between rounds.
+
+Determinism contract: with a ``deadline_ms`` of ``None`` every response
+is a pure function of ``(traffic rows, seller specs, rival masks,
+config)``, so trajectories replay bit-for-bit across runs, schedules
+included.  A wall-clock deadline trades that for anytime degradation —
+outcomes may then depend on machine speed.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+from repro.compete.impressions import ImpressionModel, make_impression_model
+from repro.compete.payoffs import PAYOFFS, Payoff, make_payoff
+from repro.compete.sellers import SellerSpec
+from repro.core.problem import VisibilityProblem
+from repro.core.registry import DEFAULT_FALLBACK_CHAIN
+from repro.obs.recorder import get_recorder
+from repro.parallel.pool import WorkerPool
+from repro.stream.log import StreamingLog
+
+__all__ = ["CompeteConfig", "GameResult", "RoundRecord", "best_response", "play"]
+
+SCHEDULES = ("sequential", "simultaneous")
+
+
+@dataclass(frozen=True)
+class CompeteConfig:
+    """Knobs of one competitive game; the CLI flags map 1:1 onto fields."""
+
+    schedule: str = "sequential"
+    max_rounds: int = 20
+    payoff: str = "impressions"
+    #: ``None`` = Boolean tie-splitting; an int = top-k result-page slots
+    page_size: int | None = None
+    jobs: int = 1
+    chain: tuple[str, ...] = DEFAULT_FALLBACK_CHAIN
+    engine: str | None = None
+    kernel: str | None = None
+    deadline_ms: float | None = None
+    diversity_penalty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.schedule not in SCHEDULES:
+            raise ValidationError(
+                f"schedule must be one of {SCHEDULES}, got {self.schedule!r}"
+            )
+        if self.max_rounds < 1:
+            raise ValidationError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.payoff not in PAYOFFS:
+            raise ValidationError(
+                f"unknown payoff {self.payoff!r}; choose from {sorted(PAYOFFS)}"
+            )
+        if self.page_size is not None and self.page_size < 1:
+            raise ValidationError(f"page_size must be >= 1, got {self.page_size}")
+        if self.jobs < 1:
+            raise ValidationError(f"jobs must be >= 1, got {self.jobs}")
+        if not self.chain:
+            raise ValidationError("chain needs at least one algorithm name")
+
+    def impression_model(self) -> ImpressionModel:
+        return make_impression_model(self.page_size)
+
+    def payoff_function(self) -> Payoff:
+        return make_payoff(self.payoff, diversity_penalty=self.diversity_penalty)
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """State of the game after one completed round."""
+
+    number: int
+    masks: tuple[int, ...]
+    payoffs: tuple[float, ...]
+    welfare: float
+    changed: int
+    statuses: tuple[str, ...]
+    elapsed_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "round": self.number,
+            "masks": list(self.masks),
+            "payoffs": list(self.payoffs),
+            "welfare": self.welfare,
+            "changed": self.changed,
+            "statuses": list(self.statuses),
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+@dataclass(frozen=True)
+class GameResult:
+    """Everything one game produced, rounds and verdict included."""
+
+    sellers: tuple[SellerSpec, ...]
+    config: CompeteConfig
+    rounds: tuple[RoundRecord, ...]
+    #: a round repeated the immediately-previous profile (fixed point)
+    converged: bool
+    #: ``(first_round, repeat_round)`` of a state revisit, else ``None``
+    cycle: tuple[int, int] | None = None
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def final(self) -> RoundRecord:
+        return self.rounds[-1]
+
+    @property
+    def best_known(self) -> RoundRecord:
+        """Highest-welfare profile seen (anytime answer under the cap)."""
+        return max(self.rounds, key=lambda record: (record.welfare, -record.number))
+
+    @property
+    def cycle_length(self) -> int | None:
+        if self.cycle is None:
+            return None
+        return self.cycle[1] - self.cycle[0]
+
+    def to_dict(self) -> dict:
+        return {
+            "sellers": [spec.name for spec in self.sellers],
+            "schedule": self.config.schedule,
+            "payoff": self.config.payoff,
+            "rounds": [record.to_dict() for record in self.rounds],
+            "converged": self.converged,
+            "cycle": list(self.cycle) if self.cycle else None,
+            "best_known_round": self.best_known.number,
+            "stats": dict(self.stats),
+        }
+
+
+def _resolve_problem(
+    model: ImpressionModel,
+    traffic: BooleanTable,
+    spec: SellerSpec,
+    rivals: Sequence[tuple[int, int]],
+    kernel: str | None,
+) -> VisibilityProblem:
+    problem = model.best_response_problem(
+        traffic, spec.new_tuple, spec.budget, rivals, spec.ad_id
+    )
+    if kernel is None:
+        return problem
+    return VisibilityProblem(problem.log, problem.new_tuple, problem.budget, kernel=kernel)
+
+
+def best_response(
+    traffic: BooleanTable,
+    spec: SellerSpec,
+    rivals: Sequence[tuple[int, int]],
+    config: CompeteConfig,
+    model: ImpressionModel | None = None,
+    payoff: Payoff | None = None,
+) -> tuple[int, str]:
+    """One seller's best response to the posted rivals.
+
+    Derives the seller's view of the traffic through the impression
+    model, solves it through a fresh :class:`~repro.runtime.SolverHarness`
+    over ``config.chain``, then applies the payoff's deterministic
+    refinement.  Returns ``(keep_mask, harness status)``; a fully failed
+    chain falls back to the padded empty mask.
+    """
+    from repro.runtime import make_harness
+
+    model = model if model is not None else config.impression_model()
+    payoff = payoff if payoff is not None else config.payoff_function()
+    problem = _resolve_problem(model, traffic, spec, rivals, config.kernel)
+    harness = make_harness(
+        config.chain, engine=config.engine, deadline_ms=config.deadline_ms
+    )
+    outcome = harness.run(problem)
+    if outcome.solution is None:
+        return problem.pad_to_budget(0), outcome.status
+    mask = payoff.refine(
+        model, traffic, outcome.solution.keep_mask, rivals, spec
+    )
+    return mask, outcome.status
+
+
+@dataclass(frozen=True)
+class _RoundContext:
+    """Picklable shared state of one simultaneous round."""
+
+    schema: object
+    rows: tuple[int, ...]
+    specs: tuple[SellerSpec, ...]
+    masks: tuple[int | None, ...]
+    config: CompeteConfig
+
+
+def _rivals_of(
+    specs: Sequence[SellerSpec], masks: Sequence[int | None], index: int
+) -> list[tuple[int, int]]:
+    return [
+        (specs[position].ad_id, mask)
+        for position, mask in enumerate(masks)
+        if position != index and mask is not None
+    ]
+
+
+def _best_response_task(context: _RoundContext, index: int) -> tuple[int, str]:
+    """Top-level worker task: pure function of (context, seller index)."""
+    traffic = BooleanTable(context.schema, context.rows)
+    rivals = _rivals_of(context.specs, context.masks, index)
+    return best_response(traffic, context.specs[index], rivals, context.config)
+
+
+def _validate_sellers(sellers: Sequence[SellerSpec], schema) -> None:
+    if not sellers:
+        raise ValidationError("the game needs at least one seller")
+    ad_ids = [spec.ad_id for spec in sellers]
+    if len(set(ad_ids)) != len(ad_ids):
+        raise ValidationError("seller ad_ids must be distinct")
+    for spec in sellers:
+        spec.validate_against(schema)
+
+
+def play(
+    sellers: Sequence[SellerSpec],
+    traffic: BooleanTable | StreamingLog,
+    config: CompeteConfig,
+    *,
+    order: Sequence[int] | None = None,
+    before_round: Callable[[int], None] | None = None,
+) -> GameResult:
+    """Play the iterated best-response game to a verdict.
+
+    ``traffic`` may be a static :class:`BooleanTable` or a
+    :class:`~repro.stream.StreamingLog` re-snapshotted before every
+    round (drifting traffic).  ``order`` overrides the sequential
+    response order (a permutation of seller indices); ``before_round``
+    runs before each round's snapshot — the place to append drift.
+    """
+    sellers = tuple(sellers)
+    streaming = isinstance(traffic, StreamingLog)
+    schema = traffic.schema
+    _validate_sellers(sellers, schema)
+    if order is None:
+        order = range(len(sellers))
+    order = list(order)
+    if sorted(order) != list(range(len(sellers))):
+        raise ValidationError("order must be a permutation of the seller indices")
+
+    model = config.impression_model()
+    payoff = config.payoff_function()
+    recorder = get_recorder()
+
+    masks: list[int | None] = [None] * len(sellers)
+    records: list[RoundRecord] = []
+    seen: dict[tuple[int, ...], int] = {}
+    converged = False
+    cycle: tuple[int, int] | None = None
+    previous: tuple[int, ...] | None = None
+
+    for number in range(1, config.max_rounds + 1):
+        if before_round is not None:
+            before_round(number)
+        table = traffic.snapshot() if streaming else traffic
+        started = time.perf_counter()
+        with recorder.span(
+            "compete.round", round=number, schedule=config.schedule,
+            sellers=len(sellers),
+        ):
+            statuses = ["pending"] * len(sellers)
+            if config.schedule == "sequential":
+                for index in order:
+                    rivals = _rivals_of(sellers, masks, index)
+                    masks[index], statuses[index] = best_response(
+                        table, sellers[index], rivals, config, model, payoff
+                    )
+            else:
+                context = _RoundContext(
+                    schema, tuple(table.rows), sellers, tuple(masks), config
+                )
+                with WorkerPool(config.jobs, context) as pool:
+                    report = pool.map(_best_response_task, list(range(len(sellers))))
+                for index, (mask, status) in enumerate(report.results):
+                    masks[index] = mask
+                    statuses[index] = status
+        elapsed = time.perf_counter() - started
+
+        state = tuple(masks)  # every seller has posted after round 1
+        payoffs = tuple(
+            payoff.utility(
+                model, table, state[index],
+                _rivals_of(sellers, state, index), sellers[index],
+            )
+            for index in range(len(sellers))
+        )
+        changed = (
+            len(state) if previous is None
+            else sum(1 for new, old in zip(state, previous) if new != old)
+        )
+        records.append(RoundRecord(
+            number, state, payoffs, model.welfare(table, state),
+            changed, tuple(statuses), elapsed,
+        ))
+        if recorder.enabled:
+            recorder.count(
+                "repro_compete_rounds_total", 1, {"schedule": config.schedule}
+            )
+            recorder.observe("repro_compete_round_seconds", elapsed)
+
+        if previous is not None and state == previous:
+            converged = True
+            break
+        if state in seen:
+            cycle = (seen[state], number)
+            break
+        seen[state] = number
+        previous = state
+
+    if recorder.enabled:
+        recorder.gauge("repro_compete_converged", 1.0 if converged else 0.0)
+        if converged:
+            recorder.event(
+                "compete.converged", rounds=len(records),
+                welfare=records[-1].welfare,
+            )
+        elif cycle is not None:
+            recorder.event(
+                "compete.cycle", level="warning",
+                first=cycle[0], repeat=cycle[1], length=cycle[1] - cycle[0],
+            )
+        else:
+            recorder.event(
+                "compete.round_cap", level="warning",
+                rounds=len(records), best_round=max(
+                    records, key=lambda r: (r.welfare, -r.number)
+                ).number,
+            )
+
+    return GameResult(
+        sellers=sellers,
+        config=config,
+        rounds=tuple(records),
+        converged=converged,
+        cycle=cycle,
+        stats={
+            "rounds": len(records),
+            "schedule": config.schedule,
+            "streaming": streaming,
+        },
+    )

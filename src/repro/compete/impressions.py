@@ -1,0 +1,251 @@
+"""Impression models: how rival ads absorb query traffic.
+
+Both models reduce a seller's best response to a *plain*
+:class:`~repro.core.problem.VisibilityProblem` over a derived query log,
+so the whole solver registry — and the anytime
+:class:`~repro.runtime.SolverHarness` — serves the competitive game
+unchanged:
+
+* :class:`TieSplitModel` (Boolean retrieval): every matching ad surfaces,
+  and a query's single impression unit is split equally among the
+  matchers.  A query contested by ``r`` rivals is worth ``1/(1+r)``, a
+  constant independent of the seller's own choice, so the best response
+  is an integer-weighted SOC-CB-QL instance expanded back into a plain
+  log (:meth:`WeightedVisibilityProblem.expand`).  With no rivals every
+  weight is 1 and the derived problem *is* the traffic table — the
+  single-seller game is bit-identical to
+  :meth:`repro.simulate.Marketplace.post_optimized_ad`.
+* :class:`TopKModel` (result-page slots): a query surfaces only the
+  ``page_size`` best matches under
+  :class:`~repro.retrieval.scoring.AttributeCountScore`, ties broken
+  newest-first — the exact ``(score, ad_id)`` ordering of
+  :meth:`repro.simulate.Marketplace._run_query`.  Because harness
+  solutions are padded to exactly ``min(m, |t|)`` attributes, the
+  seller's own score is fixed before solving; queries already saturated
+  by ``page_size`` better-ranked rivals can never pay and are filtered
+  out, and the rest is plain SOC-CB-QL.
+
+Tie-split weights are exact whenever the least common multiple of the
+observed contention levels stays within :data:`WEIGHT_CAP` (always true
+up to five rivals); beyond that they are deterministically rounded to
+``WEIGHT_CAP / (1 + r)`` so the expanded log stays small.  Either way
+the derivation is a pure function of ``(traffic, rival masks)`` —
+replaying a round with the same inputs rebuilds the identical problem.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.booldata.table import BooleanTable
+from repro.common.bits import bit_count
+from repro.common.errors import ValidationError
+from repro.core.problem import VisibilityProblem
+from repro.core.weighted import WeightedVisibilityProblem
+
+__all__ = [
+    "WEIGHT_CAP",
+    "ImpressionModel",
+    "TieSplitModel",
+    "TopKModel",
+    "make_impression_model",
+]
+
+#: largest exact tie-split weight multiplier; beyond it weights are
+#: rounded (lcm(1..6) = 60 <= 64: exact up to five rivals on one query)
+WEIGHT_CAP = 64
+
+
+def _matches(query: int, mask: int) -> bool:
+    return query & mask == query
+
+
+class ImpressionModel:
+    """Interface: derive best-response problems and score outcomes.
+
+    ``rivals`` is always a sequence of ``(ad_id, mask)`` pairs — the
+    *other* sellers' currently-posted ads.  Sellers without a posted ad
+    simply do not appear.
+    """
+
+    def best_response_problem(
+        self,
+        traffic: BooleanTable,
+        new_tuple: int,
+        budget: int,
+        rivals: Sequence[tuple[int, int]],
+        ad_id: int,
+    ) -> VisibilityProblem:
+        raise NotImplementedError
+
+    def impressions(
+        self,
+        traffic: BooleanTable,
+        mask: int,
+        rivals: Sequence[tuple[int, int]],
+        ad_id: int,
+    ) -> float:
+        """Impression units ``mask`` earns against the posted rivals."""
+        raise NotImplementedError
+
+    def welfare(self, traffic: BooleanTable, masks: Sequence[int]) -> float:
+        """Total impressions across all sellers (the social objective)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TieSplitModel(ImpressionModel):
+    """Boolean retrieval; each query splits one unit among its matchers."""
+
+    def _contention(
+        self, traffic: BooleanTable, rivals: Sequence[tuple[int, int]]
+    ) -> list[int]:
+        rival_masks = [mask for _, mask in rivals]
+        return [
+            sum(1 for mask in rival_masks if _matches(query, mask))
+            for query in traffic
+        ]
+
+    def best_response_problem(
+        self,
+        traffic: BooleanTable,
+        new_tuple: int,
+        budget: int,
+        rivals: Sequence[tuple[int, int]],
+        ad_id: int,
+    ) -> VisibilityProblem:
+        contention = self._contention(traffic, rivals)
+        if not any(contention):
+            # uncontested: the derived problem IS the traffic problem,
+            # reusing the snapshot table (and its cached index) directly
+            return VisibilityProblem(traffic, new_tuple, budget)
+        weights = tie_split_weights([1 + count for count in contention])
+        weighted = WeightedVisibilityProblem(
+            BooleanTable(traffic.schema, traffic.rows),
+            tuple(weights),
+            new_tuple,
+            budget,
+        )
+        return weighted.expand()
+
+    def impressions(
+        self,
+        traffic: BooleanTable,
+        mask: int,
+        rivals: Sequence[tuple[int, int]],
+        ad_id: int,
+    ) -> float:
+        rival_masks = [rival for _, rival in rivals]
+        total = 0.0
+        for query in traffic:
+            if not _matches(query, mask):
+                continue
+            contenders = 1 + sum(1 for rival in rival_masks if _matches(query, rival))
+            total += 1.0 / contenders
+        return total
+
+    def welfare(self, traffic: BooleanTable, masks: Sequence[int]) -> float:
+        # every matched query contributes exactly one unit, split or not
+        return float(
+            sum(1 for query in traffic if any(_matches(query, mask) for mask in masks))
+        )
+
+
+@dataclass(frozen=True)
+class TopKModel(ImpressionModel):
+    """Result-page slots: ``page_size`` best matches by attribute count."""
+
+    page_size: int
+
+    def __post_init__(self) -> None:
+        if self.page_size < 1:
+            raise ValidationError(f"page_size must be >= 1, got {self.page_size}")
+
+    def _better_ranked(
+        self, rivals: Sequence[tuple[int, int]], score: int, ad_id: int
+    ) -> list[int]:
+        rank = (float(score), ad_id)
+        return [
+            mask
+            for rival_id, mask in rivals
+            if (float(bit_count(mask)), rival_id) > rank
+        ]
+
+    def _saturated(self, query: int, better: Sequence[int]) -> bool:
+        ahead = 0
+        for mask in better:
+            if _matches(query, mask):
+                ahead += 1
+                if ahead >= self.page_size:
+                    return True
+        return False
+
+    def best_response_problem(
+        self,
+        traffic: BooleanTable,
+        new_tuple: int,
+        budget: int,
+        rivals: Sequence[tuple[int, int]],
+        ad_id: int,
+    ) -> VisibilityProblem:
+        # solutions are padded to exactly min(m, |t|) attributes, so the
+        # seller's AttributeCountScore is known before solving
+        score = min(budget, bit_count(new_tuple))
+        better = self._better_ranked(rivals, score, ad_id)
+        rows = [query for query in traffic if not self._saturated(query, better)]
+        if len(rows) == len(traffic):
+            return VisibilityProblem(traffic, new_tuple, budget)
+        return VisibilityProblem(
+            BooleanTable(traffic.schema, rows), new_tuple, budget
+        )
+
+    def impressions(
+        self,
+        traffic: BooleanTable,
+        mask: int,
+        rivals: Sequence[tuple[int, int]],
+        ad_id: int,
+    ) -> float:
+        better = self._better_ranked(rivals, bit_count(mask), ad_id)
+        return float(
+            sum(
+                1
+                for query in traffic
+                if _matches(query, mask) and not self._saturated(query, better)
+            )
+        )
+
+    def welfare(self, traffic: BooleanTable, masks: Sequence[int]) -> float:
+        total = 0
+        for query in traffic:
+            matchers = sum(1 for mask in masks if _matches(query, mask))
+            total += min(self.page_size, matchers)
+        return float(total)
+
+
+def tie_split_weights(denominators: Sequence[int]) -> list[int]:
+    """Integer weights proportional to ``1/d`` for each denominator.
+
+    Exact (via the lcm of the distinct denominators) when the multiplier
+    fits :data:`WEIGHT_CAP`; otherwise each weight is
+    ``max(1, round(WEIGHT_CAP / d))``.  The result is gcd-normalized so
+    an uncontested log collapses to weight 1 per query.
+    """
+    if any(d < 1 for d in denominators):
+        raise ValidationError("tie-split denominators must be >= 1")
+    multiplier = math.lcm(*set(denominators))
+    if multiplier <= WEIGHT_CAP:
+        weights = [multiplier // d for d in denominators]
+    else:
+        weights = [max(1, round(WEIGHT_CAP / d)) for d in denominators]
+    shared = math.gcd(*weights)
+    return [weight // shared for weight in weights]
+
+
+def make_impression_model(page_size: int | None) -> ImpressionModel:
+    """``None`` selects Boolean tie-splitting, an int the top-k slots."""
+    if page_size is None:
+        return TieSplitModel()
+    return TopKModel(page_size)

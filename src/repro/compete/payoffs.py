@@ -1,0 +1,166 @@
+"""Payoff functions: what a seller's best response actually maximizes.
+
+Every payoff starts from the harness's impression-maximal mask and then
+applies a deterministic *refinement* — a local search over feasible
+masks (subsets of the tuple within the budget) that can only improve the
+seller's utility:
+
+* :class:`ImpressionsPayoff` — raw impressions; the harness answer is
+  already optimal for the derived problem, no refinement.
+* :class:`RevenuePayoff` — ``value * impressions - disclosure cost`` of
+  the kept attributes.  The refinement is strategic attribute *hiding*
+  (arxiv 1302.5332): greedily drop the kept attribute whose removal
+  improves net revenue the most, until no drop helps.  Padding makes
+  this bite immediately — a padded attribute that earns nothing but
+  costs something is always hidden.
+* :class:`DiversityPayoff` — impressions minus a volume-based overlap
+  penalty against the rivals' posted masks (per the diversity-aware
+  objectives of arxiv 2509.11929: crowding onto the attributes everyone
+  already advertises is discounted).  The refinement considers drops and
+  swaps (drop one kept attribute, add an unkept tuple attribute),
+  best-improving first.
+
+Refinements are pure functions with fixed candidate ordering (ascending
+attribute index) and strict-improvement acceptance, so replays are
+bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.booldata.table import BooleanTable
+from repro.common.bits import bit_count, bit_indices
+from repro.common.errors import ValidationError
+from repro.compete.impressions import ImpressionModel
+from repro.compete.sellers import SellerSpec
+
+__all__ = [
+    "PAYOFFS",
+    "DiversityPayoff",
+    "ImpressionsPayoff",
+    "Payoff",
+    "RevenuePayoff",
+    "make_payoff",
+]
+
+
+class Payoff:
+    """Interface: utility of a posted mask, plus the local refinement."""
+
+    name = "payoff"
+
+    def utility(
+        self,
+        model: ImpressionModel,
+        traffic: BooleanTable,
+        mask: int,
+        rivals: Sequence[tuple[int, int]],
+        spec: SellerSpec,
+    ) -> float:
+        raise NotImplementedError
+
+    def refine(
+        self,
+        model: ImpressionModel,
+        traffic: BooleanTable,
+        mask: int,
+        rivals: Sequence[tuple[int, int]],
+        spec: SellerSpec,
+    ) -> int:
+        """Deterministically improve ``mask`` for this payoff."""
+        return mask
+
+
+@dataclass(frozen=True)
+class ImpressionsPayoff(Payoff):
+    """Raw impression units — the pure visibility game."""
+
+    name = "impressions"
+
+    def utility(self, model, traffic, mask, rivals, spec) -> float:
+        return model.impressions(traffic, mask, rivals, spec.ad_id)
+
+
+def _local_search(payoff, model, traffic, mask, rivals, spec, swaps: bool) -> int:
+    """Best-improving drop (and optionally swap) moves to a fixed point.
+
+    Candidate moves are enumerated in ascending attribute order and only
+    a strictly better utility is accepted, so the search is
+    deterministic and terminates (each step increases a bounded float
+    utility; iterations are additionally capped by the move space).
+    """
+    current = payoff.utility(model, traffic, mask, rivals, spec)
+    for _ in range(4 * max(1, spec.tuple_size) ** 2):
+        best_mask, best_value = mask, current
+        candidates = [mask & ~(1 << kept) for kept in bit_indices(mask)]
+        if swaps:
+            budget = spec.effective_budget
+            for kept in bit_indices(mask):
+                dropped = mask & ~(1 << kept)
+                for added in bit_indices(spec.new_tuple & ~mask):
+                    swapped = dropped | (1 << added)
+                    if bit_count(swapped) <= budget:
+                        candidates.append(swapped)
+        for candidate in candidates:
+            value = payoff.utility(model, traffic, candidate, rivals, spec)
+            if value > best_value:
+                best_mask, best_value = candidate, value
+        if best_mask == mask:
+            break
+        mask, current = best_mask, best_value
+    return mask
+
+
+@dataclass(frozen=True)
+class RevenuePayoff(Payoff):
+    """Impression revenue net of per-attribute disclosure costs."""
+
+    name = "revenue"
+
+    def utility(self, model, traffic, mask, rivals, spec) -> float:
+        earned = model.impressions(traffic, mask, rivals, spec.ad_id)
+        return spec.value_per_impression * earned - spec.cost_of(mask)
+
+    def refine(self, model, traffic, mask, rivals, spec) -> int:
+        # attribute hiding: only drops — revealing less never costs more
+        return _local_search(self, model, traffic, mask, rivals, spec, swaps=False)
+
+
+@dataclass(frozen=True)
+class DiversityPayoff(Payoff):
+    """Impressions discounted by attribute overlap with the rivals."""
+
+    name = "diversity"
+    penalty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.penalty < 0:
+            raise ValidationError(f"penalty must be non-negative, got {self.penalty}")
+
+    def utility(self, model, traffic, mask, rivals, spec) -> float:
+        earned = model.impressions(traffic, mask, rivals, spec.ad_id)
+        overlap = sum(bit_count(mask & rival) for _, rival in rivals)
+        return earned - self.penalty * overlap
+
+    def refine(self, model, traffic, mask, rivals, spec) -> int:
+        return _local_search(self, model, traffic, mask, rivals, spec, swaps=True)
+
+
+#: payoff name -> zero-config factory (the CLI's --payoff choices)
+PAYOFFS: dict[str, type[Payoff]] = {
+    "impressions": ImpressionsPayoff,
+    "revenue": RevenuePayoff,
+    "diversity": DiversityPayoff,
+}
+
+
+def make_payoff(name: str, *, diversity_penalty: float = 0.5) -> Payoff:
+    if name not in PAYOFFS:
+        raise ValidationError(
+            f"unknown payoff {name!r}; choose from {sorted(PAYOFFS)}"
+        )
+    if name == "diversity":
+        return DiversityPayoff(penalty=diversity_penalty)
+    return PAYOFFS[name]()

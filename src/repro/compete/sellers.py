@@ -1,0 +1,67 @@
+"""Seller identities: who competes, with what tuple, budget and costs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.booldata.schema import Schema
+from repro.common.bits import bit_count, bit_indices
+from repro.common.errors import ValidationError
+
+__all__ = ["SellerSpec"]
+
+
+@dataclass(frozen=True)
+class SellerSpec:
+    """One competitor in the visibility game.
+
+    ``ad_id`` is the seller's stable ranking identity in the top-k
+    impression model: the marketplace breaks score ties newest-first, so
+    a *higher* ``ad_id`` wins a tie (the same ``(score, ad_id)`` ordering
+    as :meth:`repro.simulate.Marketplace._run_query`).
+
+    ``disclosure_costs`` gives the revenue model a per-attribute price of
+    disclosure (arxiv 1302.5332: hiding an attribute saves its cost at
+    the expense of the impressions it earned); an empty tuple means every
+    attribute is free to advertise.
+    """
+
+    name: str
+    new_tuple: int
+    budget: int
+    ad_id: int
+    value_per_impression: float = 1.0
+    disclosure_costs: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ValidationError(f"budget must be non-negative, got {self.budget}")
+        if self.ad_id < 0:
+            raise ValidationError(f"ad_id must be non-negative, got {self.ad_id}")
+        if self.value_per_impression < 0:
+            raise ValidationError("value_per_impression must be non-negative")
+        if any(cost < 0 for cost in self.disclosure_costs):
+            raise ValidationError("disclosure costs must be non-negative")
+
+    def validate_against(self, schema: Schema) -> None:
+        schema.validate_mask(self.new_tuple)
+        if self.disclosure_costs and len(self.disclosure_costs) != schema.width:
+            raise ValidationError(
+                f"{self.name}: {len(self.disclosure_costs)} disclosure costs "
+                f"for a schema of width {schema.width}"
+            )
+
+    @property
+    def tuple_size(self) -> int:
+        return bit_count(self.new_tuple)
+
+    @property
+    def effective_budget(self) -> int:
+        """Attributes actually kept: solvers pad to exactly this many."""
+        return min(self.budget, self.tuple_size)
+
+    def cost_of(self, keep_mask: int) -> float:
+        """Total disclosure cost of advertising ``keep_mask``."""
+        if not self.disclosure_costs:
+            return 0.0
+        return sum(self.disclosure_costs[attribute] for attribute in bit_indices(keep_mask))

@@ -97,6 +97,9 @@ DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
      "Torn/corrupt WAL bytes truncated during recovery.", ()),
     ("counter", "repro_store_cache_entries_restored_total",
      "Solve-cache entries restored from persisted snapshots.", ()),
+    ("counter", "repro_compete_rounds_total",
+     "Best-response rounds played by the competitive game engine, "
+     "by schedule.", ("schedule",)),
     ("counter", "repro_obs_events_total",
      "Structured events appended to the in-memory journal, by kind.",
      ("kind",)),
@@ -109,7 +112,8 @@ DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
      "status).", ("endpoint", "code")),
     ("counter", "repro_serve_shed_total",
      "Requests shed by admission control "
-     "(reason=tenant_queue|overload|tenant_limit|stopping).", ("reason",)),
+     "(reason=tenant_queue|overload|rate_limit|tenant_limit|stopping).",
+     ("reason",)),
     ("counter", "repro_serve_solves_total",
      "Tenant solves served, by harness outcome status.", ("status",)),
     ("counter", "repro_serve_ingested_queries_total",
@@ -124,6 +128,9 @@ DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
      "Live tenant namespaces held by the visibility server.", ()),
     ("gauge", "repro_serve_queue_depth",
      "Admitted requests currently pending across all tenants.", ()),
+    ("gauge", "repro_compete_converged",
+     "Whether the last competitive game reached a best-response fixed "
+     "point (1) or stopped on a cycle / the round cap (0).", ()),
     ("gauge", "repro_profile_samples",
      "Stack samples collected so far by the attached sampling profiler, "
      "by phase (absent while no profiler is attached).", ("phase",)),
@@ -156,6 +163,8 @@ DECLARED_METRICS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
      "Wall-clock latency of epoch-snapshot checkpoints.", ()),
     ("histogram", "repro_store_recover_seconds",
      "Wall-clock latency of store recovery (restore + replay).", ()),
+    ("histogram", "repro_compete_round_seconds",
+     "Wall-clock latency of one best-response round (all sellers).", ()),
     ("histogram", "repro_serve_request_seconds",
      "Wall-clock latency of observability-server request handling.", ()),
     ("histogram", "repro_serve_solve_seconds",

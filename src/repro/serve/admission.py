@@ -9,7 +9,15 @@ total — and refuses new work the moment either bound is hit:
 * a tenant exceeding its own queue depth is shed with **429** (its
   neighbours are unaffected — per-tenant isolation);
 * the global bound tripping is shed with **503** (the whole box is
-  saturated; ``Retry-After`` tells clients when to come back).
+  saturated; ``Retry-After`` tells clients when to come back);
+* with a rate limit configured, a tenant draining its token bucket is
+  shed with **429** (reason ``rate_limit``) *before* it can occupy a
+  queue slot — sustained throughput is capped at ``rate_limit``
+  requests/second per tenant with bursts up to ``burst`` requests.
+
+Buckets refill continuously (``elapsed * rate``, capped at the burst
+size) and are lazily created per tenant, so an idle tenant costs
+nothing.  The clock is injectable for deterministic tests.
 
 Shedding is decided *before* the request touches tenant state or the
 executor, so a rejected request costs microseconds, and the executor's
@@ -18,44 +26,86 @@ queue can never hold more than ``max_total`` entries.
 
 from __future__ import annotations
 
+import math
 import threading
+import time
+from collections.abc import Callable
 
 from repro.common.errors import ValidationError
 
 __all__ = ["AdmissionController", "SHED_STATUS"]
 
 #: shed reason -> HTTP status
-SHED_STATUS = {"tenant_queue": 429, "overload": 503}
+SHED_STATUS = {"tenant_queue": 429, "overload": 503, "rate_limit": 429}
 
 
 class AdmissionController:
     """Per-tenant and global pending-work bounds with O(1) decisions."""
 
-    def __init__(self, queue_depth: int, max_total: int) -> None:
+    def __init__(
+        self,
+        queue_depth: int,
+        max_total: int,
+        rate_limit: float | None = None,
+        burst: int | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         if queue_depth < 1:
             raise ValidationError(f"queue_depth must be >= 1, got {queue_depth}")
         if max_total < queue_depth:
             raise ValidationError(
                 f"max_total ({max_total}) must be >= queue_depth ({queue_depth})"
             )
+        if rate_limit is not None and rate_limit <= 0:
+            raise ValidationError(f"rate_limit must be > 0, got {rate_limit}")
+        if burst is not None:
+            if rate_limit is None:
+                raise ValidationError("burst requires a rate_limit")
+            if burst < 1:
+                raise ValidationError(f"burst must be >= 1, got {burst}")
         self.queue_depth = queue_depth
         self.max_total = max_total
+        self.rate_limit = rate_limit
+        self.burst = (
+            burst
+            if burst is not None
+            else (max(1, math.ceil(rate_limit)) if rate_limit is not None else None)
+        )
+        self._clock = clock if clock is not None else time.monotonic
         self._pending: dict[str, int] = {}
+        #: tenant -> (tokens remaining, last refill timestamp)
+        self._buckets: dict[str, tuple[float, float]] = {}
         self._total = 0
-        self.shed = {"tenant_queue": 0, "overload": 0}
+        self.shed = {"tenant_queue": 0, "overload": 0, "rate_limit": 0}
         self._lock = threading.Lock()
+
+    def _take_token(self, tenant: str) -> bool:
+        """Refill and drain ``tenant``'s bucket; caller holds the lock."""
+        assert self.rate_limit is not None and self.burst is not None
+        now = self._clock()
+        tokens, stamp = self._buckets.get(tenant, (float(self.burst), now))
+        tokens = min(float(self.burst), tokens + (now - stamp) * self.rate_limit)
+        if tokens < 1.0:
+            self._buckets[tenant] = (tokens, now)
+            return False
+        self._buckets[tenant] = (tokens - 1.0, now)
+        return True
 
     def try_acquire(self, tenant: str) -> str | None:
         """Admit one unit of work for ``tenant``.
 
         Returns ``None`` on admission (the caller *must* pair it with
         :meth:`release`), or the shed reason (``"tenant_queue"`` /
-        ``"overload"``) when the request must be rejected.
+        ``"overload"`` / ``"rate_limit"``) when the request must be
+        rejected.
         """
         with self._lock:
             if self._total >= self.max_total:
                 self.shed["overload"] += 1
                 return "overload"
+            if self.rate_limit is not None and not self._take_token(tenant):
+                self.shed["rate_limit"] += 1
+                return "rate_limit"
             pending = self._pending.get(tenant, 0)
             if pending >= self.queue_depth:
                 self.shed["tenant_queue"] += 1
@@ -91,6 +141,8 @@ class AdmissionController:
                 "pending": self._total,
                 "queue_depth": self.queue_depth,
                 "max_total": self.max_total,
+                "rate_limit": self.rate_limit,
+                "burst": self.burst,
                 "shed": dict(self.shed),
             }
 

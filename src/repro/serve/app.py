@@ -13,8 +13,9 @@ solver work so the event loop never blocks on a solve:
 
 Backpressure is decided before any work is queued: the
 :class:`~repro.serve.admission.AdmissionController` sheds a tenant over
-its queue depth with **429** and a saturated box with **503** (both
-carry ``Retry-After``), so the executor's backlog is always bounded and
+its queue depth with **429**, a tenant draining its token bucket (when
+``--rate-limit`` is set) with **429**, and a saturated box with **503**
+(all carry ``Retry-After``), so the executor's backlog is always bounded and
 a request is either served or refused — never parked on an unbounded
 queue.  :meth:`VisibilityServer.stop` drains: the listener closes, all
 admitted requests finish, durable tenants checkpoint, then the executor
@@ -85,6 +86,8 @@ class ServeConfig:
     max_tenants: int = 256
     queue_depth: int = 8
     max_pending: int | None = None
+    rate_limit: float | None = None
+    rate_burst: int | None = None
     workers: int = 4
     breaker_threshold: int = 3
     breaker_cooldown_s: float = 5.0
@@ -137,7 +140,10 @@ class VisibilityServer:
             max_tenants=config.max_tenants,
         )
         self.admission = AdmissionController(
-            config.queue_depth, config.resolved_max_pending()
+            config.queue_depth,
+            config.resolved_max_pending(),
+            rate_limit=config.rate_limit,
+            burst=config.rate_burst,
         )
         self.width = schema.width
         self._executor: ThreadPoolExecutor | None = None

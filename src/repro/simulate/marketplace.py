@@ -4,6 +4,29 @@ Ads are compressed tuples over a shared schema; buyers issue conjunctive
 queries; an *impression* is one query retrieving one ad.  Optional
 top-k mode caps how many ads one query surfaces (newest-first among the
 matches with the highest global score), modelling a results page.
+
+Determinism contract
+--------------------
+
+The marketplace itself draws **no** randomness: matching is exact
+subset containment, top-k ranking is the total order ``(score, ad_id)``
+(ties always broken by ad id, newest winning), and ad ids are assigned
+by posting order.  Replaying the same postings and the same query log
+therefore reproduces every impression count bit-for-bit, on any
+platform.  All randomness in the simulation stack lives behind
+*injectable* ``random.Random`` instances or integer seeds instead:
+
+* workload synthesis — ``repro.data.workload`` (``seed=`` accepts an
+  int or a ``random.Random``);
+* train/test evaluation splits and the random-selection baseline —
+  ``repro.simulate.evaluation`` (same ``seed=`` convention via
+  :func:`repro.common.rng.ensure_rng`);
+* competitive scenarios — ``repro.compete.scenario``, which derives
+  decoupled child streams with :func:`repro.common.rng.spawn_rng`.
+
+Passing the same seed anywhere yields the same draw sequence; passing a
+caller-owned ``random.Random`` makes the caller the single source of
+randomness.  Nothing in this module reads the global ``random`` state.
 """
 
 from __future__ import annotations

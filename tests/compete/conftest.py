@@ -1,0 +1,27 @@
+"""Shared fixtures for the competitive-game tests.
+
+Tests run the cheap exact chain (``MaxFreqItemSets`` primary) instead of
+the default ILP-first chain: it returns the same exact optima on these
+toy widths in a fraction of the time, keeping every game deterministic
+and the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compete import CompeteConfig, Scenario, make_scenario
+
+#: exact on toy instances, ~1000x cheaper than the ILP-first default
+FAST_CHAIN = ("MaxFreqItemSets", "ConsumeAttrCumul")
+
+
+@pytest.fixture
+def fast_config() -> CompeteConfig:
+    return CompeteConfig(chain=FAST_CHAIN)
+
+
+@pytest.fixture
+def small_scenario() -> Scenario:
+    """Three sellers over 8 attributes and 150 queries, seed-pinned."""
+    return make_scenario(8, 3, 150, seed=3, budget=3)

@@ -1,0 +1,90 @@
+"""Equilibrium analytics: the price of selfish attribute selection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.booldata.schema import Schema
+from repro.booldata.table import BooleanTable
+from repro.compete import (
+    CompeteConfig,
+    SellerSpec,
+    analyze_equilibria,
+    cooperative_optimum,
+    make_scenario,
+)
+from tests.compete.conftest import FAST_CHAIN
+
+
+@pytest.mark.parametrize("seed", [3, 7])
+def test_ratios_are_at_least_one_on_seeded_scenarios(seed):
+    scenario = make_scenario(8, 3, 150, seed=seed, budget=3)
+    config = CompeteConfig(schedule="sequential", max_rounds=15, chain=FAST_CHAIN)
+    report = analyze_equilibria(scenario.sellers, scenario.traffic, config)
+    assert report.converged_games >= 1
+    assert report.price_of_anarchy is not None
+    assert report.price_of_anarchy >= 1.0
+    assert 1.0 <= report.price_of_stability <= report.price_of_anarchy
+    # the cooperative bound dominates every reached equilibrium
+    assert all(
+        report.cooperative_welfare >= welfare
+        for welfare in report.equilibrium_welfares
+    )
+
+
+def test_cooperative_optimum_splits_a_partitioned_market():
+    """Two sellers, disjoint demand: the planner covers everything."""
+    schema = Schema.anonymous(2)
+    traffic = BooleanTable(schema, [0b01] * 3 + [0b10] * 2)
+    sellers = (
+        SellerSpec(name="s0", new_tuple=0b11, budget=1, ad_id=0),
+        SellerSpec(name="s1", new_tuple=0b11, budget=1, ad_id=1),
+    )
+    config = CompeteConfig(chain=FAST_CHAIN)
+    masks, welfare = cooperative_optimum(sellers, traffic, config)
+    assert welfare == 5.0
+    assert sorted(masks) == [0b01, 0b10]
+
+
+def test_extra_candidates_can_only_improve_the_bound():
+    scenario = make_scenario(8, 2, 100, seed=5, budget=3)
+    config = CompeteConfig(chain=FAST_CHAIN)
+    _, base = cooperative_optimum(scenario.sellers, scenario.traffic, config)
+    full = (1 << 8) - 1
+    _, boosted = cooperative_optimum(
+        scenario.sellers, scenario.traffic, config,
+        extra_candidates=[(full, full)],
+    )
+    assert boosted >= base
+
+
+def test_cycling_game_reports_no_equilibrium():
+    schema = Schema.anonymous(2)
+    traffic = BooleanTable(schema, [0b01] * 3 + [0b10] * 2)
+    sellers = (
+        SellerSpec(name="s0", new_tuple=0b11, budget=1, ad_id=0),
+        SellerSpec(name="s1", new_tuple=0b11, budget=1, ad_id=1),
+    )
+    config = CompeteConfig(
+        schedule="simultaneous", max_rounds=10, chain=FAST_CHAIN
+    )
+    report = analyze_equilibria(sellers, traffic, config)
+    assert report.cycling_games == 1
+    assert report.equilibrium_welfares == ()
+    assert report.price_of_anarchy is None
+    assert report.price_of_stability is None
+    # the report still serializes with the cycle evidence on board
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["cycling_games"] == 1
+
+
+def test_report_round_trips_to_json(small_scenario):
+    config = CompeteConfig(schedule="sequential", max_rounds=10, chain=FAST_CHAIN)
+    report = analyze_equilibria(
+        small_scenario.sellers, small_scenario.traffic, config, restarts=2
+    )
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["price_of_anarchy"] >= 1.0
+    assert len(report.games) == 2

@@ -1,0 +1,56 @@
+"""The ``python -m repro compete`` subcommand end to end."""
+
+from __future__ import annotations
+
+from repro.cli import EXIT_VALIDATION, main
+
+FAST = ["--chain", "MaxFreqItemSets,ConsumeAttrCumul"]
+
+
+def test_compete_reports_convergence_and_prices(capsys):
+    code = main([
+        "compete", "--sellers", "3", "--width", "8", "--traffic", "120",
+        "--budget", "3", "--rounds", "12", "--seed", "3", *FAST,
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "compete: 3 sellers" in out
+    assert "round   1:" in out
+    assert "converged" in out or "cycle" in out
+    assert "price of anarchy" in out
+    assert "best known" in out
+
+
+def test_compete_simultaneous_topk_revenue(capsys):
+    code = main([
+        "compete", "--sellers", "2", "--width", "6", "--traffic", "80",
+        "--budget", "2", "--rounds", "8", "--schedule", "simultaneous",
+        "--payoff", "revenue", "--cost-scale", "0.5", "--page-size", "1",
+        "--jobs", "2", "--seed", "5", "--no-analytics", *FAST,
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "schedule simultaneous" in out
+    assert "payoff revenue" in out
+    assert "top-1" in out
+    assert "price of anarchy" not in out  # --no-analytics
+
+
+def test_compete_rejects_bad_chain(capsys):
+    code = main([
+        "compete", "--chain", ",", "--traffic", "10", "--width", "4",
+    ])
+    assert code == EXIT_VALIDATION
+
+
+def test_compete_telemetry_metrics_out(tmp_path, capsys):
+    out_file = tmp_path / "metrics.prom"
+    code = main([
+        "compete", "--sellers", "2", "--width", "6", "--traffic", "60",
+        "--budget", "2", "--rounds", "6", "--seed", "1", "--no-analytics",
+        "--metrics-out", str(out_file), *FAST,
+    ])
+    assert code == 0
+    rendered = out_file.read_text()
+    assert "repro_compete_rounds_total" in rendered
+    assert "repro_compete_converged" in rendered

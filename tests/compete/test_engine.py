@@ -1,0 +1,183 @@
+"""Engine behavior: convergence, cycles, anytime answers, determinism.
+
+The two headline equivalences of the subsystem live here:
+
+* a single-seller game round is **bit-identical** to the serial
+  :meth:`repro.simulate.Marketplace.post_optimized_ad` path;
+* ``jobs=1`` and ``jobs=N`` simultaneous schedules produce identical
+  trajectories (the parallel fan-out is a pure function per seller).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.booldata.schema import Schema
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+from repro.compete import CompeteConfig, SellerSpec, make_scenario, play
+from repro.obs.recorder import Recorder, recording
+from repro.runtime import make_harness
+from repro.simulate.marketplace import Marketplace
+from repro.stream.log import StreamingLog
+from tests.compete.conftest import FAST_CHAIN
+
+
+def test_sequential_game_converges_on_seeded_scenario(small_scenario):
+    config = CompeteConfig(schedule="sequential", max_rounds=15, chain=FAST_CHAIN)
+    result = play(small_scenario.sellers, small_scenario.traffic, config)
+    assert result.converged
+    assert result.cycle is None
+    assert result.final.changed == 0
+    # the fixed point is reproducible bit-for-bit
+    replay = play(small_scenario.sellers, small_scenario.traffic, config)
+    assert [r.masks for r in replay.rounds] == [r.masks for r in result.rounds]
+
+
+@pytest.mark.parametrize("seed", [0, 7, 21])
+def test_single_seller_round_bit_identical_to_marketplace(seed):
+    """Property: alone in the game == the serial posting path, exactly."""
+    scenario = make_scenario(9, 1, 180, seed=seed, budget=4)
+    spec = scenario.sellers[0]
+    harness = make_harness(FAST_CHAIN)
+    market = Marketplace(scenario.schema)
+    _, outcome = market.post_optimized_ad(
+        spec.new_tuple, spec.budget, scenario.traffic, harness
+    )
+    game = play(
+        (spec,), scenario.traffic,
+        CompeteConfig(max_rounds=3, chain=FAST_CHAIN),
+    )
+    assert game.rounds[0].masks[0] == outcome.solution.keep_mask
+    assert game.converged  # nothing to respond to: round 2 repeats round 1
+
+
+@pytest.mark.parametrize("schedule", ["sequential", "simultaneous"])
+def test_jobs_one_and_many_produce_identical_trajectories(
+    small_scenario, schedule
+):
+    serial = play(
+        small_scenario.sellers, small_scenario.traffic,
+        CompeteConfig(schedule=schedule, max_rounds=6, jobs=1, chain=FAST_CHAIN),
+    )
+    forked = play(
+        small_scenario.sellers, small_scenario.traffic,
+        CompeteConfig(schedule=schedule, max_rounds=6, jobs=2, chain=FAST_CHAIN),
+    )
+    assert [r.masks for r in serial.rounds] == [r.masks for r in forked.rounds]
+    assert [r.payoffs for r in serial.rounds] == [r.payoffs for r in forked.rounds]
+
+
+def _oscillator():
+    """Two identical sellers, budget 1, asymmetric demand: (a,a)->(b,b)->..."""
+    schema = Schema.anonymous(2)
+    traffic = BooleanTable(schema, [0b01] * 3 + [0b10] * 2)
+    sellers = (
+        SellerSpec(name="s0", new_tuple=0b11, budget=1, ad_id=0),
+        SellerSpec(name="s1", new_tuple=0b11, budget=1, ad_id=1),
+    )
+    return schema, traffic, sellers
+
+
+def test_simultaneous_schedule_detects_the_cycle():
+    _, traffic, sellers = _oscillator()
+    result = play(
+        sellers, traffic,
+        CompeteConfig(schedule="simultaneous", max_rounds=10, chain=FAST_CHAIN),
+    )
+    assert not result.converged
+    assert result.cycle == (1, 3)
+    assert result.cycle_length == 2
+    assert len(result.rounds) == 3  # stopped at the revisit, not the cap
+
+
+def test_sequential_schedule_converges_where_simultaneous_cycles():
+    """The congestion-game guarantee: sequential responses reach a NE."""
+    _, traffic, sellers = _oscillator()
+    result = play(
+        sellers, traffic,
+        CompeteConfig(schedule="sequential", max_rounds=10, chain=FAST_CHAIN),
+    )
+    assert result.converged
+    # at the fixed point the sellers split the market, one per attribute
+    assert sorted(result.final.masks) == [0b01, 0b10]
+
+
+def test_round_cap_keeps_best_known(small_scenario):
+    result = play(
+        small_scenario.sellers, small_scenario.traffic,
+        CompeteConfig(schedule="sequential", max_rounds=1, chain=FAST_CHAIN),
+    )
+    assert not result.converged and result.cycle is None
+    assert len(result.rounds) == 1
+    best = result.best_known
+    assert best.welfare == max(r.welfare for r in result.rounds)
+
+
+def test_drifting_traffic_resnapshots_every_round(small_scenario):
+    log = StreamingLog(small_scenario.schema)
+    log.extend(small_scenario.traffic.rows)
+    sizes = []
+
+    def drift(round_number: int) -> None:
+        sizes.append(len(log.snapshot()))
+        log.extend(small_scenario.traffic.rows[:10])
+
+    result = play(
+        small_scenario.sellers, log,
+        CompeteConfig(schedule="sequential", max_rounds=4, chain=FAST_CHAIN),
+        before_round=drift,
+    )
+    log.close()
+    assert result.stats["streaming"] is True
+    # the hook ran before every played round and the window kept growing
+    assert len(sizes) == len(result.rounds)
+    assert sizes == sorted(sizes) and sizes[0] < sizes[-1]
+
+
+def test_round_metrics_and_verdict_events_are_journaled(small_scenario):
+    recorder = Recorder()
+    with recording(recorder):
+        result = play(
+            small_scenario.sellers, small_scenario.traffic,
+            CompeteConfig(schedule="sequential", max_rounds=15, chain=FAST_CHAIN),
+        )
+    rendered = recorder.export_prometheus()
+    assert "repro_compete_rounds_total" in rendered
+    assert "repro_compete_round_seconds" in rendered
+    assert "repro_compete_converged 1" in rendered
+    kinds = [event.kind for event in recorder.journal.tail()]
+    assert "compete.converged" in kinds
+    assert result.converged
+
+
+def test_validation_rejects_bad_games(small_scenario):
+    sellers = small_scenario.sellers
+    with pytest.raises(ValidationError):
+        play((), small_scenario.traffic, CompeteConfig(chain=FAST_CHAIN))
+    duplicate = (sellers[0], sellers[0])
+    with pytest.raises(ValidationError):
+        play(duplicate, small_scenario.traffic, CompeteConfig(chain=FAST_CHAIN))
+    with pytest.raises(ValidationError):
+        play(
+            sellers, small_scenario.traffic,
+            CompeteConfig(chain=FAST_CHAIN), order=[0, 0, 1],
+        )
+    with pytest.raises(ValidationError):
+        CompeteConfig(schedule="swirl")
+    with pytest.raises(ValidationError):
+        CompeteConfig(max_rounds=0)
+    with pytest.raises(ValidationError):
+        CompeteConfig(payoff="fame")
+
+
+def test_result_serializes_to_plain_json_types(small_scenario):
+    import json
+
+    result = play(
+        small_scenario.sellers, small_scenario.traffic,
+        CompeteConfig(schedule="sequential", max_rounds=5, chain=FAST_CHAIN),
+    )
+    payload = json.loads(json.dumps(result.to_dict()))
+    assert payload["converged"] is True
+    assert payload["rounds"][0]["round"] == 1

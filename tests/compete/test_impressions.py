@@ -1,0 +1,110 @@
+"""Impression models cross-checked against a real Marketplace replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.compete import TieSplitModel, TopKModel, make_impression_model
+from repro.compete.impressions import WEIGHT_CAP, tie_split_weights
+from repro.data.workload import synthetic_workload
+from repro.retrieval.scoring import AttributeCountScore
+from repro.simulate.marketplace import Marketplace
+
+WIDTH = 6
+MASKS = [0b110100, 0b011010, 0b110110]
+
+
+@pytest.fixture
+def traffic():
+    from repro.booldata.schema import Schema
+
+    return synthetic_workload(Schema.anonymous(WIDTH), 120, seed=11)
+
+
+def test_tie_split_weights_exact_within_cap():
+    assert tie_split_weights([1, 2, 3]) == [6, 3, 2]
+    # gcd-normalized: an uncontested log collapses to unit weights
+    assert tie_split_weights([2, 2]) == [1, 1]
+    assert tie_split_weights([1, 1, 1]) == [1, 1, 1]
+
+
+def test_tie_split_weights_round_beyond_cap():
+    denominators = list(range(1, 14))  # lcm(1..13) >> WEIGHT_CAP
+    weights = tie_split_weights(denominators)
+    assert all(weight >= 1 for weight in weights)
+    assert max(weights) <= WEIGHT_CAP
+    # monotone: more contention never weighs more
+    assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+
+def test_tie_split_weights_reject_bad_denominator():
+    with pytest.raises(ValidationError):
+        tie_split_weights([1, 0])
+
+
+def test_tie_split_single_ad_matches_marketplace(traffic):
+    """With no rivals, fractional impressions equal the Boolean replay."""
+    model = TieSplitModel()
+    market = Marketplace(traffic.schema)
+    ad_id = market.post_ad(MASKS[0])
+    assert model.impressions(traffic, MASKS[0], [], ad_id) == pytest.approx(
+        float(market.impressions_of(ad_id, traffic))
+    )
+
+
+def test_tie_split_impressions_sum_to_welfare(traffic):
+    """Each matched query splits exactly one unit across its matchers."""
+    model = TieSplitModel()
+    total = sum(
+        model.impressions(
+            traffic, mask,
+            [(j, other) for j, other in enumerate(MASKS) if j != i],
+            i,
+        )
+        for i, mask in enumerate(MASKS)
+    )
+    assert total == pytest.approx(model.welfare(traffic, MASKS))
+
+
+def test_tie_split_uncontested_problem_reuses_the_table(traffic):
+    problem = TieSplitModel().best_response_problem(traffic, 0b111111, 3, [], 0)
+    assert problem.log is traffic  # the single-seller bit-identity anchor
+
+
+def test_top_k_impressions_replay_the_marketplace(traffic):
+    """Model impressions == a Marketplace(top-k) replay, ad for ad."""
+    for page_size in (1, 2):
+        model = TopKModel(page_size)
+        market = Marketplace(
+            traffic.schema, page_size=page_size, scoring=AttributeCountScore()
+        )
+        for mask in MASKS:
+            market.post_ad(mask)
+        replay = market.run_workload(traffic)
+        for ad_id, mask in enumerate(MASKS):
+            rivals = [(j, m) for j, m in enumerate(MASKS) if j != ad_id]
+            assert model.impressions(traffic, mask, rivals, ad_id) == pytest.approx(
+                float(replay.get(ad_id, 0))
+            ), (page_size, ad_id)
+        assert model.welfare(traffic, MASKS) == pytest.approx(
+            float(sum(replay.values()))
+        )
+
+
+def test_top_k_saturated_queries_are_filtered(traffic):
+    """A query locked up by page_size better rivals leaves the problem."""
+    model = TopKModel(1)
+    wide_rival = (1 << WIDTH) - 1  # max score, matches free queries only
+    problem = model.best_response_problem(
+        traffic, 0b110100, 2, [(1, wide_rival)], 0
+    )
+    saturated = sum(1 for q in traffic if q & wide_rival == q)
+    assert len(problem.log) == len(traffic) - saturated
+
+
+def test_make_impression_model_dispatch():
+    assert isinstance(make_impression_model(None), TieSplitModel)
+    assert isinstance(make_impression_model(2), TopKModel)
+    with pytest.raises(ValidationError):
+        make_impression_model(0)

@@ -1,0 +1,97 @@
+"""Payoff utilities and their deterministic refinements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.booldata.schema import Schema
+from repro.booldata.table import BooleanTable
+from repro.common.errors import ValidationError
+from repro.compete import (
+    DiversityPayoff,
+    ImpressionsPayoff,
+    RevenuePayoff,
+    SellerSpec,
+    TieSplitModel,
+    make_payoff,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.anonymous(4)
+
+
+@pytest.fixture
+def traffic(schema):
+    # demand concentrates on a0 and a1; a3 is never asked for
+    return BooleanTable(schema, [0b0001] * 4 + [0b0010] * 3 + [0b0011] * 2)
+
+
+def test_impressions_payoff_is_raw_impressions(schema, traffic):
+    model = TieSplitModel()
+    spec = SellerSpec(name="s", new_tuple=0b0011, budget=2, ad_id=0)
+    payoff = ImpressionsPayoff()
+    assert payoff.utility(model, traffic, 0b0011, [], spec) == pytest.approx(9.0)
+    # refinement is a no-op: the harness answer is already optimal
+    assert payoff.refine(model, traffic, 0b0011, [], spec) == 0b0011
+
+
+def test_revenue_refinement_hides_costly_useless_attributes(schema, traffic):
+    """Attribute hiding: a padded attribute with no demand but a cost
+    is dropped by the greedy drop-only local search."""
+    model = TieSplitModel()
+    spec = SellerSpec(
+        name="s", new_tuple=0b1011, budget=3, ad_id=0,
+        disclosure_costs=(0.1, 0.1, 0.1, 5.0),
+    )
+    payoff = RevenuePayoff()
+    # the solver pads to the full budget: mask carries the dead a3
+    padded = 0b1011
+    refined = payoff.refine(model, traffic, padded, [], spec)
+    assert refined == 0b0011  # a3 hidden: it costs 5 and earns nothing
+    assert payoff.utility(model, traffic, refined, [], spec) > payoff.utility(
+        model, traffic, padded, [], spec
+    )
+
+
+def test_revenue_keeps_attributes_that_pay_for_themselves(schema, traffic):
+    model = TieSplitModel()
+    spec = SellerSpec(
+        name="s", new_tuple=0b0011, budget=2, ad_id=0,
+        disclosure_costs=(0.5, 0.5, 0.0, 0.0),
+    )
+    refined = RevenuePayoff().refine(model, traffic, 0b0011, [], spec)
+    assert refined == 0b0011  # each attribute earns more than it costs
+
+
+def test_diversity_refinement_dodges_a_crowded_attribute(schema):
+    """With a rival camped on a0 and equal demand elsewhere, the
+    diversity swap search moves off the shared attribute."""
+    traffic = BooleanTable(
+        Schema.anonymous(4), [0b0001] * 3 + [0b0010] * 3
+    )
+    model = TieSplitModel()
+    spec = SellerSpec(name="s", new_tuple=0b0011, budget=1, ad_id=0)
+    payoff = DiversityPayoff(penalty=2.0)
+    rivals = [(1, 0b0001)]
+    refined = payoff.refine(model, traffic, 0b0001, rivals, spec)
+    assert refined == 0b0010  # same impressions, no overlap penalty
+    assert (
+        payoff.utility(model, traffic, refined, rivals, spec)
+        > payoff.utility(model, traffic, 0b0001, rivals, spec)
+    )
+
+
+def test_diversity_penalty_validation():
+    with pytest.raises(ValidationError):
+        DiversityPayoff(penalty=-0.1)
+
+
+def test_make_payoff_dispatch():
+    assert make_payoff("impressions").name == "impressions"
+    assert make_payoff("revenue").name == "revenue"
+    diversity = make_payoff("diversity", diversity_penalty=1.5)
+    assert diversity.penalty == 1.5
+    with pytest.raises(ValidationError):
+        make_payoff("fame")

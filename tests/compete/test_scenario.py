@@ -1,0 +1,67 @@
+"""Seeded scenario generation: the determinism contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.compete import make_scenario
+
+
+def test_same_seed_reproduces_the_scenario_bit_for_bit():
+    first = make_scenario(10, 4, 200, seed=42, budget=3, cost_scale=1.0)
+    second = make_scenario(10, 4, 200, seed=42, budget=3, cost_scale=1.0)
+    assert first.traffic.rows == second.traffic.rows
+    assert first.sellers == second.sellers
+
+
+def test_different_seeds_differ():
+    first = make_scenario(10, 4, 200, seed=1)
+    second = make_scenario(10, 4, 200, seed=2)
+    assert (
+        first.traffic.rows != second.traffic.rows
+        or first.sellers != second.sellers
+    )
+
+
+def test_traffic_and_seller_streams_are_decoupled():
+    """Changing the traffic size must not perturb the seller draw."""
+    small = make_scenario(10, 3, 50, seed=9)
+    large = make_scenario(10, 3, 500, seed=9)
+    assert [spec.new_tuple for spec in small.sellers] == [
+        spec.new_tuple for spec in large.sellers
+    ]
+
+
+def test_scenario_shape_and_defaults():
+    scenario = make_scenario(8, 2, 30, seed=0)
+    assert scenario.schema.width == 8
+    assert len(scenario.traffic) == 30
+    assert len(scenario.sellers) == 2
+    for index, spec in enumerate(scenario.sellers):
+        assert spec.ad_id == index
+        assert spec.budget == 4  # width // 2
+        assert spec.disclosure_costs == ()  # cost_scale defaults to 0
+        assert 0 < spec.new_tuple < (1 << 8)
+
+
+def test_cost_scale_draws_bounded_costs():
+    scenario = make_scenario(8, 2, 10, seed=0, cost_scale=0.25)
+    for spec in scenario.sellers:
+        assert len(spec.disclosure_costs) == 8
+        assert all(0.0 <= cost < 0.25 for cost in spec.disclosure_costs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"width": 0},
+        {"sellers": 0},
+        {"traffic_size": -1},
+        {"cost_scale": -0.5},
+    ],
+)
+def test_bad_scenario_parameters_are_rejected(kwargs):
+    base = {"width": 4, "sellers": 2, "traffic_size": 10}
+    with pytest.raises(ValidationError):
+        make_scenario(**{**base, **kwargs})

@@ -1,0 +1,51 @@
+"""SellerSpec validation and derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.booldata.schema import Schema
+from repro.common.errors import ValidationError
+from repro.compete import SellerSpec
+
+
+def test_effective_budget_caps_at_tuple_size():
+    spec = SellerSpec(name="s", new_tuple=0b101, budget=5, ad_id=0)
+    assert spec.tuple_size == 2
+    assert spec.effective_budget == 2
+
+
+def test_cost_of_sums_kept_attributes():
+    spec = SellerSpec(
+        name="s", new_tuple=0b111, budget=2, ad_id=0,
+        disclosure_costs=(1.0, 2.0, 4.0),
+    )
+    assert spec.cost_of(0b101) == pytest.approx(5.0)
+    assert spec.cost_of(0) == pytest.approx(0.0)
+
+
+def test_validate_against_checks_mask_and_cost_width():
+    schema = Schema.anonymous(3)
+    SellerSpec(name="s", new_tuple=0b111, budget=1, ad_id=0).validate_against(schema)
+    with pytest.raises(ValidationError):
+        SellerSpec(name="s", new_tuple=0b1111, budget=1, ad_id=0).validate_against(schema)
+    with pytest.raises(ValidationError):
+        SellerSpec(
+            name="s", new_tuple=0b111, budget=1, ad_id=0,
+            disclosure_costs=(1.0,),
+        ).validate_against(schema)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"budget": -1},
+        {"ad_id": -1},
+        {"value_per_impression": -0.5},
+        {"disclosure_costs": (-1.0,)},
+    ],
+)
+def test_invalid_specs_are_rejected(kwargs):
+    base = {"name": "s", "new_tuple": 0b1, "budget": 1, "ad_id": 0}
+    with pytest.raises(ValidationError):
+        SellerSpec(**{**base, **kwargs})

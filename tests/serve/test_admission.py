@@ -66,7 +66,9 @@ def test_snapshot_shape():
         "pending": 1,
         "queue_depth": 2,
         "max_total": 4,
-        "shed": {"tenant_queue": 0, "overload": 0},
+        "rate_limit": None,
+        "burst": None,
+        "shed": {"tenant_queue": 0, "overload": 0, "rate_limit": 0},
     }
 
 

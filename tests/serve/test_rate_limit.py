@@ -1,0 +1,143 @@
+"""Per-tenant token-bucket rate limiting in the admission controller.
+
+Unit tests drive the bucket with an injected fake clock (no sleeps, no
+flakiness); the integration test hammers a real server with a tiny
+budget and checks the 429 + ``Retry-After`` contract over the wire.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.admission import SHED_STATUS, AdmissionController
+from tests.serve.conftest import request
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _controller(rate: float, burst: int | None = None, clock=None):
+    return AdmissionController(
+        4, 16, rate_limit=rate, burst=burst, clock=clock or FakeClock()
+    )
+
+
+def test_burst_admits_then_sheds_rate_limit():
+    clock = FakeClock()
+    admission = _controller(1.0, burst=3, clock=clock)
+    for _ in range(3):
+        assert admission.try_acquire("alpha") is None
+        admission.release("alpha")
+    assert admission.try_acquire("alpha") == "rate_limit"
+    assert admission.shed["rate_limit"] == 1
+
+
+def test_bucket_refills_with_time():
+    clock = FakeClock()
+    admission = _controller(2.0, burst=1, clock=clock)
+    assert admission.try_acquire("alpha") is None
+    admission.release("alpha")
+    assert admission.try_acquire("alpha") == "rate_limit"
+    clock.advance(0.5)  # 2 tokens/s * 0.5 s = one fresh token
+    assert admission.try_acquire("alpha") is None
+    admission.release("alpha")
+    assert admission.try_acquire("alpha") == "rate_limit"
+
+
+def test_bucket_never_exceeds_burst():
+    clock = FakeClock()
+    admission = _controller(10.0, burst=2, clock=clock)
+    clock.advance(3600.0)  # an hour idle must not bank 36000 tokens
+    admitted = 0
+    while admission.try_acquire("alpha") is None:
+        admission.release("alpha")
+        admitted += 1
+    assert admitted == 2
+
+
+def test_buckets_are_per_tenant():
+    clock = FakeClock()
+    admission = _controller(1.0, burst=1, clock=clock)
+    assert admission.try_acquire("alpha") is None
+    admission.release("alpha")
+    assert admission.try_acquire("alpha") == "rate_limit"
+    # a neighbour still has its full bucket
+    assert admission.try_acquire("beta") is None
+    admission.release("beta")
+
+
+def test_rate_limit_shed_is_429():
+    assert SHED_STATUS["rate_limit"] == 429
+
+
+def test_default_burst_is_the_ceiled_rate():
+    admission = AdmissionController(4, 16, rate_limit=2.5)
+    assert admission.burst == 3
+    unlimited = AdmissionController(4, 16)
+    assert unlimited.rate_limit is None and unlimited.burst is None
+
+
+def test_snapshot_carries_the_rate_limit_counters():
+    clock = FakeClock()
+    admission = _controller(1.0, burst=1, clock=clock)
+    assert admission.try_acquire("alpha") is None
+    snapshot = admission.snapshot()
+    assert snapshot["rate_limit"] == 1.0
+    assert snapshot["burst"] == 1
+    assert snapshot["shed"]["rate_limit"] == 0
+
+
+def test_validation_rejects_bad_rate_parameters():
+    with pytest.raises(ValidationError):
+        AdmissionController(4, 16, rate_limit=0.0)
+    with pytest.raises(ValidationError):
+        AdmissionController(4, 16, rate_limit=-1.0)
+    with pytest.raises(ValidationError):
+        AdmissionController(4, 16, burst=2)  # burst without a rate
+    with pytest.raises(ValidationError):
+        AdmissionController(4, 16, rate_limit=1.0, burst=0)
+
+
+def test_unlimited_controller_never_sheds_on_rate():
+    admission = AdmissionController(4, 16)
+    for _ in range(64):
+        assert admission.try_acquire("alpha") is None
+        admission.release("alpha")
+    assert admission.shed["rate_limit"] == 0
+
+
+def test_rate_limited_server_sheds_429_with_retry_after_over_the_wire():
+    """A drained bucket answers 429 + Retry-After without queueing."""
+    config = ServeConfig(
+        width=4, chain=("ConsumeAttrCumul",), deadline_ms=None,
+        rate_limit=0.001, rate_burst=2,
+    )
+    with ServerThread(config) as server:
+        port = server.port
+        statuses = []
+        for _ in range(4):
+            status, body, headers = request(
+                port, "POST", "/ingest",
+                {"tenant": "alpha", "queries": [0b0011]},
+            )
+            statuses.append(status)
+        assert statuses[:2] == [200, 200]
+        assert statuses[2:] == [429, 429]
+        assert headers["retry-after"]
+        assert body["error"] == "shed: rate_limit"
+
+        # the shed shows up in the admission snapshot on /status
+        status, payload, _ = request(port, "GET", "/status")
+        assert status == 200
+        assert payload["admission"]["shed"]["rate_limit"] == 2
+        assert payload["admission"]["rate_limit"] == 0.001

@@ -142,3 +142,19 @@ def test_stream_workloads_smoke():
     assert tick["objective_checksum"] is not None
     hit = stream_workload.measure_cache_hit(size=150, loops=3, repeats=1)
     assert hit["solutions_match"]
+
+
+def test_compete_workloads_smoke():
+    import compete_workload
+
+    game = compete_workload.measure_sequential_game(
+        width=8, sellers=2, traffic=80, max_rounds=8
+    )
+    assert game["converged"] or game["cycle"] is not None
+    assert game["cooperative_welfare"] >= game["final_welfare"]
+    if game["price_of_anarchy"] is not None:
+        assert game["price_of_anarchy"] >= 1.0
+    equivalence = compete_workload.measure_simultaneous_equivalence(
+        width=8, sellers=2, traffic=80, max_rounds=6
+    )
+    assert equivalence["trajectories_match"]
